@@ -1,0 +1,156 @@
+//! The closed-form governor: Eq. 18 instead of the Algorithm 2 table.
+//!
+//! Given the same §4.1 power allocation as the proposed controller, this
+//! governor picks each slot's `(n, f)` straight from the continuous-space
+//! policy of Eq. 18 and snaps to the hardware's discrete grid — no pair
+//! table, no Pareto pruning, no feedback. It is the natural ablation for
+//! "does Algorithm 2's table machinery buy anything over the closed
+//! form?": the table wins whenever the discrete grid is coarse (rounding
+//! the continuous point can land far from the best discrete point) and
+//! whenever feedback matters, which the integration tests quantify.
+
+use dpm_core::governor::{Governor, SlotObservation};
+use dpm_core::params::{continuous_operating_point, OperatingPoint};
+use dpm_core::platform::Platform;
+use dpm_core::series::PowerSeries;
+use dpm_core::units::{watts, Hertz};
+
+/// Eq. 18 applied per slot to a fixed allocation.
+#[derive(Debug, Clone)]
+pub struct AnalyticGovernor {
+    platform: Platform,
+    allocation: PowerSeries,
+}
+
+impl AnalyticGovernor {
+    /// Build from the platform and a periodic power allocation.
+    pub fn new(platform: Platform, allocation: PowerSeries) -> Self {
+        platform.validate().expect("invalid platform");
+        Self {
+            platform,
+            allocation,
+        }
+    }
+
+    /// Snap a frequency to the nearest member of the discrete set.
+    fn snap_frequency(&self, f: Hertz) -> Hertz {
+        *self
+            .platform
+            .frequencies
+            .iter()
+            .min_by(|a, b| {
+                (a.value() - f.value())
+                    .abs()
+                    .total_cmp(&(b.value() - f.value()).abs())
+            })
+            .expect("platform has frequencies")
+    }
+}
+
+impl Governor for AnalyticGovernor {
+    fn name(&self) -> &str {
+        "analytic-eq18"
+    }
+
+    fn uses_surplus_energy(&self) -> bool {
+        true // same semantics as the proposed controller it ablates
+    }
+
+    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint {
+        let gross = self
+            .allocation
+            .get((obs.slot as usize) % self.allocation.len());
+        // Eq. 18 is derived from the idealized Power = c2·n·f·v² — no
+        // controller chip, no standby floor. Hand it the *worker* share of
+        // the slot budget: gross minus the controller's draw (which tracks
+        // the worker clock) and the idle chips' floor, estimated at the
+        // reserved:worker ratio.
+        let reserved_share = self.platform.reserved as f64
+            / (self.platform.reserved + self.platform.workers()) as f64;
+        let floor = self.platform.power.all_standby().value();
+        let net = (gross * (1.0 - reserved_share) - floor).max(0.0);
+        if net <= 1e-9 {
+            return OperatingPoint::OFF;
+        }
+        let pt = continuous_operating_point(&self.platform, watts(net));
+        // Floor the continuous count: rounding up systematically overdraws
+        // the battery (the closed form has no feedback to repay it).
+        let n = (pt.n.floor() as usize).clamp(1, self.platform.workers());
+        let f = self.snap_frequency(pt.f);
+        match self.platform.voltage_for(f) {
+            Some(v) => OperatingPoint::new(n, f, v),
+            None => OperatingPoint::OFF,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_core::units::{joules, seconds, Joules, Seconds};
+
+    fn allocation() -> PowerSeries {
+        PowerSeries::new(
+            seconds(4.8),
+            vec![2.2, 2.0, 1.2, 1.2, 2.0, 2.3, 1.2, 0.9, 0.5, 0.5, 0.9, 1.1],
+        )
+    }
+
+    fn obs(slot: u64) -> SlotObservation {
+        SlotObservation {
+            slot,
+            time: Seconds(slot as f64 * 4.8),
+            battery: joules(8.0),
+            used_last: Joules::ZERO,
+            supplied_last: Joules::ZERO,
+            backlog: 1,
+        }
+    }
+
+    #[test]
+    fn snaps_to_discrete_frequencies() {
+        let mut g = AnalyticGovernor::new(Platform::pama(), allocation());
+        for slot in 0..12 {
+            let p = g.decide(&obs(slot));
+            if !p.is_off() {
+                assert!(
+                    Platform::pama().frequencies.contains(&p.frequency),
+                    "slot {slot}: {p}"
+                );
+                assert!(p.workers >= 1 && p.workers <= 7);
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_budget_means_no_less_power() {
+        let platform = Platform::pama();
+        let mut g = AnalyticGovernor::new(platform.clone(), allocation());
+        let power_of = |p: OperatingPoint| {
+            if p.is_off() {
+                0.0
+            } else {
+                platform.board_power(p.workers, p.frequency).value()
+            }
+        };
+        // Slot 5 (2.3 W budget) draws at least slot 8 (0.5 W budget).
+        let big = power_of(g.decide(&obs(5)));
+        let small = power_of(g.decide(&obs(8)));
+        assert!(big >= small, "{big} vs {small}");
+    }
+
+    #[test]
+    fn starvation_budget_turns_off() {
+        let tiny = PowerSeries::constant(seconds(4.8), 12, 0.01);
+        let mut g = AnalyticGovernor::new(Platform::pama(), tiny);
+        assert!(g.decide(&obs(0)).is_off());
+    }
+
+    #[test]
+    fn cycles_per_period() {
+        let mut g = AnalyticGovernor::new(Platform::pama(), allocation());
+        let a = g.decide(&obs(2));
+        let b = g.decide(&obs(14)); // same slot next period
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,123 @@
+//! The greedy governor: battery-aware but schedule-blind.
+//!
+//! Each slot it budgets the power it could sustain *right now* — last
+//! slot's measured supply plus a drawdown of the charge above `C_min`
+//! spread over a configurable horizon — and takes the best Pareto point
+//! inside that budget, but only when work is waiting. It repairs the
+//! static baseline's brown-outs without fixing its wasted-charge problem
+//! (it cannot pre-spend energy it doesn't know is coming).
+
+use dpm_core::governor::{Governor, SlotObservation};
+use dpm_core::params::{OperatingPoint, ParetoTable};
+use dpm_core::platform::Platform;
+use dpm_core::units::{watts, Watts};
+
+/// Myopic battery-aware governor.
+#[derive(Debug, Clone)]
+pub struct GreedyGovernor {
+    platform: Platform,
+    pareto: ParetoTable,
+    /// Slots over which the greedy policy is willing to drain the usable
+    /// charge (1 = spend it all this slot).
+    drain_horizon: f64,
+}
+
+impl GreedyGovernor {
+    /// Build with a drain horizon in slots (≥ 1).
+    pub fn new(platform: Platform, drain_horizon: f64) -> Self {
+        assert!(drain_horizon >= 1.0);
+        platform.validate().expect("invalid platform");
+        let pareto = ParetoTable::build(&platform);
+        Self {
+            platform,
+            pareto,
+            drain_horizon,
+        }
+    }
+
+    /// The power budget for this slot.
+    fn budget(&self, obs: &SlotObservation) -> Watts {
+        let tau = self.platform.tau;
+        let usable = (obs.battery - self.platform.battery.c_min).max(dpm_core::units::Joules::ZERO);
+        let from_battery = usable / (tau * self.drain_horizon / 1.0);
+        let from_supply = if obs.slot == 0 {
+            Watts::ZERO
+        } else {
+            obs.supplied_last / tau
+        };
+        watts(from_battery.value() + from_supply.value())
+    }
+}
+
+impl Governor for GreedyGovernor {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+
+    fn uses_surplus_energy(&self) -> bool {
+        true // battery-aware: spends affordable energy on background work
+    }
+
+    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint {
+        self.pareto.best_within(self.budget(obs)).point
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_core::units::{joules, Joules, Seconds};
+
+    fn obs(battery: f64, supplied: f64, backlog: usize) -> SlotObservation {
+        SlotObservation {
+            slot: 1,
+            time: Seconds(4.8),
+            battery: joules(battery),
+            used_last: Joules::ZERO,
+            supplied_last: joules(supplied),
+            backlog,
+        }
+    }
+
+    #[test]
+    fn idle_with_energy_still_runs_background_work() {
+        // Greedy uses surplus energy (background science), so an empty
+        // backlog with a charged battery still activates workers.
+        let mut g = GreedyGovernor::new(Platform::pama(), 4.0);
+        assert!(g.uses_surplus_energy());
+        assert!(!g.decide(&obs(16.0, 11.3, 0)).is_off());
+    }
+
+    #[test]
+    fn full_battery_and_sun_runs_hard() {
+        let mut g = GreedyGovernor::new(Platform::pama(), 4.0);
+        let p = g.decide(&obs(16.0, 2.36 * 4.8, 5));
+        // Budget ≈ 15.5/(4·4.8) + 2.36 ≈ 3.17 W ⇒ a hefty point.
+        assert!(p.workers >= 4, "{p}");
+    }
+
+    #[test]
+    fn empty_battery_throttles_down() {
+        let mut g = GreedyGovernor::new(Platform::pama(), 4.0);
+        let p = g.decide(&obs(0.6, 0.0, 5));
+        // Budget ≈ 0.1/(19.2) ≈ 5 mW: below even the standby floor ⇒ off.
+        assert!(p.is_off(), "{p}");
+    }
+
+    #[test]
+    fn longer_horizon_is_more_conservative() {
+        let mut fast = GreedyGovernor::new(Platform::pama(), 1.0);
+        let mut slow = GreedyGovernor::new(Platform::pama(), 12.0);
+        let o = obs(8.0, 0.0, 5);
+        let pf = fast.decide(&o);
+        let ps = slow.decide(&o);
+        let power = |p: OperatingPoint| {
+            if p.is_off() {
+                0.0
+            } else {
+                Platform::pama().board_power(p.workers, p.frequency).value()
+            }
+        };
+        assert!(power(pf) >= power(ps), "{pf} vs {ps}");
+    }
+}

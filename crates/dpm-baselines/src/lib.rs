@@ -1,0 +1,33 @@
+//! # dpm-baselines
+//!
+//! The comparison governors for the paper's Table 1 and the ablation
+//! benches:
+//!
+//! * [`StaticGovernor`] — the paper's comparator: run a fixed operating
+//!   point whenever input data is waiting, turn everything off otherwise;
+//!   no knowledge of the battery or the charging schedule.
+//! * [`TimeoutGovernor`] — the "simplest and most widely used technique"
+//!   of the paper's related-work section: like static, but stays on for a
+//!   fixed number of idle slots before powering down.
+//! * [`GreedyGovernor`] — battery-aware but myopic: each slot spends
+//!   whatever the battery can afford right now, with no schedule.
+//! * [`OracleGovernor`] — clairvoyant upper bound: replays a precomputed
+//!   per-slot schedule (e.g. the offline Algorithm 2 plan on the *exact*
+//!   future).
+//! * [`AnalyticGovernor`] — the Eq. 18 closed form applied per slot, the
+//!   ablation for Algorithm 2's discrete table machinery.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analytic;
+pub mod greedy;
+pub mod oracle;
+pub mod statics;
+pub mod timeout;
+
+pub use analytic::AnalyticGovernor;
+pub use greedy::GreedyGovernor;
+pub use oracle::OracleGovernor;
+pub use statics::StaticGovernor;
+pub use timeout::TimeoutGovernor;

@@ -1,0 +1,99 @@
+//! The clairvoyant oracle: replays a precomputed per-slot schedule.
+//!
+//! Fed the offline Algorithm 2 plan computed on the *exact* realized
+//! supply and event schedules, this is the performance ceiling a causal
+//! governor can be compared against; any gap between the proposed
+//! controller and the oracle is the price of forecasting error.
+
+use dpm_core::governor::{Governor, SlotObservation};
+use dpm_core::params::{OperatingPoint, ParameterSchedule};
+
+/// Schedule-replaying governor (cycles per period).
+#[derive(Debug, Clone)]
+pub struct OracleGovernor {
+    points: Vec<OperatingPoint>,
+}
+
+impl OracleGovernor {
+    /// Replay an explicit point sequence, cycled.
+    pub fn new(points: Vec<OperatingPoint>) -> Self {
+        assert!(!points.is_empty(), "oracle needs at least one slot");
+        Self { points }
+    }
+
+    /// Replay an Algorithm 2 plan.
+    pub fn from_schedule(schedule: &ParameterSchedule) -> Self {
+        Self::new(schedule.slots.iter().map(|s| s.point).collect())
+    }
+
+    /// Slots per cycle.
+    pub fn period_slots(&self) -> usize {
+        self.points.len()
+    }
+}
+
+impl Governor for OracleGovernor {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn uses_surplus_energy(&self) -> bool {
+        true // replays the proposed plan, including its background work
+    }
+
+    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint {
+        self.points[(obs.slot as usize) % self.points.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_core::units::{joules, volts, Hertz, Joules, Seconds};
+
+    fn obs(slot: u64) -> SlotObservation {
+        SlotObservation {
+            slot,
+            time: Seconds(slot as f64 * 4.8),
+            battery: joules(8.0),
+            used_last: Joules::ZERO,
+            supplied_last: Joules::ZERO,
+            backlog: 1,
+        }
+    }
+
+    #[test]
+    fn replays_and_cycles() {
+        let a = OperatingPoint::new(1, Hertz::from_mhz(20.0), volts(3.3));
+        let b = OperatingPoint::new(7, Hertz::from_mhz(80.0), volts(3.3));
+        let mut g = OracleGovernor::new(vec![a, b]);
+        assert_eq!(g.decide(&obs(0)), a);
+        assert_eq!(g.decide(&obs(1)), b);
+        assert_eq!(g.decide(&obs(2)), a);
+        assert_eq!(g.period_slots(), 2);
+    }
+
+    #[test]
+    fn builds_from_algorithm2_schedule() {
+        use dpm_core::params::ParameterScheduler;
+        use dpm_core::platform::Platform;
+        use dpm_core::series::PowerSeries;
+        let platform = Platform::pama();
+        let charging = PowerSeries::new(
+            Seconds(4.8),
+            vec![2.36; 6].into_iter().chain(vec![0.0; 6]).collect(),
+        );
+        let alloc = PowerSeries::constant(Seconds(4.8), 12, 1.1);
+        let plan = ParameterScheduler::new(platform).plan(&alloc, &charging, joules(8.0));
+        let mut g = OracleGovernor::from_schedule(&plan);
+        assert_eq!(g.period_slots(), 12);
+        // The replayed point matches the planned one.
+        assert_eq!(g.decide(&obs(3)), plan.slots[3].point);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn rejects_empty_schedule() {
+        OracleGovernor::new(vec![]);
+    }
+}

@@ -1,0 +1,97 @@
+//! The paper's static comparison algorithm (§5):
+//!
+//! > "Since no overhead for changing the number of processors or frequency
+//! > is assumed, the system is turned off while there is no input data to
+//! > process. If the externally supplied energy is more than the usage,
+//! > then the difference is charged to a rechargeable battery. If more
+//! > energy is used than supplied, then the difference is supplied from
+//! > battery."
+//!
+//! I.e. event-driven on/off at a fixed operating point, with no awareness
+//! of the battery state or the charging schedule — which is precisely why
+//! it wastes charge when the battery pins at `C_max` during quiet sunlit
+//! stretches and browns out in busy eclipses.
+
+use dpm_core::governor::{Governor, SlotObservation};
+use dpm_core::params::OperatingPoint;
+use dpm_core::platform::Platform;
+
+/// Fixed-point on-demand governor.
+#[derive(Debug, Clone)]
+pub struct StaticGovernor {
+    point: OperatingPoint,
+}
+
+impl StaticGovernor {
+    /// Run at `point` whenever there is work.
+    pub fn new(point: OperatingPoint) -> Self {
+        assert!(!point.is_off(), "the static point must do work");
+        Self { point }
+    }
+
+    /// The paper's configuration: every worker at the maximum frequency.
+    pub fn full_power(platform: &Platform) -> Self {
+        let f = platform.f_max();
+        let v = platform.voltage_for(f).expect("f_max attainable");
+        Self::new(OperatingPoint::new(platform.workers(), f, v))
+    }
+
+    /// The configured operating point.
+    pub fn point(&self) -> OperatingPoint {
+        self.point
+    }
+}
+
+impl Governor for StaticGovernor {
+    fn name(&self) -> &str {
+        "static"
+    }
+
+    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint {
+        if obs.backlog > 0 {
+            self.point
+        } else {
+            OperatingPoint::OFF
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_core::units::{joules, Joules, Seconds};
+
+    fn obs(backlog: usize) -> SlotObservation {
+        SlotObservation {
+            slot: 0,
+            time: Seconds::ZERO,
+            battery: joules(8.0),
+            used_last: Joules::ZERO,
+            supplied_last: Joules::ZERO,
+            backlog,
+        }
+    }
+
+    #[test]
+    fn off_when_idle_on_when_busy() {
+        let mut g = StaticGovernor::full_power(&Platform::pama());
+        assert!(g.decide(&obs(0)).is_off());
+        let p = g.decide(&obs(3));
+        assert_eq!(p.workers, 7);
+        assert_eq!(p.frequency, dpm_core::units::Hertz::from_mhz(80.0));
+    }
+
+    #[test]
+    fn ignores_battery_state() {
+        let mut g = StaticGovernor::full_power(&Platform::pama());
+        let mut low = obs(1);
+        low.battery = joules(0.6); // nearly empty — static doesn't care
+        assert!(!g.decide(&low).is_off());
+    }
+
+    #[test]
+    #[should_panic(expected = "must do work")]
+    fn rejects_off_point() {
+        StaticGovernor::new(OperatingPoint::OFF);
+    }
+}

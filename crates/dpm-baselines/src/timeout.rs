@@ -1,0 +1,100 @@
+//! The time-out governor: "the simplest and most widely used technique for
+//! dynamic power management … components are turned off after a fixed
+//! amount of idling time" (paper §1).
+
+use dpm_core::governor::{Governor, SlotObservation};
+use dpm_core::params::OperatingPoint;
+
+/// Fixed-point governor with an idle time-out before powering down.
+#[derive(Debug, Clone)]
+pub struct TimeoutGovernor {
+    point: OperatingPoint,
+    timeout_slots: u64,
+    idle_slots: u64,
+}
+
+impl TimeoutGovernor {
+    /// Run at `point` while busy; stay on through `timeout_slots` idle
+    /// slots before turning off (0 degenerates to [`super::StaticGovernor`]
+    /// behaviour).
+    pub fn new(point: OperatingPoint, timeout_slots: u64) -> Self {
+        assert!(!point.is_off(), "the active point must do work");
+        Self {
+            point,
+            timeout_slots,
+            idle_slots: 0,
+        }
+    }
+
+    /// Slots currently spent idle.
+    pub fn idle_slots(&self) -> u64 {
+        self.idle_slots
+    }
+}
+
+impl Governor for TimeoutGovernor {
+    fn name(&self) -> &str {
+        "timeout"
+    }
+
+    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint {
+        if obs.backlog > 0 {
+            self.idle_slots = 0;
+            self.point
+        } else {
+            self.idle_slots += 1;
+            if self.idle_slots <= self.timeout_slots {
+                self.point // still within the hold window
+            } else {
+                OperatingPoint::OFF
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_core::units::{joules, volts, Hertz, Joules, Seconds};
+
+    fn point() -> OperatingPoint {
+        OperatingPoint::new(2, Hertz::from_mhz(40.0), volts(3.3))
+    }
+
+    fn obs(slot: u64, backlog: usize) -> SlotObservation {
+        SlotObservation {
+            slot,
+            time: Seconds(slot as f64 * 4.8),
+            battery: joules(8.0),
+            used_last: Joules::ZERO,
+            supplied_last: Joules::ZERO,
+            backlog,
+        }
+    }
+
+    #[test]
+    fn stays_on_through_the_holdoff() {
+        let mut g = TimeoutGovernor::new(point(), 2);
+        assert!(!g.decide(&obs(0, 1)).is_off()); // busy
+        assert!(!g.decide(&obs(1, 0)).is_off()); // idle 1
+        assert!(!g.decide(&obs(2, 0)).is_off()); // idle 2
+        assert!(g.decide(&obs(3, 0)).is_off()); // idle 3 > timeout
+    }
+
+    #[test]
+    fn work_resets_the_timer() {
+        let mut g = TimeoutGovernor::new(point(), 1);
+        g.decide(&obs(0, 0));
+        g.decide(&obs(1, 1)); // busy resets
+        assert_eq!(g.idle_slots(), 0);
+        assert!(!g.decide(&obs(2, 0)).is_off());
+        assert!(g.decide(&obs(3, 0)).is_off());
+    }
+
+    #[test]
+    fn zero_timeout_behaves_like_static() {
+        let mut g = TimeoutGovernor::new(point(), 0);
+        assert!(!g.decide(&obs(0, 1)).is_off());
+        assert!(g.decide(&obs(1, 0)).is_off());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the baseline governors.
+
+use dpm_baselines::{GreedyGovernor, OracleGovernor, StaticGovernor, TimeoutGovernor};
+use dpm_core::governor::{Governor, SlotObservation};
+use dpm_core::params::OperatingPoint;
+use dpm_core::platform::Platform;
+use dpm_core::units::{joules, volts, Hertz, Seconds};
+use proptest::prelude::*;
+
+fn obs(slot: u64, battery: f64, supplied: f64, backlog: usize) -> SlotObservation {
+    SlotObservation {
+        slot,
+        time: Seconds(slot as f64 * 4.8),
+        battery: joules(battery),
+        used_last: joules(0.0),
+        supplied_last: joules(supplied),
+        backlog,
+    }
+}
+
+proptest! {
+    /// Static is a pure function of the backlog: on iff work exists.
+    #[test]
+    fn static_is_backlog_pure(
+        battery in 0.5f64..16.0,
+        supplied in 0.0f64..12.0,
+        backlog in 0usize..20,
+        slot in 0u64..100,
+    ) {
+        let mut g = StaticGovernor::full_power(&Platform::pama());
+        let p = g.decide(&obs(slot, battery, supplied, backlog));
+        prop_assert_eq!(p.is_off(), backlog == 0);
+        if !p.is_off() {
+            prop_assert_eq!(p.workers, 7);
+        }
+    }
+
+    /// Timeout stays on exactly `timeout` idle slots past the last work.
+    #[test]
+    fn timeout_holds_exactly_n_slots(timeout in 0u64..6) {
+        let point = OperatingPoint::new(2, Hertz::from_mhz(40.0), volts(3.3));
+        let mut g = TimeoutGovernor::new(point, timeout);
+        // One busy slot, then idle forever.
+        prop_assert!(!g.decide(&obs(0, 8.0, 0.0, 1)).is_off());
+        for k in 1..=timeout {
+            prop_assert!(!g.decide(&obs(k, 8.0, 0.0, 0)).is_off(), "slot {k}");
+        }
+        prop_assert!(g.decide(&obs(timeout + 1, 8.0, 0.0, 0)).is_off());
+    }
+
+    /// Greedy never selects a point whose power exceeds its budget
+    /// (battery drawdown + observed supply), hence it can never plan a
+    /// brown-out on its own model.
+    #[test]
+    fn greedy_point_is_affordable(
+        battery in 0.5f64..16.0,
+        supplied in 0.0f64..12.0,
+        backlog in 0usize..20,
+        horizon in 1.0f64..12.0,
+    ) {
+        let platform = Platform::pama();
+        let mut g = GreedyGovernor::new(platform.clone(), horizon);
+        let o = obs(1, battery, supplied, backlog);
+        let p = g.decide(&o);
+        let power = if p.is_off() {
+            platform.power.all_standby().value()
+        } else {
+            platform.board_power(p.workers, p.frequency).value()
+        };
+        let budget = (battery - 0.5).max(0.0) / (4.8 * horizon) + supplied / 4.8;
+        // The off point is always "affordable" (the floor is unavoidable).
+        if !p.is_off() {
+            prop_assert!(power <= budget + 1e-9, "{power} > {budget}");
+        }
+    }
+
+    /// Greedy is monotone in battery level: more charge never selects a
+    /// weaker point.
+    #[test]
+    fn greedy_monotone_in_battery(
+        b_lo in 0.5f64..8.0,
+        delta in 0.0f64..8.0,
+        supplied in 0.0f64..12.0,
+    ) {
+        let platform = Platform::pama();
+        let mut g = GreedyGovernor::new(platform.clone(), 4.0);
+        let power_of = |p: OperatingPoint| {
+            if p.is_off() {
+                0.0
+            } else {
+                platform.board_power(p.workers, p.frequency).value()
+            }
+        };
+        let lo = power_of(g.decide(&obs(1, b_lo, supplied, 3)));
+        let hi = power_of(g.decide(&obs(1, b_lo + delta, supplied, 3)));
+        prop_assert!(hi + 1e-12 >= lo);
+    }
+
+    /// Oracle replay is exactly periodic.
+    #[test]
+    fn oracle_is_periodic(len in 1usize..24, slot in 0u64..200) {
+        let points: Vec<OperatingPoint> = (0..len)
+            .map(|i| {
+                OperatingPoint::new(
+                    (i % 7) + 1,
+                    Hertz::from_mhz([20.0, 40.0, 80.0][i % 3]),
+                    volts(3.3),
+                )
+            })
+            .collect();
+        let mut g = OracleGovernor::new(points.clone());
+        let p = g.decide(&obs(slot, 8.0, 0.0, 1));
+        prop_assert_eq!(p, points[(slot as usize) % len]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Tables 2/4 bench: the §4.1 initial power-allocation computation
+//! (Algorithm 1 + the iterative driver), plus a scaling sweep over slot
+//! counts — the planner must stay trivially cheap next to τ = 4.8 s.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpm_bench::experiments;
+use dpm_core::alloc::{reshape_trajectory, InitialAllocator, ReshapeStrategy};
+use dpm_core::platform::Platform;
+use dpm_core::series::PowerSeries;
+use dpm_core::units::{joules, seconds};
+use dpm_workloads::{scenarios, OrbitScenarioBuilder};
+use std::hint::black_box;
+
+fn bench_paper_tables(c: &mut Criterion) {
+    let platform = Platform::pama();
+    // Log the reproduced iteration counts.
+    for s in scenarios::all() {
+        let iters = experiments::table2_4(&platform, &s);
+        println!(
+            "[table2/4] {}: {} iterations, feasible = {}",
+            s.name,
+            iters.len(),
+            iters.last().unwrap().feasible
+        );
+    }
+
+    let mut group = c.benchmark_group("alloc/initial");
+    for s in scenarios::all() {
+        let problem = s.allocation_problem(&platform);
+        group.bench_with_input(BenchmarkId::from_parameter(&s.name), &problem, |b, p| {
+            b.iter(|| black_box(InitialAllocator::new(p.clone()).compute()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reshape(c: &mut Criterion) {
+    // Algorithm 1 alone, on a trajectory with multiple violations.
+    let net = PowerSeries::new(
+        seconds(1.0),
+        vec![
+            4.0, 5.0, -9.0, -8.0, 4.0, 6.0, -3.0, -9.0, 5.0, 5.0, -2.0, 2.0,
+        ],
+    );
+    let traj = net.cumulative(joules(8.0));
+    let limits = Platform::pama().battery;
+    c.bench_function("alloc/algorithm1_reshape", |b| {
+        b.iter(|| black_box(reshape_trajectory(&traj, limits)))
+    });
+}
+
+fn bench_strategy_ablation(c: &mut Criterion) {
+    // Algorithm 1's two segment-rebuild strategies: iterations to
+    // converge and planner cost (the paper states both are valid).
+    let platform = Platform::pama();
+    for s in scenarios::all() {
+        for (name, strat) in [
+            ("shape", ReshapeStrategy::ShapePreserving),
+            ("even", ReshapeStrategy::EvenSlope),
+        ] {
+            let alloc = InitialAllocator::new(s.allocation_problem(&platform))
+                .with_strategy(strat)
+                .compute();
+            println!(
+                "[alloc-strategy] {} {}: {} iterations, feasible = {}",
+                s.name,
+                name,
+                alloc.iterations.len(),
+                alloc.feasible
+            );
+        }
+    }
+    let mut group = c.benchmark_group("alloc/strategy");
+    let problem = scenarios::scenario_two().allocation_problem(&platform);
+    for (name, strat) in [
+        ("shape", ReshapeStrategy::ShapePreserving),
+        ("even", ReshapeStrategy::EvenSlope),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strat, |b, &st| {
+            b.iter(|| {
+                black_box(
+                    InitialAllocator::new(problem.clone())
+                        .with_strategy(st)
+                        .compute(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Planner cost vs. schedule resolution (slots per period).
+    let platform = Platform::pama();
+    let mut group = c.benchmark_group("alloc/scaling");
+    for slots in [12usize, 48, 192, 768] {
+        let scenario = OrbitScenarioBuilder::new(format!("scale-{slots}"))
+            .slots(slots)
+            .tau(seconds(57.6 / slots as f64))
+            .demand_peak(slots / 4, 1.2)
+            .demand_peak(3 * slots / 4, 0.8)
+            .build();
+        let problem = scenario.allocation_problem(&platform);
+        group.bench_with_input(BenchmarkId::from_parameter(slots), &problem, |b, p| {
+            b.iter(|| black_box(InitialAllocator::new(p.clone()).compute()))
+        });
+    }
+    group.finish();
+}
+
+/// Short measurement windows: these benches exist to track regressions and
+/// print experiment logs, not to resolve microsecond noise.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_paper_tables, bench_reshape, bench_strategy_ablation, bench_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! FFT substrate bench: fixed-point transform throughput vs. size, the
+//! fork-join executor vs. worker count (the Fig. 2 task graph on host
+//! threads), and the end-to-end FORTE detection chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpm_fft::prelude::*;
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<CQ15> {
+    quantize(
+        &(0..n)
+            .map(|i| {
+                let x = i as f64;
+                (0.3 * (0.17 * x).sin() + 0.2 * (0.05 * x).cos(), 0.0)
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn bench_serial_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft/serial");
+    for k in [8u32, 10, 11, 12, 14] {
+        let n = 1usize << k;
+        let fft = FixedFft::new(n);
+        let data = signal(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                fft.transform(&mut buf, Direction::Forward);
+                black_box(buf)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_forkjoin_workers(c: &mut Criterion) {
+    let n = 1usize << 14; // big enough that threads pay off
+    let data = signal(n);
+    let mut group = c.benchmark_group("fft/forkjoin");
+    group.throughput(Throughput::Elements(n as u64));
+    for workers in [1usize, 2, 4, 7] {
+        let fft = ForkJoinFft::new(n, workers);
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                black_box(fft.transform(&mut buf))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection_chain(c: &mut Criterion) {
+    let detector = TransientDetector::new(DetectorConfig::default());
+    let capture = generate(&CaptureSpec::with_transient(), 42);
+    let quantized = quantize(&capture);
+    c.bench_function("fft/forte_detect_2k", |b| {
+        b.iter(|| {
+            let mut buf = quantized.clone();
+            black_box(detector.detect_q15(&mut buf))
+        })
+    });
+}
+
+/// Short measurement windows: these benches exist to track regressions and
+/// print experiment logs, not to resolve microsecond noise.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_serial_sizes, bench_forkjoin_workers, bench_detection_chain
+}
+criterion_main!(benches);

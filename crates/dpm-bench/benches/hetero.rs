@@ -1,0 +1,88 @@
+//! §6-extension ablation bench: the per-processor (mixed-frequency)
+//! frontier vs. the paper's homogeneous table — frontier sizes, build and
+//! lookup cost, and the throughput gained at equal power budgets — plus
+//! the heterogeneous-pool greedy allocator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpm_core::params::hetero::{plan_mixed, HeteroAllocator, MixedFrequencyTable, ProcessorClass};
+use dpm_core::params::ParetoTable;
+use dpm_core::platform::Platform;
+use dpm_core::units::watts;
+use std::hint::black_box;
+
+fn bench_mixed_table(c: &mut Criterion) {
+    let platform = Platform::pama();
+    let mixed = MixedFrequencyTable::build(&platform);
+    let homo = ParetoTable::build(&platform);
+    println!(
+        "[hetero] homogeneous frontier: {} points; mixed-frequency frontier: {} points",
+        homo.frontier().len(),
+        mixed.frontier().len()
+    );
+    // Throughput gain at equal budgets.
+    let budgets: Vec<f64> = (1..=22).map(|i| 0.2 * i as f64).collect();
+    let plan = plan_mixed(&mixed, &budgets);
+    let mixed_jobs = plan.total_jobs(4.8);
+    let homo_jobs: f64 = budgets
+        .iter()
+        .map(|&b| homo.best_within(watts(b)).perf.value() * 4.8)
+        .sum();
+    println!(
+        "[hetero] jobs over a budget sweep: homogeneous {homo_jobs:.2}, mixed {mixed_jobs:.2} (+{:.1}%)",
+        100.0 * (mixed_jobs / homo_jobs - 1.0)
+    );
+
+    c.bench_function("hetero/mixed_table_build", |b| {
+        b.iter(|| black_box(MixedFrequencyTable::build(&platform)))
+    });
+    c.bench_function("hetero/mixed_plan_period", |b| {
+        b.iter(|| black_box(plan_mixed(&mixed, &budgets)))
+    });
+}
+
+fn bench_hetero_allocator(c: &mut Criterion) {
+    let classes = vec![
+        ProcessorClass {
+            name: "pim".into(),
+            count: 7,
+            speed: 1.0,
+            chip_power: watts(0.546),
+        },
+        ProcessorClass {
+            name: "dsp".into(),
+            count: 2,
+            speed: 3.0,
+            chip_power: watts(1.2),
+        },
+        ProcessorClass {
+            name: "mcu".into(),
+            count: 4,
+            speed: 0.3,
+            chip_power: watts(0.12),
+        },
+    ];
+    let alloc = HeteroAllocator::new(classes);
+    let mut group = c.benchmark_group("hetero/greedy_allocate");
+    for budget in [0.5f64, 2.0, 6.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &w| {
+            b.iter(|| black_box(alloc.allocate(watts(w))))
+        });
+    }
+    group.finish();
+}
+
+/// Short measurement windows: these benches exist to track regressions and
+/// print experiment logs, not to resolve microsecond noise.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_mixed_table, bench_hetero_allocator
+}
+criterion_main!(benches);

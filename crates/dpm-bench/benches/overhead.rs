@@ -1,0 +1,87 @@
+//! Ablation bench: sensitivity of the Algorithm 2 plan to the switch
+//! overheads `OH_n`/`OH_f` (§4.2 lines 14–22). Sweeps the overhead from
+//! the paper's zero up to prohibitive, reporting switch counts and total
+//! jobs at each level alongside the planning cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpm_bench::experiments;
+use dpm_core::params::ParameterScheduler;
+use dpm_core::platform::{Platform, SwitchOverheads};
+use dpm_core::units::joules;
+use dpm_workloads::scenarios;
+use std::hint::black_box;
+
+fn bench_overhead_sweep(c: &mut Criterion) {
+    let s = scenarios::scenario_one();
+    let base = Platform::pama();
+    let alloc = experiments::initial_allocation(&base, &s);
+
+    println!("[overhead] OH (J)  switches  jobs/period  energy (J)");
+    let mut group = c.benchmark_group("overhead/plan");
+    for oh in [0.0f64, 0.05, 0.2, 0.5, 1.0, 5.0] {
+        let mut platform = base.clone();
+        platform.overheads = SwitchOverheads {
+            processor_change: joules(oh),
+            frequency_change: joules(2.0 * oh),
+        };
+        let scheduler = ParameterScheduler::new(platform.clone());
+        let plan = scheduler.plan(&alloc.allocation, &s.charging, s.initial_charge);
+        println!(
+            "[overhead] {:>6.2}  {:>8}  {:>11.2}  {:>9.2}",
+            oh,
+            plan.switch_count(),
+            plan.total_jobs(&platform),
+            plan.total_energy(&platform).value()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(oh), &platform, |b, p| {
+            let sched = ParameterScheduler::new(p.clone());
+            b.iter(|| black_box(sched.plan(&alloc.allocation, &s.charging, s.initial_charge)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_period(c: &mut Criterion) {
+    // Ablation: Algorithm 3 accuracy vs. τ — finer slots react faster but
+    // cost more controller work. Measure the planning cost at several
+    // resolutions (the accuracy side is covered by the integration tests).
+    let base = Platform::pama();
+    let mut group = c.benchmark_group("overhead/update_period");
+    for divide in [1usize, 2, 4, 8] {
+        let mut platform = base.clone();
+        platform.tau = dpm_core::units::seconds(4.8 / divide as f64);
+        let s = scenarios::scenario_one();
+        let charging = s.charging.resample(platform.tau);
+        let demand = s.use_power.resample(platform.tau);
+        let problem = dpm_core::alloc::AllocationProblem {
+            charging: charging.clone(),
+            demand,
+            initial_charge: s.initial_charge,
+            limits: platform.battery,
+            p_floor: platform.power.all_standby(),
+            p_ceiling: platform.board_power(platform.workers(), platform.f_max()),
+        };
+        let alloc = dpm_core::alloc::InitialAllocator::new(problem).compute();
+        let scheduler = ParameterScheduler::new(platform.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(12 * divide), &divide, |b, _| {
+            b.iter(|| black_box(scheduler.plan(&alloc.allocation, &charging, s.initial_charge)))
+        });
+    }
+    group.finish();
+}
+
+/// Short measurement windows: these benches exist to track regressions and
+/// print experiment logs, not to resolve microsecond noise.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_overhead_sweep, bench_update_period
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Ablation bench: Algorithm 2's Pareto pruning (lines 3–5). Measures
+//! table construction and lookup with and without pruning, and reports the
+//! size reduction — the design choice DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpm_core::params::ParetoTable;
+use dpm_core::platform::Platform;
+use dpm_core::units::{watts, Hertz};
+use std::hint::black_box;
+
+/// A platform variant with a denser parameter space, to show the pruning
+/// payoff grows with the space (the paper's future-work direction of
+/// per-processor settings explodes it further).
+fn dense_platform(workers: usize, freqs: usize) -> Platform {
+    let mut p = Platform::pama();
+    p.processors = workers + 1;
+    p.reserved = 1;
+    p.frequencies = (1..=freqs)
+        .map(|i| Hertz::from_mhz(80.0 * i as f64 / freqs as f64))
+        .collect();
+    p.power = dpm_core::model::PowerModel::calibrated(
+        dpm_core::model::ModePower::M32RD,
+        Hertz::from_mhz(80.0),
+        p.v_max,
+        0.0,
+        p.processors,
+    );
+    p
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto/build");
+    for (workers, freqs) in [(7usize, 3usize), (15, 8), (31, 16), (63, 32)] {
+        let platform = dense_platform(workers, freqs);
+        let pruned = ParetoTable::build(&platform);
+        println!(
+            "[pareto] {workers}w x {freqs}f: {} raw pairs -> {} on frontier ({:.0}% pruned)",
+            pruned.raw_count(),
+            pruned.frontier().len(),
+            100.0 * (1.0 - pruned.frontier().len() as f64 / pruned.raw_count() as f64)
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pruned", format!("{workers}x{freqs}")),
+            &platform,
+            |b, p| b.iter(|| black_box(ParetoTable::build(p))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unpruned", format!("{workers}x{freqs}")),
+            &platform,
+            |b, p| b.iter(|| black_box(ParetoTable::build_unpruned(p))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto/lookup");
+    for (workers, freqs) in [(7usize, 3usize), (63, 32)] {
+        let platform = dense_platform(workers, freqs);
+        let pruned = ParetoTable::build(&platform);
+        let unpruned = ParetoTable::build_unpruned(&platform);
+        let budgets: Vec<_> = (0..256).map(|i| watts(0.02 * i as f64)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("binary_search", format!("{workers}x{freqs}")),
+            &budgets,
+            |b, budgets| {
+                b.iter(|| {
+                    for &w in budgets {
+                        black_box(pruned.best_within(w));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("linear_scan", format!("{workers}x{freqs}")),
+            &budgets,
+            |b, budgets| {
+                b.iter(|| {
+                    for &w in budgets {
+                        black_box(unpruned.best_within_scan(w));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Short measurement windows: these benches exist to track regressions and
+/// print experiment logs, not to resolve microsecond noise.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_build, bench_lookup
+}
+criterion_main!(benches);

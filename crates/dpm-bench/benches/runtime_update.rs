@@ -1,0 +1,104 @@
+//! Tables 3/5 bench: Algorithm 3's redistribution and the full controller
+//! decision step — the code that runs on the controller PIM every τ, so
+//! its cost bounds how small τ could be made.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpm_bench::experiments;
+use dpm_core::governor::{Governor, SlotObservation};
+use dpm_core::platform::Platform;
+use dpm_core::runtime::{redistribute, DpmController};
+use dpm_core::units::{joules, seconds, watts, Seconds};
+use dpm_workloads::scenarios;
+use std::hint::black_box;
+
+fn bench_tables_3_5(c: &mut Criterion) {
+    let platform = Platform::pama();
+    for s in scenarios::all() {
+        let (trace, report) = experiments::table3_5(&platform, &s, experiments::DEFAULT_PERIODS);
+        println!(
+            "[table3/5] {}: {} slots, {}",
+            s.name,
+            trace.len(),
+            report.summary()
+        );
+    }
+
+    let mut group = c.benchmark_group("runtime/full_trace");
+    for s in scenarios::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(&s.name), &s, |b, s| {
+            b.iter(|| {
+                black_box(experiments::table3_5(
+                    &platform,
+                    s,
+                    experiments::DEFAULT_PERIODS,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_redistribute(c: &mut Criterion) {
+    let limits = Platform::pama().battery;
+    let bounds = (watts(0.0528), watts(4.368));
+    let mut group = c.benchmark_group("runtime/algorithm3");
+    for slots in [12usize, 96, 768] {
+        let plan: Vec<f64> = (0..slots).map(|i| 0.5 + (i % 5) as f64 * 0.4).collect();
+        let charging: Vec<f64> = (0..slots)
+            .map(|i| if i < slots / 2 { 2.36 } else { 0.0 })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, _| {
+            b.iter(|| {
+                let mut p = plan.clone();
+                black_box(redistribute(
+                    &mut p,
+                    &charging,
+                    seconds(4.8),
+                    joules(8.0),
+                    limits,
+                    joules(2.4),
+                    bounds,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_controller_step(c: &mut Criterion) {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let alloc = experiments::initial_allocation(&platform, &s);
+    c.bench_function("runtime/controller_decide", |b| {
+        let mut governor = DpmController::new(platform.clone(), &alloc, s.charging.clone());
+        let mut slot = 0u64;
+        b.iter(|| {
+            let obs = SlotObservation {
+                slot,
+                time: Seconds(slot as f64 * 4.8),
+                battery: joules(8.0),
+                used_last: joules(5.0),
+                supplied_last: joules(6.0),
+                backlog: 2,
+            };
+            slot += 1;
+            black_box(governor.decide(&obs))
+        })
+    });
+}
+
+/// Short measurement windows: these benches exist to track regressions and
+/// print experiment logs, not to resolve microsecond noise.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_tables_3_5, bench_redistribute, bench_controller_step
+}
+criterion_main!(benches);

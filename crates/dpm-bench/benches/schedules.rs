@@ -1,0 +1,78 @@
+//! Figures 3/4 bench: schedule generation, scenario adapters, and the raw
+//! simulator throughput (slots simulated per second) that bounds how many
+//! mission-years a sweep can cover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpm_baselines::StaticGovernor;
+use dpm_bench::experiments;
+use dpm_core::platform::Platform;
+use dpm_workloads::{random_scenario, scenarios, OrbitScenarioBuilder};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    for s in scenarios::all() {
+        let f = experiments::figure(&s);
+        println!(
+            "[fig] {}: charging {:?}",
+            f.scenario,
+            f.charging
+                .iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
+    }
+    c.bench_function("schedules/figure_extract", |b| {
+        let s = scenarios::scenario_one();
+        b.iter(|| black_box(experiments::figure(&s)))
+    });
+    c.bench_function("schedules/builder", |b| {
+        b.iter(|| {
+            black_box(
+                OrbitScenarioBuilder::new("bench")
+                    .slots(48)
+                    .demand_peak(10, 1.0)
+                    .demand_peak(30, 1.5)
+                    .build(),
+            )
+        })
+    });
+    c.bench_function("schedules/random_scenario", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(random_scenario(seed))
+        })
+    });
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let mut group = c.benchmark_group("schedules/sim_throughput");
+    for periods in [2usize, 8, 32] {
+        group.throughput(Throughput::Elements((periods * 12) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(periods), &periods, |b, &p| {
+            b.iter(|| {
+                let mut g = StaticGovernor::full_power(&platform);
+                black_box(experiments::run_governor(&platform, &s, &mut g, p))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Short measurement windows: these benches exist to track regressions and
+/// print experiment logs, not to resolve microsecond noise.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_figures, bench_simulator_throughput
+}
+criterion_main!(benches);

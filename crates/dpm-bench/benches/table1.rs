@@ -1,0 +1,78 @@
+//! Table 1 bench: the full proposed-vs-baselines comparison on both
+//! scenarios. Criterion measures the cost of regenerating each governor's
+//! row; the printed summary carries the reproduced metrics so `cargo
+//! bench` output doubles as an experiment log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpm_baselines::StaticGovernor;
+use dpm_bench::experiments;
+use dpm_core::platform::Platform;
+use dpm_core::runtime::DpmController;
+use dpm_workloads::scenarios;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let platform = Platform::pama();
+    let all = scenarios::all();
+
+    // Print the reproduced table once, so bench logs carry the numbers.
+    let rows = experiments::table1(&platform, &all, experiments::DEFAULT_PERIODS);
+    for row in &rows {
+        println!(
+            "[table1] {:<10} wasted {:>7.2}/{:>7.2} J  undersupplied {:>7.2}/{:>7.2} J",
+            row.governor, row.wasted[0], row.wasted[1], row.undersupplied[0], row.undersupplied[1]
+        );
+    }
+
+    let mut group = c.benchmark_group("table1");
+    for scenario in &all {
+        group.bench_with_input(
+            BenchmarkId::new("proposed", &scenario.name),
+            scenario,
+            |b, s| {
+                b.iter(|| {
+                    let alloc = experiments::initial_allocation(&platform, s);
+                    let mut g = DpmController::new(platform.clone(), &alloc, s.charging.clone());
+                    black_box(experiments::run_governor(
+                        &platform,
+                        s,
+                        &mut g,
+                        experiments::DEFAULT_PERIODS,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("static", &scenario.name),
+            scenario,
+            |b, s| {
+                b.iter(|| {
+                    let mut g = StaticGovernor::full_power(&platform);
+                    black_box(experiments::run_governor(
+                        &platform,
+                        s,
+                        &mut g,
+                        experiments::DEFAULT_PERIODS,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Short measurement windows: these benches exist to track regressions and
+/// print experiment logs, not to resolve microsecond noise.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro                  # everything
+//! repro table1           # just Table 1
+//! repro table2 table4    # any subset
+//! repro --json out.json  # also dump machine-readable results
+//! ```
+
+use dpm_bench::{experiments, format};
+use dpm_core::platform::Platform;
+use dpm_workloads::scenarios;
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+#[derive(Serialize)]
+struct JsonDump {
+    table1: Vec<experiments::Table1Row>,
+    table2_iterations: usize,
+    table4_iterations: usize,
+    fig3: experiments::FigureSeries,
+    fig4: experiments::FigureSeries,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut wanted: BTreeSet<String> = BTreeSet::new();
+    let mut iter = args.into_iter();
+    while let Some(a) = iter.next() {
+        if a == "--json" {
+            json_path = iter.next();
+            if json_path.is_none() {
+                eprintln!("--json requires a path");
+                std::process::exit(2);
+            }
+        } else {
+            wanted.insert(a.to_lowercase());
+        }
+    }
+    let all = wanted.is_empty();
+    let want = |k: &str| all || wanted.contains(k);
+
+    let platform = Platform::pama();
+    let s1 = scenarios::scenario_one();
+    let s2 = scenarios::scenario_two();
+
+    if want("fig3") {
+        let f = experiments::figure(&s1);
+        println!(
+            "{}",
+            format::figure(&f, "Figure 3  Charging and use schedule for scenario I")
+        );
+    }
+    if want("fig4") {
+        let f = experiments::figure(&s2);
+        println!(
+            "{}",
+            format::figure(&f, "Figure 4  Charging and use schedule for scenario II")
+        );
+    }
+    if want("table2") {
+        let iters = experiments::table2_4(&platform, &s1);
+        println!(
+            "{}",
+            format::table2_4(
+                &iters,
+                "Table 2  Initial power allocation computation (scenario I)"
+            )
+        );
+    }
+    if want("table4") {
+        let iters = experiments::table2_4(&platform, &s2);
+        println!(
+            "{}",
+            format::table2_4(
+                &iters,
+                "Table 4  Initial power allocation computation (scenario II)"
+            )
+        );
+    }
+    if want("table3") {
+        let (trace, report) = experiments::table3_5(&platform, &s1, experiments::DEFAULT_PERIODS);
+        println!(
+            "{}",
+            format::table3_5(
+                &trace,
+                "Table 3  Dynamic update of the power allocation (scenario I)"
+            )
+        );
+        println!("  {}", report.summary());
+        println!();
+    }
+    if want("table5") {
+        let (trace, report) = experiments::table3_5(&platform, &s2, experiments::DEFAULT_PERIODS);
+        println!(
+            "{}",
+            format::table3_5(
+                &trace,
+                "Table 5  Dynamic update of the power allocation (scenario II)"
+            )
+        );
+        println!("  {}", report.summary());
+        println!();
+    }
+    if want("table1") {
+        let rows = experiments::table1(
+            &platform,
+            &[s1.clone(), s2.clone()],
+            experiments::DEFAULT_PERIODS,
+        );
+        println!("{}", format::table1(&rows, &["Scenario 1", "Scenario 2"]));
+        let proposed = rows.iter().find(|r| r.governor == "proposed").unwrap();
+        let statik = rows.iter().find(|r| r.governor == "static").unwrap();
+        for i in 0..2 {
+            let ratio = statik.wasted[i] / proposed.wasted[i].max(1e-9);
+            println!(
+                "  scenario {}: static wastes {ratio:.1}x the energy of proposed",
+                i + 1
+            );
+        }
+        println!();
+    }
+
+    if let Some(path) = json_path {
+        let rows = experiments::table1(
+            &platform,
+            &[s1.clone(), s2.clone()],
+            experiments::DEFAULT_PERIODS,
+        );
+        let dump = JsonDump {
+            table1: rows,
+            table2_iterations: experiments::table2_4(&platform, &s1).len(),
+            table4_iterations: experiments::table2_4(&platform, &s2).len(),
+            fig3: experiments::figure(&s1),
+            fig4: experiments::figure(&s2),
+        };
+        let body = serde_json::to_string_pretty(&dump).expect("serializable");
+        std::fs::write(&path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,144 @@
+//! `sweep` — parameter sweeps around the paper's operating point, to map
+//! where the proposed algorithm's advantage comes from and where it
+//! crosses over.
+//!
+//! ```text
+//! sweep battery    # waste/undersupply vs. battery window size
+//! sweep sunlit     # vs. sunlit fraction of the orbit
+//! sweep noise      # vs. supply-forecast error
+//! sweep load       # vs. event-rate scaling
+//! sweep            # all of the above
+//! ```
+//!
+//! Output is CSV on stdout (one block per sweep), ready for plotting.
+
+use dpm_baselines::StaticGovernor;
+use dpm_bench::experiments;
+use dpm_core::platform::{BatteryLimits, Platform};
+use dpm_core::runtime::DpmController;
+use dpm_core::units::joules;
+use dpm_sim::prelude::*;
+use dpm_workloads::{scenarios, OrbitScenarioBuilder, Scenario};
+
+const PERIODS: usize = 4;
+
+fn run_pair(platform: &Platform, scenario: &Scenario, seed: Option<u64>) -> (SimReport, SimReport) {
+    let run = |gov: &mut dyn dpm_core::governor::Governor| -> SimReport {
+        let source: Box<dyn ChargingSource> = match seed {
+            Some(s) => Box::new(NoisySource::new(
+                TraceSource::new(scenario.charging.clone()),
+                0.2,
+                platform.tau,
+                s,
+            )),
+            None => Box::new(TraceSource::new(scenario.charging.clone())),
+        };
+        Simulation::new(
+            platform.clone(),
+            source,
+            Box::new(ScheduleGenerator::new(scenario.event_rates(platform))),
+            scenario.initial_charge,
+            SimConfig {
+                periods: PERIODS,
+                slots_per_period: scenario.charging.len(),
+                substeps: 8,
+                trace: false,
+            },
+        )
+        .run(gov)
+    };
+    let alloc = experiments::initial_allocation(platform, scenario);
+    let mut proposed = DpmController::new(platform.clone(), &alloc, scenario.charging.clone());
+    let rp = run(&mut proposed);
+    let mut statik = StaticGovernor::full_power(platform);
+    let rs = run(&mut statik);
+    (rp, rs)
+}
+
+fn emit_header(sweep: &str, param: &str) {
+    println!("sweep,{param},governor,wasted_j,undersupplied_j,jobs,utilization");
+    let _ = sweep;
+}
+
+fn emit(sweep: &str, value: f64, r: &SimReport) {
+    println!(
+        "{sweep},{value},{},{:.3},{:.3},{},{:.4}",
+        r.governor,
+        r.wasted,
+        r.undersupplied,
+        r.jobs_done,
+        r.utilization()
+    );
+}
+
+fn sweep_battery() {
+    emit_header("battery", "cmax_j");
+    let s = scenarios::scenario_one();
+    for cmax in [4.0, 8.0, 16.0, 32.0, 64.0, 128.0] {
+        let mut platform = Platform::pama();
+        platform.battery = BatteryLimits::new(joules(0.5), joules(cmax));
+        let mut scenario = s.clone();
+        scenario.initial_charge = joules(0.5 * (0.5 + cmax));
+        let (rp, rs) = run_pair(&platform, &scenario, None);
+        emit("battery", cmax, &rp);
+        emit("battery", cmax, &rs);
+    }
+}
+
+fn sweep_sunlit() {
+    emit_header("sunlit", "fraction");
+    for f in [0.25, 0.4, 0.5, 0.65, 0.8] {
+        let scenario = OrbitScenarioBuilder::new(format!("sun-{f}"))
+            .sunlit_fraction(f)
+            .demand_base(0.5)
+            .demand_peak(2, 1.2)
+            .demand_peak(8, 0.9)
+            .build();
+        let platform = Platform::pama();
+        let (rp, rs) = run_pair(&platform, &scenario, None);
+        emit("sunlit", f, &rp);
+        emit("sunlit", f, &rs);
+    }
+}
+
+fn sweep_noise() {
+    emit_header("noise", "seed");
+    let s = scenarios::scenario_one();
+    let platform = Platform::pama();
+    for seed in 1..=5u64 {
+        let (rp, rs) = run_pair(&platform, &s, Some(seed));
+        emit("noise", seed as f64, &rp);
+        emit("noise", seed as f64, &rs);
+    }
+}
+
+fn sweep_load() {
+    emit_header("load", "rate_scale");
+    let base = scenarios::scenario_one();
+    let platform = Platform::pama();
+    for k in [0.25, 0.5, 1.0, 1.5, 2.0] {
+        let mut scenario = base.clone();
+        scenario.use_power = base.use_power.scale(k);
+        let (rp, rs) = run_pair(&platform, &scenario, None);
+        emit("load", k, &rp);
+        emit("load", k, &rs);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |k: &str| all || args.iter().any(|a| a == k);
+    if want("battery") {
+        sweep_battery();
+    }
+    if want("sunlit") {
+        sweep_sunlit();
+    }
+    if want("noise") {
+        sweep_noise();
+    }
+    if want("load") {
+        sweep_load();
+    }
+}

@@ -1,0 +1,278 @@
+//! The experiment library: one function per paper artifact.
+//!
+//! Everything here is deterministic (schedule-driven arrivals, trace
+//! charging) so the repro binary, the integration tests and the criterion
+//! benches all see identical numbers.
+
+use dpm_baselines::{
+    AnalyticGovernor, GreedyGovernor, OracleGovernor, StaticGovernor, TimeoutGovernor,
+};
+use dpm_core::alloc::{AllocationIteration, InitialAllocation, InitialAllocator};
+use dpm_core::governor::Governor;
+use dpm_core::params::ParameterScheduler;
+use dpm_core::platform::Platform;
+use dpm_core::runtime::{ControllerRecord, DpmController};
+use dpm_core::units::Joules;
+use dpm_sim::prelude::*;
+use dpm_workloads::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// Default simulated horizon: the paper's runtime tables cover two periods
+/// (t = 0 … 110.4 s).
+pub const DEFAULT_PERIODS: usize = 2;
+
+/// Compute the §4.1 initial allocation for a scenario (Tables 2 & 4).
+pub fn initial_allocation(platform: &Platform, scenario: &Scenario) -> InitialAllocation {
+    InitialAllocator::new(scenario.allocation_problem(platform)).compute()
+}
+
+/// Build the proposed controller for a scenario.
+pub fn proposed_controller(platform: &Platform, scenario: &Scenario) -> DpmController {
+    let alloc = initial_allocation(platform, scenario);
+    DpmController::new(platform.clone(), &alloc, scenario.charging.clone())
+}
+
+/// Assemble the standard simulation for a scenario.
+pub fn simulation(platform: &Platform, scenario: &Scenario, periods: usize) -> Simulation {
+    Simulation::new(
+        platform.clone(),
+        Box::new(TraceSource::new(scenario.charging.clone())),
+        Box::new(ScheduleGenerator::new(scenario.event_rates(platform))),
+        scenario.initial_charge,
+        SimConfig {
+            periods,
+            slots_per_period: scenario.charging.len(),
+            substeps: 8,
+            trace: true,
+        },
+    )
+}
+
+/// Run one governor through a scenario and report.
+pub fn run_governor(
+    platform: &Platform,
+    scenario: &Scenario,
+    governor: &mut dyn Governor,
+    periods: usize,
+) -> SimReport {
+    simulation(platform, scenario, periods).run(governor)
+}
+
+/// One Table 1 row: a governor's waste/shortfall on both scenarios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Governor name.
+    pub governor: String,
+    /// Wasted energy per scenario (J).
+    pub wasted: Vec<f64>,
+    /// Undersupplied energy per scenario (J).
+    pub undersupplied: Vec<f64>,
+    /// Jobs completed per scenario (context beyond the paper's table).
+    pub jobs: Vec<u64>,
+    /// Energy utilization per scenario.
+    pub utilization: Vec<f64>,
+}
+
+/// Table 1: proposed vs. static (plus the extra baselines) on both
+/// scenarios.
+pub fn table1(platform: &Platform, scenarios: &[Scenario], periods: usize) -> Vec<Table1Row> {
+    let mut rows: Vec<Table1Row> = Vec::new();
+    let mut push = |name: &str, reports: Vec<SimReport>| {
+        rows.push(Table1Row {
+            governor: name.to_string(),
+            wasted: reports.iter().map(|r| r.wasted).collect(),
+            undersupplied: reports.iter().map(|r| r.undersupplied).collect(),
+            jobs: reports.iter().map(|r| r.jobs_done).collect(),
+            utilization: reports.iter().map(|r| r.utilization()).collect(),
+        });
+    };
+
+    // Proposed.
+    let reports: Vec<SimReport> = scenarios
+        .iter()
+        .map(|s| {
+            let mut g = proposed_controller(platform, s);
+            run_governor(platform, s, &mut g, periods)
+        })
+        .collect();
+    push("proposed", reports);
+
+    // Static (the paper's comparator).
+    let reports: Vec<SimReport> = scenarios
+        .iter()
+        .map(|s| {
+            let mut g = StaticGovernor::full_power(platform);
+            run_governor(platform, s, &mut g, periods)
+        })
+        .collect();
+    push("static", reports);
+
+    // Timeout (related-work baseline).
+    let reports: Vec<SimReport> = scenarios
+        .iter()
+        .map(|s| {
+            let f = platform.f_max();
+            let v = platform.voltage_for(f).expect("f_max attainable");
+            let point = dpm_core::params::OperatingPoint::new(platform.workers(), f, v);
+            let mut g = TimeoutGovernor::new(point, 2);
+            run_governor(platform, s, &mut g, periods)
+        })
+        .collect();
+    push("timeout", reports);
+
+    // Greedy (battery-aware myopic).
+    let reports: Vec<SimReport> = scenarios
+        .iter()
+        .map(|s| {
+            let mut g = GreedyGovernor::new(platform.clone(), 4.0);
+            run_governor(platform, s, &mut g, periods)
+        })
+        .collect();
+    push("greedy", reports);
+
+    // Analytic (Eq. 18 closed form on the same allocation, no feedback).
+    let reports: Vec<SimReport> = scenarios
+        .iter()
+        .map(|s| {
+            let alloc = initial_allocation(platform, s);
+            let mut g = AnalyticGovernor::new(platform.clone(), alloc.allocation);
+            run_governor(platform, s, &mut g, periods)
+        })
+        .collect();
+    push("analytic", reports);
+
+    // Oracle (offline Algorithm 2 plan on the exact schedules).
+    let reports: Vec<SimReport> = scenarios
+        .iter()
+        .map(|s| {
+            let alloc = initial_allocation(platform, s);
+            let plan = ParameterScheduler::new(platform.clone()).plan(
+                &alloc.allocation,
+                &s.charging,
+                s.initial_charge,
+            );
+            let mut g = OracleGovernor::from_schedule(&plan);
+            run_governor(platform, s, &mut g, periods)
+        })
+        .collect();
+    push("oracle", reports);
+
+    rows
+}
+
+/// Tables 2/4: the initial-allocation iterations.
+pub fn table2_4(platform: &Platform, scenario: &Scenario) -> Vec<AllocationIteration> {
+    initial_allocation(platform, scenario).iterations
+}
+
+/// Tables 3/5: the runtime controller trace over `periods` periods, with
+/// the simulator supplying the "actual" energies.
+pub fn table3_5(
+    platform: &Platform,
+    scenario: &Scenario,
+    periods: usize,
+) -> (Vec<ControllerRecord>, SimReport) {
+    let mut governor = proposed_controller(platform, scenario);
+    let report = run_governor(platform, scenario, &mut governor, periods);
+    (governor.take_trace(), report)
+}
+
+/// Figures 3/4: the charging and use schedules as plottable series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// Scenario name.
+    pub scenario: String,
+    /// Slot start times (s).
+    pub time: Vec<f64>,
+    /// Charging schedule (W).
+    pub charging: Vec<f64>,
+    /// Use schedule (W).
+    pub use_power: Vec<f64>,
+}
+
+/// Extract a figure's data series.
+pub fn figure(scenario: &Scenario) -> FigureSeries {
+    let n = scenario.charging.len();
+    let tau = scenario.charging.slot_width().value();
+    FigureSeries {
+        scenario: scenario.name.clone(),
+        time: (0..n).map(|i| i as f64 * tau).collect(),
+        charging: scenario.charging.values().to_vec(),
+        use_power: scenario.use_power.values().to_vec(),
+    }
+}
+
+/// Total initially-stored + offered energy for utilization denominators.
+pub fn energy_available(scenario: &Scenario, periods: usize) -> Joules {
+    scenario.charging.integral() * periods as f64 + scenario.initial_charge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_workloads::scenarios;
+
+    #[test]
+    fn table1_proposed_beats_static_on_waste() {
+        let platform = Platform::pama();
+        let rows = table1(&platform, &scenarios::all(), DEFAULT_PERIODS);
+        let proposed = rows.iter().find(|r| r.governor == "proposed").unwrap();
+        let statik = rows.iter().find(|r| r.governor == "static").unwrap();
+        for i in 0..2 {
+            assert!(
+                proposed.wasted[i] < statik.wasted[i],
+                "scenario {i}: proposed {} vs static {}",
+                proposed.wasted[i],
+                statik.wasted[i]
+            );
+        }
+    }
+
+    #[test]
+    fn table1_proposed_reduces_undersupply() {
+        let platform = Platform::pama();
+        let rows = table1(&platform, &scenarios::all(), DEFAULT_PERIODS);
+        let proposed = rows.iter().find(|r| r.governor == "proposed").unwrap();
+        let statik = rows.iter().find(|r| r.governor == "static").unwrap();
+        for i in 0..2 {
+            assert!(
+                proposed.undersupplied[i] <= statik.undersupplied[i] + 1e-9,
+                "scenario {i}: proposed {} vs static {}",
+                proposed.undersupplied[i],
+                statik.undersupplied[i]
+            );
+        }
+    }
+
+    #[test]
+    fn table2_converges_like_the_paper() {
+        let platform = Platform::pama();
+        for s in scenarios::all() {
+            let iters = table2_4(&platform, &s);
+            assert!(!iters.is_empty());
+            // The paper's Tables 2/4 converge in 5 rounds; our clamped
+            // reshape needs a few more on scenario II (9) but stays within
+            // the same order.
+            assert!(iters.len() <= 12, "{}: {} iterations", s.name, iters.len());
+            assert!(iters.last().unwrap().feasible, "{} infeasible", s.name);
+        }
+    }
+
+    #[test]
+    fn table3_trace_covers_two_periods() {
+        let platform = Platform::pama();
+        let (trace, report) = table3_5(&platform, &scenarios::scenario_one(), 2);
+        assert_eq!(trace.len(), 24);
+        assert!(report.jobs_done > 0);
+        // Every record's plan snapshot spans one period.
+        assert!(trace.iter().all(|r| r.plan.len() == 12));
+    }
+
+    #[test]
+    fn figure_series_match_scenarios() {
+        let f = figure(&scenarios::scenario_two());
+        assert_eq!(f.time.len(), 12);
+        assert_eq!(f.charging[1], 3.54);
+        assert_eq!(f.use_power[7], 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Plain-text rendering of the reproduced tables and figures, in the
+//! paper's layouts.
+
+use crate::experiments::{FigureSeries, Table1Row};
+use dpm_core::alloc::AllocationIteration;
+use dpm_core::runtime::ControllerRecord;
+use std::fmt::Write;
+
+/// Render Table 1 ("Comparison of algorithms").
+pub fn table1(rows: &[Table1Row], scenario_names: &[&str]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Table 1  Comparison of algorithms").unwrap();
+    write!(out, "{:<12} {:<22}", "Algorithm", "Metric").unwrap();
+    for name in scenario_names {
+        write!(out, " {:>12}", name).unwrap();
+    }
+    writeln!(out).unwrap();
+    writeln!(out, "{}", "-".repeat(36 + 13 * scenario_names.len())).unwrap();
+    for row in rows {
+        write!(out, "{:<12} {:<22}", row.governor, "Wasted energy").unwrap();
+        for w in &row.wasted {
+            write!(out, " {:>10.2} J", w).unwrap();
+        }
+        writeln!(out).unwrap();
+        write!(out, "{:<12} {:<22}", "", "Undersupplied energy").unwrap();
+        for u in &row.undersupplied {
+            write!(out, " {:>10.2} J", u).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// Render Tables 2/4 ("Initial power allocation computation").
+pub fn table2_4(iterations: &[AllocationIteration], title: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+    let n = iterations[0].allocation.len();
+    let tau = iterations[0].allocation.slot_width().value();
+    write!(out, "{:<10}", "Time (s)").unwrap();
+    for i in 0..n {
+        write!(out, " {:>6.1}", i as f64 * tau).unwrap();
+    }
+    writeln!(out).unwrap();
+    for (k, it) in iterations.iter().enumerate() {
+        write!(out, "{:<2} Pinit  ", k + 1).unwrap();
+        for &v in it.allocation.values() {
+            write!(out, " {:>6.2}", v).unwrap();
+        }
+        writeln!(out).unwrap();
+        write!(out, "   Integr.").unwrap();
+        // The paper prints the running integration at slot ends.
+        for i in 1..=n {
+            write!(out, " {:>6.2}", it.trajectory.points()[i]).unwrap();
+        }
+        writeln!(out, "   {}", if it.feasible { "(feasible)" } else { "" }).unwrap();
+    }
+    out
+}
+
+/// Render Tables 3/5 ("Dynamic update of the power allocation").
+pub fn table3_5(trace: &[ControllerRecord], title: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+    let plan_len = trace.first().map_or(0, |r| r.plan.len());
+    write!(
+        out,
+        "{:>7} {:>8} {:>6} {:>9}",
+        "t (s)", "Pinit(t)", "Used", "Supplied"
+    )
+    .unwrap();
+    for i in 0..plan_len {
+        write!(out, " {:>5}", format!("P({i})")).unwrap();
+    }
+    writeln!(out).unwrap();
+    for r in trace {
+        write!(
+            out,
+            "{:>7.1} {:>8.2} {:>6.2} {:>9.2}",
+            r.time,
+            r.allocated.value(),
+            r.selected_power.value(),
+            r.actual_supply_last.value(),
+        )
+        .unwrap();
+        // The controller stores a rolling window (plan[0] = next slot);
+        // the paper's columns are absolute slot positions, so rotate.
+        let n = r.plan.len();
+        for j in 0..n {
+            let i = (j + n - (r.slot as usize + 1) % n) % n;
+            write!(out, " {:>5.2}", r.plan[i]).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// Render a figure as an ASCII chart plus the raw series.
+pub fn figure(f: &FigureSeries, title: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+    let max = f
+        .charging
+        .iter()
+        .chain(&f.use_power)
+        .cloned()
+        .fold(0.1_f64, f64::max);
+    let height = 12usize;
+    for level in (1..=height).rev() {
+        let threshold = max * level as f64 / height as f64;
+        write!(out, "{:>5.2} |", threshold).unwrap();
+        for i in 0..f.time.len() {
+            let c = f.charging[i] + 1e-12 >= threshold;
+            let u = f.use_power[i] + 1e-12 >= threshold;
+            let ch = match (c, u) {
+                (true, true) => '#',
+                (true, false) => 'c',
+                (false, true) => 'u',
+                _ => ' ',
+            };
+            write!(out, " {ch}  ").unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    write!(out, "      +").unwrap();
+    for _ in 0..f.time.len() {
+        write!(out, "----").unwrap();
+    }
+    writeln!(out, "  (c = charging, u = use, # = both)").unwrap();
+    write!(out, "  t(s) ").unwrap();
+    for t in &f.time {
+        write!(out, "{:>4.0}", t).unwrap();
+    }
+    writeln!(out).unwrap();
+    writeln!(out, "  charging: {:?}", f.charging).unwrap();
+    writeln!(out, "  use:      {:?}", f.use_power).unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments;
+    use dpm_core::platform::Platform;
+    use dpm_workloads::scenarios;
+
+    #[test]
+    fn table1_renders_all_rows() {
+        let rows = vec![Table1Row {
+            governor: "proposed".into(),
+            wasted: vec![13.68, 6.18],
+            undersupplied: vec![23.11, 6.27],
+            jobs: vec![40, 50],
+            utilization: vec![0.5, 0.6],
+        }];
+        let s = table1(&rows, &["Scenario 1", "Scenario 2"]);
+        assert!(s.contains("proposed"));
+        assert!(s.contains("13.68"));
+        assert!(s.contains("Undersupplied"));
+    }
+
+    #[test]
+    fn table2_renders_iterations() {
+        let platform = Platform::pama();
+        let iters = experiments::table2_4(&platform, &scenarios::scenario_one());
+        let s = table2_4(&iters, "Table 2");
+        assert!(s.contains("Pinit"));
+        assert!(s.contains("(feasible)"));
+    }
+
+    #[test]
+    fn table3_renders_trace() {
+        let platform = Platform::pama();
+        let (trace, _) = experiments::table3_5(&platform, &scenarios::scenario_one(), 1);
+        let s = table3_5(&trace, "Table 3");
+        assert!(s.contains("Pinit(t)"));
+        assert!(s.contains("P(11)"));
+        assert_eq!(s.lines().count(), 2 + trace.len());
+    }
+
+    #[test]
+    fn figure_renders_ascii_chart() {
+        let f = experiments::figure(&scenarios::scenario_one());
+        let s = figure(&f, "Figure 3");
+        assert!(s.contains("charging"));
+        assert!(s.contains('c') || s.contains('#'));
+    }
+}

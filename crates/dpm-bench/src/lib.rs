@@ -1,0 +1,14 @@
+//! # dpm-bench
+//!
+//! The reproduction harness: deterministic experiment functions for every
+//! table and figure in the paper ([`experiments`]), text renderers in the
+//! paper's layouts ([`mod@format`]), and the `repro` binary that prints them.
+//! The criterion benches under `benches/` reuse the same experiment
+//! functions so performance numbers and correctness numbers cannot drift
+//! apart.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod format;

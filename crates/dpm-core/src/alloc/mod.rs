@@ -1,0 +1,353 @@
+//! Initial power allocation (§4.1): WPUF, supply-balancing normalization,
+//! battery-trajectory construction, and the Algorithm 1 reshaping that keeps
+//! the trajectory inside the battery window.
+//!
+//! The output of this module is the schedule `P_init(t)` — watts the system
+//! is *allowed* to dissipate in each `τ`-slot — that Algorithm 2 turns into
+//! `(n, f, v)` operating points and Algorithm 3 revises at run time.
+
+mod reshape;
+mod wpuf;
+
+pub use reshape::{reshape_trajectory, reshape_trajectory_with, ReshapeOutcome, ReshapeStrategy};
+pub use wpuf::DemandModel;
+
+use crate::platform::BatteryLimits;
+use crate::series::{EnergyTrajectory, PowerSeries};
+use crate::units::{Joules, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One round of the iterative allocation computation — a row pair of the
+/// paper's Tables 2/4 (`P_init` and its running integration).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationIteration {
+    /// Power allocation after this round, W per slot.
+    pub allocation: PowerSeries,
+    /// Battery trajectory implied by the allocation (the "Integration" row).
+    pub trajectory: EnergyTrajectory,
+    /// Whether the trajectory honours the battery window.
+    pub feasible: bool,
+}
+
+/// The initial power-allocation problem: inputs of §2 plus physical power
+/// bounds of the board.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationProblem {
+    /// Expected charging schedule `c(t)`, W per slot.
+    pub charging: PowerSeries,
+    /// Desired (already weighted) power-usage shape; will be normalized per
+    /// Eq. 8 before use. Typically [`DemandModel::wpuf`].
+    pub demand: PowerSeries,
+    /// Battery charge at `t = 0`.
+    pub initial_charge: Joules,
+    /// Battery capacity window.
+    pub limits: BatteryLimits,
+    /// Smallest realizable dissipation (board standby floor): the
+    /// allocation can never drop below this because the hardware always
+    /// draws it.
+    pub p_floor: Watts,
+    /// Largest realizable dissipation (every processor at `f_max`).
+    pub p_ceiling: Watts,
+}
+
+/// Result of the §4.1 computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InitialAllocation {
+    /// Final `P_init(t)` power allocation.
+    pub allocation: PowerSeries,
+    /// Battery trajectory under the final allocation.
+    pub trajectory: EnergyTrajectory,
+    /// Every intermediate round, for the Tables 2/4 reproduction.
+    pub iterations: Vec<AllocationIteration>,
+    /// True when the final trajectory is inside the battery window.
+    pub feasible: bool,
+}
+
+/// Iterative driver for §4.1.
+///
+/// Each round:
+/// 1. build the trajectory `E(t) = E₀ + ∫ (c − P_init)` (Eq. 10);
+/// 2. if it stays inside `[C_min, C_max]` and the allocation respects the
+///    board's power range, stop;
+/// 3. otherwise reshape the trajectory with Algorithm 1
+///    ([`reshape_trajectory`]) and read the next allocation off its slopes
+///    (`P_init = c − dE/dt`), clamped into `[p_floor, p_ceiling]` — the
+///    clamping is what makes further rounds necessary, exactly as the
+///    paper's Tables 2/4 show ~5 rounds to convergence.
+#[derive(Debug, Clone)]
+pub struct InitialAllocator {
+    problem: AllocationProblem,
+    max_iterations: usize,
+    tolerance: f64,
+    strategy: ReshapeStrategy,
+}
+
+impl InitialAllocator {
+    /// Create a driver with the default iteration budget (16) and a 1 mJ
+    /// feasibility tolerance.
+    pub fn new(problem: AllocationProblem) -> Self {
+        assert_eq!(
+            problem.charging.len(),
+            problem.demand.len(),
+            "charging and demand schedules must share slotting"
+        );
+        assert!(problem.p_floor.value() >= 0.0);
+        assert!(problem.p_ceiling.value() > problem.p_floor.value());
+        Self {
+            problem,
+            max_iterations: 16,
+            tolerance: 1e-3,
+            strategy: ReshapeStrategy::ShapePreserving,
+        }
+    }
+
+    /// Choose the Algorithm 1 segment-rebuild strategy (the paper's
+    /// default is shape-preserving; `EvenSlope` is its stated
+    /// alternative).
+    pub fn with_strategy(mut self, strategy: ReshapeStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Override the iteration budget.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.max_iterations = n;
+        self
+    }
+
+    /// Override the feasibility tolerance (joules).
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        assert!(tol > 0.0);
+        self.tolerance = tol;
+        self
+    }
+
+    /// The problem being solved.
+    pub fn problem(&self) -> &AllocationProblem {
+        &self.problem
+    }
+
+    /// Run the computation.
+    pub fn compute(&self) -> InitialAllocation {
+        let p = &self.problem;
+        // Eq. 8: scale the demand shape so dissipation balances supply over
+        // the period; then the raw trajectory is periodic and reshaping is
+        // well-defined cyclically.
+        let mut allocation = normalize_to_supply(&p.demand, &p.charging)
+            .map(|v| v.clamp(p.p_floor.value(), p.p_ceiling.value()));
+
+        let mut iterations = Vec::new();
+        let mut feasible = false;
+        for _ in 0..self.max_iterations {
+            let surplus = p.charging.pointwise_sub(&allocation);
+            let trajectory = surplus.cumulative(p.initial_charge);
+            let ok = trajectory.within(p.limits.c_min, p.limits.c_max, self.tolerance);
+            iterations.push(AllocationIteration {
+                allocation: allocation.clone(),
+                trajectory: trajectory.clone(),
+                feasible: ok,
+            });
+            if ok {
+                feasible = true;
+                break;
+            }
+            let reshaped = reshape_trajectory_with(&trajectory, p.limits, self.strategy);
+            let next = p
+                .charging
+                .pointwise_sub(&reshaped.trajectory.derivative())
+                .map(|v| v.clamp(p.p_floor.value(), p.p_ceiling.value()));
+            if next == allocation {
+                // Fixed point that is still infeasible: the problem is
+                // over-constrained (e.g. floor power alone drains below
+                // C_min). Report the best effort.
+                break;
+            }
+            allocation = next;
+        }
+
+        let last = iterations
+            .last()
+            .expect("at least one iteration always runs");
+        InitialAllocation {
+            allocation: last.allocation.clone(),
+            trajectory: last.trajectory.clone(),
+            feasible,
+            iterations,
+        }
+    }
+}
+
+/// Eq. 8: `u_new = u·w · ∫c / ∫(u·w)`. When the demand shape integrates to
+/// zero (no events expected anywhere), fall back to spreading the supply
+/// uniformly — the paper does not define this corner, but a zero allocation
+/// would waste the whole charge.
+pub fn normalize_to_supply(demand: &PowerSeries, charging: &PowerSeries) -> PowerSeries {
+    let supply = charging.integral();
+    let want = demand.integral();
+    if want.value().abs() < f64::EPSILON {
+        return PowerSeries::constant(
+            charging.slot_width(),
+            charging.len(),
+            supply.value() / charging.period().value(),
+        );
+    }
+    demand.scale(supply / want)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{joules, seconds, watts};
+
+    fn slot() -> crate::units::Seconds {
+        seconds(4.8)
+    }
+
+    /// Scenario-I-shaped inputs: sun for half the orbit, eclipse after.
+    fn scenario_like() -> AllocationProblem {
+        let charging = PowerSeries::new(
+            slot(),
+            vec![
+                2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+            ],
+        );
+        // Twin-peak demand shape (arbitrary units; Eq. 8 rescales).
+        let demand = PowerSeries::new(
+            slot(),
+            vec![1.6, 1.0, 0.3, 0.3, 1.0, 1.7, 1.6, 1.0, 0.3, 0.3, 1.0, 1.7],
+        );
+        AllocationProblem {
+            charging,
+            demand,
+            initial_charge: joules(8.0),
+            limits: BatteryLimits::new(joules(0.5), joules(16.0)),
+            p_floor: watts(8.0 * 0.0066),
+            p_ceiling: watts(8.0 * 0.546),
+        }
+    }
+
+    #[test]
+    fn normalization_balances_supply() {
+        let p = scenario_like();
+        let u = normalize_to_supply(&p.demand, &p.charging);
+        assert!(u.integral().approx_eq(p.charging.integral(), 1e-9));
+    }
+
+    #[test]
+    fn normalization_of_zero_demand_spreads_supply() {
+        let p = scenario_like();
+        let zero = PowerSeries::constant(slot(), 12, 0.0);
+        let u = normalize_to_supply(&zero, &p.charging);
+        assert!(u.integral().approx_eq(p.charging.integral(), 1e-9));
+        // Uniform.
+        let first = u.get(0);
+        assert!(u.values().iter().all(|&v| (v - first).abs() < 1e-12));
+    }
+
+    #[test]
+    fn compute_converges_to_feasible_allocation() {
+        let alloc = InitialAllocator::new(scenario_like()).compute();
+        assert!(alloc.feasible, "iterations: {}", alloc.iterations.len());
+        assert!(alloc.trajectory.within(joules(0.5), joules(16.0), 1e-3));
+        // Converges in a handful of rounds, like the paper's 5.
+        assert!(alloc.iterations.len() <= 8, "{}", alloc.iterations.len());
+    }
+
+    #[test]
+    fn allocation_respects_power_bounds() {
+        let alloc = InitialAllocator::new(scenario_like()).compute();
+        let p = scenario_like();
+        for &v in alloc.allocation.values() {
+            assert!(v >= p.p_floor.value() - 1e-12);
+            assert!(v <= p.p_ceiling.value() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn tight_battery_forces_multiple_iterations() {
+        let mut p = scenario_like();
+        p.limits = BatteryLimits::new(joules(0.5), joules(9.0));
+        p.initial_charge = joules(5.0);
+        let alloc = InitialAllocator::new(p).compute();
+        assert!(alloc.iterations.len() > 1);
+        assert!(alloc.feasible, "iters={}", alloc.iterations.len());
+    }
+
+    #[test]
+    fn infeasible_problem_reports_best_effort() {
+        let mut p = scenario_like();
+        // A floor so high the battery must drain below C_min in eclipse.
+        p.p_floor = watts(3.0);
+        p.p_ceiling = watts(5.0);
+        let alloc = InitialAllocator::new(p).with_max_iterations(8).compute();
+        assert!(!alloc.feasible);
+        assert!(!alloc.iterations.is_empty());
+    }
+
+    #[test]
+    fn already_feasible_stops_after_one_round() {
+        let mut p = scenario_like();
+        // Huge battery: nothing to fix.
+        p.limits = BatteryLimits::new(joules(0.0), joules(1e6));
+        let alloc = InitialAllocator::new(p).compute();
+        assert_eq!(alloc.iterations.len(), 1);
+        assert!(alloc.feasible);
+    }
+
+    #[test]
+    fn trajectory_is_periodic_after_normalization() {
+        let alloc = InitialAllocator::new(scenario_like()).compute();
+        let pts = alloc.iterations[0].trajectory.points();
+        // Round 0 allocation is the clamped normalized demand; unless the
+        // clamp bit, start and end levels coincide (Eq. 8 balance).
+        assert!(
+            (pts[0] - pts[pts.len() - 1]).abs() < 0.5,
+            "start {} vs end {}",
+            pts[0],
+            pts[pts.len() - 1]
+        );
+    }
+
+    #[test]
+    fn even_slope_strategy_also_converges() {
+        let alloc = InitialAllocator::new(scenario_like())
+            .with_strategy(ReshapeStrategy::EvenSlope)
+            .compute();
+        assert!(alloc.feasible, "iterations: {}", alloc.iterations.len());
+        assert!(alloc.trajectory.within(joules(0.5), joules(16.0), 1e-3));
+    }
+
+    #[test]
+    fn even_slope_flattens_the_allocation() {
+        // The even strategy yields a flatter allocation (lower variance)
+        // than the shape-preserving one on a peaky demand.
+        let shaped = InitialAllocator::new(scenario_like()).compute();
+        let even = InitialAllocator::new(scenario_like())
+            .with_strategy(ReshapeStrategy::EvenSlope)
+            .compute();
+        let variance = |s: &PowerSeries| {
+            let m = s.mean().value();
+            s.values().iter().map(|v| (v - m).powi(2)).sum::<f64>() / s.len() as f64
+        };
+        if shaped.feasible && even.feasible {
+            assert!(
+                variance(&even.allocation) <= variance(&shaped.allocation) + 1e-9,
+                "even {} vs shaped {}",
+                variance(&even.allocation),
+                variance(&shaped.allocation)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share slotting")]
+    fn mismatched_schedules_rejected() {
+        let p = scenario_like();
+        let bad = AllocationProblem {
+            demand: PowerSeries::constant(slot(), 6, 1.0),
+            ..p
+        };
+        InitialAllocator::new(bad);
+    }
+}

@@ -1,0 +1,460 @@
+//! Algorithm 1: adjust the power-dissipation schedule so the battery
+//! trajectory stays inside `[C_min, C_max]`.
+//!
+//! The paper's procedure, lines 1–20:
+//!
+//! 1. collect the stationary points of the trajectory that violate the
+//!    battery window (lines 1–2);
+//! 2. of two *consecutive* violations of the same kind, keep only the more
+//!    extreme one (lines 3–7), so the survivors alternate trough/peak;
+//! 3. between each consecutive (trough, peak) or (peak, trough) pair, remap
+//!    the trajectory affinely so the trough lands on `C_min` and the peak on
+//!    `C_max` (lines 8–18):
+//!    `P(t) ← C_min + (C_max − C_min)·(P(t) − P_trough)/(P_peak − P_trough)`;
+//! 4. treat the segment that wraps across the period boundary as contiguous
+//!    (lines 19–20) — valid because the Eq. 8 normalization makes the
+//!    trajectory periodic.
+//!
+//! Interpretation choices (the paper leaves these implicit):
+//!
+//! * With exactly **one** violating extremum, there is no opposite partner
+//!   to pair with; we anchor the violator to its bound and the global
+//!   extremum of the opposite kind to itself (clamped into the window), so
+//!   the remap is still affine and the non-violating side is disturbed as
+//!   little as possible.
+//! * With **no** violations at stationary points the trajectory can still
+//!   exit the window on a monotone run that peaks exactly at an endpoint;
+//!   the endpoint extrema returned by
+//!   [`EnergyTrajectory::stationary_points`] cover that case.
+//! * After merging, anchors are remapped *segment by segment* around the
+//!   cycle; shared anchors map to identical targets, so the result is
+//!   continuous and periodic.
+
+use crate::platform::BatteryLimits;
+use crate::series::{EnergyTrajectory, Extremum, ExtremumKind};
+
+/// How the trajectory between two anchors is rebuilt — the choice the
+/// paper leaves open after Algorithm 1 ("the amount of stored energy
+/// depends on the original power allocation. However, other ways of
+/// adjusting can be used. For example, the power can be evenly
+/// distributed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReshapeStrategy {
+    /// The paper's default: affinely rescale the original trajectory, so
+    /// the adjusted allocation keeps the WPUF's *shape* (heavily weighted
+    /// slots stay heavy).
+    #[default]
+    ShapePreserving,
+    /// The paper's alternative: a straight line between the anchor
+    /// targets, i.e. the net power is constant across the segment — the
+    /// allocation absorbs the whole correction uniformly.
+    EvenSlope,
+}
+
+/// Result of one Algorithm 1 pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReshapeOutcome {
+    /// The reshaped battery trajectory.
+    pub trajectory: EnergyTrajectory,
+    /// Violating extrema that anchored the remap (after merging).
+    pub anchors: Vec<Extremum>,
+    /// Whether any remapping happened (false ⇒ input returned unchanged).
+    pub changed: bool,
+}
+
+/// Run Algorithm 1 on a trajectory with the paper's default
+/// (shape-preserving) segment rebuild.
+pub fn reshape_trajectory(traj: &EnergyTrajectory, limits: BatteryLimits) -> ReshapeOutcome {
+    reshape_trajectory_with(traj, limits, ReshapeStrategy::ShapePreserving)
+}
+
+/// Run Algorithm 1 with an explicit segment-rebuild strategy.
+pub fn reshape_trajectory_with(
+    traj: &EnergyTrajectory,
+    limits: BatteryLimits,
+    strategy: ReshapeStrategy,
+) -> ReshapeOutcome {
+    let violating = violating_extrema(traj, limits);
+    if violating.is_empty() {
+        return ReshapeOutcome {
+            trajectory: traj.clone(),
+            anchors: Vec::new(),
+            changed: false,
+        };
+    }
+    let merged = merge_consecutive(violating);
+    let anchors = complete_anchor_set(traj, merged, limits);
+    let trajectory = match strategy {
+        ReshapeStrategy::ShapePreserving => remap_between_anchors(traj, &anchors, limits),
+        ReshapeStrategy::EvenSlope => interpolate_between_anchors(traj, &anchors, limits),
+    };
+    ReshapeOutcome {
+        trajectory,
+        anchors,
+        changed: true,
+    }
+}
+
+/// The even-distribution rebuild: replace each cyclic inter-anchor segment
+/// with the straight line between its anchor targets. The derivative — and
+/// hence the adjusted power allocation — is constant on the segment.
+fn interpolate_between_anchors(
+    traj: &EnergyTrajectory,
+    anchors: &[Extremum],
+    limits: BatteryLimits,
+) -> EnergyTrajectory {
+    let n_pts = traj.points().len();
+    let mut out = traj.points().to_vec();
+    let k = anchors.len();
+    debug_assert!(k >= 2);
+    for s in 0..k {
+        let a = &anchors[s];
+        let b = &anchors[(s + 1) % k];
+        let (ta, tb) = (anchor_target(a, limits), anchor_target(b, limits));
+        // Cyclic segment length in breakpoints.
+        let len = if b.index > a.index {
+            b.index - a.index
+        } else {
+            (n_pts - 1 - a.index) + b.index
+        };
+        if len == 0 {
+            out[a.index] = ta;
+            continue;
+        }
+        let mut i = a.index;
+        for step in 0..=len {
+            let frac = step as f64 / len as f64;
+            out[i] = ta + (tb - ta) * frac;
+            if i == n_pts - 1 {
+                out[0] = out[n_pts - 1]; // periodic seam
+                i = 0;
+            }
+            if step < len {
+                i += 1;
+            }
+        }
+    }
+    let avg = 0.5 * (out[0] + out[n_pts - 1]);
+    out[0] = avg;
+    out[n_pts - 1] = avg;
+    EnergyTrajectory::from_points(traj.slot_width(), out)
+}
+
+/// Lines 1–2: stationary points outside the battery window.
+fn violating_extrema(traj: &EnergyTrajectory, limits: BatteryLimits) -> Vec<Extremum> {
+    traj.stationary_points()
+        .into_iter()
+        .filter(|e| match e.kind {
+            ExtremumKind::Maximum => e.energy.value() > limits.c_max.value() + 1e-12,
+            ExtremumKind::Minimum => e.energy.value() < limits.c_min.value() - 1e-12,
+        })
+        .collect()
+}
+
+/// Lines 3–7: collapse runs of same-kind violations to the most extreme one.
+fn merge_consecutive(mut extrema: Vec<Extremum>) -> Vec<Extremum> {
+    extrema.sort_by_key(|e| e.index);
+    let mut out: Vec<Extremum> = Vec::with_capacity(extrema.len());
+    for e in extrema {
+        match out.last_mut() {
+            Some(prev) if prev.kind == e.kind => {
+                let keep_new = match e.kind {
+                    // Two troughs: keep the *smaller* energy (line 5 removes
+                    // the larger).
+                    ExtremumKind::Minimum => e.energy.value() < prev.energy.value(),
+                    // Two peaks: keep the *larger* (line 7 removes the
+                    // smaller).
+                    ExtremumKind::Maximum => e.energy.value() > prev.energy.value(),
+                };
+                if keep_new {
+                    *prev = e;
+                }
+            }
+            _ => out.push(e),
+        }
+    }
+    // The list is cyclic (lines 19–20): first and last may also be same-kind
+    // neighbours around the wrap.
+    if out.len() >= 2 && out[0].kind == out[out.len() - 1].kind {
+        let last = out[out.len() - 1];
+        let first = out[0];
+        let keep_last = match first.kind {
+            ExtremumKind::Minimum => last.energy.value() < first.energy.value(),
+            ExtremumKind::Maximum => last.energy.value() > first.energy.value(),
+        };
+        if keep_last {
+            out.remove(0);
+        } else {
+            out.pop();
+        }
+    }
+    out
+}
+
+/// When only one violating extremum survives, add the opposite-kind global
+/// extremum as a pseudo-anchor so every remap segment has two endpoints.
+fn complete_anchor_set(
+    traj: &EnergyTrajectory,
+    mut anchors: Vec<Extremum>,
+    limits: BatteryLimits,
+) -> Vec<Extremum> {
+    if anchors.len() != 1 {
+        return anchors;
+    }
+    let need = match anchors[0].kind {
+        ExtremumKind::Maximum => ExtremumKind::Minimum,
+        ExtremumKind::Minimum => ExtremumKind::Maximum,
+    };
+    let candidate = traj
+        .stationary_points()
+        .into_iter()
+        .filter(|e| e.kind == need && e.index != anchors[0].index)
+        .max_by(|a, b| {
+            let (av, bv) = (a.energy.value(), b.energy.value());
+            match need {
+                // Most extreme of the opposite kind.
+                ExtremumKind::Maximum => av.total_cmp(&bv),
+                ExtremumKind::Minimum => bv.total_cmp(&av),
+            }
+        });
+    if let Some(c) = candidate {
+        anchors.push(c);
+        anchors.sort_by_key(|e| e.index);
+    } else {
+        // Degenerate monotone trajectory: fall back to whichever endpoint
+        // differs most from the violator.
+        let last = traj.points().len() - 1;
+        let other = if anchors[0].index == 0 { last } else { 0 };
+        anchors.push(Extremum {
+            index: other,
+            time: crate::units::seconds(other as f64 * traj.slot_width().value()),
+            energy: traj.point(other),
+            kind: need,
+        });
+        anchors.sort_by_key(|e| e.index);
+    }
+    let _ = limits;
+    anchors
+}
+
+/// Target level an anchor is remapped to: its bound when it violates,
+/// its own (clamped) value otherwise — pseudo-anchors barely move.
+fn anchor_target(e: &Extremum, limits: BatteryLimits) -> f64 {
+    match e.kind {
+        ExtremumKind::Maximum => {
+            if e.energy.value() > limits.c_max.value() {
+                limits.c_max.value()
+            } else {
+                e.energy.value().max(limits.c_min.value())
+            }
+        }
+        ExtremumKind::Minimum => {
+            if e.energy.value() < limits.c_min.value() {
+                limits.c_min.value()
+            } else {
+                e.energy.value().min(limits.c_max.value())
+            }
+        }
+    }
+}
+
+/// Lines 8–20: remap each cyclic inter-anchor segment affinely.
+fn remap_between_anchors(
+    traj: &EnergyTrajectory,
+    anchors: &[Extremum],
+    limits: BatteryLimits,
+) -> EnergyTrajectory {
+    let n_pts = traj.points().len();
+    let mut out = traj.points().to_vec();
+    let k = anchors.len();
+    debug_assert!(k >= 2);
+    for s in 0..k {
+        let a = &anchors[s];
+        let b = &anchors[(s + 1) % k];
+        let (ta, tb) = (anchor_target(a, limits), anchor_target(b, limits));
+        let (pa, pb) = (a.energy.value(), b.energy.value());
+        let denom = pb - pa;
+        // Affine map sending pa→ta, pb→tb; identity if the segment is flat.
+        let map = |p: f64| -> f64 {
+            if denom.abs() < 1e-12 {
+                ta + (p - pa)
+            } else {
+                ta + (tb - ta) * (p - pa) / denom
+            }
+        };
+        // Walk the cyclic index range [a.index, b.index], wrapping at the
+        // duplicated endpoint (index 0 and n_pts-1 are the same instant in
+        // periodic time).
+        let mut i = a.index;
+        loop {
+            out[i] = map(traj.points()[i]);
+            if i == b.index {
+                break;
+            }
+            i += 1;
+            if i == n_pts {
+                // Crossed the period boundary: continue from t = 0; keep the
+                // wrap consistent by writing the same value at both ends.
+                out[n_pts - 1] = map(traj.points()[n_pts - 1]);
+                i = 0;
+            }
+            if i == a.index {
+                break; // full cycle (k == 2 with wrap) — safety stop
+            }
+        }
+    }
+    // Periodicity: ends must agree (they represent the same instant).
+    let avg = 0.5 * (out[0] + out[n_pts - 1]);
+    out[0] = avg;
+    out[n_pts - 1] = avg;
+    EnergyTrajectory::from_points(traj.slot_width(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::PowerSeries;
+    use crate::units::{joules, seconds};
+
+    fn limits() -> BatteryLimits {
+        BatteryLimits::new(joules(1.0), joules(10.0))
+    }
+
+    fn traj_from_net(net: &[f64], start: f64) -> EnergyTrajectory {
+        PowerSeries::new(seconds(1.0), net.to_vec()).cumulative(joules(start))
+    }
+
+    #[test]
+    fn in_window_trajectory_is_untouched() {
+        let t = traj_from_net(&[1.0, -1.0, 2.0, -2.0], 5.0);
+        let r = reshape_trajectory(&t, limits());
+        assert!(!r.changed);
+        assert_eq!(r.trajectory, t);
+    }
+
+    #[test]
+    fn peak_above_cmax_is_pulled_down() {
+        // Rise to 14, fall back: peak violates C_max = 10.
+        let t = traj_from_net(&[4.0, 5.0, -5.0, -4.0], 5.0);
+        assert!(t.max_energy() > joules(10.0));
+        let r = reshape_trajectory(&t, limits());
+        assert!(r.changed);
+        assert!(
+            r.trajectory.within(joules(1.0), joules(10.0), 1e-9),
+            "{:?}",
+            r.trajectory.points()
+        );
+        // The peak breakpoint now sits exactly at C_max.
+        assert!(r.trajectory.max_energy().approx_eq(joules(10.0), 1e-9));
+    }
+
+    #[test]
+    fn trough_below_cmin_is_lifted() {
+        let t = traj_from_net(&[-3.0, -3.0, 3.0, 3.0], 5.0);
+        assert!(t.min_energy() < joules(1.0));
+        let r = reshape_trajectory(&t, limits());
+        assert!(r.trajectory.min_energy().approx_eq(joules(1.0), 1e-9));
+        assert!(r.trajectory.within(joules(1.0), joules(10.0), 1e-9));
+    }
+
+    #[test]
+    fn opposite_violations_map_to_full_window() {
+        // Deep trough then tall peak.
+        let t = traj_from_net(&[-5.0, -1.0, 8.0, 6.0, -4.0, -4.0], 6.0);
+        assert!(t.min_energy() < joules(1.0) && t.max_energy() > joules(10.0));
+        let r = reshape_trajectory(&t, limits());
+        assert!(
+            r.trajectory.within(joules(1.0), joules(10.0), 1e-9),
+            "{:?}",
+            r.trajectory.points()
+        );
+        assert!(r.trajectory.min_energy().approx_eq(joules(1.0), 1e-9));
+        assert!(r.trajectory.max_energy().approx_eq(joules(10.0), 1e-9));
+    }
+
+    #[test]
+    fn consecutive_same_kind_violations_merge_to_deepest() {
+        // Two troughs (−2 then −4) separated by a small bump, then recovery.
+        let t = traj_from_net(&[-8.0, 2.0, -4.0, -2.0, 6.0, 6.0], 6.0);
+        let r = reshape_trajectory(&t, limits());
+        assert!(
+            r.trajectory.within(joules(1.0), joules(10.0), 1e-6),
+            "{:?}",
+            r.trajectory.points()
+        );
+        // The deepest trough is pinned at C_min.
+        assert!(r.trajectory.min_energy().approx_eq(joules(1.0), 1e-6));
+    }
+
+    #[test]
+    fn wraparound_segment_is_remapped() {
+        // Peak near the period end, trough near the start: the segment
+        // between them crosses the boundary.
+        // Trough near the start must violate, peak near the end.
+        let t = traj_from_net(&[-6.5, 1.0, 2.0, 4.0, 6.0, -6.5], 7.0);
+        assert!(t.min_energy() < joules(1.0));
+        let r = reshape_trajectory(&t, limits());
+        assert!(
+            r.trajectory.within(joules(1.0), joules(10.0), 1e-6),
+            "{:?}",
+            r.trajectory.points()
+        );
+        // Periodicity preserved.
+        let pts = r.trajectory.points();
+        assert!((pts[0] - pts[pts.len() - 1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reshaped_trajectory_is_continuous() {
+        let t = traj_from_net(&[5.0, 6.0, -9.0, -8.0, 4.0, 2.0], 5.0);
+        let r = reshape_trajectory(&t, limits());
+        // Continuity here just means finite slopes — no NaN/jump artifacts.
+        let d = r.trajectory.derivative();
+        assert!(d.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn merge_keeps_most_extreme_peak() {
+        let ex = |index: usize, e: f64, kind| Extremum {
+            index,
+            time: seconds(index as f64),
+            energy: joules(e),
+            kind,
+        };
+        let merged = merge_consecutive(vec![
+            ex(1, 12.0, ExtremumKind::Maximum),
+            ex(3, 15.0, ExtremumKind::Maximum),
+            ex(5, 0.0, ExtremumKind::Minimum),
+        ]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].index, 3);
+        assert_eq!(merged[0].energy, joules(15.0));
+    }
+
+    #[test]
+    fn merge_handles_cyclic_same_kind_ends() {
+        let ex = |index: usize, e: f64, kind| Extremum {
+            index,
+            time: seconds(index as f64),
+            energy: joules(e),
+            kind,
+        };
+        // Trough …, peak, trough: ends are both troughs around the wrap.
+        let merged = merge_consecutive(vec![
+            ex(0, 0.5, ExtremumKind::Minimum),
+            ex(3, 12.0, ExtremumKind::Maximum),
+            ex(5, 0.2, ExtremumKind::Minimum),
+        ]);
+        assert_eq!(merged.len(), 2);
+        // The deeper trough (0.2) survives.
+        assert!(merged.iter().any(|e| e.energy == joules(0.2)));
+        assert!(!merged.iter().any(|e| e.energy == joules(0.5)));
+    }
+
+    #[test]
+    fn energy_redistribution_preserves_slot_count() {
+        let t = traj_from_net(&[4.0, 5.0, -5.0, -4.0], 5.0);
+        let r = reshape_trajectory(&t, limits());
+        assert_eq!(r.trajectory.segments(), t.segments());
+    }
+}

@@ -1,0 +1,91 @@
+//! The Weighted Power Usage Function (Eq. 7) and its inputs.
+//!
+//! `WPUF(t) = u(t)·w(t)` combines the expected event-rate schedule `u(t)`
+//! (events per second that trigger computation) with a user weight `w(t)`
+//! that emphasizes parts of the period — the paper's example is weighting
+//! commute hours in a traffic monitor. The WPUF is a *shape*, not yet a
+//! power: Eq. 8 rescales it so total dissipation balances total supply.
+
+use crate::series::PowerSeries;
+use serde::{Deserialize, Serialize};
+
+/// Event-rate schedule plus weight function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandModel {
+    /// Expected event rate `u(t)` (events/s per slot).
+    pub event_rate: PowerSeries,
+    /// Weight `w(t)` (dimensionless, ≥ 0).
+    pub weight: PowerSeries,
+}
+
+impl DemandModel {
+    /// Build, validating alignment and non-negativity.
+    pub fn new(event_rate: PowerSeries, weight: PowerSeries) -> Self {
+        assert_eq!(
+            event_rate.len(),
+            weight.len(),
+            "event rate and weight must share slotting"
+        );
+        assert!(
+            event_rate.values().iter().all(|&v| v >= 0.0),
+            "event rates must be non-negative"
+        );
+        assert!(
+            weight.values().iter().all(|&v| v >= 0.0),
+            "weights must be non-negative"
+        );
+        Self { event_rate, weight }
+    }
+
+    /// Unweighted demand (`w ≡ 1`).
+    pub fn unweighted(event_rate: PowerSeries) -> Self {
+        let weight = PowerSeries::constant(event_rate.slot_width(), event_rate.len(), 1.0);
+        Self::new(event_rate, weight)
+    }
+
+    /// Eq. 7: the weighted power-usage shape.
+    pub fn wpuf(&self) -> PowerSeries {
+        self.event_rate.pointwise_mul(&self.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::seconds;
+
+    #[test]
+    fn wpuf_is_pointwise_product() {
+        let u = PowerSeries::new(seconds(1.0), vec![2.0, 4.0, 0.0]);
+        let w = PowerSeries::new(seconds(1.0), vec![1.0, 0.5, 3.0]);
+        let d = DemandModel::new(u, w);
+        assert_eq!(d.wpuf().values(), &[2.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn unweighted_uses_unit_weight() {
+        let u = PowerSeries::new(seconds(1.0), vec![2.0, 4.0]);
+        let d = DemandModel::unweighted(u.clone());
+        assert_eq!(d.wpuf(), u);
+    }
+
+    #[test]
+    fn weight_emphasizes_commute_hours() {
+        // The paper's traffic-monitor example: same event rate all day,
+        // double weight during two commute windows.
+        let u = PowerSeries::constant(seconds(1.0), 8, 1.0);
+        let w = PowerSeries::new(seconds(1.0), vec![1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0, 1.0]);
+        let d = DemandModel::new(u, w);
+        let shape = d.wpuf();
+        assert_eq!(shape.get(1), 2.0);
+        assert_eq!(shape.get(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_rates() {
+        let u = PowerSeries::new(seconds(1.0), vec![-1.0]);
+        let w = PowerSeries::constant(seconds(1.0), 1, 1.0);
+        DemandModel::new(u, w);
+    }
+}

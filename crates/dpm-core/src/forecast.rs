@@ -1,0 +1,242 @@
+//! Empirical schedule estimation (§2).
+//!
+//! The paper's inputs `c(t)` and `u(t)` are *expected* schedules: "the
+//! schedule may be derived theoretically or empirically. For example, the
+//! recorded charging power for the previous period or weighted average of
+//! the several previous periods can be used." This module implements those
+//! estimators as an online, per-slot [`ScheduleEstimator`], and
+//! [`crate::runtime::AdaptiveDpmController`] closes the loop by re-planning
+//! each period from the refreshed estimate.
+
+use crate::series::PowerSeries;
+use crate::units::Seconds;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The estimation rule applied independently to each slot-of-period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ForecastMethod {
+    /// "The recorded charging power for the previous period": the latest
+    /// observation replaces the estimate outright.
+    LastPeriod,
+    /// "Weighted average of the several previous periods", in its
+    /// exponential-smoothing form: `est ← α·obs + (1−α)·est`.
+    ExponentialSmoothing {
+        /// Weight of the newest observation, `(0, 1]`.
+        alpha: f64,
+    },
+    /// Arithmetic mean of the most recent `window` observations of the
+    /// slot (the literal finite weighted average).
+    SlidingMean {
+        /// Observations retained per slot.
+        window: usize,
+    },
+}
+
+impl ForecastMethod {
+    fn validate(&self) {
+        match *self {
+            ForecastMethod::LastPeriod => {}
+            ForecastMethod::ExponentialSmoothing { alpha } => {
+                assert!(
+                    (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+                    "alpha in (0, 1]"
+                );
+            }
+            ForecastMethod::SlidingMean { window } => {
+                assert!(window >= 1, "window must hold at least one period");
+            }
+        }
+    }
+}
+
+/// Online per-slot schedule estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleEstimator {
+    method: ForecastMethod,
+    estimate: PowerSeries,
+    /// Per-slot observation history (used by `SlidingMean`; kept short).
+    history: Vec<VecDeque<f64>>,
+    observations: u64,
+}
+
+impl ScheduleEstimator {
+    /// Start from a prior schedule (the theoretical expectation, or zeros
+    /// when flying blind).
+    pub fn new(prior: PowerSeries, method: ForecastMethod) -> Self {
+        method.validate();
+        let history = vec![VecDeque::new(); prior.len()];
+        Self {
+            method,
+            estimate: prior,
+            history,
+            observations: 0,
+        }
+    }
+
+    /// A zero prior with the given slotting.
+    pub fn cold(slot: Seconds, slots: usize, method: ForecastMethod) -> Self {
+        Self::new(PowerSeries::constant(slot, slots, 0.0), method)
+    }
+
+    /// Slots per period.
+    pub fn slots(&self) -> usize {
+        self.estimate.len()
+    }
+
+    /// Observations folded in so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Record the measured mean power of slot-of-period `slot`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range slot or non-finite observation.
+    pub fn observe(&mut self, slot: usize, mean_power: f64) {
+        assert!(slot < self.estimate.len(), "slot {slot} out of range");
+        assert!(mean_power.is_finite() && mean_power >= 0.0);
+        self.observations += 1;
+        match self.method {
+            ForecastMethod::LastPeriod => self.estimate.set(slot, mean_power),
+            ForecastMethod::ExponentialSmoothing { alpha } => {
+                let old = self.estimate.get(slot);
+                self.estimate
+                    .set(slot, alpha * mean_power + (1.0 - alpha) * old);
+            }
+            ForecastMethod::SlidingMean { window } => {
+                let h = &mut self.history[slot];
+                h.push_back(mean_power);
+                while h.len() > window {
+                    h.pop_front();
+                }
+                let mean = h.iter().sum::<f64>() / h.len() as f64;
+                self.estimate.set(slot, mean);
+            }
+        }
+    }
+
+    /// The current estimate.
+    pub fn estimate(&self) -> &PowerSeries {
+        &self.estimate
+    }
+
+    /// Root-mean-square error of the estimate against a reference
+    /// schedule (for convergence tests and telemetry).
+    pub fn rmse(&self, truth: &PowerSeries) -> f64 {
+        assert_eq!(truth.len(), self.estimate.len());
+        let sq: f64 = self
+            .estimate
+            .values()
+            .iter()
+            .zip(truth.values())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum();
+        (sq / truth.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::seconds;
+
+    fn truth() -> PowerSeries {
+        PowerSeries::new(
+            seconds(4.8),
+            vec![
+                2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+            ],
+        )
+    }
+
+    fn wrong_prior() -> PowerSeries {
+        PowerSeries::constant(seconds(4.8), 12, 1.0)
+    }
+
+    fn feed_periods(est: &mut ScheduleEstimator, periods: usize) {
+        let t = truth();
+        for _ in 0..periods {
+            for s in 0..12 {
+                est.observe(s, t.get(s));
+            }
+        }
+    }
+
+    #[test]
+    fn last_period_converges_in_one_period() {
+        let mut e = ScheduleEstimator::new(wrong_prior(), ForecastMethod::LastPeriod);
+        assert!(e.rmse(&truth()) > 0.9);
+        feed_periods(&mut e, 1);
+        assert!(e.rmse(&truth()) < 1e-12);
+        assert_eq!(e.observations(), 12);
+    }
+
+    #[test]
+    fn exponential_smoothing_converges_geometrically() {
+        let mut e = ScheduleEstimator::new(
+            wrong_prior(),
+            ForecastMethod::ExponentialSmoothing { alpha: 0.5 },
+        );
+        let e0 = e.rmse(&truth());
+        feed_periods(&mut e, 1);
+        let e1 = e.rmse(&truth());
+        feed_periods(&mut e, 1);
+        let e2 = e.rmse(&truth());
+        assert!((e1 / e0 - 0.5).abs() < 1e-9, "{e1}/{e0}");
+        assert!((e2 / e1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_mean_forgets_the_prior_after_window() {
+        let mut e =
+            ScheduleEstimator::new(wrong_prior(), ForecastMethod::SlidingMean { window: 3 });
+        feed_periods(&mut e, 1);
+        // One period of true data already replaces the estimate (the prior
+        // never enters the history).
+        assert!(e.rmse(&truth()) < 1e-12);
+    }
+
+    #[test]
+    fn sliding_mean_averages_noise() {
+        let mut e =
+            ScheduleEstimator::cold(seconds(4.8), 1, ForecastMethod::SlidingMean { window: 4 });
+        for &obs in &[1.0, 2.0, 3.0, 4.0] {
+            e.observe(0, obs);
+        }
+        assert!((e.estimate().get(0) - 2.5).abs() < 1e-12);
+        e.observe(0, 8.0); // window slides: mean of [2,3,4,8] = 4.25
+        assert!((e.estimate().get(0) - 4.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_tracks_a_changed_environment() {
+        // Truth changes mid-mission: the estimator follows.
+        let mut e =
+            ScheduleEstimator::new(truth(), ForecastMethod::ExponentialSmoothing { alpha: 0.4 });
+        let new_truth = truth().scale(0.5);
+        for _ in 0..12 {
+            for s in 0..12 {
+                e.observe(s, new_truth.get(s));
+            }
+        }
+        assert!(e.rmse(&new_truth) < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha in (0, 1]")]
+    fn rejects_zero_alpha() {
+        ScheduleEstimator::cold(
+            seconds(4.8),
+            12,
+            ForecastMethod::ExponentialSmoothing { alpha: 0.0 },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_slot() {
+        let mut e = ScheduleEstimator::cold(seconds(4.8), 12, ForecastMethod::LastPeriod);
+        e.observe(12, 1.0);
+    }
+}

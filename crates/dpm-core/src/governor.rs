@@ -1,0 +1,114 @@
+//! The governor abstraction: anything that picks an operating point once
+//! per `τ` slot, given what actually happened in the previous slot.
+//!
+//! The paper's proposed controller ([`crate::runtime::DpmController`]) and
+//! the comparison baselines (`dpm-baselines`) all implement this trait, so
+//! the simulator and benches can swap them freely.
+
+use crate::params::OperatingPoint;
+use crate::units::{Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Everything a governor may observe at a slot boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotObservation {
+    /// Monotone slot counter (0 for the first decision).
+    pub slot: u64,
+    /// Simulated time at the slot boundary.
+    pub time: Seconds,
+    /// Measured battery charge right now.
+    pub battery: Joules,
+    /// Energy the board actually dissipated during the previous slot
+    /// (zero on the first decision).
+    pub used_last: Joules,
+    /// Energy the external source actually delivered during the previous
+    /// slot (zero on the first decision). This is the *offered* energy,
+    /// before any waste from a full battery.
+    pub supplied_last: Joules,
+    /// Jobs waiting to be processed (event backlog).
+    pub backlog: usize,
+}
+
+impl SlotObservation {
+    /// The initial observation at `t = 0`.
+    pub fn initial(battery: Joules) -> Self {
+        Self {
+            slot: 0,
+            time: Seconds::ZERO,
+            battery,
+            used_last: Joules::ZERO,
+            supplied_last: Joules::ZERO,
+            backlog: 0,
+        }
+    }
+}
+
+/// A per-slot power-management policy.
+pub trait Governor {
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Choose the operating point for the slot that begins now.
+    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint;
+
+    /// Whether this policy keeps the processors busy with *background*
+    /// useful work (deeper spectral scans, monitoring FFTs) once the event
+    /// backlog drains — the paper's "using extra energy for useful work".
+    ///
+    /// The proposed controller returns `true`: its whole point is that an
+    /// energy allocation left unspent before the battery pins at `C_max`
+    /// is wasted, so spending it on additional science is free. Reactive
+    /// baselines (static, timeout) return the default `false`: they only
+    /// power up "while there is input data to process".
+    fn uses_surplus_energy(&self) -> bool {
+        false
+    }
+}
+
+/// Blanket impl so `Box<dyn Governor>` is itself a governor.
+impl<G: Governor + ?Sized> Governor for Box<G> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint {
+        (**self).decide(obs)
+    }
+
+    fn uses_surplus_energy(&self) -> bool {
+        (**self).uses_surplus_energy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::joules;
+
+    struct Fixed(OperatingPoint);
+
+    impl Governor for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn decide(&mut self, _obs: &SlotObservation) -> OperatingPoint {
+            self.0
+        }
+    }
+
+    #[test]
+    fn initial_observation_is_empty() {
+        let obs = SlotObservation::initial(joules(8.0));
+        assert_eq!(obs.slot, 0);
+        assert_eq!(obs.used_last, Joules::ZERO);
+        assert_eq!(obs.battery, joules(8.0));
+    }
+
+    #[test]
+    fn boxed_governor_delegates() {
+        let mut g: Box<dyn Governor> = Box::new(Fixed(OperatingPoint::OFF));
+        assert_eq!(g.name(), "fixed");
+        let p = g.decide(&SlotObservation::initial(joules(1.0)));
+        assert!(p.is_off());
+    }
+}

@@ -1,0 +1,82 @@
+//! # dpm-core
+//!
+//! A faithful reimplementation of the dynamic power-management algorithm of
+//! Suh, Kang & Crago, *Dynamic Power Management of Multiprocessor Systems*
+//! (IPPS/IPDPS 2002): maximize energy utilization first, then performance,
+//! for a multiprocessor fed by a rechargeable battery with a periodic
+//! external source.
+//!
+//! The crate mirrors the paper's decomposition:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §3 models (Eqs. 1–6, 11) | [`model`] |
+//! | §4.1 initial power allocation (Eqs. 7–10, Algorithm 1) | [`alloc`] |
+//! | §4.2 parameter computation (Eqs. 12–18, Algorithm 2) | [`params`] |
+//! | §4.3 runtime update (Algorithm 3) + controller | [`runtime`] |
+//! | §6 future-work extensions | [`params::hetero`] |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dpm_core::prelude::*;
+//!
+//! // The PAMA satellite board of the paper's §5.
+//! let platform = Platform::pama();
+//!
+//! // Expected charging (sun then eclipse) and event-rate schedules.
+//! let tau = platform.tau;
+//! let charging = PowerSeries::new(tau, vec![2.36; 6].into_iter().chain(vec![0.0; 6]).collect());
+//! let events = PowerSeries::new(tau, vec![1.6, 1.0, 0.3, 0.3, 1.0, 1.7,
+//!                                         1.6, 1.0, 0.3, 0.3, 1.0, 1.7]);
+//! let demand = DemandModel::unweighted(events);
+//!
+//! // §4.1: initial power allocation.
+//! let problem = AllocationProblem {
+//!     charging: charging.clone(),
+//!     demand: demand.wpuf(),
+//!     initial_charge: joules(8.0),
+//!     limits: platform.battery,
+//!     p_floor: platform.power.all_standby(),
+//!     p_ceiling: platform.board_power(7, platform.f_max()),
+//! };
+//! let allocation = InitialAllocator::new(problem).compute();
+//! assert!(allocation.feasible);
+//!
+//! // §4.2/§4.3: the runtime controller.
+//! let mut governor = DpmController::new(platform, &allocation, charging);
+//! let point = governor.decide(&SlotObservation::initial(joules(8.0)));
+//! println!("first slot runs {point}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alloc;
+pub mod forecast;
+pub mod governor;
+pub mod model;
+pub mod params;
+pub mod platform;
+pub mod runtime;
+pub mod series;
+pub mod units;
+
+/// One-stop imports for typical users.
+pub mod prelude {
+    pub use crate::alloc::{
+        normalize_to_supply, AllocationProblem, DemandModel, InitialAllocation, InitialAllocator,
+    };
+    pub use crate::forecast::{ForecastMethod, ScheduleEstimator};
+    pub use crate::governor::{Governor, SlotObservation};
+    pub use crate::model::{AmdahlWorkload, ModePower, PerfModel, PowerModel, VoltageFrequencyMap};
+    pub use crate::params::{OperatingPoint, ParameterScheduler, ParetoTable};
+    pub use crate::platform::{BatteryLimits, Platform, SwitchOverheads};
+    pub use crate::runtime::{
+        redistribute, AdaptiveDpmController, ControllerRecord, DpmController,
+    };
+    pub use crate::series::{EnergyTrajectory, PowerSeries};
+    pub use crate::units::{
+        hertz, joules, seconds, volts, watts, Hertz, Joules, Seconds, Volts, Watts,
+    };
+}

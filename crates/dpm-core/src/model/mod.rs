@@ -1,0 +1,16 @@
+//! Performance and power models from §3 of the paper.
+//!
+//! * [`vf`] — the voltage–frequency relation `g(v)` and its inverse, plus the
+//!   Eq. 11 optimal-voltage rule.
+//! * [`perf`] — Eq. 1 (`Perf ∝ min(f, g(v))`), Eq. 2 (Amdahl's law over the
+//!   fork-join task graph of Fig. 2), and the combined Eq. 3.
+//! * [`power`] — Eq. 4–6 (`Power = c2 · Σ fᵢ vᵢ²`), extended with the
+//!   standby/sleep floor power the PAMA evaluation uses.
+
+pub mod perf;
+pub mod power;
+pub mod vf;
+
+pub use perf::{AmdahlWorkload, PerfModel, Throughput};
+pub use power::{ModePower, PowerModel};
+pub use vf::VoltageFrequencyMap;

@@ -1,0 +1,284 @@
+//! Performance models: Eq. 1–3 and the Amdahl fork-join workload.
+//!
+//! The applications the paper targets are parallel jobs with a serial
+//! initial/final stage and a fully parallel middle stage (the Fig. 2 task
+//! graph: `S → {T1 … TN} → E`). With `Tt` the single-processor execution
+//! time and `Ts` the serial portion, Amdahl's law gives
+//!
+//! ```text
+//! Perf(n) = c0 / (Ts + (Tt − Ts)/n)                      (Eq. 2)
+//! Perf(n, f, v) = c1 · min(f, g(v)) / (Ts + (Tt − Ts)/n) (Eq. 3)
+//! ```
+//!
+//! Performance is *throughput*: jobs completed per second. We normalize so
+//! that one processor at the reference frequency completes `1/Tt` jobs/s,
+//! i.e. `c1 = Tt / f_ref` — then `Perf(1, f_ref) = 1/Tt` as expected, and
+//! the units of [`Throughput`] are physical rather than abstract.
+
+use super::vf::VoltageFrequencyMap;
+use crate::units::{Hertz, Seconds, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Jobs completed per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Throughput(pub f64);
+
+impl Throughput {
+    /// Zero throughput (all processors off).
+    pub const ZERO: Self = Self(0.0);
+
+    /// Raw jobs-per-second magnitude.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Jobs completed over a duration.
+    #[inline]
+    pub fn jobs_over(self, dt: Seconds) -> f64 {
+        self.0 * dt.value()
+    }
+}
+
+/// The Fig. 2 fork-join workload characterized by Amdahl's law.
+///
+/// Times are measured at a **reference frequency** `f_ref` (for the PAMA
+/// evaluation: the 2K-sample fixed-point FFT takes `Tt = 4.8 s` at
+/// 20 MHz). At frequency `f` every stage shrinks by `f_ref / f` — the
+/// paper's simplifying assumption that memory latency and dependencies scale
+/// with frequency (its footnote 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AmdahlWorkload {
+    /// Total single-processor execution time `Tt` at `f_ref`.
+    pub total: Seconds,
+    /// Serial (non-parallelizable) portion `Ts` at `f_ref`, `0 ≤ Ts ≤ Tt`.
+    pub serial: Seconds,
+    /// Frequency at which `total`/`serial` were measured.
+    pub f_ref: Hertz,
+}
+
+impl AmdahlWorkload {
+    /// Construct, validating `0 ≤ Ts ≤ Tt` and positive `Tt`, `f_ref`.
+    pub fn new(total: Seconds, serial: Seconds, f_ref: Hertz) -> Self {
+        assert!(total.value() > 0.0, "Tt must be positive");
+        assert!(
+            (0.0..=total.value()).contains(&serial.value()),
+            "Ts must lie in [0, Tt]"
+        );
+        assert!(f_ref.value() > 0.0, "reference frequency must be positive");
+        Self {
+            total,
+            serial,
+            f_ref,
+        }
+    }
+
+    /// An embarrassingly parallel workload (`Ts = 0`).
+    pub fn fully_parallel(total: Seconds, f_ref: Hertz) -> Self {
+        Self::new(total, Seconds::ZERO, f_ref)
+    }
+
+    /// Fraction of work that parallelizes, `(Tt − Ts)/Tt`.
+    #[inline]
+    pub fn parallel_fraction(&self) -> f64 {
+        (self.total.value() - self.serial.value()) / self.total.value()
+    }
+
+    /// Per-job execution time on `n` processors at `f_ref`:
+    /// `Ts + (Tt − Ts)/n`.
+    pub fn time_on(&self, n: usize) -> Seconds {
+        assert!(n >= 1, "at least one processor must be active");
+        self.serial + (self.total - self.serial) / n as f64
+    }
+
+    /// Amdahl speedup `time_on(1)/time_on(n)`.
+    pub fn speedup(&self, n: usize) -> f64 {
+        self.total / self.time_on(n)
+    }
+
+    /// The §4.2 decision ratio `n·Ts / (Tt − Ts)` (Eqs. 14 & 17). Returns
+    /// `f64::INFINITY` when the workload is fully serial — the paper
+    /// explicitly drops that case ("no need to increase the number of
+    /// processors").
+    pub fn decision_ratio(&self, n: usize) -> f64 {
+        let par = self.total.value() - self.serial.value();
+        if par <= 0.0 {
+            f64::INFINITY
+        } else {
+            n as f64 * self.serial.value() / par
+        }
+    }
+
+    /// The Eq. 18 processor-count breakpoint `2·(Tt/Ts − 1)`, i.e. the `n`
+    /// at which `n·Ts/(Tt − Ts) = 2` and adding processors stops beating
+    /// raising frequency. `None` for a fully parallel workload (`Ts = 0`),
+    /// where adding processors always wins.
+    pub fn breakpoint_processors(&self) -> Option<f64> {
+        if self.serial.value() <= 0.0 {
+            None
+        } else {
+            Some(2.0 * (self.total.value() / self.serial.value() - 1.0))
+        }
+    }
+}
+
+/// Eq. 3 evaluator: throughput of `n` processors at `(f, v)` for a given
+/// workload and voltage–frequency law.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfModel {
+    /// The fork-join workload.
+    pub workload: AmdahlWorkload,
+    /// The `g(v)` law used by the `min(f, g(v))` clamp.
+    pub vf: VoltageFrequencyMap,
+}
+
+impl PerfModel {
+    /// Create a model.
+    pub fn new(workload: AmdahlWorkload, vf: VoltageFrequencyMap) -> Self {
+        Self { workload, vf }
+    }
+
+    /// Effective clock: `min(f, g(v))` (Eq. 1). Requesting a frequency the
+    /// voltage cannot sustain silently runs at `g(v)` — which is how the
+    /// hardware behaves (the part simply fails timing above it; the model
+    /// treats it as clamped, the scheduler never requests such points).
+    pub fn effective_frequency(&self, f: Hertz, v: Volts) -> Hertz {
+        f.min(self.vf.max_frequency(v))
+    }
+
+    /// Eq. 3: throughput of `n` processors at `(f, v)`. Zero when `n = 0`.
+    pub fn throughput(&self, n: usize, f: Hertz, v: Volts) -> Throughput {
+        if n == 0 {
+            return Throughput::ZERO;
+        }
+        let eff = self.effective_frequency(f, v);
+        if eff.value() <= 0.0 {
+            return Throughput::ZERO;
+        }
+        // Job time at f_ref, rescaled by f_ref/eff.
+        let t = self.workload.time_on(n).value() * (self.workload.f_ref.value() / eff.value());
+        Throughput(1.0 / t)
+    }
+
+    /// Per-job latency at `(n, f, v)`; `None` when nothing runs.
+    pub fn job_latency(&self, n: usize, f: Hertz, v: Volts) -> Option<Seconds> {
+        let tp = self.throughput(n, f, v);
+        (tp.value() > 0.0).then(|| Seconds(1.0 / tp.value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{seconds, volts, Hertz};
+
+    fn fft_workload() -> AmdahlWorkload {
+        // The PAMA measurement: 2K FFT, 4.8 s at 20 MHz; assume 10% serial
+        // scatter/gather for tests.
+        AmdahlWorkload::new(seconds(4.8), seconds(0.48), Hertz::from_mhz(20.0))
+    }
+
+    fn fixed_vf() -> VoltageFrequencyMap {
+        VoltageFrequencyMap::Fixed {
+            voltage: volts(3.3),
+            f_max: Hertz::from_mhz(80.0),
+        }
+    }
+
+    #[test]
+    fn single_processor_reference_throughput() {
+        let m = PerfModel::new(fft_workload(), fixed_vf());
+        let tp = m.throughput(1, Hertz::from_mhz(20.0), volts(3.3));
+        assert!((tp.value() - 1.0 / 4.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_scales_linearly_with_frequency() {
+        let m = PerfModel::new(fft_workload(), fixed_vf());
+        let t20 = m.throughput(1, Hertz::from_mhz(20.0), volts(3.3));
+        let t80 = m.throughput(1, Hertz::from_mhz(80.0), volts(3.3));
+        assert!((t80.value() / t20.value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amdahl_speedup_saturates() {
+        let w = fft_workload();
+        assert!((w.speedup(1) - 1.0).abs() < 1e-12);
+        let s7 = w.speedup(7);
+        // Upper bound Tt/Ts = 10.
+        assert!(s7 > 4.0 && s7 < 10.0, "s7 = {s7}");
+        assert!(w.speedup(8) > s7);
+        assert!(w.speedup(1000) < 10.0);
+    }
+
+    #[test]
+    fn fully_parallel_speedup_is_linear() {
+        let w = AmdahlWorkload::fully_parallel(seconds(4.8), Hertz::from_mhz(20.0));
+        assert!((w.speedup(7) - 7.0).abs() < 1e-12);
+        assert_eq!(w.decision_ratio(7), 0.0);
+        assert_eq!(w.breakpoint_processors(), None);
+    }
+
+    #[test]
+    fn fully_serial_ratio_is_infinite() {
+        let w = AmdahlWorkload::new(seconds(4.8), seconds(4.8), Hertz::from_mhz(20.0));
+        assert!(w.decision_ratio(1).is_infinite());
+        assert!((w.speedup(8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decision_ratio_matches_eq17_threshold() {
+        let w = fft_workload(); // Ts/Tt = 0.1 ⇒ breakpoint n = 2·(10−1) = 18
+        let bp = w.breakpoint_processors().unwrap();
+        assert!((bp - 18.0).abs() < 1e-9);
+        assert!(w.decision_ratio(18) - 2.0 < 1e-9);
+        assert!(w.decision_ratio(19) > 2.0);
+        assert!(w.decision_ratio(17) < 2.0);
+    }
+
+    #[test]
+    fn effective_frequency_clamps_to_gv() {
+        let m = PerfModel::new(
+            fft_workload(),
+            VoltageFrequencyMap::Affine {
+                slope: 20.0e6,
+                threshold: volts(0.0),
+            },
+        );
+        // g(2.0 V) = 40 MHz; requesting 80 MHz runs at 40.
+        let eff = m.effective_frequency(Hertz::from_mhz(80.0), volts(2.0));
+        assert!((eff.mhz() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_processors_zero_throughput() {
+        let m = PerfModel::new(fft_workload(), fixed_vf());
+        assert_eq!(
+            m.throughput(0, Hertz::from_mhz(80.0), volts(3.3)),
+            Throughput::ZERO
+        );
+        assert!(m
+            .job_latency(0, Hertz::from_mhz(80.0), volts(3.3))
+            .is_none());
+    }
+
+    #[test]
+    fn job_latency_inverts_throughput() {
+        let m = PerfModel::new(fft_workload(), fixed_vf());
+        let lat = m.job_latency(4, Hertz::from_mhz(40.0), volts(3.3)).unwrap();
+        let tp = m.throughput(4, Hertz::from_mhz(40.0), volts(3.3));
+        assert!((lat.value() * tp.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jobs_over_duration() {
+        let tp = Throughput(0.5);
+        assert_eq!(tp.jobs_over(seconds(10.0)), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Ts must lie in [0, Tt]")]
+    fn rejects_serial_exceeding_total() {
+        AmdahlWorkload::new(seconds(1.0), seconds(2.0), Hertz::from_mhz(20.0));
+    }
+}

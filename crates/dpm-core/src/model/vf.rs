@@ -1,0 +1,267 @@
+//! The voltage–frequency relation `g(v)` and the Eq. 11 voltage rule.
+//!
+//! §3 models performance as `Perf(f, v) ∝ min(f, g(v))` where `g(v)` is the
+//! maximum clock frequency sustainable at supply voltage `v`. §4.2 then
+//! observes that for a target frequency `f` the best voltage is
+//!
+//! ```text
+//! v = g⁻¹(f)   if g⁻¹(f) ≥ v_min          (Eq. 11)
+//!     v_min    otherwise
+//! ```
+//!
+//! which collapses the `(f, v)` search space to frequency alone.
+//!
+//! The paper's evaluation fixes `v_min = v_max = 3.3 V` (the M32R/D has no
+//! voltage scaling), which is the [`VoltageFrequencyMap::Fixed`] variant; the
+//! general analysis of Eqs. 12–18 needs a real scaling law, for which the
+//! affine and table variants are provided (the affine form
+//! `g(v) = k·(v − v_t)` is the classic alpha-power approximation with
+//! α ≈ 2 linearized around the operating region, as used by the StrongARM
+//! and Crusoe DVFS systems the paper cites).
+
+use crate::units::{hertz, volts, Hertz, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Maximum-frequency-at-voltage law `g(v)` with an invertible form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VoltageFrequencyMap {
+    /// No voltage scaling: every frequency in `[0, f_max]` runs at the single
+    /// supply voltage (the PAMA board: 3.3 V).
+    Fixed {
+        /// The sole supply voltage.
+        voltage: Volts,
+        /// Maximum frequency at that voltage.
+        f_max: Hertz,
+    },
+    /// Affine law `g(v) = slope · (v − threshold)` for `v > threshold`.
+    Affine {
+        /// Hz per volt above threshold.
+        slope: f64,
+        /// Threshold voltage below which the part does not run.
+        threshold: Volts,
+    },
+    /// Monotone lookup table of `(voltage, max frequency)` pairs; `g` and
+    /// `g⁻¹` interpolate linearly between entries.
+    Table(Vec<(Volts, Hertz)>),
+}
+
+impl VoltageFrequencyMap {
+    /// Build a table map, validating monotonicity.
+    ///
+    /// # Panics
+    /// Panics when fewer than two points are given or the table is not
+    /// strictly increasing in both coordinates (a non-monotone `g` has no
+    /// inverse, and Eq. 11 requires one).
+    pub fn table(points: Vec<(Volts, Hertz)>) -> Self {
+        assert!(points.len() >= 2, "table needs at least two points");
+        for w in points.windows(2) {
+            assert!(
+                w[1].0.value() > w[0].0.value() && w[1].1.value() > w[0].1.value(),
+                "voltage–frequency table must be strictly increasing"
+            );
+        }
+        Self::Table(points)
+    }
+
+    /// `g(v)`: maximum frequency sustainable at voltage `v`.
+    pub fn max_frequency(&self, v: Volts) -> Hertz {
+        match self {
+            Self::Fixed { voltage, f_max } => {
+                if v.value() + 1e-12 >= voltage.value() {
+                    *f_max
+                } else {
+                    Hertz::ZERO
+                }
+            }
+            Self::Affine { slope, threshold } => {
+                hertz((slope * (v.value() - threshold.value())).max(0.0))
+            }
+            Self::Table(points) => {
+                if v.value() <= points[0].0.value() {
+                    // Below the first calibrated point, scale down linearly
+                    // to zero at v = 0 (conservative extrapolation).
+                    let (v0, f0) = points[0];
+                    return hertz((f0.value() * (v.value() / v0.value())).max(0.0));
+                }
+                if v.value() >= points.last().unwrap().0.value() {
+                    return points.last().unwrap().1;
+                }
+                for w in points.windows(2) {
+                    let ((v0, f0), (v1, f1)) = (w[0], w[1]);
+                    if v.value() <= v1.value() {
+                        let t = (v.value() - v0.value()) / (v1.value() - v0.value());
+                        return hertz(f0.value() + t * (f1.value() - f0.value()));
+                    }
+                }
+                unreachable!("table scan covers the full range")
+            }
+        }
+    }
+
+    /// `g⁻¹(f)`: minimum voltage that sustains frequency `f`. For the fixed
+    /// map this is the sole voltage for any `f ≤ f_max` (and `None` above).
+    pub fn min_voltage_for(&self, f: Hertz) -> Option<Volts> {
+        match self {
+            Self::Fixed { voltage, f_max } => {
+                (f.value() <= f_max.value() + 1e-9).then_some(*voltage)
+            }
+            Self::Affine { slope, threshold } => {
+                (*slope > 0.0).then(|| volts(threshold.value() + f.value() / slope))
+            }
+            Self::Table(points) => {
+                let (v_last, f_last) = *points.last().unwrap();
+                if f.value() > f_last.value() + 1e-9 {
+                    return None;
+                }
+                let (v0, f0) = points[0];
+                if f.value() <= f0.value() {
+                    return Some(volts(v0.value() * (f.value() / f0.value()).max(0.0)));
+                }
+                for w in points.windows(2) {
+                    let ((va, fa), (vb, fb)) = (w[0], w[1]);
+                    if f.value() <= fb.value() {
+                        let t = (f.value() - fa.value()) / (fb.value() - fa.value());
+                        return Some(volts(va.value() + t * (vb.value() - va.value())));
+                    }
+                }
+                Some(v_last)
+            }
+        }
+    }
+
+    /// Eq. 11: the voltage to run frequency `f` at, clamped to
+    /// `[v_min, v_max]`. Returns `None` when `f` is not attainable at
+    /// `v_max` (i.e. `f > g(v_max)`).
+    pub fn operating_voltage(&self, f: Hertz, v_min: Volts, v_max: Volts) -> Option<Volts> {
+        if f.value() > self.max_frequency(v_max).value() + 1e-9 {
+            return None;
+        }
+        let v = self.min_voltage_for(f)?;
+        Some(v.max(v_min).min(v_max))
+    }
+
+    /// `g(v_min)` — the pivot frequency `f₀` of the §4.2 case analysis:
+    /// below it, frequency changes performance but voltage cannot drop
+    /// further; above it, voltage tracks frequency via `g⁻¹`.
+    pub fn pivot_frequency(&self, v_min: Volts) -> Hertz {
+        self.max_frequency(v_min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{hertz, volts, Hertz};
+
+    fn pama() -> VoltageFrequencyMap {
+        VoltageFrequencyMap::Fixed {
+            voltage: volts(3.3),
+            f_max: Hertz::from_mhz(80.0),
+        }
+    }
+
+    #[test]
+    fn fixed_map_reports_single_voltage() {
+        let m = pama();
+        assert_eq!(m.max_frequency(volts(3.3)), Hertz::from_mhz(80.0));
+        assert_eq!(m.max_frequency(volts(2.0)), Hertz::ZERO);
+        assert_eq!(m.min_voltage_for(Hertz::from_mhz(40.0)), Some(volts(3.3)));
+        assert_eq!(m.min_voltage_for(Hertz::from_mhz(100.0)), None);
+    }
+
+    #[test]
+    fn fixed_map_operating_voltage_clamps() {
+        let m = pama();
+        let v = m
+            .operating_voltage(Hertz::from_mhz(20.0), volts(3.3), volts(3.3))
+            .unwrap();
+        assert_eq!(v, volts(3.3));
+        assert!(m
+            .operating_voltage(Hertz::from_mhz(90.0), volts(3.3), volts(3.3))
+            .is_none());
+    }
+
+    #[test]
+    fn affine_map_inverse_roundtrip() {
+        let m = VoltageFrequencyMap::Affine {
+            slope: 100.0e6, // 100 MHz per volt
+            threshold: volts(0.8),
+        };
+        let f = m.max_frequency(volts(1.8));
+        assert!((f.value() - 100.0e6).abs() < 1.0);
+        let v = m.min_voltage_for(f).unwrap();
+        assert!((v.value() - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn affine_map_clamps_below_threshold() {
+        let m = VoltageFrequencyMap::Affine {
+            slope: 100.0e6,
+            threshold: volts(0.8),
+        };
+        assert_eq!(m.max_frequency(volts(0.5)), Hertz::ZERO);
+    }
+
+    #[test]
+    fn table_map_interpolates_both_ways() {
+        let m = VoltageFrequencyMap::table(vec![
+            (volts(1.0), Hertz::from_mhz(20.0)),
+            (volts(2.0), Hertz::from_mhz(60.0)),
+            (volts(3.0), Hertz::from_mhz(80.0)),
+        ]);
+        let f = m.max_frequency(volts(1.5));
+        assert!((f.mhz() - 40.0).abs() < 1e-9);
+        let v = m.min_voltage_for(hertz(40.0e6)).unwrap();
+        assert!((v.value() - 1.5).abs() < 1e-9);
+        // Saturation above the table.
+        assert_eq!(m.max_frequency(volts(5.0)), Hertz::from_mhz(80.0));
+        assert_eq!(m.min_voltage_for(Hertz::from_mhz(90.0)), None);
+    }
+
+    #[test]
+    fn table_map_extrapolates_to_zero() {
+        let m = VoltageFrequencyMap::table(vec![
+            (volts(1.0), Hertz::from_mhz(20.0)),
+            (volts(2.0), Hertz::from_mhz(60.0)),
+        ]);
+        assert!((m.max_frequency(volts(0.5)).mhz() - 10.0).abs() < 1e-9);
+        let v = m.min_voltage_for(Hertz::from_mhz(10.0)).unwrap();
+        assert!((v.value() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn table_map_rejects_non_monotone() {
+        VoltageFrequencyMap::table(vec![
+            (volts(2.0), Hertz::from_mhz(60.0)),
+            (volts(1.0), Hertz::from_mhz(20.0)),
+        ]);
+    }
+
+    #[test]
+    fn eq11_prefers_ginv_above_vmin() {
+        let m = VoltageFrequencyMap::Affine {
+            slope: 100.0e6,
+            threshold: volts(0.0),
+        };
+        // g⁻¹(50 MHz) = 0.5 V < v_min = 1.0 V ⇒ take v_min.
+        let v = m
+            .operating_voltage(Hertz::from_mhz(50.0), volts(1.0), volts(3.0))
+            .unwrap();
+        assert_eq!(v, volts(1.0));
+        // g⁻¹(200 MHz) = 2.0 V ≥ v_min ⇒ take g⁻¹.
+        let v = m
+            .operating_voltage(Hertz::from_mhz(200.0), volts(1.0), volts(3.0))
+            .unwrap();
+        assert!((v.value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pivot_frequency_is_g_of_vmin() {
+        let m = VoltageFrequencyMap::Affine {
+            slope: 100.0e6,
+            threshold: volts(0.0),
+        };
+        assert!((m.pivot_frequency(volts(1.5)).mhz() - 150.0).abs() < 1e-9);
+    }
+}

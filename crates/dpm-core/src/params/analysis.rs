@@ -1,0 +1,232 @@
+//! Numerical validation of the §4.2 marginal analysis (Eqs. 12–17).
+//!
+//! The paper derives `∂Perf/∂Power` in closed form along two directions —
+//! frequency at constant `n` (Eqs. 12/15) and processor count at constant
+//! `f` (Eqs. 13/16) — and compares them (Eqs. 14/17) to decide which knob
+//! to grow. This module evaluates *performance as a function of power*
+//! along each direction directly from the Eq. 3/6 models, so the closed
+//! forms can be checked against central differences (see the tests) and
+//! the crossover curves can be plotted by the examples.
+//!
+//! Everything here treats `n` as continuous, exactly as the derivation
+//! does; Algorithm 2 handles the discretization.
+
+use crate::model::AmdahlWorkload;
+use crate::platform::Platform;
+use crate::units::{hertz, Hertz, Watts};
+
+/// Performance (jobs/s, Eq. 3 with `c1` normalized as in
+/// [`crate::model::PerfModel`]) at continuous `(n, f)` with the Eq. 11
+/// voltage.
+pub fn perf_continuous(platform: &Platform, n: f64, f: Hertz) -> f64 {
+    if n <= 0.0 || f.value() <= 0.0 {
+        return 0.0;
+    }
+    let w = &platform.workload;
+    let eff = f.min(platform.vf.max_frequency(platform.v_max));
+    let t = (w.serial.value() + (w.total.value() - w.serial.value()) / n)
+        * (w.f_ref.value() / eff.value());
+    1.0 / t
+}
+
+/// Board power (Eq. 6, no standby floor — the idealized model the
+/// derivation uses) at continuous `(n, f)` with the Eq. 11 voltage.
+pub fn power_continuous(platform: &Platform, n: f64, f: Hertz) -> Watts {
+    let v = platform
+        .vf
+        .operating_voltage(f, platform.v_min, platform.v_max)
+        .unwrap_or(platform.v_max);
+    Watts(platform.power.c2 * n * f.value() * v.value() * v.value())
+}
+
+/// Invert `power_continuous` in `f` at fixed `n` (bisection over
+/// `[0, g(v_max)]`); `None` if the budget exceeds what `n` chips can draw.
+pub fn frequency_for_power(platform: &Platform, n: f64, budget: Watts) -> Option<Hertz> {
+    let f_max = platform.vf.max_frequency(platform.v_max);
+    if power_continuous(platform, n, f_max).value() < budget.value() - 1e-12 {
+        return None;
+    }
+    let (mut lo, mut hi) = (0.0, f_max.value());
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if power_continuous(platform, n, hertz(mid)).value() < budget.value() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hertz(0.5 * (lo + hi)))
+}
+
+/// Performance as a function of power at **constant `n`** (the Eq. 12/15
+/// curve): spend the budget on frequency (and voltage above the pivot).
+pub fn perf_vs_power_fixed_n(platform: &Platform, n: f64, budget: Watts) -> f64 {
+    match frequency_for_power(platform, n, budget) {
+        Some(f) => perf_continuous(platform, n, f),
+        None => perf_continuous(platform, n, platform.vf.max_frequency(platform.v_max)),
+    }
+}
+
+/// Performance as a function of power at **constant `f`** (the Eq. 13/16
+/// curve): spend the budget on processors.
+pub fn perf_vs_power_fixed_f(platform: &Platform, f: Hertz, budget: Watts) -> f64 {
+    let per_chip = power_continuous(platform, 1.0, f).value();
+    if per_chip <= 0.0 {
+        return 0.0;
+    }
+    let n = budget.value() / per_chip;
+    perf_continuous(platform, n, f)
+}
+
+/// Central-difference `∂Perf/∂Power` along the constant-`n` direction.
+pub fn dperf_dpower_fixed_n(platform: &Platform, n: f64, at: Watts, h: f64) -> f64 {
+    let up = perf_vs_power_fixed_n(platform, n, Watts(at.value() + h));
+    let dn = perf_vs_power_fixed_n(platform, n, Watts(at.value() - h));
+    (up - dn) / (2.0 * h)
+}
+
+/// Central-difference `∂Perf/∂Power` along the constant-`f` direction.
+pub fn dperf_dpower_fixed_f(platform: &Platform, f: Hertz, at: Watts, h: f64) -> f64 {
+    let up = perf_vs_power_fixed_f(platform, f, Watts(at.value() + h));
+    let dn = perf_vs_power_fixed_f(platform, f, Watts(at.value() - h));
+    (up - dn) / (2.0 * h)
+}
+
+/// The closed-form Eq. 14 ratio (below the pivot):
+/// `n·Ts/(Tt − Ts) + 1`.
+pub fn eq14_ratio(workload: &AmdahlWorkload, n: f64) -> f64 {
+    let par = workload.total.value() - workload.serial.value();
+    n * workload.serial.value() / par + 1.0
+}
+
+/// The closed-form Eq. 17 ratio (above the pivot):
+/// `n·Ts/(3(Tt − Ts)) + 1/3`.
+pub fn eq17_ratio(workload: &AmdahlWorkload, n: f64) -> f64 {
+    let par = workload.total.value() - workload.serial.value();
+    n * workload.serial.value() / (3.0 * par) + 1.0 / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AmdahlWorkload, VoltageFrequencyMap};
+    use crate::units::{seconds, volts, watts};
+
+    /// A platform where the pivot sits in the middle of the range so both
+    /// regimes are reachable: g(v) affine through the origin region.
+    fn platform() -> Platform {
+        let mut p = Platform::pama_dvfs();
+        p.workload = AmdahlWorkload::new(seconds(4.8), seconds(0.96), Hertz::from_mhz(20.0));
+        p
+    }
+
+    /// Below the pivot, voltage is pinned at v_min and power is linear in
+    /// f; the numerical dPerf/dPower ratio must match Eq. 14.
+    #[test]
+    fn numerical_ratio_matches_eq14_below_pivot() {
+        let p = platform();
+        let n = 3.0;
+        // Pick an operating power well below the pivot at this n.
+        let g_vmin = p.vf.pivot_frequency(p.v_min);
+        let f_op = hertz(0.4 * g_vmin.value());
+        let at = power_continuous(&p, n, f_op);
+        let h = at.value() * 1e-4;
+        let num_n = dperf_dpower_fixed_n(&p, n, at, h);
+        let num_f = dperf_dpower_fixed_f(&p, f_op, at, h);
+        let measured = num_n / num_f;
+        let expected = eq14_ratio(&p.workload, n);
+        assert!(
+            (measured - expected).abs() / expected < 0.02,
+            "measured {measured}, Eq. 14 gives {expected}"
+        );
+    }
+
+    /// Above the pivot, voltage tracks frequency and power grows cubically
+    /// in f… for the ideal alpha-power law. Our affine g(v) with threshold
+    /// is the paper's model only when threshold = 0 (v ∝ f exactly), so
+    /// validate Eq. 17 on that configuration.
+    #[test]
+    fn numerical_ratio_matches_eq17_above_pivot() {
+        let mut p = platform();
+        p.vf = VoltageFrequencyMap::Affine {
+            slope: 80.0e6 / 3.3,
+            threshold: volts(0.0),
+        };
+        p.v_min = volts(0.5);
+        p.v_max = volts(3.3);
+        let n = 3.0;
+        let g_vmin = p.vf.pivot_frequency(p.v_min);
+        let f_op = hertz(3.0 * g_vmin.value()); // well above the pivot
+        let at = power_continuous(&p, n, f_op);
+        let h = at.value() * 1e-4;
+        let num_n = dperf_dpower_fixed_n(&p, n, at, h);
+        let num_f = dperf_dpower_fixed_f(&p, f_op, at, h);
+        let measured = num_n / num_f;
+        let expected = eq17_ratio(&p.workload, n);
+        assert!(
+            (measured - expected).abs() / expected < 0.03,
+            "measured {measured}, Eq. 17 gives {expected}"
+        );
+    }
+
+    /// The Eq. 17 crossover: the two directional derivatives are equal at
+    /// exactly n* = 2(Tt/Ts − 1).
+    #[test]
+    fn crossover_sits_at_the_eq18_breakpoint() {
+        let mut p = platform();
+        p.vf = VoltageFrequencyMap::Affine {
+            slope: 80.0e6 / 3.3,
+            threshold: volts(0.0),
+        };
+        p.v_min = volts(0.2);
+        p.v_max = volts(5.0);
+        let n_star = p.workload.breakpoint_processors().unwrap(); // = 8
+        assert!((n_star - 8.0).abs() < 1e-9);
+        assert!((eq17_ratio(&p.workload, n_star) - 1.0).abs() < 1e-12);
+        // Numerically too.
+        let g_vmin = p.vf.pivot_frequency(p.v_min);
+        let f_op = hertz(4.0 * g_vmin.value());
+        let at = power_continuous(&p, n_star, f_op);
+        let h = at.value() * 1e-4;
+        let ratio = dperf_dpower_fixed_n(&p, n_star, at, h) / dperf_dpower_fixed_f(&p, f_op, at, h);
+        assert!((ratio - 1.0).abs() < 0.03, "ratio {ratio}");
+    }
+
+    /// Inversion sanity: frequency_for_power ∘ power_continuous ≈ identity.
+    #[test]
+    fn frequency_power_inversion_roundtrip() {
+        let p = platform();
+        for &mhz in &[5.0, 15.0, 40.0, 75.0] {
+            let f = Hertz::from_mhz(mhz);
+            let budget = power_continuous(&p, 4.0, f);
+            let back = frequency_for_power(&p, 4.0, budget).unwrap();
+            assert!(
+                (back.value() - f.value()).abs() / f.value() < 1e-6,
+                "{mhz} MHz -> {} MHz",
+                back.mhz()
+            );
+        }
+    }
+
+    #[test]
+    fn over_budget_returns_none() {
+        let p = platform();
+        assert!(frequency_for_power(&p, 1.0, watts(100.0)).is_none());
+    }
+
+    #[test]
+    fn perf_curves_are_monotone_in_power() {
+        let p = platform();
+        let mut last_n = 0.0;
+        let mut last_f = 0.0;
+        for i in 1..40 {
+            let w = watts(0.02 * i as f64);
+            let a = perf_vs_power_fixed_n(&p, 3.0, w);
+            let b = perf_vs_power_fixed_f(&p, Hertz::from_mhz(30.0), w);
+            assert!(a + 1e-12 >= last_n);
+            assert!(b + 1e-12 >= last_f);
+            last_n = a;
+            last_f = b;
+        }
+    }
+}

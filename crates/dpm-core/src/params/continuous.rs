@@ -1,0 +1,313 @@
+//! The continuous-parameter analysis of §4.2 (Eqs. 12–18).
+//!
+//! With a continuous parameter space and no switching overhead, the paper
+//! derives which knob — frequency or processor count — buys more
+//! performance per watt:
+//!
+//! * **Below the pivot** `f < g(v_min)` (voltage pinned at `v_min`, power
+//!   linear in `f`): the marginal-gain ratio is `n·Ts/(Tt−Ts) + 1 > 1`
+//!   (Eq. 14), so **raising frequency always wins**.
+//! * **Above the pivot** `f ≥ g(v_min)` (voltage tracks frequency, power
+//!   cubic in `f`): the ratio is `n·Ts/(3(Tt−Ts)) + 1/3` (Eq. 17), so
+//!   frequency wins only once `n·Ts/(Tt−Ts) > 2`; below that threshold
+//!   **adding processors wins**.
+//!
+//! Stacking the regimes yields the four-case policy of Eq. 18: grow `f` on
+//! one processor up to the pivot, then add processors at the pivot
+//! frequency until `n = 2(Tt/Ts − 1)`, then grow frequency/voltage to the
+//! maximum, then add processors again.
+
+use crate::model::AmdahlWorkload;
+use crate::platform::Platform;
+use crate::units::{hertz, Hertz, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Which knob the marginal analysis prefers to grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GrowthPreference {
+    /// Raise the clock (and voltage if required).
+    Frequency,
+    /// Activate another processor.
+    Processors,
+    /// The two are exactly tied.
+    Indifferent,
+}
+
+/// The ratio of Eq. 14 / Eq. 17:
+/// `(∂Perf/∂Power at constant n) / (∂Perf/∂Power at constant f)`.
+///
+/// `> 1` means raising frequency yields more performance per watt.
+pub fn marginal_gain_ratio(workload: &AmdahlWorkload, n: usize, above_pivot: bool) -> f64 {
+    let r = workload.decision_ratio(n); // n·Ts/(Tt−Ts)
+    if above_pivot {
+        r / 3.0 + 1.0 / 3.0 // Eq. 17
+    } else {
+        r + 1.0 // Eq. 14
+    }
+}
+
+/// Classify the Eq. 14/17 comparison.
+pub fn growth_preference(
+    workload: &AmdahlWorkload,
+    n: usize,
+    above_pivot: bool,
+) -> GrowthPreference {
+    let ratio = marginal_gain_ratio(workload, n, above_pivot);
+    if (ratio - 1.0).abs() < 1e-12 {
+        GrowthPreference::Indifferent
+    } else if ratio > 1.0 {
+        GrowthPreference::Frequency
+    } else {
+        GrowthPreference::Processors
+    }
+}
+
+/// A continuous (possibly fractional-`n`) operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContinuousPoint {
+    /// Processor count (fractional: the analysis treats `n` as continuous;
+    /// Algorithm 2 discretizes).
+    pub n: f64,
+    /// Clock frequency.
+    pub f: Hertz,
+}
+
+/// Eq. 18: the continuous operating point for an allocated power, given a
+/// DVFS-capable platform.
+///
+/// The four cases, with `P₀ = c2·g(v_min)·v_min²` (one processor at the
+/// pivot) and `n* = 2(Tt/Ts − 1)` (the Eq. 17 breakpoint):
+///
+/// 1. `P < P₀` — one processor below the pivot: `f = P/(c2·v_min²)`.
+/// 2. `P₀ ≤ P < n*·P₀` — processors at the pivot: `n = P/P₀`, `f = g(v_min)`.
+/// 3. `n*·P₀ ≤ P < n*·P_max` — hold `n = n*`, raise frequency/voltage so
+///    that `c2·n*·f·g⁻¹(f)² = P` (solved by bisection; `g` monotone makes
+///    the power strictly increasing in `f`).
+/// 4. `P ≥ n*·P_max` — max frequency, grow processors: `n = P/P_max`
+///    (`P_max = c2·g(v_max)·v_max²` per chip).
+///
+/// For a fully parallel workload (`Ts = 0`, `n* = ∞`) case 3/4 never
+/// engage; for a fully serial one the function pins `n = 1`.
+/// `n` is capped at the platform's worker count.
+pub fn continuous_operating_point(platform: &Platform, power: Watts) -> ContinuousPoint {
+    let c2 = platform.power.c2;
+    let vmin = platform.v_min;
+    let vmax = platform.v_max;
+    let g_vmin = platform.vf.pivot_frequency(vmin);
+    let g_vmax = platform.vf.max_frequency(vmax);
+    let n_max = platform.workers() as f64;
+
+    let chip_power = |f: Hertz| -> f64 {
+        let v = platform.vf.operating_voltage(f, vmin, vmax).unwrap_or(vmax);
+        c2 * f.value() * v.value() * v.value()
+    };
+    let p = power.value().max(0.0);
+    let p_pivot = chip_power(g_vmin); // P₀
+    let p_max = chip_power(g_vmax);
+
+    // Fully serial workload: processors beyond the first add nothing, so
+    // the whole budget goes to frequency (the paper drops this case after
+    // Eq. 17 for the same reason).
+    if platform.workload.parallel_fraction() <= 1e-12 {
+        let f = if p <= p_pivot {
+            hertz((p / (c2 * vmin.value() * vmin.value())).max(0.0)).min(g_vmin)
+        } else {
+            let target = p.min(p_max);
+            bisect_frequency(g_vmin, g_vmax, target, &chip_power)
+        };
+        return ContinuousPoint { n: 1.0, f };
+    }
+
+    let n_star = match platform.workload.breakpoint_processors() {
+        None => f64::INFINITY, // fully parallel: keep adding processors
+        Some(bp) if bp <= 0.0 => 1.0,
+        Some(bp) => bp,
+    };
+    let n_star_capped = n_star.min(n_max).max(1.0);
+
+    // Case 1: below one pivot-frequency processor.
+    if p < p_pivot {
+        let f = hertz((p / (c2 * vmin.value() * vmin.value())).max(0.0)).min(g_vmin);
+        return ContinuousPoint { n: 1.0, f };
+    }
+    // Case 2: processors at the pivot.
+    if p < n_star_capped * p_pivot {
+        return ContinuousPoint {
+            n: (p / p_pivot).min(n_max),
+            f: g_vmin,
+        };
+    }
+    // Case 3: n pinned at n*, frequency grows with voltage.
+    if p < n_star_capped * p_max {
+        let target_chip = p / n_star_capped;
+        let f = bisect_frequency(g_vmin, g_vmax, target_chip, &chip_power);
+        return ContinuousPoint {
+            n: n_star_capped,
+            f,
+        };
+    }
+    // Case 4: everything at max frequency; processors absorb the budget.
+    ContinuousPoint {
+        n: (p / p_max).min(n_max),
+        f: g_vmax,
+    }
+}
+
+/// Solve `chip_power(f) = target` for `f ∈ [lo, hi]` by bisection; the map
+/// is strictly increasing because both `f` and `g⁻¹(f)` are.
+fn bisect_frequency(
+    lo: Hertz,
+    hi: Hertz,
+    target: f64,
+    chip_power: &impl Fn(Hertz) -> f64,
+) -> Hertz {
+    let (mut a, mut b) = (lo.value(), hi.value());
+    if chip_power(hertz(b)) <= target {
+        return hertz(b);
+    }
+    if chip_power(hertz(a)) >= target {
+        return hertz(a);
+    }
+    for _ in 0..64 {
+        let m = 0.5 * (a + b);
+        if chip_power(hertz(m)) < target {
+            a = m;
+        } else {
+            b = m;
+        }
+    }
+    hertz(0.5 * (a + b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{seconds, watts};
+
+    fn dvfs_platform() -> Platform {
+        let mut p = Platform::pama_dvfs();
+        // Workload with Ts/Tt = 0.2 ⇒ n* = 2·(5−1) = 8 > workers (7).
+        p.workload =
+            crate::model::AmdahlWorkload::new(seconds(4.8), seconds(0.96), Hertz::from_mhz(20.0));
+        p
+    }
+
+    #[test]
+    fn eq14_ratio_always_prefers_frequency_below_pivot() {
+        let w = AmdahlWorkload::new(seconds(4.8), seconds(0.48), Hertz::from_mhz(20.0));
+        for n in 1..=16 {
+            assert!(marginal_gain_ratio(&w, n, false) > 1.0);
+            assert_eq!(growth_preference(&w, n, false), GrowthPreference::Frequency);
+        }
+    }
+
+    #[test]
+    fn eq17_threshold_flips_preference() {
+        // Ts/Tt = 0.1 ⇒ ratio crosses 1 at n·Ts/(Tt−Ts) = 2 ⇔ n = 18.
+        let w = AmdahlWorkload::new(seconds(4.8), seconds(0.48), Hertz::from_mhz(20.0));
+        assert_eq!(
+            growth_preference(&w, 17, true),
+            GrowthPreference::Processors
+        );
+        assert_eq!(growth_preference(&w, 19, true), GrowthPreference::Frequency);
+        // Exactly at the breakpoint the ratio is 1.
+        assert_eq!(
+            growth_preference(&w, 18, true),
+            GrowthPreference::Indifferent
+        );
+    }
+
+    #[test]
+    fn fully_parallel_always_prefers_processors_above_pivot() {
+        let w = AmdahlWorkload::fully_parallel(seconds(4.8), Hertz::from_mhz(20.0));
+        for n in 1..=64 {
+            assert_eq!(growth_preference(&w, n, true), GrowthPreference::Processors);
+        }
+    }
+
+    #[test]
+    fn case1_small_power_single_slow_processor() {
+        let p = dvfs_platform();
+        let pt = continuous_operating_point(&p, watts(0.001));
+        assert_eq!(pt.n, 1.0);
+        assert!(pt.f.value() < p.vf.pivot_frequency(p.v_min).value());
+    }
+
+    #[test]
+    fn case2_medium_power_adds_processors_at_pivot() {
+        let p = dvfs_platform();
+        let g_vmin = p.vf.pivot_frequency(p.v_min);
+        let chip = p.power.c2 * g_vmin.value() * p.v_min.value() * p.v_min.value();
+        let pt = continuous_operating_point(&p, watts(3.0 * chip));
+        assert!((pt.n - 3.0).abs() < 1e-9, "n = {}", pt.n);
+        assert!((pt.f.value() - g_vmin.value()).abs() < 1.0);
+    }
+
+    #[test]
+    fn case3_holds_n_star_and_raises_frequency() {
+        let mut p = dvfs_platform();
+        // Make n* = 4 (< 7 workers): Tt/Ts = 3 ⇒ Ts = Tt/3.
+        p.workload = AmdahlWorkload::new(seconds(4.8), seconds(1.6), Hertz::from_mhz(20.0));
+        let g_vmin = p.vf.pivot_frequency(p.v_min);
+        let chip_at = |f: Hertz| {
+            let v = p.vf.operating_voltage(f, p.v_min, p.v_max).unwrap();
+            p.power.c2 * f.value() * v.value() * v.value()
+        };
+        let n_star = 4.0;
+        let budget = n_star * chip_at(g_vmin) * 2.0; // inside case 3
+        let pt = continuous_operating_point(&p, watts(budget));
+        assert!((pt.n - n_star).abs() < 1e-9, "n = {}", pt.n);
+        assert!(pt.f.value() > g_vmin.value());
+        // Power balances at the solved frequency.
+        let achieved = pt.n * chip_at(pt.f);
+        assert!((achieved - budget).abs() / budget < 1e-6);
+    }
+
+    #[test]
+    fn case4_huge_power_maxes_everything() {
+        let p = dvfs_platform();
+        let pt = continuous_operating_point(&p, watts(1e6));
+        assert_eq!(pt.n, p.workers() as f64);
+        assert!((pt.f.value() - p.vf.max_frequency(p.v_max).value()).abs() < 1.0);
+    }
+
+    #[test]
+    fn monotone_in_power() {
+        let p = dvfs_platform();
+        let mut last_perf = -1.0;
+        let perf = p.perf_model();
+        for i in 1..60 {
+            let budget = watts(0.05 * i as f64);
+            let pt = continuous_operating_point(&p, budget);
+            let n = pt.n.floor().max(1.0) as usize;
+            let v =
+                p.vf.operating_voltage(pt.f, p.v_min, p.v_max)
+                    .unwrap_or(p.v_max);
+            let tp = perf.throughput(n, pt.f, v).value();
+            assert!(
+                tp + 1e-9 >= last_perf,
+                "throughput regressed at budget {budget}: {tp} < {last_perf}"
+            );
+            last_perf = tp;
+        }
+    }
+
+    #[test]
+    fn fully_serial_pins_one_processor() {
+        let mut p = dvfs_platform();
+        p.workload = AmdahlWorkload::new(seconds(4.8), seconds(4.8), Hertz::from_mhz(20.0));
+        let pt = continuous_operating_point(&p, watts(5.0));
+        assert_eq!(pt.n, 1.0);
+    }
+
+    #[test]
+    fn fixed_voltage_platform_degenerates_gracefully() {
+        // PAMA: v_min = v_max ⇒ pivot = 80 MHz; everything is case 1/2-ish.
+        let p = Platform::pama();
+        let pt = continuous_operating_point(&p, watts(0.2));
+        assert_eq!(pt.n, 1.0);
+        assert!(pt.f.value() <= Hertz::from_mhz(80.0).value() + 1.0);
+        let pt_big = continuous_operating_point(&p, watts(10.0));
+        assert!(pt_big.n > 1.0);
+    }
+}

@@ -1,0 +1,474 @@
+//! §6 future-work extensions, implemented: per-processor frequencies and
+//! heterogeneous processor pools.
+//!
+//! The paper's Algorithm 2 restricts all processors to one `(f, v)` because
+//! PAMA distributes a single clock. Its conclusion sketches two
+//! generalizations:
+//!
+//! 1. **Per-processor frequency/voltage** on a homogeneous pool. Under the
+//!    Fig. 2 fork-join graph the parallel stage finishes when the *slowest*
+//!    participant finishes, so an optimal assignment is *level* across
+//!    participants — but mixing frequencies still helps when the budget
+//!    falls between two uniform levels: run `k` chips one step faster than
+//!    the rest. [`MixedFrequencyTable`] enumerates these two-level
+//!    assignments and Pareto-prunes them, strictly enlarging the frontier
+//!    relative to the homogeneous table.
+//!
+//! 2. **Heterogeneous processors** — different `c2`, frequency sets and
+//!    speed factors per chip class. [`HeteroAllocator`] greedily activates
+//!    whole chips in order of marginal throughput-per-watt, which is optimal
+//!    for the concave per-chip utility the Eq. 2–6 models induce.
+
+use super::pareto::RatedPoint;
+use super::OperatingPoint;
+use crate::model::Throughput;
+use crate::platform::Platform;
+use crate::units::{watts, Hertz, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A two-level frequency assignment: `slow_count` chips at `f_slow`,
+/// `fast_count` chips at `f_fast` (adjacent frequency steps).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixedAssignment {
+    /// Chips at the lower level (0 allowed).
+    pub slow_count: usize,
+    /// Lower frequency.
+    pub f_slow: Hertz,
+    /// Chips at the upper level.
+    pub fast_count: usize,
+    /// Upper frequency.
+    pub f_fast: Hertz,
+    /// Board power, W.
+    pub power: Watts,
+    /// Fork-join throughput, jobs/s.
+    pub perf: Throughput,
+}
+
+impl MixedAssignment {
+    /// Total active chips.
+    pub fn workers(&self) -> usize {
+        self.slow_count + self.fast_count
+    }
+}
+
+/// Pareto frontier over two-level per-processor frequency assignments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedFrequencyTable {
+    frontier: Vec<MixedAssignment>,
+}
+
+impl MixedFrequencyTable {
+    /// Enumerate all `(n_slow, n_fast, f_slow, f_fast)` two-level splits
+    /// over adjacent frequency steps (plus the uniform assignments) and
+    /// prune dominated ones.
+    pub fn build(platform: &Platform) -> Self {
+        let mut all = Vec::new();
+        let freqs = &platform.frequencies;
+        for total in 1..=platform.workers() {
+            // Uniform assignments (fast_count = total at each level).
+            for &f in freqs {
+                if let Some(a) = Self::rate(platform, 0, f, total, f) {
+                    all.push(a);
+                }
+            }
+            // Two-level splits over adjacent steps.
+            for w in freqs.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                for fast in 1..total {
+                    if let Some(a) = Self::rate(platform, total - fast, lo, fast, hi) {
+                        all.push(a);
+                    }
+                }
+            }
+        }
+        all.sort_by(|a, b| {
+            a.power
+                .value()
+                .total_cmp(&b.power.value())
+                .then(b.perf.value().total_cmp(&a.perf.value()))
+        });
+        let mut frontier: Vec<MixedAssignment> = Vec::new();
+        for a in all {
+            if frontier
+                .last()
+                .is_none_or(|last| a.perf.value() > last.perf.value() + 1e-15)
+            {
+                frontier.push(a);
+            }
+        }
+        Self { frontier }
+    }
+
+    fn rate(
+        platform: &Platform,
+        slow_count: usize,
+        f_slow: Hertz,
+        fast_count: usize,
+        f_fast: Hertz,
+    ) -> Option<MixedAssignment> {
+        let v_slow = platform.voltage_for(f_slow)?;
+        let v_fast = platform.voltage_for(f_fast)?;
+        let n = slow_count + fast_count;
+        // Power: Eq. 5 over the mixed set, controller at the fast clock,
+        // rest standby.
+        let mut points: Vec<(Hertz, Volts)> = Vec::with_capacity(n + platform.reserved);
+        points.extend(std::iter::repeat_n((f_slow, v_slow), slow_count));
+        points.extend(std::iter::repeat_n((f_fast, v_fast), fast_count));
+        points.extend(std::iter::repeat_n((f_fast, v_fast), platform.reserved));
+        let power = platform.power.board_power_hetero(&points);
+        // Fork-join performance: the parallel stage splits the work so each
+        // chip gets a share proportional to its speed, hence the stage time
+        // is (parallel work)/(Σ speeds); the serial stage runs on the
+        // fastest chip.
+        let w = &platform.workload;
+        let f_ref = w.f_ref.value();
+        let speed_sum =
+            slow_count as f64 * f_slow.value() / f_ref + fast_count as f64 * f_fast.value() / f_ref;
+        if speed_sum <= 0.0 {
+            return None;
+        }
+        let serial = w.serial.value() / (f_fast.value() / f_ref);
+        let parallel = (w.total.value() - w.serial.value()) / speed_sum;
+        let perf = Throughput(1.0 / (serial + parallel));
+        Some(MixedAssignment {
+            slow_count,
+            f_slow,
+            fast_count,
+            f_fast,
+            power,
+            perf,
+        })
+    }
+
+    /// The frontier, ascending power.
+    pub fn frontier(&self) -> &[MixedAssignment] {
+        &self.frontier
+    }
+
+    /// Best assignment within a power budget; `None` if even the cheapest
+    /// exceeds it.
+    pub fn best_within(&self, budget: Watts) -> Option<MixedAssignment> {
+        self.frontier
+            .iter()
+            .take_while(|a| a.power.value() <= budget.value() + 1e-12)
+            .last()
+            .copied()
+    }
+}
+
+/// One class of processors in a heterogeneous system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorClass {
+    /// Label for reports.
+    pub name: String,
+    /// Chips available in this class.
+    pub count: usize,
+    /// Relative speed at its operating point (jobs-per-second contribution
+    /// to the parallel stage, normalized to the reference chip = 1.0).
+    pub speed: f64,
+    /// Power drawn per active chip, W.
+    pub chip_power: Watts,
+}
+
+/// A chip activation chosen by the heterogeneous allocator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeteroActivation {
+    /// Class name.
+    pub class: String,
+    /// Chips of that class activated.
+    pub count: usize,
+}
+
+/// Result of a heterogeneous allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeteroPlan {
+    /// Activations per class.
+    pub activations: Vec<HeteroActivation>,
+    /// Total power, W.
+    pub power: Watts,
+    /// Aggregate parallel-stage speed (sum of activated chip speeds).
+    pub speed: f64,
+}
+
+/// Greedy marginal throughput-per-watt allocator over processor classes.
+#[derive(Debug, Clone)]
+pub struct HeteroAllocator {
+    classes: Vec<ProcessorClass>,
+}
+
+impl HeteroAllocator {
+    /// Build from the class inventory.
+    ///
+    /// # Panics
+    /// Panics on an empty inventory or non-positive speeds/powers.
+    pub fn new(classes: Vec<ProcessorClass>) -> Self {
+        assert!(!classes.is_empty());
+        for c in &classes {
+            assert!(c.speed > 0.0, "class {} has non-positive speed", c.name);
+            assert!(
+                c.chip_power.value() > 0.0,
+                "class {} has non-positive power",
+                c.name
+            );
+        }
+        Self { classes }
+    }
+
+    /// Activate chips in descending speed-per-watt order until the budget
+    /// is exhausted. Because every chip contributes additively to the
+    /// parallel-stage speed and power, the greedy order is exact for this
+    /// model (it is the fractional-knapsack structure with whole chips;
+    /// ties in density make it optimal to within one chip per class).
+    pub fn allocate(&self, budget: Watts) -> HeteroPlan {
+        let mut order: Vec<&ProcessorClass> = self.classes.iter().collect();
+        order.sort_by(|a, b| {
+            let da = a.speed / a.chip_power.value();
+            let db = b.speed / b.chip_power.value();
+            db.total_cmp(&da)
+        });
+        let mut remaining = budget.value();
+        let mut power = 0.0;
+        let mut speed = 0.0;
+        let mut activations = Vec::new();
+        for c in order {
+            let affordable = (remaining / c.chip_power.value()).floor() as usize;
+            let take = affordable.min(c.count);
+            if take > 0 {
+                remaining -= take as f64 * c.chip_power.value();
+                power += take as f64 * c.chip_power.value();
+                speed += take as f64 * c.speed;
+                activations.push(HeteroActivation {
+                    class: c.name.clone(),
+                    count: take,
+                });
+            }
+        }
+        HeteroPlan {
+            activations,
+            power: watts(power),
+            speed,
+        }
+    }
+}
+
+/// A per-slot plan over the mixed-frequency frontier — the §6 extension's
+/// analogue of [`crate::params::ParameterScheduler`]. Overheads are not
+/// modelled here (the extension's point is the finer frontier; the
+/// overhead machinery composes identically).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedSchedule {
+    /// Chosen assignment per slot (`None` = below the cheapest point, run
+    /// nothing).
+    pub slots: Vec<Option<MixedAssignment>>,
+}
+
+impl MixedSchedule {
+    /// Total modelled jobs over the period.
+    pub fn total_jobs(&self, tau_seconds: f64) -> f64 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|a| a.perf.value() * tau_seconds)
+            .sum()
+    }
+
+    /// Total modelled energy over the period (standby floor excluded for
+    /// off slots — comparable across tables).
+    pub fn total_energy(&self, tau_seconds: f64) -> f64 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|a| a.power.value() * tau_seconds)
+            .sum()
+    }
+}
+
+/// Plan a period's allocation over the mixed-frequency frontier: for each
+/// slot take the best assignment within the budget.
+pub fn plan_mixed(table: &MixedFrequencyTable, budgets: &[f64]) -> MixedSchedule {
+    MixedSchedule {
+        slots: budgets
+            .iter()
+            .map(|&b| table.best_within(watts(b)))
+            .collect(),
+    }
+}
+
+/// Convert a mixed assignment to the nearest homogeneous rated point, for
+/// comparing the extension against the paper's baseline table.
+pub fn as_homogeneous(a: &MixedAssignment) -> RatedPoint {
+    let f = if a.fast_count >= a.slow_count {
+        a.f_fast
+    } else {
+        a.f_slow
+    };
+    RatedPoint {
+        point: OperatingPoint::new(a.workers(), f, Volts(0.0)),
+        power: a.power,
+        perf: a.perf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParetoTable;
+
+    #[test]
+    fn mixed_table_contains_uniform_points() {
+        let platform = Platform::pama();
+        let mixed = MixedFrequencyTable::build(&platform);
+        let homo = ParetoTable::build(&platform);
+        // Every homogeneous frontier power level is matched or beaten.
+        for r in homo.frontier().iter().skip(1) {
+            let m = mixed.best_within(r.power).expect("budget covers a point");
+            assert!(
+                m.perf.value() + 1e-12 >= r.perf.value(),
+                "mixed table worse at {}: {} < {}",
+                r.power,
+                m.perf.value(),
+                r.perf.value()
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_table_fills_gaps_between_uniform_levels() {
+        let platform = Platform::pama();
+        let mixed = MixedFrequencyTable::build(&platform);
+        // A genuinely two-level assignment must appear on the frontier.
+        assert!(
+            mixed
+                .frontier()
+                .iter()
+                .any(|a| a.slow_count > 0 && a.fast_count > 0),
+            "no mixed assignment on the frontier"
+        );
+    }
+
+    #[test]
+    fn mixed_frontier_is_strictly_increasing() {
+        let platform = Platform::pama();
+        let mixed = MixedFrequencyTable::build(&platform);
+        for w in mixed.frontier().windows(2) {
+            assert!(w[1].power.value() > w[0].power.value());
+            assert!(w[1].perf.value() > w[0].perf.value());
+        }
+    }
+
+    #[test]
+    fn mixed_best_within_none_below_floor() {
+        let platform = Platform::pama();
+        let mixed = MixedFrequencyTable::build(&platform);
+        assert!(mixed.best_within(watts(0.01)).is_none());
+    }
+
+    fn classes() -> Vec<ProcessorClass> {
+        vec![
+            ProcessorClass {
+                name: "pim".into(),
+                count: 7,
+                speed: 1.0,
+                chip_power: watts(0.546),
+            },
+            ProcessorClass {
+                name: "dsp".into(),
+                count: 2,
+                speed: 3.0,
+                chip_power: watts(1.2),
+            },
+        ]
+    }
+
+    #[test]
+    fn hetero_prefers_denser_class_first() {
+        // dsp density 2.5 speed/W > pim 1.83: budget for one dsp only.
+        let h = HeteroAllocator::new(classes());
+        let plan = h.allocate(watts(1.3));
+        assert_eq!(plan.activations.len(), 1);
+        assert_eq!(plan.activations[0].class, "dsp");
+        assert_eq!(plan.activations[0].count, 1);
+    }
+
+    #[test]
+    fn hetero_spills_to_second_class() {
+        let h = HeteroAllocator::new(classes());
+        // 2 dsp = 2.4 W; remainder buys pims.
+        let plan = h.allocate(watts(4.0));
+        let dsp = plan.activations.iter().find(|a| a.class == "dsp").unwrap();
+        assert_eq!(dsp.count, 2);
+        let pim = plan.activations.iter().find(|a| a.class == "pim").unwrap();
+        assert_eq!(pim.count, 2); // 1.6 W left / 0.546 = 2 chips
+        assert!(plan.power.value() <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn hetero_zero_budget_activates_nothing() {
+        let h = HeteroAllocator::new(classes());
+        let plan = h.allocate(Watts::ZERO);
+        assert!(plan.activations.is_empty());
+        assert_eq!(plan.speed, 0.0);
+    }
+
+    #[test]
+    fn hetero_speed_monotone_in_budget() {
+        let h = HeteroAllocator::new(classes());
+        let mut last = -1.0;
+        for i in 0..20 {
+            let plan = h.allocate(watts(0.4 * i as f64));
+            assert!(plan.speed + 1e-12 >= last, "regressed at {i}");
+            last = plan.speed;
+        }
+    }
+
+    #[test]
+    fn mixed_plan_never_underperforms_homogeneous_plan() {
+        // Same per-slot budgets: the finer frontier can only do at least
+        // as many jobs within the same power.
+        let platform = Platform::pama();
+        let mixed = MixedFrequencyTable::build(&platform);
+        let homo = ParetoTable::build(&platform);
+        let budgets: Vec<f64> = vec![0.4, 0.8, 1.2, 1.6, 2.0, 2.4, 2.8, 3.2, 3.6, 4.0, 4.4, 0.6];
+        let plan = plan_mixed(&mixed, &budgets);
+        let mixed_jobs = plan.total_jobs(4.8);
+        let homo_jobs: f64 = budgets
+            .iter()
+            .map(|&b| homo.best_within(watts(b)).perf.value() * 4.8)
+            .sum();
+        assert!(
+            mixed_jobs + 1e-9 >= homo_jobs,
+            "mixed {mixed_jobs} < homogeneous {homo_jobs}"
+        );
+        // And it genuinely helps on at least one budget on this platform.
+        assert!(mixed_jobs > homo_jobs + 1e-6, "{mixed_jobs} vs {homo_jobs}");
+    }
+
+    #[test]
+    fn mixed_plan_respects_budgets() {
+        let platform = Platform::pama();
+        let mixed = MixedFrequencyTable::build(&platform);
+        let budgets = vec![0.1, 1.0, 5.0];
+        let plan = plan_mixed(&mixed, &budgets);
+        assert!(plan.slots[0].is_none(), "0.1 W is below any assignment");
+        for (slot, &b) in plan.slots.iter().zip(&budgets) {
+            if let Some(a) = slot {
+                assert!(a.power.value() <= b + 1e-9);
+            }
+        }
+        assert!(plan.total_energy(4.8) > 0.0);
+    }
+
+    #[test]
+    fn as_homogeneous_preserves_ratings() {
+        let platform = Platform::pama();
+        let mixed = MixedFrequencyTable::build(&platform);
+        let a = mixed
+            .frontier()
+            .iter()
+            .find(|a| a.slow_count > 0 && a.fast_count > 0)
+            .unwrap();
+        let r = as_homogeneous(a);
+        assert_eq!(r.power, a.power);
+        assert_eq!(r.point.workers, a.workers());
+    }
+}

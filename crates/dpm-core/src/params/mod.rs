@@ -1,0 +1,127 @@
+//! System-parameter computation (§4.2): choosing `(n, f, v)` for an
+//! allocated power.
+//!
+//! * [`analysis`] — numerical validation of the Eq. 12–17 marginal
+//!   derivations (performance-vs-power curves along each knob).
+//! * [`continuous`] — the closed-form continuous-space policy of Eqs. 12–18
+//!   (which of frequency vs. processor count to grow, and the four-case
+//!   operating-point formula).
+//! * [`pareto`] — the `(Power, Perf)` pair table over discrete `(n, f)` and
+//!   the dominance pruning of Algorithm 2 lines 1–5.
+//! * [`scheduler`] — Algorithm 2 proper: walking the period in `τ` steps,
+//!   tracking the planned-vs-selected energy difference, and charging switch
+//!   overheads against performance gains.
+//! * [`hetero`] — the paper's §6 future-work extensions: per-processor
+//!   frequencies and heterogeneous processor pools.
+
+pub mod analysis;
+pub mod continuous;
+pub mod hetero;
+pub mod pareto;
+pub mod scheduler;
+
+pub use continuous::{continuous_operating_point, marginal_gain_ratio, GrowthPreference};
+pub use pareto::{ParetoTable, RatedPoint};
+pub use scheduler::{ParameterSchedule, ParameterScheduler, ScheduledSlot};
+
+use crate::units::{Hertz, Volts};
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous operating point: `n` workers at a common `(f, v)`.
+///
+/// `workers = 0` means the whole board (controller included) sits in
+/// standby; `frequency`/`voltage` are irrelevant then and normalized to
+/// zero so `OFF` compares equal regardless of provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Active worker processors.
+    pub workers: usize,
+    /// Common clock frequency.
+    pub frequency: Hertz,
+    /// Common supply voltage.
+    pub voltage: Volts,
+}
+
+impl OperatingPoint {
+    /// Everything off (standby floor only).
+    pub const OFF: Self = Self {
+        workers: 0,
+        frequency: Hertz(0.0),
+        voltage: Volts(0.0),
+    };
+
+    /// Build an active point.
+    pub fn new(workers: usize, frequency: Hertz, voltage: Volts) -> Self {
+        if workers == 0 {
+            Self::OFF
+        } else {
+            Self {
+                workers,
+                frequency,
+                voltage,
+            }
+        }
+    }
+
+    /// Whether anything is running.
+    #[inline]
+    pub fn is_off(&self) -> bool {
+        self.workers == 0
+    }
+
+    /// Do two points differ in processor count / frequency (the two axes
+    /// the overhead model charges for)?
+    pub fn diff(&self, other: &Self) -> (bool, bool) {
+        (
+            self.workers != other.workers,
+            (self.frequency.value() - other.frequency.value()).abs() > 1e-6,
+        )
+    }
+}
+
+impl std::fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_off() {
+            write!(f, "off")
+        } else {
+            write!(
+                f,
+                "{}p @ {:.0} MHz / {:.2} V",
+                self.workers,
+                self.frequency.mhz(),
+                self.voltage.value()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::volts;
+
+    #[test]
+    fn zero_workers_normalizes_to_off() {
+        let p = OperatingPoint::new(0, Hertz::from_mhz(80.0), volts(3.3));
+        assert_eq!(p, OperatingPoint::OFF);
+        assert!(p.is_off());
+    }
+
+    #[test]
+    fn diff_reports_changed_axes() {
+        let a = OperatingPoint::new(3, Hertz::from_mhz(40.0), volts(3.3));
+        let b = OperatingPoint::new(3, Hertz::from_mhz(80.0), volts(3.3));
+        assert_eq!(a.diff(&b), (false, true));
+        let c = OperatingPoint::new(5, Hertz::from_mhz(80.0), volts(3.3));
+        assert_eq!(b.diff(&c), (true, false));
+        assert_eq!(a.diff(&c), (true, true));
+        assert_eq!(a.diff(&a), (false, false));
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = OperatingPoint::new(3, Hertz::from_mhz(40.0), volts(3.3));
+        assert_eq!(format!("{p}"), "3p @ 40 MHz / 3.30 V");
+        assert_eq!(format!("{}", OperatingPoint::OFF), "off");
+    }
+}

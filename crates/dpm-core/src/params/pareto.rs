@@ -1,0 +1,306 @@
+//! The `(Power, Perf)` pair table of Algorithm 2, lines 1–5.
+//!
+//! Lines 1–2 rate every discrete `(n, f)` combination; lines 3–5 delete any
+//! pair that draws at least as much power as another while performing no
+//! better. What survives is the Pareto frontier, strictly increasing in
+//! both power and performance, which makes the line 12–13 lookup ("best
+//! point not exceeding the slot's power budget") a binary search.
+
+use super::OperatingPoint;
+use crate::model::Throughput;
+use crate::platform::Platform;
+use crate::units::Watts;
+use serde::{Deserialize, Serialize};
+
+/// An operating point with its modelled power draw and throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatedPoint {
+    /// The parameters.
+    pub point: OperatingPoint,
+    /// Board power at this point (workers + controller active, rest
+    /// standby).
+    pub power: Watts,
+    /// Eq. 3 throughput.
+    pub perf: Throughput,
+}
+
+/// The pruned frontier, sorted by ascending power (and hence ascending
+/// performance).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoTable {
+    frontier: Vec<RatedPoint>,
+    /// How many raw pairs were rated before pruning (for the ablation
+    /// bench).
+    raw_count: usize,
+}
+
+impl ParetoTable {
+    /// Rate every `(n, f)` pair of the platform — `n ∈ {0} ∪ [1, workers]`,
+    /// `f` in the discrete frequency set — and prune dominated pairs.
+    pub fn build(platform: &Platform) -> Self {
+        let rated = Self::rate_all(platform);
+        let raw_count = rated.len();
+        let frontier = Self::prune(rated);
+        Self {
+            frontier,
+            raw_count,
+        }
+    }
+
+    /// Build without pruning (ablation baseline): the table keeps every
+    /// pair; lookups scan linearly for the best feasible point.
+    pub fn build_unpruned(platform: &Platform) -> Self {
+        let mut rated = Self::rate_all(platform);
+        let raw_count = rated.len();
+        rated.sort_by(|a, b| {
+            a.power
+                .value()
+                .total_cmp(&b.power.value())
+                .then(a.perf.value().total_cmp(&b.perf.value()))
+        });
+        Self {
+            frontier: rated,
+            raw_count,
+        }
+    }
+
+    fn rate_all(platform: &Platform) -> Vec<RatedPoint> {
+        let perf_model = platform.perf_model();
+        let mut rated = Vec::with_capacity(platform.workers() * platform.frequencies.len() + 1);
+        // The all-off point: standby floor, zero throughput.
+        rated.push(RatedPoint {
+            point: OperatingPoint::OFF,
+            power: platform.power.all_standby(),
+            perf: Throughput::ZERO,
+        });
+        for n in 1..=platform.workers() {
+            for &f in &platform.frequencies {
+                let Some(v) = platform.voltage_for(f) else {
+                    continue;
+                };
+                rated.push(RatedPoint {
+                    point: OperatingPoint::new(n, f, v),
+                    power: platform.board_power(n, f),
+                    perf: perf_model.throughput(n, f, v),
+                });
+            }
+        }
+        rated
+    }
+
+    /// Algorithm 2 lines 3–5: remove every pair dominated by another
+    /// (higher-or-equal power with lower-or-equal performance, unless
+    /// identical). Implemented as the classic sort-and-sweep: ascending by
+    /// power, keep only strict performance improvements.
+    fn prune(mut rated: Vec<RatedPoint>) -> Vec<RatedPoint> {
+        rated.sort_by(|a, b| {
+            a.power
+                .value()
+                .total_cmp(&b.power.value())
+                // Among equal powers, best performance first so the sweep
+                // keeps it.
+                .then(b.perf.value().total_cmp(&a.perf.value()))
+        });
+        let mut frontier: Vec<RatedPoint> = Vec::with_capacity(rated.len());
+        for r in rated {
+            match frontier.last() {
+                Some(last) if r.perf.value() <= last.perf.value() + 1e-15 => {}
+                _ => frontier.push(r),
+            }
+        }
+        frontier
+    }
+
+    /// Points on the frontier, ascending power.
+    pub fn frontier(&self) -> &[RatedPoint] {
+        &self.frontier
+    }
+
+    /// Raw pair count before pruning.
+    pub fn raw_count(&self) -> usize {
+        self.raw_count
+    }
+
+    /// Highest-performance point whose power does not exceed `budget`
+    /// (Algorithm 2 lines 12–13). Returns the all-off point when even that
+    /// exceeds the budget — the board cannot draw less than its standby
+    /// floor, so the caller sees the floor power regardless.
+    pub fn best_within(&self, budget: Watts) -> RatedPoint {
+        // Binary search the last frontier entry with power ≤ budget.
+        let mut lo = 0usize;
+        let mut hi = self.frontier.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.frontier[mid].power.value() <= budget.value() + 1e-12 {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            self.frontier[0]
+        } else {
+            self.frontier[lo - 1]
+        }
+    }
+
+    /// The frontier point whose power is *nearest* to `budget` (Algorithm
+    /// 2's "power usage closely follows the allocated power schedule" —
+    /// the paper's Tables 3/5 show the selected power rounding to either
+    /// side of `P_init`, with Algorithm 3 absorbing the signed error).
+    pub fn nearest(&self, budget: Watts) -> RatedPoint {
+        let below = self.best_within(budget);
+        // The first frontier entry strictly above the budget, if any.
+        let above = self
+            .frontier
+            .iter()
+            .find(|r| r.power.value() > budget.value() + 1e-12);
+        match above {
+            Some(up) => {
+                let d_below = (budget.value() - below.power.value()).abs();
+                let d_above = (up.power.value() - budget.value()).abs();
+                if d_above < d_below {
+                    *up
+                } else {
+                    below
+                }
+            }
+            None => below,
+        }
+    }
+
+    /// Cheapest point achieving at least `perf` jobs/s, or `None` when the
+    /// platform cannot reach it.
+    pub fn cheapest_reaching(&self, perf: Throughput) -> Option<RatedPoint> {
+        self.frontier
+            .iter()
+            .find(|r| r.perf.value() + 1e-15 >= perf.value())
+            .copied()
+    }
+
+    /// The maximum achievable throughput.
+    pub fn peak(&self) -> RatedPoint {
+        *self
+            .frontier
+            .last()
+            .expect("frontier always contains the off point")
+    }
+
+    /// Linear-scan lookup used by the unpruned ablation table: same answer
+    /// as [`Self::best_within`], O(len) instead of O(log len).
+    pub fn best_within_scan(&self, budget: Watts) -> RatedPoint {
+        let mut best = self.frontier[0];
+        for r in &self.frontier {
+            if r.power.value() <= budget.value() + 1e-12 && r.perf.value() >= best.perf.value() {
+                best = *r;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::watts;
+
+    fn table() -> ParetoTable {
+        ParetoTable::build(&Platform::pama())
+    }
+
+    #[test]
+    fn frontier_is_strictly_increasing() {
+        let t = table();
+        for w in t.frontier().windows(2) {
+            assert!(w[1].power.value() > w[0].power.value());
+            assert!(w[1].perf.value() > w[0].perf.value());
+        }
+    }
+
+    #[test]
+    fn frontier_contains_off_point() {
+        let t = table();
+        assert!(t.frontier()[0].point.is_off());
+        assert_eq!(t.frontier()[0].perf, Throughput::ZERO);
+    }
+
+    #[test]
+    fn pruning_removes_dominated_pairs() {
+        let t = table();
+        // Raw table: 1 off + 7 workers × 3 freqs = 22 pairs. Dominated ones
+        // exist (e.g. 4 procs @ 20 MHz vs 1 proc @ 80 MHz: similar power,
+        // Amdahl penalizes the former), so the frontier must be smaller.
+        assert_eq!(t.raw_count(), 22);
+        assert!(t.frontier().len() < t.raw_count(), "{}", t.frontier().len());
+    }
+
+    #[test]
+    fn no_non_dominated_pair_is_lost() {
+        // Every raw pair must be dominated by some frontier entry.
+        let platform = Platform::pama();
+        let pruned = ParetoTable::build(&platform);
+        let raw = ParetoTable::build_unpruned(&platform);
+        for r in raw.frontier() {
+            let dominated_or_present = pruned.frontier().iter().any(|f| {
+                f.power.value() <= r.power.value() + 1e-12
+                    && f.perf.value() + 1e-12 >= r.perf.value()
+            });
+            assert!(dominated_or_present, "lost pair {:?}", r.point);
+        }
+    }
+
+    #[test]
+    fn best_within_matches_linear_scan() {
+        let platform = Platform::pama();
+        let pruned = ParetoTable::build(&platform);
+        let unpruned = ParetoTable::build_unpruned(&platform);
+        for i in 0..100 {
+            let budget = watts(0.05 * i as f64);
+            let a = pruned.best_within(budget);
+            let b = unpruned.best_within_scan(budget);
+            assert!(
+                (a.perf.value() - b.perf.value()).abs() < 1e-12,
+                "budget {budget}: {:?} vs {:?}",
+                a.point,
+                b.point
+            );
+        }
+    }
+
+    #[test]
+    fn best_within_tiny_budget_is_off() {
+        let t = table();
+        let r = t.best_within(watts(0.01));
+        assert!(r.point.is_off());
+    }
+
+    #[test]
+    fn best_within_huge_budget_is_peak() {
+        let t = table();
+        let r = t.best_within(watts(100.0));
+        assert_eq!(r.point, t.peak().point);
+        assert_eq!(r.point.workers, 7);
+        assert_eq!(r.point.frequency, crate::units::Hertz::from_mhz(80.0));
+    }
+
+    #[test]
+    fn cheapest_reaching_inverts_best_within() {
+        let t = table();
+        for r in t.frontier().iter().skip(1) {
+            let c = t.cheapest_reaching(r.perf).unwrap();
+            assert!(c.power.value() <= r.power.value() + 1e-12);
+        }
+        assert!(t
+            .cheapest_reaching(Throughput(t.peak().perf.value() * 2.0))
+            .is_none());
+    }
+
+    #[test]
+    fn budget_between_points_selects_lower() {
+        let t = table();
+        let f = t.frontier();
+        let mid = watts(0.5 * (f[1].power.value() + f[2].power.value()));
+        let r = t.best_within(mid);
+        assert_eq!(r.point, f[1].point);
+    }
+}

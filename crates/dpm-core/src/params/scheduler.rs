@@ -1,0 +1,342 @@
+//! Algorithm 2: turning the power allocation into a discrete `(n, f)`
+//! schedule, offline.
+//!
+//! The paper's loop (lines 6–22) walks the period in `τ` steps. At each
+//! step it (line 11) re-spreads the energy the discrete selection failed to
+//! consume — Algorithm 3 again, used at *planning* time — then picks the
+//! best frontier point inside the slot budget, then keeps the old point if
+//! the switch overhead outweighs the gain (lines 14–22).
+//!
+//! [`crate::runtime::DpmController`] performs the same loop online with
+//! measured deviations; this offline version assumes the model is exact and
+//! exists to (a) pre-compute schedules, (b) reproduce the paper's analysis,
+//! and (c) serve the ablation benches (overhead sweeps, pruning on/off).
+
+use super::pareto::ParetoTable;
+use super::OperatingPoint;
+use crate::platform::Platform;
+use crate::runtime::redistribute;
+use crate::series::PowerSeries;
+use crate::units::{watts, Joules, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One planned slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledSlot {
+    /// Slot index within the period.
+    pub slot: usize,
+    /// Budget after the line-11 re-spread, W.
+    pub budget: Watts,
+    /// Chosen operating point.
+    pub point: OperatingPoint,
+    /// Modelled power at that point, W.
+    pub power: Watts,
+    /// Modelled throughput, jobs/s.
+    pub perf: f64,
+    /// Whether the point changed relative to the previous slot.
+    pub switched: bool,
+    /// Overhead paid for the switch, J.
+    pub overhead: Joules,
+}
+
+/// A full-period discrete parameter schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterSchedule {
+    /// Per-slot decisions.
+    pub slots: Vec<ScheduledSlot>,
+}
+
+impl ParameterSchedule {
+    /// Total energy the schedule dissipates (selected power × τ plus
+    /// overheads).
+    pub fn total_energy(&self, platform: &Platform) -> Joules {
+        let tau = platform.tau;
+        self.slots.iter().map(|s| s.power * tau + s.overhead).sum()
+    }
+
+    /// Total jobs completed over the period.
+    pub fn total_jobs(&self, platform: &Platform) -> f64 {
+        let tau = platform.tau.value();
+        self.slots.iter().map(|s| s.perf * tau).sum()
+    }
+
+    /// Number of slot boundaries at which the operating point changed.
+    pub fn switch_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.switched).count()
+    }
+}
+
+/// The Algorithm 2 planner.
+#[derive(Debug, Clone)]
+pub struct ParameterScheduler {
+    platform: Platform,
+    pareto: ParetoTable,
+}
+
+impl ParameterScheduler {
+    /// Build (validates the platform, rates and prunes the pair table).
+    pub fn new(platform: Platform) -> Self {
+        platform.validate().expect("invalid platform");
+        let pareto = ParetoTable::build(&platform);
+        Self { platform, pareto }
+    }
+
+    /// Build with an explicitly-provided table (e.g. the unpruned ablation
+    /// table).
+    pub fn with_table(platform: Platform, pareto: ParetoTable) -> Self {
+        Self { platform, pareto }
+    }
+
+    /// The frontier in use.
+    pub fn table(&self) -> &ParetoTable {
+        &self.pareto
+    }
+
+    /// Plan one period. `allocation` is the §4.1 power allocation,
+    /// `charging` the matching supply forecast, `battery0` the charge at
+    /// the period start.
+    pub fn plan(
+        &self,
+        allocation: &PowerSeries,
+        charging: &PowerSeries,
+        battery0: Joules,
+    ) -> ParameterSchedule {
+        assert_eq!(allocation.len(), charging.len());
+        let tau = self.platform.tau;
+        let floor = self.platform.power.all_standby();
+        let ceiling = self
+            .platform
+            .board_power(self.platform.workers(), self.platform.f_max());
+
+        let mut plan: Vec<f64> = allocation.values().to_vec();
+        let mut battery = battery0;
+        let mut current = OperatingPoint::OFF;
+        let mut slots = Vec::with_capacity(plan.len());
+
+        for i in 0..plan.len() {
+            let budget = watts(plan[i]);
+            let (point, overhead) = self.select(budget, current);
+            let power = self.power_of(&point);
+            let perf = self
+                .pareto
+                .frontier()
+                .iter()
+                .find(|r| r.point == point)
+                .map(|r| r.perf.value())
+                .unwrap_or(0.0);
+            let switched = point != current;
+
+            // Line 11 for the *next* round: spread the unconsumed energy of
+            // this slot over the future plan.
+            let planned = budget * tau;
+            let used = power * tau + overhead;
+            let e_diff = planned - used;
+            if i + 1 < plan.len() && e_diff.value().abs() > 1e-12 {
+                let charging_tail: Vec<f64> =
+                    (i + 1..plan.len()).map(|j| charging.get(j)).collect();
+                let battery_next = battery + watts(charging.get(i)) * tau - used;
+                redistribute(
+                    &mut plan[i + 1..],
+                    &charging_tail,
+                    tau,
+                    battery_next.clamp(self.platform.battery.c_min, self.platform.battery.c_max),
+                    self.platform.battery,
+                    e_diff,
+                    (floor, ceiling),
+                );
+            }
+
+            battery = self
+                .platform
+                .battery
+                .clamp(battery + watts(charging.get(i)) * tau - used);
+
+            slots.push(ScheduledSlot {
+                slot: i,
+                budget,
+                point,
+                power,
+                perf,
+                switched,
+                overhead,
+            });
+            current = point;
+        }
+        ParameterSchedule { slots }
+    }
+
+    /// Overhead-aware selection (lines 12–22). Returns the chosen point and
+    /// the overhead actually paid.
+    fn select(&self, budget: Watts, current: OperatingPoint) -> (OperatingPoint, Joules) {
+        let tau = self.platform.tau;
+        let candidate = self.pareto.nearest(budget);
+        if candidate.point == current {
+            return (current, Joules::ZERO);
+        }
+        let (n_chg, f_chg) = candidate.point.diff(&current);
+        let overhead = self.platform.overheads.cost(n_chg, f_chg);
+        if overhead.value() <= 0.0 {
+            return (candidate.point, Joules::ZERO);
+        }
+        let reduced = watts(((budget * tau - overhead) / tau).value().max(0.0));
+        let reduced_candidate = self.pareto.best_within(reduced);
+        let stay_perf = self
+            .pareto
+            .frontier()
+            .iter()
+            .find(|r| r.point == current)
+            .map(|r| r.perf.value())
+            .unwrap_or(0.0);
+        if reduced_candidate.perf.value() > stay_perf {
+            let (n2, f2) = reduced_candidate.point.diff(&current);
+            (
+                reduced_candidate.point,
+                self.platform.overheads.cost(n2, f2),
+            )
+        } else {
+            (current, Joules::ZERO)
+        }
+    }
+
+    fn power_of(&self, point: &OperatingPoint) -> Watts {
+        if point.is_off() {
+            self.platform.power.all_standby()
+        } else {
+            self.platform.board_power(point.workers, point.frequency)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::SwitchOverheads;
+    use crate::units::{joules, seconds};
+
+    fn allocation() -> (PowerSeries, PowerSeries) {
+        let charging = PowerSeries::new(
+            seconds(4.8),
+            vec![
+                2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+            ],
+        );
+        let alloc = PowerSeries::new(
+            seconds(4.8),
+            vec![2.2, 2.0, 1.2, 1.2, 2.0, 2.3, 1.2, 0.9, 0.5, 0.5, 0.9, 1.1],
+        );
+        (alloc, charging)
+    }
+
+    #[test]
+    fn plan_covers_every_slot() {
+        let (alloc, charging) = allocation();
+        let s = ParameterScheduler::new(Platform::pama());
+        let plan = s.plan(&alloc, &charging, joules(8.0));
+        assert_eq!(plan.slots.len(), 12);
+    }
+
+    #[test]
+    fn selected_power_is_nearest_frontier_point() {
+        let (alloc, charging) = allocation();
+        let platform = Platform::pama();
+        let s = ParameterScheduler::new(platform);
+        let plan = s.plan(&alloc, &charging, joules(8.0));
+        for slot in &plan.slots {
+            let err = (slot.power.value() - slot.budget.value()).abs();
+            for r in s.table().frontier() {
+                assert!(
+                    err <= (r.power.value() - slot.budget.value()).abs() + 1e-9,
+                    "slot {}: {} not nearest to budget {} (better: {})",
+                    slot.slot,
+                    slot.power,
+                    slot.budget,
+                    r.power
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_budget_never_hurts_performance() {
+        let (alloc, charging) = allocation();
+        let s = ParameterScheduler::new(Platform::pama());
+        let small = s.plan(&alloc.scale(0.5), &charging, joules(8.0));
+        let large = s.plan(&alloc, &charging, joules(8.0));
+        let p = Platform::pama();
+        assert!(large.total_jobs(&p) >= small.total_jobs(&p));
+    }
+
+    #[test]
+    fn free_overheads_switch_freely() {
+        let (alloc, charging) = allocation();
+        let s = ParameterScheduler::new(Platform::pama());
+        let plan = s.plan(&alloc, &charging, joules(8.0));
+        // The twin-peak allocation forces multiple distinct points.
+        assert!(
+            plan.switch_count() >= 2,
+            "switches: {}",
+            plan.switch_count()
+        );
+        assert!(plan.slots.iter().all(|s| s.overhead == Joules::ZERO));
+    }
+
+    #[test]
+    fn prohibitive_overheads_freeze_the_point() {
+        let (alloc, charging) = allocation();
+        let mut platform = Platform::pama();
+        platform.overheads = SwitchOverheads {
+            processor_change: joules(100.0),
+            frequency_change: joules(100.0),
+        };
+        let s = ParameterScheduler::new(platform);
+        let plan = s.plan(&alloc, &charging, joules(8.0));
+        assert!(
+            plan.switch_count() <= 1,
+            "switches: {}",
+            plan.switch_count()
+        );
+    }
+
+    #[test]
+    fn moderate_overheads_reduce_switching() {
+        let (alloc, charging) = allocation();
+        let free = ParameterScheduler::new(Platform::pama()).plan(&alloc, &charging, joules(8.0));
+        let mut platform = Platform::pama();
+        platform.overheads = SwitchOverheads {
+            processor_change: joules(1.0),
+            frequency_change: joules(2.0),
+        };
+        let costly = ParameterScheduler::new(platform).plan(&alloc, &charging, joules(8.0));
+        assert!(costly.switch_count() <= free.switch_count());
+    }
+
+    #[test]
+    fn unpruned_table_yields_same_schedule() {
+        let (alloc, charging) = allocation();
+        let platform = Platform::pama();
+        let pruned = ParameterScheduler::new(platform.clone()).plan(&alloc, &charging, joules(8.0));
+        let unpruned = ParameterScheduler::with_table(
+            platform.clone(),
+            ParetoTable::build(&platform), // pruning correctness is checked in pareto tests
+        )
+        .plan(&alloc, &charging, joules(8.0));
+        for (a, b) in pruned.slots.iter().zip(&unpruned.slots) {
+            assert_eq!(a.point, b.point);
+        }
+    }
+
+    #[test]
+    fn total_energy_accounts_overheads() {
+        let (alloc, charging) = allocation();
+        let mut platform = Platform::pama();
+        platform.overheads = SwitchOverheads {
+            processor_change: joules(0.5),
+            frequency_change: joules(0.5),
+        };
+        let s = ParameterScheduler::new(platform.clone());
+        let plan = s.plan(&alloc, &charging, joules(8.0));
+        let base: Joules = plan.slots.iter().map(|s| s.power * platform.tau).sum();
+        let with_oh = plan.total_energy(&platform);
+        assert!(with_oh.value() >= base.value());
+    }
+}

@@ -1,0 +1,227 @@
+//! The adaptive governor: §2's empirical-schedule idea closed into a loop.
+//!
+//! The plain [`DpmController`] plans against a fixed charging forecast;
+//! Algorithm 3 absorbs *transient* deviations but a systematically wrong
+//! forecast (a degraded panel, a mis-modelled orbit) costs margin every
+//! period. [`AdaptiveDpmController`] learns the charging schedule online
+//! with a [`ScheduleEstimator`] and **re-runs §4.1 + rebuilds the inner
+//! controller at every period boundary** from the refreshed estimate —
+//! the paper's "recorded charging power for the previous period" made
+//! operational.
+
+use super::controller::DpmController;
+use crate::alloc::{AllocationProblem, InitialAllocator};
+use crate::forecast::{ForecastMethod, ScheduleEstimator};
+use crate::governor::{Governor, SlotObservation};
+use crate::params::OperatingPoint;
+use crate::platform::Platform;
+use crate::series::PowerSeries;
+use crate::units::watts;
+
+/// Self-calibrating wrapper around the proposed controller.
+#[derive(Debug, Clone)]
+pub struct AdaptiveDpmController {
+    platform: Platform,
+    /// Desired (weighted) demand shape; fixed — only the supply is learned.
+    demand: PowerSeries,
+    estimator: ScheduleEstimator,
+    inner: DpmController,
+    slots_per_period: usize,
+    replans: u64,
+}
+
+impl AdaptiveDpmController {
+    /// Build from a prior charging forecast and a demand shape.
+    pub fn new(
+        platform: Platform,
+        prior_charging: PowerSeries,
+        demand: PowerSeries,
+        method: ForecastMethod,
+        initial_charge: crate::units::Joules,
+    ) -> Self {
+        platform.validate().expect("invalid platform");
+        assert_eq!(prior_charging.len(), demand.len());
+        let estimator = ScheduleEstimator::new(prior_charging.clone(), method);
+        let inner = Self::build_inner(&platform, &prior_charging, &demand, initial_charge);
+        Self {
+            platform,
+            demand,
+            estimator,
+            inner,
+            slots_per_period: prior_charging.len(),
+            replans: 0,
+        }
+    }
+
+    fn build_inner(
+        platform: &Platform,
+        charging: &PowerSeries,
+        demand: &PowerSeries,
+        battery: crate::units::Joules,
+    ) -> DpmController {
+        let problem = AllocationProblem {
+            charging: charging.clone(),
+            demand: demand.clone(),
+            initial_charge: battery,
+            limits: platform.battery,
+            p_floor: platform.power.all_standby(),
+            p_ceiling: platform.board_power(platform.workers(), platform.f_max()),
+        };
+        let allocation = InitialAllocator::new(problem).compute();
+        DpmController::new(platform.clone(), &allocation, charging.clone())
+    }
+
+    /// The current schedule estimate.
+    pub fn estimate(&self) -> &PowerSeries {
+        self.estimator.estimate()
+    }
+
+    /// Number of period-boundary re-plans performed.
+    pub fn replans(&self) -> u64 {
+        self.replans
+    }
+
+    /// The wrapped controller (for trace inspection).
+    pub fn inner(&self) -> &DpmController {
+        &self.inner
+    }
+}
+
+impl Governor for AdaptiveDpmController {
+    fn name(&self) -> &str {
+        "adaptive-dpm"
+    }
+
+    fn uses_surplus_energy(&self) -> bool {
+        true
+    }
+
+    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint {
+        let s = self.slots_per_period;
+        // Fold last slot's supply observation into the estimator.
+        if obs.slot > 0 {
+            let prev_slot = ((obs.slot - 1) as usize) % s;
+            let mean_power = watts(obs.supplied_last.value() / self.platform.tau.value());
+            self.estimator
+                .observe(prev_slot, mean_power.value().max(0.0));
+        }
+        // Re-plan from the refreshed estimate at each period boundary
+        // (after at least one full period of observations).
+        if obs.slot > 0 && (obs.slot as usize).is_multiple_of(s) {
+            self.inner = Self::build_inner(
+                &self.platform,
+                &self.estimator.estimate().clone(),
+                &self.demand,
+                obs.battery,
+            );
+            self.replans += 1;
+        }
+        self.inner.decide(obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{joules, seconds, Joules, Seconds};
+
+    fn platform() -> Platform {
+        Platform::pama()
+    }
+
+    fn demand() -> PowerSeries {
+        PowerSeries::new(
+            seconds(4.8),
+            vec![1.6, 1.0, 0.3, 0.3, 1.0, 1.7, 1.6, 1.0, 0.3, 0.3, 1.0, 1.7],
+        )
+    }
+
+    fn true_charging() -> PowerSeries {
+        PowerSeries::new(
+            seconds(4.8),
+            vec![
+                2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+            ],
+        )
+    }
+
+    /// Drive the governor by hand, replaying the true supply.
+    fn drive(gov: &mut AdaptiveDpmController, periods: usize) {
+        let truth = true_charging();
+        let tau = 4.8;
+        for slot in 0..(periods * 12) as u64 {
+            let supplied_last = if slot == 0 {
+                Joules::ZERO
+            } else {
+                joules(truth.get(((slot - 1) as usize) % 12) * tau)
+            };
+            let obs = SlotObservation {
+                slot,
+                time: Seconds(slot as f64 * tau),
+                battery: joules(8.0),
+                used_last: joules(4.0),
+                supplied_last,
+                backlog: 1,
+            };
+            gov.decide(&obs);
+        }
+    }
+
+    #[test]
+    fn estimator_converges_to_the_true_schedule() {
+        let wrong_prior = PowerSeries::constant(seconds(4.8), 12, 1.18);
+        let mut gov = AdaptiveDpmController::new(
+            platform(),
+            wrong_prior,
+            demand(),
+            ForecastMethod::ExponentialSmoothing { alpha: 0.6 },
+            joules(8.0),
+        );
+        drive(&mut gov, 6);
+        let rmse = {
+            let est = gov.estimate();
+            let truth = true_charging();
+            let sq: f64 = est
+                .values()
+                .iter()
+                .zip(truth.values())
+                .map(|(a, b)| (a - b).powi(2))
+                .sum();
+            (sq / 12.0).sqrt()
+        };
+        assert!(rmse < 0.05, "rmse {rmse}");
+        assert_eq!(gov.replans(), 5);
+    }
+
+    #[test]
+    fn replans_happen_exactly_at_period_boundaries() {
+        let mut gov = AdaptiveDpmController::new(
+            platform(),
+            true_charging(),
+            demand(),
+            ForecastMethod::LastPeriod,
+            joules(8.0),
+        );
+        drive(&mut gov, 3);
+        assert_eq!(gov.replans(), 2);
+    }
+
+    #[test]
+    fn exact_prior_keeps_behaving_like_the_plain_controller() {
+        // With a correct prior and exact observations, adaptation must not
+        // destabilize anything: the commanded points stay budget-shaped.
+        let mut gov = AdaptiveDpmController::new(
+            platform(),
+            true_charging(),
+            demand(),
+            ForecastMethod::ExponentialSmoothing { alpha: 0.3 },
+            joules(8.0),
+        );
+        drive(&mut gov, 4);
+        let trace = gov.inner().trace();
+        assert!(!trace.is_empty());
+        for rec in trace {
+            assert!(rec.selected_power.value() <= 4.4);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Run-time machinery (§4.3): Algorithm 3's power-allocation update and the
+//! controller-processor logic that drives the whole Fig. 1 loop every `τ`.
+
+mod adaptive;
+mod controller;
+mod update;
+
+pub use adaptive::AdaptiveDpmController;
+pub use controller::{ControllerRecord, DpmController};
+pub use update::{redistribute, RedistributeOutcome};

@@ -1,0 +1,364 @@
+//! Algorithm 3: dynamic update of the power allocation.
+//!
+//! Every `τ` the controller measures the deviation between planned and
+//! actual energy,
+//!
+//! ```text
+//! E_diff = ∫ₜ₋τᵗ (P_init(v) − P_actual(v)) dv
+//! ```
+//!
+//! and folds it back into the *future* allocation:
+//!
+//! * `E_diff > 0` (used less than planned, or supply exceeded the
+//!   forecast): the battery will run ahead of plan and pin at `C_max`
+//!   sooner — any surplus remaining then is wasted. So spend the surplus
+//!   *before* that moment: find the first future time `w` where the planned
+//!   trajectory reaches `C_max` and raise the allocation on `[t, w)`
+//!   proportionally to its current shape.
+//! * `E_diff < 0` (overspent / undersupplied): the trajectory will hit
+//!   `C_min` sooner; shave the allocation on `[t, w)` (where `w` is the
+//!   first `C_min` pin) proportionally.
+//!
+//! Proportional scaling (the paper's `P_init(v)·E_diff / ∫P_init`)
+//! preserves the allocation's *shape* — slots the WPUF weighted heavily
+//! absorb more of the correction. Physical power bounds are respected by
+//! clamping and re-spreading any clamped remainder over the rest of the
+//! window, so the correction is conserved whenever the window can absorb
+//! it.
+
+use crate::platform::BatteryLimits;
+use crate::units::{Joules, Seconds, Watts};
+
+/// What [`redistribute`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedistributeOutcome {
+    /// Number of future slots (from the front of the plan) that were
+    /// rescaled.
+    pub horizon_slots: usize,
+    /// Energy actually folded into the plan (equals the requested `e_diff`
+    /// unless power bounds clipped it).
+    pub applied: Joules,
+}
+
+/// Apply Algorithm 3 to a rolling future plan.
+///
+/// * `plan` — planned dissipation (W) for the upcoming slots; `plan[0]` is
+///   the slot about to run. Modified in place.
+/// * `charging` — forecast supply (W), aligned with `plan`.
+/// * `slot` — slot width `τ`.
+/// * `battery_now` — measured charge at the start of `plan[0]`.
+/// * `e_diff` — planned-minus-actual deviation to fold in (J).
+/// * `bounds` — physical (floor, ceiling) dissipation of the board.
+pub fn redistribute(
+    plan: &mut [f64],
+    charging: &[f64],
+    slot: Seconds,
+    battery_now: Joules,
+    limits: BatteryLimits,
+    e_diff: Joules,
+    bounds: (Watts, Watts),
+) -> RedistributeOutcome {
+    assert_eq!(plan.len(), charging.len(), "plan/forecast misaligned");
+    assert!(!plan.is_empty(), "cannot redistribute over an empty plan");
+    if e_diff.value().abs() < 1e-12 {
+        return RedistributeOutcome {
+            horizon_slots: 0,
+            applied: Joules::ZERO,
+        };
+    }
+
+    let horizon = pin_horizon(plan, charging, slot, battery_now, limits, e_diff);
+    let applied = scale_window(&mut plan[..horizon], slot, e_diff, bounds);
+    RedistributeOutcome {
+        horizon_slots: horizon,
+        applied,
+    }
+}
+
+/// Find the redistribution horizon: the first future slot boundary where
+/// the *planned* battery trajectory pins at `C_max` (surplus case) or
+/// `C_min` (deficit case). Returns at least 1 and at most `plan.len()`.
+fn pin_horizon(
+    plan: &[f64],
+    charging: &[f64],
+    slot: Seconds,
+    battery_now: Joules,
+    limits: BatteryLimits,
+    e_diff: Joules,
+) -> usize {
+    let surplus = e_diff.value() > 0.0;
+    let mut level = battery_now.value();
+    for (i, (&p, &c)) in plan.iter().zip(charging).enumerate() {
+        level += (c - p) * slot.value();
+        let pinned = if surplus {
+            level >= limits.c_max.value() - 1e-9
+        } else {
+            level <= limits.c_min.value() + 1e-9
+        };
+        if pinned {
+            return (i + 1).max(1);
+        }
+    }
+    plan.len()
+}
+
+/// Scale `window` so its integral changes by `e_diff`, respecting bounds.
+/// Returns the energy actually applied.
+fn scale_window(
+    window: &mut [f64],
+    slot: Seconds,
+    e_diff: Joules,
+    bounds: (Watts, Watts),
+) -> Joules {
+    let (floor, ceiling) = (bounds.0.value(), bounds.1.value());
+    let raising = e_diff.value() > 0.0;
+    let mut remaining = e_diff.value();
+    // Iterate: proportional scale over the slots that still have headroom,
+    // clamp, re-spread the clipped remainder over the rest. Each pass
+    // either applies everything or saturates at least one more slot, so at
+    // most `len` passes run.
+    for _ in 0..window.len() {
+        if remaining.abs() < 1e-12 {
+            break;
+        }
+        // Slots that can still move in the required direction.
+        let open: Vec<usize> = (0..window.len())
+            .filter(|&i| {
+                if raising {
+                    window[i] < ceiling - 1e-12
+                } else {
+                    window[i] > floor + 1e-12
+                }
+            })
+            .collect();
+        if open.is_empty() {
+            break;
+        }
+        // The paper's proportional-to-value rule over the open slots; fall
+        // back to uniform when those slots are all-zero.
+        let total: f64 = open.iter().map(|&i| window[i]).sum::<f64>() * slot.value();
+        let per_slot_energy = remaining / open.len() as f64;
+        let mut applied_this_pass = 0.0;
+        for &i in &open {
+            let share = if total.abs() > 1e-12 {
+                remaining * (window[i] * slot.value()) / total
+            } else {
+                per_slot_energy
+            };
+            let desired = window[i] + share / slot.value();
+            let clamped = desired.clamp(floor, ceiling);
+            applied_this_pass += (clamped - window[i]) * slot.value();
+            window[i] = clamped;
+        }
+        remaining -= applied_this_pass;
+        if applied_this_pass.abs() < 1e-12 {
+            break; // open slots are all-zero and floor-pinned
+        }
+    }
+    e_diff - Joules(remaining)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{joules, seconds, watts};
+
+    fn limits() -> BatteryLimits {
+        BatteryLimits::new(joules(0.5), joules(16.0))
+    }
+
+    fn bounds() -> (Watts, Watts) {
+        (watts(0.05), watts(4.4))
+    }
+
+    #[test]
+    fn zero_diff_is_a_no_op() {
+        let mut plan = vec![1.0, 2.0, 3.0];
+        let charging = vec![0.0; 3];
+        let before = plan.clone();
+        let out = redistribute(
+            &mut plan,
+            &charging,
+            seconds(4.8),
+            joules(8.0),
+            limits(),
+            Joules::ZERO,
+            bounds(),
+        );
+        assert_eq!(plan, before);
+        assert_eq!(out.applied, Joules::ZERO);
+    }
+
+    #[test]
+    fn surplus_raises_future_allocation_proportionally() {
+        let mut plan = vec![1.0, 2.0, 1.0, 2.0];
+        let charging = vec![1.5; 4];
+        let before_integral: f64 = plan.iter().sum::<f64>() * 4.8;
+        let out = redistribute(
+            &mut plan,
+            &charging,
+            seconds(4.8),
+            joules(8.0),
+            limits(),
+            joules(2.4),
+            bounds(),
+        );
+        let after_integral: f64 = plan.iter().sum::<f64>() * 4.8;
+        assert!((after_integral - before_integral - 2.4).abs() < 1e-9);
+        assert!(out.applied.approx_eq(joules(2.4), 1e-9));
+        // Proportionality within the horizon: the 2.0-slots grew twice as
+        // much as the 1.0-slots.
+        let g0 = plan[0] - 1.0;
+        let g1 = plan[1] - 2.0;
+        assert!((g1 / g0 - 2.0).abs() < 1e-6, "g0={g0} g1={g1}");
+    }
+
+    #[test]
+    fn deficit_shaves_future_allocation() {
+        let mut plan = vec![2.0, 2.0, 2.0];
+        let charging = vec![2.0; 3];
+        redistribute(
+            &mut plan,
+            &charging,
+            seconds(4.8),
+            joules(8.0),
+            limits(),
+            joules(-4.8),
+            bounds(),
+        );
+        let total: f64 = plan.iter().sum::<f64>() * 4.8;
+        assert!((total - (3.0 * 2.0 * 4.8 - 4.8)).abs() < 1e-9);
+        assert!(plan.iter().all(|&p| p < 2.0));
+    }
+
+    #[test]
+    fn surplus_horizon_stops_at_cmax_pin() {
+        // Charging far exceeds the plan: battery pins at C_max after ~2
+        // slots; only those slots should absorb the surplus.
+        let mut plan = vec![0.5, 0.5, 0.5, 0.5, 0.5, 0.5];
+        let charging = vec![2.0; 6];
+        let out = redistribute(
+            &mut plan,
+            &charging,
+            seconds(4.8),
+            joules(8.0),
+            limits(),
+            joules(1.0),
+            bounds(),
+        );
+        assert!(out.horizon_slots < 6, "horizon = {}", out.horizon_slots);
+        // Slots beyond the horizon untouched.
+        for &p in &plan[out.horizon_slots..] {
+            assert_eq!(p, 0.5);
+        }
+    }
+
+    #[test]
+    fn deficit_horizon_stops_at_cmin_pin() {
+        // Plan drains the battery: pins at C_min quickly.
+        let mut plan = vec![3.0; 6];
+        let charging = vec![0.0; 6];
+        let out = redistribute(
+            &mut plan,
+            &charging,
+            seconds(4.8),
+            joules(8.0),
+            limits(),
+            joules(-2.0),
+            bounds(),
+        );
+        assert!(out.horizon_slots <= 2, "horizon = {}", out.horizon_slots);
+        for &p in &plan[out.horizon_slots..] {
+            assert_eq!(p, 3.0);
+        }
+    }
+
+    #[test]
+    fn ceiling_clips_and_respreads() {
+        // First slot already near ceiling; surplus must flow to later slots.
+        let mut plan = vec![4.3, 1.0, 1.0];
+        let charging = vec![0.5; 3];
+        let out = redistribute(
+            &mut plan,
+            &charging,
+            seconds(1.0),
+            joules(8.0),
+            limits(),
+            joules(3.0),
+            bounds(),
+        );
+        assert!(plan[0] <= 4.4 + 1e-12);
+        assert!(out.applied.approx_eq(joules(3.0), 1e-6), "{:?}", out);
+        let total: f64 = plan.iter().sum();
+        assert!((total - (6.3 + 3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn saturated_window_reports_partial_application() {
+        let mut plan = vec![4.4, 4.4];
+        let charging = vec![0.0; 2];
+        let out = redistribute(
+            &mut plan,
+            &charging,
+            seconds(1.0),
+            joules(8.0),
+            limits(),
+            joules(5.0),
+            bounds(),
+        );
+        assert_eq!(out.applied, Joules::ZERO);
+        assert_eq!(plan, vec![4.4, 4.4]);
+    }
+
+    #[test]
+    fn zero_plan_spreads_uniformly() {
+        let mut plan = vec![0.05, 0.05, 0.05, 0.05];
+        let charging = vec![0.0; 4];
+        // Plan at floor integrates to ~0; surplus should still be absorbed.
+        let out = redistribute(
+            &mut plan,
+            &charging,
+            seconds(1.0),
+            joules(8.0),
+            limits(),
+            joules(2.0),
+            bounds(),
+        );
+        assert!(out.applied.value() > 1.9, "{:?} {:?}", out, plan);
+        let spread = plan[0] - 0.05;
+        assert!(plan.iter().all(|&p| (p - 0.05 - spread).abs() < 0.6));
+    }
+
+    #[test]
+    fn floor_limits_deficit_shaving() {
+        let mut plan = vec![0.1, 0.1];
+        let charging = vec![0.0; 2];
+        let out = redistribute(
+            &mut plan,
+            &charging,
+            seconds(1.0),
+            joules(8.0),
+            limits(),
+            joules(-5.0),
+            bounds(),
+        );
+        assert!(plan.iter().all(|&p| p >= 0.05 - 1e-12));
+        // Only (0.1−0.05)·2 = 0.1 J could be shaved.
+        assert!(out.applied.approx_eq(joules(-0.1), 1e-9), "{:?}", out);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_inputs_rejected() {
+        let mut plan = vec![1.0];
+        redistribute(
+            &mut plan,
+            &[1.0, 2.0],
+            seconds(1.0),
+            joules(1.0),
+            limits(),
+            joules(1.0),
+            bounds(),
+        );
+    }
+}

@@ -1,0 +1,645 @@
+//! Time-series calculus for periodic power schedules.
+//!
+//! The paper manipulates three kinds of functions of time over one charging
+//! period `T`:
+//!
+//! * the expected charging schedule `c(t)`, the event-rate schedule `u(t)`,
+//!   the weight function `w(t)` and the power allocation `P_init(t)` — all
+//!   modelled here as **piecewise-constant** [`PowerSeries`] with a uniform
+//!   slot width `τ` (the paper updates parameters every `τ = 4.8 s`, giving
+//!   12 slots per `T = 57.6 s` period);
+//! * the battery-energy trajectory `P_original(t) = ∫ (c − u_new) dv`
+//!   (Eq. 10) — the integral of a piecewise-constant function, i.e. a
+//!   **piecewise-linear** [`EnergyTrajectory`] whose breakpoints sit on slot
+//!   boundaries.
+//!
+//! Algorithm 1 needs the *stationary points* of the trajectory (times where
+//! `dP/dt = 0`, lines 1–2); for a piecewise-linear function those are the
+//! slot boundaries where the slope changes sign, which
+//! [`EnergyTrajectory::stationary_points`] enumerates exactly.
+
+use crate::units::{joules, seconds, watts, Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant function of time on `[0, T)` with uniform slots.
+///
+/// Values are powers in watts; the same container also represents event
+/// rates and weights (dimensionless), in which case the watt interpretation
+/// is ignored by callers — see [`crate::alloc`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerSeries {
+    slot: Seconds,
+    values: Vec<f64>,
+}
+
+impl PowerSeries {
+    /// Build from raw per-slot values.
+    ///
+    /// # Panics
+    /// Panics if `slot` is non-positive, `values` is empty, or any value is
+    /// non-finite; schedules are inputs, so malformed ones are programmer
+    /// error rather than a recoverable condition.
+    pub fn new(slot: Seconds, values: Vec<f64>) -> Self {
+        assert!(slot.value() > 0.0, "slot width must be positive");
+        assert!(!values.is_empty(), "a series needs at least one slot");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "series values must be finite"
+        );
+        Self { slot, values }
+    }
+
+    /// Build a constant series covering `slots` slots.
+    pub fn constant(slot: Seconds, slots: usize, value: f64) -> Self {
+        Self::new(slot, vec![value; slots])
+    }
+
+    /// Sample a closure at the midpoint of each slot.
+    pub fn from_fn(slot: Seconds, slots: usize, mut f: impl FnMut(Seconds) -> f64) -> Self {
+        let values = (0..slots)
+            .map(|i| f(seconds((i as f64 + 0.5) * slot.value())))
+            .collect();
+        Self::new(slot, values)
+    }
+
+    /// Slot width `τ`.
+    #[inline]
+    pub fn slot_width(&self) -> Seconds {
+        self.slot
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false by construction; present for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The period `T = len × τ` covered by the series.
+    #[inline]
+    pub fn period(&self) -> Seconds {
+        seconds(self.slot.value() * self.values.len() as f64)
+    }
+
+    /// Raw slot values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable raw slot values.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Value of slot `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// Set the value of slot `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: f64) {
+        assert!(v.is_finite());
+        self.values[i] = v;
+    }
+
+    /// Index of the slot containing time `t` (periodic: `t` is wrapped into
+    /// `[0, T)`).
+    pub fn slot_index(&self, t: Seconds) -> usize {
+        let period = self.period().value();
+        let wrapped = t.value().rem_euclid(period);
+        // Guard the boundary case wrapped == period after rounding.
+        ((wrapped / self.slot.value()) as usize).min(self.values.len() - 1)
+    }
+
+    /// Value at time `t` (periodic extension).
+    pub fn value_at(&self, t: Seconds) -> Watts {
+        watts(self.values[self.slot_index(t)])
+    }
+
+    /// Start time of slot `i`.
+    #[inline]
+    pub fn slot_start(&self, i: usize) -> Seconds {
+        seconds(self.slot.value() * i as f64)
+    }
+
+    /// Integral over the whole period, `∫₀ᵀ s(t) dt`.
+    pub fn integral(&self) -> Joules {
+        joules(self.values.iter().sum::<f64>() * self.slot.value())
+    }
+
+    /// Integral over `[a, b)` within one period (`a ≤ b`, both clamped to
+    /// `[0, T]`). Handles partial slots at either end.
+    pub fn integral_range(&self, a: Seconds, b: Seconds) -> Joules {
+        let period = self.period().value();
+        let (a, b) = (a.value().clamp(0.0, period), b.value().clamp(0.0, period));
+        if b <= a {
+            return Joules::ZERO;
+        }
+        let slot = self.slot.value();
+        let mut total = 0.0;
+        let first = (a / slot) as usize;
+        let last = ((b / slot).ceil() as usize).min(self.values.len());
+        for i in first..last {
+            let lo = (i as f64 * slot).max(a);
+            let hi = ((i + 1) as f64 * slot).min(b);
+            if hi > lo {
+                total += self.values[i] * (hi - lo);
+            }
+        }
+        joules(total)
+    }
+
+    /// Integral over `[a, b)` with periodic wrap-around, so `b` may exceed
+    /// `T` or precede `a` (meaning "wrap past the period end"). Algorithm 3
+    /// redistributes energy over a horizon that may cross the boundary.
+    pub fn integral_wrapping(&self, a: Seconds, b: Seconds) -> Joules {
+        let period = self.period();
+        let a = seconds(a.value().rem_euclid(period.value()));
+        let b = seconds(b.value().rem_euclid(period.value()));
+        if b.value() > a.value() {
+            self.integral_range(a, b)
+        } else {
+            self.integral_range(a, period) + self.integral_range(Seconds::ZERO, b)
+        }
+    }
+
+    /// Mean value over the period.
+    pub fn mean(&self) -> Watts {
+        watts(self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+
+    /// Largest slot value.
+    pub fn max_value(&self) -> Watts {
+        watts(
+            self.values
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+
+    /// Smallest slot value.
+    pub fn min_value(&self) -> Watts {
+        watts(self.values.iter().copied().fold(f64::INFINITY, f64::min))
+    }
+
+    /// Multiply every slot by a scalar (used by the Eq. 8 normalization and
+    /// Algorithm 3's proportional redistribution).
+    pub fn scale(&self, k: f64) -> Self {
+        Self::new(self.slot, self.values.iter().map(|v| v * k).collect())
+    }
+
+    /// Apply a function to every slot value.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Self {
+        Self::new(self.slot, self.values.iter().map(|&v| f(v)).collect())
+    }
+
+    /// Pointwise product (the WPUF of Eq. 7 is `u(t)·w(t)`).
+    pub fn pointwise_mul(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Pointwise difference (`c(t) − u_new(t)`, Eq. 9).
+    pub fn pointwise_sub(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Pointwise sum.
+    pub fn pointwise_add(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Combine two aligned series slot-by-slot.
+    ///
+    /// # Panics
+    /// Panics when the series do not share slot width and length.
+    pub fn zip_with(&self, other: &Self, mut f: impl FnMut(f64, f64) -> f64) -> Self {
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "series length mismatch"
+        );
+        assert!(
+            self.slot.approx_eq(other.slot, 1e-12),
+            "series slot width mismatch"
+        );
+        Self::new(
+            self.slot,
+            self.values
+                .iter()
+                .zip(&other.values)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        )
+    }
+
+    /// Running integral: the piecewise-linear trajectory
+    /// `E(t) = E₀ + ∫₀ᵗ s(v) dv` evaluated at every slot boundary
+    /// (`len + 1` breakpoints). This is Eq. 10 with an initial battery
+    /// charge `E₀`.
+    pub fn cumulative(&self, initial: Joules) -> EnergyTrajectory {
+        let mut points = Vec::with_capacity(self.values.len() + 1);
+        let mut acc = initial.value();
+        points.push(acc);
+        for &v in &self.values {
+            acc += v * self.slot.value();
+            points.push(acc);
+        }
+        EnergyTrajectory {
+            slot: self.slot,
+            points,
+        }
+    }
+
+    /// Concatenate `k` copies of the series (multi-period simulations).
+    pub fn repeat(&self, k: usize) -> Self {
+        assert!(k >= 1);
+        let mut values = Vec::with_capacity(self.values.len() * k);
+        for _ in 0..k {
+            values.extend_from_slice(&self.values);
+        }
+        Self::new(self.slot, values)
+    }
+
+    /// Resample to a different slot width by averaging (downsampling) or
+    /// replicating (upsampling). The new width must divide, or be divided
+    /// by, the current width to an integer factor.
+    pub fn resample(&self, new_slot: Seconds) -> Self {
+        let ratio = self.slot.value() / new_slot.value();
+        if (ratio - ratio.round()).abs() < 1e-9 && ratio >= 1.0 {
+            // Upsample: replicate each slot `ratio` times.
+            let k = ratio.round() as usize;
+            let values = self
+                .values
+                .iter()
+                .flat_map(|&v| std::iter::repeat_n(v, k))
+                .collect();
+            Self::new(new_slot, values)
+        } else {
+            let inv = new_slot.value() / self.slot.value();
+            assert!(
+                (inv - inv.round()).abs() < 1e-9 && inv >= 1.0,
+                "resample requires integer slot ratio"
+            );
+            let k = inv.round() as usize;
+            assert_eq!(self.values.len() % k, 0, "period must stay intact");
+            let values = self
+                .values
+                .chunks(k)
+                .map(|c| c.iter().sum::<f64>() / k as f64)
+                .collect();
+            Self::new(new_slot, values)
+        }
+    }
+}
+
+/// Kind of constraint violation at a stationary point of the battery
+/// trajectory (Algorithm 1, line 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExtremumKind {
+    /// Local maximum of the trajectory.
+    Maximum,
+    /// Local minimum of the trajectory.
+    Minimum,
+}
+
+/// A stationary point of the energy trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Extremum {
+    /// Breakpoint index (slot boundary) where the slope changes sign.
+    pub index: usize,
+    /// Time of the breakpoint.
+    pub time: Seconds,
+    /// Trajectory value at the breakpoint.
+    pub energy: Joules,
+    /// Whether this is a peak or a trough.
+    pub kind: ExtremumKind,
+}
+
+/// A piecewise-linear energy trajectory with breakpoints on slot boundaries.
+///
+/// Produced by [`PowerSeries::cumulative`]; consumed by Algorithm 1 (capacity
+/// reshaping) and Algorithm 3 (horizon search).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTrajectory {
+    slot: Seconds,
+    /// `len + 1` energies at slot boundaries.
+    points: Vec<f64>,
+}
+
+impl EnergyTrajectory {
+    /// Build from explicit breakpoint energies.
+    ///
+    /// # Panics
+    /// Panics if fewer than two breakpoints are given or `slot ≤ 0`.
+    pub fn from_points(slot: Seconds, points: Vec<f64>) -> Self {
+        assert!(slot.value() > 0.0);
+        assert!(points.len() >= 2, "a trajectory needs at least one segment");
+        assert!(points.iter().all(|p| p.is_finite()));
+        Self { slot, points }
+    }
+
+    /// Slot width.
+    #[inline]
+    pub fn slot_width(&self) -> Seconds {
+        self.slot
+    }
+
+    /// Breakpoint energies (`segments + 1` of them).
+    #[inline]
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Number of linear segments.
+    #[inline]
+    pub fn segments(&self) -> usize {
+        self.points.len() - 1
+    }
+
+    /// Total time span.
+    #[inline]
+    pub fn span(&self) -> Seconds {
+        seconds(self.slot.value() * self.segments() as f64)
+    }
+
+    /// Energy at breakpoint `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> Joules {
+        joules(self.points[i])
+    }
+
+    /// Linear interpolation at time `t ∈ [0, span]`.
+    pub fn value_at(&self, t: Seconds) -> Joules {
+        let t = t.value().clamp(0.0, self.span().value());
+        let x = t / self.slot.value();
+        let i = (x as usize).min(self.segments() - 1);
+        let frac = x - i as f64;
+        joules(self.points[i] + (self.points[i + 1] - self.points[i]) * frac)
+    }
+
+    /// Slope of segment `i` — the net power during slot `i`.
+    pub fn slope(&self, i: usize) -> Watts {
+        watts((self.points[i + 1] - self.points[i]) / self.slot.value())
+    }
+
+    /// Recover the net-power series whose cumulative this trajectory is.
+    pub fn derivative(&self) -> PowerSeries {
+        PowerSeries::new(
+            self.slot,
+            (0..self.segments())
+                .map(|i| self.slope(i).value())
+                .collect(),
+        )
+    }
+
+    /// Minimum breakpoint energy. Because the trajectory is piecewise
+    /// linear, the global extrema over continuous time are attained at
+    /// breakpoints.
+    pub fn min_energy(&self) -> Joules {
+        joules(self.points.iter().copied().fold(f64::INFINITY, f64::min))
+    }
+
+    /// Maximum breakpoint energy.
+    pub fn max_energy(&self) -> Joules {
+        joules(
+            self.points
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+
+    /// All interior stationary points: breakpoints where the slope changes
+    /// sign (zero-slope plateaus report their first boundary). The two
+    /// endpoints are treated as stationary as well — the paper's Algorithm 1
+    /// wraps the period around (lines 19–20), so endpoint extrema matter.
+    pub fn stationary_points(&self) -> Vec<Extremum> {
+        let mut out = Vec::new();
+        let n = self.points.len();
+        let slope_sign = |i: usize| -> i8 {
+            let s = self.points[i + 1] - self.points[i];
+            if s > 1e-12 {
+                1
+            } else if s < -1e-12 {
+                -1
+            } else {
+                0
+            }
+        };
+        for i in 0..n {
+            let before = if i == 0 { 0 } else { slope_sign(i - 1) };
+            let after = if i + 1 == n { 0 } else { slope_sign(i) };
+            let kind = match (before, after) {
+                (1, -1) | (0, -1) | (1, 0) => Some(ExtremumKind::Maximum),
+                (-1, 1) | (0, 1) | (-1, 0) => Some(ExtremumKind::Minimum),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                out.push(Extremum {
+                    index: i,
+                    time: seconds(i as f64 * self.slot.value()),
+                    energy: joules(self.points[i]),
+                    kind,
+                });
+            }
+        }
+        out
+    }
+
+    /// First breakpoint index `≥ from` where the trajectory reaches `level`
+    /// within `tol`, or `None`. Algorithm 3 searches forward for the time
+    /// the allocation pins at `C_max`/`C_min`.
+    pub fn first_reaching(&self, from: usize, level: Joules, tol: f64) -> Option<usize> {
+        self.points[from..]
+            .iter()
+            .position(|&p| (p - level.value()).abs() <= tol)
+            .map(|off| from + off)
+    }
+
+    /// True when every breakpoint lies inside `[lo, hi]` (with tolerance).
+    pub fn within(&self, lo: Joules, hi: Joules, tol: f64) -> bool {
+        self.points
+            .iter()
+            .all(|&p| p >= lo.value() - tol && p <= hi.value() + tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> PowerSeries {
+        PowerSeries::new(seconds(1.0), values.to_vec())
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = series(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.period(), seconds(3.0));
+        assert_eq!(s.value_at(seconds(1.5)), watts(2.0));
+        assert_eq!(s.get(2), 3.0);
+        assert_eq!(s.mean(), watts(2.0));
+        assert_eq!(s.max_value(), watts(3.0));
+        assert_eq!(s.min_value(), watts(1.0));
+    }
+
+    #[test]
+    fn periodic_lookup_wraps() {
+        let s = series(&[1.0, 2.0]);
+        assert_eq!(s.value_at(seconds(2.5)), watts(1.0));
+        assert_eq!(s.value_at(seconds(-0.5)), watts(2.0));
+        assert_eq!(s.value_at(seconds(4.0)), watts(1.0));
+    }
+
+    #[test]
+    fn integral_full_period() {
+        let s = PowerSeries::new(
+            seconds(4.8),
+            vec![2.36; 6].into_iter().chain(vec![0.0; 6]).collect(),
+        );
+        // Scenario-I-like charging: 2.36 W for half the 57.6 s period.
+        assert!(s.integral().approx_eq(joules(2.36 * 6.0 * 4.8), 1e-9));
+    }
+
+    #[test]
+    fn integral_partial_slots() {
+        let s = series(&[1.0, 2.0, 3.0]);
+        // [0.5, 2.5): 0.5·1 + 1·2 + 0.5·3 = 4.0
+        assert!(s
+            .integral_range(seconds(0.5), seconds(2.5))
+            .approx_eq(joules(4.0), 1e-12));
+        assert_eq!(s.integral_range(seconds(2.0), seconds(1.0)), Joules::ZERO);
+    }
+
+    #[test]
+    fn integral_wrapping_crosses_boundary() {
+        let s = series(&[1.0, 2.0, 3.0]);
+        // [2.0 .. 1.0 wrapped): slot2 (3.0) + slot0 (1.0) = 4.0
+        assert!(s
+            .integral_wrapping(seconds(2.0), seconds(1.0))
+            .approx_eq(joules(4.0), 1e-12));
+    }
+
+    #[test]
+    fn pointwise_ops() {
+        let a = series(&[1.0, 2.0]);
+        let b = series(&[3.0, 4.0]);
+        assert_eq!(a.pointwise_mul(&b).values(), &[3.0, 8.0]);
+        assert_eq!(b.pointwise_sub(&a).values(), &[2.0, 2.0]);
+        assert_eq!(a.pointwise_add(&b).values(), &[4.0, 6.0]);
+        assert_eq!(a.scale(2.0).values(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn zip_rejects_mismatched_lengths() {
+        series(&[1.0]).pointwise_add(&series(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn cumulative_matches_manual_integration() {
+        let s = series(&[1.0, -2.0, 0.5]);
+        let t = s.cumulative(joules(10.0));
+        assert_eq!(t.points(), &[10.0, 11.0, 9.0, 9.5]);
+        assert_eq!(t.value_at(seconds(0.5)), joules(10.5));
+        assert_eq!(t.slope(1), watts(-2.0));
+    }
+
+    #[test]
+    fn derivative_inverts_cumulative() {
+        let s = series(&[0.3, -1.2, 2.0, 0.0]);
+        let d = s.cumulative(joules(5.0)).derivative();
+        for (a, b) in s.values().iter().zip(d.values()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stationary_points_detects_peak_and_trough() {
+        // Up, up, down, down, up: peak at index 2, trough at index 4.
+        let s = series(&[1.0, 1.0, -1.0, -1.0, 1.0]);
+        let t = s.cumulative(Joules::ZERO);
+        let ex = t.stationary_points();
+        let peak = ex
+            .iter()
+            .find(|e| e.kind == ExtremumKind::Maximum && e.index == 2);
+        let trough = ex
+            .iter()
+            .find(|e| e.kind == ExtremumKind::Minimum && e.index == 4);
+        assert!(peak.is_some(), "missing peak: {ex:?}");
+        assert!(trough.is_some(), "missing trough: {ex:?}");
+        assert_eq!(peak.unwrap().energy, joules(2.0));
+        assert_eq!(trough.unwrap().energy, joules(0.0));
+    }
+
+    #[test]
+    fn stationary_points_include_endpoints() {
+        let s = series(&[1.0, 1.0]); // monotone rise
+        let t = s.cumulative(Joules::ZERO);
+        let ex = t.stationary_points();
+        assert!(ex
+            .iter()
+            .any(|e| e.index == 0 && e.kind == ExtremumKind::Minimum));
+        assert!(ex
+            .iter()
+            .any(|e| e.index == 2 && e.kind == ExtremumKind::Maximum));
+    }
+
+    #[test]
+    fn within_bounds_check() {
+        let t = EnergyTrajectory::from_points(seconds(1.0), vec![0.0, 1.0, 0.5]);
+        assert!(t.within(joules(0.0), joules(1.0), 1e-9));
+        assert!(!t.within(joules(0.2), joules(1.0), 1e-9));
+    }
+
+    #[test]
+    fn first_reaching_searches_forward() {
+        let t = EnergyTrajectory::from_points(seconds(1.0), vec![0.0, 1.0, 2.0, 1.0]);
+        assert_eq!(t.first_reaching(0, joules(2.0), 1e-9), Some(2));
+        assert_eq!(t.first_reaching(3, joules(2.0), 1e-9), None);
+    }
+
+    #[test]
+    fn repeat_concatenates_periods() {
+        let s = series(&[1.0, 2.0]);
+        let r = s.repeat(3);
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.values(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn resample_up_and_down() {
+        let s = series(&[1.0, 3.0]);
+        let up = s.resample(seconds(0.5));
+        assert_eq!(up.values(), &[1.0, 1.0, 3.0, 3.0]);
+        let down = up.resample(seconds(1.0));
+        assert_eq!(down.values(), s.values());
+        // Integral is preserved by both directions.
+        assert!(up.integral().approx_eq(s.integral(), 1e-12));
+    }
+
+    #[test]
+    fn from_fn_samples_midpoints() {
+        let s = PowerSeries::from_fn(seconds(2.0), 3, |t| t.value());
+        assert_eq!(s.values(), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn slot_index_boundary() {
+        let s = series(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.slot_index(seconds(0.0)), 0);
+        assert_eq!(s.slot_index(seconds(2.999)), 2);
+        assert_eq!(s.slot_index(seconds(3.0)), 0); // wraps
+    }
+}

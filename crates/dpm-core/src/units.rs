@@ -1,0 +1,391 @@
+//! Strongly-typed physical quantities used throughout the power-management
+//! stack.
+//!
+//! The paper's algorithms mix seconds, watts, joules, hertz and volts in
+//! closed-form expressions (Eqs. 1–18); carrying the units in the type system
+//! catches transcription mistakes (e.g. confusing a power allocation with an
+//! energy trajectory) at compile time instead of in a simulation trace.
+//!
+//! All quantities are thin wrappers over `f64` with the arithmetic that is
+//! physically meaningful:
+//!
+//! * same-unit `+`/`-`, scalar `*`/`/`, same-unit `/` yielding a plain ratio,
+//! * the cross-unit products the models need
+//!   (`Watts × Seconds = Joules`, `Joules / Seconds = Watts`, …).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal, $ctor:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Raw magnitude in base units.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Element-wise minimum.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Element-wise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamp into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// True when the magnitude is a finite number.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Compare with a tolerance, for tests and convergence checks.
+            #[inline]
+            pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+                (self.0 - other.0).abs() <= tol
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Same-unit division yields a dimensionless ratio.
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+
+        /// Free-function constructor, e.g. `watts(2.36)`.
+        #[inline]
+        pub const fn $ctor(value: f64) -> $name {
+            $name(value)
+        }
+    };
+}
+
+quantity!(
+    /// A duration or point in simulated time, in seconds.
+    Seconds,
+    "s",
+    seconds
+);
+quantity!(
+    /// Instantaneous power, in watts.
+    Watts,
+    "W",
+    watts
+);
+quantity!(
+    /// An amount of energy, in joules.
+    Joules,
+    "J",
+    joules
+);
+quantity!(
+    /// A clock frequency, in hertz.
+    Hertz,
+    "Hz",
+    hertz
+);
+quantity!(
+    /// A supply voltage, in volts.
+    Volts,
+    "V",
+    volts
+);
+
+impl Hertz {
+    /// Construct from a megahertz magnitude (the paper quotes 20/40/80 MHz).
+    #[inline]
+    pub const fn from_mhz(mhz: f64) -> Self {
+        Hertz(mhz * 1.0e6)
+    }
+
+    /// Magnitude in megahertz.
+    #[inline]
+    pub fn mhz(self) -> f64 {
+        self.0 / 1.0e6
+    }
+}
+
+impl Watts {
+    /// Construct from a milliwatt magnitude (datasheet numbers are in mW).
+    #[inline]
+    pub const fn from_milliwatts(mw: f64) -> Self {
+        Watts(mw * 1.0e-3)
+    }
+
+    /// Magnitude in milliwatts.
+    #[inline]
+    pub fn milliwatts(self) -> f64 {
+        self.0 * 1.0e3
+    }
+}
+
+impl Joules {
+    /// Construct from a watt-hour magnitude (battery capacities are usually
+    /// specified in Wh).
+    #[inline]
+    pub const fn from_watt_hours(wh: f64) -> Self {
+        Joules(wh * 3600.0)
+    }
+}
+
+// --- Cross-unit arithmetic -------------------------------------------------
+
+/// `power × time = energy`
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// `time × power = energy`
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// `energy ÷ time = power`
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+/// `energy ÷ power = time`
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+/// Cycle count at a given frequency over a duration: `f × t` (dimensionless
+/// count of clock cycles).
+impl Mul<Seconds> for Hertz {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> f64 {
+        self.0 * rhs.0
+    }
+}
+
+/// Ordering helper: quantities are `f64`-backed, so `Ord` is not derivable.
+/// `total_cmp` gives a total order that treats NaN consistently; algorithms
+/// that sort by a quantity should go through this.
+pub fn total_cmp<Q: Into<f64> + Copy>(a: Q, b: Q) -> std::cmp::Ordering {
+    let (a, b): (f64, f64) = (a.into(), b.into());
+    a.total_cmp(&b)
+}
+
+macro_rules! into_f64 {
+    ($($name:ident),*) => {
+        $(impl From<$name> for f64 {
+            #[inline]
+            fn from(q: $name) -> f64 {
+                q.0
+            }
+        })*
+    };
+}
+
+into_f64!(Seconds, Watts, Joules, Hertz, Volts);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = watts(2.0) * seconds(3.0);
+        assert_eq!(e, joules(6.0));
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        assert_eq!(joules(6.0) / seconds(3.0), watts(2.0));
+    }
+
+    #[test]
+    fn energy_over_power_is_time() {
+        assert_eq!(joules(6.0) / watts(2.0), seconds(3.0));
+    }
+
+    #[test]
+    fn same_unit_ratio_is_dimensionless() {
+        let r: f64 = watts(6.0) / watts(2.0);
+        assert_eq!(r, 3.0);
+    }
+
+    #[test]
+    fn megahertz_roundtrip() {
+        let f = Hertz::from_mhz(80.0);
+        assert_eq!(f.mhz(), 80.0);
+        assert_eq!(f.value(), 80.0e6);
+    }
+
+    #[test]
+    fn milliwatts_roundtrip() {
+        let p = Watts::from_milliwatts(546.0);
+        assert!((p.value() - 0.546).abs() < 1e-12);
+        assert!((p.milliwatts() - 546.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn watt_hours() {
+        assert_eq!(Joules::from_watt_hours(1.0), joules(3600.0));
+    }
+
+    #[test]
+    fn clamp_and_minmax() {
+        assert_eq!(watts(5.0).clamp(watts(0.0), watts(2.0)), watts(2.0));
+        assert_eq!(watts(-1.0).max(Watts::ZERO), Watts::ZERO);
+        assert_eq!(watts(-1.0).min(Watts::ZERO), watts(-1.0));
+    }
+
+    #[test]
+    fn cycles_from_frequency_and_time() {
+        let cycles = Hertz::from_mhz(20.0) * seconds(4.8);
+        assert_eq!(cycles, 96.0e6);
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Joules = [joules(1.0), joules(2.5)].into_iter().sum();
+        assert_eq!(total, joules(3.5));
+    }
+
+    #[test]
+    fn display_with_precision() {
+        assert_eq!(format!("{:.2}", watts(1.2345)), "1.23 W");
+        assert_eq!(format!("{}", seconds(4.8)), "4.8 s");
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        assert!(joules(1.0).approx_eq(joules(1.0 + 1e-12), 1e-9));
+        assert!(!joules(1.0).approx_eq(joules(1.1), 1e-9));
+    }
+
+    #[test]
+    fn neg_and_assign_ops() {
+        let mut e = joules(2.0);
+        e += joules(1.0);
+        e -= joules(0.5);
+        assert_eq!(e, joules(2.5));
+        assert_eq!(-e, joules(-2.5));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the core invariants listed in DESIGN.md §6.
+
+use dpm_core::alloc::{
+    normalize_to_supply, reshape_trajectory, AllocationProblem, InitialAllocator,
+};
+use dpm_core::params::ParetoTable;
+use dpm_core::platform::{BatteryLimits, Platform};
+use dpm_core::runtime::redistribute;
+use dpm_core::series::PowerSeries;
+use dpm_core::units::{joules, seconds, watts, Joules};
+use proptest::prelude::*;
+
+/// Strategy: a power series of `n` slots with values in `[0, hi]`.
+fn power_series(n: usize, hi: f64) -> impl Strategy<Value = PowerSeries> {
+    prop::collection::vec(0.0..hi, n..=n).prop_map(|v| PowerSeries::new(seconds(4.8), v))
+}
+
+/// Strategy: a net-power series (signed) for building trajectories.
+fn net_series(n: usize, amp: f64) -> impl Strategy<Value = PowerSeries> {
+    prop::collection::vec(-amp..amp, n..=n).prop_map(|v| PowerSeries::new(seconds(1.0), v))
+}
+
+proptest! {
+    /// Eq. 8: the normalized demand always balances supply exactly.
+    #[test]
+    fn normalization_balances_supply(
+        demand in power_series(12, 3.0),
+        charging in power_series(12, 3.0),
+    ) {
+        let u = normalize_to_supply(&demand, &charging);
+        let (a, b) = (u.integral().value(), charging.integral().value());
+        prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+    }
+
+    /// Algorithm 1 always produces a trajectory inside the window when the
+    /// window is reachable (anchored remaps send extremes to the bounds).
+    #[test]
+    fn reshape_lands_inside_window(
+        net in net_series(16, 4.0),
+        start in 2.0f64..14.0,
+    ) {
+        let limits = BatteryLimits::new(joules(1.0), joules(15.0));
+        let traj = net.cumulative(joules(start));
+        let out = reshape_trajectory(&traj, limits);
+        prop_assert!(
+            out.trajectory.within(limits.c_min, limits.c_max, 1e-6),
+            "points: {:?}", out.trajectory.points()
+        );
+    }
+
+    /// Algorithm 1 is idempotent on already-feasible trajectories.
+    #[test]
+    fn reshape_is_identity_when_feasible(net in net_series(12, 0.4), start in 6.0f64..10.0) {
+        let limits = BatteryLimits::new(joules(1.0), joules(15.0));
+        let traj = net.cumulative(joules(start));
+        // amp 0.4 over 12 slots: max drift 4.8 from start ∈ [6,10] ⇒ inside.
+        prop_assume!(traj.within(limits.c_min, limits.c_max, 0.0));
+        let out = reshape_trajectory(&traj, limits);
+        prop_assert!(!out.changed);
+    }
+
+    /// The §4.1 driver returns a feasible allocation whenever the standby
+    /// floor leaves room, and the allocation stays within power bounds.
+    #[test]
+    fn initial_allocation_feasible_and_bounded(
+        demand in power_series(12, 2.0),
+        sun in 1.0f64..3.0,
+        start in 4.0f64..12.0,
+    ) {
+        let charging = PowerSeries::new(
+            seconds(4.8),
+            (0..12).map(|i| if i < 6 { sun } else { 0.0 }).collect(),
+        );
+        let problem = AllocationProblem {
+            charging,
+            demand,
+            initial_charge: joules(start),
+            limits: BatteryLimits::new(joules(0.5), joules(16.0)),
+            p_floor: watts(0.0528),
+            p_ceiling: watts(4.4),
+        };
+        let alloc = InitialAllocator::new(problem.clone()).compute();
+        for &v in alloc.allocation.values() {
+            prop_assert!(v >= problem.p_floor.value() - 1e-9);
+            prop_assert!(v <= problem.p_ceiling.value() + 1e-9);
+        }
+        if alloc.feasible {
+            prop_assert!(alloc.trajectory.within(joules(0.5), joules(16.0), 1e-3));
+        }
+    }
+
+    /// Algorithm 3 conserves energy: the plan's integral changes by exactly
+    /// the applied amount, and the applied amount never exceeds the request.
+    #[test]
+    fn redistribute_conserves_energy(
+        plan0 in prop::collection::vec(0.1f64..4.0, 6..24),
+        e_diff in -10.0f64..10.0,
+        battery in 1.0f64..15.0,
+    ) {
+        let mut plan = plan0.clone();
+        let charging = vec![1.0; plan.len()];
+        let limits = BatteryLimits::new(joules(0.5), joules(16.0));
+        let out = redistribute(
+            &mut plan,
+            &charging,
+            seconds(4.8),
+            joules(battery),
+            limits,
+            joules(e_diff),
+            (watts(0.05), watts(4.4)),
+        );
+        let before: f64 = plan0.iter().sum::<f64>() * 4.8;
+        let after: f64 = plan.iter().sum::<f64>() * 4.8;
+        prop_assert!((after - before - out.applied.value()).abs() < 1e-6);
+        // Applied never overshoots the request (same sign, smaller or equal
+        // magnitude).
+        prop_assert!(out.applied.value().abs() <= e_diff.abs() + 1e-9);
+        prop_assert!(out.applied.value() * e_diff >= -1e-12);
+        // Bounds respected.
+        for &p in &plan {
+            prop_assert!((0.05 - 1e-9..=4.4 + 1e-9).contains(&p));
+        }
+    }
+
+    /// Pareto pruning loses nothing: for every budget, the pruned table's
+    /// answer matches a full scan of the unpruned table.
+    #[test]
+    fn pareto_lookup_equals_exhaustive_scan(budget in 0.0f64..6.0) {
+        let platform = Platform::pama();
+        let pruned = ParetoTable::build(&platform);
+        let unpruned = ParetoTable::build_unpruned(&platform);
+        let a = pruned.best_within(watts(budget));
+        let b = unpruned.best_within_scan(watts(budget));
+        prop_assert!((a.perf.value() - b.perf.value()).abs() < 1e-12);
+    }
+
+    /// Cumulative/derivative round-trip on arbitrary series.
+    #[test]
+    fn cumulative_derivative_roundtrip(net in net_series(20, 5.0), start in -10.0f64..10.0) {
+        let traj = net.cumulative(joules(start));
+        let back = traj.derivative();
+        for (a, b) in net.values().iter().zip(back.values()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        prop_assert_eq!(traj.point(0), Joules(start));
+    }
+
+    /// Integral additivity: ∫[0,m) + ∫[m,T) = ∫[0,T).
+    #[test]
+    fn integral_additivity(s in power_series(12, 3.0), cut in 0.0f64..57.6) {
+        let total = s.integral().value();
+        let a = s.integral_range(seconds(0.0), seconds(cut)).value();
+        let b = s.integral_range(seconds(cut), s.period()).value();
+        prop_assert!((a + b - total).abs() < 1e-9);
+    }
+}

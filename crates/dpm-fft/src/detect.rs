@@ -1,0 +1,224 @@
+//! The FORTE-style RF transient detector.
+//!
+//! FORTE's flight software triggers on an analogue threshold and then runs
+//! digital signal processing "to check if it has the characteristics of an
+//! interesting RF event" (§5). We reproduce that two-stage structure:
+//!
+//! 1. **Trigger** — the capture's time-domain energy must exceed a
+//!    threshold (the analogue comparator's digital twin).
+//! 2. **Spectral check** — window, FFT, power spectrum, then require (a)
+//!    broadband occupancy: at least `min_occupied_fraction` of bins above
+//!    the noise floor estimate, and (b) that the energy is not explained by
+//!    a few narrowband carriers: the top `carrier_bins` bins must hold less
+//!    than `max_carrier_fraction` of total band power.
+//!
+//! Lightning transients are broadband (many bins lit); carriers are
+//! narrowband (few strong bins); noise is weak everywhere — the two
+//! criteria separate the three cases.
+
+use crate::fft::{quantize, Direction, FixedFft};
+use crate::fixed::CQ15;
+use crate::window::{Window, WindowKind};
+
+/// Detector configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorConfig {
+    /// FFT size (power of two).
+    pub fft_size: usize,
+    /// Time-domain mean-square trigger threshold (full scale² units).
+    pub trigger_threshold: f64,
+    /// Multiple of the median bin power that counts as "occupied".
+    pub occupancy_factor: f64,
+    /// Fraction of bins that must be occupied to call it broadband.
+    pub min_occupied_fraction: f64,
+    /// How many top bins model the carriers.
+    pub carrier_bins: usize,
+    /// Maximum fraction of band power the carriers may explain.
+    pub max_carrier_fraction: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            fft_size: 2048,
+            trigger_threshold: 2e-3,
+            occupancy_factor: 4.0,
+            min_occupied_fraction: 0.25,
+            carrier_bins: 8,
+            max_carrier_fraction: 0.65,
+        }
+    }
+}
+
+/// Why a capture was (or wasn't) classified as an event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Stage-1 outcome.
+    pub triggered: bool,
+    /// Fraction of spectrum bins above the occupancy threshold.
+    pub occupied_fraction: f64,
+    /// Fraction of band power in the top `carrier_bins` bins.
+    pub carrier_fraction: f64,
+    /// Final verdict.
+    pub is_event: bool,
+}
+
+/// The detector: owns the FFT plan and window so repeated captures reuse
+/// the tables.
+#[derive(Debug, Clone)]
+pub struct TransientDetector {
+    config: DetectorConfig,
+    fft: FixedFft,
+    window: Window,
+}
+
+impl TransientDetector {
+    /// Build from a config.
+    pub fn new(config: DetectorConfig) -> Self {
+        let fft = FixedFft::new(config.fft_size);
+        let window = Window::new(WindowKind::Hann, config.fft_size);
+        Self {
+            config,
+            fft,
+            window,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Run the full chain on a float capture.
+    pub fn detect(&self, capture: &[(f64, f64)]) -> Detection {
+        assert_eq!(capture.len(), self.config.fft_size, "capture length");
+        let mut data = quantize(capture);
+        self.detect_q15(&mut data)
+    }
+
+    /// Run the chain on an already-quantized capture (consumed as scratch).
+    pub fn detect_q15(&self, data: &mut [CQ15]) -> Detection {
+        // Stage 1: time-domain trigger.
+        let ms: f64 = data.iter().map(|c| c.mag_sq()).sum::<f64>() / data.len() as f64;
+        let triggered = ms >= self.config.trigger_threshold;
+        if !triggered {
+            return Detection {
+                triggered,
+                occupied_fraction: 0.0,
+                carrier_fraction: 0.0,
+                is_event: false,
+            };
+        }
+        // Stage 2: spectral characteristics.
+        self.window.apply(data);
+        self.fft.transform(data, Direction::Forward);
+        let spectrum = self.power_spectrum(data);
+        let (occupied_fraction, carrier_fraction) = self.spectral_stats(&spectrum);
+        let is_event = occupied_fraction >= self.config.min_occupied_fraction
+            && carrier_fraction <= self.config.max_carrier_fraction;
+        Detection {
+            triggered,
+            occupied_fraction,
+            carrier_fraction,
+            is_event,
+        }
+    }
+
+    /// One-sided power spectrum (positive-frequency bins, DC excluded).
+    fn power_spectrum(&self, data: &[CQ15]) -> Vec<f64> {
+        data[1..data.len() / 2].iter().map(|c| c.mag_sq()).collect()
+    }
+
+    fn spectral_stats(&self, spectrum: &[f64]) -> (f64, f64) {
+        let mut sorted = spectrum.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2].max(1e-12);
+        let occupied = spectrum
+            .iter()
+            .filter(|&&p| p > self.config.occupancy_factor * median)
+            .count();
+        let occupied_fraction = occupied as f64 / spectrum.len() as f64;
+        let total: f64 = spectrum.iter().sum::<f64>().max(1e-12);
+        let top: f64 = sorted.iter().rev().take(self.config.carrier_bins).sum();
+        (occupied_fraction, top / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{generate, CaptureSpec};
+
+    fn detector() -> TransientDetector {
+        TransientDetector::new(DetectorConfig::default())
+    }
+
+    #[test]
+    fn transient_is_detected() {
+        let d = detector();
+        let mut hits = 0;
+        for seed in 0..10 {
+            let c = generate(&CaptureSpec::with_transient(), seed);
+            if d.detect(&c).is_event {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 8, "only {hits}/10 transients detected");
+    }
+
+    #[test]
+    fn background_is_rejected() {
+        let d = detector();
+        let mut false_alarms = 0;
+        for seed in 100..110 {
+            let c = generate(&CaptureSpec::background_only(), seed);
+            if d.detect(&c).is_event {
+                false_alarms += 1;
+            }
+        }
+        assert!(false_alarms <= 1, "{false_alarms}/10 false alarms");
+    }
+
+    #[test]
+    fn silence_does_not_trigger() {
+        let d = detector();
+        let c = vec![(0.0, 0.0); 2048];
+        let det = d.detect(&c);
+        assert!(!det.triggered);
+        assert!(!det.is_event);
+    }
+
+    #[test]
+    fn carriers_alone_trigger_but_fail_spectral_check() {
+        let d = detector();
+        let spec = CaptureSpec {
+            noise_rms: 0.005,
+            carrier_amp: 0.3,
+            transient_amp: 0.0,
+            ..CaptureSpec::with_transient()
+        };
+        let c = generate(&spec, 5);
+        let det = d.detect(&c);
+        assert!(det.triggered, "strong carriers must trip the trigger");
+        assert!(!det.is_event, "narrowband must be rejected: {det:?}");
+        assert!(det.carrier_fraction > 0.65, "{}", det.carrier_fraction);
+    }
+
+    #[test]
+    fn occupancy_rises_with_transient() {
+        let d = detector();
+        let bg = d.detect(&generate(&CaptureSpec::background_only(), 9));
+        let tr = d.detect(&generate(&CaptureSpec::with_transient(), 9));
+        if bg.triggered {
+            assert!(tr.occupied_fraction > bg.occupied_fraction);
+        } else {
+            assert!(tr.occupied_fraction > 0.2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capture length")]
+    fn wrong_capture_length_rejected() {
+        detector().detect(&vec![(0.0, 0.0); 64]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Fixed-point radix-2 decimation-in-time FFT with per-stage scaling.
+//!
+//! The classic embedded formulation: bit-reverse permute, then `log₂N`
+//! butterfly stages. Every stage halves its outputs (`>> 1`) *before* the
+//! butterfly add/sub, so intermediate values cannot overflow Q15; the final
+//! spectrum is therefore scaled by `1/N` relative to the textbook DFT —
+//! the usual convention for block-floating DSP kernels, and what the
+//! reference checks account for.
+//!
+//! A double-precision reference DFT lives alongside for accuracy tests and
+//! for calibrating the cycle model in [`crate::timing`].
+
+use crate::fixed::CQ15;
+use crate::twiddle::{bit_reverse_permute, TwiddleTable};
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `e^{−2πik/N}` kernel.
+    Forward,
+    /// `e^{+2πik/N}` kernel.
+    Inverse,
+}
+
+/// A reusable FFT plan (twiddle tables + scratch-free in-place transform).
+#[derive(Debug, Clone)]
+pub struct FixedFft {
+    twiddles: TwiddleTable,
+}
+
+impl FixedFft {
+    /// Plan a transform of size `n` (power of two ≥ 2).
+    pub fn new(n: usize) -> Self {
+        Self {
+            twiddles: TwiddleTable::new(n),
+        }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.twiddles.size()
+    }
+
+    /// In-place transform. Output is scaled by `1/N` (forward and inverse
+    /// alike), so `inverse(forward(x)) = x / N²·N… = x` up to quantization
+    /// — see [`Self::roundtrip_scale`].
+    ///
+    /// # Panics
+    /// Panics when `data.len()` differs from the planned size.
+    pub fn transform(&self, data: &mut [CQ15], dir: Direction) {
+        let n = self.size();
+        assert_eq!(data.len(), n, "buffer length must equal planned size");
+        bit_reverse_permute(data);
+        let mut half = 1usize; // butterfly half-span
+        while half < n {
+            let step = n / (2 * half); // twiddle stride
+            for start in (0..n).step_by(2 * half) {
+                for k in 0..half {
+                    let w = match dir {
+                        Direction::Forward => self.twiddles.forward(k * step),
+                        Direction::Inverse => self.twiddles.inverse(k * step),
+                    };
+                    let i = start + k;
+                    let j = i + half;
+                    // Pre-scale both inputs to keep the add in range.
+                    let a = data[i].shr(1);
+                    let b = data[j].shr(1).sat_mul(w);
+                    data[i] = a.sat_add(b);
+                    data[j] = a.sat_sub(b);
+                }
+            }
+            half *= 2;
+        }
+    }
+
+    /// Combined scale factor of `forward` followed by `inverse`.
+    ///
+    /// Each pass divides by `N` (per-stage `>> 1` over `log₂N` stages) while
+    /// the unscaled DFT/IDFT pair multiplies by `N`, so the round trip
+    /// returns `x · N / N² = x / N`. Multiply recovered samples by
+    /// `1 / roundtrip_scale()` (= `N`) to compare against the input.
+    pub fn roundtrip_scale(&self) -> f64 {
+        1.0 / self.size() as f64
+    }
+
+    /// Estimated butterfly count, `N/2·log₂N` — the work term of the cycle
+    /// model.
+    pub fn butterflies(&self) -> usize {
+        let n = self.size();
+        n / 2 * n.trailing_zeros() as usize
+    }
+}
+
+/// Double-precision reference DFT (O(N²)), textbook scaling (no 1/N).
+pub fn reference_dft(input: &[(f64, f64)], dir: Direction) -> Vec<(f64, f64)> {
+    let n = input.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    (0..n)
+        .map(|k| {
+            let mut re = 0.0;
+            let mut im = 0.0;
+            for (j, &(xr, xi)) in input.iter().enumerate() {
+                let theta = sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
+                let (c, s) = (theta.cos(), theta.sin());
+                re += xr * c - xi * s;
+                im += xr * s + xi * c;
+            }
+            (re, im)
+        })
+        .collect()
+}
+
+/// Convert a float signal to Q15 samples (saturating).
+pub fn quantize(signal: &[(f64, f64)]) -> Vec<CQ15> {
+    signal
+        .iter()
+        .map(|&(re, im)| CQ15::from_f64(re, im))
+        .collect()
+}
+
+/// Convert Q15 samples back to floats.
+pub fn dequantize(data: &[CQ15]) -> Vec<(f64, f64)> {
+    data.iter().map(|c| c.to_f64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize, bin: usize, amp: f64) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| {
+                let theta = 2.0 * std::f64::consts::PI * bin as f64 * i as f64 / n as f64;
+                (amp * theta.cos(), 0.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let n = 64;
+        let fft = FixedFft::new(n);
+        let mut data = vec![CQ15::ZERO; n];
+        data[0] = CQ15::from_f64(0.9, 0.0);
+        fft.transform(&mut data, Direction::Forward);
+        // Flat spectrum at 0.9/N each.
+        let expect = 0.9 / n as f64;
+        for (i, c) in data.iter().enumerate() {
+            let (re, im) = c.to_f64();
+            assert!((re - expect).abs() < 3e-3, "bin {i}: {re}");
+            assert!(im.abs() < 3e-3, "bin {i}: {im}");
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_its_bin() {
+        let n = 256;
+        let bin = 19;
+        let fft = FixedFft::new(n);
+        let mut data = quantize(&tone(n, bin, 0.8));
+        fft.transform(&mut data, Direction::Forward);
+        let mags: Vec<f64> = data.iter().map(|c| c.mag_sq()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        // Real tone: peaks at ±bin.
+        assert!(peak == bin || peak == n - bin, "peak at {peak}");
+        // Energy outside the two tone bins is small.
+        let leak: f64 = mags
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != bin && *i != n - bin)
+            .map(|(_, m)| m)
+            .sum();
+        assert!(leak < 0.1 * (mags[bin] + mags[n - bin]), "leak {leak}");
+    }
+
+    #[test]
+    fn matches_reference_dft_within_quantization() {
+        let n = 128;
+        let signal: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let x = i as f64;
+                (
+                    0.3 * (x * 0.17).sin() + 0.2 * (x * 0.05).cos(),
+                    0.1 * (x * 0.4).sin(),
+                )
+            })
+            .collect();
+        let fft = FixedFft::new(n);
+        let mut data = quantize(&signal);
+        fft.transform(&mut data, Direction::Forward);
+        let reference = reference_dft(&signal, Direction::Forward);
+        for (got, want) in data.iter().zip(&reference) {
+            let (gr, gi) = got.to_f64();
+            // Fixed-point output carries the 1/N scale.
+            let (wr, wi) = (want.0 / n as f64, want.1 / n as f64);
+            assert!((gr - wr).abs() < 5e-3, "{gr} vs {wr}");
+            assert!((gi - wi).abs() < 5e-3, "{gi} vs {wi}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip_recovers_signal() {
+        let n = 64;
+        let signal: Vec<(f64, f64)> = (0..n)
+            .map(|i| (0.4 * ((i as f64) * 0.3).sin(), 0.0))
+            .collect();
+        let fft = FixedFft::new(n);
+        let mut data = quantize(&signal);
+        fft.transform(&mut data, Direction::Forward);
+        fft.transform(&mut data, Direction::Inverse);
+        // Round trip divides by N twice but the DFT pair multiplies by N:
+        // net scale 1/N relative to the original. Compare rescaled.
+        for (c, &(wr, _)) in data.iter().zip(&signal) {
+            let (re, _) = c.to_f64();
+            let recovered = re * n as f64;
+            assert!(
+                (recovered - wr).abs() < 0.12,
+                "recovered {recovered} vs {wr}"
+            );
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved_modulo_scaling() {
+        let n = 128;
+        let signal = tone(n, 7, 0.5);
+        let fft = FixedFft::new(n);
+        let mut data = quantize(&signal);
+        let time_energy: f64 = data.iter().map(|c| c.mag_sq()).sum();
+        fft.transform(&mut data, Direction::Forward);
+        let freq_energy: f64 = data.iter().map(|c| c.mag_sq()).sum();
+        // Parseval with 1/N scaling: Σ|X|² = Σ|x|²/N.
+        let expect = time_energy / n as f64;
+        assert!(
+            (freq_energy - expect).abs() < 0.1 * expect.max(1e-6),
+            "{freq_energy} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn full_scale_input_does_not_wrap() {
+        let n = 32;
+        let fft = FixedFft::new(n);
+        // Worst case: all samples at MAX. Per-stage scaling must keep every
+        // intermediate finite (saturation allowed, wraparound not).
+        let mut data = vec![CQ15::from_f64(0.999, 0.999); n];
+        fft.transform(&mut data, Direction::Forward);
+        // DC bin should hold roughly mean value (≈ 0.999), others ≈ 0.
+        let (dc, _) = data[0].to_f64();
+        assert!(dc > 0.9, "dc = {dc}");
+        for c in &data[1..] {
+            assert!(c.mag_sq() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn butterfly_count_formula() {
+        assert_eq!(FixedFft::new(2048).butterflies(), 1024 * 11);
+        assert_eq!(FixedFft::new(8).butterflies(), 4 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn rejects_wrong_buffer_size() {
+        let fft = FixedFft::new(16);
+        let mut data = vec![CQ15::ZERO; 8];
+        fft.transform(&mut data, Direction::Forward);
+    }
+}

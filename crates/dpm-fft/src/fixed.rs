@@ -1,0 +1,292 @@
+//! Q15 fixed-point arithmetic.
+//!
+//! The M32R/D has no floating-point unit, so the FORTE signal chain runs in
+//! 16-bit fixed point ("we implemented fixed-point FFT operations", §5).
+//! [`Q15`] is the classic signed 1.15 format: values in `[−1, 1)` with a
+//! 2⁻¹⁵ step. All operations saturate rather than wrap — the behaviour DSP
+//! code relies on to keep a clipped sample from flipping sign.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A signed 1.15 fixed-point number in `[−1, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct Q15(pub i16);
+
+impl Q15 {
+    /// Zero.
+    pub const ZERO: Self = Self(0);
+    /// The largest representable value, `1 − 2⁻¹⁵`.
+    pub const MAX: Self = Self(i16::MAX);
+    /// The most negative representable value, `−1`.
+    pub const MIN: Self = Self(i16::MIN);
+    /// One half.
+    pub const HALF: Self = Self(1 << 14);
+
+    /// Quantize a float in `[−1, 1)`; saturates outside.
+    pub fn from_f64(x: f64) -> Self {
+        let scaled = (x * 32768.0).round();
+        Self(scaled.clamp(i16::MIN as f64, i16::MAX as f64) as i16)
+    }
+
+    /// Back to floating point.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / 32768.0
+    }
+
+    /// Raw bits.
+    #[inline]
+    pub const fn raw(self) -> i16 {
+        self.0
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn sat_add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn sat_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating Q15 × Q15 → Q15 multiply with rounding:
+    /// `(a·b + 2¹⁴) >> 15`, the standard fractional multiply.
+    #[inline]
+    pub fn sat_mul(self, rhs: Self) -> Self {
+        // i16×i16 fits i32; only −1×−1 overflows the Q15 range after shift.
+        let p = (self.0 as i32 * rhs.0 as i32 + (1 << 14)) >> 15;
+        Self(p.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+    }
+
+    /// Arithmetic shift right (divide by 2ᵏ, rounding toward −∞); the FFT
+    /// uses `>> 1` per stage to prevent overflow growth.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn shr(self, k: u32) -> Self {
+        Self(self.0 >> k)
+    }
+
+    /// Absolute value, saturating (`|MIN|` clamps to `MAX`).
+    #[inline]
+    pub fn sat_abs(self) -> Self {
+        Self(self.0.checked_abs().unwrap_or(i16::MAX))
+    }
+}
+
+impl Add for Q15 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.sat_add(rhs)
+    }
+}
+
+impl Sub for Q15 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.sat_sub(rhs)
+    }
+}
+
+impl Mul for Q15 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.sat_mul(rhs)
+    }
+}
+
+impl Neg for Q15 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self(self.0.checked_neg().unwrap_or(i16::MAX))
+    }
+}
+
+impl fmt::Display for Q15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.5}", self.to_f64())
+    }
+}
+
+/// A complex Q15 sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CQ15 {
+    /// Real part.
+    pub re: Q15,
+    /// Imaginary part.
+    pub im: Q15,
+}
+
+impl CQ15 {
+    /// Zero.
+    pub const ZERO: Self = Self {
+        re: Q15::ZERO,
+        im: Q15::ZERO,
+    };
+
+    /// Build from parts.
+    #[inline]
+    pub const fn new(re: Q15, im: Q15) -> Self {
+        Self { re, im }
+    }
+
+    /// Quantize a complex float.
+    pub fn from_f64(re: f64, im: f64) -> Self {
+        Self::new(Q15::from_f64(re), Q15::from_f64(im))
+    }
+
+    /// Back to floats.
+    pub fn to_f64(self) -> (f64, f64) {
+        (self.re.to_f64(), self.im.to_f64())
+    }
+
+    /// Saturating complex add.
+    #[inline]
+    pub fn sat_add(self, rhs: Self) -> Self {
+        Self::new(self.re.sat_add(rhs.re), self.im.sat_add(rhs.im))
+    }
+
+    /// Saturating complex subtract.
+    #[inline]
+    pub fn sat_sub(self, rhs: Self) -> Self {
+        Self::new(self.re.sat_sub(rhs.re), self.im.sat_sub(rhs.im))
+    }
+
+    /// Saturating complex multiply:
+    /// `(a+bi)(c+di) = (ac − bd) + (ad + bc)i`, each product rounded.
+    ///
+    /// Intermediate sums are kept in i32 so only the final result
+    /// saturates.
+    #[inline]
+    pub fn sat_mul(self, rhs: Self) -> Self {
+        let (a, b) = (self.re.0 as i32, self.im.0 as i32);
+        let (c, d) = (rhs.re.0 as i32, rhs.im.0 as i32);
+        let re = (a * c - b * d + (1 << 14)) >> 15;
+        let im = (a * d + b * c + (1 << 14)) >> 15;
+        Self::new(
+            Q15(re.clamp(i16::MIN as i32, i16::MAX as i32) as i16),
+            Q15(im.clamp(i16::MIN as i32, i16::MAX as i32) as i16),
+        )
+    }
+
+    /// Halve both parts (per-stage FFT scaling).
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn shr(self, k: u32) -> Self {
+        Self::new(self.re.shr(k), self.im.shr(k))
+    }
+
+    /// Squared magnitude as an i32 (exact; fits because each part ≤ 2¹⁵).
+    #[inline]
+    pub fn mag_sq_raw(self) -> i64 {
+        let (a, b) = (self.re.0 as i64, self.im.0 as i64);
+        a * a + b * b
+    }
+
+    /// Squared magnitude as a float in `[0, 2)`.
+    pub fn mag_sq(self) -> f64 {
+        self.mag_sq_raw() as f64 / (32768.0 * 32768.0)
+    }
+
+    /// Complex conjugate (saturating negation of the imaginary part).
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_quantum() {
+        for &x in &[0.0, 0.5, -0.5, 0.999, -1.0, 0.123456] {
+            let q = Q15::from_f64(x);
+            assert!((q.to_f64() - x).abs() <= 1.0 / 32768.0, "{x}");
+        }
+    }
+
+    #[test]
+    fn saturation_on_conversion() {
+        assert_eq!(Q15::from_f64(2.0), Q15::MAX);
+        assert_eq!(Q15::from_f64(-2.0), Q15::MIN);
+    }
+
+    #[test]
+    fn add_saturates() {
+        assert_eq!(Q15::MAX + Q15::MAX, Q15::MAX);
+        assert_eq!(Q15::MIN + Q15::MIN, Q15::MIN);
+        assert_eq!(Q15::HALF + Q15::HALF + Q15::HALF, Q15::MAX);
+    }
+
+    #[test]
+    fn sub_saturates() {
+        assert_eq!(Q15::MIN - Q15::MAX, Q15::MIN);
+        assert_eq!(Q15::MAX - Q15::MIN, Q15::MAX);
+    }
+
+    #[test]
+    fn mul_halves() {
+        let h = Q15::HALF;
+        let q = h * h;
+        assert!((q.to_f64() - 0.25).abs() <= 1.0 / 32768.0);
+    }
+
+    #[test]
+    fn mul_minus_one_squared_saturates() {
+        // (−1)·(−1) = +1 is unrepresentable; must clamp to MAX, not wrap.
+        assert_eq!(Q15::MIN * Q15::MIN, Q15::MAX);
+    }
+
+    #[test]
+    fn neg_min_saturates() {
+        assert_eq!(-Q15::MIN, Q15::MAX);
+        assert_eq!(Q15::MIN.sat_abs(), Q15::MAX);
+    }
+
+    #[test]
+    fn shr_scales() {
+        assert_eq!(Q15::HALF.shr(1).to_f64(), 0.25);
+    }
+
+    #[test]
+    fn complex_multiply_matches_float() {
+        let a = CQ15::from_f64(0.3, -0.4);
+        let b = CQ15::from_f64(-0.5, 0.2);
+        let c = a.sat_mul(b);
+        let (re, im) = c.to_f64();
+        // (0.3−0.4i)(−0.5+0.2i) = (−0.15+0.08) + (0.06+0.20)i
+        assert!((re - (-0.07)).abs() < 3e-4, "{re}");
+        assert!((im - 0.26).abs() < 3e-4, "{im}");
+    }
+
+    #[test]
+    fn complex_mag_sq() {
+        let c = CQ15::from_f64(0.6, 0.8);
+        assert!((c.mag_sq() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn complex_conj() {
+        let c = CQ15::from_f64(0.1, 0.2);
+        let (re, im) = c.conj().to_f64();
+        assert!((re - 0.1).abs() < 1e-4 && (im + 0.2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rounding_is_symmetric_enough() {
+        // Multiplying by +1-ish keeps values stable.
+        let near_one = Q15::MAX;
+        let x = Q15::from_f64(0.25);
+        let y = x * near_one;
+        assert!((y.to_f64() - 0.25).abs() < 2.0 / 32768.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Fork-join parallel FFT — the Fig. 2 task graph made concrete.
+//!
+//! The paper's applications are "parallel applications with initial and
+//! final stages": a serial scatter `S`, `n` parallel tasks `T1…Tn`, and a
+//! serial gather `E`. For the FORTE FFT we realize that shape with the
+//! classic four-step (Bailey) decomposition of an `N = R×C` transform:
+//!
+//! 1. **S** (serial): scatter the input into `C` columns;
+//! 2. **T** (parallel): `C` independent length-`R` FFTs + twiddle multiply,
+//!    then after a serial transpose, `R` independent length-`C` FFTs;
+//! 3. **E** (serial): gather the output in natural order.
+//!
+//! Index algebra, with `j = r·C + c` and `k = p + R·q`:
+//!
+//! ```text
+//! X[p + Rq] = Σ_c W_N^{cp} · W_C^{cq} · (Σ_r x[rC + c] · W_R^{rp})
+//! ```
+//!
+//! Host-side parallelism uses `crossbeam::scope` with one thread per
+//! simulated worker — a direct transcription of the task graph rather than
+//! a work-stealing pool, per DESIGN.md §5.
+
+use crate::fft::{Direction, FixedFft};
+use crate::fixed::CQ15;
+use crate::twiddle::TwiddleTable;
+use std::time::Instant;
+
+/// The Fig. 2 task-graph timing breakdown from one execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageTimes {
+    /// Serial scatter + transpose + gather wall time (seconds).
+    pub serial: f64,
+    /// Parallel stage wall time (seconds).
+    pub parallel: f64,
+}
+
+impl StageTimes {
+    /// Empirical serial fraction `Ts/Tt` of this run.
+    pub fn serial_fraction(&self) -> f64 {
+        self.serial / (self.serial + self.parallel).max(1e-12)
+    }
+}
+
+/// Fork-join FFT executor for a fixed size and worker count.
+#[derive(Debug)]
+pub struct ForkJoinFft {
+    n: usize,
+    rows: usize,
+    cols: usize,
+    row_fft: FixedFft,
+    col_fft: FixedFft,
+    twiddles: TwiddleTable,
+    workers: usize,
+}
+
+impl ForkJoinFft {
+    /// Plan a transform of size `n` (power of two ≥ 4) on `workers ≥ 1`
+    /// threads. The factorization picks `R` as the largest power of two
+    /// `≤ √N`, so both sub-transforms stay near-square.
+    pub fn new(n: usize, workers: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 4, "size must be 2^k ≥ 4");
+        assert!(workers >= 1, "at least one worker");
+        let half_bits = n.trailing_zeros() / 2;
+        let rows = 1usize << half_bits;
+        let cols = n / rows;
+        Self {
+            n,
+            rows,
+            cols,
+            row_fft: FixedFft::new(rows),
+            col_fft: FixedFft::new(cols),
+            twiddles: TwiddleTable::new(n),
+            workers,
+        }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The `(R, C)` factorization in use.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Forward transform (scaled by `1/N`, same convention as
+    /// [`FixedFft`]), returning the per-stage wall times.
+    pub fn transform(&self, data: &mut [CQ15]) -> StageTimes {
+        assert_eq!(data.len(), self.n, "buffer length must equal planned size");
+        let (r, c) = (self.rows, self.cols);
+
+        // --- S: scatter into columns (serial) ---------------------------
+        let t0 = Instant::now();
+        let mut columns: Vec<Vec<CQ15>> = (0..c)
+            .map(|col| (0..r).map(|row| data[row * c + col]).collect())
+            .collect();
+        let mut serial = t0.elapsed().as_secs_f64();
+
+        // --- T, first half: C length-R FFTs + twiddles (parallel) -------
+        let t1 = Instant::now();
+        self.for_each_parallel(&mut columns, |col_idx, column| {
+            self.row_fft.transform(column, Direction::Forward);
+            // W_N^{c·p} twiddle after the first sub-transform.
+            for (p, v) in column.iter_mut().enumerate() {
+                let k = (col_idx * p) % self.n;
+                let w = self.full_twiddle(k);
+                *v = v.sat_mul(w);
+            }
+        });
+        let mut parallel = t1.elapsed().as_secs_f64();
+
+        // --- serial transpose: rows[p][c] = columns[c][p] ----------------
+        let t2 = Instant::now();
+        let mut rows_buf: Vec<Vec<CQ15>> = (0..r)
+            .map(|p| (0..c).map(|col| columns[col][p]).collect())
+            .collect();
+        serial += t2.elapsed().as_secs_f64();
+
+        // --- T, second half: R length-C FFTs (parallel) ------------------
+        let t3 = Instant::now();
+        self.for_each_parallel(&mut rows_buf, |_, row| {
+            self.col_fft.transform(row, Direction::Forward);
+        });
+        parallel += t3.elapsed().as_secs_f64();
+
+        // --- E: gather X[p + R·q] = rows[p][q] (serial) -------------------
+        let t4 = Instant::now();
+        for (p, row) in rows_buf.iter().enumerate() {
+            for (q, &v) in row.iter().enumerate() {
+                data[p + r * q] = v;
+            }
+        }
+        serial += t4.elapsed().as_secs_f64();
+
+        StageTimes { serial, parallel }
+    }
+
+    /// Full-size twiddle `W_N^k` for any `k < N`, derived from the half
+    /// table via `W_N^{k+N/2} = −W_N^k`.
+    fn full_twiddle(&self, k: usize) -> CQ15 {
+        let half = self.n / 2;
+        if k < half {
+            self.twiddles.forward(k)
+        } else {
+            let w = self.twiddles.forward(k - half);
+            CQ15::new(-w.re, -w.im)
+        }
+    }
+
+    /// Run `f` over every chunk, splitting across `self.workers` scoped
+    /// threads (contiguous block partition — the scatter pattern a ring
+    /// network favours).
+    fn for_each_parallel<T: Send>(&self, items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+        let workers = self.workers.min(items.len()).max(1);
+        if workers == 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let chunk = items.len().div_ceil(workers);
+        crossbeam::scope(|scope| {
+            for (w, block) in items.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                scope.spawn(move |_| {
+                    for (i, item) in block.iter_mut().enumerate() {
+                        f(w * chunk + i, item);
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::{dequantize, quantize, reference_dft};
+
+    fn test_signal(n: usize) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64;
+                (
+                    0.25 * (0.21 * x).sin() + 0.15 * (0.03 * x).cos(),
+                    0.1 * (0.4 * x).sin(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shape_is_near_square() {
+        let f = ForkJoinFft::new(2048, 4);
+        assert_eq!(f.shape(), (32, 64));
+        let g = ForkJoinFft::new(256, 4);
+        assert_eq!(g.shape(), (16, 16));
+    }
+
+    #[test]
+    fn matches_serial_fixed_fft() {
+        for &n in &[64usize, 256, 1024] {
+            let signal = test_signal(n);
+            let mut par = quantize(&signal);
+            let mut ser = quantize(&signal);
+            ForkJoinFft::new(n, 4).transform(&mut par);
+            FixedFft::new(n).transform(&mut ser, Direction::Forward);
+            for (i, (a, b)) in dequantize(&par).iter().zip(dequantize(&ser)).enumerate() {
+                assert!(
+                    (a.0 - b.0).abs() < 8e-3 && (a.1 - b.1).abs() < 8e-3,
+                    "n={n} bin {i}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        let n = 512;
+        let signal = test_signal(n);
+        let mut par = quantize(&signal);
+        ForkJoinFft::new(n, 3).transform(&mut par);
+        let reference = reference_dft(&signal, Direction::Forward);
+        for (i, (got, want)) in par.iter().zip(&reference).enumerate() {
+            let (gr, gi) = got.to_f64();
+            let (wr, wi) = (want.0 / n as f64, want.1 / n as f64);
+            assert!(
+                (gr - wr).abs() < 8e-3 && (gi - wi).abs() < 8e-3,
+                "bin {i}: ({gr},{gi}) vs ({wr},{wi})"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let n = 1024;
+        let signal = test_signal(n);
+        let mut one = quantize(&signal);
+        let mut many = quantize(&signal);
+        ForkJoinFft::new(n, 1).transform(&mut one);
+        ForkJoinFft::new(n, 7).transform(&mut many);
+        assert_eq!(one, many, "parallelism must be deterministic");
+    }
+
+    #[test]
+    fn stage_times_are_reported() {
+        let n = 2048;
+        let mut data = quantize(&test_signal(n));
+        let times = ForkJoinFft::new(n, 4).transform(&mut data);
+        assert!(times.serial >= 0.0 && times.parallel >= 0.0);
+        let f = times.serial_fraction();
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k ≥ 4")]
+    fn rejects_tiny_sizes() {
+        ForkJoinFft::new(2, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Synthetic RF capture generation — the stand-in for FORTE's recorded
+//! transients (see DESIGN.md §4: the paper only exercises the FFT kernel,
+//! so any capture of the right length drives the identical code path).
+//!
+//! FORTE looked for broadband VHF transients (lightning EMPs and
+//! trans-ionospheric pulse pairs) against a background of narrowband
+//! carriers and receiver noise. The generator composes those ingredients:
+//! white noise, fixed carriers, and chirped broadband pulses whose
+//! frequency sweeps downward as ionospheric dispersion would.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a synthetic capture contains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaptureSpec {
+    /// Samples per capture (the paper's 2K FFT ⇒ 2048).
+    pub samples: usize,
+    /// RMS amplitude of the white-noise floor (0–1 full scale).
+    pub noise_rms: f64,
+    /// Amplitude of each narrowband interferer.
+    pub carrier_amp: f64,
+    /// Normalized carrier frequencies (cycles/sample, 0–0.5).
+    pub carriers: [f64; 2],
+    /// Peak amplitude of the transient; 0 disables it.
+    pub transient_amp: f64,
+    /// Chirp start frequency (cycles/sample).
+    pub chirp_start: f64,
+    /// Chirp end frequency (cycles/sample), `< chirp_start` (downward
+    /// dispersion sweep).
+    pub chirp_end: f64,
+}
+
+impl CaptureSpec {
+    /// The default 2048-sample FORTE-like capture with a transient present.
+    pub fn with_transient() -> Self {
+        Self {
+            samples: 2048,
+            noise_rms: 0.02,
+            carrier_amp: 0.08,
+            carriers: [0.11, 0.23],
+            transient_amp: 0.35,
+            chirp_start: 0.42,
+            chirp_end: 0.05,
+        }
+    }
+
+    /// Same background, no transient.
+    pub fn background_only() -> Self {
+        Self {
+            transient_amp: 0.0,
+            ..Self::with_transient()
+        }
+    }
+}
+
+/// Generate a capture as real samples in `[−1, 1]` (imaginary part zero —
+/// FORTE digitized a real IF signal).
+pub fn generate(spec: &CaptureSpec, seed: u64) -> Vec<(f64, f64)> {
+    assert!(spec.samples >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = spec.samples;
+    let mut out = Vec::with_capacity(n);
+    // Transient occupies the middle half of the capture.
+    let (t0, t1) = (n / 4, 3 * n / 4);
+    for i in 0..n {
+        let x = i as f64;
+        // Noise: uniform approximates white noise well enough here and
+        // avoids a Box-Muller dependency.
+        let mut s = rng.gen_range(-1.0..1.0) * spec.noise_rms * 1.732;
+        for &fc in &spec.carriers {
+            s += spec.carrier_amp * (2.0 * std::f64::consts::PI * fc * x).sin();
+        }
+        if spec.transient_amp > 0.0 && i >= t0 && i < t1 {
+            let u = (i - t0) as f64 / (t1 - t0) as f64; // 0..1 within pulse
+            let f_inst = spec.chirp_start + (spec.chirp_end - spec.chirp_start) * u;
+            // Phase = integral of instantaneous frequency.
+            let phase = 2.0
+                * std::f64::consts::PI
+                * ((spec.chirp_start * u + 0.5 * (spec.chirp_end - spec.chirp_start) * u * u)
+                    * (t1 - t0) as f64);
+            // Raised-cosine envelope.
+            let env = 0.5 - 0.5 * (2.0 * std::f64::consts::PI * u).cos();
+            let _ = f_inst;
+            s += spec.transient_amp * env * phase.sin();
+        }
+        out.push((s.clamp(-1.0, 1.0), 0.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_has_requested_length() {
+        let c = generate(&CaptureSpec::with_transient(), 1);
+        assert_eq!(c.len(), 2048);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let c = generate(&CaptureSpec::with_transient(), 2);
+        for &(re, im) in &c {
+            assert!((-1.0..=1.0).contains(&re));
+            assert_eq!(im, 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = generate(&CaptureSpec::with_transient(), 42);
+        let b = generate(&CaptureSpec::with_transient(), 42);
+        assert_eq!(a, b);
+        let c = generate(&CaptureSpec::with_transient(), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn transient_adds_energy() {
+        let bg = generate(&CaptureSpec::background_only(), 7);
+        let tr = generate(&CaptureSpec::with_transient(), 7);
+        let e = |v: &[(f64, f64)]| v.iter().map(|&(r, _)| r * r).sum::<f64>();
+        assert!(e(&tr) > 1.5 * e(&bg), "{} vs {}", e(&tr), e(&bg));
+    }
+
+    #[test]
+    fn transient_is_confined_to_middle() {
+        let spec = CaptureSpec {
+            noise_rms: 0.0,
+            carrier_amp: 0.0,
+            ..CaptureSpec::with_transient()
+        };
+        let c = generate(&spec, 3);
+        let head: f64 = c[..512].iter().map(|&(r, _)| r.abs()).sum();
+        let mid: f64 = c[512..1536].iter().map(|&(r, _)| r.abs()).sum();
+        assert_eq!(head, 0.0);
+        assert!(mid > 1.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Streaming spectrogram — the "background science" the governor's
+//! surplus energy buys.
+//!
+//! Between triggered transients, FORTE-style payloads monitor the band
+//! continuously: overlapped, windowed frames through the real-input FFT,
+//! each frame one short-time power spectrum. The frame rate is the knob
+//! the power allocation actually turns — more allocated power ⇒ more
+//! frames per second of monitoring (see [`Spectrogram::frames_within`]).
+
+use crate::fixed::Q15;
+use crate::rfft::RealFft;
+use crate::window::{Window, WindowKind};
+
+/// Overlapped short-time spectrum analyzer.
+#[derive(Debug, Clone)]
+pub struct Spectrogram {
+    fft: RealFft,
+    window: Window,
+    hop: usize,
+}
+
+impl Spectrogram {
+    /// Frames of `frame_len` samples (power of two ≥ 8), advancing by
+    /// `hop` samples (0 < hop ≤ frame_len; frame_len/2 gives the classic
+    /// 50 % overlap).
+    pub fn new(frame_len: usize, hop: usize, window: WindowKind) -> Self {
+        assert!(hop >= 1 && hop <= frame_len, "0 < hop ≤ frame length");
+        Self {
+            fft: RealFft::new(frame_len),
+            window: Window::new(window, frame_len),
+            hop,
+        }
+    }
+
+    /// Frame length in samples.
+    pub fn frame_len(&self) -> usize {
+        self.fft.size()
+    }
+
+    /// Hop size in samples.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// Number of frames a stream of `samples` yields.
+    pub fn frame_count(&self, samples: usize) -> usize {
+        if samples < self.frame_len() {
+            0
+        } else {
+            (samples - self.frame_len()) / self.hop + 1
+        }
+    }
+
+    /// Process a real stream into per-frame one-sided power spectra
+    /// (`frame_count` rows × `frame_len/2 + 1` bins).
+    pub fn process(&self, stream: &[f64]) -> Vec<Vec<f64>> {
+        let n = self.frame_len();
+        let mut frames = Vec::with_capacity(self.frame_count(stream.len()));
+        let mut start = 0usize;
+        while start + n <= stream.len() {
+            let mut buf: Vec<Q15> = stream[start..start + n]
+                .iter()
+                .map(|&x| Q15::from_f64(x))
+                .collect();
+            // Window in place (real part only).
+            for (q, w) in buf.iter_mut().zip(self.window.coeffs()) {
+                *q = q.sat_mul(*w);
+            }
+            frames.push(self.fft.power_spectrum_from(&buf));
+            start += self.hop;
+        }
+        frames
+    }
+
+    /// Peak bin of each frame — the ridge a chirp traces.
+    pub fn ridge(&self, stream: &[f64]) -> Vec<usize> {
+        self.process(stream)
+            .iter()
+            .map(|frame| {
+                frame
+                    .iter()
+                    .enumerate()
+                    .skip(1) // ignore DC
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// How many frames a power budget sustains over `dt` seconds, given
+    /// the per-frame energy of the platform's FFT job model (callers get
+    /// the per-frame energy from `dpm-fft::timing` + the board power).
+    pub fn frames_within(&self, budget_joules: f64, energy_per_frame: f64) -> usize {
+        assert!(energy_per_frame > 0.0);
+        (budget_joules / energy_per_frame).floor().max(0.0) as usize
+    }
+}
+
+impl RealFft {
+    /// Power spectrum of an already-quantized (and windowed) frame.
+    pub fn power_spectrum_from(&self, input: &[Q15]) -> Vec<f64> {
+        self.forward(input).iter().map(|c| c.mag_sq()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone_stream(len: usize, cycles_per_sample: f64) -> Vec<f64> {
+        (0..len)
+            .map(|i| 0.6 * (2.0 * std::f64::consts::PI * cycles_per_sample * i as f64).cos())
+            .collect()
+    }
+
+    #[test]
+    fn frame_count_formula() {
+        let s = Spectrogram::new(256, 128, WindowKind::Hann);
+        assert_eq!(s.frame_count(255), 0);
+        assert_eq!(s.frame_count(256), 1);
+        assert_eq!(s.frame_count(512), 3);
+        assert_eq!(s.process(&tone_stream(512, 0.1)).len(), 3);
+    }
+
+    #[test]
+    fn constant_tone_gives_constant_ridge() {
+        let s = Spectrogram::new(256, 128, WindowKind::Hann);
+        // 0.125 cycles/sample ⇒ bin 32 of 256.
+        let ridge = s.ridge(&tone_stream(2048, 0.125));
+        assert!(!ridge.is_empty());
+        for &r in &ridge {
+            assert!((r as i64 - 32).unsigned_abs() <= 1, "ridge at {r}");
+        }
+    }
+
+    #[test]
+    fn chirp_ridge_descends() {
+        // Linear downward chirp from 0.4 to 0.05 cycles/sample.
+        let len = 4096;
+        let stream: Vec<f64> = (0..len)
+            .map(|i| {
+                let u = i as f64 / len as f64;
+                let phase =
+                    2.0 * std::f64::consts::PI * (0.4 * u - 0.5 * 0.35 * u * u) * len as f64;
+                0.5 * phase.sin()
+            })
+            .collect();
+        let s = Spectrogram::new(256, 256, WindowKind::Hann);
+        let ridge = s.ridge(&stream);
+        let first = ridge[1] as f64;
+        let last = ridge[ridge.len() - 2] as f64;
+        assert!(
+            last < first - 10.0,
+            "ridge did not descend: {first} -> {last} ({ridge:?})"
+        );
+    }
+
+    #[test]
+    fn frames_within_budget() {
+        let s = Spectrogram::new(256, 128, WindowKind::Hann);
+        // 1.5 J per frame, 10 J budget: 6 frames.
+        assert_eq!(s.frames_within(10.0, 1.5), 6);
+        assert_eq!(s.frames_within(0.5, 1.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hop")]
+    fn rejects_zero_hop() {
+        Spectrogram::new(256, 0, WindowKind::Hann);
+    }
+}

@@ -1,0 +1,140 @@
+//! Precomputed Q15 twiddle-factor tables.
+//!
+//! `W_N^k = e^{−2πik/N}` for the forward transform; tables are computed in
+//! double precision once and quantized to Q15, matching what embedded DSP
+//! code keeps in ROM. Only the first half (`k < N/2`) is stored — the
+//! radix-2 butterflies never index beyond it.
+
+use crate::fixed::CQ15;
+
+/// Twiddle table for a transform of size `n` (power of two).
+#[derive(Debug, Clone)]
+pub struct TwiddleTable {
+    n: usize,
+    /// `W_N^k` for `k ∈ [0, N/2)`.
+    forward: Vec<CQ15>,
+}
+
+impl TwiddleTable {
+    /// Build the table.
+    ///
+    /// # Panics
+    /// Panics unless `n` is a power of two ≥ 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "FFT size must be 2^k ≥ 2");
+        let forward = (0..n / 2)
+            .map(|k| {
+                let theta = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                CQ15::from_f64(theta.cos(), theta.sin())
+            })
+            .collect();
+        Self { n, forward }
+    }
+
+    /// The transform size this table serves.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Forward twiddle `W_N^k`, `k < N/2`.
+    #[inline]
+    pub fn forward(&self, k: usize) -> CQ15 {
+        self.forward[k]
+    }
+
+    /// Inverse twiddle `W_N^{−k} = conj(W_N^k)`.
+    #[inline]
+    pub fn inverse(&self, k: usize) -> CQ15 {
+        self.forward[k].conj()
+    }
+}
+
+/// Bit-reverse permutation index table for size `n`.
+pub fn bit_reverse_indices(n: usize) -> Vec<usize> {
+    assert!(n.is_power_of_two());
+    let bits = n.trailing_zeros();
+    (0..n)
+        .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1))
+        .collect()
+}
+
+/// Apply the bit-reverse permutation in place.
+pub fn bit_reverse_permute<T>(data: &mut [T]) {
+    let n = data.len();
+    let idx = bit_reverse_indices(n);
+    for (i, &j) in idx.iter().enumerate() {
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_half_size() {
+        let t = TwiddleTable::new(8);
+        assert_eq!(t.size(), 8);
+        assert_eq!(t.forward.len(), 4);
+    }
+
+    #[test]
+    fn w0_is_one() {
+        let t = TwiddleTable::new(16);
+        let (re, im) = t.forward(0).to_f64();
+        assert!((re - (1.0 - 1.0 / 32768.0)).abs() < 2.0 / 32768.0);
+        assert!(im.abs() < 1.0 / 32768.0);
+    }
+
+    #[test]
+    fn quarter_turn_is_minus_i() {
+        let t = TwiddleTable::new(8);
+        // W_8^2 = e^{−iπ/2} = −i
+        let (re, im) = t.forward(2).to_f64();
+        assert!(re.abs() < 1e-4);
+        assert!((im + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inverse_is_conjugate() {
+        let t = TwiddleTable::new(8);
+        for k in 0..4 {
+            let f = t.forward(k);
+            let i = t.inverse(k);
+            assert_eq!(f.re, i.re);
+            // Saturating negation maps −1 to 1−2⁻¹⁵, so allow one LSB.
+            assert!((f.im.raw() as i32 + i.im.raw() as i32).abs() <= 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn twiddles_lie_on_unit_circle() {
+        let t = TwiddleTable::new(64);
+        for k in 0..32 {
+            let m = t.forward(k).mag_sq();
+            assert!((m - 1.0).abs() < 5e-3, "k={k}: {m}");
+        }
+    }
+
+    #[test]
+    fn bit_reverse_size_8() {
+        assert_eq!(bit_reverse_indices(8), vec![0, 4, 2, 6, 1, 5, 3, 7]);
+    }
+
+    #[test]
+    fn bit_reverse_is_involution() {
+        let mut data: Vec<usize> = (0..64).collect();
+        bit_reverse_permute(&mut data);
+        bit_reverse_permute(&mut data);
+        assert_eq!(data, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "FFT size must be 2^k")]
+    fn rejects_non_power_of_two() {
+        TwiddleTable::new(12);
+    }
+}

@@ -1,0 +1,147 @@
+//! Analysis windows, quantized to Q15.
+//!
+//! The FORTE trigger chain windows each capture before the FFT to contain
+//! spectral leakage from the strong VHF carriers the satellite sees.
+
+use crate::fixed::{CQ15, Q15};
+
+/// Window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// No shaping (all ones).
+    Rectangular,
+    /// Hann: `0.5 − 0.5·cos(2πi/(N−1))`.
+    Hann,
+    /// Hamming: `0.54 − 0.46·cos(2πi/(N−1))`.
+    Hamming,
+    /// Blackman: `0.42 − 0.5·cos + 0.08·cos(2·)`.
+    Blackman,
+}
+
+/// A precomputed Q15 window.
+#[derive(Debug, Clone)]
+pub struct Window {
+    kind: WindowKind,
+    coeffs: Vec<Q15>,
+}
+
+impl Window {
+    /// Build a window of length `n ≥ 2`.
+    pub fn new(kind: WindowKind, n: usize) -> Self {
+        assert!(n >= 2, "window needs at least two points");
+        let coeffs = (0..n)
+            .map(|i| {
+                let x = i as f64 / (n - 1) as f64;
+                let w = match kind {
+                    WindowKind::Rectangular => 1.0,
+                    WindowKind::Hann => 0.5 - 0.5 * (2.0 * std::f64::consts::PI * x).cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * (2.0 * std::f64::consts::PI * x).cos(),
+                    WindowKind::Blackman => {
+                        0.42 - 0.5 * (2.0 * std::f64::consts::PI * x).cos()
+                            + 0.08 * (4.0 * std::f64::consts::PI * x).cos()
+                    }
+                };
+                Q15::from_f64(w.min(0.999_969)) // keep strictly < 1.0
+            })
+            .collect();
+        Self { kind, coeffs }
+    }
+
+    /// Window length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Never true (constructor requires ≥ 2 points).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Which shape this is.
+    #[inline]
+    pub fn kind(&self) -> WindowKind {
+        self.kind
+    }
+
+    /// The Q15 coefficients.
+    #[inline]
+    pub fn coeffs(&self) -> &[Q15] {
+        &self.coeffs
+    }
+
+    /// Apply in place to a complex buffer of the same length.
+    pub fn apply(&self, data: &mut [CQ15]) {
+        assert_eq!(data.len(), self.coeffs.len(), "window/buffer mismatch");
+        for (d, &w) in data.iter_mut().zip(&self.coeffs) {
+            *d = CQ15::new(d.re.sat_mul(w), d.im.sat_mul(w));
+        }
+    }
+
+    /// Coherent gain: mean coefficient (the factor by which a tone's
+    /// spectral peak is attenuated).
+    pub fn coherent_gain(&self) -> f64 {
+        self.coeffs.iter().map(|c| c.to_f64()).sum::<f64>() / self.coeffs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        let w = Window::new(WindowKind::Rectangular, 16);
+        for &c in w.coeffs() {
+            assert!(c.to_f64() > 0.999);
+        }
+        assert!((w.coherent_gain() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_and_middle_is_one() {
+        let w = Window::new(WindowKind::Hann, 65);
+        assert_eq!(w.coeffs()[0], Q15::ZERO);
+        assert_eq!(w.coeffs()[64], Q15::ZERO);
+        assert!(w.coeffs()[32].to_f64() > 0.99);
+    }
+
+    #[test]
+    fn hann_coherent_gain_is_half() {
+        let w = Window::new(WindowKind::Hann, 1024);
+        assert!((w.coherent_gain() - 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn hamming_floor_is_nonzero() {
+        let w = Window::new(WindowKind::Hamming, 64);
+        assert!((w.coeffs()[0].to_f64() - 0.08).abs() < 1e-2);
+    }
+
+    #[test]
+    fn blackman_is_symmetric() {
+        let w = Window::new(WindowKind::Blackman, 128);
+        for i in 0..64 {
+            assert_eq!(w.coeffs()[i], w.coeffs()[127 - i], "i = {i}");
+        }
+    }
+
+    #[test]
+    fn apply_attenuates_edges() {
+        let w = Window::new(WindowKind::Hann, 32);
+        let mut data = vec![CQ15::from_f64(0.5, 0.5); 32];
+        w.apply(&mut data);
+        assert_eq!(data[0], CQ15::ZERO);
+        let (re, _) = data[16].to_f64();
+        assert!(re > 0.45);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn apply_rejects_wrong_length() {
+        let w = Window::new(WindowKind::Hann, 32);
+        let mut data = vec![CQ15::ZERO; 16];
+        w.apply(&mut data);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the fixed-point DSP substrate.
+
+use dpm_fft::prelude::*;
+use proptest::prelude::*;
+
+fn q15() -> impl Strategy<Value = Q15> {
+    any::<i16>().prop_map(Q15)
+}
+
+fn signal(n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((-0.45f64..0.45, -0.45f64..0.45), n..=n)
+}
+
+proptest! {
+    /// Q15 addition saturates instead of wrapping: result is always within
+    /// 1 LSB of the clamped real sum.
+    #[test]
+    fn q15_add_saturates(a in q15(), b in q15()) {
+        let sum = a.sat_add(b);
+        let real = (a.to_f64() + b.to_f64()).clamp(-1.0, 32767.0 / 32768.0);
+        prop_assert!((sum.to_f64() - real).abs() <= 2.0 / 32768.0);
+    }
+
+    /// Q15 multiply error is within one quantum of the real product.
+    #[test]
+    fn q15_mul_accuracy(a in q15(), b in q15()) {
+        let p = a.sat_mul(b);
+        let real = (a.to_f64() * b.to_f64()).clamp(-1.0, 32767.0 / 32768.0);
+        prop_assert!((p.to_f64() - real).abs() <= 2.0 / 32768.0, "{a} × {b}");
+    }
+
+    /// Complex multiply magnitude is submultiplicative (saturation only
+    /// shrinks), and matches the float product within tolerance for
+    /// in-range operands.
+    #[test]
+    fn cq15_mul_matches_float(
+        ar in -0.7f64..0.7, ai in -0.7f64..0.7,
+        br in -0.7f64..0.7, bi in -0.7f64..0.7,
+    ) {
+        let a = CQ15::from_f64(ar, ai);
+        let b = CQ15::from_f64(br, bi);
+        let c = a.sat_mul(b);
+        let (cr, ci) = c.to_f64();
+        prop_assert!((cr - (ar * br - ai * bi)).abs() < 3e-4);
+        prop_assert!((ci - (ar * bi + ai * br)).abs() < 3e-4);
+    }
+
+    /// The fixed-point FFT tracks the double-precision DFT within Q15
+    /// quantization error for moderate-amplitude inputs.
+    #[test]
+    fn fft_matches_reference(sig in signal(64)) {
+        let fft = FixedFft::new(64);
+        let mut data = quantize(&sig);
+        fft.transform(&mut data, Direction::Forward);
+        let reference = reference_dft(&sig, Direction::Forward);
+        for (got, want) in data.iter().zip(&reference) {
+            let (gr, gi) = got.to_f64();
+            prop_assert!((gr - want.0 / 64.0).abs() < 8e-3);
+            prop_assert!((gi - want.1 / 64.0).abs() < 8e-3);
+        }
+    }
+
+    /// forward ∘ inverse recovers the signal up to the documented 1/N
+    /// scale and quantization noise.
+    #[test]
+    fn fft_roundtrip(sig in signal(32)) {
+        let fft = FixedFft::new(32);
+        let mut data = quantize(&sig);
+        fft.transform(&mut data, Direction::Forward);
+        fft.transform(&mut data, Direction::Inverse);
+        let scale = 1.0 / fft.roundtrip_scale();
+        for (c, &(wr, wi)) in data.iter().zip(&sig) {
+            let (re, im) = c.to_f64();
+            prop_assert!((re * scale - wr).abs() < 0.1, "{re} vs {wr}");
+            prop_assert!((im * scale - wi).abs() < 0.1);
+        }
+    }
+
+    /// The fork-join FFT agrees with the serial FFT for any worker count.
+    #[test]
+    fn forkjoin_matches_serial(sig in signal(128), workers in 1usize..8) {
+        let mut par = quantize(&sig);
+        let mut ser = quantize(&sig);
+        ForkJoinFft::new(128, workers).transform(&mut par);
+        FixedFft::new(128).transform(&mut ser, Direction::Forward);
+        for (a, b) in par.iter().zip(&ser) {
+            let (ar, ai) = a.to_f64();
+            let (br, bi) = b.to_f64();
+            prop_assert!((ar - br).abs() < 8e-3 && (ai - bi).abs() < 8e-3);
+        }
+    }
+
+    /// The cycle model is monotone: more processors never slow a job, and
+    /// higher frequency never slows a job.
+    #[test]
+    fn cycle_model_monotone(n in 1usize..16, mhz in 1.0f64..200.0) {
+        let m = CycleModel::pama_fft();
+        let f = dpm_core::units::Hertz::from_mhz(mhz);
+        let t_n = m.parallel_job_time(2048, n, f);
+        let t_n1 = m.parallel_job_time(2048, n + 1, f);
+        prop_assert!(t_n1.value() <= t_n.value() + 1e-12);
+        let t_faster = m.parallel_job_time(2048, n, dpm_core::units::Hertz::from_mhz(mhz * 2.0));
+        prop_assert!(t_faster.value() < t_n.value());
+    }
+
+    /// Detector never reports an event without the trigger having fired.
+    #[test]
+    fn detector_event_implies_trigger(seed in 0u64..500, amp in 0.0f64..0.5) {
+        let spec = CaptureSpec { transient_amp: amp, ..CaptureSpec::with_transient() };
+        let det = TransientDetector::new(DetectorConfig::default());
+        let r = det.detect(&generate(&spec, seed));
+        prop_assert!(!r.is_event || r.triggered);
+    }
+}

@@ -1,0 +1,501 @@
+//! The PAMA board: eight PIMs, the ring interconnect, and the job pipeline.
+//!
+//! Processor 0 is the controller (it runs the governor and never takes
+//! jobs); processors 1–7 are workers. The board accepts an
+//! [`OperatingPoint`] command each slot, drives the per-chip mode and
+//! frequency transitions, and processes the FFT job queue at the Eq. 3
+//! throughput of the active configuration, with the scatter/gather serial
+//! time supplied by the ring model.
+
+use crate::commands::{Command, CommandBus};
+use crate::network::{RingConfig, RingNetwork};
+use crate::processor::{Mode, Processor, TransitionLatency};
+use dpm_core::params::OperatingPoint;
+use dpm_core::platform::Platform;
+use dpm_core::units::{Seconds, Watts};
+use std::collections::VecDeque;
+
+/// Job-latency statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Completed jobs measured.
+    pub count: u64,
+    /// Sum of queue+service latencies (s).
+    pub sum: f64,
+    /// Worst observed latency (s).
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Mean latency, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The simulated board.
+pub struct PamaBoard {
+    platform: Platform,
+    processors: Vec<Processor>,
+    ring: RingNetwork,
+    /// Arrival times of queued jobs (head = oldest).
+    queue: VecDeque<Seconds>,
+    /// Fractional progress on the head job, `[0, 1)`.
+    progress: f64,
+    current: OperatingPoint,
+    /// Backlog cap: events past this are dropped (telemetry buffer size).
+    max_backlog: usize,
+    jobs_done: u64,
+    dropped: u64,
+    background_work: f64,
+    latency: LatencyStats,
+}
+
+impl PamaBoard {
+    /// Build from a platform description (chip count, mode powers, τ, …).
+    pub fn new(platform: Platform) -> Self {
+        platform.validate().expect("invalid platform");
+        let latency = TransitionLatency::pama();
+        let processors = (0..platform.processors)
+            .map(|id| Processor::new(id, platform.f_min(), platform.power.modes, latency))
+            .collect();
+        Self {
+            platform,
+            processors,
+            ring: RingNetwork::new(RingConfig::pama()),
+            queue: VecDeque::new(),
+            progress: 0.0,
+            current: OperatingPoint::OFF,
+            max_backlog: 256,
+            jobs_done: 0,
+            dropped: 0,
+            background_work: 0.0,
+            latency: LatencyStats::default(),
+        }
+    }
+
+    /// Override the backlog cap.
+    pub fn with_max_backlog(mut self, cap: usize) -> Self {
+        assert!(cap >= 1);
+        self.max_backlog = cap;
+        self
+    }
+
+    /// Queued (unfinished) jobs.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs completed so far.
+    pub fn jobs_done(&self) -> u64 {
+        self.jobs_done
+    }
+
+    /// Events dropped because the backlog cap was hit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Latency statistics of completed jobs.
+    pub fn latency(&self) -> LatencyStats {
+        self.latency
+    }
+
+    /// The operating point currently applied.
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.current
+    }
+
+    /// The chips (for inspection in tests/benches).
+    pub fn processors(&self) -> &[Processor] {
+        &self.processors
+    }
+
+    /// The ring (for traffic statistics).
+    pub fn ring(&self) -> &RingNetwork {
+        &self.ring
+    }
+
+    /// Apply a governor command at time `t`. Returns the worst-case
+    /// transition latency across the chips (the parallel stage cannot
+    /// start before every participant is up).
+    pub fn apply(&mut self, point: OperatingPoint, t: Seconds) -> Seconds {
+        let mut worst = Seconds::ZERO;
+        let workers = point.workers.min(self.platform.workers());
+        for (idx, chip) in self.processors.iter_mut().enumerate() {
+            let is_controller = idx < self.platform.reserved;
+            let should_run =
+                !point.is_off() && (is_controller || idx - self.platform.reserved < workers);
+            if should_run {
+                if point.frequency.value() > 0.0 {
+                    worst = worst.max(chip.set_frequency(point.frequency, t));
+                }
+                worst = worst.max(chip.set_mode(Mode::Active, t));
+            } else {
+                chip.set_mode(Mode::Standby, t);
+            }
+        }
+        self.current = point;
+        worst
+    }
+
+    /// Apply a governor command through the §5 command protocol: the
+    /// controller issues per-chip ring commands via `bus`, each worker
+    /// acts at its delivery time, and the returned latency is the
+    /// worst-case readiness across the chips (delivery + mode/frequency
+    /// transition) relative to `t`.
+    pub fn apply_with_bus(
+        &mut self,
+        point: OperatingPoint,
+        t: Seconds,
+        bus: &mut CommandBus,
+    ) -> Seconds {
+        let workers = point.workers.min(self.platform.workers());
+        let mut worst = Seconds::ZERO;
+        for idx in 0..self.processors.len() {
+            let is_controller = idx < self.platform.reserved;
+            let should_run =
+                !point.is_off() && (is_controller || idx - self.platform.reserved < workers);
+            // The controller itself switches locally (no ring trip).
+            let effective = if is_controller {
+                t
+            } else {
+                let mut eff = t;
+                if should_run && point.frequency.value() > 0.0 {
+                    eff = eff.max(bus.send(
+                        &mut self.ring,
+                        idx,
+                        Command::SetFrequency(point.frequency),
+                        t,
+                    ));
+                }
+                let mode_cmd = if should_run {
+                    Command::Wake
+                } else {
+                    Command::Standby
+                };
+                eff.max(bus.send(&mut self.ring, idx, mode_cmd, t))
+            };
+            let chip = &mut self.processors[idx];
+            let mut chip_latency = Seconds::ZERO;
+            if should_run {
+                if point.frequency.value() > 0.0 {
+                    chip_latency = chip_latency.max(chip.set_frequency(point.frequency, effective));
+                }
+                chip_latency = chip_latency.max(chip.set_mode(Mode::Active, effective));
+            } else {
+                chip.set_mode(Mode::Standby, effective);
+            }
+            let ready = Seconds(effective.value() + chip_latency.value() - t.value());
+            worst = worst.max(ready);
+        }
+        // Drain the bus: every command above took effect at its time.
+        let _ = bus.take_effective(Seconds(t.value() + worst.value() + 1.0));
+        self.current = point;
+        worst
+    }
+
+    /// Instantaneous board power at the applied point, all chips running.
+    pub fn power(&self) -> Watts {
+        let cal = self.platform.f_max();
+        self.processors.iter().map(|p| p.power(cal)).sum()
+    }
+
+    /// Board power with every chip in standby — what the board draws in
+    /// the idle gaps between jobs (the paper's "turned off while there is
+    /// no input data": chips drop to standby the moment the queue empties
+    /// and wake on the next event, with no modelled overhead).
+    pub fn idle_power(&self) -> Watts {
+        self.platform.power.all_standby()
+    }
+
+    /// Outstanding work in job units: queued jobs minus the progress
+    /// already made on the head job.
+    pub fn pending_work(&self) -> f64 {
+        if self.queue.is_empty() {
+            0.0
+        } else {
+            self.queue.len() as f64 - self.progress
+        }
+    }
+
+    /// Throughput of the applied point, jobs/s (0 when off).
+    pub fn service_rate(&self) -> f64 {
+        if self.current.is_off() {
+            return 0.0;
+        }
+        self.platform
+            .perf_model()
+            .throughput(
+                self.current.workers.min(self.platform.workers()),
+                self.current.frequency,
+                self.current.voltage,
+            )
+            .value()
+    }
+
+    /// Fraction of an interval `dt` the workers would spend computing.
+    /// With `elastic` work (background science soaking surplus capacity)
+    /// an active board is busy throughout; otherwise busyness is backlog-
+    /// limited: `min(1, work/capacity)`.
+    pub fn work_fraction(&self, dt: Seconds, elastic: bool) -> f64 {
+        let capacity = self.service_rate() * dt.value();
+        if capacity <= 0.0 {
+            0.0
+        } else if elastic {
+            1.0
+        } else {
+            (self.pending_work() / capacity).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Background work performed (job-equivalents of surplus capacity
+    /// spent on elastic science rather than queued events).
+    pub fn background_work(&self) -> f64 {
+        self.background_work
+    }
+
+    /// Enqueue `n` event-triggered jobs arriving at `t`; drops overflow.
+    pub fn enqueue(&mut self, n: usize, t: Seconds) {
+        for _ in 0..n {
+            if self.queue.len() >= self.max_backlog {
+                self.dropped += 1;
+            } else {
+                self.queue.push_back(t);
+            }
+        }
+    }
+
+    /// Advance job processing by `dt` at the current point, with
+    /// `availability ∈ [0, 1]` scaling for brown-outs (the battery could
+    /// not deliver the full demand) and `elastic` declaring whether
+    /// leftover capacity performs background work. Returns
+    /// `(jobs_completed, busy_fraction)` where `busy_fraction` is the
+    /// share of the interval the workers spent computing.
+    pub fn advance(
+        &mut self,
+        t: Seconds,
+        dt: Seconds,
+        availability: f64,
+        elastic: bool,
+    ) -> (u64, f64) {
+        assert!((0.0..=1.0).contains(&availability));
+        if self.current.is_off() {
+            return (0, 0.0);
+        }
+        if self.queue.is_empty() && self.progress == 0.0 && !elastic {
+            return (0, 0.0);
+        }
+        let rate = self.service_rate();
+        if rate <= 0.0 {
+            return (0, 0.0);
+        }
+        let capacity = rate * dt.value() * availability;
+        let mut remaining = capacity;
+        let mut completed = 0u64;
+        while remaining > 0.0 && !self.queue.is_empty() {
+            let need = 1.0 - self.progress;
+            if remaining >= need {
+                remaining -= need;
+                self.progress = 0.0;
+                let arrival = self.queue.pop_front().expect("non-empty");
+                // Completion time: interpolate within the step.
+                let done_at = t.value() + (capacity - remaining) / capacity * dt.value();
+                let lat = (done_at - arrival.value()).max(0.0);
+                self.latency.count += 1;
+                self.latency.sum += lat;
+                self.latency.max = self.latency.max.max(lat);
+                self.jobs_done += 1;
+                completed += 1;
+            } else {
+                self.progress += remaining;
+                remaining = 0.0;
+            }
+        }
+        if elastic && remaining > 0.0 {
+            // Surplus capacity performs background science instead of
+            // idling; it consumes the rest of the interval.
+            self.background_work += remaining;
+            remaining = 0.0;
+        }
+        let busy = (capacity - remaining) / (rate * dt.value()).max(1e-12);
+        (completed, busy.clamp(0.0, 1.0))
+    }
+
+    /// Serial scatter/gather time for one fork-join job at the current
+    /// worker count (exercises the ring model; informs Amdahl calibration).
+    pub fn scatter_gather_time(&mut self, payload_bytes: usize) -> Seconds {
+        let workers: Vec<usize> = (self.platform.reserved
+            ..self.platform.reserved + self.current.workers.max(1))
+            .collect();
+        let per = payload_bytes / workers.len().max(1);
+        self.ring.scatter_time(0, &workers, per) + self.ring.gather_time(0, &workers, per)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_core::units::{seconds, volts, Hertz};
+
+    fn board() -> PamaBoard {
+        PamaBoard::new(Platform::pama())
+    }
+
+    fn point(workers: usize, mhz: f64) -> OperatingPoint {
+        OperatingPoint::new(workers, Hertz::from_mhz(mhz), volts(3.3))
+    }
+
+    #[test]
+    fn off_board_draws_standby_floor() {
+        let mut b = board();
+        b.apply(OperatingPoint::OFF, Seconds::ZERO);
+        assert!((b.power().value() - 8.0 * 0.0066).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_board_draws_active_power() {
+        let mut b = board();
+        b.apply(point(7, 80.0), Seconds::ZERO);
+        assert!(
+            (b.power().value() - 8.0 * 0.546).abs() < 1e-6,
+            "{}",
+            b.power()
+        );
+    }
+
+    #[test]
+    fn partial_activation_mixes_modes() {
+        let mut b = board();
+        b.apply(point(3, 40.0), Seconds::ZERO);
+        // Controller + 3 workers at 40 MHz (half of 546 mW), 4 standby.
+        let expect = 4.0 * 0.273 + 4.0 * 0.0066;
+        assert!((b.power().value() - expect).abs() < 1e-6, "{}", b.power());
+    }
+
+    #[test]
+    fn jobs_complete_at_modelled_rate() {
+        let mut b = board();
+        b.apply(point(1, 20.0), Seconds::ZERO);
+        b.enqueue(3, Seconds::ZERO);
+        // One worker at 20 MHz: one 4.8 s job per 4.8 s.
+        let (done, busy) = b.advance(Seconds::ZERO, seconds(4.8), 1.0, false);
+        assert_eq!(done, 1);
+        assert!(busy > 0.99);
+        assert_eq!(b.backlog(), 2);
+        let (done, _) = b.advance(seconds(4.8), seconds(9.6), 1.0, false);
+        assert_eq!(done, 2);
+        assert_eq!(b.backlog(), 0);
+        assert_eq!(b.jobs_done(), 3);
+    }
+
+    #[test]
+    fn empty_queue_means_idle() {
+        let mut b = board();
+        b.apply(point(7, 80.0), Seconds::ZERO);
+        let (done, busy) = b.advance(Seconds::ZERO, seconds(4.8), 1.0, false);
+        assert_eq!(done, 0);
+        assert_eq!(busy, 0.0);
+    }
+
+    #[test]
+    fn brownout_scales_progress() {
+        let mut b = board();
+        b.apply(point(1, 20.0), Seconds::ZERO);
+        b.enqueue(1, Seconds::ZERO);
+        let (done, _) = b.advance(Seconds::ZERO, seconds(4.8), 0.5, false);
+        assert_eq!(done, 0, "half availability: job half done");
+        let (done, _) = b.advance(seconds(4.8), seconds(4.8), 0.5, false);
+        assert_eq!(done, 1);
+    }
+
+    #[test]
+    fn backlog_cap_drops_events() {
+        let mut b = board().with_max_backlog(4);
+        b.enqueue(10, Seconds::ZERO);
+        assert_eq!(b.backlog(), 4);
+        assert_eq!(b.dropped(), 6);
+    }
+
+    #[test]
+    fn latency_accounts_queueing() {
+        let mut b = board();
+        b.apply(point(1, 20.0), Seconds::ZERO);
+        b.enqueue(2, Seconds::ZERO);
+        b.advance(Seconds::ZERO, seconds(9.6), 1.0, false);
+        let stats = b.latency();
+        assert_eq!(stats.count, 2);
+        // First job ≈ 4.8 s, second ≈ 9.6 s.
+        assert!((stats.mean() - 7.2).abs() < 0.2, "{}", stats.mean());
+        assert!((stats.max - 9.6).abs() < 0.2);
+    }
+
+    #[test]
+    fn faster_point_completes_more_jobs() {
+        let mut slow = board();
+        slow.apply(point(1, 20.0), Seconds::ZERO);
+        slow.enqueue(50, Seconds::ZERO);
+        slow.advance(Seconds::ZERO, seconds(48.0), 1.0, false);
+
+        let mut fast = board();
+        fast.apply(point(7, 80.0), Seconds::ZERO);
+        fast.enqueue(50, Seconds::ZERO);
+        fast.advance(Seconds::ZERO, seconds(48.0), 1.0, false);
+
+        assert!(fast.jobs_done() > 3 * slow.jobs_done());
+    }
+
+    #[test]
+    fn transition_latency_reported_on_wake() {
+        let mut b = board();
+        let lat = b.apply(point(7, 80.0), Seconds::ZERO);
+        assert!(lat.value() > 0.0);
+        // Re-applying the same point is free.
+        let lat2 = b.apply(point(7, 80.0), seconds(4.8));
+        assert_eq!(lat2, Seconds::ZERO);
+    }
+
+    #[test]
+    fn apply_with_bus_costs_more_than_direct_apply() {
+        use crate::commands::CommandBus;
+        let mut direct = board();
+        let lat_direct = direct.apply(point(7, 80.0), Seconds::ZERO);
+
+        let mut bussed = board();
+        let mut bus = CommandBus::pama();
+        let lat_bus = bussed.apply_with_bus(point(7, 80.0), Seconds::ZERO, &mut bus);
+        assert!(
+            lat_bus.value() > lat_direct.value(),
+            "{lat_bus} vs {lat_direct}"
+        );
+        // Both boards end up at the same operating point and power.
+        assert_eq!(bussed.operating_point(), direct.operating_point());
+        assert!(bussed.power().approx_eq(direct.power(), 1e-9));
+        // 7 workers × (freq + wake) commands issued.
+        assert_eq!(bus.sent(), 14);
+    }
+
+    #[test]
+    fn apply_with_bus_latency_still_tiny_vs_tau() {
+        use crate::commands::CommandBus;
+        let mut b = board();
+        let mut bus = CommandBus::pama();
+        let lat = b.apply_with_bus(point(7, 80.0), Seconds::ZERO, &mut bus);
+        // Poll interval (1 ms) dominates; far below τ = 4.8 s — the
+        // paper's zero-overhead simulation assumption is justified.
+        assert!(lat.value() < 0.01, "{lat}");
+    }
+
+    #[test]
+    fn scatter_gather_time_positive_with_workers() {
+        let mut b = board();
+        b.apply(point(7, 80.0), Seconds::ZERO);
+        let t = b.scatter_gather_time(8192);
+        assert!(t.value() > 0.0);
+        assert!(b.ring().message_count() == 14);
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal discrete-event machinery: a simulated clock and a time-ordered
+//! event queue.
+//!
+//! The top-level simulation ([`crate::sim`]) advances in governor slots
+//! with fluid-flow job processing inside each slot; the event queue carries
+//! the *punctual* occurrences that don't fit a fixed grid — injected
+//! disturbances (supply dropouts, event storms, processor faults) and any
+//! user-scheduled callbacks.
+
+use dpm_core::units::Seconds;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A monotonically advancing simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Clock {
+    now: Seconds,
+}
+
+impl Clock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Advance to `t`.
+    ///
+    /// # Panics
+    /// Panics on attempts to move backwards — a scheduling bug.
+    pub fn advance_to(&mut self, t: Seconds) {
+        assert!(
+            t.value() + 1e-12 >= self.now.value(),
+            "clock cannot run backwards: {} -> {}",
+            self.now,
+            t
+        );
+        self.now = self.now.max(t);
+    }
+}
+
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert for earliest-first, break ties
+        // by insertion order so scheduling is deterministic.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `t`.
+    pub fn schedule(&mut self, t: Seconds, event: E) {
+        self.heap.push(Scheduled {
+            time: t.value(),
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_time(&self) -> Option<Seconds> {
+        self.heap.peek().map(|s| Seconds(s.time))
+    }
+
+    /// Pop the next event if it occurs strictly before `t`.
+    pub fn pop_before(&mut self, t: Seconds) -> Option<(Seconds, E)> {
+        if self.heap.peek().is_some_and(|s| s.time < t.value()) {
+            self.heap.pop().map(|s| (Seconds(s.time), s.event))
+        } else {
+            None
+        }
+    }
+
+    /// Pop the next event unconditionally.
+    pub fn pop(&mut self) -> Option<(Seconds, E)> {
+        self.heap.pop().map(|s| (Seconds(s.time), s.event))
+    }
+
+    /// Events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is drained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_core::units::seconds;
+
+    #[test]
+    fn clock_advances_and_rejects_regression() {
+        let mut c = Clock::new();
+        c.advance_to(seconds(5.0));
+        assert_eq!(c.now(), seconds(5.0));
+        c.advance_to(seconds(5.0)); // same time is fine
+        let r = std::panic::catch_unwind(move || {
+            let mut c2 = c;
+            c2.advance_to(seconds(4.0));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn queue_pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(seconds(3.0), "c");
+        q.schedule(seconds(1.0), "a");
+        q.schedule(seconds(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(seconds(1.0), 1);
+        q.schedule(seconds(1.0), 2);
+        q.schedule(seconds(1.0), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pop_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(seconds(1.0), "early");
+        q.schedule(seconds(5.0), "late");
+        assert_eq!(q.pop_before(seconds(2.0)).map(|(_, e)| e), Some("early"));
+        assert_eq!(q.pop_before(seconds(2.0)), None);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(seconds(9.0), ());
+        q.schedule(seconds(4.0), ());
+        assert_eq!(q.peek_time(), Some(seconds(4.0)));
+    }
+}

@@ -1,0 +1,66 @@
+//! # dpm-sim
+//!
+//! A from-scratch simulator of the paper's evaluation platform: the PAMA
+//! board (eight M32R/D PIMs behind two FPGAs on a unidirectional ring), a
+//! rechargeable battery with a capacity window, periodic/solar charging
+//! sources, RF-event arrival processes, a power-measurement board, and the
+//! slot-stepped feedback loop that lets any [`dpm_core::governor::Governor`]
+//! drive it all.
+//!
+//! ```
+//! use dpm_core::prelude::*;
+//! use dpm_sim::prelude::*;
+//!
+//! let platform = Platform::pama();
+//! let charging = PowerSeries::new(platform.tau,
+//!     vec![2.36; 6].into_iter().chain(vec![0.0; 6]).collect());
+//! let rates = PowerSeries::constant(platform.tau, 12, 0.2);
+//!
+//! struct AlwaysOn;
+//! impl Governor for AlwaysOn {
+//!     fn name(&self) -> &str { "always-on" }
+//!     fn decide(&mut self, _o: &SlotObservation) -> OperatingPoint {
+//!         OperatingPoint::new(3, Hertz::from_mhz(40.0), volts(3.3))
+//!     }
+//! }
+//!
+//! let sim = Simulation::new(
+//!     platform,
+//!     Box::new(TraceSource::new(charging)),
+//!     Box::new(ScheduleGenerator::new(rates)),
+//!     joules(8.0),
+//!     SimConfig::default(),
+//! );
+//! let report = sim.run(&mut AlwaysOn);
+//! assert!(report.jobs_done > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod battery;
+pub mod board;
+pub mod commands;
+pub mod engine;
+pub mod events;
+pub mod meter;
+pub mod network;
+pub mod processor;
+pub mod sim;
+pub mod source;
+pub mod stats;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::battery::{Battery, BatteryConfig, PeukertModel};
+    pub use crate::board::PamaBoard;
+    pub use crate::commands::{Command, CommandBus, InFlight};
+    pub use crate::engine::{Clock, EventQueue};
+    pub use crate::events::{BurstGenerator, EventGenerator, PoissonGenerator, ScheduleGenerator};
+    pub use crate::meter::PowerMeter;
+    pub use crate::network::{RingConfig, RingNetwork};
+    pub use crate::processor::{Mode, Processor, TransitionLatency};
+    pub use crate::sim::{Disturbance, SimConfig, Simulation};
+    pub use crate::source::{ChargingSource, NoisySource, SolarOrbitSource, TraceSource};
+    pub use crate::stats::{SimReport, SlotRecord};
+}

@@ -1,0 +1,183 @@
+//! The FPGA-hosted unidirectional ring interconnect of the SLIIC/PAMA
+//! board.
+//!
+//! Two FPGAs connect the eight PIMs in a one-way ring: a message from PIM
+//! `i` to PIM `j` traverses `(j − i) mod 8` hops. Scatter/gather for the
+//! fork-join FFT therefore costs time linear in the hop distance and
+//! payload, which is where the Fig. 2 serial fraction physically comes
+//! from.
+
+use dpm_core::units::{seconds, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Ring parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingConfig {
+    /// Stations on the ring.
+    pub nodes: usize,
+    /// Per-hop forwarding latency.
+    pub hop_latency: Seconds,
+    /// Payload bandwidth per link, bytes/s.
+    pub bandwidth: f64,
+}
+
+impl RingConfig {
+    /// PAMA-like: 8 nodes, 20 MHz × 4-byte I/O ⇒ 80 MB/s links, one-cycle
+    /// (50 ns) hop forwarding.
+    pub fn pama() -> Self {
+        Self {
+            nodes: 8,
+            hop_latency: seconds(50e-9),
+            bandwidth: 80.0e6,
+        }
+    }
+}
+
+/// The ring network model with traffic accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingNetwork {
+    config: RingConfig,
+    messages: u64,
+    bytes: u64,
+}
+
+impl RingNetwork {
+    /// Build from a config.
+    pub fn new(config: RingConfig) -> Self {
+        assert!(config.nodes >= 2);
+        assert!(config.bandwidth > 0.0);
+        Self {
+            config,
+            messages: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> RingConfig {
+        self.config
+    }
+
+    /// Hop count from `src` to `dst` (unidirectional).
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        assert!(src < self.config.nodes && dst < self.config.nodes);
+        (dst + self.config.nodes - src) % self.config.nodes
+    }
+
+    /// Transfer time for `bytes` from `src` to `dst`, store-and-forward.
+    pub fn transfer_time(&mut self, src: usize, dst: usize, bytes: usize) -> Seconds {
+        let hops = self.hops(src, dst);
+        self.messages += 1;
+        self.bytes += bytes as u64;
+        seconds(
+            hops as f64 * (self.config.hop_latency.value() + bytes as f64 / self.config.bandwidth),
+        )
+    }
+
+    /// Time for node `root` to scatter `bytes_per_node` to each of
+    /// `workers` distinct nodes, sequentially (one outstanding message —
+    /// the SLIIC FPGA serializes injections).
+    pub fn scatter_time(
+        &mut self,
+        root: usize,
+        workers: &[usize],
+        bytes_per_node: usize,
+    ) -> Seconds {
+        let mut total = Seconds::ZERO;
+        for &w in workers {
+            total += self.transfer_time(root, w, bytes_per_node);
+        }
+        total
+    }
+
+    /// Gather is symmetric to scatter on a unidirectional ring (the return
+    /// path just uses the remaining hops).
+    pub fn gather_time(
+        &mut self,
+        root: usize,
+        workers: &[usize],
+        bytes_per_node: usize,
+    ) -> Seconds {
+        let mut total = Seconds::ZERO;
+        for &w in workers {
+            total += self.transfer_time(w, root, bytes_per_node);
+        }
+        total
+    }
+
+    /// Messages sent so far.
+    pub fn message_count(&self) -> u64 {
+        self.messages
+    }
+
+    /// Bytes moved so far.
+    pub fn byte_count(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> RingNetwork {
+        RingNetwork::new(RingConfig::pama())
+    }
+
+    #[test]
+    fn hops_wrap_around() {
+        let r = ring();
+        assert_eq!(r.hops(0, 3), 3);
+        assert_eq!(r.hops(3, 0), 5);
+        assert_eq!(r.hops(5, 5), 0);
+        assert_eq!(r.hops(7, 0), 1);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_hops_and_bytes() {
+        let mut r = ring();
+        let t1 = r.transfer_time(0, 1, 1024);
+        let t2 = r.transfer_time(0, 2, 1024);
+        assert!((t2.value() / t1.value() - 2.0).abs() < 1e-9);
+        let big = r.transfer_time(0, 1, 2048);
+        assert!(big.value() > t1.value());
+    }
+
+    #[test]
+    fn zero_hop_transfer_is_free() {
+        let mut r = ring();
+        assert_eq!(r.transfer_time(4, 4, 4096), Seconds::ZERO);
+    }
+
+    #[test]
+    fn scatter_to_all_workers_counts_messages() {
+        let mut r = ring();
+        let workers: Vec<usize> = (1..8).collect();
+        let t = r.scatter_time(0, &workers, 2048 * 4 / 7);
+        assert!(t.value() > 0.0);
+        assert_eq!(r.message_count(), 7);
+        assert!(r.byte_count() > 0);
+    }
+
+    #[test]
+    fn gather_uses_return_hops() {
+        let mut r = ring();
+        // Worker 1 → root 0 is 7 hops on the one-way ring.
+        let t = r.gather_time(0, &[1], 100);
+        let direct = r.transfer_time(1, 0, 100);
+        assert_eq!(t, direct);
+        assert_eq!(r.hops(1, 0), 7);
+    }
+
+    #[test]
+    fn pama_scatter_is_sub_millisecond() {
+        // Sanity: 2K complex samples (8 KiB) split over 7 workers should
+        // scatter in well under the 4.8 s slot — the serial fraction is
+        // small but real.
+        let mut r = ring();
+        let workers: Vec<usize> = (1..8).collect();
+        let t = r.scatter_time(0, &workers, 8192 / 7);
+        assert!(t.value() < 1e-2, "{t}");
+        assert!(t.value() > 0.0);
+    }
+}

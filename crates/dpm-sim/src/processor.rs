@@ -1,0 +1,251 @@
+//! The M32R/D PIM processor model: power modes, frequency switching, and
+//! the FPGA-assisted wake sequence of §5.
+//!
+//! Modes (datasheet numbers the paper quotes):
+//! * **Active** — full circuit, 546 mW typical at 80 MHz/3.3 V.
+//! * **Sleep** — only on-chip DRAM refreshed, 393 mW ("not used" in the
+//!   paper's simulation, but modelled for completeness).
+//! * **Standby** — interrupt monitor only, 6.6 mW.
+//!
+//! Transitions have latencies: a frequency change writes the divisor to
+//! the adjacent FPGA, drops to standby, and is woken automatically after
+//! 10 cycles of the *new* clock; a standby→active wake is an interrupt
+//! plus pipeline refill. The paper notes frequency changes therefore cost
+//! more than mode changes.
+
+use dpm_core::model::ModePower;
+use dpm_core::units::{seconds, Hertz, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Processor power mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Full circuit active at the current frequency.
+    Active,
+    /// DRAM retained, core stopped.
+    Sleep,
+    /// Everything stopped but the interrupt monitor.
+    Standby,
+}
+
+/// Transition latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionLatency {
+    /// Standby/sleep → active wake time.
+    pub wake: Seconds,
+    /// Cycles of the new clock the FPGA waits before re-waking after a
+    /// frequency write (10 on PAMA).
+    pub freq_change_cycles: u32,
+}
+
+impl TransitionLatency {
+    /// PAMA values: a ~100 µs wake, 10-cycle frequency relock.
+    pub fn pama() -> Self {
+        Self {
+            wake: seconds(100e-6),
+            freq_change_cycles: 10,
+        }
+    }
+
+    /// Time for a frequency change to `new_f`: FPGA write + standby dwell
+    /// of `freq_change_cycles` at the new clock + wake.
+    pub fn frequency_change(&self, new_f: Hertz) -> Seconds {
+        assert!(new_f.value() > 0.0);
+        seconds(self.freq_change_cycles as f64 / new_f.value()) + self.wake
+    }
+}
+
+/// One PIM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    /// Index on the board (0 is the controller by convention).
+    pub id: usize,
+    mode: Mode,
+    frequency: Hertz,
+    mode_power: ModePower,
+    latency: TransitionLatency,
+    /// Simulated time until which the chip is unavailable because a
+    /// transition is in flight.
+    busy_until: Seconds,
+    /// Count of mode transitions performed (for overhead ablations).
+    transitions: u64,
+    /// Count of frequency changes performed.
+    freq_changes: u64,
+}
+
+impl Processor {
+    /// A chip in standby at the given initial frequency setting.
+    pub fn new(
+        id: usize,
+        frequency: Hertz,
+        mode_power: ModePower,
+        latency: TransitionLatency,
+    ) -> Self {
+        Self {
+            id,
+            mode: Mode::Standby,
+            frequency,
+            mode_power,
+            latency,
+            busy_until: Seconds::ZERO,
+            transitions: 0,
+            freq_changes: 0,
+        }
+    }
+
+    /// Current mode.
+    #[inline]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Current clock frequency setting.
+    #[inline]
+    pub fn frequency(&self) -> Hertz {
+        self.frequency
+    }
+
+    /// Transitions performed so far.
+    #[inline]
+    pub fn transition_count(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Frequency changes performed so far.
+    #[inline]
+    pub fn freq_change_count(&self) -> u64 {
+        self.freq_changes
+    }
+
+    /// Is the chip free to compute at time `t` (no transition in flight)?
+    pub fn available_at(&self, t: Seconds) -> bool {
+        t.value() >= self.busy_until.value()
+    }
+
+    /// Instantaneous power draw in the current mode (uses the full Eq. 4
+    /// frequency scaling for active mode via the supplied `active_power`
+    /// closure when querying the board; here the chip reports its
+    /// datasheet mode power scaled linearly with frequency for Active).
+    pub fn power(&self, calibration_f: Hertz) -> Watts {
+        match self.mode {
+            Mode::Active => {
+                // Linear-in-frequency share of the calibrated active power.
+                self.mode_power.active * (self.frequency.value() / calibration_f.value())
+            }
+            Mode::Sleep => self.mode_power.sleep,
+            Mode::Standby => self.mode_power.standby,
+        }
+    }
+
+    /// Command: change mode at time `t`. Returns the latency incurred.
+    pub fn set_mode(&mut self, mode: Mode, t: Seconds) -> Seconds {
+        if mode == self.mode {
+            return Seconds::ZERO;
+        }
+        let latency = match (self.mode, mode) {
+            (Mode::Standby, Mode::Active) | (Mode::Sleep, Mode::Active) => self.latency.wake,
+            // Dropping to a low-power state is immediate (clock gate).
+            _ => Seconds::ZERO,
+        };
+        self.mode = mode;
+        self.transitions += 1;
+        self.busy_until = seconds(t.value().max(self.busy_until.value()) + latency.value());
+        latency
+    }
+
+    /// Command: change frequency at time `t` (the FPGA write sequence).
+    /// The chip passes through standby and wakes at the new clock.
+    pub fn set_frequency(&mut self, f: Hertz, t: Seconds) -> Seconds {
+        if (f.value() - self.frequency.value()).abs() < 1e-6 {
+            return Seconds::ZERO;
+        }
+        assert!(f.value() > 0.0, "use set_mode(Standby) to stop the clock");
+        let latency = self.latency.frequency_change(f);
+        self.frequency = f;
+        self.freq_changes += 1;
+        self.busy_until = seconds(t.value().max(self.busy_until.value()) + latency.value());
+        latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> Processor {
+        Processor::new(
+            1,
+            Hertz::from_mhz(20.0),
+            ModePower::M32RD,
+            TransitionLatency::pama(),
+        )
+    }
+
+    #[test]
+    fn starts_in_standby() {
+        let p = chip();
+        assert_eq!(p.mode(), Mode::Standby);
+        assert!((p.power(Hertz::from_mhz(80.0)).value() - 0.0066).abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_power_scales_with_frequency() {
+        let mut p = chip();
+        p.set_mode(Mode::Active, Seconds::ZERO);
+        let p20 = p.power(Hertz::from_mhz(80.0));
+        assert!((p20.value() - 0.546 / 4.0).abs() < 1e-9);
+        p.set_frequency(Hertz::from_mhz(80.0), Seconds::ZERO);
+        let p80 = p.power(Hertz::from_mhz(80.0));
+        assert!((p80.value() - 0.546).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleep_power_matches_datasheet() {
+        let mut p = chip();
+        p.set_mode(Mode::Sleep, Seconds::ZERO);
+        assert!((p.power(Hertz::from_mhz(80.0)).value() - 0.393).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wake_has_latency_but_gating_does_not() {
+        let mut p = chip();
+        let up = p.set_mode(Mode::Active, seconds(1.0));
+        assert!(up.value() > 0.0);
+        assert!(!p.available_at(seconds(1.0)));
+        assert!(p.available_at(seconds(1.0 + 0.001)));
+        let down = p.set_mode(Mode::Standby, seconds(2.0));
+        assert_eq!(down, Seconds::ZERO);
+    }
+
+    #[test]
+    fn frequency_change_costs_more_than_wake() {
+        let lat = TransitionLatency::pama();
+        let fc = lat.frequency_change(Hertz::from_mhz(20.0));
+        assert!(fc.value() > lat.wake.value());
+        // 10 cycles at 20 MHz = 0.5 µs on top of the wake.
+        assert!((fc.value() - (100e-6 + 0.5e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_state_commands_are_free() {
+        let mut p = chip();
+        assert_eq!(p.set_mode(Mode::Standby, Seconds::ZERO), Seconds::ZERO);
+        assert_eq!(
+            p.set_frequency(Hertz::from_mhz(20.0), Seconds::ZERO),
+            Seconds::ZERO
+        );
+        assert_eq!(p.transition_count(), 0);
+        assert_eq!(p.freq_change_count(), 0);
+    }
+
+    #[test]
+    fn counters_track_commands() {
+        let mut p = chip();
+        p.set_mode(Mode::Active, Seconds::ZERO);
+        p.set_frequency(Hertz::from_mhz(40.0), Seconds::ZERO);
+        p.set_frequency(Hertz::from_mhz(80.0), Seconds::ZERO);
+        p.set_mode(Mode::Standby, Seconds::ZERO);
+        assert_eq!(p.transition_count(), 2);
+        assert_eq!(p.freq_change_count(), 2);
+    }
+}

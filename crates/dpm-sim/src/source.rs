@@ -1,0 +1,240 @@
+//! External charging sources.
+//!
+//! §2: "a rechargeable battery that is charged by an external power source
+//! that has a periodic power supply schedule" — canonically a solar panel
+//! on a periodic orbit. Sources here are deterministic functions of time
+//! (noise included, via a seeded hash of the time slot) so simulations are
+//! reproducible.
+
+use dpm_core::series::PowerSeries;
+use dpm_core::units::{watts, Seconds, Watts};
+
+/// A power source sampled by the simulator.
+pub trait ChargingSource: Send {
+    /// Instantaneous power offered at time `t`.
+    fn power(&self, t: Seconds) -> Watts;
+
+    /// Mean power over `[t, t + dt)`, integrated by midpoint sampling by
+    /// default; trace sources override with exact integration.
+    fn mean_power(&self, t: Seconds, dt: Seconds) -> Watts {
+        self.power(Seconds(t.value() + 0.5 * dt.value()))
+    }
+}
+
+/// A source that replays a periodic piecewise-constant trace — the
+/// "expected charging schedule c(t)" made real.
+#[derive(Debug, Clone)]
+pub struct TraceSource {
+    trace: PowerSeries,
+}
+
+impl TraceSource {
+    /// Wrap a trace.
+    pub fn new(trace: PowerSeries) -> Self {
+        Self { trace }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &PowerSeries {
+        &self.trace
+    }
+}
+
+impl ChargingSource for TraceSource {
+    fn power(&self, t: Seconds) -> Watts {
+        self.trace.value_at(t)
+    }
+
+    fn mean_power(&self, t: Seconds, dt: Seconds) -> Watts {
+        if dt.value() <= 0.0 {
+            return self.power(t);
+        }
+        let period = self.trace.period().value();
+        let a = t.value().rem_euclid(period);
+        watts(
+            self.trace
+                .integral_wrapping(Seconds(a), Seconds(a + dt.value()))
+                .value()
+                / dt.value(),
+        )
+    }
+}
+
+/// A first-principles solar-orbit model: full panel power in sunlight,
+/// zero in eclipse, with a short penumbra ramp at the transitions.
+#[derive(Debug, Clone, Copy)]
+pub struct SolarOrbitSource {
+    /// Orbit period.
+    pub period: Seconds,
+    /// Fraction of the orbit spent in sunlight, `(0, 1)`.
+    pub sunlit_fraction: f64,
+    /// Panel output in full sun.
+    pub panel_power: Watts,
+    /// Penumbra ramp duration at each transition.
+    pub penumbra: Seconds,
+}
+
+impl SolarOrbitSource {
+    /// A low-Earth-orbit-like default scaled to the paper's 57.6 s period:
+    /// 60% sunlit, 2.36 W panel (the scenario-I plateau), 2 s penumbra.
+    pub fn pama_like() -> Self {
+        Self {
+            period: Seconds(57.6),
+            sunlit_fraction: 0.6,
+            panel_power: watts(2.36),
+            penumbra: Seconds(2.0),
+        }
+    }
+}
+
+impl ChargingSource for SolarOrbitSource {
+    fn power(&self, t: Seconds) -> Watts {
+        let phase = t.value().rem_euclid(self.period.value());
+        let sunset = self.sunlit_fraction * self.period.value();
+        let ramp = self.penumbra.value().max(1e-9);
+        // Sunrise ramp at phase 0, sunset ramp at `sunset`.
+        let level = if phase < sunset {
+            // Rising edge then plateau then falling edge.
+            let rise = (phase / ramp).min(1.0);
+            let fall = ((sunset - phase) / ramp).min(1.0);
+            rise.min(fall)
+        } else {
+            0.0
+        };
+        self.panel_power * level
+    }
+}
+
+/// Multiplicative noise wrapper: `power(t) = inner(t) · (1 + ε(t))`, with
+/// `ε` drawn from `[−amplitude, amplitude]` by a deterministic hash of the
+/// noise slot — reproducible without carrying an RNG.
+#[derive(Debug, Clone)]
+pub struct NoisySource<S> {
+    inner: S,
+    amplitude: f64,
+    slot: Seconds,
+    seed: u64,
+}
+
+impl<S: ChargingSource> NoisySource<S> {
+    /// Wrap `inner` with relative noise of the given amplitude, re-drawn
+    /// every `slot` seconds.
+    pub fn new(inner: S, amplitude: f64, slot: Seconds, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&amplitude));
+        assert!(slot.value() > 0.0);
+        Self {
+            inner,
+            amplitude,
+            slot,
+            seed,
+        }
+    }
+
+    fn epsilon(&self, t: Seconds) -> f64 {
+        let k = (t.value() / self.slot.value()).floor() as i64 as u64;
+        // SplitMix64 over (seed, slot index).
+        let mut z = self.seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        (2.0 * u - 1.0) * self.amplitude
+    }
+}
+
+impl<S: ChargingSource> ChargingSource for NoisySource<S> {
+    fn power(&self, t: Seconds) -> Watts {
+        let p = self.inner.power(t);
+        watts((p.value() * (1.0 + self.epsilon(t))).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_core::units::seconds;
+
+    fn scenario_trace() -> PowerSeries {
+        PowerSeries::new(
+            seconds(4.8),
+            vec![
+                2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+            ],
+        )
+    }
+
+    #[test]
+    fn trace_source_replays_schedule() {
+        let s = TraceSource::new(scenario_trace());
+        assert_eq!(s.power(seconds(1.0)), watts(2.36));
+        assert_eq!(s.power(seconds(30.0)), watts(0.0));
+        // Periodic.
+        assert_eq!(s.power(seconds(57.6 + 1.0)), watts(2.36));
+    }
+
+    #[test]
+    fn trace_mean_power_is_exact_over_boundary() {
+        let s = TraceSource::new(scenario_trace());
+        // [26.4, 31.2) straddles the sun/eclipse edge at 28.8: half 2.36.
+        let m = s.mean_power(seconds(26.4), seconds(4.8));
+        assert!((m.value() - 1.18).abs() < 1e-9, "{m}");
+    }
+
+    #[test]
+    fn trace_mean_power_wraps_period() {
+        let s = TraceSource::new(scenario_trace());
+        // [55.2, 60.0) wraps: 2.4 s of 0 then 2.4 s of 2.36.
+        let m = s.mean_power(seconds(55.2), seconds(4.8));
+        assert!((m.value() - 1.18).abs() < 1e-9, "{m}");
+    }
+
+    #[test]
+    fn solar_orbit_eclipses() {
+        let s = SolarOrbitSource::pama_like();
+        assert!(s.power(seconds(15.0)).value() > 2.3); // mid-sun
+        assert_eq!(s.power(seconds(50.0)), Watts::ZERO); // eclipse
+                                                         // Penumbra: partially lit.
+        let p = s.power(seconds(1.0));
+        assert!(p.value() > 0.0 && p.value() < 2.36);
+    }
+
+    #[test]
+    fn solar_orbit_is_periodic() {
+        let s = SolarOrbitSource::pama_like();
+        for k in 0..5 {
+            let t = seconds(10.0 + 57.6 * k as f64);
+            assert!(s.power(t).approx_eq(s.power(seconds(10.0)), 1e-9));
+        }
+    }
+
+    #[test]
+    fn noisy_source_is_deterministic() {
+        let a = NoisySource::new(TraceSource::new(scenario_trace()), 0.2, seconds(4.8), 7);
+        let b = NoisySource::new(TraceSource::new(scenario_trace()), 0.2, seconds(4.8), 7);
+        for i in 0..24 {
+            let t = seconds(i as f64 * 2.4);
+            assert_eq!(a.power(t), b.power(t));
+        }
+    }
+
+    #[test]
+    fn noisy_source_stays_within_band_and_varies() {
+        let s = NoisySource::new(TraceSource::new(scenario_trace()), 0.2, seconds(4.8), 3);
+        let mut distinct = std::collections::BTreeSet::new();
+        for i in 0..6 {
+            let t = seconds(i as f64 * 4.8 + 0.1);
+            let p = s.power(t).value();
+            assert!((2.36 * 0.8 - 1e-9..=2.36 * 1.2 + 1e-9).contains(&p), "{p}");
+            distinct.insert((p * 1e6) as i64);
+        }
+        assert!(distinct.len() > 2, "noise not varying");
+    }
+
+    #[test]
+    fn noise_seed_changes_draws() {
+        let a = NoisySource::new(TraceSource::new(scenario_trace()), 0.2, seconds(4.8), 1);
+        let b = NoisySource::new(TraceSource::new(scenario_trace()), 0.2, seconds(4.8), 2);
+        let t = seconds(0.1);
+        assert_ne!(a.power(t), b.power(t));
+    }
+}

@@ -1,0 +1,200 @@
+//! Simulation reports: the paper's Table 1 metrics plus the supporting
+//! detail a downstream user needs (throughput, latency, drops).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-slot record of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotRecord {
+    /// Slot index.
+    pub slot: u64,
+    /// Slot start time (s).
+    pub time: f64,
+    /// Worker count commanded.
+    pub workers: usize,
+    /// Frequency commanded (MHz).
+    pub freq_mhz: f64,
+    /// Energy the board drew this slot (J).
+    pub used: f64,
+    /// Energy offered by the source this slot (J).
+    pub supplied: f64,
+    /// Battery level at slot end (J).
+    pub battery: f64,
+    /// Jobs completed this slot.
+    pub jobs: u64,
+    /// Backlog at slot end.
+    pub backlog: usize,
+}
+
+/// Aggregate outcome of a run — Table 1's rows come from here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Governor under test.
+    pub governor: String,
+    /// Simulated duration (s).
+    pub duration: f64,
+    /// Energy offered by the source (J).
+    pub offered: f64,
+    /// Energy wasted because the battery was full (J) — Table 1 metric 1.
+    pub wasted: f64,
+    /// Energy demanded but unavailable (J) — Table 1 metric 2.
+    pub undersupplied: f64,
+    /// Energy delivered to the board (J).
+    pub delivered: f64,
+    /// Energy delivered while the workers were computing (J).
+    pub compute_energy: f64,
+    /// Jobs completed.
+    pub jobs_done: u64,
+    /// Events dropped at the backlog cap.
+    pub dropped: u64,
+    /// Mean job latency (s).
+    pub mean_latency: f64,
+    /// Worst job latency (s).
+    pub max_latency: f64,
+    /// Battery level at the start (J).
+    pub initial_battery: f64,
+    /// Battery level at the end (J).
+    pub final_battery: f64,
+    /// Per-slot trace.
+    pub slots: Vec<SlotRecord>,
+}
+
+impl SimReport {
+    /// The paper's energy-utilization metric:
+    /// (energy used for computation) / (energy available). Available
+    /// energy is everything the run could have spent: the supply offered
+    /// plus any net drawdown of the initial battery charge.
+    pub fn utilization(&self) -> f64 {
+        let drawdown = (self.initial_battery - self.final_battery).max(0.0);
+        let available = self.offered + drawdown;
+        if available <= 0.0 {
+            0.0
+        } else {
+            self.compute_energy / available
+        }
+    }
+
+    /// Jobs per joule delivered — an efficiency summary for the benches.
+    pub fn jobs_per_joule(&self) -> f64 {
+        if self.delivered <= 0.0 {
+            0.0
+        } else {
+            self.jobs_done as f64 / self.delivered
+        }
+    }
+
+    /// Throughput in jobs/s.
+    pub fn throughput(&self) -> f64 {
+        if self.duration <= 0.0 {
+            0.0
+        } else {
+            self.jobs_done as f64 / self.duration
+        }
+    }
+
+    /// Per-slot trace as CSV (header + one row per slot) for external
+    /// plotting tools.
+    pub fn slots_csv(&self) -> String {
+        let mut out =
+            String::from("slot,time_s,workers,freq_mhz,used_j,supplied_j,battery_j,jobs,backlog\n");
+        for s in &self.slots {
+            out.push_str(&format!(
+                "{},{:.3},{},{:.1},{:.6},{:.6},{:.6},{},{}\n",
+                s.slot,
+                s.time,
+                s.workers,
+                s.freq_mhz,
+                s.used,
+                s.supplied,
+                s.battery,
+                s.jobs,
+                s.backlog
+            ));
+        }
+        out
+    }
+
+    /// One-line summary for console reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<14} wasted {:>8.2} J  undersupplied {:>8.2} J  jobs {:>5}  util {:>5.1}%",
+            self.governor,
+            self.wasted,
+            self.undersupplied,
+            self.jobs_done,
+            100.0 * self.utilization()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            governor: "test".into(),
+            duration: 100.0,
+            offered: 200.0,
+            wasted: 10.0,
+            undersupplied: 5.0,
+            delivered: 150.0,
+            compute_energy: 120.0,
+            jobs_done: 30,
+            dropped: 2,
+            mean_latency: 6.0,
+            max_latency: 12.0,
+            initial_battery: 8.0,
+            final_battery: 8.0,
+            slots: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn utilization_ratio() {
+        assert!((report().utilization() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_offered_is_zero_utilization() {
+        let mut r = report();
+        r.offered = 0.0;
+        assert_eq!(r.utilization(), 0.0);
+    }
+
+    #[test]
+    fn throughput_and_efficiency() {
+        let r = report();
+        assert!((r.throughput() - 0.3).abs() < 1e-12);
+        assert!((r.jobs_per_joule() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut r = report();
+        r.slots.push(SlotRecord {
+            slot: 0,
+            time: 0.0,
+            workers: 3,
+            freq_mhz: 40.0,
+            used: 5.0,
+            supplied: 6.0,
+            battery: 8.0,
+            jobs: 2,
+            backlog: 1,
+        });
+        let csv = r.slots_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("slot,time_s"));
+        assert!(lines[1].starts_with("0,0.000,3,40.0"));
+    }
+
+    #[test]
+    fn summary_mentions_the_metrics() {
+        let s = report().summary();
+        assert!(s.contains("wasted"));
+        assert!(s.contains("undersupplied"));
+        assert!(s.contains("test"));
+    }
+}

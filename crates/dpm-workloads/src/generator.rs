@@ -1,0 +1,192 @@
+//! Parameterized scenario generators beyond the paper's two fixed cases —
+//! used by the sweep benches (crossover studies) and the examples.
+
+use crate::Scenario;
+use dpm_core::series::PowerSeries;
+use dpm_core::units::{joules, Seconds};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builder for orbit-style scenarios.
+#[derive(Debug, Clone)]
+pub struct OrbitScenarioBuilder {
+    slots: usize,
+    tau: Seconds,
+    panel_power: f64,
+    sunlit_fraction: f64,
+    demand_base: f64,
+    demand_peaks: Vec<(usize, f64)>,
+    initial_charge: f64,
+    name: String,
+}
+
+impl OrbitScenarioBuilder {
+    /// Start from the paper's geometry: 12 slots of 4.8 s.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            slots: 12,
+            tau: Seconds(4.8),
+            panel_power: 2.36,
+            sunlit_fraction: 0.5,
+            demand_base: 0.6,
+            demand_peaks: Vec::new(),
+            initial_charge: 8.0,
+            name: name.into(),
+        }
+    }
+
+    /// Slot count per period.
+    pub fn slots(mut self, n: usize) -> Self {
+        assert!(n >= 2);
+        self.slots = n;
+        self
+    }
+
+    /// Slot width.
+    pub fn tau(mut self, tau: Seconds) -> Self {
+        assert!(tau.value() > 0.0);
+        self.tau = tau;
+        self
+    }
+
+    /// Panel output in full sun, W.
+    pub fn panel_power(mut self, w: f64) -> Self {
+        assert!(w >= 0.0);
+        self.panel_power = w;
+        self
+    }
+
+    /// Fraction of the orbit in sunlight.
+    pub fn sunlit_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f));
+        self.sunlit_fraction = f;
+        self
+    }
+
+    /// Baseline demand level, W.
+    pub fn demand_base(mut self, w: f64) -> Self {
+        assert!(w >= 0.0);
+        self.demand_base = w;
+        self
+    }
+
+    /// Add a triangular demand peak centred on `slot` with the given
+    /// height above the base.
+    pub fn demand_peak(mut self, slot: usize, height: f64) -> Self {
+        self.demand_peaks.push((slot, height));
+        self
+    }
+
+    /// Battery charge at t = 0, J.
+    pub fn initial_charge(mut self, j: f64) -> Self {
+        assert!(j >= 0.0);
+        self.initial_charge = j;
+        self
+    }
+
+    /// Build the scenario.
+    pub fn build(self) -> Scenario {
+        let sunlit_slots = ((self.slots as f64) * self.sunlit_fraction).round() as usize;
+        let charging = PowerSeries::new(
+            self.tau,
+            (0..self.slots)
+                .map(|i| {
+                    if i < sunlit_slots {
+                        self.panel_power
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+        );
+        let n = self.slots;
+        let use_power = PowerSeries::new(
+            self.tau,
+            (0..n)
+                .map(|i| {
+                    let mut v = self.demand_base;
+                    for &(c, h) in &self.demand_peaks {
+                        // Triangular kernel of half-width 2 slots, periodic.
+                        let d = (i as i64 - c as i64)
+                            .rem_euclid(n as i64)
+                            .min((c as i64 - i as i64).rem_euclid(n as i64))
+                            as f64;
+                        v += (h * (1.0 - d / 2.0)).max(0.0);
+                    }
+                    v
+                })
+                .collect(),
+        );
+        Scenario::new(self.name, charging, use_power, joules(self.initial_charge))
+    }
+}
+
+/// A randomized scenario for fuzz/property harnesses: bounded random
+/// charging and demand shapes with the paper's geometry.
+pub fn random_scenario(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tau = Seconds(4.8);
+    let sunlit = rng.gen_range(4..=9usize);
+    let panel = rng.gen_range(1.5..3.6);
+    let charging = PowerSeries::new(
+        tau,
+        (0..12)
+            .map(|i| if i < sunlit { panel } else { 0.0 })
+            .collect(),
+    );
+    let use_power = PowerSeries::new(tau, (0..12).map(|_| rng.gen_range(0.1..2.4)).collect());
+    Scenario::new(
+        format!("random-{seed}"),
+        charging,
+        use_power,
+        joules(rng.gen_range(2.0..14.0)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_resemble_scenario_one() {
+        let s = OrbitScenarioBuilder::new("t").build();
+        assert_eq!(s.charging.len(), 12);
+        assert_eq!(s.charging.get(0), 2.36);
+        assert_eq!(s.charging.get(11), 0.0);
+    }
+
+    #[test]
+    fn sunlit_fraction_controls_eclipse_length() {
+        let s = OrbitScenarioBuilder::new("t").sunlit_fraction(0.75).build();
+        let lit = s.charging.values().iter().filter(|&&v| v > 0.0).count();
+        assert_eq!(lit, 9);
+    }
+
+    #[test]
+    fn demand_peaks_add_local_maxima() {
+        let s = OrbitScenarioBuilder::new("t")
+            .demand_base(0.5)
+            .demand_peak(3, 1.0)
+            .build();
+        assert!(s.use_power.get(3) > s.use_power.get(8));
+        assert!((s.use_power.get(3) - 1.5).abs() < 1e-9);
+        // Triangular falloff.
+        assert!((s.use_power.get(4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_scenarios_are_deterministic_and_bounded() {
+        let a = random_scenario(9);
+        let b = random_scenario(9);
+        assert_eq!(a.charging, b.charging);
+        assert_eq!(a.use_power, b.use_power);
+        for &v in a.use_power.values() {
+            assert!((0.1..=2.4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_scenarios_differ_across_seeds() {
+        assert_ne!(random_scenario(1).use_power, random_scenario(2).use_power);
+    }
+}

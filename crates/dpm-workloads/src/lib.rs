@@ -1,0 +1,159 @@
+//! # dpm-workloads
+//!
+//! Workload definitions for the reproduction: the paper's two evaluation
+//! scenarios ([`scenarios`]) digitized from Figures 3–4 / Tables 3 & 5,
+//! and parameterized generators ([`generator`]) for sweeps and fuzzing.
+//!
+//! A [`Scenario`] bundles everything §2 calls the problem inputs — the
+//! expected charging schedule `c(t)`, the desired use-power shape
+//! (`u(t)·w(t)` pre-multiplied), and the initial battery charge — plus
+//! adapters that turn those into the structures `dpm-core` and `dpm-sim`
+//! consume.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generator;
+pub mod scenarios;
+
+pub use generator::{random_scenario, OrbitScenarioBuilder};
+pub use scenarios::{scenario_one, scenario_two};
+
+use dpm_core::alloc::AllocationProblem;
+use dpm_core::platform::Platform;
+use dpm_core::series::PowerSeries;
+use dpm_core::units::Joules;
+use serde::{Deserialize, Serialize};
+
+/// One evaluation scenario: the §2 problem inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Identifier for reports.
+    pub name: String,
+    /// Expected charging schedule `c(t)`, W per slot.
+    pub charging: PowerSeries,
+    /// Desired power-usage shape `u(t)·w(t)`, W per slot.
+    pub use_power: PowerSeries,
+    /// Battery charge at `t = 0`.
+    pub initial_charge: Joules,
+}
+
+impl Scenario {
+    /// Build, validating alignment.
+    pub fn new(
+        name: impl Into<String>,
+        charging: PowerSeries,
+        use_power: PowerSeries,
+        initial_charge: Joules,
+    ) -> Self {
+        assert_eq!(
+            charging.len(),
+            use_power.len(),
+            "charging and use schedules must share slotting"
+        );
+        assert!(
+            use_power.values().iter().all(|&v| v >= 0.0),
+            "use power must be non-negative"
+        );
+        Self {
+            name: name.into(),
+            charging,
+            use_power,
+            initial_charge,
+        }
+    }
+
+    /// The §4.1 allocation problem for this scenario on `platform`.
+    pub fn allocation_problem(&self, platform: &Platform) -> AllocationProblem {
+        AllocationProblem {
+            charging: self.charging.clone(),
+            demand: self.use_power.clone(),
+            initial_charge: self.initial_charge,
+            limits: platform.battery,
+            p_floor: platform.power.all_standby(),
+            p_ceiling: platform.board_power(platform.workers(), platform.f_max()),
+        }
+    }
+
+    /// Energy one job costs at the platform's reference operating point
+    /// (one worker at the slowest clock) — the conversion factor between
+    /// the figures' use-power axis and an event rate.
+    pub fn energy_per_job(&self, platform: &Platform) -> Joules {
+        let f = platform.f_min();
+        let power = platform.board_power(1, f);
+        let time = dpm_core::units::Seconds(
+            platform.workload.time_on(1).value() * (platform.workload.f_ref.value() / f.value()),
+        );
+        power * time
+    }
+
+    /// The event-rate schedule (events/s per slot) whose processing at the
+    /// reference point would dissipate exactly the use-power shape.
+    pub fn event_rates(&self, platform: &Platform) -> PowerSeries {
+        let e = self.energy_per_job(platform).value();
+        assert!(e > 0.0);
+        self.use_power.map(|w| w / e)
+    }
+
+    /// Expected events per period.
+    pub fn events_per_period(&self, platform: &Platform) -> f64 {
+        self.event_rates(platform).integral().value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_core::units::{joules, seconds};
+
+    fn scenario() -> Scenario {
+        scenarios::scenario_one()
+    }
+
+    #[test]
+    fn allocation_problem_uses_platform_bounds() {
+        let platform = Platform::pama();
+        let p = scenario().allocation_problem(&platform);
+        assert!((p.p_floor.value() - 8.0 * 0.0066).abs() < 1e-9);
+        assert!((p.p_ceiling.value() - 8.0 * 0.546).abs() < 1e-6);
+        assert_eq!(p.limits, platform.battery);
+    }
+
+    #[test]
+    fn energy_per_job_matches_hand_calculation() {
+        let platform = Platform::pama();
+        let e = scenario().energy_per_job(&platform);
+        // 2 chips active at 20 MHz (worker + controller) + 6 standby, 4.8 s.
+        let power = 2.0 * 0.546 / 4.0 + 6.0 * 0.0066;
+        assert!((e.value() - power * 4.8).abs() < 1e-6, "{e}");
+    }
+
+    #[test]
+    fn event_rates_scale_with_use_power() {
+        let platform = Platform::pama();
+        let s = scenario();
+        let rates = s.event_rates(&platform);
+        let ratio = rates.get(0) / rates.get(8);
+        let expect = s.use_power.get(0) / s.use_power.get(8);
+        assert!((ratio - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn events_per_period_is_plausible() {
+        let platform = Platform::pama();
+        let n = scenario().events_per_period(&platform);
+        // ~1.2 W mean use at ~1.5 J/job over 57.6 s ⇒ tens of events.
+        assert!(n > 10.0 && n < 200.0, "{n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "share slotting")]
+    fn misaligned_schedules_rejected() {
+        Scenario::new(
+            "bad",
+            PowerSeries::constant(seconds(4.8), 12, 1.0),
+            PowerSeries::constant(seconds(4.8), 6, 1.0),
+            joules(8.0),
+        );
+    }
+}

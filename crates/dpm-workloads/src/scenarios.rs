@@ -1,0 +1,102 @@
+//! The paper's two evaluation scenarios (Figures 3–4, Tables 2–5),
+//! digitized.
+//!
+//! The charging schedules are pinned exactly by the "Supplied Charging
+//! Power" columns of Tables 3 and 5; the use-schedule shapes are read off
+//! Figures 3–4 (they equal the tables' "Used Power" columns for the first
+//! period). Values are watts per `τ = 4.8 s` slot, `T = 57.6 s`, 12 slots.
+
+use crate::Scenario;
+use dpm_core::series::PowerSeries;
+use dpm_core::units::{joules, seconds};
+
+/// Scenario I: constant sun for half the orbit, then eclipse; twin-peaked
+/// use schedule (Figure 3).
+pub fn scenario_one() -> Scenario {
+    let tau = seconds(4.8);
+    let charging = PowerSeries::new(
+        tau,
+        vec![
+            2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+        ],
+    );
+    let use_power = PowerSeries::new(
+        tau,
+        vec![
+            2.36, 2.36, 1.18, 1.38, 2.36, 1.18, 1.18, 0.79, 0.49, 0.49, 0.79, 0.98,
+        ],
+    );
+    Scenario::new("scenario-1", charging, use_power, joules(8.0))
+}
+
+/// Scenario II: ramped sunrise, long eclipse, partial re-illumination;
+/// use schedule shifted against the supply (Figure 4).
+pub fn scenario_two() -> Scenario {
+    let tau = seconds(4.8);
+    let charging = PowerSeries::new(
+        tau,
+        vec![
+            3.24, 3.54, 3.54, 3.54, 0.88, 0.0, 0.0, 0.0, 0.88, 0.88, 1.77, 2.36,
+        ],
+    );
+    let use_power = PowerSeries::new(
+        tau,
+        vec![
+            2.36, 2.95, 2.95, 2.36, 1.57, 1.38, 1.18, 0.0, 0.29, 0.79, 1.38, 2.06,
+        ],
+    );
+    Scenario::new("scenario-2", charging, use_power, joules(8.0))
+}
+
+/// Both scenarios, for sweep harnesses.
+pub fn all() -> Vec<Scenario> {
+    vec![scenario_one(), scenario_two()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_one_matches_table3_supply_column() {
+        let s = scenario_one();
+        assert_eq!(s.charging.len(), 12);
+        assert_eq!(s.charging.get(0), 2.36);
+        assert_eq!(s.charging.get(5), 2.36);
+        assert_eq!(s.charging.get(6), 0.0);
+        assert!((s.charging.integral().value() - 2.36 * 6.0 * 4.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scenario_two_matches_table5_supply_column() {
+        let s = scenario_two();
+        let expect = [
+            3.24, 3.54, 3.54, 3.54, 0.88, 0.0, 0.0, 0.0, 0.88, 0.88, 1.77, 2.36,
+        ];
+        assert_eq!(s.charging.values(), &expect);
+    }
+
+    #[test]
+    fn both_scenarios_have_57_6s_periods() {
+        for s in all() {
+            assert!((s.charging.period().value() - 57.6).abs() < 1e-9);
+            assert_eq!(s.use_power.len(), 12);
+        }
+    }
+
+    #[test]
+    fn use_schedules_are_positive_where_figures_show_work() {
+        let s1 = scenario_one();
+        assert!(s1.use_power.values().iter().all(|&v| v >= 0.0));
+        // Scenario II has its quiet slot (index 7) at zero.
+        let s2 = scenario_two();
+        assert_eq!(s2.use_power.get(7), 0.0);
+    }
+
+    #[test]
+    fn scenario_one_supply_exceeds_mean_demand_in_sun() {
+        let s = scenario_one();
+        let mean_use = s.use_power.mean().value();
+        assert!(2.36 > mean_use, "supply plateau must exceed mean demand");
+    }
+}

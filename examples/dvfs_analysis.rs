@@ -1,0 +1,91 @@
+//! The §4.2 analysis, visualized: which knob — frequency or processors —
+//! buys more performance per watt, and the Eq. 18 operating-point policy
+//! it induces on a DVFS-capable variant of the PAMA board.
+//!
+//! ```sh
+//! cargo run --example dvfs_analysis
+//! ```
+
+use dpm_core::model::{AmdahlWorkload, VoltageFrequencyMap};
+use dpm_core::params::analysis;
+use dpm_core::params::continuous_operating_point;
+use dpm_core::platform::Platform;
+use dpm_core::units::{seconds, volts, watts, Hertz};
+
+fn main() {
+    // A DVFS-capable board: ideal alpha-power law v ∝ f (the paper's
+    // power ∝ f·v² then gives the cubic regime above the pivot).
+    let mut platform = Platform::pama_dvfs();
+    platform.vf = VoltageFrequencyMap::Affine {
+        slope: 80.0e6 / 3.3,
+        threshold: volts(0.0),
+    };
+    platform.v_min = volts(0.8);
+    platform.v_max = volts(3.3);
+    // Tt/Ts = 5 ⇒ the Eq. 18 breakpoint n* = 2·(5−1) = 8.
+    platform.workload = AmdahlWorkload::new(seconds(4.8), seconds(0.96), Hertz::from_mhz(20.0));
+
+    let w = &platform.workload;
+    println!(
+        "workload: Tt = {:.1} s, Ts = {:.2} s  ⇒  n* = 2(Tt/Ts − 1) = {:.0}\n",
+        w.total.value(),
+        w.serial.value(),
+        w.breakpoint_processors().unwrap()
+    );
+
+    // --- Eq. 14 / Eq. 17 ratios vs n ---------------------------------------
+    println!("marginal-gain ratio (∂Perf/∂P at const n) / (∂Perf/∂P at const f):");
+    println!("   n   below pivot (Eq.14)   above pivot (Eq.17)   prefer above pivot");
+    for n in [1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 14.0] {
+        let r14 = analysis::eq14_ratio(w, n);
+        let r17 = analysis::eq17_ratio(w, n);
+        let prefer = if (r17 - 1.0).abs() < 1e-9 {
+            "tied"
+        } else if r17 > 1.0 {
+            "frequency"
+        } else {
+            "processors"
+        };
+        println!("  {n:>4.0}   {r14:>19.2}   {r17:>19.2}   {prefer}");
+    }
+
+    // --- the Eq. 18 policy curve --------------------------------------------
+    println!("\nEq. 18 continuous operating point vs power budget:");
+    println!("  P (W)      n      f (MHz)   regime");
+    let g_vmin = platform.vf.pivot_frequency(platform.v_min);
+    for i in 1..=16 {
+        let p = watts(0.002 * (1.6_f64).powi(i));
+        let pt = continuous_operating_point(&platform, p);
+        let f_max = platform.vf.max_frequency(platform.v_max);
+        let regime = if pt.f.value() < g_vmin.value() - 1.0 {
+            "1: one chip, grow f"
+        } else if (pt.f.value() - g_vmin.value()).abs() < 1.0 {
+            "2: grow n at pivot"
+        } else if pt.f.value() < f_max.value() - 1.0 {
+            // n* = 8 exceeds the 7 available workers, so n pins at the cap
+            // while frequency and voltage absorb the budget.
+            "3: hold n* (capped), grow f&v"
+        } else {
+            "4: max f, grow n"
+        };
+        println!(
+            "  {:>7.3}  {:>5.2}  {:>9.2}   {regime}",
+            p.value(),
+            pt.n,
+            pt.f.mhz()
+        );
+    }
+
+    // --- numerical check of the derivation ---------------------------------
+    let n = 3.0;
+    let f_below = Hertz::from_mhz(0.4 * g_vmin.mhz());
+    let at = analysis::power_continuous(&platform, n, f_below);
+    let h = at.value() * 1e-4;
+    let measured = analysis::dperf_dpower_fixed_n(&platform, n, at, h)
+        / analysis::dperf_dpower_fixed_f(&platform, f_below, at, h);
+    println!(
+        "\nnumerical check below the pivot at n = {n}: measured ratio {:.3}, Eq. 14 predicts {:.3}",
+        measured,
+        analysis::eq14_ratio(w, n)
+    );
+}

@@ -1,0 +1,116 @@
+//! Quickstart: the full pipeline of the paper in ~80 lines.
+//!
+//! 1. describe the machine (the PAMA satellite board);
+//! 2. give the §2 inputs — expected charging `c(t)`, event rates `u(t)`,
+//!    weight `w(t)`;
+//! 3. §4.1: compute the initial power allocation;
+//! 4. §4.2: turn it into a discrete `(n, f)` schedule;
+//! 5. §4.3: run the feedback controller against a simulated environment.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dpm_bench::experiments;
+use dpm_core::prelude::*;
+use dpm_sim::prelude::*;
+
+fn main() {
+    // --- 1. the machine ---------------------------------------------------
+    let platform = Platform::pama();
+    println!(
+        "platform: {} processors ({} workers), f ∈ {:?} MHz, τ = {}",
+        platform.processors,
+        platform.workers(),
+        platform
+            .frequencies
+            .iter()
+            .map(|f| f.mhz())
+            .collect::<Vec<_>>(),
+        platform.tau,
+    );
+
+    // --- 2. the §2 inputs ---------------------------------------------------
+    let tau = platform.tau;
+    // Sun for half the 57.6 s orbit, eclipse after.
+    let charging = PowerSeries::new(
+        tau,
+        vec![
+            2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+        ],
+    );
+    // Twin-peak event-rate schedule, weighted uniformly.
+    let rates = PowerSeries::new(
+        tau,
+        vec![1.1, 0.7, 0.2, 0.2, 0.7, 1.2, 1.1, 0.7, 0.2, 0.2, 0.7, 1.2],
+    );
+    let demand = DemandModel::unweighted(rates.clone());
+
+    // --- 3. §4.1 initial power allocation -----------------------------------
+    let problem = AllocationProblem {
+        charging: charging.clone(),
+        demand: demand.wpuf(),
+        initial_charge: joules(8.0),
+        limits: platform.battery,
+        p_floor: platform.power.all_standby(),
+        p_ceiling: platform.board_power(platform.workers(), platform.f_max()),
+    };
+    let allocation = InitialAllocator::new(problem).compute();
+    println!(
+        "\n§4.1 allocation converged in {} iteration(s), feasible = {}",
+        allocation.iterations.len(),
+        allocation.feasible
+    );
+    println!(
+        "  P_init (W/slot): {:?}",
+        allocation
+            .allocation
+            .values()
+            .iter()
+            .map(|v| (v * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+
+    // --- 4. §4.2 discrete parameter schedule --------------------------------
+    let scheduler = ParameterScheduler::new(platform.clone());
+    let schedule = scheduler.plan(&allocation.allocation, &charging, joules(8.0));
+    println!("\n§4.2 schedule ({} switches):", schedule.switch_count());
+    for slot in &schedule.slots {
+        println!(
+            "  t = {:>5.1} s  budget {:>5.2} W  →  {}",
+            slot.slot as f64 * tau.value(),
+            slot.budget.value(),
+            slot.point
+        );
+    }
+
+    // --- 5. §4.3 run the controller in the loop -----------------------------
+    let mut governor = DpmController::new(platform.clone(), &allocation, charging.clone());
+    let sim = Simulation::new(
+        platform,
+        Box::new(TraceSource::new(charging)),
+        Box::new(ScheduleGenerator::new(rates)),
+        joules(8.0),
+        SimConfig::default(),
+    );
+    let report = sim.run(&mut governor);
+    println!("\n§4.3 two-period simulation:");
+    println!("  {}", report.summary());
+    println!(
+        "  energy available: {:.1} J, delivered {:.1} J, final battery {:.1} J",
+        report.offered, report.delivered, report.final_battery
+    );
+
+    // Bonus: the same experiment functions the repro harness uses.
+    let rows = experiments::table1(
+        &Platform::pama(),
+        &dpm_workloads::scenarios::all(),
+        experiments::DEFAULT_PERIODS,
+    );
+    let proposed = rows.iter().find(|r| r.governor == "proposed").unwrap();
+    let statik = rows.iter().find(|r| r.governor == "static").unwrap();
+    println!(
+        "\nTable 1 headline: proposed wastes {:.1} J vs static {:.1} J on scenario I",
+        proposed.wasted[0], statik.wasted[0]
+    );
+}

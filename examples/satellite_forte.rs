@@ -1,0 +1,107 @@
+//! The full FORTE mission: synthetic RF captures run through the
+//! fixed-point detection chain, with the dynamic power manager deciding
+//! how many PIMs analyse them each slot.
+//!
+//! This example stitches all the crates together end-to-end:
+//! `dpm-fft` generates captures and detects transients, its cycle model
+//! calibrates the Amdahl workload, `dpm-core` allocates power and governs,
+//! `dpm-sim` plays the orbital environment.
+//!
+//! ```sh
+//! cargo run --example satellite_forte
+//! ```
+
+use dpm_bench::experiments;
+use dpm_core::prelude::*;
+use dpm_fft::prelude::*;
+use dpm_sim::prelude::*;
+use dpm_workloads::scenarios;
+
+fn main() {
+    // --- calibrate the platform's workload from the FFT cycle model --------
+    let cycle_model = CycleModel::pama_fft();
+    let mut platform = Platform::pama();
+    platform.workload = cycle_model.as_workload(2048, Hertz::from_mhz(20.0));
+    println!(
+        "FFT job: {:.1} s at 20 MHz on 1 PIM, {:.2} s on 7 PIMs at 80 MHz",
+        cycle_model.job_time(2048, Hertz::from_mhz(20.0)).value(),
+        cycle_model
+            .parallel_job_time(2048, 7, Hertz::from_mhz(80.0))
+            .value()
+    );
+
+    // --- run the actual signal chain on a few captures ---------------------
+    let detector = TransientDetector::new(DetectorConfig::default());
+    let mut events = 0;
+    let mut triggers = 0;
+    println!("\nscreening 20 synthetic captures:");
+    for seed in 0..20u64 {
+        let spec = if seed % 3 == 0 {
+            CaptureSpec::with_transient()
+        } else {
+            CaptureSpec::background_only()
+        };
+        let capture = dpm_fft::signal::generate(&spec, seed);
+        let result = detector.detect(&capture);
+        triggers += result.triggered as usize;
+        events += result.is_event as usize;
+        if result.is_event {
+            println!(
+                "  capture {seed:>2}: RF EVENT  (occupancy {:.0}%, carrier share {:.0}%)",
+                100.0 * result.occupied_fraction,
+                100.0 * result.carrier_fraction
+            );
+        }
+    }
+    println!("  {triggers} triggers, {events} confirmed events");
+
+    // --- demonstrate the Fig. 2 fork-join execution ------------------------
+    let capture = dpm_fft::signal::generate(&CaptureSpec::with_transient(), 99);
+    let mut data = quantize(&capture);
+    let forkjoin = ForkJoinFft::new(2048, 7);
+    let times = forkjoin.transform(&mut data);
+    println!(
+        "\nfork-join 2K FFT on 7 host workers: serial fraction {:.1}% (shape {:?})",
+        100.0 * times.serial_fraction(),
+        forkjoin.shape()
+    );
+
+    // --- fly the mission under the proposed governor -----------------------
+    let scenario = scenarios::scenario_one();
+    let allocation = experiments::initial_allocation(&platform, &scenario);
+    let mut governor = DpmController::new(platform.clone(), &allocation, scenario.charging.clone());
+
+    let mut sim = Simulation::new(
+        platform.clone(),
+        Box::new(NoisySource::new(
+            TraceSource::new(scenario.charging.clone()),
+            0.1,
+            platform.tau,
+            7,
+        )),
+        Box::new(PoissonGenerator::new(scenario.event_rates(&platform), 42)),
+        scenario.initial_charge,
+        SimConfig {
+            periods: 4,
+            ..SimConfig::default()
+        },
+    );
+    // A storm passage mid-mission.
+    sim.schedule(seconds(130.0), Disturbance::EventBurst { count: 12 });
+
+    let report = sim.run(&mut governor);
+    println!("\nmission report (4 orbits, noisy sun, Poisson events, one storm):");
+    println!("  {}", report.summary());
+    println!(
+        "  mean event latency {:.1} s (worst {:.1} s), {} dropped",
+        report.mean_latency, report.max_latency, report.dropped
+    );
+
+    println!("\nper-orbit slot decisions (first orbit):");
+    for rec in report.slots.iter().take(12) {
+        println!(
+            "  t = {:>5.1} s  {}p @ {:>2.0} MHz  used {:>5.2} J  battery {:>5.1} J  backlog {}",
+            rec.time, rec.workers, rec.freq_mhz, rec.used, rec.battery, rec.backlog
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! The adaptive controller in full simulation: learning a systematically
+//! wrong charging forecast must recover the plain controller's margins.
+
+use dpm_bench::experiments;
+use dpm_core::forecast::ForecastMethod;
+use dpm_core::platform::Platform;
+use dpm_core::prelude::*;
+use dpm_sim::prelude::*;
+use dpm_workloads::scenarios;
+
+/// Reality: scenario I's supply. Prior: a flat (very wrong) forecast.
+fn wrong_prior() -> PowerSeries {
+    PowerSeries::constant(dpm_core::units::seconds(4.8), 12, 1.18)
+}
+
+fn run(governor: &mut dyn Governor, periods: usize) -> SimReport {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    Simulation::new(
+        platform.clone(),
+        Box::new(TraceSource::new(s.charging.clone())),
+        Box::new(ScheduleGenerator::new(s.event_rates(&platform))),
+        s.initial_charge,
+        SimConfig {
+            periods,
+            ..SimConfig::default()
+        },
+    )
+    .run(governor)
+}
+
+#[test]
+fn adaptive_recovers_from_a_wrong_prior() {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+
+    // Plain controller stuck with the wrong prior forever.
+    let wrong_problem = dpm_core::alloc::AllocationProblem {
+        charging: wrong_prior(),
+        demand: s.use_power.clone(),
+        initial_charge: s.initial_charge,
+        limits: platform.battery,
+        p_floor: platform.power.all_standby(),
+        p_ceiling: platform.board_power(platform.workers(), platform.f_max()),
+    };
+    let wrong_alloc = dpm_core::alloc::InitialAllocator::new(wrong_problem).compute();
+    let mut stuck = DpmController::new(platform.clone(), &wrong_alloc, wrong_prior());
+    let r_stuck = run(&mut stuck, 8);
+
+    // Adaptive controller starting from the same wrong prior.
+    let mut adaptive = AdaptiveDpmController::new(
+        platform.clone(),
+        wrong_prior(),
+        s.use_power.clone(),
+        ForecastMethod::ExponentialSmoothing { alpha: 0.6 },
+        s.initial_charge,
+    );
+    let r_adapt = run(&mut adaptive, 8);
+
+    // Reference: plain controller with the exact forecast.
+    let exact_alloc = experiments::initial_allocation(&platform, &s);
+    let mut exact = DpmController::new(platform.clone(), &exact_alloc, s.charging.clone());
+    let r_exact = run(&mut exact, 8);
+
+    let loss = |r: &SimReport| r.wasted + r.undersupplied;
+    assert!(
+        loss(&r_adapt) < loss(&r_stuck),
+        "adaptive {} vs stuck {}",
+        loss(&r_adapt),
+        loss(&r_stuck)
+    );
+    // After learning, the adaptive run sits close to the exact-forecast
+    // reference (within 2x of its combined loss plus a small constant for
+    // the learning transient).
+    assert!(
+        loss(&r_adapt) < 2.0 * loss(&r_exact) + 8.0,
+        "adaptive {} vs exact {}",
+        loss(&r_adapt),
+        loss(&r_exact)
+    );
+    assert_eq!(adaptive.replans(), 7);
+}
+
+#[test]
+fn adaptive_learns_a_changed_orbit_shape() {
+    // The orbit precesses: the eclipse lengthens by two slots. A
+    // *proportional* supply guard cannot model a shape change (the last
+    // informative slot's supplied/forecast ratio says nothing about which
+    // future slots are dark), so the stuck controller keeps planning
+    // against sunlight that never comes; the adaptive one relearns the
+    // shape within a few periods.
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let new_reality = PowerSeries::new(
+        dpm_core::units::seconds(4.8),
+        vec![
+            3.54, 3.54, 3.54, 3.54, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+        ],
+    );
+
+    let run_real = |gov: &mut dyn Governor| -> SimReport {
+        Simulation::new(
+            platform.clone(),
+            Box::new(TraceSource::new(new_reality.clone())),
+            Box::new(ScheduleGenerator::new(s.event_rates(&platform))),
+            s.initial_charge,
+            SimConfig {
+                periods: 10,
+                ..SimConfig::default()
+            },
+        )
+        .run(gov)
+    };
+
+    // Stuck controller planning on the *old* orbit.
+    let exact_alloc = experiments::initial_allocation(&platform, &s);
+    let mut stuck = DpmController::new(platform.clone(), &exact_alloc, s.charging.clone());
+    let r_stuck = run_real(&mut stuck);
+
+    let mut adaptive = AdaptiveDpmController::new(
+        platform.clone(),
+        s.charging.clone(), // same stale prior
+        s.use_power.clone(),
+        ForecastMethod::ExponentialSmoothing { alpha: 0.6 },
+        s.initial_charge,
+    );
+    let r_adapt = run_real(&mut adaptive);
+
+    let loss = |r: &SimReport| r.wasted + r.undersupplied;
+    assert!(
+        loss(&r_adapt) < loss(&r_stuck),
+        "adaptive {} vs stuck {}",
+        loss(&r_adapt),
+        loss(&r_stuck)
+    );
+}
+
+#[test]
+fn adaptive_equals_plain_when_prior_is_exact() {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let mut adaptive = AdaptiveDpmController::new(
+        platform.clone(),
+        s.charging.clone(),
+        s.use_power.clone(),
+        ForecastMethod::ExponentialSmoothing { alpha: 0.3 },
+        s.initial_charge,
+    );
+    let r = run(&mut adaptive, 4);
+    assert_eq!(r.undersupplied, 0.0, "{}", r.summary());
+    assert!(r.wasted < 0.1 * r.offered, "{}", r.summary());
+}

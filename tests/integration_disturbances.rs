@@ -1,0 +1,209 @@
+//! Failure injection: §4.3's reason for existing. Supply faults, event
+//! storms, noisy panels and mis-forecasts, all absorbed by the Algorithm 3
+//! feedback loop.
+
+use dpm_bench::experiments;
+use dpm_core::platform::Platform;
+use dpm_core::prelude::*;
+use dpm_sim::prelude::*;
+use dpm_workloads::scenarios;
+
+fn proposed(platform: &Platform, s: &dpm_workloads::Scenario) -> DpmController {
+    let a = experiments::initial_allocation(platform, s);
+    DpmController::new(platform.clone(), &a, s.charging.clone())
+}
+
+fn base_sim(platform: &Platform, s: &dpm_workloads::Scenario, periods: usize) -> Simulation {
+    Simulation::new(
+        platform.clone(),
+        Box::new(TraceSource::new(s.charging.clone())),
+        Box::new(ScheduleGenerator::new(s.event_rates(platform))),
+        s.initial_charge,
+        SimConfig {
+            periods,
+            ..SimConfig::default()
+        },
+    )
+}
+
+#[test]
+fn supply_dropout_causes_bounded_undersupply() {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let mut clean_gov = proposed(&platform, &s);
+    let clean = base_sim(&platform, &s, 4).run(&mut clean_gov);
+
+    let mut faulty_gov = proposed(&platform, &s);
+    let mut sim = base_sim(&platform, &s, 4);
+    // Lose the panel entirely for most of one sunlit stretch.
+    sim.schedule(
+        seconds(57.6 + 2.0),
+        Disturbance::SupplyScale {
+            factor: 0.0,
+            duration: seconds(20.0),
+        },
+    );
+    let faulty = sim.run(&mut faulty_gov);
+
+    // The fault removes ~47 J of the ~540 J supply; the controller should
+    // absorb it mostly by shaving the plan, not by browning out.
+    assert!(faulty.offered < clean.offered);
+    assert!(
+        faulty.undersupplied < 0.15 * (clean.offered - faulty.offered) + 2.0,
+        "undersupplied {} after losing {} J",
+        faulty.undersupplied,
+        clean.offered - faulty.offered
+    );
+}
+
+#[test]
+fn event_storm_is_worked_off_without_drops() {
+    // Scale the nominal rate to 60% so the allocation has slack capacity;
+    // a 25-event storm then drains over the following orbits.
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let mut gov = proposed(&platform, &s);
+    let mut sim = Simulation::new(
+        platform.clone(),
+        Box::new(TraceSource::new(s.charging.clone())),
+        Box::new(ScheduleGenerator::new(s.event_rates(&platform).scale(0.6))),
+        s.initial_charge,
+        SimConfig {
+            periods: 4,
+            ..SimConfig::default()
+        },
+    );
+    sim.schedule(seconds(30.0), Disturbance::EventBurst { count: 25 });
+    let report = sim.run(&mut gov);
+    assert_eq!(report.dropped, 0, "{}", report.summary());
+    // The storm's jobs eventually clear: final backlog small.
+    let final_backlog = report.slots.last().unwrap().backlog;
+    assert!(final_backlog <= 8, "backlog {final_backlog}");
+}
+
+#[test]
+fn noisy_supply_degrades_gracefully() {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let mut gov = proposed(&platform, &s);
+    let report = Simulation::new(
+        platform.clone(),
+        Box::new(NoisySource::new(
+            TraceSource::new(s.charging.clone()),
+            0.25,
+            platform.tau,
+            3,
+        )),
+        Box::new(ScheduleGenerator::new(s.event_rates(&platform))),
+        s.initial_charge,
+        SimConfig {
+            periods: 6,
+            ..SimConfig::default()
+        },
+    )
+    .run(&mut gov);
+    // ±25% noise on the forecast: waste and shortfall stay a small share.
+    assert!(
+        report.wasted < 0.12 * report.offered,
+        "{}",
+        report.summary()
+    );
+    assert!(
+        report.undersupplied < 0.12 * report.offered,
+        "{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn event_rate_misforecast_is_absorbed() {
+    // Reality delivers 60% more events than the schedule the allocation
+    // was computed from.
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let mut gov = proposed(&platform, &s);
+    let hot_rates = s.event_rates(&platform).scale(1.6);
+    let report = Simulation::new(
+        platform.clone(),
+        Box::new(TraceSource::new(s.charging.clone())),
+        Box::new(ScheduleGenerator::new(hot_rates)),
+        s.initial_charge,
+        SimConfig {
+            periods: 4,
+            ..SimConfig::default()
+        },
+    )
+    .run(&mut gov);
+    // Energy is conserved regardless; the extra events queue up but
+    // nothing is dropped and the battery never violates its window.
+    assert_eq!(report.dropped, 0);
+    assert!(report.final_battery >= platform.battery.c_min.value() - 1e-9);
+    for slot in &report.slots {
+        assert!(slot.battery <= platform.battery.c_max.value() + 1e-9);
+    }
+}
+
+#[test]
+fn back_to_back_disturbances_keep_battery_in_window() {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_two();
+    let mut gov = proposed(&platform, &s);
+    let mut sim = base_sim(&platform, &s, 6);
+    sim.schedule(
+        seconds(20.0),
+        Disturbance::SupplyScale {
+            factor: 0.5,
+            duration: seconds(30.0),
+        },
+    );
+    sim.schedule(seconds(80.0), Disturbance::EventBurst { count: 15 });
+    sim.schedule(
+        seconds(150.0),
+        Disturbance::SupplyScale {
+            factor: 1.5,
+            duration: seconds(25.0),
+        },
+    );
+    sim.schedule(seconds(200.0), Disturbance::EventBurst { count: 15 });
+    let report = sim.run(&mut gov);
+    for slot in &report.slots {
+        assert!(
+            slot.battery >= platform.battery.c_min.value() - 1e-6
+                && slot.battery <= platform.battery.c_max.value() + 1e-6,
+            "slot {}: battery {}",
+            slot.slot,
+            slot.battery
+        );
+    }
+}
+
+#[test]
+fn static_governor_suffers_more_from_the_same_fault() {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+
+    let mut gov = proposed(&platform, &s);
+    let mut sim = base_sim(&platform, &s, 4);
+    sim.schedule(
+        seconds(60.0),
+        Disturbance::SupplyScale {
+            factor: 0.0,
+            duration: seconds(20.0),
+        },
+    );
+    let rp = sim.run(&mut gov);
+
+    let mut statik = dpm_baselines::StaticGovernor::full_power(&platform);
+    let mut sim = base_sim(&platform, &s, 4);
+    sim.schedule(
+        seconds(60.0),
+        Disturbance::SupplyScale {
+            factor: 0.0,
+            duration: seconds(20.0),
+        },
+    );
+    let rs = sim.run(&mut statik);
+
+    assert!(rp.undersupplied < rs.undersupplied);
+    assert!(rp.wasted < rs.wasted);
+}

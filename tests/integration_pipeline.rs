@@ -1,0 +1,165 @@
+//! End-to-end pipeline tests spanning dpm-core, dpm-sim, dpm-workloads and
+//! dpm-bench: scenario → §4.1 allocation → §4.2/4.3 controller → simulated
+//! mission → report invariants.
+
+use dpm_bench::experiments;
+use dpm_core::platform::Platform;
+use dpm_core::prelude::*;
+use dpm_sim::prelude::*;
+use dpm_workloads::{scenarios, Scenario};
+
+fn run_proposed(scenario: &Scenario, periods: usize) -> SimReport {
+    let platform = Platform::pama();
+    let allocation = experiments::initial_allocation(&platform, scenario);
+    let mut governor = DpmController::new(platform.clone(), &allocation, scenario.charging.clone());
+    experiments::run_governor(&platform, scenario, &mut governor, periods)
+}
+
+#[test]
+fn allocation_is_feasible_for_both_paper_scenarios() {
+    let platform = Platform::pama();
+    for s in scenarios::all() {
+        let a = experiments::initial_allocation(&platform, &s);
+        assert!(a.feasible, "{} allocation infeasible", s.name);
+        assert!(a
+            .trajectory
+            .within(platform.battery.c_min, platform.battery.c_max, 1e-3));
+        // Eq. 8 balance survives the reshaping within a fraction of the
+        // supply (the clamps move energy; the battery absorbs the rest).
+        let alloc_energy = a.allocation.integral().value();
+        let supply = s.charging.integral().value();
+        assert!(
+            (alloc_energy - supply).abs() < 0.25 * supply,
+            "{}: allocation {alloc_energy} vs supply {supply}",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn proposed_controller_full_mission_has_no_undersupply() {
+    for s in scenarios::all() {
+        let report = run_proposed(&s, 4);
+        assert_eq!(
+            report.undersupplied,
+            0.0,
+            "{}: {}",
+            s.name,
+            report.summary()
+        );
+    }
+}
+
+#[test]
+fn proposed_controller_wastes_a_small_fraction_of_supply() {
+    for s in scenarios::all() {
+        let report = run_proposed(&s, 4);
+        assert!(
+            report.wasted < 0.1 * report.offered,
+            "{}: wasted {} of {} offered",
+            s.name,
+            report.wasted,
+            report.offered
+        );
+    }
+}
+
+#[test]
+fn energy_balance_closes_for_every_governor() {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let mut governors: Vec<Box<dyn Governor>> = vec![
+        Box::new({
+            let a = experiments::initial_allocation(&platform, &s);
+            DpmController::new(platform.clone(), &a, s.charging.clone())
+        }),
+        Box::new(dpm_baselines::StaticGovernor::full_power(&platform)),
+        Box::new(dpm_baselines::GreedyGovernor::new(platform.clone(), 4.0)),
+    ];
+    for g in governors.iter_mut() {
+        let report = experiments::run_governor(&platform, &s, g, 3);
+        let stored_delta = report.final_battery - report.initial_battery;
+        let balance = report.offered - report.wasted - report.delivered - stored_delta;
+        assert!(
+            balance.abs() < 1e-6,
+            "{}: imbalance {balance}",
+            report.governor
+        );
+    }
+}
+
+#[test]
+fn controller_trace_matches_simulated_slots() {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let (trace, report) = experiments::table3_5(&platform, &s, 2);
+    assert_eq!(trace.len(), report.slots.len());
+    for (rec, slot) in trace.iter().zip(&report.slots) {
+        assert_eq!(rec.slot, slot.slot);
+        // The simulator executed the point the controller commanded.
+        assert_eq!(rec.point.workers, slot.workers);
+        assert!((rec.point.frequency.mhz() - slot.freq_mhz).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn algorithm3_absorbs_systematic_supply_error() {
+    // The controller plans on a forecast 25% above reality; Algorithm 3
+    // must shave the plan instead of letting the battery hit bottom.
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let allocation = experiments::initial_allocation(&platform, &s);
+    let mut governor = DpmController::new(platform.clone(), &allocation, s.charging.clone());
+    let weak_supply = s.charging.scale(0.8);
+    let report = Simulation::new(
+        platform.clone(),
+        Box::new(TraceSource::new(weak_supply)),
+        Box::new(ScheduleGenerator::new(s.event_rates(&platform))),
+        s.initial_charge,
+        SimConfig {
+            periods: 4,
+            ..SimConfig::default()
+        },
+    )
+    .run(&mut governor);
+    // Brown-outs bounded to a small share of the (reduced) supply, where a
+    // schedule-blind governor would keep drawing at the planned level.
+    assert!(
+        report.undersupplied < 0.06 * report.offered,
+        "{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn longer_missions_scale_linearly() {
+    let s = scenarios::scenario_one();
+    let short = run_proposed(&s, 2);
+    let long = run_proposed(&s, 6);
+    assert!((long.offered / short.offered - 3.0).abs() < 0.05);
+    let ratio = long.jobs_done as f64 / short.jobs_done as f64;
+    assert!(
+        (2.0..4.5).contains(&ratio),
+        "jobs ratio {ratio} ({} vs {})",
+        long.jobs_done,
+        short.jobs_done
+    );
+}
+
+#[test]
+fn random_scenarios_never_panic_and_keep_invariants() {
+    let platform = Platform::pama();
+    for seed in 0..20 {
+        let s = dpm_workloads::random_scenario(seed);
+        let a = experiments::initial_allocation(&platform, &s);
+        for &v in a.allocation.values() {
+            assert!(v >= platform.power.all_standby().value() - 1e-9);
+            assert!(v <= platform.board_power(7, platform.f_max()).value() + 1e-9);
+        }
+        let mut g = DpmController::new(platform.clone(), &a, s.charging.clone());
+        let report = experiments::run_governor(&platform, &s, &mut g, 2);
+        assert!(report.wasted >= 0.0 && report.undersupplied >= 0.0);
+        assert!(report.final_battery >= platform.battery.c_min.value() - 1e-9);
+        assert!(report.final_battery <= platform.battery.c_max.value() + 1e-9);
+    }
+}

@@ -1,0 +1,65 @@
+//! Serialization round-trips: schedules, scenarios, reports and traces are
+//! part of the public interchange surface (the repro harness exports JSON
+//! for plotting), so they must survive serde exactly.
+
+use dpm_bench::experiments;
+use dpm_core::platform::Platform;
+use dpm_core::series::PowerSeries;
+use dpm_core::units::seconds;
+use dpm_workloads::{scenarios, Scenario};
+
+#[test]
+fn power_series_roundtrip() {
+    let s = PowerSeries::new(seconds(4.8), vec![2.36, 0.0, 1.18, 3.54]);
+    let json = serde_json::to_string(&s).unwrap();
+    let back: PowerSeries = serde_json::from_str(&json).unwrap();
+    assert_eq!(s, back);
+}
+
+#[test]
+fn scenario_roundtrip() {
+    for s in scenarios::all() {
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}
+
+#[test]
+fn platform_roundtrip() {
+    let p = Platform::pama();
+    let json = serde_json::to_string(&p).unwrap();
+    let back: Platform = serde_json::from_str(&json).unwrap();
+    assert_eq!(p, back);
+    assert!(back.validate().is_ok());
+}
+
+#[test]
+fn sim_report_roundtrip() {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let mut g = experiments::proposed_controller(&platform, &s);
+    let report = experiments::run_governor(&platform, &s, &mut g, 2);
+    let json = serde_json::to_string(&report).unwrap();
+    let back: dpm_sim::stats::SimReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+}
+
+#[test]
+fn controller_trace_roundtrip() {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let (trace, _) = experiments::table3_5(&platform, &s, 1);
+    let json = serde_json::to_string(&trace).unwrap();
+    let back: Vec<dpm_core::runtime::ControllerRecord> = serde_json::from_str(&json).unwrap();
+    assert_eq!(trace, back);
+}
+
+#[test]
+fn table1_rows_roundtrip() {
+    let platform = Platform::pama();
+    let rows = experiments::table1(&platform, &scenarios::all(), 1);
+    let json = serde_json::to_string(&rows).unwrap();
+    let back: Vec<experiments::Table1Row> = serde_json::from_str(&json).unwrap();
+    assert_eq!(rows, back);
+}

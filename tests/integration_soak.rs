@@ -1,0 +1,108 @@
+//! Long-horizon stability: the controller must not drift over many
+//! periods — the rolling plan, battery trajectory, and waste rate should
+//! be as good in orbit 50 as in orbit 2.
+
+use dpm_bench::experiments;
+use dpm_core::platform::Platform;
+use dpm_core::prelude::*;
+use dpm_sim::prelude::*;
+use dpm_workloads::scenarios;
+
+fn soak(periods: usize, noise: Option<u64>) -> SimReport {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let allocation = experiments::initial_allocation(&platform, &s);
+    let mut governor = DpmController::new(platform.clone(), &allocation, s.charging.clone());
+    let source: Box<dyn ChargingSource> = match noise {
+        Some(seed) => Box::new(NoisySource::new(
+            TraceSource::new(s.charging.clone()),
+            0.15,
+            platform.tau,
+            seed,
+        )),
+        None => Box::new(TraceSource::new(s.charging.clone())),
+    };
+    Simulation::new(
+        platform,
+        source,
+        Box::new(ScheduleGenerator::new(
+            s.event_rates(&Platform::pama()).scale(0.9),
+        )),
+        s.initial_charge,
+        SimConfig {
+            periods,
+            slots_per_period: 12,
+            substeps: 8,
+            trace: true,
+        },
+    )
+    .run(&mut governor)
+}
+
+#[test]
+fn fifty_periods_no_drift_in_waste_rate() {
+    let report = soak(50, None);
+    assert_eq!(report.undersupplied, 0.0, "{}", report.summary());
+    // Waste per period in the second half must not exceed the first half
+    // by more than a small factor (no accumulating drift).
+    let half = report.slots.len() / 2;
+    let waste_proxy = |slots: &[SlotRecord]| -> f64 {
+        // Battery pinned at C_max while supplied > used is where waste
+        // occurs; use supplied − used as the proxy integrated per half.
+        slots.iter().map(|s| (s.supplied - s.used).max(0.0)).sum()
+    };
+    let first = waste_proxy(&report.slots[..half]);
+    let second = waste_proxy(&report.slots[half..]);
+    assert!(
+        second < first * 1.5 + 5.0,
+        "drift: first-half surplus {first:.1} J, second-half {second:.1} J"
+    );
+}
+
+#[test]
+fn fifty_periods_battery_stays_in_window() {
+    let report = soak(50, None);
+    let limits = Platform::pama().battery;
+    for slot in &report.slots {
+        assert!(
+            slot.battery >= limits.c_min.value() - 1e-6
+                && slot.battery <= limits.c_max.value() + 1e-6,
+            "slot {}: battery {}",
+            slot.slot,
+            slot.battery
+        );
+    }
+}
+
+#[test]
+fn noisy_soak_keeps_margins() {
+    let report = soak(30, Some(13));
+    assert!(
+        report.wasted < 0.12 * report.offered,
+        "{}",
+        report.summary()
+    );
+    assert!(
+        report.undersupplied < 0.05 * report.offered,
+        "{}",
+        report.summary()
+    );
+    // Throughput stays healthy: most generated events processed.
+    assert_eq!(report.dropped, 0);
+}
+
+#[test]
+fn steady_state_is_periodic() {
+    // After transients settle, the same slot in consecutive periods should
+    // command similar power (the plan re-converges to the base allocation).
+    let report = soak(10, None);
+    let slots = &report.slots;
+    for k in 0..12 {
+        let a = slots[5 * 12 + k].used;
+        let b = slots[8 * 12 + k].used;
+        assert!(
+            (a - b).abs() < 2.0,
+            "slot {k}: period 5 used {a:.2} J vs period 8 used {b:.2} J"
+        );
+    }
+}
