@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Gate: no panicking constructs on input-reachable paths in dpm-core.
+#
+# Scans every file under crates/dpm-core/src, strips everything from the
+# `#[cfg(test)]` marker onward (test modules sit at the end of each file),
+# and fails if the remainder contains `.unwrap()`, `.expect(`, `panic!`,
+# or a non-debug `assert!`/`assert_eq!`/`assert_ne!`. `debug_assert!` is
+# allowed: internal invariants are checked in debug builds only (see
+# DESIGN.md §7). Doc-comment lines are skipped — doctests may assert.
+set -eu
+
+status=0
+for f in $(find crates/dpm-core/src -name '*.rs' | sort); do
+    hits=$(awk '/^#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" |
+        grep -vE '^[0-9]+: *(//|//!|///)' |
+        grep -E '\.unwrap\(\)|\.expect\(|panic!|(^|[^_a-z])assert(_eq|_ne)?!' |
+        grep -v 'debug_assert' || true)
+    if [ -n "$hits" ]; then
+        echo "forbidden panicking construct in $f:" >&2
+        echo "$hits" >&2
+        status=1
+    fi
+done
+if [ "$status" -ne 0 ]; then
+    echo "dpm-core non-test code must return DpmError instead of panicking (DESIGN.md §7)." >&2
+fi
+exit $status

@@ -9,6 +9,7 @@
 //! the continuous point can land far from the best discrete point) and
 //! whenever feedback matters, which the integration tests quantify.
 
+use dpm_core::error::DpmError;
 use dpm_core::governor::{Governor, SlotObservation};
 use dpm_core::params::{continuous_operating_point, OperatingPoint};
 use dpm_core::platform::Platform;
@@ -24,18 +25,21 @@ pub struct AnalyticGovernor {
 
 impl AnalyticGovernor {
     /// Build from the platform and a periodic power allocation.
-    pub fn new(platform: Platform, allocation: PowerSeries) -> Self {
-        platform.validate().expect("invalid platform");
-        Self {
+    ///
+    /// # Errors
+    /// [`DpmError::InvalidPlatform`] on a degenerate platform.
+    pub fn new(platform: Platform, allocation: PowerSeries) -> Result<Self, DpmError> {
+        platform.validate()?;
+        Ok(Self {
             platform,
             allocation,
-        }
+        })
     }
 
     /// Snap a frequency to the nearest member of the discrete set.
     fn snap_frequency(&self, f: Hertz) -> Hertz {
-        *self
-            .platform
+        // The constructor validated the platform, so the set is non-empty.
+        self.platform
             .frequencies
             .iter()
             .min_by(|a, b| {
@@ -43,7 +47,8 @@ impl AnalyticGovernor {
                     .abs()
                     .total_cmp(&(b.value() - f.value()).abs())
             })
-            .expect("platform has frequencies")
+            .copied()
+            .unwrap_or(f)
     }
 }
 
@@ -56,7 +61,7 @@ impl Governor for AnalyticGovernor {
         true // same semantics as the proposed controller it ablates
     }
 
-    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint {
+    fn decide(&mut self, obs: &SlotObservation) -> Result<OperatingPoint, DpmError> {
         let gross = self
             .allocation
             .get((obs.slot as usize) % self.allocation.len());
@@ -70,17 +75,17 @@ impl Governor for AnalyticGovernor {
         let floor = self.platform.power.all_standby().value();
         let net = (gross * (1.0 - reserved_share) - floor).max(0.0);
         if net <= 1e-9 {
-            return OperatingPoint::OFF;
+            return Ok(OperatingPoint::OFF);
         }
         let pt = continuous_operating_point(&self.platform, watts(net));
         // Floor the continuous count: rounding up systematically overdraws
         // the battery (the closed form has no feedback to repay it).
         let n = (pt.n.floor() as usize).clamp(1, self.platform.workers());
         let f = self.snap_frequency(pt.f);
-        match self.platform.voltage_for(f) {
+        Ok(match self.platform.voltage_for(f) {
             Some(v) => OperatingPoint::new(n, f, v),
             None => OperatingPoint::OFF,
-        }
+        })
     }
 }
 
@@ -94,6 +99,7 @@ mod tests {
             seconds(4.8),
             vec![2.2, 2.0, 1.2, 1.2, 2.0, 2.3, 1.2, 0.9, 0.5, 0.5, 0.9, 1.1],
         )
+        .unwrap()
     }
 
     fn obs(slot: u64) -> SlotObservation {
@@ -109,9 +115,9 @@ mod tests {
 
     #[test]
     fn snaps_to_discrete_frequencies() {
-        let mut g = AnalyticGovernor::new(Platform::pama(), allocation());
+        let mut g = AnalyticGovernor::new(Platform::pama(), allocation()).unwrap();
         for slot in 0..12 {
-            let p = g.decide(&obs(slot));
+            let p = g.decide(&obs(slot)).unwrap();
             if !p.is_off() {
                 assert!(
                     Platform::pama().frequencies.contains(&p.frequency),
@@ -125,7 +131,7 @@ mod tests {
     #[test]
     fn bigger_budget_means_no_less_power() {
         let platform = Platform::pama();
-        let mut g = AnalyticGovernor::new(platform.clone(), allocation());
+        let mut g = AnalyticGovernor::new(platform.clone(), allocation()).unwrap();
         let power_of = |p: OperatingPoint| {
             if p.is_off() {
                 0.0
@@ -134,23 +140,23 @@ mod tests {
             }
         };
         // Slot 5 (2.3 W budget) draws at least slot 8 (0.5 W budget).
-        let big = power_of(g.decide(&obs(5)));
-        let small = power_of(g.decide(&obs(8)));
+        let big = power_of(g.decide(&obs(5)).unwrap());
+        let small = power_of(g.decide(&obs(8)).unwrap());
         assert!(big >= small, "{big} vs {small}");
     }
 
     #[test]
     fn starvation_budget_turns_off() {
-        let tiny = PowerSeries::constant(seconds(4.8), 12, 0.01);
-        let mut g = AnalyticGovernor::new(Platform::pama(), tiny);
-        assert!(g.decide(&obs(0)).is_off());
+        let tiny = PowerSeries::constant(seconds(4.8), 12, 0.01).unwrap();
+        let mut g = AnalyticGovernor::new(Platform::pama(), tiny).unwrap();
+        assert!(g.decide(&obs(0)).unwrap().is_off());
     }
 
     #[test]
     fn cycles_per_period() {
-        let mut g = AnalyticGovernor::new(Platform::pama(), allocation());
-        let a = g.decide(&obs(2));
-        let b = g.decide(&obs(14)); // same slot next period
+        let mut g = AnalyticGovernor::new(Platform::pama(), allocation()).unwrap();
+        let a = g.decide(&obs(2)).unwrap();
+        let b = g.decide(&obs(14)).unwrap(); // same slot next period
         assert_eq!(a, b);
     }
 }

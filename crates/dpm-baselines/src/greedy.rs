@@ -7,6 +7,7 @@
 //! static baseline's brown-outs without fixing its wasted-charge problem
 //! (it cannot pre-spend energy it doesn't know is coming).
 
+use dpm_core::error::DpmError;
 use dpm_core::governor::{Governor, SlotObservation};
 use dpm_core::params::{OperatingPoint, ParetoTable};
 use dpm_core::platform::Platform;
@@ -24,15 +25,23 @@ pub struct GreedyGovernor {
 
 impl GreedyGovernor {
     /// Build with a drain horizon in slots (≥ 1).
-    pub fn new(platform: Platform, drain_horizon: f64) -> Self {
-        assert!(drain_horizon >= 1.0);
-        platform.validate().expect("invalid platform");
-        let pareto = ParetoTable::build(&platform);
-        Self {
+    ///
+    /// # Errors
+    /// [`DpmError::InvalidParameter`] on a horizon below one slot,
+    /// [`DpmError::InvalidPlatform`] on a degenerate platform.
+    pub fn new(platform: Platform, drain_horizon: f64) -> Result<Self, DpmError> {
+        if !(drain_horizon >= 1.0) {
+            return Err(DpmError::InvalidParameter {
+                name: "drain_horizon",
+                reason: format!("must be >= 1 slot, got {drain_horizon}"),
+            });
+        }
+        let pareto = ParetoTable::build(&platform)?;
+        Ok(Self {
             platform,
             pareto,
             drain_horizon,
-        }
+        })
     }
 
     /// The power budget for this slot.
@@ -58,8 +67,8 @@ impl Governor for GreedyGovernor {
         true // battery-aware: spends affordable energy on background work
     }
 
-    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint {
-        self.pareto.best_within(self.budget(obs)).point
+    fn decide(&mut self, obs: &SlotObservation) -> Result<OperatingPoint, DpmError> {
+        Ok(self.pareto.best_within(self.budget(obs)).point)
     }
 }
 
@@ -83,34 +92,34 @@ mod tests {
     fn idle_with_energy_still_runs_background_work() {
         // Greedy uses surplus energy (background science), so an empty
         // backlog with a charged battery still activates workers.
-        let mut g = GreedyGovernor::new(Platform::pama(), 4.0);
+        let mut g = GreedyGovernor::new(Platform::pama(), 4.0).unwrap();
         assert!(g.uses_surplus_energy());
-        assert!(!g.decide(&obs(16.0, 11.3, 0)).is_off());
+        assert!(!g.decide(&obs(16.0, 11.3, 0)).unwrap().is_off());
     }
 
     #[test]
     fn full_battery_and_sun_runs_hard() {
-        let mut g = GreedyGovernor::new(Platform::pama(), 4.0);
-        let p = g.decide(&obs(16.0, 2.36 * 4.8, 5));
+        let mut g = GreedyGovernor::new(Platform::pama(), 4.0).unwrap();
+        let p = g.decide(&obs(16.0, 2.36 * 4.8, 5)).unwrap();
         // Budget ≈ 15.5/(4·4.8) + 2.36 ≈ 3.17 W ⇒ a hefty point.
         assert!(p.workers >= 4, "{p}");
     }
 
     #[test]
     fn empty_battery_throttles_down() {
-        let mut g = GreedyGovernor::new(Platform::pama(), 4.0);
-        let p = g.decide(&obs(0.6, 0.0, 5));
+        let mut g = GreedyGovernor::new(Platform::pama(), 4.0).unwrap();
+        let p = g.decide(&obs(0.6, 0.0, 5)).unwrap();
         // Budget ≈ 0.1/(19.2) ≈ 5 mW: below even the standby floor ⇒ off.
         assert!(p.is_off(), "{p}");
     }
 
     #[test]
     fn longer_horizon_is_more_conservative() {
-        let mut fast = GreedyGovernor::new(Platform::pama(), 1.0);
-        let mut slow = GreedyGovernor::new(Platform::pama(), 12.0);
+        let mut fast = GreedyGovernor::new(Platform::pama(), 1.0).unwrap();
+        let mut slow = GreedyGovernor::new(Platform::pama(), 12.0).unwrap();
         let o = obs(8.0, 0.0, 5);
-        let pf = fast.decide(&o);
-        let ps = slow.decide(&o);
+        let pf = fast.decide(&o).unwrap();
+        let ps = slow.decide(&o).unwrap();
         let power = |p: OperatingPoint| {
             if p.is_off() {
                 0.0

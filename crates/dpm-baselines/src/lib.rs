@@ -19,6 +19,9 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// `!(x > 0.0)`-style checks are deliberate: unlike `x <= 0.0` they also
+// reject NaN, which is exactly what the validation layer is for.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod analytic;
 pub mod greedy;

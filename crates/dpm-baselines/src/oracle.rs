@@ -5,6 +5,7 @@
 //! governor can be compared against; any gap between the proposed
 //! controller and the oracle is the price of forecasting error.
 
+use dpm_core::error::DpmError;
 use dpm_core::governor::{Governor, SlotObservation};
 use dpm_core::params::{OperatingPoint, ParameterSchedule};
 
@@ -16,13 +17,21 @@ pub struct OracleGovernor {
 
 impl OracleGovernor {
     /// Replay an explicit point sequence, cycled.
-    pub fn new(points: Vec<OperatingPoint>) -> Self {
-        assert!(!points.is_empty(), "oracle needs at least one slot");
-        Self { points }
+    ///
+    /// # Errors
+    /// [`DpmError::EmptyScheduleWindow`] on an empty sequence.
+    pub fn new(points: Vec<OperatingPoint>) -> Result<Self, DpmError> {
+        if points.is_empty() {
+            return Err(DpmError::EmptyScheduleWindow);
+        }
+        Ok(Self { points })
     }
 
     /// Replay an Algorithm 2 plan.
-    pub fn from_schedule(schedule: &ParameterSchedule) -> Self {
+    ///
+    /// # Errors
+    /// [`DpmError::EmptyScheduleWindow`] on a plan with no slots.
+    pub fn from_schedule(schedule: &ParameterSchedule) -> Result<Self, DpmError> {
         Self::new(schedule.slots.iter().map(|s| s.point).collect())
     }
 
@@ -41,8 +50,12 @@ impl Governor for OracleGovernor {
         true // replays the proposed plan, including its background work
     }
 
-    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint {
-        self.points[(obs.slot as usize) % self.points.len()]
+    fn decide(&mut self, obs: &SlotObservation) -> Result<OperatingPoint, DpmError> {
+        // The constructor guaranteed a non-empty cycle.
+        self.points
+            .get((obs.slot as usize) % self.points.len())
+            .copied()
+            .ok_or(DpmError::EmptyScheduleWindow)
     }
 }
 
@@ -66,10 +79,10 @@ mod tests {
     fn replays_and_cycles() {
         let a = OperatingPoint::new(1, Hertz::from_mhz(20.0), volts(3.3));
         let b = OperatingPoint::new(7, Hertz::from_mhz(80.0), volts(3.3));
-        let mut g = OracleGovernor::new(vec![a, b]);
-        assert_eq!(g.decide(&obs(0)), a);
-        assert_eq!(g.decide(&obs(1)), b);
-        assert_eq!(g.decide(&obs(2)), a);
+        let mut g = OracleGovernor::new(vec![a, b]).unwrap();
+        assert_eq!(g.decide(&obs(0)).unwrap(), a);
+        assert_eq!(g.decide(&obs(1)).unwrap(), b);
+        assert_eq!(g.decide(&obs(2)).unwrap(), a);
         assert_eq!(g.period_slots(), 2);
     }
 
@@ -82,18 +95,25 @@ mod tests {
         let charging = PowerSeries::new(
             Seconds(4.8),
             vec![2.36; 6].into_iter().chain(vec![0.0; 6]).collect(),
-        );
-        let alloc = PowerSeries::constant(Seconds(4.8), 12, 1.1);
-        let plan = ParameterScheduler::new(platform).plan(&alloc, &charging, joules(8.0));
-        let mut g = OracleGovernor::from_schedule(&plan);
+        )
+        .unwrap();
+        let alloc = PowerSeries::constant(Seconds(4.8), 12, 1.1).unwrap();
+        let plan = ParameterScheduler::new(platform)
+            .unwrap()
+            .plan(&alloc, &charging, joules(8.0))
+            .unwrap();
+        let mut g = OracleGovernor::from_schedule(&plan).unwrap();
         assert_eq!(g.period_slots(), 12);
         // The replayed point matches the planned one.
-        assert_eq!(g.decide(&obs(3)), plan.slots[3].point);
+        assert_eq!(g.decide(&obs(3)).unwrap(), plan.slots[3].point);
     }
 
     #[test]
-    #[should_panic(expected = "at least one slot")]
     fn rejects_empty_schedule() {
-        OracleGovernor::new(vec![]);
+        use dpm_core::error::DpmError;
+        assert!(matches!(
+            OracleGovernor::new(vec![]),
+            Err(DpmError::EmptyScheduleWindow)
+        ));
     }
 }

@@ -12,6 +12,7 @@
 //! it wastes charge when the battery pins at `C_max` during quiet sunlit
 //! stretches and browns out in busy eclipses.
 
+use dpm_core::error::DpmError;
 use dpm_core::governor::{Governor, SlotObservation};
 use dpm_core::params::OperatingPoint;
 use dpm_core::platform::Platform;
@@ -24,15 +25,30 @@ pub struct StaticGovernor {
 
 impl StaticGovernor {
     /// Run at `point` whenever there is work.
-    pub fn new(point: OperatingPoint) -> Self {
-        assert!(!point.is_off(), "the static point must do work");
-        Self { point }
+    ///
+    /// # Errors
+    /// [`DpmError::InvalidParameter`] if `point` is off — a static
+    /// governor that never does work is a misconfiguration.
+    pub fn new(point: OperatingPoint) -> Result<Self, DpmError> {
+        if point.is_off() {
+            return Err(DpmError::InvalidParameter {
+                name: "point",
+                reason: "the static point must do work".into(),
+            });
+        }
+        Ok(Self { point })
     }
 
     /// The paper's configuration: every worker at the maximum frequency.
-    pub fn full_power(platform: &Platform) -> Self {
+    ///
+    /// # Errors
+    /// [`DpmError::NoOperatingPoint`] if the platform's V/f map cannot
+    /// supply its own maximum frequency.
+    pub fn full_power(platform: &Platform) -> Result<Self, DpmError> {
         let f = platform.f_max();
-        let v = platform.voltage_for(f).expect("f_max attainable");
+        let v = platform.voltage_for(f).ok_or_else(|| {
+            DpmError::NoOperatingPoint(format!("no supply voltage for f_max = {f}"))
+        })?;
         Self::new(OperatingPoint::new(platform.workers(), f, v))
     }
 
@@ -47,12 +63,12 @@ impl Governor for StaticGovernor {
         "static"
     }
 
-    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint {
-        if obs.backlog > 0 {
+    fn decide(&mut self, obs: &SlotObservation) -> Result<OperatingPoint, DpmError> {
+        Ok(if obs.backlog > 0 {
             self.point
         } else {
             OperatingPoint::OFF
-        }
+        })
     }
 }
 
@@ -74,24 +90,27 @@ mod tests {
 
     #[test]
     fn off_when_idle_on_when_busy() {
-        let mut g = StaticGovernor::full_power(&Platform::pama());
-        assert!(g.decide(&obs(0)).is_off());
-        let p = g.decide(&obs(3));
+        let mut g = StaticGovernor::full_power(&Platform::pama()).unwrap();
+        assert!(g.decide(&obs(0)).unwrap().is_off());
+        let p = g.decide(&obs(3)).unwrap();
         assert_eq!(p.workers, 7);
         assert_eq!(p.frequency, dpm_core::units::Hertz::from_mhz(80.0));
     }
 
     #[test]
     fn ignores_battery_state() {
-        let mut g = StaticGovernor::full_power(&Platform::pama());
+        let mut g = StaticGovernor::full_power(&Platform::pama()).unwrap();
         let mut low = obs(1);
         low.battery = joules(0.6); // nearly empty — static doesn't care
-        assert!(!g.decide(&low).is_off());
+        assert!(!g.decide(&low).unwrap().is_off());
     }
 
     #[test]
-    #[should_panic(expected = "must do work")]
     fn rejects_off_point() {
-        StaticGovernor::new(OperatingPoint::OFF);
+        use dpm_core::error::DpmError;
+        assert!(matches!(
+            StaticGovernor::new(OperatingPoint::OFF),
+            Err(DpmError::InvalidParameter { name: "point", .. })
+        ));
     }
 }

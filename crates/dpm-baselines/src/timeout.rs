@@ -2,6 +2,7 @@
 //! dynamic power management … components are turned off after a fixed
 //! amount of idling time" (paper §1).
 
+use dpm_core::error::DpmError;
 use dpm_core::governor::{Governor, SlotObservation};
 use dpm_core::params::OperatingPoint;
 
@@ -17,13 +18,21 @@ impl TimeoutGovernor {
     /// Run at `point` while busy; stay on through `timeout_slots` idle
     /// slots before turning off (0 degenerates to [`super::StaticGovernor`]
     /// behaviour).
-    pub fn new(point: OperatingPoint, timeout_slots: u64) -> Self {
-        assert!(!point.is_off(), "the active point must do work");
-        Self {
+    ///
+    /// # Errors
+    /// [`DpmError::InvalidParameter`] if `point` is off.
+    pub fn new(point: OperatingPoint, timeout_slots: u64) -> Result<Self, DpmError> {
+        if point.is_off() {
+            return Err(DpmError::InvalidParameter {
+                name: "point",
+                reason: "the active point must do work".into(),
+            });
+        }
+        Ok(Self {
             point,
             timeout_slots,
             idle_slots: 0,
-        }
+        })
     }
 
     /// Slots currently spent idle.
@@ -37,8 +46,8 @@ impl Governor for TimeoutGovernor {
         "timeout"
     }
 
-    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint {
-        if obs.backlog > 0 {
+    fn decide(&mut self, obs: &SlotObservation) -> Result<OperatingPoint, DpmError> {
+        Ok(if obs.backlog > 0 {
             self.idle_slots = 0;
             self.point
         } else {
@@ -48,7 +57,7 @@ impl Governor for TimeoutGovernor {
             } else {
                 OperatingPoint::OFF
             }
-        }
+        })
     }
 }
 
@@ -74,27 +83,36 @@ mod tests {
 
     #[test]
     fn stays_on_through_the_holdoff() {
-        let mut g = TimeoutGovernor::new(point(), 2);
-        assert!(!g.decide(&obs(0, 1)).is_off()); // busy
-        assert!(!g.decide(&obs(1, 0)).is_off()); // idle 1
-        assert!(!g.decide(&obs(2, 0)).is_off()); // idle 2
-        assert!(g.decide(&obs(3, 0)).is_off()); // idle 3 > timeout
+        let mut g = TimeoutGovernor::new(point(), 2).unwrap();
+        assert!(!g.decide(&obs(0, 1)).unwrap().is_off()); // busy
+        assert!(!g.decide(&obs(1, 0)).unwrap().is_off()); // idle 1
+        assert!(!g.decide(&obs(2, 0)).unwrap().is_off()); // idle 2
+        assert!(g.decide(&obs(3, 0)).unwrap().is_off()); // idle 3 > timeout
     }
 
     #[test]
     fn work_resets_the_timer() {
-        let mut g = TimeoutGovernor::new(point(), 1);
-        g.decide(&obs(0, 0));
-        g.decide(&obs(1, 1)); // busy resets
+        let mut g = TimeoutGovernor::new(point(), 1).unwrap();
+        g.decide(&obs(0, 0)).unwrap();
+        g.decide(&obs(1, 1)).unwrap(); // busy resets
         assert_eq!(g.idle_slots(), 0);
-        assert!(!g.decide(&obs(2, 0)).is_off());
-        assert!(g.decide(&obs(3, 0)).is_off());
+        assert!(!g.decide(&obs(2, 0)).unwrap().is_off());
+        assert!(g.decide(&obs(3, 0)).unwrap().is_off());
     }
 
     #[test]
     fn zero_timeout_behaves_like_static() {
-        let mut g = TimeoutGovernor::new(point(), 0);
-        assert!(!g.decide(&obs(0, 1)).is_off());
-        assert!(g.decide(&obs(1, 0)).is_off());
+        let mut g = TimeoutGovernor::new(point(), 0).unwrap();
+        assert!(!g.decide(&obs(0, 1)).unwrap().is_off());
+        assert!(g.decide(&obs(1, 0)).unwrap().is_off());
+    }
+
+    #[test]
+    fn rejects_off_point() {
+        use dpm_core::error::DpmError;
+        assert!(matches!(
+            TimeoutGovernor::new(OperatingPoint::OFF, 2),
+            Err(DpmError::InvalidParameter { name: "point", .. })
+        ));
     }
 }

@@ -27,8 +27,8 @@ proptest! {
         backlog in 0usize..20,
         slot in 0u64..100,
     ) {
-        let mut g = StaticGovernor::full_power(&Platform::pama());
-        let p = g.decide(&obs(slot, battery, supplied, backlog));
+        let mut g = StaticGovernor::full_power(&Platform::pama()).unwrap();
+        let p = g.decide(&obs(slot, battery, supplied, backlog)).unwrap();
         prop_assert_eq!(p.is_off(), backlog == 0);
         if !p.is_off() {
             prop_assert_eq!(p.workers, 7);
@@ -39,13 +39,13 @@ proptest! {
     #[test]
     fn timeout_holds_exactly_n_slots(timeout in 0u64..6) {
         let point = OperatingPoint::new(2, Hertz::from_mhz(40.0), volts(3.3));
-        let mut g = TimeoutGovernor::new(point, timeout);
+        let mut g = TimeoutGovernor::new(point, timeout).unwrap();
         // One busy slot, then idle forever.
-        prop_assert!(!g.decide(&obs(0, 8.0, 0.0, 1)).is_off());
+        prop_assert!(!g.decide(&obs(0, 8.0, 0.0, 1)).unwrap().is_off());
         for k in 1..=timeout {
-            prop_assert!(!g.decide(&obs(k, 8.0, 0.0, 0)).is_off(), "slot {k}");
+            prop_assert!(!g.decide(&obs(k, 8.0, 0.0, 0)).unwrap().is_off(), "slot {k}");
         }
-        prop_assert!(g.decide(&obs(timeout + 1, 8.0, 0.0, 0)).is_off());
+        prop_assert!(g.decide(&obs(timeout + 1, 8.0, 0.0, 0)).unwrap().is_off());
     }
 
     /// Greedy never selects a point whose power exceeds its budget
@@ -59,9 +59,9 @@ proptest! {
         horizon in 1.0f64..12.0,
     ) {
         let platform = Platform::pama();
-        let mut g = GreedyGovernor::new(platform.clone(), horizon);
+        let mut g = GreedyGovernor::new(platform.clone(), horizon).unwrap();
         let o = obs(1, battery, supplied, backlog);
-        let p = g.decide(&o);
+        let p = g.decide(&o).unwrap();
         let power = if p.is_off() {
             platform.power.all_standby().value()
         } else {
@@ -83,7 +83,7 @@ proptest! {
         supplied in 0.0f64..12.0,
     ) {
         let platform = Platform::pama();
-        let mut g = GreedyGovernor::new(platform.clone(), 4.0);
+        let mut g = GreedyGovernor::new(platform.clone(), 4.0).unwrap();
         let power_of = |p: OperatingPoint| {
             if p.is_off() {
                 0.0
@@ -91,8 +91,8 @@ proptest! {
                 platform.board_power(p.workers, p.frequency).value()
             }
         };
-        let lo = power_of(g.decide(&obs(1, b_lo, supplied, 3)));
-        let hi = power_of(g.decide(&obs(1, b_lo + delta, supplied, 3)));
+        let lo = power_of(g.decide(&obs(1, b_lo, supplied, 3)).unwrap());
+        let hi = power_of(g.decide(&obs(1, b_lo + delta, supplied, 3)).unwrap());
         prop_assert!(hi + 1e-12 >= lo);
     }
 
@@ -108,8 +108,39 @@ proptest! {
                 )
             })
             .collect();
-        let mut g = OracleGovernor::new(points.clone());
-        let p = g.decide(&obs(slot, 8.0, 0.0, 1));
+        let mut g = OracleGovernor::new(points.clone()).unwrap();
+        let p = g.decide(&obs(slot, 8.0, 0.0, 1)).unwrap();
         prop_assert_eq!(p, points[(slot as usize) % len]);
+    }
+
+    /// Fallible-core contract: no governor panics on arbitrary finite
+    /// observations — including degenerate ones (zero battery, zero
+    /// supply, huge slot counters, empty backlog). Every `decide` on a
+    /// validly constructed governor returns `Ok`; the constructors reject
+    /// bad configurations with a structured error, never an abort.
+    #[test]
+    fn governors_never_panic_on_arbitrary_observations(
+        slot in 0u64..10_000,
+        battery in 0.0f64..32.0,
+        supplied in 0.0f64..64.0,
+        backlog in 0usize..1_000,
+        horizon in 0.0f64..12.0,
+        timeout in 0u64..32,
+    ) {
+        let platform = Platform::pama();
+        let o = obs(slot, battery, supplied, backlog);
+        let point = OperatingPoint::new(2, Hertz::from_mhz(40.0), volts(3.3));
+
+        prop_assert!(StaticGovernor::full_power(&platform).unwrap().decide(&o).is_ok());
+        prop_assert!(TimeoutGovernor::new(point, timeout).unwrap().decide(&o).is_ok());
+        prop_assert!(OracleGovernor::new(vec![point]).unwrap().decide(&o).is_ok());
+        // A sub-slot horizon is a structured rejection, not a panic.
+        match GreedyGovernor::new(platform, horizon) {
+            Ok(mut g) => prop_assert!(g.decide(&o).is_ok()),
+            Err(e) => {
+                prop_assert!(horizon < 1.0, "{e}");
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
     }
 }

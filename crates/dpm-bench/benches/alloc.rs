@@ -15,7 +15,7 @@ fn bench_paper_tables(c: &mut Criterion) {
     let platform = Platform::pama();
     // Log the reproduced iteration counts.
     for s in scenarios::all() {
-        let iters = experiments::table2_4(&platform, &s);
+        let iters = experiments::table2_4(&platform, &s).unwrap();
         println!(
             "[table2/4] {}: {} iterations, feasible = {}",
             s.name,
@@ -28,7 +28,7 @@ fn bench_paper_tables(c: &mut Criterion) {
     for s in scenarios::all() {
         let problem = s.allocation_problem(&platform);
         group.bench_with_input(BenchmarkId::from_parameter(&s.name), &problem, |b, p| {
-            b.iter(|| black_box(InitialAllocator::new(p.clone()).compute()))
+            b.iter(|| black_box(InitialAllocator::new(p.clone()).unwrap().compute()))
         });
     }
     group.finish();
@@ -41,7 +41,8 @@ fn bench_reshape(c: &mut Criterion) {
         vec![
             4.0, 5.0, -9.0, -8.0, 4.0, 6.0, -3.0, -9.0, 5.0, 5.0, -2.0, 2.0,
         ],
-    );
+    )
+    .unwrap();
     let traj = net.cumulative(joules(8.0));
     let limits = Platform::pama().battery;
     c.bench_function("alloc/algorithm1_reshape", |b| {
@@ -59,8 +60,10 @@ fn bench_strategy_ablation(c: &mut Criterion) {
             ("even", ReshapeStrategy::EvenSlope),
         ] {
             let alloc = InitialAllocator::new(s.allocation_problem(&platform))
+                .unwrap()
                 .with_strategy(strat)
-                .compute();
+                .compute()
+                .unwrap();
             println!(
                 "[alloc-strategy] {} {}: {} iterations, feasible = {}",
                 s.name,
@@ -80,6 +83,7 @@ fn bench_strategy_ablation(c: &mut Criterion) {
             b.iter(|| {
                 black_box(
                     InitialAllocator::new(problem.clone())
+                        .unwrap()
                         .with_strategy(st)
                         .compute(),
                 )
@@ -99,10 +103,11 @@ fn bench_scaling(c: &mut Criterion) {
             .tau(seconds(57.6 / slots as f64))
             .demand_peak(slots / 4, 1.2)
             .demand_peak(3 * slots / 4, 0.8)
-            .build();
+            .build()
+            .unwrap();
         let problem = scenario.allocation_problem(&platform);
         group.bench_with_input(BenchmarkId::from_parameter(slots), &problem, |b, p| {
-            b.iter(|| black_box(InitialAllocator::new(p.clone()).compute()))
+            b.iter(|| black_box(InitialAllocator::new(p.clone()).unwrap().compute()))
         });
     }
     group.finish();

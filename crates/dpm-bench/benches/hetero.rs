@@ -13,7 +13,7 @@ use std::hint::black_box;
 fn bench_mixed_table(c: &mut Criterion) {
     let platform = Platform::pama();
     let mixed = MixedFrequencyTable::build(&platform);
-    let homo = ParetoTable::build(&platform);
+    let homo = ParetoTable::build(&platform).unwrap();
     println!(
         "[hetero] homogeneous frontier: {} points; mixed-frequency frontier: {} points",
         homo.frontier().len(),
@@ -61,7 +61,7 @@ fn bench_hetero_allocator(c: &mut Criterion) {
             chip_power: watts(0.12),
         },
     ];
-    let alloc = HeteroAllocator::new(classes);
+    let alloc = HeteroAllocator::new(classes).unwrap();
     let mut group = c.benchmark_group("hetero/greedy_allocate");
     for budget in [0.5f64, 2.0, 6.0] {
         group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &w| {

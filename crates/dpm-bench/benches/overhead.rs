@@ -14,7 +14,7 @@ use std::hint::black_box;
 fn bench_overhead_sweep(c: &mut Criterion) {
     let s = scenarios::scenario_one();
     let base = Platform::pama();
-    let alloc = experiments::initial_allocation(&base, &s);
+    let alloc = experiments::initial_allocation(&base, &s).unwrap();
 
     println!("[overhead] OH (J)  switches  jobs/period  energy (J)");
     let mut group = c.benchmark_group("overhead/plan");
@@ -24,8 +24,10 @@ fn bench_overhead_sweep(c: &mut Criterion) {
             processor_change: joules(oh),
             frequency_change: joules(2.0 * oh),
         };
-        let scheduler = ParameterScheduler::new(platform.clone());
-        let plan = scheduler.plan(&alloc.allocation, &s.charging, s.initial_charge);
+        let scheduler = ParameterScheduler::new(platform.clone()).unwrap();
+        let plan = scheduler
+            .plan(&alloc.allocation, &s.charging, s.initial_charge)
+            .unwrap();
         println!(
             "[overhead] {:>6.2}  {:>8}  {:>11.2}  {:>9.2}",
             oh,
@@ -34,7 +36,7 @@ fn bench_overhead_sweep(c: &mut Criterion) {
             plan.total_energy(&platform).value()
         );
         group.bench_with_input(BenchmarkId::from_parameter(oh), &platform, |b, p| {
-            let sched = ParameterScheduler::new(p.clone());
+            let sched = ParameterScheduler::new(p.clone()).unwrap();
             b.iter(|| black_box(sched.plan(&alloc.allocation, &s.charging, s.initial_charge)))
         });
     }
@@ -51,8 +53,8 @@ fn bench_update_period(c: &mut Criterion) {
         let mut platform = base.clone();
         platform.tau = dpm_core::units::seconds(4.8 / divide as f64);
         let s = scenarios::scenario_one();
-        let charging = s.charging.resample(platform.tau);
-        let demand = s.use_power.resample(platform.tau);
+        let charging = s.charging.resample(platform.tau).unwrap();
+        let demand = s.use_power.resample(platform.tau).unwrap();
         let problem = dpm_core::alloc::AllocationProblem {
             charging: charging.clone(),
             demand,
@@ -61,8 +63,11 @@ fn bench_update_period(c: &mut Criterion) {
             p_floor: platform.power.all_standby(),
             p_ceiling: platform.board_power(platform.workers(), platform.f_max()),
         };
-        let alloc = dpm_core::alloc::InitialAllocator::new(problem).compute();
-        let scheduler = ParameterScheduler::new(platform.clone());
+        let alloc = dpm_core::alloc::InitialAllocator::new(problem)
+            .unwrap()
+            .compute()
+            .unwrap();
+        let scheduler = ParameterScheduler::new(platform.clone()).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(12 * divide), &divide, |b, _| {
             b.iter(|| black_box(scheduler.plan(&alloc.allocation, &charging, s.initial_charge)))
         });

@@ -24,7 +24,8 @@ fn dense_platform(workers: usize, freqs: usize) -> Platform {
         p.v_max,
         0.0,
         p.processors,
-    );
+    )
+    .expect("dense platform calibration constants are valid");
     p
 }
 
@@ -32,7 +33,7 @@ fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("pareto/build");
     for (workers, freqs) in [(7usize, 3usize), (15, 8), (31, 16), (63, 32)] {
         let platform = dense_platform(workers, freqs);
-        let pruned = ParetoTable::build(&platform);
+        let pruned = ParetoTable::build(&platform).unwrap();
         println!(
             "[pareto] {workers}w x {freqs}f: {} raw pairs -> {} on frontier ({:.0}% pruned)",
             pruned.raw_count(),
@@ -57,8 +58,8 @@ fn bench_lookup(c: &mut Criterion) {
     let mut group = c.benchmark_group("pareto/lookup");
     for (workers, freqs) in [(7usize, 3usize), (63, 32)] {
         let platform = dense_platform(workers, freqs);
-        let pruned = ParetoTable::build(&platform);
-        let unpruned = ParetoTable::build_unpruned(&platform);
+        let pruned = ParetoTable::build(&platform).unwrap();
+        let unpruned = ParetoTable::build_unpruned(&platform).unwrap();
         let budgets: Vec<_> = (0..256).map(|i| watts(0.02 * i as f64)).collect();
         group.bench_with_input(
             BenchmarkId::new("binary_search", format!("{workers}x{freqs}")),

@@ -14,7 +14,8 @@ use std::hint::black_box;
 fn bench_tables_3_5(c: &mut Criterion) {
     let platform = Platform::pama();
     for s in scenarios::all() {
-        let (trace, report) = experiments::table3_5(&platform, &s, experiments::DEFAULT_PERIODS);
+        let (trace, report) =
+            experiments::table3_5(&platform, &s, experiments::DEFAULT_PERIODS).unwrap();
         println!(
             "[table3/5] {}: {} slots, {}",
             s.name,
@@ -68,9 +69,10 @@ fn bench_redistribute(c: &mut Criterion) {
 fn bench_controller_step(c: &mut Criterion) {
     let platform = Platform::pama();
     let s = scenarios::scenario_one();
-    let alloc = experiments::initial_allocation(&platform, &s);
+    let alloc = experiments::initial_allocation(&platform, &s).unwrap();
     c.bench_function("runtime/controller_decide", |b| {
-        let mut governor = DpmController::new(platform.clone(), &alloc, s.charging.clone());
+        let mut governor =
+            DpmController::new(platform.clone(), &alloc, s.charging.clone()).unwrap();
         let mut slot = 0u64;
         b.iter(|| {
             let obs = SlotObservation {

@@ -53,7 +53,7 @@ fn bench_simulator_throughput(c: &mut Criterion) {
         group.throughput(Throughput::Elements((periods * 12) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(periods), &periods, |b, &p| {
             b.iter(|| {
-                let mut g = StaticGovernor::full_power(&platform);
+                let mut g = StaticGovernor::full_power(&platform).unwrap();
                 black_box(experiments::run_governor(&platform, &s, &mut g, p))
             })
         });

@@ -16,7 +16,7 @@ fn bench_table1(c: &mut Criterion) {
     let all = scenarios::all();
 
     // Print the reproduced table once, so bench logs carry the numbers.
-    let rows = experiments::table1(&platform, &all, experiments::DEFAULT_PERIODS);
+    let rows = experiments::table1(&platform, &all, experiments::DEFAULT_PERIODS).unwrap();
     for row in &rows {
         println!(
             "[table1] {:<10} wasted {:>7.2}/{:>7.2} J  undersupplied {:>7.2}/{:>7.2} J",
@@ -31,8 +31,9 @@ fn bench_table1(c: &mut Criterion) {
             scenario,
             |b, s| {
                 b.iter(|| {
-                    let alloc = experiments::initial_allocation(&platform, s);
-                    let mut g = DpmController::new(platform.clone(), &alloc, s.charging.clone());
+                    let alloc = experiments::initial_allocation(&platform, s).unwrap();
+                    let mut g =
+                        DpmController::new(platform.clone(), &alloc, s.charging.clone()).unwrap();
                     black_box(experiments::run_governor(
                         &platform,
                         s,
@@ -47,7 +48,7 @@ fn bench_table1(c: &mut Criterion) {
             scenario,
             |b, s| {
                 b.iter(|| {
-                    let mut g = StaticGovernor::full_power(&platform);
+                    let mut g = StaticGovernor::full_power(&platform).unwrap();
                     black_box(experiments::run_governor(
                         &platform,
                         s,

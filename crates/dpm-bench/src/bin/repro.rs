@@ -6,12 +6,21 @@
 //! repro table2 table4    # any subset
 //! repro --json out.json  # also dump machine-readable results
 //! ```
+//!
+//! Exit codes: 0 on success, 1 when an experiment fails (infeasible
+//! scenario, simulation error, unwritable output), 2 on a usage error
+//! (unknown selector, missing `--json` path).
 
 use dpm_bench::{experiments, format};
 use dpm_core::platform::Platform;
 use dpm_workloads::scenarios;
 use serde::Serialize;
 use std::collections::BTreeSet;
+
+/// The artifacts `repro` knows how to regenerate.
+const SELECTORS: [&str; 7] = [
+    "fig3", "fig4", "table1", "table2", "table3", "table4", "table5",
+];
 
 #[derive(Serialize)]
 struct JsonDump {
@@ -35,9 +44,28 @@ fn main() {
                 std::process::exit(2);
             }
         } else {
-            wanted.insert(a.to_lowercase());
+            let key = a.to_lowercase();
+            if !SELECTORS.contains(&key.as_str()) {
+                eprintln!(
+                    "unknown selector `{a}`; valid selectors are: {}",
+                    SELECTORS.join(" ")
+                );
+                std::process::exit(2);
+            }
+            wanted.insert(key);
         }
     }
+
+    if let Err(e) = run(&wanted, json_path) {
+        eprintln!("repro: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(
+    wanted: &BTreeSet<String>,
+    json_path: Option<String>,
+) -> Result<(), Box<dyn std::error::Error>> {
     let all = wanted.is_empty();
     let want = |k: &str| all || wanted.contains(k);
 
@@ -60,7 +88,7 @@ fn main() {
         );
     }
     if want("table2") {
-        let iters = experiments::table2_4(&platform, &s1);
+        let iters = experiments::table2_4(&platform, &s1)?;
         println!(
             "{}",
             format::table2_4(
@@ -70,7 +98,7 @@ fn main() {
         );
     }
     if want("table4") {
-        let iters = experiments::table2_4(&platform, &s2);
+        let iters = experiments::table2_4(&platform, &s2)?;
         println!(
             "{}",
             format::table2_4(
@@ -80,7 +108,7 @@ fn main() {
         );
     }
     if want("table3") {
-        let (trace, report) = experiments::table3_5(&platform, &s1, experiments::DEFAULT_PERIODS);
+        let (trace, report) = experiments::table3_5(&platform, &s1, experiments::DEFAULT_PERIODS)?;
         println!(
             "{}",
             format::table3_5(
@@ -92,7 +120,7 @@ fn main() {
         println!();
     }
     if want("table5") {
-        let (trace, report) = experiments::table3_5(&platform, &s2, experiments::DEFAULT_PERIODS);
+        let (trace, report) = experiments::table3_5(&platform, &s2, experiments::DEFAULT_PERIODS)?;
         println!(
             "{}",
             format::table3_5(
@@ -108,16 +136,19 @@ fn main() {
             &platform,
             &[s1.clone(), s2.clone()],
             experiments::DEFAULT_PERIODS,
-        );
+        )?;
         println!("{}", format::table1(&rows, &["Scenario 1", "Scenario 2"]));
-        let proposed = rows.iter().find(|r| r.governor == "proposed").unwrap();
-        let statik = rows.iter().find(|r| r.governor == "static").unwrap();
-        for i in 0..2 {
-            let ratio = statik.wasted[i] / proposed.wasted[i].max(1e-9);
-            println!(
-                "  scenario {}: static wastes {ratio:.1}x the energy of proposed",
-                i + 1
-            );
+        if let (Some(proposed), Some(statik)) = (
+            rows.iter().find(|r| r.governor == "proposed"),
+            rows.iter().find(|r| r.governor == "static"),
+        ) {
+            for i in 0..2 {
+                let ratio = statik.wasted[i] / proposed.wasted[i].max(1e-9);
+                println!(
+                    "  scenario {}: static wastes {ratio:.1}x the energy of proposed",
+                    i + 1
+                );
+            }
         }
         println!();
     }
@@ -127,19 +158,17 @@ fn main() {
             &platform,
             &[s1.clone(), s2.clone()],
             experiments::DEFAULT_PERIODS,
-        );
+        )?;
         let dump = JsonDump {
             table1: rows,
-            table2_iterations: experiments::table2_4(&platform, &s1).len(),
-            table4_iterations: experiments::table2_4(&platform, &s2).len(),
+            table2_iterations: experiments::table2_4(&platform, &s1)?.len(),
+            table4_iterations: experiments::table2_4(&platform, &s2)?.len(),
             fig3: experiments::figure(&s1),
             fig4: experiments::figure(&s2),
         };
-        let body = serde_json::to_string_pretty(&dump).expect("serializable");
-        std::fs::write(&path, body).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        });
+        let body = serde_json::to_string_pretty(&dump)?;
+        std::fs::write(&path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {path}");
     }
+    Ok(())
 }

@@ -11,6 +11,8 @@
 //! ```
 //!
 //! Output is CSV on stdout (one block per sweep), ready for plotting.
+//! Exit codes: 0 on success, 1 when a sweep point fails (infeasible
+//! scenario, simulation error), 2 on an unknown sweep name.
 
 use dpm_baselines::StaticGovernor;
 use dpm_bench::experiments;
@@ -22,8 +24,14 @@ use dpm_workloads::{scenarios, OrbitScenarioBuilder, Scenario};
 
 const PERIODS: usize = 4;
 
-fn run_pair(platform: &Platform, scenario: &Scenario, seed: Option<u64>) -> (SimReport, SimReport) {
-    let run = |gov: &mut dyn dpm_core::governor::Governor| -> SimReport {
+const SWEEPS: [&str; 4] = ["battery", "sunlit", "noise", "load"];
+
+fn run_pair(
+    platform: &Platform,
+    scenario: &Scenario,
+    seed: Option<u64>,
+) -> Result<(SimReport, SimReport), SimError> {
+    let run = |gov: &mut dyn dpm_core::governor::Governor| -> Result<SimReport, SimError> {
         let source: Box<dyn ChargingSource> = match seed {
             Some(s) => Box::new(NoisySource::new(
                 TraceSource::new(scenario.charging.clone()),
@@ -44,15 +52,15 @@ fn run_pair(platform: &Platform, scenario: &Scenario, seed: Option<u64>) -> (Sim
                 substeps: 8,
                 trace: false,
             },
-        )
+        )?
         .run(gov)
     };
-    let alloc = experiments::initial_allocation(platform, scenario);
-    let mut proposed = DpmController::new(platform.clone(), &alloc, scenario.charging.clone());
-    let rp = run(&mut proposed);
-    let mut statik = StaticGovernor::full_power(platform);
-    let rs = run(&mut statik);
-    (rp, rs)
+    let alloc = experiments::initial_allocation(platform, scenario)?;
+    let mut proposed = DpmController::new(platform.clone(), &alloc, scenario.charging.clone())?;
+    let rp = run(&mut proposed)?;
+    let mut statik = StaticGovernor::full_power(platform)?;
+    let rs = run(&mut statik)?;
+    Ok((rp, rs))
 }
 
 fn emit_header(sweep: &str, param: &str) {
@@ -71,21 +79,22 @@ fn emit(sweep: &str, value: f64, r: &SimReport) {
     );
 }
 
-fn sweep_battery() {
+fn sweep_battery() -> Result<(), SimError> {
     emit_header("battery", "cmax_j");
     let s = scenarios::scenario_one();
     for cmax in [4.0, 8.0, 16.0, 32.0, 64.0, 128.0] {
         let mut platform = Platform::pama();
-        platform.battery = BatteryLimits::new(joules(0.5), joules(cmax));
+        platform.battery = BatteryLimits::new(joules(0.5), joules(cmax))?;
         let mut scenario = s.clone();
         scenario.initial_charge = joules(0.5 * (0.5 + cmax));
-        let (rp, rs) = run_pair(&platform, &scenario, None);
+        let (rp, rs) = run_pair(&platform, &scenario, None)?;
         emit("battery", cmax, &rp);
         emit("battery", cmax, &rs);
     }
+    Ok(())
 }
 
-fn sweep_sunlit() {
+fn sweep_sunlit() -> Result<(), SimError> {
     emit_header("sunlit", "fraction");
     for f in [0.25, 0.4, 0.5, 0.65, 0.8] {
         let scenario = OrbitScenarioBuilder::new(format!("sun-{f}"))
@@ -93,52 +102,71 @@ fn sweep_sunlit() {
             .demand_base(0.5)
             .demand_peak(2, 1.2)
             .demand_peak(8, 0.9)
-            .build();
+            .build()?;
         let platform = Platform::pama();
-        let (rp, rs) = run_pair(&platform, &scenario, None);
+        let (rp, rs) = run_pair(&platform, &scenario, None)?;
         emit("sunlit", f, &rp);
         emit("sunlit", f, &rs);
     }
+    Ok(())
 }
 
-fn sweep_noise() {
+fn sweep_noise() -> Result<(), SimError> {
     emit_header("noise", "seed");
     let s = scenarios::scenario_one();
     let platform = Platform::pama();
     for seed in 1..=5u64 {
-        let (rp, rs) = run_pair(&platform, &s, Some(seed));
+        let (rp, rs) = run_pair(&platform, &s, Some(seed))?;
         emit("noise", seed as f64, &rp);
         emit("noise", seed as f64, &rs);
     }
+    Ok(())
 }
 
-fn sweep_load() {
+fn sweep_load() -> Result<(), SimError> {
     emit_header("load", "rate_scale");
     let base = scenarios::scenario_one();
     let platform = Platform::pama();
     for k in [0.25, 0.5, 1.0, 1.5, 2.0] {
         let mut scenario = base.clone();
         scenario.use_power = base.use_power.scale(k);
-        let (rp, rs) = run_pair(&platform, &scenario, None);
+        let (rp, rs) = run_pair(&platform, &scenario, None)?;
         emit("load", k, &rp);
         emit("load", k, &rs);
     }
+    Ok(())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    for a in &args {
+        if !SWEEPS.contains(&a.as_str()) {
+            eprintln!(
+                "unknown sweep `{a}`; valid sweeps are: {}",
+                SWEEPS.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
     let all = args.is_empty();
     let want = |k: &str| all || args.iter().any(|a| a == k);
-    if want("battery") {
-        sweep_battery();
-    }
-    if want("sunlit") {
-        sweep_sunlit();
-    }
-    if want("noise") {
-        sweep_noise();
-    }
-    if want("load") {
-        sweep_load();
+    let run = || -> Result<(), SimError> {
+        if want("battery") {
+            sweep_battery()?;
+        }
+        if want("sunlit") {
+            sweep_sunlit()?;
+        }
+        if want("noise") {
+            sweep_noise()?;
+        }
+        if want("load") {
+            sweep_load()?;
+        }
+        Ok(())
+    };
+    if let Err(e) = run() {
+        eprintln!("sweep: {e}");
+        std::process::exit(1);
     }
 }

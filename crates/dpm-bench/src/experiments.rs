@@ -8,6 +8,7 @@ use dpm_baselines::{
     AnalyticGovernor, GreedyGovernor, OracleGovernor, StaticGovernor, TimeoutGovernor,
 };
 use dpm_core::alloc::{AllocationIteration, InitialAllocation, InitialAllocator};
+use dpm_core::error::DpmError;
 use dpm_core::governor::Governor;
 use dpm_core::params::ParameterScheduler;
 use dpm_core::platform::Platform;
@@ -22,18 +23,38 @@ use serde::{Deserialize, Serialize};
 pub const DEFAULT_PERIODS: usize = 2;
 
 /// Compute the §4.1 initial allocation for a scenario (Tables 2 & 4).
-pub fn initial_allocation(platform: &Platform, scenario: &Scenario) -> InitialAllocation {
-    InitialAllocator::new(scenario.allocation_problem(platform)).compute()
+///
+/// # Errors
+/// Propagates [`DpmError`] when the scenario is infeasible for the
+/// platform.
+pub fn initial_allocation(
+    platform: &Platform,
+    scenario: &Scenario,
+) -> Result<InitialAllocation, DpmError> {
+    InitialAllocator::new(scenario.allocation_problem(platform))?.compute()
 }
 
 /// Build the proposed controller for a scenario.
-pub fn proposed_controller(platform: &Platform, scenario: &Scenario) -> DpmController {
-    let alloc = initial_allocation(platform, scenario);
+///
+/// # Errors
+/// Propagates [`DpmError`] from the allocation or the controller.
+pub fn proposed_controller(
+    platform: &Platform,
+    scenario: &Scenario,
+) -> Result<DpmController, DpmError> {
+    let alloc = initial_allocation(platform, scenario)?;
     DpmController::new(platform.clone(), &alloc, scenario.charging.clone())
 }
 
 /// Assemble the standard simulation for a scenario.
-pub fn simulation(platform: &Platform, scenario: &Scenario, periods: usize) -> Simulation {
+///
+/// # Errors
+/// Propagates [`SimError`] on a degenerate platform or scenario.
+pub fn simulation(
+    platform: &Platform,
+    scenario: &Scenario,
+    periods: usize,
+) -> Result<Simulation, SimError> {
     Simulation::new(
         platform.clone(),
         Box::new(TraceSource::new(scenario.charging.clone())),
@@ -49,13 +70,16 @@ pub fn simulation(platform: &Platform, scenario: &Scenario, periods: usize) -> S
 }
 
 /// Run one governor through a scenario and report.
+///
+/// # Errors
+/// Propagates [`SimError`] from assembly or the run itself.
 pub fn run_governor(
     platform: &Platform,
     scenario: &Scenario,
     governor: &mut dyn Governor,
     periods: usize,
-) -> SimReport {
-    simulation(platform, scenario, periods).run(governor)
+) -> Result<SimReport, SimError> {
+    simulation(platform, scenario, periods)?.run(governor)
 }
 
 /// One Table 1 row: a governor's waste/shortfall on both scenarios.
@@ -75,7 +99,14 @@ pub struct Table1Row {
 
 /// Table 1: proposed vs. static (plus the extra baselines) on both
 /// scenarios.
-pub fn table1(platform: &Platform, scenarios: &[Scenario], periods: usize) -> Vec<Table1Row> {
+///
+/// # Errors
+/// Propagates the first [`SimError`] from any governor/scenario pair.
+pub fn table1(
+    platform: &Platform,
+    scenarios: &[Scenario],
+    periods: usize,
+) -> Result<Vec<Table1Row>, SimError> {
     let mut rows: Vec<Table1Row> = Vec::new();
     let mut push = |name: &str, reports: Vec<SimReport>| {
         rows.push(Table1Row {
@@ -91,20 +122,20 @@ pub fn table1(platform: &Platform, scenarios: &[Scenario], periods: usize) -> Ve
     let reports: Vec<SimReport> = scenarios
         .iter()
         .map(|s| {
-            let mut g = proposed_controller(platform, s);
+            let mut g = proposed_controller(platform, s)?;
             run_governor(platform, s, &mut g, periods)
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     push("proposed", reports);
 
     // Static (the paper's comparator).
     let reports: Vec<SimReport> = scenarios
         .iter()
         .map(|s| {
-            let mut g = StaticGovernor::full_power(platform);
+            let mut g = StaticGovernor::full_power(platform)?;
             run_governor(platform, s, &mut g, periods)
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     push("static", reports);
 
     // Timeout (related-work baseline).
@@ -112,69 +143,80 @@ pub fn table1(platform: &Platform, scenarios: &[Scenario], periods: usize) -> Ve
         .iter()
         .map(|s| {
             let f = platform.f_max();
-            let v = platform.voltage_for(f).expect("f_max attainable");
+            let v = platform.voltage_for(f).ok_or_else(|| {
+                DpmError::NoOperatingPoint(format!("no supply voltage for f_max = {f}"))
+            })?;
             let point = dpm_core::params::OperatingPoint::new(platform.workers(), f, v);
-            let mut g = TimeoutGovernor::new(point, 2);
+            let mut g = TimeoutGovernor::new(point, 2)?;
             run_governor(platform, s, &mut g, periods)
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     push("timeout", reports);
 
     // Greedy (battery-aware myopic).
     let reports: Vec<SimReport> = scenarios
         .iter()
         .map(|s| {
-            let mut g = GreedyGovernor::new(platform.clone(), 4.0);
+            let mut g = GreedyGovernor::new(platform.clone(), 4.0)?;
             run_governor(platform, s, &mut g, periods)
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     push("greedy", reports);
 
     // Analytic (Eq. 18 closed form on the same allocation, no feedback).
     let reports: Vec<SimReport> = scenarios
         .iter()
         .map(|s| {
-            let alloc = initial_allocation(platform, s);
-            let mut g = AnalyticGovernor::new(platform.clone(), alloc.allocation);
+            let alloc = initial_allocation(platform, s)?;
+            let mut g = AnalyticGovernor::new(platform.clone(), alloc.allocation)?;
             run_governor(platform, s, &mut g, periods)
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     push("analytic", reports);
 
     // Oracle (offline Algorithm 2 plan on the exact schedules).
     let reports: Vec<SimReport> = scenarios
         .iter()
         .map(|s| {
-            let alloc = initial_allocation(platform, s);
-            let plan = ParameterScheduler::new(platform.clone()).plan(
+            let alloc = initial_allocation(platform, s)?;
+            let plan = ParameterScheduler::new(platform.clone())?.plan(
                 &alloc.allocation,
                 &s.charging,
                 s.initial_charge,
-            );
-            let mut g = OracleGovernor::from_schedule(&plan);
+            )?;
+            let mut g = OracleGovernor::from_schedule(&plan)?;
             run_governor(platform, s, &mut g, periods)
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     push("oracle", reports);
 
-    rows
+    Ok(rows)
 }
 
 /// Tables 2/4: the initial-allocation iterations.
-pub fn table2_4(platform: &Platform, scenario: &Scenario) -> Vec<AllocationIteration> {
-    initial_allocation(platform, scenario).iterations
+///
+/// # Errors
+/// Propagates [`DpmError`] when the allocation cannot be computed.
+pub fn table2_4(
+    platform: &Platform,
+    scenario: &Scenario,
+) -> Result<Vec<AllocationIteration>, DpmError> {
+    Ok(initial_allocation(platform, scenario)?.iterations)
 }
 
 /// Tables 3/5: the runtime controller trace over `periods` periods, with
 /// the simulator supplying the "actual" energies.
+///
+/// # Errors
+/// Propagates [`SimError`] from the controller or the run.
 pub fn table3_5(
     platform: &Platform,
     scenario: &Scenario,
     periods: usize,
-) -> (Vec<ControllerRecord>, SimReport) {
-    let mut governor = proposed_controller(platform, scenario);
-    let report = run_governor(platform, scenario, &mut governor, periods);
-    (governor.take_trace(), report)
+) -> Result<(Vec<ControllerRecord>, SimReport), SimError> {
+    let mut governor = proposed_controller(platform, scenario)?;
+    let report = run_governor(platform, scenario, &mut governor, periods)?;
+    Ok((governor.take_trace(), report))
 }
 
 /// Figures 3/4: the charging and use schedules as plottable series.
@@ -215,7 +257,7 @@ mod tests {
     #[test]
     fn table1_proposed_beats_static_on_waste() {
         let platform = Platform::pama();
-        let rows = table1(&platform, &scenarios::all(), DEFAULT_PERIODS);
+        let rows = table1(&platform, &scenarios::all(), DEFAULT_PERIODS).unwrap();
         let proposed = rows.iter().find(|r| r.governor == "proposed").unwrap();
         let statik = rows.iter().find(|r| r.governor == "static").unwrap();
         for i in 0..2 {
@@ -231,7 +273,7 @@ mod tests {
     #[test]
     fn table1_proposed_reduces_undersupply() {
         let platform = Platform::pama();
-        let rows = table1(&platform, &scenarios::all(), DEFAULT_PERIODS);
+        let rows = table1(&platform, &scenarios::all(), DEFAULT_PERIODS).unwrap();
         let proposed = rows.iter().find(|r| r.governor == "proposed").unwrap();
         let statik = rows.iter().find(|r| r.governor == "static").unwrap();
         for i in 0..2 {
@@ -248,7 +290,7 @@ mod tests {
     fn table2_converges_like_the_paper() {
         let platform = Platform::pama();
         for s in scenarios::all() {
-            let iters = table2_4(&platform, &s);
+            let iters = table2_4(&platform, &s).unwrap();
             assert!(!iters.is_empty());
             // The paper's Tables 2/4 converge in 5 rounds; our clamped
             // reshape needs a few more on scenario II (9) but stays within
@@ -261,7 +303,7 @@ mod tests {
     #[test]
     fn table3_trace_covers_two_periods() {
         let platform = Platform::pama();
-        let (trace, report) = table3_5(&platform, &scenarios::scenario_one(), 2);
+        let (trace, report) = table3_5(&platform, &scenarios::scenario_one(), 2).unwrap();
         assert_eq!(trace.len(), 24);
         assert!(report.jobs_done > 0);
         // Every record's plan snapshot spans one period.

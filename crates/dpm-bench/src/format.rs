@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn table2_renders_iterations() {
         let platform = Platform::pama();
-        let iters = experiments::table2_4(&platform, &scenarios::scenario_one());
+        let iters = experiments::table2_4(&platform, &scenarios::scenario_one()).unwrap();
         let s = table2_4(&iters, "Table 2");
         assert!(s.contains("Pinit"));
         assert!(s.contains("(feasible)"));
@@ -171,7 +171,7 @@ mod tests {
     #[test]
     fn table3_renders_trace() {
         let platform = Platform::pama();
-        let (trace, _) = experiments::table3_5(&platform, &scenarios::scenario_one(), 1);
+        let (trace, _) = experiments::table3_5(&platform, &scenarios::scenario_one(), 1).unwrap();
         let s = table3_5(&trace, "Table 3");
         assert!(s.contains("Pinit(t)"));
         assert!(s.contains("P(11)"));

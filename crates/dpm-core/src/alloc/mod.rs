@@ -12,6 +12,7 @@ mod wpuf;
 pub use reshape::{reshape_trajectory, reshape_trajectory_with, ReshapeOutcome, ReshapeStrategy};
 pub use wpuf::DemandModel;
 
+use crate::error::DpmError;
 use crate::platform::BatteryLimits;
 use crate::series::{EnergyTrajectory, PowerSeries};
 use crate::units::{Joules, Watts};
@@ -85,41 +86,59 @@ pub struct InitialAllocator {
 impl InitialAllocator {
     /// Create a driver with the default iteration budget (16) and a 1 mJ
     /// feasibility tolerance.
-    pub fn new(problem: AllocationProblem) -> Self {
-        assert_eq!(
-            problem.charging.len(),
-            problem.demand.len(),
-            "charging and demand schedules must share slotting"
-        );
-        assert!(problem.p_floor.value() >= 0.0);
-        assert!(problem.p_ceiling.value() > problem.p_floor.value());
-        Self {
+    ///
+    /// # Errors
+    /// [`DpmError::SeriesMismatch`]/[`DpmError::InvalidSeries`] when the
+    /// charging and demand schedules do not share slotting, and
+    /// [`DpmError::InvalidParameter`] for an unusable power range.
+    pub fn new(problem: AllocationProblem) -> Result<Self, DpmError> {
+        problem.charging.check_aligned(&problem.demand)?;
+        if problem.p_floor.value() < 0.0 {
+            return Err(DpmError::InvalidParameter {
+                name: "p_floor",
+                reason: format!("must be non-negative, got {}", problem.p_floor),
+            });
+        }
+        if problem.p_ceiling.value() <= problem.p_floor.value() {
+            return Err(DpmError::InvalidParameter {
+                name: "p_ceiling",
+                reason: format!(
+                    "must exceed p_floor, got {} with floor {}",
+                    problem.p_ceiling, problem.p_floor
+                ),
+            });
+        }
+        Ok(Self {
             problem,
             max_iterations: 16,
             tolerance: 1e-3,
             strategy: ReshapeStrategy::ShapePreserving,
-        }
+        })
     }
 
     /// Choose the Algorithm 1 segment-rebuild strategy (the paper's
     /// default is shape-preserving; `EvenSlope` is its stated
     /// alternative).
+    #[must_use]
     pub fn with_strategy(mut self, strategy: ReshapeStrategy) -> Self {
         self.strategy = strategy;
         self
     }
 
-    /// Override the iteration budget.
+    /// Override the iteration budget. A budget of 0 is treated as 1 —
+    /// [`Self::compute`] always runs at least one round.
+    #[must_use]
     pub fn with_max_iterations(mut self, n: usize) -> Self {
-        assert!(n >= 1);
-        self.max_iterations = n;
+        self.max_iterations = n.max(1);
         self
     }
 
-    /// Override the feasibility tolerance (joules).
+    /// Override the feasibility tolerance (joules). Non-positive tolerances
+    /// are clamped to the smallest positive value.
+    #[must_use]
     pub fn with_tolerance(mut self, tol: f64) -> Self {
-        assert!(tol > 0.0);
-        self.tolerance = tol;
+        debug_assert!(tol > 0.0);
+        self.tolerance = tol.max(f64::MIN_POSITIVE);
         self
     }
 
@@ -129,7 +148,15 @@ impl InitialAllocator {
     }
 
     /// Run the computation.
-    pub fn compute(&self) -> InitialAllocation {
+    ///
+    /// # Errors
+    /// * [`DpmError::InfeasibleAllocation`] when the iteration reaches a
+    ///   fixed point whose trajectory still violates the battery window —
+    ///   the problem is over-constrained (e.g. the standby floor alone
+    ///   drains below `C_min` in eclipse);
+    /// * [`DpmError::ConvergenceFailure`] when the iteration budget runs out
+    ///   before either feasibility or a fixed point.
+    pub fn compute(&self) -> Result<InitialAllocation, DpmError> {
         let p = &self.problem;
         // Eq. 8: scale the demand shape so dissipation balances supply over
         // the period; then the raw trajectory is periodic and reshaping is
@@ -138,8 +165,7 @@ impl InitialAllocator {
             .map(|v| v.clamp(p.p_floor.value(), p.p_ceiling.value()));
 
         let mut iterations = Vec::new();
-        let mut feasible = false;
-        for _ in 0..self.max_iterations {
+        for _ in 0..self.max_iterations.max(1) {
             let surplus = p.charging.pointwise_sub(&allocation);
             let trajectory = surplus.cumulative(p.initial_charge);
             let ok = trajectory.within(p.limits.c_min, p.limits.c_max, self.tolerance);
@@ -149,8 +175,12 @@ impl InitialAllocator {
                 feasible: ok,
             });
             if ok {
-                feasible = true;
-                break;
+                return Ok(InitialAllocation {
+                    allocation,
+                    trajectory,
+                    feasible: true,
+                    iterations,
+                });
             }
             let reshaped = reshape_trajectory_with(&trajectory, p.limits, self.strategy);
             let next = p
@@ -158,23 +188,15 @@ impl InitialAllocator {
                 .pointwise_sub(&reshaped.trajectory.derivative())
                 .map(|v| v.clamp(p.p_floor.value(), p.p_ceiling.value()));
             if next == allocation {
-                // Fixed point that is still infeasible: the problem is
-                // over-constrained (e.g. floor power alone drains below
-                // C_min). Report the best effort.
-                break;
+                return Err(DpmError::InfeasibleAllocation {
+                    iterations: iterations.len(),
+                });
             }
             allocation = next;
         }
-
-        let last = iterations
-            .last()
-            .expect("at least one iteration always runs");
-        InitialAllocation {
-            allocation: last.allocation.clone(),
-            trajectory: last.trajectory.clone(),
-            feasible,
-            iterations,
-        }
+        Err(DpmError::ConvergenceFailure {
+            iterations: iterations.len(),
+        })
     }
 }
 
@@ -186,11 +208,10 @@ pub fn normalize_to_supply(demand: &PowerSeries, charging: &PowerSeries) -> Powe
     let supply = charging.integral();
     let want = demand.integral();
     if want.value().abs() < f64::EPSILON {
-        return PowerSeries::constant(
-            charging.slot_width(),
-            charging.len(),
-            supply.value() / charging.period().value(),
-        );
+        // A validated charging series is non-empty with a positive slot, so
+        // the uniform fallback needs no re-validation.
+        let uniform = supply.value() / charging.period().value();
+        return charging.map(|_| uniform);
     }
     demand.scale(supply / want)
 }
@@ -211,17 +232,19 @@ mod tests {
             vec![
                 2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
             ],
-        );
+        )
+        .unwrap();
         // Twin-peak demand shape (arbitrary units; Eq. 8 rescales).
         let demand = PowerSeries::new(
             slot(),
             vec![1.6, 1.0, 0.3, 0.3, 1.0, 1.7, 1.6, 1.0, 0.3, 0.3, 1.0, 1.7],
-        );
+        )
+        .unwrap();
         AllocationProblem {
             charging,
             demand,
             initial_charge: joules(8.0),
-            limits: BatteryLimits::new(joules(0.5), joules(16.0)),
+            limits: BatteryLimits::new(joules(0.5), joules(16.0)).unwrap(),
             p_floor: watts(8.0 * 0.0066),
             p_ceiling: watts(8.0 * 0.546),
         }
@@ -237,7 +260,7 @@ mod tests {
     #[test]
     fn normalization_of_zero_demand_spreads_supply() {
         let p = scenario_like();
-        let zero = PowerSeries::constant(slot(), 12, 0.0);
+        let zero = PowerSeries::constant(slot(), 12, 0.0).unwrap();
         let u = normalize_to_supply(&zero, &p.charging);
         assert!(u.integral().approx_eq(p.charging.integral(), 1e-9));
         // Uniform.
@@ -247,7 +270,10 @@ mod tests {
 
     #[test]
     fn compute_converges_to_feasible_allocation() {
-        let alloc = InitialAllocator::new(scenario_like()).compute();
+        let alloc = InitialAllocator::new(scenario_like())
+            .unwrap()
+            .compute()
+            .unwrap();
         assert!(alloc.feasible, "iterations: {}", alloc.iterations.len());
         assert!(alloc.trajectory.within(joules(0.5), joules(16.0), 1e-3));
         // Converges in a handful of rounds, like the paper's 5.
@@ -256,7 +282,10 @@ mod tests {
 
     #[test]
     fn allocation_respects_power_bounds() {
-        let alloc = InitialAllocator::new(scenario_like()).compute();
+        let alloc = InitialAllocator::new(scenario_like())
+            .unwrap()
+            .compute()
+            .unwrap();
         let p = scenario_like();
         for &v in alloc.allocation.values() {
             assert!(v >= p.p_floor.value() - 1e-12);
@@ -267,9 +296,9 @@ mod tests {
     #[test]
     fn tight_battery_forces_multiple_iterations() {
         let mut p = scenario_like();
-        p.limits = BatteryLimits::new(joules(0.5), joules(9.0));
+        p.limits = BatteryLimits::new(joules(0.5), joules(9.0)).unwrap();
         p.initial_charge = joules(5.0);
-        let alloc = InitialAllocator::new(p).compute();
+        let alloc = InitialAllocator::new(p).unwrap().compute().unwrap();
         assert!(alloc.iterations.len() > 1);
         assert!(alloc.feasible, "iters={}", alloc.iterations.len());
     }
@@ -280,24 +309,30 @@ mod tests {
         // A floor so high the battery must drain below C_min in eclipse.
         p.p_floor = watts(3.0);
         p.p_ceiling = watts(5.0);
-        let alloc = InitialAllocator::new(p).with_max_iterations(8).compute();
-        assert!(!alloc.feasible);
-        assert!(!alloc.iterations.is_empty());
+        let err = InitialAllocator::new(p)
+            .unwrap()
+            .with_max_iterations(8)
+            .compute()
+            .unwrap_err();
+        assert!(matches!(err, DpmError::InfeasibleAllocation { iterations } if iterations >= 1));
     }
 
     #[test]
     fn already_feasible_stops_after_one_round() {
         let mut p = scenario_like();
         // Huge battery: nothing to fix.
-        p.limits = BatteryLimits::new(joules(0.0), joules(1e6));
-        let alloc = InitialAllocator::new(p).compute();
+        p.limits = BatteryLimits::new(joules(0.0), joules(1e6)).unwrap();
+        let alloc = InitialAllocator::new(p).unwrap().compute().unwrap();
         assert_eq!(alloc.iterations.len(), 1);
         assert!(alloc.feasible);
     }
 
     #[test]
     fn trajectory_is_periodic_after_normalization() {
-        let alloc = InitialAllocator::new(scenario_like()).compute();
+        let alloc = InitialAllocator::new(scenario_like())
+            .unwrap()
+            .compute()
+            .unwrap();
         let pts = alloc.iterations[0].trajectory.points();
         // Round 0 allocation is the clamped normalized demand; unless the
         // clamp bit, start and end levels coincide (Eq. 8 balance).
@@ -312,8 +347,10 @@ mod tests {
     #[test]
     fn even_slope_strategy_also_converges() {
         let alloc = InitialAllocator::new(scenario_like())
+            .unwrap()
             .with_strategy(ReshapeStrategy::EvenSlope)
-            .compute();
+            .compute()
+            .unwrap();
         assert!(alloc.feasible, "iterations: {}", alloc.iterations.len());
         assert!(alloc.trajectory.within(joules(0.5), joules(16.0), 1e-3));
     }
@@ -322,10 +359,15 @@ mod tests {
     fn even_slope_flattens_the_allocation() {
         // The even strategy yields a flatter allocation (lower variance)
         // than the shape-preserving one on a peaky demand.
-        let shaped = InitialAllocator::new(scenario_like()).compute();
+        let shaped = InitialAllocator::new(scenario_like())
+            .unwrap()
+            .compute()
+            .unwrap();
         let even = InitialAllocator::new(scenario_like())
+            .unwrap()
             .with_strategy(ReshapeStrategy::EvenSlope)
-            .compute();
+            .compute()
+            .unwrap();
         let variance = |s: &PowerSeries| {
             let m = s.mean().value();
             s.values().iter().map(|v| (v - m).powi(2)).sum::<f64>() / s.len() as f64
@@ -341,13 +383,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "share slotting")]
     fn mismatched_schedules_rejected() {
         let p = scenario_like();
         let bad = AllocationProblem {
-            demand: PowerSeries::constant(slot(), 6, 1.0),
+            demand: PowerSeries::constant(slot(), 6, 1.0).unwrap(),
             ..p
         };
-        InitialAllocator::new(bad);
+        assert!(matches!(
+            InitialAllocator::new(bad),
+            Err(DpmError::SeriesMismatch {
+                expected: 12,
+                got: 6
+            })
+        ));
     }
 }

@@ -137,7 +137,7 @@ fn interpolate_between_anchors(
     let avg = 0.5 * (out[0] + out[n_pts - 1]);
     out[0] = avg;
     out[n_pts - 1] = avg;
-    EnergyTrajectory::from_points(traj.slot_width(), out)
+    EnergyTrajectory::assemble(traj.slot_width(), out)
 }
 
 /// Lines 1–2: stationary points outside the battery window.
@@ -307,7 +307,7 @@ fn remap_between_anchors(
     let avg = 0.5 * (out[0] + out[n_pts - 1]);
     out[0] = avg;
     out[n_pts - 1] = avg;
-    EnergyTrajectory::from_points(traj.slot_width(), out)
+    EnergyTrajectory::assemble(traj.slot_width(), out)
 }
 
 #[cfg(test)]
@@ -317,11 +317,13 @@ mod tests {
     use crate::units::{joules, seconds};
 
     fn limits() -> BatteryLimits {
-        BatteryLimits::new(joules(1.0), joules(10.0))
+        BatteryLimits::new(joules(1.0), joules(10.0)).unwrap()
     }
 
     fn traj_from_net(net: &[f64], start: f64) -> EnergyTrajectory {
-        PowerSeries::new(seconds(1.0), net.to_vec()).cumulative(joules(start))
+        PowerSeries::new(seconds(1.0), net.to_vec())
+            .unwrap()
+            .cumulative(joules(start))
     }
 
     #[test]

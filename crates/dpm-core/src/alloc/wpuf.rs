@@ -6,6 +6,7 @@
 //! commute hours in a traffic monitor. The WPUF is a *shape*, not yet a
 //! power: Eq. 8 rescales it so total dissipation balances total supply.
 
+use crate::error::DpmError;
 use crate::series::PowerSeries;
 use serde::{Deserialize, Serialize};
 
@@ -20,26 +21,34 @@ pub struct DemandModel {
 
 impl DemandModel {
     /// Build, validating alignment and non-negativity.
-    pub fn new(event_rate: PowerSeries, weight: PowerSeries) -> Self {
-        assert_eq!(
-            event_rate.len(),
-            weight.len(),
-            "event rate and weight must share slotting"
-        );
-        assert!(
-            event_rate.values().iter().all(|&v| v >= 0.0),
-            "event rates must be non-negative"
-        );
-        assert!(
-            weight.values().iter().all(|&v| v >= 0.0),
-            "weights must be non-negative"
-        );
-        Self { event_rate, weight }
+    ///
+    /// # Errors
+    /// [`DpmError::SeriesMismatch`]/[`DpmError::InvalidSeries`] on
+    /// misaligned schedules, [`DpmError::InvalidParameter`] on a negative
+    /// rate or weight.
+    pub fn new(event_rate: PowerSeries, weight: PowerSeries) -> Result<Self, DpmError> {
+        event_rate.check_aligned(&weight)?;
+        if let Some(i) = event_rate.values().iter().position(|&v| v < 0.0) {
+            return Err(DpmError::InvalidParameter {
+                name: "event_rate",
+                reason: format!("must be non-negative, slot {i} is {}", event_rate.get(i)),
+            });
+        }
+        if let Some(i) = weight.values().iter().position(|&v| v < 0.0) {
+            return Err(DpmError::InvalidParameter {
+                name: "weight",
+                reason: format!("must be non-negative, slot {i} is {}", weight.get(i)),
+            });
+        }
+        Ok(Self { event_rate, weight })
     }
 
     /// Unweighted demand (`w ≡ 1`).
-    pub fn unweighted(event_rate: PowerSeries) -> Self {
-        let weight = PowerSeries::constant(event_rate.slot_width(), event_rate.len(), 1.0);
+    ///
+    /// # Errors
+    /// [`DpmError::InvalidParameter`] on a negative event rate.
+    pub fn unweighted(event_rate: PowerSeries) -> Result<Self, DpmError> {
+        let weight = event_rate.map(|_| 1.0);
         Self::new(event_rate, weight)
     }
 
@@ -56,16 +65,16 @@ mod tests {
 
     #[test]
     fn wpuf_is_pointwise_product() {
-        let u = PowerSeries::new(seconds(1.0), vec![2.0, 4.0, 0.0]);
-        let w = PowerSeries::new(seconds(1.0), vec![1.0, 0.5, 3.0]);
-        let d = DemandModel::new(u, w);
+        let u = PowerSeries::new(seconds(1.0), vec![2.0, 4.0, 0.0]).unwrap();
+        let w = PowerSeries::new(seconds(1.0), vec![1.0, 0.5, 3.0]).unwrap();
+        let d = DemandModel::new(u, w).unwrap();
         assert_eq!(d.wpuf().values(), &[2.0, 2.0, 0.0]);
     }
 
     #[test]
     fn unweighted_uses_unit_weight() {
-        let u = PowerSeries::new(seconds(1.0), vec![2.0, 4.0]);
-        let d = DemandModel::unweighted(u.clone());
+        let u = PowerSeries::new(seconds(1.0), vec![2.0, 4.0]).unwrap();
+        let d = DemandModel::unweighted(u.clone()).unwrap();
         assert_eq!(d.wpuf(), u);
     }
 
@@ -73,19 +82,30 @@ mod tests {
     fn weight_emphasizes_commute_hours() {
         // The paper's traffic-monitor example: same event rate all day,
         // double weight during two commute windows.
-        let u = PowerSeries::constant(seconds(1.0), 8, 1.0);
-        let w = PowerSeries::new(seconds(1.0), vec![1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0, 1.0]);
-        let d = DemandModel::new(u, w);
+        let u = PowerSeries::constant(seconds(1.0), 8, 1.0).unwrap();
+        let w =
+            PowerSeries::new(seconds(1.0), vec![1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0, 1.0]).unwrap();
+        let d = DemandModel::new(u, w).unwrap();
         let shape = d.wpuf();
         assert_eq!(shape.get(1), 2.0);
         assert_eq!(shape.get(0), 1.0);
     }
 
     #[test]
-    #[should_panic(expected = "non-negative")]
     fn rejects_negative_rates() {
-        let u = PowerSeries::new(seconds(1.0), vec![-1.0]);
-        let w = PowerSeries::constant(seconds(1.0), 1, 1.0);
-        DemandModel::new(u, w);
+        use crate::error::DpmError;
+        let u = PowerSeries::new(seconds(1.0), vec![-1.0]).unwrap();
+        let w = PowerSeries::constant(seconds(1.0), 1, 1.0).unwrap();
+        assert!(matches!(
+            DemandModel::new(u.clone(), w.clone()),
+            Err(DpmError::InvalidParameter {
+                name: "event_rate",
+                ..
+            })
+        ));
+        assert!(matches!(
+            DemandModel::new(w, u),
+            Err(DpmError::InvalidParameter { name: "weight", .. })
+        ));
     }
 }

@@ -1,0 +1,136 @@
+//! Typed errors for every fallible entry point of the crate.
+//!
+//! The crate draws a single line between two kinds of misbehaviour:
+//!
+//! * **Input-reachable conditions** — anything a caller can trigger with
+//!   runtime data (schedules read from telemetry, hand-built platforms,
+//!   battery windows, observations) — surface as a [`DpmError`] through a
+//!   `Result`. Constructors validate once; everything downstream may then
+//!   assume the invariants.
+//! * **Internal invariants** — properties the validated constructors
+//!   already guarantee (slot alignment inside a pipeline, frontier
+//!   non-emptiness after a successful build) — are checked with
+//!   `debug_assert!` only and carry documentation instead of a branch.
+//!
+//! Binaries map a `DpmError` to a human-readable message on stderr and a
+//! nonzero exit code; see `dpm-bench`'s `repro` and `sweep`.
+
+use serde::Serialize;
+
+/// Everything that can go wrong across the §4.1–§4.3 pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum DpmError {
+    /// A power series or trajectory was malformed (empty, non-positive
+    /// slot width, wrong shape for the operation).
+    InvalidSeries(String),
+    /// A numeric input was NaN or infinite; the message names it.
+    NonFinite(String),
+    /// Two schedules that must share slotting do not.
+    SeriesMismatch {
+        /// Slots expected (from the reference schedule).
+        expected: usize,
+        /// Slots actually provided.
+        got: usize,
+    },
+    /// A rolling plan or redistribution window contained no slots.
+    EmptyScheduleWindow,
+    /// A platform description failed validation; the message says how.
+    InvalidPlatform(String),
+    /// A scalar parameter was out of its documented range.
+    InvalidParameter {
+        /// Parameter name as it appears in the API.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// Algorithm 1 reached a fixed point whose trajectory still violates
+    /// the battery window: the problem is over-constrained (e.g. the
+    /// standby floor alone drains below `C_min` in eclipse).
+    InfeasibleAllocation {
+        /// Rounds completed before the fixed point.
+        iterations: usize,
+    },
+    /// Algorithm 1 exhausted its iteration budget without converging.
+    ConvergenceFailure {
+        /// The iteration budget that was spent.
+        iterations: usize,
+    },
+    /// A battery capacity window was inverted or negative.
+    BatteryLimitViolation {
+        /// Requested `C_min` (J).
+        c_min: f64,
+        /// Requested `C_max` (J).
+        c_max: f64,
+    },
+    /// No operating point satisfies the request (e.g. a frequency beyond
+    /// `g(v_max)`, or a governor given an all-off point to hold).
+    NoOperatingPoint(String),
+}
+
+impl std::fmt::Display for DpmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidSeries(msg) => write!(f, "invalid series: {msg}"),
+            Self::NonFinite(what) => write!(f, "non-finite value: {what}"),
+            Self::SeriesMismatch { expected, got } => {
+                write!(f, "series mismatch: expected {expected} slots, got {got}")
+            }
+            Self::EmptyScheduleWindow => write!(f, "schedule window contains no slots"),
+            Self::InvalidPlatform(msg) => write!(f, "invalid platform: {msg}"),
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Self::InfeasibleAllocation { iterations } => write!(
+                f,
+                "allocation infeasible: fixed point after {iterations} iteration(s) \
+                 still violates the battery window"
+            ),
+            Self::ConvergenceFailure { iterations } => write!(
+                f,
+                "allocation did not converge within {iterations} iteration(s)"
+            ),
+            Self::BatteryLimitViolation { c_min, c_max } => write!(
+                f,
+                "invalid battery window: need 0 <= C_min < C_max, got \
+                 C_min = {c_min} J, C_max = {c_max} J"
+            ),
+            Self::NoOperatingPoint(msg) => write!(f, "no operating point: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DpmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = DpmError::SeriesMismatch {
+            expected: 12,
+            got: 6,
+        };
+        assert_eq!(e.to_string(), "series mismatch: expected 12 slots, got 6");
+        let e = DpmError::ConvergenceFailure { iterations: 16 };
+        assert!(e.to_string().contains("16 iteration"));
+        let e = DpmError::BatteryLimitViolation {
+            c_min: 5.0,
+            c_max: 1.0,
+        };
+        assert!(e.to_string().contains("C_min < C_max"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&DpmError::EmptyScheduleWindow);
+    }
+
+    #[test]
+    fn serializes_for_reports() {
+        let e = DpmError::InfeasibleAllocation { iterations: 7 };
+        let s = serde_json::to_string(&e).unwrap();
+        assert!(s.contains("InfeasibleAllocation"), "{s}");
+    }
+}

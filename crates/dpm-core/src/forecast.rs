@@ -8,6 +8,7 @@
 //! [`crate::runtime::AdaptiveDpmController`] closes the loop by re-planning
 //! each period from the refreshed estimate.
 
+use crate::error::DpmError;
 use crate::series::PowerSeries;
 use crate::units::Seconds;
 use serde::{Deserialize, Serialize};
@@ -34,17 +35,33 @@ pub enum ForecastMethod {
 }
 
 impl ForecastMethod {
-    fn validate(&self) {
+    /// Check the method's parameters.
+    ///
+    /// # Errors
+    /// [`DpmError::InvalidParameter`] on `alpha` outside `(0, 1]` or a
+    /// zero-length sliding window.
+    pub fn validate(&self) -> Result<(), DpmError> {
         match *self {
-            ForecastMethod::LastPeriod => {}
+            ForecastMethod::LastPeriod => Ok(()),
             ForecastMethod::ExponentialSmoothing { alpha } => {
-                assert!(
-                    (0.0..=1.0).contains(&alpha) && alpha > 0.0,
-                    "alpha in (0, 1]"
-                );
+                if alpha > 0.0 && alpha <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(DpmError::InvalidParameter {
+                        name: "alpha",
+                        reason: format!("must lie in (0, 1], got {alpha}"),
+                    })
+                }
             }
             ForecastMethod::SlidingMean { window } => {
-                assert!(window >= 1, "window must hold at least one period");
+                if window >= 1 {
+                    Ok(())
+                } else {
+                    Err(DpmError::InvalidParameter {
+                        name: "window",
+                        reason: "must hold at least one period".into(),
+                    })
+                }
             }
         }
     }
@@ -63,20 +80,26 @@ pub struct ScheduleEstimator {
 impl ScheduleEstimator {
     /// Start from a prior schedule (the theoretical expectation, or zeros
     /// when flying blind).
-    pub fn new(prior: PowerSeries, method: ForecastMethod) -> Self {
-        method.validate();
+    ///
+    /// # Errors
+    /// Propagates [`ForecastMethod::validate`].
+    pub fn new(prior: PowerSeries, method: ForecastMethod) -> Result<Self, DpmError> {
+        method.validate()?;
         let history = vec![VecDeque::new(); prior.len()];
-        Self {
+        Ok(Self {
             method,
             estimate: prior,
             history,
             observations: 0,
-        }
+        })
     }
 
     /// A zero prior with the given slotting.
-    pub fn cold(slot: Seconds, slots: usize, method: ForecastMethod) -> Self {
-        Self::new(PowerSeries::constant(slot, slots, 0.0), method)
+    ///
+    /// # Errors
+    /// Propagates [`ForecastMethod::validate`] and series construction.
+    pub fn cold(slot: Seconds, slots: usize, method: ForecastMethod) -> Result<Self, DpmError> {
+        Self::new(PowerSeries::constant(slot, slots, 0.0)?, method)
     }
 
     /// Slots per period.
@@ -90,12 +113,13 @@ impl ScheduleEstimator {
     }
 
     /// Record the measured mean power of slot-of-period `slot`.
-    ///
-    /// # Panics
-    /// Panics on an out-of-range slot or non-finite observation.
+    /// Out-of-range slots and non-finite or negative observations (a
+    /// glitched power meter) are ignored: an online estimator must keep
+    /// running on bad telemetry.
     pub fn observe(&mut self, slot: usize, mean_power: f64) {
-        assert!(slot < self.estimate.len(), "slot {slot} out of range");
-        assert!(mean_power.is_finite() && mean_power >= 0.0);
+        if slot >= self.estimate.len() || !mean_power.is_finite() || mean_power < 0.0 {
+            return;
+        }
         self.observations += 1;
         match self.method {
             ForecastMethod::LastPeriod => self.estimate.set(slot, mean_power),
@@ -122,9 +146,12 @@ impl ScheduleEstimator {
     }
 
     /// Root-mean-square error of the estimate against a reference
-    /// schedule (for convergence tests and telemetry).
+    /// schedule (for convergence tests and telemetry). `NaN` when the
+    /// schedules disagree on length — telemetry, not control flow.
     pub fn rmse(&self, truth: &PowerSeries) -> f64 {
-        assert_eq!(truth.len(), self.estimate.len());
+        if truth.len() != self.estimate.len() {
+            return f64::NAN;
+        }
         let sq: f64 = self
             .estimate
             .values()
@@ -148,10 +175,11 @@ mod tests {
                 2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
             ],
         )
+        .unwrap()
     }
 
     fn wrong_prior() -> PowerSeries {
-        PowerSeries::constant(seconds(4.8), 12, 1.0)
+        PowerSeries::constant(seconds(4.8), 12, 1.0).unwrap()
     }
 
     fn feed_periods(est: &mut ScheduleEstimator, periods: usize) {
@@ -165,7 +193,7 @@ mod tests {
 
     #[test]
     fn last_period_converges_in_one_period() {
-        let mut e = ScheduleEstimator::new(wrong_prior(), ForecastMethod::LastPeriod);
+        let mut e = ScheduleEstimator::new(wrong_prior(), ForecastMethod::LastPeriod).unwrap();
         assert!(e.rmse(&truth()) > 0.9);
         feed_periods(&mut e, 1);
         assert!(e.rmse(&truth()) < 1e-12);
@@ -177,7 +205,8 @@ mod tests {
         let mut e = ScheduleEstimator::new(
             wrong_prior(),
             ForecastMethod::ExponentialSmoothing { alpha: 0.5 },
-        );
+        )
+        .unwrap();
         let e0 = e.rmse(&truth());
         feed_periods(&mut e, 1);
         let e1 = e.rmse(&truth());
@@ -190,7 +219,8 @@ mod tests {
     #[test]
     fn sliding_mean_forgets_the_prior_after_window() {
         let mut e =
-            ScheduleEstimator::new(wrong_prior(), ForecastMethod::SlidingMean { window: 3 });
+            ScheduleEstimator::new(wrong_prior(), ForecastMethod::SlidingMean { window: 3 })
+                .unwrap();
         feed_periods(&mut e, 1);
         // One period of true data already replaces the estimate (the prior
         // never enters the history).
@@ -200,7 +230,8 @@ mod tests {
     #[test]
     fn sliding_mean_averages_noise() {
         let mut e =
-            ScheduleEstimator::cold(seconds(4.8), 1, ForecastMethod::SlidingMean { window: 4 });
+            ScheduleEstimator::cold(seconds(4.8), 1, ForecastMethod::SlidingMean { window: 4 })
+                .unwrap();
         for &obs in &[1.0, 2.0, 3.0, 4.0] {
             e.observe(0, obs);
         }
@@ -213,7 +244,8 @@ mod tests {
     fn smoothing_tracks_a_changed_environment() {
         // Truth changes mid-mission: the estimator follows.
         let mut e =
-            ScheduleEstimator::new(truth(), ForecastMethod::ExponentialSmoothing { alpha: 0.4 });
+            ScheduleEstimator::new(truth(), ForecastMethod::ExponentialSmoothing { alpha: 0.4 })
+                .unwrap();
         let new_truth = truth().scale(0.5);
         for _ in 0..12 {
             for s in 0..12 {
@@ -224,19 +256,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "alpha in (0, 1]")]
     fn rejects_zero_alpha() {
-        ScheduleEstimator::cold(
-            seconds(4.8),
-            12,
-            ForecastMethod::ExponentialSmoothing { alpha: 0.0 },
-        );
+        assert!(matches!(
+            ScheduleEstimator::cold(
+                seconds(4.8),
+                12,
+                ForecastMethod::ExponentialSmoothing { alpha: 0.0 },
+            ),
+            Err(DpmError::InvalidParameter { name: "alpha", .. })
+        ));
+        assert!(ForecastMethod::SlidingMean { window: 0 }
+            .validate()
+            .is_err());
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn rejects_bad_slot() {
-        let mut e = ScheduleEstimator::cold(seconds(4.8), 12, ForecastMethod::LastPeriod);
-        e.observe(12, 1.0);
+    fn ignores_bad_telemetry() {
+        let mut e = ScheduleEstimator::cold(seconds(4.8), 12, ForecastMethod::LastPeriod).unwrap();
+        e.observe(12, 1.0); // out of range
+        e.observe(0, f64::NAN);
+        e.observe(0, -1.0);
+        assert_eq!(e.observations(), 0);
+        assert_eq!(e.estimate().get(0), 0.0);
     }
 }

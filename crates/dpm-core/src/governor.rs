@@ -5,6 +5,7 @@
 //! the comparison baselines (`dpm-baselines`) all implement this trait, so
 //! the simulator and benches can swap them freely.
 
+use crate::error::DpmError;
 use crate::params::OperatingPoint;
 use crate::units::{Joules, Seconds};
 use serde::{Deserialize, Serialize};
@@ -49,7 +50,12 @@ pub trait Governor {
     fn name(&self) -> &str;
 
     /// Choose the operating point for the slot that begins now.
-    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint;
+    ///
+    /// # Errors
+    /// Implementations return [`DpmError`] when their internal plan cannot
+    /// serve the slot (e.g. an exhausted schedule window) rather than
+    /// panicking; pure policies simply always return `Ok`.
+    fn decide(&mut self, obs: &SlotObservation) -> Result<OperatingPoint, DpmError>;
 
     /// Whether this policy keeps the processors busy with *background*
     /// useful work (deeper spectral scans, monitoring FFTs) once the event
@@ -71,7 +77,7 @@ impl<G: Governor + ?Sized> Governor for Box<G> {
         (**self).name()
     }
 
-    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint {
+    fn decide(&mut self, obs: &SlotObservation) -> Result<OperatingPoint, DpmError> {
         (**self).decide(obs)
     }
 
@@ -91,8 +97,8 @@ mod tests {
         fn name(&self) -> &str {
             "fixed"
         }
-        fn decide(&mut self, _obs: &SlotObservation) -> OperatingPoint {
-            self.0
+        fn decide(&mut self, _obs: &SlotObservation) -> Result<OperatingPoint, DpmError> {
+            Ok(self.0)
         }
     }
 
@@ -108,7 +114,7 @@ mod tests {
     fn boxed_governor_delegates() {
         let mut g: Box<dyn Governor> = Box::new(Fixed(OperatingPoint::OFF));
         assert_eq!(g.name(), "fixed");
-        let p = g.decide(&SlotObservation::initial(joules(1.0)));
+        let p = g.decide(&SlotObservation::initial(joules(1.0))).unwrap();
         assert!(p.is_off());
     }
 }

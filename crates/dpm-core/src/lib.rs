@@ -18,41 +18,53 @@
 //!
 //! ## Quick example
 //!
+//! Every constructor that accepts external data returns a
+//! [`Result`]`<_, `[`error::DpmError`]`>`, so the whole pipeline composes
+//! with `?`:
+//!
 //! ```
 //! use dpm_core::prelude::*;
 //!
-//! // The PAMA satellite board of the paper's §5.
-//! let platform = Platform::pama();
+//! fn main() -> Result<(), DpmError> {
+//!     // The PAMA satellite board of the paper's §5.
+//!     let platform = Platform::pama();
 //!
-//! // Expected charging (sun then eclipse) and event-rate schedules.
-//! let tau = platform.tau;
-//! let charging = PowerSeries::new(tau, vec![2.36; 6].into_iter().chain(vec![0.0; 6]).collect());
-//! let events = PowerSeries::new(tau, vec![1.6, 1.0, 0.3, 0.3, 1.0, 1.7,
-//!                                         1.6, 1.0, 0.3, 0.3, 1.0, 1.7]);
-//! let demand = DemandModel::unweighted(events);
+//!     // Expected charging (sun then eclipse) and event-rate schedules.
+//!     let tau = platform.tau;
+//!     let charging =
+//!         PowerSeries::new(tau, vec![2.36; 6].into_iter().chain(vec![0.0; 6]).collect())?;
+//!     let events = PowerSeries::new(tau, vec![1.6, 1.0, 0.3, 0.3, 1.0, 1.7,
+//!                                             1.6, 1.0, 0.3, 0.3, 1.0, 1.7])?;
+//!     let demand = DemandModel::unweighted(events)?;
 //!
-//! // §4.1: initial power allocation.
-//! let problem = AllocationProblem {
-//!     charging: charging.clone(),
-//!     demand: demand.wpuf(),
-//!     initial_charge: joules(8.0),
-//!     limits: platform.battery,
-//!     p_floor: platform.power.all_standby(),
-//!     p_ceiling: platform.board_power(7, platform.f_max()),
-//! };
-//! let allocation = InitialAllocator::new(problem).compute();
-//! assert!(allocation.feasible);
+//!     // §4.1: initial power allocation.
+//!     let problem = AllocationProblem {
+//!         charging: charging.clone(),
+//!         demand: demand.wpuf(),
+//!         initial_charge: joules(8.0),
+//!         limits: platform.battery,
+//!         p_floor: platform.power.all_standby(),
+//!         p_ceiling: platform.board_power(7, platform.f_max()),
+//!     };
+//!     let allocation = InitialAllocator::new(problem)?.compute()?;
+//!     assert!(allocation.feasible);
 //!
-//! // §4.2/§4.3: the runtime controller.
-//! let mut governor = DpmController::new(platform, &allocation, charging);
-//! let point = governor.decide(&SlotObservation::initial(joules(8.0)));
-//! println!("first slot runs {point}");
+//!     // §4.2/§4.3: the runtime controller.
+//!     let mut governor = DpmController::new(platform, &allocation, charging)?;
+//!     let point = governor.decide(&SlotObservation::initial(joules(8.0)))?;
+//!     println!("first slot runs {point}");
+//!     Ok(())
+//! }
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// `!(x > 0.0)`-style checks are deliberate: unlike `x <= 0.0` they also
+// reject NaN, which is exactly what the validation layer is for.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod alloc;
+pub mod error;
 pub mod forecast;
 pub mod governor;
 pub mod model;
@@ -67,6 +79,7 @@ pub mod prelude {
     pub use crate::alloc::{
         normalize_to_supply, AllocationProblem, DemandModel, InitialAllocation, InitialAllocator,
     };
+    pub use crate::error::DpmError;
     pub use crate::forecast::{ForecastMethod, ScheduleEstimator};
     pub use crate::governor::{Governor, SlotObservation};
     pub use crate::model::{AmdahlWorkload, ModePower, PerfModel, PowerModel, VoltageFrequencyMap};

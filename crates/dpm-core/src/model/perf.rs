@@ -16,6 +16,7 @@
 //! the units of [`Throughput`] are physical rather than abstract.
 
 use super::vf::VoltageFrequencyMap;
+use crate::error::DpmError;
 use crate::units::{Hertz, Seconds, Volts};
 use serde::{Deserialize, Serialize};
 
@@ -59,22 +60,40 @@ pub struct AmdahlWorkload {
 
 impl AmdahlWorkload {
     /// Construct, validating `0 ≤ Ts ≤ Tt` and positive `Tt`, `f_ref`.
-    pub fn new(total: Seconds, serial: Seconds, f_ref: Hertz) -> Self {
-        assert!(total.value() > 0.0, "Tt must be positive");
-        assert!(
-            (0.0..=total.value()).contains(&serial.value()),
-            "Ts must lie in [0, Tt]"
-        );
-        assert!(f_ref.value() > 0.0, "reference frequency must be positive");
-        Self {
+    ///
+    /// # Errors
+    /// [`DpmError::InvalidParameter`] naming the out-of-range quantity.
+    pub fn new(total: Seconds, serial: Seconds, f_ref: Hertz) -> Result<Self, DpmError> {
+        if !(total.value() > 0.0) {
+            return Err(DpmError::InvalidParameter {
+                name: "Tt",
+                reason: format!("must be positive, got {total}"),
+            });
+        }
+        if !(0.0..=total.value()).contains(&serial.value()) {
+            return Err(DpmError::InvalidParameter {
+                name: "Ts",
+                reason: format!("must lie in [0, Tt], got {serial} with Tt = {total}"),
+            });
+        }
+        if !(f_ref.value() > 0.0) {
+            return Err(DpmError::InvalidParameter {
+                name: "f_ref",
+                reason: format!("reference frequency must be positive, got {f_ref}"),
+            });
+        }
+        Ok(Self {
             total,
             serial,
             f_ref,
-        }
+        })
     }
 
     /// An embarrassingly parallel workload (`Ts = 0`).
-    pub fn fully_parallel(total: Seconds, f_ref: Hertz) -> Self {
+    ///
+    /// # Errors
+    /// Same conditions as [`AmdahlWorkload::new`].
+    pub fn fully_parallel(total: Seconds, f_ref: Hertz) -> Result<Self, DpmError> {
         Self::new(total, Seconds::ZERO, f_ref)
     }
 
@@ -85,10 +104,11 @@ impl AmdahlWorkload {
     }
 
     /// Per-job execution time on `n` processors at `f_ref`:
-    /// `Ts + (Tt − Ts)/n`.
+    /// `Ts + (Tt − Ts)/n`. Asking for `n = 0` is a scheduler bug
+    /// (`debug_assert!`); release builds evaluate at `n = 1`.
     pub fn time_on(&self, n: usize) -> Seconds {
-        assert!(n >= 1, "at least one processor must be active");
-        self.serial + (self.total - self.serial) / n as f64
+        debug_assert!(n >= 1, "at least one processor must be active");
+        self.serial + (self.total - self.serial) / n.max(1) as f64
     }
 
     /// Amdahl speedup `time_on(1)/time_on(n)`.
@@ -175,7 +195,7 @@ mod tests {
     fn fft_workload() -> AmdahlWorkload {
         // The PAMA measurement: 2K FFT, 4.8 s at 20 MHz; assume 10% serial
         // scatter/gather for tests.
-        AmdahlWorkload::new(seconds(4.8), seconds(0.48), Hertz::from_mhz(20.0))
+        AmdahlWorkload::new(seconds(4.8), seconds(0.48), Hertz::from_mhz(20.0)).unwrap()
     }
 
     fn fixed_vf() -> VoltageFrequencyMap {
@@ -213,7 +233,7 @@ mod tests {
 
     #[test]
     fn fully_parallel_speedup_is_linear() {
-        let w = AmdahlWorkload::fully_parallel(seconds(4.8), Hertz::from_mhz(20.0));
+        let w = AmdahlWorkload::fully_parallel(seconds(4.8), Hertz::from_mhz(20.0)).unwrap();
         assert!((w.speedup(7) - 7.0).abs() < 1e-12);
         assert_eq!(w.decision_ratio(7), 0.0);
         assert_eq!(w.breakpoint_processors(), None);
@@ -221,7 +241,7 @@ mod tests {
 
     #[test]
     fn fully_serial_ratio_is_infinite() {
-        let w = AmdahlWorkload::new(seconds(4.8), seconds(4.8), Hertz::from_mhz(20.0));
+        let w = AmdahlWorkload::new(seconds(4.8), seconds(4.8), Hertz::from_mhz(20.0)).unwrap();
         assert!(w.decision_ratio(1).is_infinite());
         assert!((w.speedup(8) - 1.0).abs() < 1e-12);
     }
@@ -277,8 +297,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "Ts must lie in [0, Tt]")]
     fn rejects_serial_exceeding_total() {
-        AmdahlWorkload::new(seconds(1.0), seconds(2.0), Hertz::from_mhz(20.0));
+        assert!(matches!(
+            AmdahlWorkload::new(seconds(1.0), seconds(2.0), Hertz::from_mhz(20.0)),
+            Err(DpmError::InvalidParameter { name: "Ts", .. })
+        ));
+        assert!(matches!(
+            AmdahlWorkload::new(seconds(0.0), seconds(0.0), Hertz::from_mhz(20.0)),
+            Err(DpmError::InvalidParameter { name: "Tt", .. })
+        ));
+        assert!(matches!(
+            AmdahlWorkload::new(seconds(1.0), seconds(0.5), Hertz::ZERO),
+            Err(DpmError::InvalidParameter { name: "f_ref", .. })
+        ));
     }
 }

@@ -16,6 +16,7 @@
 //! calibrate `c2` and `P_leak` from the M32R/D datasheet point the paper
 //! quotes: 546 mW typical in active mode at 80 MHz / 3.3 V.
 
+use crate::error::DpmError;
 use crate::units::{watts, Hertz, Volts, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -74,18 +75,48 @@ impl PowerModel {
     /// `modes.active`, splitting `floor_fraction` of that draw into the
     /// frequency-independent floor.
     ///
-    /// # Panics
-    /// Panics unless `0 ≤ floor_fraction < 1` and the calibration point is
-    /// positive.
+    /// # Errors
+    /// [`DpmError::InvalidParameter`] unless `0 ≤ floor_fraction < 1` and
+    /// the calibration point is positive.
     pub fn calibrated(
         modes: ModePower,
         f_cal: Hertz,
         v_cal: Volts,
         floor_fraction: f64,
         total_processors: usize,
+    ) -> Result<Self, DpmError> {
+        if !(0.0..1.0).contains(&floor_fraction) {
+            return Err(DpmError::InvalidParameter {
+                name: "floor_fraction",
+                reason: format!("must lie in [0, 1), got {floor_fraction}"),
+            });
+        }
+        if !(f_cal.value() > 0.0) || !(v_cal.value() > 0.0) {
+            return Err(DpmError::InvalidParameter {
+                name: "calibration point",
+                reason: format!("needs positive f and v, got ({f_cal}, {v_cal})"),
+            });
+        }
+        Ok(Self::calibrated_unchecked(
+            modes,
+            f_cal,
+            v_cal,
+            floor_fraction,
+            total_processors,
+        ))
+    }
+
+    /// The calibration arithmetic without the input checks, for constructing
+    /// platforms from compile-time constants (e.g. [`crate::platform::Platform::pama`]).
+    pub(crate) fn calibrated_unchecked(
+        modes: ModePower,
+        f_cal: Hertz,
+        v_cal: Volts,
+        floor_fraction: f64,
+        total_processors: usize,
     ) -> Self {
-        assert!((0.0..1.0).contains(&floor_fraction));
-        assert!(f_cal.value() > 0.0 && v_cal.value() > 0.0);
+        debug_assert!((0.0..1.0).contains(&floor_fraction));
+        debug_assert!(f_cal.value() > 0.0 && v_cal.value() > 0.0);
         let dynamic = modes.active.value() * (1.0 - floor_fraction);
         let c2 = dynamic / (f_cal.value() * v_cal.value() * v_cal.value());
         Self {
@@ -103,25 +134,26 @@ impl PowerModel {
     }
 
     /// Eq. 6 board power: `n` chips active at a common `(f, v)`, the
-    /// remaining `N − n` in standby.
-    ///
-    /// # Panics
-    /// Panics when `n` exceeds the board's processor count.
+    /// remaining `N − n` in standby. Asking for more chips than the board
+    /// has is a scheduler bug (`debug_assert!`); release builds clamp `n`
+    /// to the processor count.
     pub fn board_power(&self, n: usize, f: Hertz, v: Volts) -> Watts {
-        assert!(
+        debug_assert!(
             n <= self.total_processors,
             "cannot activate {n} of {} processors",
             self.total_processors
         );
+        let n = n.min(self.total_processors);
         let idle = (self.total_processors - n) as f64 * self.modes.standby.value();
         watts(n as f64 * self.chip_active_power(f, v).value() + idle)
     }
 
     /// Eq. 5 heterogeneous board power: per-chip `(fᵢ, vᵢ)` pairs; a chip
     /// with `f = 0` is counted as standby. Chips beyond the supplied list
-    /// (up to `N`) are standby too.
+    /// (up to `N`) are standby too; a list longer than the board clamps,
+    /// like [`PowerModel::board_power`].
     pub fn board_power_hetero(&self, points: &[(Hertz, Volts)]) -> Watts {
-        assert!(points.len() <= self.total_processors);
+        debug_assert!(points.len() <= self.total_processors);
         let mut total = 0.0;
         let mut active = 0usize;
         for &(f, v) in points {
@@ -130,7 +162,7 @@ impl PowerModel {
                 active += 1;
             }
         }
-        let standby = self.total_processors - active;
+        let standby = self.total_processors.saturating_sub(active);
         watts(total + standby as f64 * self.modes.standby.value())
     }
 
@@ -147,7 +179,7 @@ mod tests {
     use crate::units::{volts, Hertz};
 
     fn pama_model() -> PowerModel {
-        PowerModel::calibrated(ModePower::M32RD, Hertz::from_mhz(80.0), volts(3.3), 0.0, 8)
+        PowerModel::calibrated(ModePower::M32RD, Hertz::from_mhz(80.0), volts(3.3), 0.0, 8).unwrap()
     }
 
     #[test]
@@ -214,7 +246,8 @@ mod tests {
     #[test]
     fn floor_fraction_splits_active_power() {
         let m =
-            PowerModel::calibrated(ModePower::M32RD, Hertz::from_mhz(80.0), volts(3.3), 0.25, 8);
+            PowerModel::calibrated(ModePower::M32RD, Hertz::from_mhz(80.0), volts(3.3), 0.25, 8)
+                .unwrap();
         // At the calibration point, total is still 546 mW...
         let p = m.chip_active_power(Hertz::from_mhz(80.0), volts(3.3));
         assert!((p.value() - 0.546).abs() < 1e-12);
@@ -227,5 +260,17 @@ mod tests {
     #[should_panic(expected = "cannot activate")]
     fn board_power_rejects_too_many_processors() {
         pama_model().board_power(9, Hertz::from_mhz(20.0), volts(3.3));
+    }
+
+    #[test]
+    fn calibration_rejects_bad_inputs() {
+        assert!(matches!(
+            PowerModel::calibrated(ModePower::M32RD, Hertz::from_mhz(80.0), volts(3.3), 1.5, 8),
+            Err(DpmError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            PowerModel::calibrated(ModePower::M32RD, Hertz::ZERO, volts(3.3), 0.0, 8),
+            Err(DpmError::InvalidParameter { .. })
+        ));
     }
 }

@@ -19,6 +19,7 @@
 //! α ≈ 2 linearized around the operating region, as used by the StrongARM
 //! and Crusoe DVFS systems the paper cites).
 
+use crate::error::DpmError;
 use crate::units::{hertz, volts, Hertz, Volts};
 use serde::{Deserialize, Serialize};
 
@@ -48,19 +49,26 @@ pub enum VoltageFrequencyMap {
 impl VoltageFrequencyMap {
     /// Build a table map, validating monotonicity.
     ///
-    /// # Panics
-    /// Panics when fewer than two points are given or the table is not
-    /// strictly increasing in both coordinates (a non-monotone `g` has no
-    /// inverse, and Eq. 11 requires one).
-    pub fn table(points: Vec<(Volts, Hertz)>) -> Self {
-        assert!(points.len() >= 2, "table needs at least two points");
-        for w in points.windows(2) {
-            assert!(
-                w[1].0.value() > w[0].0.value() && w[1].1.value() > w[0].1.value(),
-                "voltage–frequency table must be strictly increasing"
-            );
+    /// # Errors
+    /// [`DpmError::InvalidParameter`] when fewer than two points are given
+    /// or the table is not strictly increasing in both coordinates (a
+    /// non-monotone `g` has no inverse, and Eq. 11 requires one).
+    pub fn table(points: Vec<(Volts, Hertz)>) -> Result<Self, DpmError> {
+        if points.len() < 2 {
+            return Err(DpmError::InvalidParameter {
+                name: "vf table",
+                reason: "needs at least two points".into(),
+            });
         }
-        Self::Table(points)
+        for w in points.windows(2) {
+            if w[1].0.value() <= w[0].0.value() || w[1].1.value() <= w[0].1.value() {
+                return Err(DpmError::InvalidParameter {
+                    name: "vf table",
+                    reason: "voltage–frequency table must be strictly increasing".into(),
+                });
+            }
+        }
+        Ok(Self::Table(points))
     }
 
     /// `g(v)`: maximum frequency sustainable at voltage `v`.
@@ -77,23 +85,28 @@ impl VoltageFrequencyMap {
                 hertz((slope * (v.value() - threshold.value())).max(0.0))
             }
             Self::Table(points) => {
-                if v.value() <= points[0].0.value() {
+                // `table()` guarantees ≥ 2 points; a hand-built `Table`
+                // variant might not, so degrade to 0 Hz instead of indexing.
+                let Some(&(_, f_last)) = points.last() else {
+                    return Hertz::ZERO;
+                };
+                let Some(&(v0, f0)) = points.first() else {
+                    return Hertz::ZERO;
+                };
+                if v.value() <= v0.value() {
                     // Below the first calibrated point, scale down linearly
                     // to zero at v = 0 (conservative extrapolation).
-                    let (v0, f0) = points[0];
                     return hertz((f0.value() * (v.value() / v0.value())).max(0.0));
                 }
-                if v.value() >= points.last().unwrap().0.value() {
-                    return points.last().unwrap().1;
-                }
                 for w in points.windows(2) {
-                    let ((v0, f0), (v1, f1)) = (w[0], w[1]);
-                    if v.value() <= v1.value() {
-                        let t = (v.value() - v0.value()) / (v1.value() - v0.value());
-                        return hertz(f0.value() + t * (f1.value() - f0.value()));
+                    let ((va, fa), (vb, fb)) = (w[0], w[1]);
+                    if v.value() <= vb.value() {
+                        let t = (v.value() - va.value()) / (vb.value() - va.value());
+                        return hertz(fa.value() + t * (fb.value() - fa.value()));
                     }
                 }
-                unreachable!("table scan covers the full range")
+                // Above the table: saturate at the last calibrated point.
+                f_last
             }
         }
     }
@@ -109,11 +122,11 @@ impl VoltageFrequencyMap {
                 (*slope > 0.0).then(|| volts(threshold.value() + f.value() / slope))
             }
             Self::Table(points) => {
-                let (v_last, f_last) = *points.last().unwrap();
+                let (v_last, f_last) = *points.last()?;
                 if f.value() > f_last.value() + 1e-9 {
                     return None;
                 }
-                let (v0, f0) = points[0];
+                let (v0, f0) = *points.first()?;
                 if f.value() <= f0.value() {
                     return Some(volts(v0.value() * (f.value() / f0.value()).max(0.0)));
                 }
@@ -208,7 +221,8 @@ mod tests {
             (volts(1.0), Hertz::from_mhz(20.0)),
             (volts(2.0), Hertz::from_mhz(60.0)),
             (volts(3.0), Hertz::from_mhz(80.0)),
-        ]);
+        ])
+        .unwrap();
         let f = m.max_frequency(volts(1.5));
         assert!((f.mhz() - 40.0).abs() < 1e-9);
         let v = m.min_voltage_for(hertz(40.0e6)).unwrap();
@@ -223,19 +237,32 @@ mod tests {
         let m = VoltageFrequencyMap::table(vec![
             (volts(1.0), Hertz::from_mhz(20.0)),
             (volts(2.0), Hertz::from_mhz(60.0)),
-        ]);
+        ])
+        .unwrap();
         assert!((m.max_frequency(volts(0.5)).mhz() - 10.0).abs() < 1e-9);
         let v = m.min_voltage_for(Hertz::from_mhz(10.0)).unwrap();
         assert!((v.value() - 0.5).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "strictly increasing")]
     fn table_map_rejects_non_monotone() {
-        VoltageFrequencyMap::table(vec![
-            (volts(2.0), Hertz::from_mhz(60.0)),
-            (volts(1.0), Hertz::from_mhz(20.0)),
-        ]);
+        assert!(matches!(
+            VoltageFrequencyMap::table(vec![
+                (volts(2.0), Hertz::from_mhz(60.0)),
+                (volts(1.0), Hertz::from_mhz(20.0)),
+            ]),
+            Err(DpmError::InvalidParameter { .. })
+        ));
+        assert!(VoltageFrequencyMap::table(vec![(volts(1.0), Hertz::from_mhz(20.0))]).is_err());
+    }
+
+    #[test]
+    fn degenerate_table_degrades_instead_of_panicking() {
+        // A hand-built empty Table bypasses `table()`'s validation; lookups
+        // must still return something sensible.
+        let m = VoltageFrequencyMap::Table(vec![]);
+        assert_eq!(m.max_frequency(volts(2.0)), Hertz::ZERO);
+        assert_eq!(m.min_voltage_for(Hertz::from_mhz(20.0)), None);
     }
 
     #[test]

@@ -116,7 +116,8 @@ mod tests {
     /// regimes are reachable: g(v) affine through the origin region.
     fn platform() -> Platform {
         let mut p = Platform::pama_dvfs();
-        p.workload = AmdahlWorkload::new(seconds(4.8), seconds(0.96), Hertz::from_mhz(20.0));
+        p.workload =
+            AmdahlWorkload::new(seconds(4.8), seconds(0.96), Hertz::from_mhz(20.0)).unwrap();
         p
     }
 

@@ -188,13 +188,14 @@ mod tests {
         let mut p = Platform::pama_dvfs();
         // Workload with Ts/Tt = 0.2 ⇒ n* = 2·(5−1) = 8 > workers (7).
         p.workload =
-            crate::model::AmdahlWorkload::new(seconds(4.8), seconds(0.96), Hertz::from_mhz(20.0));
+            crate::model::AmdahlWorkload::new(seconds(4.8), seconds(0.96), Hertz::from_mhz(20.0))
+                .unwrap();
         p
     }
 
     #[test]
     fn eq14_ratio_always_prefers_frequency_below_pivot() {
-        let w = AmdahlWorkload::new(seconds(4.8), seconds(0.48), Hertz::from_mhz(20.0));
+        let w = AmdahlWorkload::new(seconds(4.8), seconds(0.48), Hertz::from_mhz(20.0)).unwrap();
         for n in 1..=16 {
             assert!(marginal_gain_ratio(&w, n, false) > 1.0);
             assert_eq!(growth_preference(&w, n, false), GrowthPreference::Frequency);
@@ -204,7 +205,7 @@ mod tests {
     #[test]
     fn eq17_threshold_flips_preference() {
         // Ts/Tt = 0.1 ⇒ ratio crosses 1 at n·Ts/(Tt−Ts) = 2 ⇔ n = 18.
-        let w = AmdahlWorkload::new(seconds(4.8), seconds(0.48), Hertz::from_mhz(20.0));
+        let w = AmdahlWorkload::new(seconds(4.8), seconds(0.48), Hertz::from_mhz(20.0)).unwrap();
         assert_eq!(
             growth_preference(&w, 17, true),
             GrowthPreference::Processors
@@ -219,7 +220,7 @@ mod tests {
 
     #[test]
     fn fully_parallel_always_prefers_processors_above_pivot() {
-        let w = AmdahlWorkload::fully_parallel(seconds(4.8), Hertz::from_mhz(20.0));
+        let w = AmdahlWorkload::fully_parallel(seconds(4.8), Hertz::from_mhz(20.0)).unwrap();
         for n in 1..=64 {
             assert_eq!(growth_preference(&w, n, true), GrowthPreference::Processors);
         }
@@ -247,7 +248,8 @@ mod tests {
     fn case3_holds_n_star_and_raises_frequency() {
         let mut p = dvfs_platform();
         // Make n* = 4 (< 7 workers): Tt/Ts = 3 ⇒ Ts = Tt/3.
-        p.workload = AmdahlWorkload::new(seconds(4.8), seconds(1.6), Hertz::from_mhz(20.0));
+        p.workload =
+            AmdahlWorkload::new(seconds(4.8), seconds(1.6), Hertz::from_mhz(20.0)).unwrap();
         let g_vmin = p.vf.pivot_frequency(p.v_min);
         let chip_at = |f: Hertz| {
             let v = p.vf.operating_voltage(f, p.v_min, p.v_max).unwrap();
@@ -295,7 +297,8 @@ mod tests {
     #[test]
     fn fully_serial_pins_one_processor() {
         let mut p = dvfs_platform();
-        p.workload = AmdahlWorkload::new(seconds(4.8), seconds(4.8), Hertz::from_mhz(20.0));
+        p.workload =
+            AmdahlWorkload::new(seconds(4.8), seconds(4.8), Hertz::from_mhz(20.0)).unwrap();
         let pt = continuous_operating_point(&p, watts(5.0));
         assert_eq!(pt.n, 1.0);
     }

@@ -21,6 +21,7 @@
 
 use super::pareto::RatedPoint;
 use super::OperatingPoint;
+use crate::error::DpmError;
 use crate::model::Throughput;
 use crate::platform::Platform;
 use crate::units::{watts, Hertz, Volts, Watts};
@@ -199,19 +200,32 @@ pub struct HeteroAllocator {
 impl HeteroAllocator {
     /// Build from the class inventory.
     ///
-    /// # Panics
-    /// Panics on an empty inventory or non-positive speeds/powers.
-    pub fn new(classes: Vec<ProcessorClass>) -> Self {
-        assert!(!classes.is_empty());
-        for c in &classes {
-            assert!(c.speed > 0.0, "class {} has non-positive speed", c.name);
-            assert!(
-                c.chip_power.value() > 0.0,
-                "class {} has non-positive power",
-                c.name
-            );
+    /// # Errors
+    /// [`DpmError::InvalidParameter`] on an empty inventory or a class with
+    /// non-positive speed or chip power (the greedy density ordering would
+    /// divide by zero).
+    pub fn new(classes: Vec<ProcessorClass>) -> Result<Self, DpmError> {
+        if classes.is_empty() {
+            return Err(DpmError::InvalidParameter {
+                name: "classes",
+                reason: "processor inventory is empty".into(),
+            });
         }
-        Self { classes }
+        for c in &classes {
+            if !(c.speed > 0.0) {
+                return Err(DpmError::InvalidParameter {
+                    name: "speed",
+                    reason: format!("class {} has non-positive speed {}", c.name, c.speed),
+                });
+            }
+            if !(c.chip_power.value() > 0.0) {
+                return Err(DpmError::InvalidParameter {
+                    name: "chip_power",
+                    reason: format!("class {} has non-positive power {}", c.name, c.chip_power),
+                });
+            }
+        }
+        Ok(Self { classes })
     }
 
     /// Activate chips in descending speed-per-watt order until the budget
@@ -318,7 +332,7 @@ mod tests {
     fn mixed_table_contains_uniform_points() {
         let platform = Platform::pama();
         let mixed = MixedFrequencyTable::build(&platform);
-        let homo = ParetoTable::build(&platform);
+        let homo = ParetoTable::build(&platform).unwrap();
         // Every homogeneous frontier power level is matched or beaten.
         for r in homo.frontier().iter().skip(1) {
             let m = mixed.best_within(r.power).expect("budget covers a point");
@@ -383,7 +397,7 @@ mod tests {
     #[test]
     fn hetero_prefers_denser_class_first() {
         // dsp density 2.5 speed/W > pim 1.83: budget for one dsp only.
-        let h = HeteroAllocator::new(classes());
+        let h = HeteroAllocator::new(classes()).unwrap();
         let plan = h.allocate(watts(1.3));
         assert_eq!(plan.activations.len(), 1);
         assert_eq!(plan.activations[0].class, "dsp");
@@ -392,7 +406,7 @@ mod tests {
 
     #[test]
     fn hetero_spills_to_second_class() {
-        let h = HeteroAllocator::new(classes());
+        let h = HeteroAllocator::new(classes()).unwrap();
         // 2 dsp = 2.4 W; remainder buys pims.
         let plan = h.allocate(watts(4.0));
         let dsp = plan.activations.iter().find(|a| a.class == "dsp").unwrap();
@@ -404,7 +418,7 @@ mod tests {
 
     #[test]
     fn hetero_zero_budget_activates_nothing() {
-        let h = HeteroAllocator::new(classes());
+        let h = HeteroAllocator::new(classes()).unwrap();
         let plan = h.allocate(Watts::ZERO);
         assert!(plan.activations.is_empty());
         assert_eq!(plan.speed, 0.0);
@@ -412,7 +426,7 @@ mod tests {
 
     #[test]
     fn hetero_speed_monotone_in_budget() {
-        let h = HeteroAllocator::new(classes());
+        let h = HeteroAllocator::new(classes()).unwrap();
         let mut last = -1.0;
         for i in 0..20 {
             let plan = h.allocate(watts(0.4 * i as f64));
@@ -422,12 +436,38 @@ mod tests {
     }
 
     #[test]
+    fn hetero_rejects_degenerate_inventory() {
+        assert!(matches!(
+            HeteroAllocator::new(vec![]),
+            Err(DpmError::InvalidParameter {
+                name: "classes",
+                ..
+            })
+        ));
+        let mut bad = classes();
+        bad[0].speed = 0.0;
+        assert!(matches!(
+            HeteroAllocator::new(bad),
+            Err(DpmError::InvalidParameter { name: "speed", .. })
+        ));
+        let mut bad = classes();
+        bad[1].chip_power = Watts::ZERO;
+        assert!(matches!(
+            HeteroAllocator::new(bad),
+            Err(DpmError::InvalidParameter {
+                name: "chip_power",
+                ..
+            })
+        ));
+    }
+
+    #[test]
     fn mixed_plan_never_underperforms_homogeneous_plan() {
         // Same per-slot budgets: the finer frontier can only do at least
         // as many jobs within the same power.
         let platform = Platform::pama();
         let mixed = MixedFrequencyTable::build(&platform);
-        let homo = ParetoTable::build(&platform);
+        let homo = ParetoTable::build(&platform).unwrap();
         let budgets: Vec<f64> = vec![0.4, 0.8, 1.2, 1.6, 2.0, 2.4, 2.8, 3.2, 3.6, 4.0, 4.4, 0.6];
         let plan = plan_mixed(&mixed, &budgets);
         let mixed_jobs = plan.total_jobs(4.8);

@@ -7,6 +7,7 @@
 //! point not exceeding the slot's power budget") a binary search.
 
 use super::OperatingPoint;
+use crate::error::DpmError;
 use crate::model::Throughput;
 use crate::platform::Platform;
 use crate::units::Watts;
@@ -37,19 +38,28 @@ pub struct ParetoTable {
 impl ParetoTable {
     /// Rate every `(n, f)` pair of the platform — `n ∈ {0} ∪ [1, workers]`,
     /// `f` in the discrete frequency set — and prune dominated pairs.
-    pub fn build(platform: &Platform) -> Self {
+    ///
+    /// # Errors
+    /// Propagates [`Platform::validate`]: a malformed platform cannot be
+    /// rated.
+    pub fn build(platform: &Platform) -> Result<Self, DpmError> {
+        platform.validate()?;
         let rated = Self::rate_all(platform);
         let raw_count = rated.len();
         let frontier = Self::prune(rated);
-        Self {
+        Ok(Self {
             frontier,
             raw_count,
-        }
+        })
     }
 
     /// Build without pruning (ablation baseline): the table keeps every
     /// pair; lookups scan linearly for the best feasible point.
-    pub fn build_unpruned(platform: &Platform) -> Self {
+    ///
+    /// # Errors
+    /// Same conditions as [`ParetoTable::build`].
+    pub fn build_unpruned(platform: &Platform) -> Result<Self, DpmError> {
+        platform.validate()?;
         let mut rated = Self::rate_all(platform);
         let raw_count = rated.len();
         rated.sort_by(|a, b| {
@@ -58,10 +68,10 @@ impl ParetoTable {
                 .total_cmp(&b.power.value())
                 .then(a.perf.value().total_cmp(&b.perf.value()))
         });
-        Self {
+        Ok(Self {
             frontier: rated,
             raw_count,
-        }
+        })
     }
 
     fn rate_all(platform: &Platform) -> Vec<RatedPoint> {
@@ -121,6 +131,17 @@ impl ParetoTable {
         self.raw_count
     }
 
+    /// The degenerate answer when the frontier is somehow empty (only
+    /// possible by deserializing a hand-written table — [`Self::build`]
+    /// always seeds the off point): everything off, zero power.
+    fn off_fallback() -> RatedPoint {
+        RatedPoint {
+            point: OperatingPoint::OFF,
+            power: Watts::ZERO,
+            perf: Throughput::ZERO,
+        }
+    }
+
     /// Highest-performance point whose power does not exceed `budget`
     /// (Algorithm 2 lines 12–13). Returns the all-off point when even that
     /// exceeds the budget — the board cannot draw less than its standby
@@ -137,11 +158,11 @@ impl ParetoTable {
                 hi = mid;
             }
         }
-        if lo == 0 {
-            self.frontier[0]
-        } else {
-            self.frontier[lo - 1]
-        }
+        let idx = lo.saturating_sub(1);
+        self.frontier
+            .get(idx)
+            .copied()
+            .unwrap_or_else(Self::off_fallback)
     }
 
     /// The frontier point whose power is *nearest* to `budget` (Algorithm
@@ -180,16 +201,20 @@ impl ParetoTable {
 
     /// The maximum achievable throughput.
     pub fn peak(&self) -> RatedPoint {
-        *self
-            .frontier
+        self.frontier
             .last()
-            .expect("frontier always contains the off point")
+            .copied()
+            .unwrap_or_else(Self::off_fallback)
     }
 
     /// Linear-scan lookup used by the unpruned ablation table: same answer
     /// as [`Self::best_within`], O(len) instead of O(log len).
     pub fn best_within_scan(&self, budget: Watts) -> RatedPoint {
-        let mut best = self.frontier[0];
+        let mut best = self
+            .frontier
+            .first()
+            .copied()
+            .unwrap_or_else(Self::off_fallback);
         for r in &self.frontier {
             if r.power.value() <= budget.value() + 1e-12 && r.perf.value() >= best.perf.value() {
                 best = *r;
@@ -205,7 +230,7 @@ mod tests {
     use crate::units::watts;
 
     fn table() -> ParetoTable {
-        ParetoTable::build(&Platform::pama())
+        ParetoTable::build(&Platform::pama()).unwrap()
     }
 
     #[test]
@@ -238,8 +263,8 @@ mod tests {
     fn no_non_dominated_pair_is_lost() {
         // Every raw pair must be dominated by some frontier entry.
         let platform = Platform::pama();
-        let pruned = ParetoTable::build(&platform);
-        let raw = ParetoTable::build_unpruned(&platform);
+        let pruned = ParetoTable::build(&platform).unwrap();
+        let raw = ParetoTable::build_unpruned(&platform).unwrap();
         for r in raw.frontier() {
             let dominated_or_present = pruned.frontier().iter().any(|f| {
                 f.power.value() <= r.power.value() + 1e-12
@@ -252,8 +277,8 @@ mod tests {
     #[test]
     fn best_within_matches_linear_scan() {
         let platform = Platform::pama();
-        let pruned = ParetoTable::build(&platform);
-        let unpruned = ParetoTable::build_unpruned(&platform);
+        let pruned = ParetoTable::build(&platform).unwrap();
+        let unpruned = ParetoTable::build_unpruned(&platform).unwrap();
         for i in 0..100 {
             let budget = watts(0.05 * i as f64);
             let a = pruned.best_within(budget);
@@ -293,6 +318,27 @@ mod tests {
         assert!(t
             .cheapest_reaching(Throughput(t.peak().perf.value() * 2.0))
             .is_none());
+    }
+
+    #[test]
+    fn build_rejects_invalid_platform() {
+        let mut p = Platform::pama();
+        p.frequencies.clear();
+        assert!(matches!(
+            ParetoTable::build(&p),
+            Err(DpmError::InvalidPlatform(_))
+        ));
+    }
+
+    #[test]
+    fn empty_frontier_degrades_to_off() {
+        let t = ParetoTable {
+            frontier: Vec::new(),
+            raw_count: 0,
+        };
+        assert!(t.peak().point.is_off());
+        assert!(t.best_within(watts(1.0)).point.is_off());
+        assert!(t.best_within_scan(watts(1.0)).point.is_off());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use super::pareto::ParetoTable;
 use super::OperatingPoint;
+use crate::error::DpmError;
 use crate::platform::Platform;
 use crate::runtime::redistribute;
 use crate::series::PowerSeries;
@@ -75,10 +76,13 @@ pub struct ParameterScheduler {
 
 impl ParameterScheduler {
     /// Build (validates the platform, rates and prunes the pair table).
-    pub fn new(platform: Platform) -> Self {
-        platform.validate().expect("invalid platform");
-        let pareto = ParetoTable::build(&platform);
-        Self { platform, pareto }
+    ///
+    /// # Errors
+    /// Propagates [`Platform::validate`] — e.g. an empty frequency ladder or
+    /// an inverted battery window.
+    pub fn new(platform: Platform) -> Result<Self, DpmError> {
+        let pareto = ParetoTable::build(&platform)?;
+        Ok(Self { platform, pareto })
     }
 
     /// Build with an explicitly-provided table (e.g. the unpruned ablation
@@ -95,13 +99,17 @@ impl ParameterScheduler {
     /// Plan one period. `allocation` is the §4.1 power allocation,
     /// `charging` the matching supply forecast, `battery0` the charge at
     /// the period start.
+    ///
+    /// # Errors
+    /// [`DpmError::SeriesMismatch`]/[`DpmError::InvalidSeries`] when the
+    /// allocation and charging schedules disagree on slotting.
     pub fn plan(
         &self,
         allocation: &PowerSeries,
         charging: &PowerSeries,
         battery0: Joules,
-    ) -> ParameterSchedule {
-        assert_eq!(allocation.len(), charging.len());
+    ) -> Result<ParameterSchedule, DpmError> {
+        allocation.check_aligned(charging)?;
         let tau = self.platform.tau;
         let floor = self.platform.power.all_standby();
         let ceiling = self
@@ -143,7 +151,7 @@ impl ParameterScheduler {
                     self.platform.battery,
                     e_diff,
                     (floor, ceiling),
-                );
+                )?;
             }
 
             battery = self
@@ -162,7 +170,7 @@ impl ParameterScheduler {
             });
             current = point;
         }
-        ParameterSchedule { slots }
+        Ok(ParameterSchedule { slots })
     }
 
     /// Overhead-aware selection (lines 12–22). Returns the chosen point and
@@ -219,19 +227,21 @@ mod tests {
             vec![
                 2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
             ],
-        );
+        )
+        .unwrap();
         let alloc = PowerSeries::new(
             seconds(4.8),
             vec![2.2, 2.0, 1.2, 1.2, 2.0, 2.3, 1.2, 0.9, 0.5, 0.5, 0.9, 1.1],
-        );
+        )
+        .unwrap();
         (alloc, charging)
     }
 
     #[test]
     fn plan_covers_every_slot() {
         let (alloc, charging) = allocation();
-        let s = ParameterScheduler::new(Platform::pama());
-        let plan = s.plan(&alloc, &charging, joules(8.0));
+        let s = ParameterScheduler::new(Platform::pama()).unwrap();
+        let plan = s.plan(&alloc, &charging, joules(8.0)).unwrap();
         assert_eq!(plan.slots.len(), 12);
     }
 
@@ -239,8 +249,8 @@ mod tests {
     fn selected_power_is_nearest_frontier_point() {
         let (alloc, charging) = allocation();
         let platform = Platform::pama();
-        let s = ParameterScheduler::new(platform);
-        let plan = s.plan(&alloc, &charging, joules(8.0));
+        let s = ParameterScheduler::new(platform).unwrap();
+        let plan = s.plan(&alloc, &charging, joules(8.0)).unwrap();
         for slot in &plan.slots {
             let err = (slot.power.value() - slot.budget.value()).abs();
             for r in s.table().frontier() {
@@ -259,9 +269,9 @@ mod tests {
     #[test]
     fn bigger_budget_never_hurts_performance() {
         let (alloc, charging) = allocation();
-        let s = ParameterScheduler::new(Platform::pama());
-        let small = s.plan(&alloc.scale(0.5), &charging, joules(8.0));
-        let large = s.plan(&alloc, &charging, joules(8.0));
+        let s = ParameterScheduler::new(Platform::pama()).unwrap();
+        let small = s.plan(&alloc.scale(0.5), &charging, joules(8.0)).unwrap();
+        let large = s.plan(&alloc, &charging, joules(8.0)).unwrap();
         let p = Platform::pama();
         assert!(large.total_jobs(&p) >= small.total_jobs(&p));
     }
@@ -269,8 +279,8 @@ mod tests {
     #[test]
     fn free_overheads_switch_freely() {
         let (alloc, charging) = allocation();
-        let s = ParameterScheduler::new(Platform::pama());
-        let plan = s.plan(&alloc, &charging, joules(8.0));
+        let s = ParameterScheduler::new(Platform::pama()).unwrap();
+        let plan = s.plan(&alloc, &charging, joules(8.0)).unwrap();
         // The twin-peak allocation forces multiple distinct points.
         assert!(
             plan.switch_count() >= 2,
@@ -288,8 +298,8 @@ mod tests {
             processor_change: joules(100.0),
             frequency_change: joules(100.0),
         };
-        let s = ParameterScheduler::new(platform);
-        let plan = s.plan(&alloc, &charging, joules(8.0));
+        let s = ParameterScheduler::new(platform).unwrap();
+        let plan = s.plan(&alloc, &charging, joules(8.0)).unwrap();
         assert!(
             plan.switch_count() <= 1,
             "switches: {}",
@@ -300,13 +310,19 @@ mod tests {
     #[test]
     fn moderate_overheads_reduce_switching() {
         let (alloc, charging) = allocation();
-        let free = ParameterScheduler::new(Platform::pama()).plan(&alloc, &charging, joules(8.0));
+        let free = ParameterScheduler::new(Platform::pama())
+            .unwrap()
+            .plan(&alloc, &charging, joules(8.0))
+            .unwrap();
         let mut platform = Platform::pama();
         platform.overheads = SwitchOverheads {
             processor_change: joules(1.0),
             frequency_change: joules(2.0),
         };
-        let costly = ParameterScheduler::new(platform).plan(&alloc, &charging, joules(8.0));
+        let costly = ParameterScheduler::new(platform)
+            .unwrap()
+            .plan(&alloc, &charging, joules(8.0))
+            .unwrap();
         assert!(costly.switch_count() <= free.switch_count());
     }
 
@@ -314,15 +330,33 @@ mod tests {
     fn unpruned_table_yields_same_schedule() {
         let (alloc, charging) = allocation();
         let platform = Platform::pama();
-        let pruned = ParameterScheduler::new(platform.clone()).plan(&alloc, &charging, joules(8.0));
+        let pruned = ParameterScheduler::new(platform.clone())
+            .unwrap()
+            .plan(&alloc, &charging, joules(8.0))
+            .unwrap();
         let unpruned = ParameterScheduler::with_table(
             platform.clone(),
-            ParetoTable::build(&platform), // pruning correctness is checked in pareto tests
+            ParetoTable::build(&platform).unwrap(), // pruning correctness is checked in pareto tests
         )
-        .plan(&alloc, &charging, joules(8.0));
+        .plan(&alloc, &charging, joules(8.0))
+        .unwrap();
         for (a, b) in pruned.slots.iter().zip(&unpruned.slots) {
             assert_eq!(a.point, b.point);
         }
+    }
+
+    #[test]
+    fn plan_rejects_misaligned_schedules() {
+        let (alloc, _) = allocation();
+        let charging = PowerSeries::constant(seconds(4.8), 6, 2.36).unwrap();
+        let s = ParameterScheduler::new(Platform::pama()).unwrap();
+        assert!(matches!(
+            s.plan(&alloc, &charging, joules(8.0)),
+            Err(DpmError::SeriesMismatch {
+                expected: 12,
+                got: 6
+            })
+        ));
     }
 
     #[test]
@@ -333,8 +367,8 @@ mod tests {
             processor_change: joules(0.5),
             frequency_change: joules(0.5),
         };
-        let s = ParameterScheduler::new(platform.clone());
-        let plan = s.plan(&alloc, &charging, joules(8.0));
+        let s = ParameterScheduler::new(platform.clone()).unwrap();
+        let plan = s.plan(&alloc, &charging, joules(8.0)).unwrap();
         let base: Joules = plan.slots.iter().map(|s| s.power * platform.tau).sum();
         let with_oh = plan.total_energy(&platform);
         assert!(with_oh.value() >= base.value());

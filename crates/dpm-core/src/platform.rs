@@ -1,8 +1,9 @@
 //! Platform description: everything §2 defines about the machine and its
 //! energy store, bundled so the three algorithms share one source of truth.
 
+use crate::error::DpmError;
 use crate::model::{AmdahlWorkload, ModePower, PerfModel, PowerModel, VoltageFrequencyMap};
-use crate::units::{joules, seconds, volts, Hertz, Joules, Seconds, Volts, Watts};
+use crate::units::{hertz, joules, seconds, volts, Hertz, Joules, Seconds, Volts, Watts};
 use serde::{Deserialize, Serialize};
 
 /// Switching overheads (§4.2): energy cost charged when the parameter
@@ -51,10 +52,18 @@ pub struct BatteryLimits {
 
 impl BatteryLimits {
     /// Construct, validating `0 ≤ C_min < C_max`.
-    pub fn new(c_min: Joules, c_max: Joules) -> Self {
-        assert!(c_min.value() >= 0.0, "C_min must be non-negative");
-        assert!(c_max.value() > c_min.value(), "C_max must exceed C_min");
-        Self { c_max, c_min }
+    ///
+    /// # Errors
+    /// [`DpmError::BatteryLimitViolation`] when the window is negative or
+    /// inverted.
+    pub fn new(c_min: Joules, c_max: Joules) -> Result<Self, DpmError> {
+        if c_min.value() < 0.0 || c_max.value() <= c_min.value() {
+            return Err(DpmError::BatteryLimitViolation {
+                c_min: c_min.value(),
+                c_max: c_max.value(),
+            });
+        }
+        Ok(Self { c_max, c_min })
     }
 
     /// Usable window `C_max − C_min`.
@@ -124,10 +133,16 @@ impl Platform {
             voltage: v,
             f_max: Hertz::from_mhz(80.0),
         };
-        let power = PowerModel::calibrated(ModePower::M32RD, Hertz::from_mhz(80.0), v, 0.0, 8);
+        let power =
+            PowerModel::calibrated_unchecked(ModePower::M32RD, Hertz::from_mhz(80.0), v, 0.0, 8);
         // The FORTE FFT job: 4.8 s at 20 MHz on one worker; scatter/gather
-        // over the ring serializes ~8% of it.
-        let workload = AmdahlWorkload::new(seconds(4.8), seconds(0.384), Hertz::from_mhz(20.0));
+        // over the ring serializes ~8% of it. Constants satisfy
+        // 0 ≤ Ts ≤ Tt by inspection, so the struct is built directly.
+        let workload = AmdahlWorkload {
+            total: seconds(4.8),
+            serial: seconds(0.384),
+            f_ref: Hertz::from_mhz(20.0),
+        };
         Self {
             processors: 8,
             reserved: 1,
@@ -138,7 +153,12 @@ impl Platform {
             power,
             workload,
             tau: seconds(4.8),
-            battery: BatteryLimits::new(joules(0.5), joules(16.0)),
+            // Literal window (0 ≤ 0.5 < 16 by inspection); the fallible
+            // constructor is for externally supplied limits.
+            battery: BatteryLimits {
+                c_min: joules(0.5),
+                c_max: joules(16.0),
+            },
             overheads: SwitchOverheads::FREE,
         }
     }
@@ -164,17 +184,18 @@ impl Platform {
         self.processors - self.reserved
     }
 
-    /// Fastest selectable frequency.
+    /// Fastest selectable frequency. A platform with no frequencies (which
+    /// [`Platform::validate`] rejects) reports 0 Hz.
     pub fn f_max(&self) -> Hertz {
-        *self
-            .frequencies
-            .last()
-            .expect("platform must define at least one frequency")
+        debug_assert!(!self.frequencies.is_empty());
+        self.frequencies.last().copied().unwrap_or(hertz(0.0))
     }
 
-    /// Slowest selectable (non-zero) frequency.
+    /// Slowest selectable (non-zero) frequency, with the same 0 Hz fallback
+    /// as [`Platform::f_max`].
     pub fn f_min(&self) -> Hertz {
-        self.frequencies[0]
+        debug_assert!(!self.frequencies.is_empty());
+        self.frequencies.first().copied().unwrap_or(hertz(0.0))
     }
 
     /// Eq. 11 voltage for a frequency, or `None` when unattainable.
@@ -202,38 +223,51 @@ impl Platform {
 
     /// Validate internal consistency; called by constructors of the
     /// scheduling structs so a malformed hand-built platform fails fast.
-    pub fn validate(&self) -> Result<(), String> {
+    ///
+    /// # Errors
+    /// [`DpmError::InvalidPlatform`] naming the first violated constraint,
+    /// or [`DpmError::BatteryLimitViolation`] for a bad capacity window.
+    pub fn validate(&self) -> Result<(), DpmError> {
+        let invalid = |msg: &str| Err(DpmError::InvalidPlatform(msg.into()));
         if self.processors == 0 {
-            return Err("platform needs at least one processor".into());
+            return invalid("platform needs at least one processor");
         }
         if self.reserved >= self.processors {
-            return Err("reserved processors must leave at least one worker".into());
+            return invalid("reserved processors must leave at least one worker");
         }
         if self.frequencies.is_empty() {
-            return Err("platform needs at least one frequency".into());
+            return invalid("platform needs at least one frequency");
         }
         if !self
             .frequencies
             .windows(2)
             .all(|w| w[1].value() > w[0].value())
         {
-            return Err("frequencies must be strictly ascending".into());
+            return invalid("frequencies must be strictly ascending");
         }
         if self.v_min.value() > self.v_max.value() {
-            return Err("v_min must not exceed v_max".into());
+            return invalid("v_min must not exceed v_max");
         }
         if self.tau.value() <= 0.0 {
-            return Err("tau must be positive".into());
+            return invalid("tau must be positive");
         }
         if self.power.total_processors != self.processors {
-            return Err("power model processor count must match platform".into());
+            return invalid("power model processor count must match platform");
+        }
+        if self.battery.c_min.value() < 0.0
+            || self.battery.c_max.value() <= self.battery.c_min.value()
+        {
+            return Err(DpmError::BatteryLimitViolation {
+                c_min: self.battery.c_min.value(),
+                c_max: self.battery.c_max.value(),
+            });
         }
         for &f in &self.frequencies {
             if self.voltage_for(f).is_none() {
-                return Err(format!(
+                return Err(DpmError::InvalidPlatform(format!(
                     "frequency {} is unattainable at v_max {}",
                     f, self.v_max
-                ));
+                )));
             }
         }
         Ok(())
@@ -282,7 +316,7 @@ mod tests {
 
     #[test]
     fn battery_limits_validate_and_clamp() {
-        let b = BatteryLimits::new(joules(0.5), joules(16.0));
+        let b = BatteryLimits::new(joules(0.5), joules(16.0)).unwrap();
         assert_eq!(b.window(), joules(15.5));
         assert_eq!(b.clamp(joules(20.0)), joules(16.0));
         assert_eq!(b.clamp(joules(0.0)), joules(0.5));
@@ -291,9 +325,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "C_max must exceed C_min")]
     fn battery_limits_reject_inverted_window() {
-        BatteryLimits::new(joules(5.0), joules(1.0));
+        assert_eq!(
+            BatteryLimits::new(joules(5.0), joules(1.0)),
+            Err(DpmError::BatteryLimitViolation {
+                c_min: 5.0,
+                c_max: 1.0
+            })
+        );
+        assert!(BatteryLimits::new(joules(-1.0), joules(1.0)).is_err());
+    }
+
+    #[test]
+    fn validation_catches_inverted_battery_window() {
+        let mut p = Platform::pama();
+        p.battery.c_min = joules(20.0);
+        assert!(matches!(
+            p.validate(),
+            Err(DpmError::BatteryLimitViolation { .. })
+        ));
     }
 
     #[test]

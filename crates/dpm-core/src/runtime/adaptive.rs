@@ -11,6 +11,7 @@
 
 use super::controller::DpmController;
 use crate::alloc::{AllocationProblem, InitialAllocator};
+use crate::error::DpmError;
 use crate::forecast::{ForecastMethod, ScheduleEstimator};
 use crate::governor::{Governor, SlotObservation};
 use crate::params::OperatingPoint;
@@ -32,25 +33,30 @@ pub struct AdaptiveDpmController {
 
 impl AdaptiveDpmController {
     /// Build from a prior charging forecast and a demand shape.
+    ///
+    /// # Errors
+    /// Propagates [`Platform::validate`], schedule-alignment errors, and
+    /// any failure of the initial §4.1 allocation (infeasible or
+    /// non-convergent problems surface here, before the first slot runs).
     pub fn new(
         platform: Platform,
         prior_charging: PowerSeries,
         demand: PowerSeries,
         method: ForecastMethod,
         initial_charge: crate::units::Joules,
-    ) -> Self {
-        platform.validate().expect("invalid platform");
-        assert_eq!(prior_charging.len(), demand.len());
-        let estimator = ScheduleEstimator::new(prior_charging.clone(), method);
-        let inner = Self::build_inner(&platform, &prior_charging, &demand, initial_charge);
-        Self {
+    ) -> Result<Self, DpmError> {
+        platform.validate()?;
+        prior_charging.check_aligned(&demand)?;
+        let estimator = ScheduleEstimator::new(prior_charging.clone(), method)?;
+        let inner = Self::build_inner(&platform, &prior_charging, &demand, initial_charge)?;
+        Ok(Self {
             platform,
             demand,
             estimator,
             inner,
             slots_per_period: prior_charging.len(),
             replans: 0,
-        }
+        })
     }
 
     fn build_inner(
@@ -58,7 +64,7 @@ impl AdaptiveDpmController {
         charging: &PowerSeries,
         demand: &PowerSeries,
         battery: crate::units::Joules,
-    ) -> DpmController {
+    ) -> Result<DpmController, DpmError> {
         let problem = AllocationProblem {
             charging: charging.clone(),
             demand: demand.clone(),
@@ -67,7 +73,7 @@ impl AdaptiveDpmController {
             p_floor: platform.power.all_standby(),
             p_ceiling: platform.board_power(platform.workers(), platform.f_max()),
         };
-        let allocation = InitialAllocator::new(problem).compute();
+        let allocation = InitialAllocator::new(problem)?.compute()?;
         DpmController::new(platform.clone(), &allocation, charging.clone())
     }
 
@@ -96,7 +102,7 @@ impl Governor for AdaptiveDpmController {
         true
     }
 
-    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint {
+    fn decide(&mut self, obs: &SlotObservation) -> Result<OperatingPoint, DpmError> {
         let s = self.slots_per_period;
         // Fold last slot's supply observation into the estimator.
         if obs.slot > 0 {
@@ -108,13 +114,18 @@ impl Governor for AdaptiveDpmController {
         // Re-plan from the refreshed estimate at each period boundary
         // (after at least one full period of observations).
         if obs.slot > 0 && (obs.slot as usize).is_multiple_of(s) {
-            self.inner = Self::build_inner(
+            // A refreshed estimate can make the §4.1 problem infeasible (a
+            // collapsed supply, say); keep flying on the previous plan
+            // rather than failing the slot — Algorithm 3 still adapts it.
+            if let Ok(inner) = Self::build_inner(
                 &self.platform,
                 &self.estimator.estimate().clone(),
                 &self.demand,
                 obs.battery,
-            );
-            self.replans += 1;
+            ) {
+                self.inner = inner;
+                self.replans += 1;
+            }
         }
         self.inner.decide(obs)
     }
@@ -134,6 +145,7 @@ mod tests {
             seconds(4.8),
             vec![1.6, 1.0, 0.3, 0.3, 1.0, 1.7, 1.6, 1.0, 0.3, 0.3, 1.0, 1.7],
         )
+        .unwrap()
     }
 
     fn true_charging() -> PowerSeries {
@@ -143,6 +155,7 @@ mod tests {
                 2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
             ],
         )
+        .unwrap()
     }
 
     /// Drive the governor by hand, replaying the true supply.
@@ -163,20 +176,21 @@ mod tests {
                 supplied_last,
                 backlog: 1,
             };
-            gov.decide(&obs);
+            gov.decide(&obs).unwrap();
         }
     }
 
     #[test]
     fn estimator_converges_to_the_true_schedule() {
-        let wrong_prior = PowerSeries::constant(seconds(4.8), 12, 1.18);
+        let wrong_prior = PowerSeries::constant(seconds(4.8), 12, 1.18).unwrap();
         let mut gov = AdaptiveDpmController::new(
             platform(),
             wrong_prior,
             demand(),
             ForecastMethod::ExponentialSmoothing { alpha: 0.6 },
             joules(8.0),
-        );
+        )
+        .unwrap();
         drive(&mut gov, 6);
         let rmse = {
             let est = gov.estimate();
@@ -201,7 +215,8 @@ mod tests {
             demand(),
             ForecastMethod::LastPeriod,
             joules(8.0),
-        );
+        )
+        .unwrap();
         drive(&mut gov, 3);
         assert_eq!(gov.replans(), 2);
     }
@@ -216,7 +231,8 @@ mod tests {
             demand(),
             ForecastMethod::ExponentialSmoothing { alpha: 0.3 },
             joules(8.0),
-        );
+        )
+        .unwrap();
         drive(&mut gov, 4);
         let trace = gov.inner().trace();
         assert!(!trace.is_empty());

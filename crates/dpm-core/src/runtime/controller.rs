@@ -17,6 +17,7 @@
 
 use super::update::redistribute;
 use crate::alloc::InitialAllocation;
+use crate::error::DpmError;
 use crate::governor::{Governor, SlotObservation};
 use crate::params::{OperatingPoint, ParetoTable};
 use crate::platform::Platform;
@@ -79,17 +80,25 @@ impl DpmController {
     /// Build from a §4.1 allocation and the forecast it was computed from.
     ///
     /// The rolling plan is primed with one full period of the allocation.
-    pub fn new(platform: Platform, allocation: &InitialAllocation, forecast: PowerSeries) -> Self {
-        platform.validate().expect("invalid platform");
-        assert_eq!(
-            allocation.allocation.len(),
-            forecast.len(),
-            "allocation and forecast must share slotting"
-        );
-        let pareto = ParetoTable::build(&platform);
+    ///
+    /// # Errors
+    /// Propagates [`Platform::validate`]; returns
+    /// [`DpmError::SeriesMismatch`]/[`DpmError::InvalidSeries`] when the
+    /// allocation and forecast disagree on slotting, and
+    /// [`DpmError::EmptyScheduleWindow`] when they contain no slots.
+    pub fn new(
+        platform: Platform,
+        allocation: &InitialAllocation,
+        forecast: PowerSeries,
+    ) -> Result<Self, DpmError> {
+        let pareto = ParetoTable::build(&platform)?;
+        allocation.allocation.check_aligned(&forecast)?;
+        if forecast.is_empty() {
+            return Err(DpmError::EmptyScheduleWindow);
+        }
         let base = allocation.allocation.clone();
         let plan: VecDeque<f64> = base.values().iter().copied().collect();
-        Self {
+        Ok(Self {
             platform,
             pareto,
             base,
@@ -101,7 +110,7 @@ impl DpmController {
             last_forecast_supply: Joules::ZERO,
             supply_ratio: 1.0,
             trace: Vec::new(),
-        }
+        })
     }
 
     /// The decision trace accumulated so far.
@@ -186,7 +195,7 @@ impl Governor for DpmController {
         true // §4.1: allocated energy is spent on useful work, always
     }
 
-    fn decide(&mut self, obs: &SlotObservation) -> OperatingPoint {
+    fn decide(&mut self, obs: &SlotObservation) -> Result<OperatingPoint, DpmError> {
         let tau = self.platform.tau;
         let bounds = self.power_bounds();
 
@@ -218,12 +227,12 @@ impl Governor for DpmController {
                 self.platform.battery,
                 e_diff,
                 bounds,
-            );
+            )?;
             self.plan = plan.into();
         }
 
         // --- Algorithm 2: pick the operating point for this slot ---------
-        let allocated = watts(self.plan.pop_front().expect("plan never empties"));
+        let allocated = watts(self.plan.pop_front().ok_or(DpmError::EmptyScheduleWindow)?);
         // Keep the rolling plan one period long.
         self.plan.push_back(self.base.get(self.refill_cursor));
         self.refill_cursor = (self.refill_cursor + 1) % self.base.len();
@@ -271,7 +280,7 @@ impl Governor for DpmController {
         self.last_planned = selected_power * tau + overhead;
         self.last_forecast_supply = expected_supply * tau;
         self.current = point;
-        point
+        Ok(point)
     }
 }
 
@@ -289,20 +298,22 @@ mod tests {
             vec![
                 2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
             ],
-        );
+        )
+        .unwrap();
         let demand = PowerSeries::new(
             seconds(4.8),
             vec![1.6, 1.0, 0.3, 0.3, 1.0, 1.7, 1.6, 1.0, 0.3, 0.3, 1.0, 1.7],
-        );
+        )
+        .unwrap();
         let problem = AllocationProblem {
             charging: charging.clone(),
             demand,
             initial_charge: joules(8.0),
-            limits: BatteryLimits::new(joules(0.5), joules(16.0)),
+            limits: BatteryLimits::new(joules(0.5), joules(16.0)).unwrap(),
             p_floor: platform.power.all_standby(),
             p_ceiling: platform.board_power(7, platform.f_max()),
         };
-        let alloc = InitialAllocator::new(problem).compute();
+        let alloc = InitialAllocator::new(problem).unwrap().compute().unwrap();
         (platform, alloc, charging)
     }
 
@@ -321,8 +332,8 @@ mod tests {
     fn first_decision_follows_allocation() {
         let (platform, alloc, charging) = setup();
         let budget0 = alloc.allocation.get(0);
-        let mut ctl = DpmController::new(platform, &alloc, charging);
-        let p = ctl.decide(&SlotObservation::initial(joules(8.0)));
+        let mut ctl = DpmController::new(platform, &alloc, charging).unwrap();
+        let p = ctl.decide(&SlotObservation::initial(joules(8.0))).unwrap();
         let rec = &ctl.trace()[0];
         assert_eq!(rec.slot, 0);
         assert!((rec.allocated.value() - budget0).abs() < 1e-9);
@@ -332,10 +343,23 @@ mod tests {
     }
 
     #[test]
+    fn misaligned_forecast_is_rejected() {
+        let (platform, alloc, _) = setup();
+        let short = PowerSeries::constant(seconds(4.8), 6, 2.36).unwrap();
+        assert!(matches!(
+            DpmController::new(platform, &alloc, short),
+            Err(DpmError::SeriesMismatch {
+                expected: 12,
+                got: 6
+            })
+        ));
+    }
+
+    #[test]
     fn underuse_surplus_raises_future_plan() {
         let (platform, alloc, charging) = setup();
-        let mut ctl = DpmController::new(platform, &alloc, charging);
-        ctl.decide(&SlotObservation::initial(joules(8.0)));
+        let mut ctl = DpmController::new(platform, &alloc, charging).unwrap();
+        ctl.decide(&SlotObservation::initial(joules(8.0))).unwrap();
         let planned = ctl.last_planned;
         let before: f64 = ctl.plan.iter().sum();
         // Report that we used 2 J less than planned, supply as forecast.
@@ -345,7 +369,8 @@ mod tests {
             8.0 + 2.0,
             (planned - joules(2.0)).value(),
             supplied.value(),
-        ));
+        ))
+        .unwrap();
         let rec = ctl.trace().last().unwrap();
         assert!(rec.e_diff.approx_eq(joules(2.0), 1e-9), "{:?}", rec.e_diff);
         // The plan grew somewhere (allowing for the pop/push roll).
@@ -356,8 +381,8 @@ mod tests {
     #[test]
     fn supply_shortfall_shaves_future_plan() {
         let (platform, alloc, charging) = setup();
-        let mut ctl = DpmController::new(platform, &alloc, charging.clone());
-        ctl.decide(&SlotObservation::initial(joules(8.0)));
+        let mut ctl = DpmController::new(platform, &alloc, charging.clone()).unwrap();
+        ctl.decide(&SlotObservation::initial(joules(8.0))).unwrap();
         let planned = ctl.last_planned;
         let forecast = ctl.last_forecast_supply;
         // Supply came in 3 J short.
@@ -366,7 +391,8 @@ mod tests {
             5.0,
             planned.value(),
             (forecast - joules(3.0)).value(),
-        ));
+        ))
+        .unwrap();
         let rec = ctl.trace().last().unwrap();
         assert!(rec.e_diff.approx_eq(joules(-3.0), 1e-9), "{:?}", rec.e_diff);
     }
@@ -374,9 +400,9 @@ mod tests {
     #[test]
     fn trace_plan_snapshot_has_period_length() {
         let (platform, alloc, charging) = setup();
-        let mut ctl = DpmController::new(platform, &alloc, charging);
+        let mut ctl = DpmController::new(platform, &alloc, charging).unwrap();
         for s in 0..5 {
-            ctl.decide(&obs(s, 8.0, 0.5 * 4.8, 1.0 * 4.8));
+            ctl.decide(&obs(s, 8.0, 0.5 * 4.8, 1.0 * 4.8)).unwrap();
         }
         for rec in ctl.trace() {
             assert_eq!(rec.plan.len(), 12);
@@ -389,15 +415,15 @@ mod tests {
         // the widest frontier gap of the allocated budget (when the budget
         // lies inside the frontier's power range).
         let (platform, alloc, charging) = setup();
-        let mut ctl = DpmController::new(platform.clone(), &alloc, charging);
-        let frontier = ParetoTable::build(&platform);
+        let mut ctl = DpmController::new(platform.clone(), &alloc, charging).unwrap();
+        let frontier = ParetoTable::build(&platform).unwrap();
         let max_gap = frontier
             .frontier()
             .windows(2)
             .map(|w| w[1].power.value() - w[0].power.value())
             .fold(0.0_f64, f64::max);
         for s in 0..24 {
-            let p = ctl.decide(&obs(s, 8.0, 2.0, 2.0));
+            let p = ctl.decide(&obs(s, 8.0, 2.0, 2.0)).unwrap();
             let power = ctl.power_of(&p);
             let rec = ctl.trace().last().unwrap();
             let budget = rec.allocated.value().clamp(
@@ -418,10 +444,10 @@ mod tests {
             processor_change: joules(50.0), // prohibitive
             frequency_change: joules(50.0),
         };
-        let mut ctl = DpmController::new(platform, &alloc, charging);
+        let mut ctl = DpmController::new(platform, &alloc, charging).unwrap();
         let mut points = Vec::new();
         for s in 0..12 {
-            points.push(ctl.decide(&obs(s, 8.0, 1.0, 1.0)));
+            points.push(ctl.decide(&obs(s, 8.0, 1.0, 1.0)).unwrap());
         }
         // With prohibitive overheads the controller should barely switch.
         let switches = points.windows(2).filter(|w| w[0] != w[1]).count();
@@ -431,13 +457,13 @@ mod tests {
     #[test]
     fn free_overheads_track_allocation_shape() {
         let (platform, alloc, charging) = setup();
-        let mut ctl = DpmController::new(platform, &alloc, charging);
+        let mut ctl = DpmController::new(platform, &alloc, charging).unwrap();
         let mut powers = Vec::new();
         for s in 0..12 {
             // Feed back exactly what was planned so no deviation builds up.
             let planned = ctl.last_planned.value();
             let forecast = ctl.last_forecast_supply.value();
-            ctl.decide(&obs(s, 8.0, planned, forecast));
+            ctl.decide(&obs(s, 8.0, planned, forecast)).unwrap();
             powers.push(ctl.trace().last().unwrap().selected_power.value());
         }
         // Selected power varies across the period (tracks the twin peaks).

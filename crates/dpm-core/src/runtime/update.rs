@@ -26,6 +26,7 @@
 //! window, so the correction is conserved whenever the window can absorb
 //! it.
 
+use crate::error::DpmError;
 use crate::platform::BatteryLimits;
 use crate::units::{Joules, Seconds, Watts};
 
@@ -49,6 +50,11 @@ pub struct RedistributeOutcome {
 /// * `battery_now` — measured charge at the start of `plan[0]`.
 /// * `e_diff` — planned-minus-actual deviation to fold in (J).
 /// * `bounds` — physical (floor, ceiling) dissipation of the board.
+///
+/// # Errors
+/// [`DpmError::SeriesMismatch`] when plan and forecast disagree on length,
+/// [`DpmError::EmptyScheduleWindow`] when there are no future slots to
+/// absorb the correction.
 pub fn redistribute(
     plan: &mut [f64],
     charging: &[f64],
@@ -57,22 +63,29 @@ pub fn redistribute(
     limits: BatteryLimits,
     e_diff: Joules,
     bounds: (Watts, Watts),
-) -> RedistributeOutcome {
-    assert_eq!(plan.len(), charging.len(), "plan/forecast misaligned");
-    assert!(!plan.is_empty(), "cannot redistribute over an empty plan");
+) -> Result<RedistributeOutcome, DpmError> {
+    if plan.len() != charging.len() {
+        return Err(DpmError::SeriesMismatch {
+            expected: plan.len(),
+            got: charging.len(),
+        });
+    }
+    if plan.is_empty() {
+        return Err(DpmError::EmptyScheduleWindow);
+    }
     if e_diff.value().abs() < 1e-12 {
-        return RedistributeOutcome {
+        return Ok(RedistributeOutcome {
             horizon_slots: 0,
             applied: Joules::ZERO,
-        };
+        });
     }
 
     let horizon = pin_horizon(plan, charging, slot, battery_now, limits, e_diff);
     let applied = scale_window(&mut plan[..horizon], slot, e_diff, bounds);
-    RedistributeOutcome {
+    Ok(RedistributeOutcome {
         horizon_slots: horizon,
         applied,
-    }
+    })
 }
 
 /// Find the redistribution horizon: the first future slot boundary where
@@ -164,7 +177,7 @@ mod tests {
     use crate::units::{joules, seconds, watts};
 
     fn limits() -> BatteryLimits {
-        BatteryLimits::new(joules(0.5), joules(16.0))
+        BatteryLimits::new(joules(0.5), joules(16.0)).unwrap()
     }
 
     fn bounds() -> (Watts, Watts) {
@@ -184,7 +197,8 @@ mod tests {
             limits(),
             Joules::ZERO,
             bounds(),
-        );
+        )
+        .unwrap();
         assert_eq!(plan, before);
         assert_eq!(out.applied, Joules::ZERO);
     }
@@ -202,7 +216,8 @@ mod tests {
             limits(),
             joules(2.4),
             bounds(),
-        );
+        )
+        .unwrap();
         let after_integral: f64 = plan.iter().sum::<f64>() * 4.8;
         assert!((after_integral - before_integral - 2.4).abs() < 1e-9);
         assert!(out.applied.approx_eq(joules(2.4), 1e-9));
@@ -225,7 +240,8 @@ mod tests {
             limits(),
             joules(-4.8),
             bounds(),
-        );
+        )
+        .unwrap();
         let total: f64 = plan.iter().sum::<f64>() * 4.8;
         assert!((total - (3.0 * 2.0 * 4.8 - 4.8)).abs() < 1e-9);
         assert!(plan.iter().all(|&p| p < 2.0));
@@ -245,7 +261,8 @@ mod tests {
             limits(),
             joules(1.0),
             bounds(),
-        );
+        )
+        .unwrap();
         assert!(out.horizon_slots < 6, "horizon = {}", out.horizon_slots);
         // Slots beyond the horizon untouched.
         for &p in &plan[out.horizon_slots..] {
@@ -266,7 +283,8 @@ mod tests {
             limits(),
             joules(-2.0),
             bounds(),
-        );
+        )
+        .unwrap();
         assert!(out.horizon_slots <= 2, "horizon = {}", out.horizon_slots);
         for &p in &plan[out.horizon_slots..] {
             assert_eq!(p, 3.0);
@@ -286,7 +304,8 @@ mod tests {
             limits(),
             joules(3.0),
             bounds(),
-        );
+        )
+        .unwrap();
         assert!(plan[0] <= 4.4 + 1e-12);
         assert!(out.applied.approx_eq(joules(3.0), 1e-6), "{:?}", out);
         let total: f64 = plan.iter().sum();
@@ -305,7 +324,8 @@ mod tests {
             limits(),
             joules(5.0),
             bounds(),
-        );
+        )
+        .unwrap();
         assert_eq!(out.applied, Joules::ZERO);
         assert_eq!(plan, vec![4.4, 4.4]);
     }
@@ -323,7 +343,8 @@ mod tests {
             limits(),
             joules(2.0),
             bounds(),
-        );
+        )
+        .unwrap();
         assert!(out.applied.value() > 1.9, "{:?} {:?}", out, plan);
         let spread = plan[0] - 0.05;
         assert!(plan.iter().all(|&p| (p - 0.05 - spread).abs() < 0.6));
@@ -341,24 +362,42 @@ mod tests {
             limits(),
             joules(-5.0),
             bounds(),
-        );
+        )
+        .unwrap();
         assert!(plan.iter().all(|&p| p >= 0.05 - 1e-12));
         // Only (0.1−0.05)·2 = 0.1 J could be shaved.
         assert!(out.applied.approx_eq(joules(-0.1), 1e-9), "{:?}", out);
     }
 
     #[test]
-    #[should_panic(expected = "misaligned")]
     fn misaligned_inputs_rejected() {
         let mut plan = vec![1.0];
-        redistribute(
-            &mut plan,
-            &[1.0, 2.0],
-            seconds(1.0),
-            joules(1.0),
-            limits(),
-            joules(1.0),
-            bounds(),
-        );
+        assert!(matches!(
+            redistribute(
+                &mut plan,
+                &[1.0, 2.0],
+                seconds(1.0),
+                joules(1.0),
+                limits(),
+                joules(1.0),
+                bounds(),
+            ),
+            Err(DpmError::SeriesMismatch {
+                expected: 1,
+                got: 2
+            })
+        ));
+        assert!(matches!(
+            redistribute(
+                &mut [],
+                &[],
+                seconds(1.0),
+                joules(1.0),
+                limits(),
+                joules(1.0),
+                bounds(),
+            ),
+            Err(DpmError::EmptyScheduleWindow)
+        ));
     }
 }

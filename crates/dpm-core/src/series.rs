@@ -17,7 +17,17 @@
 //! `dP/dt = 0`, lines 1–2); for a piecewise-linear function those are the
 //! slot boundaries where the slope changes sign, which
 //! [`EnergyTrajectory::stationary_points`] enumerates exactly.
+//!
+//! ## Fallibility
+//!
+//! Constructors that accept external data ([`PowerSeries::new`],
+//! [`PowerSeries::resample`], [`EnergyTrajectory::from_points`], …) validate
+//! it and return a [`DpmError`]. Combinators that only recombine
+//! already-validated series (`scale`, `map`, `zip_with`, `cumulative`,
+//! `derivative`) stay infallible: the constructor established the invariants,
+//! so alignment inside a pipeline is checked with `debug_assert!` only.
 
+use crate::error::DpmError;
 use crate::units::{joules, seconds, watts, Joules, Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -35,27 +45,57 @@ pub struct PowerSeries {
 impl PowerSeries {
     /// Build from raw per-slot values.
     ///
-    /// # Panics
-    /// Panics if `slot` is non-positive, `values` is empty, or any value is
-    /// non-finite; schedules are inputs, so malformed ones are programmer
-    /// error rather than a recoverable condition.
-    pub fn new(slot: Seconds, values: Vec<f64>) -> Self {
-        assert!(slot.value() > 0.0, "slot width must be positive");
-        assert!(!values.is_empty(), "a series needs at least one slot");
-        assert!(
-            values.iter().all(|v| v.is_finite()),
-            "series values must be finite"
-        );
+    /// # Errors
+    /// Returns [`DpmError::InvalidSeries`] when `slot` is non-positive or
+    /// `values` is empty, and [`DpmError::NonFinite`] when any value is NaN
+    /// or infinite.
+    pub fn new(slot: Seconds, values: Vec<f64>) -> Result<Self, DpmError> {
+        if !(slot.value() > 0.0) {
+            return Err(DpmError::InvalidSeries(format!(
+                "slot width must be positive (got {} s)",
+                slot.value()
+            )));
+        }
+        if values.is_empty() {
+            return Err(DpmError::InvalidSeries(
+                "a series needs at least one slot".into(),
+            ));
+        }
+        if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+            return Err(DpmError::NonFinite(format!("series value at slot {i}")));
+        }
+        Ok(Self { slot, values })
+    }
+
+    /// Build from values the caller has already validated.
+    ///
+    /// Internal combinators use this to recombine series without re-running
+    /// (or being able to fail) the public validation. Invariants are only
+    /// `debug_assert!`ed.
+    pub(crate) fn assemble(slot: Seconds, values: Vec<f64>) -> Self {
+        debug_assert!(slot.value() > 0.0, "slot width must be positive");
+        debug_assert!(!values.is_empty(), "a series needs at least one slot");
         Self { slot, values }
     }
 
     /// Build a constant series covering `slots` slots.
-    pub fn constant(slot: Seconds, slots: usize, value: f64) -> Self {
+    ///
+    /// # Errors
+    /// Same conditions as [`PowerSeries::new`].
+    pub fn constant(slot: Seconds, slots: usize, value: f64) -> Result<Self, DpmError> {
         Self::new(slot, vec![value; slots])
     }
 
     /// Sample a closure at the midpoint of each slot.
-    pub fn from_fn(slot: Seconds, slots: usize, mut f: impl FnMut(Seconds) -> f64) -> Self {
+    ///
+    /// # Errors
+    /// Same conditions as [`PowerSeries::new`] (a closure returning NaN is
+    /// reported as [`DpmError::NonFinite`]).
+    pub fn from_fn(
+        slot: Seconds,
+        slots: usize,
+        mut f: impl FnMut(Seconds) -> f64,
+    ) -> Result<Self, DpmError> {
         let values = (0..slots)
             .map(|i| f(seconds((i as f64 + 0.5) * slot.value())))
             .collect();
@@ -104,10 +144,11 @@ impl PowerSeries {
         self.values[i]
     }
 
-    /// Set the value of slot `i`.
+    /// Set the value of slot `i`. Finiteness is the caller's responsibility
+    /// (checked under `debug_assert!` only, like [`Self::values_mut`]).
     #[inline]
     pub fn set(&mut self, i: usize, v: f64) {
-        assert!(v.is_finite());
+        debug_assert!(v.is_finite());
         self.values[i] = v;
     }
 
@@ -195,12 +236,12 @@ impl PowerSeries {
     /// Multiply every slot by a scalar (used by the Eq. 8 normalization and
     /// Algorithm 3's proportional redistribution).
     pub fn scale(&self, k: f64) -> Self {
-        Self::new(self.slot, self.values.iter().map(|v| v * k).collect())
+        Self::assemble(self.slot, self.values.iter().map(|v| v * k).collect())
     }
 
     /// Apply a function to every slot value.
     pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Self {
-        Self::new(self.slot, self.values.iter().map(|&v| f(v)).collect())
+        Self::assemble(self.slot, self.values.iter().map(|&v| f(v)).collect())
     }
 
     /// Pointwise product (the WPUF of Eq. 7 is `u(t)·w(t)`).
@@ -220,19 +261,22 @@ impl PowerSeries {
 
     /// Combine two aligned series slot-by-slot.
     ///
-    /// # Panics
-    /// Panics when the series do not share slot width and length.
+    /// Alignment (same length and slot width) is an entry-point invariant:
+    /// every pipeline validates it once at construction (e.g.
+    /// [`crate::alloc::InitialAllocator::new`]), so here it is checked under
+    /// `debug_assert!` only. In release builds a mismatched pair truncates
+    /// to the shorter series.
     pub fn zip_with(&self, other: &Self, mut f: impl FnMut(f64, f64) -> f64) -> Self {
-        assert_eq!(
+        debug_assert_eq!(
             self.values.len(),
             other.values.len(),
             "series length mismatch"
         );
-        assert!(
+        debug_assert!(
             self.slot.approx_eq(other.slot, 1e-12),
             "series slot width mismatch"
         );
-        Self::new(
+        Self::assemble(
             self.slot,
             self.values
                 .iter()
@@ -240,6 +284,29 @@ impl PowerSeries {
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
         )
+    }
+
+    /// Check that `other` shares this series' slotting, for use by entry
+    /// points that subsequently rely on the infallible combinators.
+    ///
+    /// # Errors
+    /// [`DpmError::SeriesMismatch`] on a length difference,
+    /// [`DpmError::InvalidSeries`] on a slot-width difference.
+    pub fn check_aligned(&self, other: &Self) -> Result<(), DpmError> {
+        if self.values.len() != other.values.len() {
+            return Err(DpmError::SeriesMismatch {
+                expected: self.values.len(),
+                got: other.values.len(),
+            });
+        }
+        if !self.slot.approx_eq(other.slot, 1e-12) {
+            return Err(DpmError::InvalidSeries(format!(
+                "slot width mismatch: {} s vs {} s",
+                self.slot.value(),
+                other.slot.value()
+            )));
+        }
+        Ok(())
     }
 
     /// Running integral: the piecewise-linear trajectory
@@ -254,26 +321,34 @@ impl PowerSeries {
             acc += v * self.slot.value();
             points.push(acc);
         }
-        EnergyTrajectory {
-            slot: self.slot,
-            points,
-        }
+        EnergyTrajectory::assemble(self.slot, points)
     }
 
     /// Concatenate `k` copies of the series (multi-period simulations).
+    /// `k = 0` is treated as `k = 1`.
     pub fn repeat(&self, k: usize) -> Self {
-        assert!(k >= 1);
+        let k = k.max(1);
         let mut values = Vec::with_capacity(self.values.len() * k);
         for _ in 0..k {
             values.extend_from_slice(&self.values);
         }
-        Self::new(self.slot, values)
+        Self::assemble(self.slot, values)
     }
 
     /// Resample to a different slot width by averaging (downsampling) or
     /// replicating (upsampling). The new width must divide, or be divided
     /// by, the current width to an integer factor.
-    pub fn resample(&self, new_slot: Seconds) -> Self {
+    ///
+    /// # Errors
+    /// [`DpmError::InvalidSeries`] when the widths are not integer multiples
+    /// of each other or the coarser width does not divide the period.
+    pub fn resample(&self, new_slot: Seconds) -> Result<Self, DpmError> {
+        if !(new_slot.value() > 0.0) {
+            return Err(DpmError::InvalidSeries(format!(
+                "slot width must be positive (got {} s)",
+                new_slot.value()
+            )));
+        }
         let ratio = self.slot.value() / new_slot.value();
         if (ratio - ratio.round()).abs() < 1e-9 && ratio >= 1.0 {
             // Upsample: replicate each slot `ratio` times.
@@ -283,21 +358,29 @@ impl PowerSeries {
                 .iter()
                 .flat_map(|&v| std::iter::repeat_n(v, k))
                 .collect();
-            Self::new(new_slot, values)
+            Ok(Self::assemble(new_slot, values))
         } else {
             let inv = new_slot.value() / self.slot.value();
-            assert!(
-                (inv - inv.round()).abs() < 1e-9 && inv >= 1.0,
-                "resample requires integer slot ratio"
-            );
+            if (inv - inv.round()).abs() >= 1e-9 || inv < 1.0 {
+                return Err(DpmError::InvalidSeries(format!(
+                    "resample requires an integer slot ratio ({} s to {} s)",
+                    self.slot.value(),
+                    new_slot.value()
+                )));
+            }
             let k = inv.round() as usize;
-            assert_eq!(self.values.len() % k, 0, "period must stay intact");
+            if !self.values.len().is_multiple_of(k) {
+                return Err(DpmError::InvalidSeries(format!(
+                    "resampling {} slots by a factor of {k} would not keep the period intact",
+                    self.values.len()
+                )));
+            }
             let values = self
                 .values
                 .chunks(k)
                 .map(|c| c.iter().sum::<f64>() / k as f64)
                 .collect();
-            Self::new(new_slot, values)
+            Ok(Self::assemble(new_slot, values))
         }
     }
 }
@@ -339,12 +422,35 @@ pub struct EnergyTrajectory {
 impl EnergyTrajectory {
     /// Build from explicit breakpoint energies.
     ///
-    /// # Panics
-    /// Panics if fewer than two breakpoints are given or `slot ≤ 0`.
-    pub fn from_points(slot: Seconds, points: Vec<f64>) -> Self {
-        assert!(slot.value() > 0.0);
-        assert!(points.len() >= 2, "a trajectory needs at least one segment");
-        assert!(points.iter().all(|p| p.is_finite()));
+    /// # Errors
+    /// Returns [`DpmError::InvalidSeries`] when `slot ≤ 0` or fewer than two
+    /// breakpoints are given, and [`DpmError::NonFinite`] on NaN/infinite
+    /// energies.
+    pub fn from_points(slot: Seconds, points: Vec<f64>) -> Result<Self, DpmError> {
+        if !(slot.value() > 0.0) {
+            return Err(DpmError::InvalidSeries(format!(
+                "slot width must be positive (got {} s)",
+                slot.value()
+            )));
+        }
+        if points.len() < 2 {
+            return Err(DpmError::InvalidSeries(
+                "a trajectory needs at least one segment".into(),
+            ));
+        }
+        if let Some(i) = points.iter().position(|p| !p.is_finite()) {
+            return Err(DpmError::NonFinite(format!(
+                "trajectory energy at breakpoint {i}"
+            )));
+        }
+        Ok(Self { slot, points })
+    }
+
+    /// Build from breakpoints the caller has already validated (internal
+    /// reshaping helpers); invariants are only `debug_assert!`ed.
+    pub(crate) fn assemble(slot: Seconds, points: Vec<f64>) -> Self {
+        debug_assert!(slot.value() > 0.0);
+        debug_assert!(points.len() >= 2, "a trajectory needs at least one segment");
         Self { slot, points }
     }
 
@@ -394,7 +500,7 @@ impl EnergyTrajectory {
 
     /// Recover the net-power series whose cumulative this trajectory is.
     pub fn derivative(&self) -> PowerSeries {
-        PowerSeries::new(
+        PowerSeries::assemble(
             self.slot,
             (0..self.segments())
                 .map(|i| self.slope(i).value())
@@ -479,7 +585,7 @@ mod tests {
     use super::*;
 
     fn series(values: &[f64]) -> PowerSeries {
-        PowerSeries::new(seconds(1.0), values.to_vec())
+        PowerSeries::new(seconds(1.0), values.to_vec()).unwrap()
     }
 
     #[test]
@@ -495,6 +601,30 @@ mod tests {
     }
 
     #[test]
+    fn constructor_rejects_malformed_input() {
+        assert!(matches!(
+            PowerSeries::new(seconds(0.0), vec![1.0]),
+            Err(DpmError::InvalidSeries(_))
+        ));
+        assert!(matches!(
+            PowerSeries::new(seconds(1.0), vec![]),
+            Err(DpmError::InvalidSeries(_))
+        ));
+        assert!(matches!(
+            PowerSeries::new(seconds(1.0), vec![1.0, f64::NAN]),
+            Err(DpmError::NonFinite(_))
+        ));
+        assert!(matches!(
+            EnergyTrajectory::from_points(seconds(1.0), vec![1.0]),
+            Err(DpmError::InvalidSeries(_))
+        ));
+        assert!(matches!(
+            EnergyTrajectory::from_points(seconds(1.0), vec![1.0, f64::INFINITY]),
+            Err(DpmError::NonFinite(_))
+        ));
+    }
+
+    #[test]
     fn periodic_lookup_wraps() {
         let s = series(&[1.0, 2.0]);
         assert_eq!(s.value_at(seconds(2.5)), watts(1.0));
@@ -507,7 +637,8 @@ mod tests {
         let s = PowerSeries::new(
             seconds(4.8),
             vec![2.36; 6].into_iter().chain(vec![0.0; 6]).collect(),
-        );
+        )
+        .unwrap();
         // Scenario-I-like charging: 2.36 W for half the 57.6 s period.
         assert!(s.integral().approx_eq(joules(2.36 * 6.0 * 4.8), 1e-9));
     }
@@ -544,7 +675,28 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn zip_rejects_mismatched_lengths() {
+        // `zip_with` guards alignment with debug_assert!, so the guard is
+        // active under `cargo test` (debug profile).
         series(&[1.0]).pointwise_add(&series(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn check_aligned_reports_mismatch() {
+        let a = series(&[1.0]);
+        let b = series(&[1.0, 2.0]);
+        assert_eq!(
+            a.check_aligned(&b),
+            Err(DpmError::SeriesMismatch {
+                expected: 1,
+                got: 2
+            })
+        );
+        let c = PowerSeries::new(seconds(2.0), vec![1.0]).unwrap();
+        assert!(matches!(
+            a.check_aligned(&c),
+            Err(DpmError::InvalidSeries(_))
+        ));
+        assert_eq!(a.check_aligned(&series(&[5.0])), Ok(()));
     }
 
     #[test]
@@ -598,14 +750,14 @@ mod tests {
 
     #[test]
     fn within_bounds_check() {
-        let t = EnergyTrajectory::from_points(seconds(1.0), vec![0.0, 1.0, 0.5]);
+        let t = EnergyTrajectory::from_points(seconds(1.0), vec![0.0, 1.0, 0.5]).unwrap();
         assert!(t.within(joules(0.0), joules(1.0), 1e-9));
         assert!(!t.within(joules(0.2), joules(1.0), 1e-9));
     }
 
     #[test]
     fn first_reaching_searches_forward() {
-        let t = EnergyTrajectory::from_points(seconds(1.0), vec![0.0, 1.0, 2.0, 1.0]);
+        let t = EnergyTrajectory::from_points(seconds(1.0), vec![0.0, 1.0, 2.0, 1.0]).unwrap();
         assert_eq!(t.first_reaching(0, joules(2.0), 1e-9), Some(2));
         assert_eq!(t.first_reaching(3, joules(2.0), 1e-9), None);
     }
@@ -616,22 +768,39 @@ mod tests {
         let r = s.repeat(3);
         assert_eq!(r.len(), 6);
         assert_eq!(r.values(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        // k = 0 degrades to the identity instead of producing an empty series.
+        assert_eq!(s.repeat(0).values(), s.values());
     }
 
     #[test]
     fn resample_up_and_down() {
         let s = series(&[1.0, 3.0]);
-        let up = s.resample(seconds(0.5));
+        let up = s.resample(seconds(0.5)).unwrap();
         assert_eq!(up.values(), &[1.0, 1.0, 3.0, 3.0]);
-        let down = up.resample(seconds(1.0));
+        let down = up.resample(seconds(1.0)).unwrap();
         assert_eq!(down.values(), s.values());
         // Integral is preserved by both directions.
         assert!(up.integral().approx_eq(s.integral(), 1e-12));
     }
 
     #[test]
+    fn resample_rejects_non_integer_ratio() {
+        let s = series(&[1.0, 3.0]);
+        assert!(matches!(
+            s.resample(seconds(0.7)),
+            Err(DpmError::InvalidSeries(_))
+        ));
+        // 2 slots cannot be averaged down by a factor that splits the period.
+        let three = series(&[1.0, 2.0, 3.0]);
+        assert!(matches!(
+            three.resample(seconds(2.0)),
+            Err(DpmError::InvalidSeries(_))
+        ));
+    }
+
+    #[test]
     fn from_fn_samples_midpoints() {
-        let s = PowerSeries::from_fn(seconds(2.0), 3, |t| t.value());
+        let s = PowerSeries::from_fn(seconds(2.0), 3, |t| t.value()).unwrap();
         assert_eq!(s.values(), &[1.0, 3.0, 5.0]);
     }
 

@@ -12,12 +12,12 @@ use proptest::prelude::*;
 
 /// Strategy: a power series of `n` slots with values in `[0, hi]`.
 fn power_series(n: usize, hi: f64) -> impl Strategy<Value = PowerSeries> {
-    prop::collection::vec(0.0..hi, n..=n).prop_map(|v| PowerSeries::new(seconds(4.8), v))
+    prop::collection::vec(0.0..hi, n..=n).prop_map(|v| PowerSeries::new(seconds(4.8), v).unwrap())
 }
 
 /// Strategy: a net-power series (signed) for building trajectories.
 fn net_series(n: usize, amp: f64) -> impl Strategy<Value = PowerSeries> {
-    prop::collection::vec(-amp..amp, n..=n).prop_map(|v| PowerSeries::new(seconds(1.0), v))
+    prop::collection::vec(-amp..amp, n..=n).prop_map(|v| PowerSeries::new(seconds(1.0), v).unwrap())
 }
 
 proptest! {
@@ -39,7 +39,7 @@ proptest! {
         net in net_series(16, 4.0),
         start in 2.0f64..14.0,
     ) {
-        let limits = BatteryLimits::new(joules(1.0), joules(15.0));
+        let limits = BatteryLimits::new(joules(1.0), joules(15.0)).unwrap();
         let traj = net.cumulative(joules(start));
         let out = reshape_trajectory(&traj, limits);
         prop_assert!(
@@ -51,7 +51,7 @@ proptest! {
     /// Algorithm 1 is idempotent on already-feasible trajectories.
     #[test]
     fn reshape_is_identity_when_feasible(net in net_series(12, 0.4), start in 6.0f64..10.0) {
-        let limits = BatteryLimits::new(joules(1.0), joules(15.0));
+        let limits = BatteryLimits::new(joules(1.0), joules(15.0)).unwrap();
         let traj = net.cumulative(joules(start));
         // amp 0.4 over 12 slots: max drift 4.8 from start ∈ [6,10] ⇒ inside.
         prop_assume!(traj.within(limits.c_min, limits.c_max, 0.0));
@@ -70,22 +70,33 @@ proptest! {
         let charging = PowerSeries::new(
             seconds(4.8),
             (0..12).map(|i| if i < 6 { sun } else { 0.0 }).collect(),
-        );
+        ).unwrap();
         let problem = AllocationProblem {
             charging,
             demand,
             initial_charge: joules(start),
-            limits: BatteryLimits::new(joules(0.5), joules(16.0)),
+            limits: BatteryLimits::new(joules(0.5), joules(16.0)).unwrap(),
             p_floor: watts(0.0528),
             p_ceiling: watts(4.4),
         };
-        let alloc = InitialAllocator::new(problem.clone()).compute();
-        for &v in alloc.allocation.values() {
-            prop_assert!(v >= problem.p_floor.value() - 1e-9);
-            prop_assert!(v <= problem.p_ceiling.value() + 1e-9);
-        }
-        if alloc.feasible {
-            prop_assert!(alloc.trajectory.within(joules(0.5), joules(16.0), 1e-3));
+        // The driver must never panic: it either converges to a feasible
+        // allocation or reports a structured error.
+        match InitialAllocator::new(problem.clone()).unwrap().compute() {
+            Ok(alloc) => {
+                for &v in alloc.allocation.values() {
+                    prop_assert!(v >= problem.p_floor.value() - 1e-9);
+                    prop_assert!(v <= problem.p_ceiling.value() + 1e-9);
+                }
+                prop_assert!(alloc.feasible);
+                prop_assert!(alloc.trajectory.within(joules(0.5), joules(16.0), 1e-3));
+            }
+            Err(e) => {
+                use dpm_core::error::DpmError;
+                prop_assert!(matches!(
+                    e,
+                    DpmError::InfeasibleAllocation { .. } | DpmError::ConvergenceFailure { .. }
+                ));
+            }
         }
     }
 
@@ -99,7 +110,7 @@ proptest! {
     ) {
         let mut plan = plan0.clone();
         let charging = vec![1.0; plan.len()];
-        let limits = BatteryLimits::new(joules(0.5), joules(16.0));
+        let limits = BatteryLimits::new(joules(0.5), joules(16.0)).unwrap();
         let out = redistribute(
             &mut plan,
             &charging,
@@ -108,7 +119,7 @@ proptest! {
             limits,
             joules(e_diff),
             (watts(0.05), watts(4.4)),
-        );
+        ).unwrap();
         let before: f64 = plan0.iter().sum::<f64>() * 4.8;
         let after: f64 = plan.iter().sum::<f64>() * 4.8;
         prop_assert!((after - before - out.applied.value()).abs() < 1e-6);
@@ -127,8 +138,8 @@ proptest! {
     #[test]
     fn pareto_lookup_equals_exhaustive_scan(budget in 0.0f64..6.0) {
         let platform = Platform::pama();
-        let pruned = ParetoTable::build(&platform);
-        let unpruned = ParetoTable::build_unpruned(&platform);
+        let pruned = ParetoTable::build(&platform).unwrap();
+        let unpruned = ParetoTable::build_unpruned(&platform).unwrap();
         let a = pruned.best_within(watts(budget));
         let b = unpruned.best_within_scan(watts(budget));
         prop_assert!((a.perf.value() - b.perf.value()).abs() < 1e-12);

@@ -77,6 +77,7 @@ impl CycleModel {
         let total = self.job_time(fft_size, f_ref);
         let serial = seconds(total.value() * self.serial_fraction);
         AmdahlWorkload::new(total, serial, f_ref)
+            .expect("calibrated cycle models produce valid workloads")
     }
 }
 

@@ -2,6 +2,7 @@
 //! window, plus the waste/shortfall accounting the paper's Table 1 metrics
 //! are built from.
 
+use crate::error::SimError;
 use dpm_core::platform::BatteryLimits;
 use dpm_core::units::{Joules, Watts};
 use serde::{Deserialize, Serialize};
@@ -24,7 +25,7 @@ pub struct PeukertModel {
 impl PeukertModel {
     /// Charge consumed to deliver `energy` over `dt` seconds.
     pub fn charge_consumed(&self, energy: Joules, dt: f64) -> Joules {
-        assert!(self.exponent >= 1.0);
+        debug_assert!(self.exponent >= 1.0, "Battery::new validates the exponent");
         if dt <= 0.0 || energy.value() <= 0.0 {
             return energy;
         }
@@ -85,10 +86,34 @@ pub struct Battery {
 
 impl Battery {
     /// Create at an initial charge (clamped into `[C_min, C_max]`).
-    pub fn new(config: BatteryConfig, initial: Joules) -> Self {
-        assert!((0.0..=1.0).contains(&config.charge_efficiency));
-        assert!(config.self_discharge_per_s >= 0.0);
-        Self {
+    ///
+    /// # Errors
+    /// [`SimError::BatteryMisconfigured`] on an efficiency outside
+    /// `[0, 1]`, a negative self-discharge rate, or a Peukert exponent
+    /// below 1; [`SimError::Core`] on an inverted capacity window.
+    pub fn new(config: BatteryConfig, initial: Joules) -> Result<Self, SimError> {
+        BatteryLimits::new(config.limits.c_min, config.limits.c_max)?;
+        if !(0.0..=1.0).contains(&config.charge_efficiency) {
+            return Err(SimError::BatteryMisconfigured(format!(
+                "charge efficiency must lie in [0, 1], got {}",
+                config.charge_efficiency
+            )));
+        }
+        if !(config.self_discharge_per_s >= 0.0) {
+            return Err(SimError::BatteryMisconfigured(format!(
+                "self-discharge rate must be non-negative, got {}",
+                config.self_discharge_per_s
+            )));
+        }
+        if let Some(p) = config.peukert {
+            if !(p.exponent >= 1.0) || !(p.reference_power.value() > 0.0) {
+                return Err(SimError::BatteryMisconfigured(format!(
+                    "Peukert model needs exponent >= 1 and positive reference                      power, got k = {}, P_ref = {}",
+                    p.exponent, p.reference_power
+                )));
+            }
+        }
+        Ok(Self {
             config,
             level: config.limits.clamp(initial),
             wasted: Joules::ZERO,
@@ -96,7 +121,7 @@ impl Battery {
             offered: Joules::ZERO,
             delivered: Joules::ZERO,
             rate_loss: Joules::ZERO,
-        }
+        })
     }
 
     /// Current charge.
@@ -138,8 +163,13 @@ impl Battery {
     /// Offer `energy` from the external source. Stores what fits below
     /// `C_max` (after efficiency), accounts the remainder as wasted.
     /// Returns the energy actually stored.
+    /// Negative or non-finite offers (a glitched source model) are
+    /// ignored rather than corrupting the accounting.
     pub fn charge(&mut self, energy: Joules) -> Joules {
-        assert!(energy.value() >= 0.0, "cannot charge a negative amount");
+        debug_assert!(energy.value() >= 0.0, "cannot charge a negative amount");
+        if !(energy.value() > 0.0) {
+            return Joules::ZERO;
+        }
         self.offered += energy;
         let storable = energy * self.config.charge_efficiency;
         let headroom = self.config.limits.c_max - self.level;
@@ -157,7 +187,10 @@ impl Battery {
     /// actually delivered. Rate-agnostic (the paper's ideal model); see
     /// [`Self::draw_over`] for the Peukert-aware path.
     pub fn draw(&mut self, energy: Joules) -> Joules {
-        assert!(energy.value() >= 0.0, "cannot draw a negative amount");
+        debug_assert!(energy.value() >= 0.0, "cannot draw a negative amount");
+        if !(energy.value() > 0.0) {
+            return Joules::ZERO;
+        }
         let available = (self.level - self.config.limits.c_min).max(Joules::ZERO);
         let delivered = energy.min(available);
         self.level -= delivered;
@@ -173,12 +206,11 @@ impl Battery {
         let Some(model) = self.config.peukert else {
             return self.draw(energy);
         };
-        assert!(energy.value() >= 0.0, "cannot draw a negative amount");
-        let consumed_per_delivered = if energy.value() > 0.0 {
-            model.charge_consumed(energy, dt) / energy
-        } else {
-            1.0
-        };
+        debug_assert!(energy.value() >= 0.0, "cannot draw a negative amount");
+        if !(energy.value() > 0.0) {
+            return Joules::ZERO;
+        }
+        let consumed_per_delivered = model.charge_consumed(energy, dt) / energy;
         let available = (self.level - self.config.limits.c_min).max(Joules::ZERO);
         // Charge needed to deliver the full request.
         let needed = energy * consumed_per_delivered;
@@ -224,11 +256,11 @@ mod tests {
     use dpm_core::units::joules;
 
     fn limits() -> BatteryLimits {
-        BatteryLimits::new(joules(0.5), joules(16.0))
+        BatteryLimits::new(joules(0.5), joules(16.0)).unwrap()
     }
 
     fn battery(initial: f64) -> Battery {
-        Battery::new(BatteryConfig::ideal(limits()), joules(initial))
+        Battery::new(BatteryConfig::ideal(limits()), joules(initial)).unwrap()
     }
 
     #[test]
@@ -274,7 +306,7 @@ mod tests {
             charge_efficiency: 0.8,
             ..BatteryConfig::ideal(limits())
         };
-        let mut b = Battery::new(cfg, joules(8.0));
+        let mut b = Battery::new(cfg, joules(8.0)).unwrap();
         let stored = b.charge(joules(1.0));
         assert!(stored.approx_eq(joules(0.8), 1e-12));
         assert!(b.level().approx_eq(joules(8.8), 1e-12));
@@ -286,7 +318,7 @@ mod tests {
             self_discharge_per_s: 0.01,
             ..BatteryConfig::ideal(limits())
         };
-        let mut b = Battery::new(cfg, joules(10.0));
+        let mut b = Battery::new(cfg, joules(10.0)).unwrap();
         b.tick(1.0);
         assert!(b.level().approx_eq(joules(9.9), 1e-9));
         b.tick(0.0);
@@ -314,7 +346,7 @@ mod tests {
             }),
             ..BatteryConfig::ideal(limits())
         };
-        let mut b = Battery::new(cfg, joules(8.0));
+        let mut b = Battery::new(cfg, joules(8.0)).unwrap();
         // 1 J over 1 s = 1 W ≤ 2 W reference: no overhead.
         let got = b.draw_over(joules(1.0), 1.0);
         assert_eq!(got, joules(1.0));
@@ -331,7 +363,7 @@ mod tests {
             }),
             ..BatteryConfig::ideal(limits())
         };
-        let mut b = Battery::new(cfg, joules(8.0));
+        let mut b = Battery::new(cfg, joules(8.0)).unwrap();
         // 4 J over 1 s = 4 W = 4x reference: overhead 4^0.2 ≈ 1.32.
         let got = b.draw_over(joules(4.0), 1.0);
         assert_eq!(got, joules(4.0));
@@ -353,7 +385,7 @@ mod tests {
             }),
             ..BatteryConfig::ideal(limits())
         };
-        let mut b = Battery::new(cfg, joules(2.0));
+        let mut b = Battery::new(cfg, joules(2.0)).unwrap();
         // Huge fast demand: deliverable limited by the 1.5 J above C_min,
         // shrunk further by the rate penalty.
         let got = b.draw_over(joules(10.0), 0.5);
@@ -373,8 +405,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "negative")]
-    fn negative_charge_rejected() {
-        battery(8.0).charge(joules(-1.0));
+    fn misconfiguration_is_rejected() {
+        let bad_eff = BatteryConfig {
+            charge_efficiency: 1.5,
+            ..BatteryConfig::ideal(limits())
+        };
+        assert!(matches!(
+            Battery::new(bad_eff, joules(8.0)),
+            Err(SimError::BatteryMisconfigured(_))
+        ));
+        let bad_peukert = BatteryConfig {
+            peukert: Some(PeukertModel {
+                reference_power: dpm_core::units::watts(1.0),
+                exponent: 0.5,
+            }),
+            ..BatteryConfig::ideal(limits())
+        };
+        assert!(matches!(
+            Battery::new(bad_peukert, joules(8.0)),
+            Err(SimError::BatteryMisconfigured(_))
+        ));
+        let inverted = BatteryConfig::ideal(BatteryLimits {
+            c_min: joules(5.0),
+            c_max: joules(1.0),
+        });
+        assert!(matches!(
+            Battery::new(inverted, joules(8.0)),
+            Err(SimError::Core(_))
+        ));
     }
 }

@@ -57,8 +57,10 @@ pub struct PamaBoard {
 
 impl PamaBoard {
     /// Build from a platform description (chip count, mode powers, τ, …).
+    /// Callers validate the platform first ([`crate::sim::Simulation::new`]
+    /// does); a malformed one is a caller bug.
     pub fn new(platform: Platform) -> Self {
-        platform.validate().expect("invalid platform");
+        debug_assert!(platform.validate().is_ok(), "invalid platform");
         let latency = TransitionLatency::pama();
         let processors = (0..platform.processors)
             .map(|id| Processor::new(id, platform.f_min(), platform.power.modes, latency))

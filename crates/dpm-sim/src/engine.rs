@@ -7,6 +7,7 @@
 //! disturbances (supply dropouts, event storms, processor faults) and any
 //! user-scheduled callbacks.
 
+use crate::error::SimError;
 use dpm_core::units::Seconds;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -31,16 +32,19 @@ impl Clock {
 
     /// Advance to `t`.
     ///
-    /// # Panics
-    /// Panics on attempts to move backwards — a scheduling bug.
-    pub fn advance_to(&mut self, t: Seconds) {
-        assert!(
-            t.value() + 1e-12 >= self.now.value(),
-            "clock cannot run backwards: {} -> {}",
-            self.now,
-            t
-        );
+    /// # Errors
+    /// [`SimError::ClockRegression`] on attempts to move backwards — a
+    /// scheduling bug in the caller's event script. The clock is left
+    /// unchanged.
+    pub fn advance_to(&mut self, t: Seconds) -> Result<(), SimError> {
+        if t.value() + 1e-12 < self.now.value() {
+            return Err(SimError::ClockRegression {
+                from: self.now.value(),
+                to: t.value(),
+            });
+        }
         self.now = self.now.max(t);
+        Ok(())
     }
 }
 
@@ -141,14 +145,14 @@ mod tests {
     #[test]
     fn clock_advances_and_rejects_regression() {
         let mut c = Clock::new();
-        c.advance_to(seconds(5.0));
+        c.advance_to(seconds(5.0)).unwrap();
         assert_eq!(c.now(), seconds(5.0));
-        c.advance_to(seconds(5.0)); // same time is fine
-        let r = std::panic::catch_unwind(move || {
-            let mut c2 = c;
-            c2.advance_to(seconds(4.0));
-        });
-        assert!(r.is_err());
+        c.advance_to(seconds(5.0)).unwrap(); // same time is fine
+        assert!(matches!(
+            c.advance_to(seconds(4.0)),
+            Err(SimError::ClockRegression { .. })
+        ));
+        assert_eq!(c.now(), seconds(5.0), "failed advance leaves time put");
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! The simulator's error type.
+//!
+//! `dpm-sim` follows the same fallibility doctrine as `dpm-core`
+//! (see `dpm_core::error`): conditions reachable from caller-supplied
+//! inputs — a malformed battery configuration, a degenerate run
+//! configuration, a governor whose plan cannot serve a slot — surface as
+//! [`SimError`] values. Invariants that validated constructors already
+//! guarantee stay as `debug_assert!`.
+
+use dpm_core::error::DpmError;
+use std::fmt;
+
+/// Everything that can go wrong assembling or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A core-model error propagated from `dpm-core` (the governor's plan,
+    /// the platform description, a schedule, …).
+    Core(DpmError),
+    /// The simulated clock was asked to move backwards — a scheduling bug
+    /// in the caller's event script.
+    ClockRegression {
+        /// Time the clock was at (s).
+        from: f64,
+        /// Earlier time it was asked to move to (s).
+        to: f64,
+    },
+    /// The battery configuration is physically meaningless.
+    BatteryMisconfigured(String),
+    /// The run configuration cannot produce a simulation (zero periods,
+    /// zero slots, zero sub-steps).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Core(e) => write!(f, "{e}"),
+            Self::ClockRegression { from, to } => {
+                write!(f, "clock cannot run backwards: {from} s -> {to} s")
+            }
+            Self::BatteryMisconfigured(msg) => write!(f, "battery misconfigured: {msg}"),
+            Self::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DpmError> for SimError {
+    fn from(e: DpmError) -> Self {
+        Self::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = SimError::ClockRegression { from: 5.0, to: 4.0 };
+        assert!(e.to_string().contains("backwards"));
+        let e = SimError::BatteryMisconfigured("efficiency 2".into());
+        assert!(e.to_string().contains("battery"));
+    }
+
+    #[test]
+    fn core_errors_convert_and_chain() {
+        let e: SimError = DpmError::EmptyScheduleWindow.into();
+        assert_eq!(e.to_string(), DpmError::EmptyScheduleWindow.to_string());
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

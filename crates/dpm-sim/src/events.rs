@@ -157,6 +157,7 @@ mod tests {
             seconds(4.8),
             vec![0.5, 0.1, 0.0, 0.3, 0.5, 0.2, 0.5, 0.1, 0.0, 0.3, 0.5, 0.2],
         )
+        .unwrap()
     }
 
     #[test]
@@ -176,7 +177,7 @@ mod tests {
 
     #[test]
     fn schedule_generator_zero_rate_is_silent() {
-        let mut g = ScheduleGenerator::new(PowerSeries::new(seconds(1.0), vec![0.0; 4]));
+        let mut g = ScheduleGenerator::new(PowerSeries::new(seconds(1.0), vec![0.0; 4]).unwrap());
         for i in 0..8 {
             assert_eq!(g.arrivals(seconds(i as f64), seconds(1.0)), 0);
         }
@@ -209,7 +210,7 @@ mod tests {
 
     #[test]
     fn burst_fires_exactly_once() {
-        let inner = ScheduleGenerator::new(PowerSeries::new(seconds(1.0), vec![0.0; 60]));
+        let inner = ScheduleGenerator::new(PowerSeries::new(seconds(1.0), vec![0.0; 60]).unwrap());
         let mut g = BurstGenerator::new(inner, vec![(seconds(10.5), 7)]);
         let mut total = 0;
         for i in 0..60 {

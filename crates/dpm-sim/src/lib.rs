@@ -11,37 +11,44 @@
 //! use dpm_core::prelude::*;
 //! use dpm_sim::prelude::*;
 //!
-//! let platform = Platform::pama();
-//! let charging = PowerSeries::new(platform.tau,
-//!     vec![2.36; 6].into_iter().chain(vec![0.0; 6]).collect());
-//! let rates = PowerSeries::constant(platform.tau, 12, 0.2);
+//! fn main() -> Result<(), SimError> {
+//!     let platform = Platform::pama();
+//!     let charging = PowerSeries::new(platform.tau,
+//!         vec![2.36; 6].into_iter().chain(vec![0.0; 6]).collect())?;
+//!     let rates = PowerSeries::constant(platform.tau, 12, 0.2)?;
 //!
-//! struct AlwaysOn;
-//! impl Governor for AlwaysOn {
-//!     fn name(&self) -> &str { "always-on" }
-//!     fn decide(&mut self, _o: &SlotObservation) -> OperatingPoint {
-//!         OperatingPoint::new(3, Hertz::from_mhz(40.0), volts(3.3))
+//!     struct AlwaysOn;
+//!     impl Governor for AlwaysOn {
+//!         fn name(&self) -> &str { "always-on" }
+//!         fn decide(&mut self, _o: &SlotObservation) -> Result<OperatingPoint, DpmError> {
+//!             Ok(OperatingPoint::new(3, Hertz::from_mhz(40.0), volts(3.3)))
+//!         }
 //!     }
-//! }
 //!
-//! let sim = Simulation::new(
-//!     platform,
-//!     Box::new(TraceSource::new(charging)),
-//!     Box::new(ScheduleGenerator::new(rates)),
-//!     joules(8.0),
-//!     SimConfig::default(),
-//! );
-//! let report = sim.run(&mut AlwaysOn);
-//! assert!(report.jobs_done > 0);
+//!     let sim = Simulation::new(
+//!         platform,
+//!         Box::new(TraceSource::new(charging)),
+//!         Box::new(ScheduleGenerator::new(rates)),
+//!         joules(8.0),
+//!         SimConfig::default(),
+//!     )?;
+//!     let report = sim.run(&mut AlwaysOn)?;
+//!     assert!(report.jobs_done > 0);
+//!     Ok(())
+//! }
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// `!(x > 0.0)`-style checks are deliberate: unlike `x <= 0.0` they also
+// reject NaN, which is exactly what the validation layer is for.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod battery;
 pub mod board;
 pub mod commands;
 pub mod engine;
+pub mod error;
 pub mod events;
 pub mod meter;
 pub mod network;
@@ -56,6 +63,7 @@ pub mod prelude {
     pub use crate::board::PamaBoard;
     pub use crate::commands::{Command, CommandBus, InFlight};
     pub use crate::engine::{Clock, EventQueue};
+    pub use crate::error::SimError;
     pub use crate::events::{BurstGenerator, EventGenerator, PoissonGenerator, ScheduleGenerator};
     pub use crate::meter::PowerMeter;
     pub use crate::network::{RingConfig, RingNetwork};

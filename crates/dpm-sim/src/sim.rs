@@ -11,6 +11,7 @@
 use crate::battery::{Battery, BatteryConfig};
 use crate::board::PamaBoard;
 use crate::engine::EventQueue;
+use crate::error::SimError;
 use crate::events::EventGenerator;
 use crate::meter::PowerMeter;
 use crate::source::ChargingSource;
@@ -77,17 +78,28 @@ pub struct Simulation {
 
 impl Simulation {
     /// Assemble a simulation with an ideal battery at `initial_charge`.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidConfig`] on a degenerate run configuration,
+    /// [`SimError::Core`] on an invalid platform, and any battery error
+    /// from [`Battery::new`].
     pub fn new(
         platform: Platform,
         source: Box<dyn ChargingSource>,
         events: Box<dyn EventGenerator>,
         initial_charge: Joules,
         config: SimConfig,
-    ) -> Self {
-        assert!(config.periods >= 1 && config.slots_per_period >= 1 && config.substeps >= 1);
-        let battery = Battery::new(BatteryConfig::ideal(platform.battery), initial_charge);
+    ) -> Result<Self, SimError> {
+        if config.periods < 1 || config.slots_per_period < 1 || config.substeps < 1 {
+            return Err(SimError::InvalidConfig(format!(
+                "periods, slots_per_period and substeps must all be >= 1,                  got {} / {} / {}",
+                config.periods, config.slots_per_period, config.substeps
+            )));
+        }
+        platform.validate()?;
+        let battery = Battery::new(BatteryConfig::ideal(platform.battery), initial_charge)?;
         let board = PamaBoard::new(platform.clone());
-        Self {
+        Ok(Self {
             platform,
             source,
             events,
@@ -98,13 +110,21 @@ impl Simulation {
             config,
             supply_scale: 1.0,
             supply_scale_until: Seconds::ZERO,
-        }
+        })
     }
 
     /// Use a non-ideal battery.
-    pub fn with_battery(mut self, config: BatteryConfig, initial: Joules) -> Self {
-        self.battery = Battery::new(config, initial);
-        self
+    ///
+    /// # Errors
+    /// Propagates [`Battery::new`] on a misconfigured battery.
+    #[must_use = "builders return a new simulation rather than mutating in place"]
+    pub fn with_battery(
+        mut self,
+        config: BatteryConfig,
+        initial: Joules,
+    ) -> Result<Self, SimError> {
+        self.battery = Battery::new(config, initial)?;
+        Ok(self)
     }
 
     /// Schedule a disturbance at absolute time `t`.
@@ -113,7 +133,12 @@ impl Simulation {
     }
 
     /// Run to completion under `governor`.
-    pub fn run(mut self, governor: &mut dyn Governor) -> SimReport {
+    ///
+    /// # Errors
+    /// Propagates the governor's [`dpm_core::error::DpmError`] as
+    /// [`SimError::Core`]; the report of the slots already simulated is
+    /// lost (a failed run has no meaningful metrics).
+    pub fn run(mut self, governor: &mut dyn Governor) -> Result<SimReport, SimError> {
         let tau = self.platform.tau;
         let total_slots = (self.config.periods * self.config.slots_per_period) as u64;
         let dt = seconds(tau.value() / self.config.substeps as f64);
@@ -135,7 +160,7 @@ impl Simulation {
                 supplied_last,
                 backlog: self.board.backlog(),
             };
-            let point = governor.decide(&obs);
+            let point = governor.decide(&obs)?;
             let transition = self.board.apply(point, t_slot);
 
             let mut slot_used = Joules::ZERO;
@@ -152,7 +177,9 @@ impl Simulation {
                 } else {
                     1.0
                 };
-                let offered = self.source.mean_power(t, dt) * dt * scale;
+                // A glitched source model (negative/NaN power) must not
+                // corrupt the accounting: offer nothing instead.
+                let offered = (self.source.mean_power(t, dt) * dt * scale).max(Joules::ZERO);
                 self.battery.charge(offered);
                 slot_supplied += offered;
 
@@ -218,7 +245,7 @@ impl Simulation {
 
         let duration = total_slots as f64 * tau.value();
         let latency = self.board.latency();
-        SimReport {
+        Ok(SimReport {
             governor: governor.name().to_string(),
             duration,
             offered: self.battery.offered().value(),
@@ -233,7 +260,7 @@ impl Simulation {
             initial_battery,
             final_battery: self.battery.level().value(),
             slots,
-        }
+        })
     }
 
     fn apply_disturbances(&mut self, t: Seconds, dt: Seconds) {
@@ -269,8 +296,11 @@ mod tests {
         fn name(&self) -> &str {
             "pinned"
         }
-        fn decide(&mut self, _o: &SlotObservation) -> OperatingPoint {
-            self.0
+        fn decide(
+            &mut self,
+            _o: &SlotObservation,
+        ) -> Result<OperatingPoint, dpm_core::error::DpmError> {
+            Ok(self.0)
         }
     }
 
@@ -281,10 +311,11 @@ mod tests {
                 2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
             ],
         )
+        .unwrap()
     }
 
     fn rates(v: f64) -> PowerSeries {
-        PowerSeries::constant(seconds(4.8), 12, v)
+        PowerSeries::constant(seconds(4.8), 12, v).unwrap()
     }
 
     fn sim(rate: f64) -> Simulation {
@@ -295,11 +326,30 @@ mod tests {
             joules(8.0),
             SimConfig::default(),
         )
+        .unwrap()
+    }
+
+    #[test]
+    fn degenerate_config_is_rejected() {
+        let cfg = SimConfig {
+            periods: 0,
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            Simulation::new(
+                Platform::pama(),
+                Box::new(TraceSource::new(charging())),
+                Box::new(ScheduleGenerator::new(rates(0.2))),
+                joules(8.0),
+                cfg,
+            ),
+            Err(SimError::InvalidConfig(_))
+        ));
     }
 
     #[test]
     fn off_governor_wastes_most_supply() {
-        let report = sim(0.2).run(&mut Pinned(OperatingPoint::OFF));
+        let report = sim(0.2).run(&mut Pinned(OperatingPoint::OFF)).unwrap();
         // Standby floor ≈ 0.053 W barely dents the 2.36 W supply: the
         // battery fills and most of the rest is wasted.
         assert_eq!(report.jobs_done, 0);
@@ -309,7 +359,7 @@ mod tests {
     #[test]
     fn full_power_governor_drains_battery() {
         let point = OperatingPoint::new(7, Hertz::from_mhz(80.0), volts(3.3));
-        let report = sim(2.0).run(&mut Pinned(point));
+        let report = sim(2.0).run(&mut Pinned(point)).unwrap();
         // 4.37 W demand vs ≤2.36 W supply: undersupply is inevitable.
         assert!(report.undersupplied > 0.0, "{}", report.summary());
         assert!(report.jobs_done > 0);
@@ -321,7 +371,7 @@ mod tests {
         // 0.2 events/s·4.8 s·24 slots ≈ 23 events over 2 periods. With
         // race-to-idle the mean draw is only ~0.25 W, well under supply,
         // so everything completes without brown-outs or drops.
-        let report = sim(0.2).run(&mut Pinned(point));
+        let report = sim(0.2).run(&mut Pinned(point)).unwrap();
         assert!(report.jobs_done >= 20, "{}", report.jobs_done);
         assert_eq!(report.undersupplied, 0.0);
         assert_eq!(report.dropped, 0);
@@ -330,7 +380,7 @@ mod tests {
     #[test]
     fn energy_conservation_holds() {
         let point = OperatingPoint::new(3, Hertz::from_mhz(40.0), volts(3.3));
-        let report = sim(0.5).run(&mut Pinned(point));
+        let report = sim(0.5).run(&mut Pinned(point)).unwrap();
         // offered = wasted + stored_delta + delivered (ideal battery).
         let stored_delta = report.final_battery - 8.0;
         let balance = report.offered - report.wasted - report.delivered - stored_delta;
@@ -339,7 +389,7 @@ mod tests {
 
     #[test]
     fn trace_has_one_record_per_slot() {
-        let report = sim(0.2).run(&mut Pinned(OperatingPoint::OFF));
+        let report = sim(0.2).run(&mut Pinned(OperatingPoint::OFF)).unwrap();
         assert_eq!(report.slots.len(), 24);
         assert_eq!(report.slots[5].slot, 5);
         assert!((report.slots[5].time - 24.0).abs() < 1e-9);
@@ -355,8 +405,8 @@ mod tests {
                 duration: seconds(28.8),
             },
         );
-        let r_with = with.run(&mut Pinned(OperatingPoint::OFF));
-        let r_without = sim(0.2).run(&mut Pinned(OperatingPoint::OFF));
+        let r_with = with.run(&mut Pinned(OperatingPoint::OFF)).unwrap();
+        let r_without = sim(0.2).run(&mut Pinned(OperatingPoint::OFF)).unwrap();
         assert!(
             r_with.offered < 0.8 * r_without.offered,
             "{} vs {}",
@@ -369,11 +419,13 @@ mod tests {
     fn event_burst_creates_backlog() {
         let mut s = sim(0.0);
         s.schedule(seconds(10.0), Disturbance::EventBurst { count: 40 });
-        let report = s.run(&mut Pinned(OperatingPoint::new(
-            1,
-            Hertz::from_mhz(20.0),
-            volts(3.3),
-        )));
+        let report = s
+            .run(&mut Pinned(OperatingPoint::new(
+                1,
+                Hertz::from_mhz(20.0),
+                volts(3.3),
+            )))
+            .unwrap();
         // 40 jobs at ~1 job/4.8 s with ~19 slots remaining: backlog left.
         assert!(report.jobs_done >= 15, "{}", report.jobs_done);
         let last = report.slots.last().unwrap();
@@ -385,12 +437,14 @@ mod tests {
         // A point whose draw roughly matches mean supply (≈1.18 W): 2
         // workers at 80 MHz + controller ≈ 1.64 W, vs a hugely oversized
         // point that browns out, vs off.
-        let sized = sim(2.0).run(&mut Pinned(OperatingPoint::new(
-            2,
-            Hertz::from_mhz(80.0),
-            volts(3.3),
-        )));
-        let off = sim(2.0).run(&mut Pinned(OperatingPoint::OFF));
+        let sized = sim(2.0)
+            .run(&mut Pinned(OperatingPoint::new(
+                2,
+                Hertz::from_mhz(80.0),
+                volts(3.3),
+            )))
+            .unwrap();
+        let off = sim(2.0).run(&mut Pinned(OperatingPoint::OFF)).unwrap();
         assert!(sized.utilization() > off.utilization());
         assert!(sized.utilization() > 0.3, "{}", sized.utilization());
     }

@@ -161,6 +161,7 @@ mod tests {
                 2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
             ],
         )
+        .unwrap()
     }
 
     #[test]

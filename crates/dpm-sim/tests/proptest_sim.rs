@@ -2,13 +2,14 @@
 //! source determinism, and event-generator statistics.
 
 use dpm_core::platform::BatteryLimits;
+use dpm_core::prelude::*;
 use dpm_core::series::PowerSeries;
 use dpm_core::units::{joules, seconds, Joules};
 use dpm_sim::prelude::*;
 use proptest::prelude::*;
 
 fn limits() -> BatteryLimits {
-    BatteryLimits::new(joules(0.5), joules(16.0))
+    BatteryLimits::new(joules(0.5), joules(16.0)).unwrap()
 }
 
 proptest! {
@@ -19,7 +20,7 @@ proptest! {
         ops in prop::collection::vec((any::<bool>(), 0.0f64..6.0), 1..64),
         initial in 0.5f64..16.0,
     ) {
-        let mut b = Battery::new(BatteryConfig::ideal(limits()), joules(initial));
+        let mut b = Battery::new(BatteryConfig::ideal(limits()), joules(initial)).unwrap();
         let start = b.level().value();
         let mut demanded = 0.0;
         for (is_charge, amount) in ops {
@@ -50,7 +51,7 @@ proptest! {
     fn battery_window_is_invariant(
         charges in prop::collection::vec(0.0f64..10.0, 1..32),
     ) {
-        let mut b = Battery::new(BatteryConfig::ideal(limits()), joules(8.0));
+        let mut b = Battery::new(BatteryConfig::ideal(limits()), joules(8.0)).unwrap();
         for c in charges {
             b.charge(joules(c));
             prop_assert!(b.level() <= joules(16.0));
@@ -67,7 +68,7 @@ proptest! {
         a in 0.0f64..57.6,
         w in 0.1f64..10.0,
     ) {
-        let series = PowerSeries::new(seconds(4.8), values);
+        let series = PowerSeries::new(seconds(4.8), values).unwrap();
         let src = TraceSource::new(series.clone());
         let mean = src.mean_power(seconds(a), seconds(w)).value();
         let expect = series
@@ -83,7 +84,7 @@ proptest! {
         rates in prop::collection::vec(0.0f64..1.0, 12..=12),
         periods in 1usize..6,
     ) {
-        let series = PowerSeries::new(seconds(4.8), rates);
+        let series = PowerSeries::new(seconds(4.8), rates).unwrap();
         let expect = series.integral().value() * periods as f64;
         let mut g = ScheduleGenerator::new(series);
         let mut total = 0usize;
@@ -97,7 +98,7 @@ proptest! {
     /// moderate rates.
     #[test]
     fn poisson_deterministic(seed in any::<u64>(), rate in 0.0f64..0.8) {
-        let series = PowerSeries::constant(seconds(4.8), 12, rate);
+        let series = PowerSeries::constant(seconds(4.8), 12, rate).unwrap();
         let mut a = PoissonGenerator::new(series.clone(), seed);
         let mut b = PoissonGenerator::new(series, seed);
         for i in 0..12 {
@@ -109,7 +110,7 @@ proptest! {
     /// The noisy source never goes negative and stays within its band.
     #[test]
     fn noisy_source_bounded(seed in any::<u64>(), amp in 0.0f64..0.9) {
-        let series = PowerSeries::constant(seconds(4.8), 12, 2.0);
+        let series = PowerSeries::constant(seconds(4.8), 12, 2.0).unwrap();
         let src = NoisySource::new(TraceSource::new(series), amp, seconds(4.8), seed);
         for i in 0..24 {
             let p = src.power(seconds(i as f64 * 2.4)).value();
@@ -129,6 +130,125 @@ proptest! {
             prop_assert_eq!(there + back, 0);
         } else {
             prop_assert_eq!(there + back, 8);
+        }
+    }
+}
+
+/// A governor that always asks for the same point (test fixture).
+struct Pinned(OperatingPoint);
+
+impl Governor for Pinned {
+    fn name(&self) -> &str {
+        "pinned"
+    }
+
+    fn decide(&mut self, _obs: &SlotObservation) -> Result<OperatingPoint, DpmError> {
+        Ok(self.0)
+    }
+}
+
+/// Drive the full proposed-controller pipeline — series construction,
+/// demand model, initial allocation, controller, simulation — mapping
+/// every failure to its `Display` text. The no-panic properties below
+/// only care that this function *returns*.
+fn run_pipeline(slots: usize, sun: f64, rate: f64, battery0: f64) -> Result<(), String> {
+    let platform = Platform::pama();
+    let tau = platform.tau;
+    let charging = PowerSeries::constant(tau, slots, sun).map_err(|e| e.to_string())?;
+    let events = PowerSeries::constant(tau, slots, rate).map_err(|e| e.to_string())?;
+    let demand = DemandModel::unweighted(events.clone()).map_err(|e| e.to_string())?;
+    let problem = AllocationProblem {
+        charging: charging.clone(),
+        demand: demand.wpuf(),
+        initial_charge: joules(battery0),
+        limits: platform.battery,
+        p_floor: platform.power.all_standby(),
+        p_ceiling: platform.board_power(7, platform.f_max()),
+    };
+    let allocation = InitialAllocator::new(problem)
+        .map_err(|e| e.to_string())?
+        .compute()
+        .map_err(|e| e.to_string())?;
+    let mut governor = DpmController::new(platform.clone(), &allocation, charging.clone())
+        .map_err(|e| e.to_string())?;
+    let config = SimConfig {
+        periods: 1,
+        slots_per_period: slots,
+        substeps: 2,
+        trace: false,
+    };
+    let sim = Simulation::new(
+        platform,
+        Box::new(TraceSource::new(charging)),
+        Box::new(ScheduleGenerator::new(events)),
+        joules(battery0),
+        config,
+    )
+    .map_err(|e| e.to_string())?;
+    sim.run(&mut governor).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+proptest! {
+    /// Fallible-core contract, end to end: the whole pipeline either
+    /// succeeds or reports a structured error with a human-readable
+    /// message — it never panics. Degenerate scenarios (empty schedules,
+    /// eclipse-only charging, battery levels outside the window) are
+    /// exercised explicitly.
+    #[test]
+    fn pipeline_never_panics_on_degenerate_inputs(
+        slots in 0usize..16,
+        sun in 0.0f64..4.0,
+        rate in 0.0f64..2.0,
+        battery0 in 0.0f64..24.0,
+        dark in any::<bool>(),
+    ) {
+        let sun = if dark { 0.0 } else { sun };
+        if let Err(msg) = run_pipeline(slots, sun, rate, battery0) {
+            prop_assert!(!msg.is_empty());
+        }
+        // The empty schedule in particular must be a structured rejection.
+        if slots == 0 {
+            prop_assert!(run_pipeline(slots, sun, rate, battery0).is_err());
+        }
+    }
+
+    /// The simulator itself stays total even when the governor is a
+    /// trivial fixed-point policy: arbitrary finite charging traces
+    /// (including all-zero and single-slot) produce a report or a
+    /// structured `SimError`, never a panic.
+    #[test]
+    fn simulation_never_panics_on_arbitrary_schedules(
+        values in prop::collection::vec(0.0f64..5.0, 1..16),
+        rate in 0.0f64..2.0,
+        battery0 in 0.0f64..24.0,
+    ) {
+        let platform = Platform::pama();
+        let tau = platform.tau;
+        let slots = values.len();
+        let charging = PowerSeries::new(tau, values).unwrap();
+        let events = PowerSeries::constant(tau, slots, rate).unwrap();
+        let config = SimConfig {
+            periods: 2,
+            slots_per_period: slots,
+            substeps: 3,
+            trace: false,
+        };
+        let peak = ParetoTable::build(&platform).unwrap().peak().point;
+        let mut pinned = Pinned(peak);
+        let sim = Simulation::new(
+            platform,
+            Box::new(TraceSource::new(charging)),
+            Box::new(ScheduleGenerator::new(events)),
+            joules(battery0),
+            config,
+        );
+        match sim {
+            Ok(sim) => match sim.run(&mut pinned) {
+                Ok(report) => prop_assert!(report.duration > 0.0),
+                Err(e) => prop_assert!(!e.to_string().is_empty()),
+            },
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
         }
     }
 }

@@ -2,6 +2,7 @@
 //! used by the sweep benches (crossover studies) and the examples.
 
 use crate::Scenario;
+use dpm_core::error::DpmError;
 use dpm_core::series::PowerSeries;
 use dpm_core::units::{joules, Seconds};
 use rand::rngs::StdRng;
@@ -36,56 +37,87 @@ impl OrbitScenarioBuilder {
     }
 
     /// Slot count per period.
+    #[must_use = "builders return a new value rather than mutating in place"]
     pub fn slots(mut self, n: usize) -> Self {
-        assert!(n >= 2);
         self.slots = n;
         self
     }
 
     /// Slot width.
+    #[must_use = "builders return a new value rather than mutating in place"]
     pub fn tau(mut self, tau: Seconds) -> Self {
-        assert!(tau.value() > 0.0);
         self.tau = tau;
         self
     }
 
     /// Panel output in full sun, W.
+    #[must_use = "builders return a new value rather than mutating in place"]
     pub fn panel_power(mut self, w: f64) -> Self {
-        assert!(w >= 0.0);
         self.panel_power = w;
         self
     }
 
     /// Fraction of the orbit in sunlight.
+    #[must_use = "builders return a new value rather than mutating in place"]
     pub fn sunlit_fraction(mut self, f: f64) -> Self {
-        assert!((0.0..=1.0).contains(&f));
         self.sunlit_fraction = f;
         self
     }
 
     /// Baseline demand level, W.
+    #[must_use = "builders return a new value rather than mutating in place"]
     pub fn demand_base(mut self, w: f64) -> Self {
-        assert!(w >= 0.0);
         self.demand_base = w;
         self
     }
 
     /// Add a triangular demand peak centred on `slot` with the given
     /// height above the base.
+    #[must_use = "builders return a new value rather than mutating in place"]
     pub fn demand_peak(mut self, slot: usize, height: f64) -> Self {
         self.demand_peaks.push((slot, height));
         self
     }
 
     /// Battery charge at t = 0, J.
+    #[must_use = "builders return a new value rather than mutating in place"]
     pub fn initial_charge(mut self, j: f64) -> Self {
-        assert!(j >= 0.0);
         self.initial_charge = j;
         self
     }
 
     /// Build the scenario.
-    pub fn build(self) -> Scenario {
+    ///
+    /// # Errors
+    /// [`DpmError::InvalidParameter`] when a knob left the buildable
+    /// range (fewer than 2 slots, a sunlit fraction outside [0, 1], a
+    /// negative power or charge), [`DpmError::InvalidSeries`] when the
+    /// resulting schedules are degenerate.
+    pub fn build(self) -> Result<Scenario, DpmError> {
+        if self.slots < 2 {
+            return Err(DpmError::InvalidParameter {
+                name: "slots",
+                reason: format!("need at least 2 slots per period, got {}", self.slots),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.sunlit_fraction) {
+            return Err(DpmError::InvalidParameter {
+                name: "sunlit_fraction",
+                reason: format!("must be within [0, 1], got {}", self.sunlit_fraction),
+            });
+        }
+        for (name, v) in [
+            ("panel_power", self.panel_power),
+            ("demand_base", self.demand_base),
+            ("initial_charge", self.initial_charge),
+        ] {
+            if !(v >= 0.0) {
+                return Err(DpmError::InvalidParameter {
+                    name,
+                    reason: format!("must be non-negative, got {v}"),
+                });
+            }
+        }
         let sunlit_slots = ((self.slots as f64) * self.sunlit_fraction).round() as usize;
         let charging = PowerSeries::new(
             self.tau,
@@ -98,7 +130,7 @@ impl OrbitScenarioBuilder {
                     }
                 })
                 .collect(),
-        );
+        )?;
         let n = self.slots;
         let use_power = PowerSeries::new(
             self.tau,
@@ -116,7 +148,7 @@ impl OrbitScenarioBuilder {
                     v
                 })
                 .collect(),
-        );
+        )?;
         Scenario::new(self.name, charging, use_power, joules(self.initial_charge))
     }
 }
@@ -133,14 +165,17 @@ pub fn random_scenario(seed: u64) -> Scenario {
         (0..12)
             .map(|i| if i < sunlit { panel } else { 0.0 })
             .collect(),
-    );
-    let use_power = PowerSeries::new(tau, (0..12).map(|_| rng.gen_range(0.1..2.4)).collect());
+    )
+    .expect("generated charging values are in range");
+    let use_power = PowerSeries::new(tau, (0..12).map(|_| rng.gen_range(0.1..2.4)).collect())
+        .expect("generated demand values are in range");
     Scenario::new(
         format!("random-{seed}"),
         charging,
         use_power,
         joules(rng.gen_range(2.0..14.0)),
     )
+    .expect("generated scenarios are aligned and non-negative")
 }
 
 #[cfg(test)]
@@ -149,7 +184,7 @@ mod tests {
 
     #[test]
     fn builder_defaults_resemble_scenario_one() {
-        let s = OrbitScenarioBuilder::new("t").build();
+        let s = OrbitScenarioBuilder::new("t").build().unwrap();
         assert_eq!(s.charging.len(), 12);
         assert_eq!(s.charging.get(0), 2.36);
         assert_eq!(s.charging.get(11), 0.0);
@@ -157,7 +192,10 @@ mod tests {
 
     #[test]
     fn sunlit_fraction_controls_eclipse_length() {
-        let s = OrbitScenarioBuilder::new("t").sunlit_fraction(0.75).build();
+        let s = OrbitScenarioBuilder::new("t")
+            .sunlit_fraction(0.75)
+            .build()
+            .unwrap();
         let lit = s.charging.values().iter().filter(|&&v| v > 0.0).count();
         assert_eq!(lit, 9);
     }
@@ -167,7 +205,8 @@ mod tests {
         let s = OrbitScenarioBuilder::new("t")
             .demand_base(0.5)
             .demand_peak(3, 1.0)
-            .build();
+            .build()
+            .unwrap();
         assert!(s.use_power.get(3) > s.use_power.get(8));
         assert!((s.use_power.get(3) - 1.5).abs() < 1e-9);
         // Triangular falloff.

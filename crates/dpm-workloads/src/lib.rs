@@ -12,6 +12,9 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// `!(x > 0.0)`-style checks are deliberate: unlike `x <= 0.0` they also
+// reject NaN, which is exactly what the validation layer is for.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod generator;
 pub mod scenarios;
@@ -20,6 +23,7 @@ pub use generator::{random_scenario, OrbitScenarioBuilder};
 pub use scenarios::{scenario_one, scenario_two};
 
 use dpm_core::alloc::AllocationProblem;
+use dpm_core::error::DpmError;
 use dpm_core::platform::Platform;
 use dpm_core::series::PowerSeries;
 use dpm_core::units::Joules;
@@ -40,27 +44,30 @@ pub struct Scenario {
 
 impl Scenario {
     /// Build, validating alignment.
+    ///
+    /// # Errors
+    /// [`DpmError::SeriesMismatch`] when the charging and use schedules
+    /// disagree on slotting, [`DpmError::InvalidParameter`] on a negative
+    /// use power.
     pub fn new(
         name: impl Into<String>,
         charging: PowerSeries,
         use_power: PowerSeries,
         initial_charge: Joules,
-    ) -> Self {
-        assert_eq!(
-            charging.len(),
-            use_power.len(),
-            "charging and use schedules must share slotting"
-        );
-        assert!(
-            use_power.values().iter().all(|&v| v >= 0.0),
-            "use power must be non-negative"
-        );
-        Self {
+    ) -> Result<Self, DpmError> {
+        charging.check_aligned(&use_power)?;
+        if let Some(i) = use_power.values().iter().position(|&v| v < 0.0) {
+            return Err(DpmError::InvalidParameter {
+                name: "use_power",
+                reason: format!("must be non-negative, slot {i} is {}", use_power.get(i)),
+            });
+        }
+        Ok(Self {
             name: name.into(),
             charging,
             use_power,
             initial_charge,
-        }
+        })
     }
 
     /// The §4.1 allocation problem for this scenario on `platform`.
@@ -91,7 +98,7 @@ impl Scenario {
     /// reference point would dissipate exactly the use-power shape.
     pub fn event_rates(&self, platform: &Platform) -> PowerSeries {
         let e = self.energy_per_job(platform).value();
-        assert!(e > 0.0);
+        debug_assert!(e > 0.0, "validated platforms dissipate at every point");
         self.use_power.map(|w| w / e)
     }
 
@@ -147,13 +154,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "share slotting")]
     fn misaligned_schedules_rejected() {
-        Scenario::new(
-            "bad",
-            PowerSeries::constant(seconds(4.8), 12, 1.0),
-            PowerSeries::constant(seconds(4.8), 6, 1.0),
-            joules(8.0),
-        );
+        use dpm_core::error::DpmError;
+        assert!(matches!(
+            Scenario::new(
+                "bad",
+                PowerSeries::constant(seconds(4.8), 12, 1.0).unwrap(),
+                PowerSeries::constant(seconds(4.8), 6, 1.0).unwrap(),
+                joules(8.0),
+            ),
+            Err(DpmError::SeriesMismatch { .. })
+        ));
     }
 }

@@ -19,14 +19,17 @@ pub fn scenario_one() -> Scenario {
         vec![
             2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
         ],
-    );
+    )
+    .expect("paper scenario constants are valid");
     let use_power = PowerSeries::new(
         tau,
         vec![
             2.36, 2.36, 1.18, 1.38, 2.36, 1.18, 1.18, 0.79, 0.49, 0.49, 0.79, 0.98,
         ],
-    );
+    )
+    .expect("paper scenario constants are valid");
     Scenario::new("scenario-1", charging, use_power, joules(8.0))
+        .expect("paper scenario constants are valid")
 }
 
 /// Scenario II: ramped sunrise, long eclipse, partial re-illumination;
@@ -38,14 +41,17 @@ pub fn scenario_two() -> Scenario {
         vec![
             3.24, 3.54, 3.54, 3.54, 0.88, 0.0, 0.0, 0.0, 0.88, 0.88, 1.77, 2.36,
         ],
-    );
+    )
+    .expect("paper scenario constants are valid");
     let use_power = PowerSeries::new(
         tau,
         vec![
             2.36, 2.95, 2.95, 2.36, 1.57, 1.38, 1.18, 0.0, 0.29, 0.79, 1.38, 2.06,
         ],
-    );
+    )
+    .expect("paper scenario constants are valid");
     Scenario::new("scenario-2", charging, use_power, joules(8.0))
+        .expect("paper scenario constants are valid")
 }
 
 /// Both scenarios, for sweep harnesses.

@@ -23,7 +23,8 @@ fn main() {
     platform.v_min = volts(0.8);
     platform.v_max = volts(3.3);
     // Tt/Ts = 5 ⇒ the Eq. 18 breakpoint n* = 2·(5−1) = 8.
-    platform.workload = AmdahlWorkload::new(seconds(4.8), seconds(0.96), Hertz::from_mhz(20.0));
+    platform.workload = AmdahlWorkload::new(seconds(4.8), seconds(0.96), Hertz::from_mhz(20.0))
+        .expect("example workload constants are valid");
 
     let w = &platform.workload;
     println!(

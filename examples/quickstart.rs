@@ -15,7 +15,7 @@ use dpm_bench::experiments;
 use dpm_core::prelude::*;
 use dpm_sim::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. the machine ---------------------------------------------------
     let platform = Platform::pama();
     println!(
@@ -38,13 +38,13 @@ fn main() {
         vec![
             2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
         ],
-    );
+    )?;
     // Twin-peak event-rate schedule, weighted uniformly.
     let rates = PowerSeries::new(
         tau,
         vec![1.1, 0.7, 0.2, 0.2, 0.7, 1.2, 1.1, 0.7, 0.2, 0.2, 0.7, 1.2],
-    );
-    let demand = DemandModel::unweighted(rates.clone());
+    )?;
+    let demand = DemandModel::unweighted(rates.clone())?;
 
     // --- 3. §4.1 initial power allocation -----------------------------------
     let problem = AllocationProblem {
@@ -55,7 +55,7 @@ fn main() {
         p_floor: platform.power.all_standby(),
         p_ceiling: platform.board_power(platform.workers(), platform.f_max()),
     };
-    let allocation = InitialAllocator::new(problem).compute();
+    let allocation = InitialAllocator::new(problem)?.compute()?;
     println!(
         "\n§4.1 allocation converged in {} iteration(s), feasible = {}",
         allocation.iterations.len(),
@@ -72,8 +72,8 @@ fn main() {
     );
 
     // --- 4. §4.2 discrete parameter schedule --------------------------------
-    let scheduler = ParameterScheduler::new(platform.clone());
-    let schedule = scheduler.plan(&allocation.allocation, &charging, joules(8.0));
+    let scheduler = ParameterScheduler::new(platform.clone())?;
+    let schedule = scheduler.plan(&allocation.allocation, &charging, joules(8.0))?;
     println!("\n§4.2 schedule ({} switches):", schedule.switch_count());
     for slot in &schedule.slots {
         println!(
@@ -85,15 +85,15 @@ fn main() {
     }
 
     // --- 5. §4.3 run the controller in the loop -----------------------------
-    let mut governor = DpmController::new(platform.clone(), &allocation, charging.clone());
+    let mut governor = DpmController::new(platform.clone(), &allocation, charging.clone())?;
     let sim = Simulation::new(
         platform,
         Box::new(TraceSource::new(charging)),
         Box::new(ScheduleGenerator::new(rates)),
         joules(8.0),
         SimConfig::default(),
-    );
-    let report = sim.run(&mut governor);
+    )?;
+    let report = sim.run(&mut governor)?;
     println!("\n§4.3 two-period simulation:");
     println!("  {}", report.summary());
     println!(
@@ -106,11 +106,12 @@ fn main() {
         &Platform::pama(),
         &dpm_workloads::scenarios::all(),
         experiments::DEFAULT_PERIODS,
-    );
+    )?;
     let proposed = rows.iter().find(|r| r.governor == "proposed").unwrap();
     let statik = rows.iter().find(|r| r.governor == "static").unwrap();
     println!(
         "\nTable 1 headline: proposed wastes {:.1} J vs static {:.1} J on scenario I",
         proposed.wasted[0], statik.wasted[0]
     );
+    Ok(())
 }

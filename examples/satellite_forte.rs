@@ -17,7 +17,7 @@ use dpm_fft::prelude::*;
 use dpm_sim::prelude::*;
 use dpm_workloads::scenarios;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- calibrate the platform's workload from the FFT cycle model --------
     let cycle_model = CycleModel::pama_fft();
     let mut platform = Platform::pama();
@@ -68,8 +68,9 @@ fn main() {
 
     // --- fly the mission under the proposed governor -----------------------
     let scenario = scenarios::scenario_one();
-    let allocation = experiments::initial_allocation(&platform, &scenario);
-    let mut governor = DpmController::new(platform.clone(), &allocation, scenario.charging.clone());
+    let allocation = experiments::initial_allocation(&platform, &scenario)?;
+    let mut governor =
+        DpmController::new(platform.clone(), &allocation, scenario.charging.clone())?;
 
     let mut sim = Simulation::new(
         platform.clone(),
@@ -85,11 +86,11 @@ fn main() {
             periods: 4,
             ..SimConfig::default()
         },
-    );
+    )?;
     // A storm passage mid-mission.
     sim.schedule(seconds(130.0), Disturbance::EventBurst { count: 12 });
 
-    let report = sim.run(&mut governor);
+    let report = sim.run(&mut governor)?;
     println!("\nmission report (4 orbits, noisy sun, Poisson events, one storm):");
     println!("  {}", report.summary());
     println!(
@@ -104,4 +105,5 @@ fn main() {
             rec.time, rec.workers, rec.freq_mhz, rec.used, rec.battery, rec.backlog
         );
     }
+    Ok(())
 }

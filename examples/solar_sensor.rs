@@ -15,7 +15,11 @@ use dpm_core::prelude::*;
 use dpm_sim::prelude::*;
 use dpm_workloads::OrbitScenarioBuilder;
 
-fn build_sim(platform: &Platform, scenario: &dpm_workloads::Scenario, seed: u64) -> Simulation {
+fn build_sim(
+    platform: &Platform,
+    scenario: &dpm_workloads::Scenario,
+    seed: u64,
+) -> Result<Simulation, SimError> {
     let orbit = SolarOrbitSource {
         period: scenario.charging.period(),
         sunlit_fraction: 0.5,
@@ -34,7 +38,7 @@ fn build_sim(platform: &Platform, scenario: &dpm_workloads::Scenario, seed: u64)
             periods: 6,
             ..SimConfig::default()
         },
-    );
+    )?;
     // A 20 s partial panel fault in orbit 3.
     sim.schedule(
         seconds(2.2 * 57.6),
@@ -43,17 +47,17 @@ fn build_sim(platform: &Platform, scenario: &dpm_workloads::Scenario, seed: u64)
             duration: seconds(20.0),
         },
     );
-    sim
+    Ok(sim)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = Platform::pama();
     let scenario = OrbitScenarioBuilder::new("solar-sensor")
         .demand_base(0.5)
         .demand_peak(2, 1.4)
         .demand_peak(8, 1.0)
         .initial_charge(8.0)
-        .build();
+        .build()?;
 
     println!(
         "environment: noisy solar orbit, Poisson events (~{:.0}/orbit), panel fault in orbit 3\n",
@@ -64,23 +68,26 @@ fn main() {
 
     // The proposed controller plans on the *expected* (clean) schedules and
     // must absorb the noise and the fault via Algorithm 3.
-    let allocation = experiments::initial_allocation(&platform, &scenario);
-    let mut proposed = DpmController::new(platform.clone(), &allocation, scenario.charging.clone());
-    reports.push(build_sim(&platform, &scenario, 7).run(&mut proposed));
+    let allocation = experiments::initial_allocation(&platform, &scenario)?;
+    let mut proposed =
+        DpmController::new(platform.clone(), &allocation, scenario.charging.clone())?;
+    reports.push(build_sim(&platform, &scenario, 7)?.run(&mut proposed)?);
 
-    let mut statik = StaticGovernor::full_power(&platform);
-    reports.push(build_sim(&platform, &scenario, 7).run(&mut statik));
+    let mut statik = StaticGovernor::full_power(&platform)?;
+    reports.push(build_sim(&platform, &scenario, 7)?.run(&mut statik)?);
 
     let point = OperatingPoint::new(
         platform.workers(),
         platform.f_max(),
-        platform.voltage_for(platform.f_max()).unwrap(),
+        platform
+            .voltage_for(platform.f_max())
+            .ok_or("platform cannot supply its own f_max")?,
     );
-    let mut timeout = TimeoutGovernor::new(point, 2);
-    reports.push(build_sim(&platform, &scenario, 7).run(&mut timeout));
+    let mut timeout = TimeoutGovernor::new(point, 2)?;
+    reports.push(build_sim(&platform, &scenario, 7)?.run(&mut timeout)?);
 
-    let mut greedy = GreedyGovernor::new(platform.clone(), 4.0);
-    reports.push(build_sim(&platform, &scenario, 7).run(&mut greedy));
+    let mut greedy = GreedyGovernor::new(platform.clone(), 4.0)?;
+    reports.push(build_sim(&platform, &scenario, 7)?.run(&mut greedy)?);
 
     println!(
         "{:<14} {:>10} {:>14} {:>7} {:>8} {:>9}",
@@ -106,4 +113,5 @@ fn main() {
         proposed_report.undersupplied,
         static_report.undersupplied,
     );
+    Ok(())
 }

@@ -13,12 +13,12 @@
 use dpm_core::prelude::*;
 use dpm_sim::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A "day" compressed to 24 slots of 4.8 s (1 slot ≈ 1 hour).
     let platform = {
         let mut p = Platform::pama();
         // A roadside box has a bigger battery than a PIM testbed.
-        p.battery = BatteryLimits::new(joules(2.0), joules(60.0));
+        p.battery = BatteryLimits::new(joules(2.0), joules(60.0))?;
         p
     };
     let tau = platform.tau;
@@ -32,10 +32,10 @@ fn main() {
         } else {
             0.0
         }
-    });
+    })?;
 
     // Vehicles pass all day at a flat rate…
-    let rate = PowerSeries::constant(tau, hours, 0.6);
+    let rate = PowerSeries::constant(tau, hours, 0.6)?;
     // …but the operator cares 3× more about the commute windows.
     let weight = PowerSeries::from_fn(tau, hours, |t| {
         let h = t.value() / tau.value();
@@ -44,8 +44,8 @@ fn main() {
         } else {
             1.0
         }
-    });
-    let demand = DemandModel::new(rate.clone(), weight);
+    })?;
+    let demand = DemandModel::new(rate.clone(), weight)?;
 
     let problem = AllocationProblem {
         charging: charging.clone(),
@@ -55,7 +55,7 @@ fn main() {
         p_floor: platform.power.all_standby(),
         p_ceiling: platform.board_power(platform.workers(), platform.f_max()),
     };
-    let allocation = InitialAllocator::new(problem).compute();
+    let allocation = InitialAllocator::new(problem)?.compute()?;
 
     println!("hour  sun(W)  weight  P_init(W)  battery(J)");
     for h in 0..hours {
@@ -77,7 +77,7 @@ fn main() {
     );
 
     // Run one simulated day under the controller.
-    let mut governor = DpmController::new(platform.clone(), &allocation, charging.clone());
+    let mut governor = DpmController::new(platform.clone(), &allocation, charging.clone())?;
     let report = Simulation::new(
         platform.clone(),
         Box::new(TraceSource::new(charging)),
@@ -99,7 +99,8 @@ fn main() {
             substeps: 8,
             trace: false,
         },
-    )
-    .run(&mut governor);
+    )?
+    .run(&mut governor)?;
     println!("\nend of day: {}", report.summary());
+    Ok(())
 }

@@ -10,7 +10,7 @@ use dpm_workloads::scenarios;
 
 /// Reality: scenario I's supply. Prior: a flat (very wrong) forecast.
 fn wrong_prior() -> PowerSeries {
-    PowerSeries::constant(dpm_core::units::seconds(4.8), 12, 1.18)
+    PowerSeries::constant(dpm_core::units::seconds(4.8), 12, 1.18).unwrap()
 }
 
 fn run(governor: &mut dyn Governor, periods: usize) -> SimReport {
@@ -26,7 +26,9 @@ fn run(governor: &mut dyn Governor, periods: usize) -> SimReport {
             ..SimConfig::default()
         },
     )
+    .unwrap()
     .run(governor)
+    .unwrap()
 }
 
 #[test]
@@ -43,8 +45,11 @@ fn adaptive_recovers_from_a_wrong_prior() {
         p_floor: platform.power.all_standby(),
         p_ceiling: platform.board_power(platform.workers(), platform.f_max()),
     };
-    let wrong_alloc = dpm_core::alloc::InitialAllocator::new(wrong_problem).compute();
-    let mut stuck = DpmController::new(platform.clone(), &wrong_alloc, wrong_prior());
+    let wrong_alloc = dpm_core::alloc::InitialAllocator::new(wrong_problem)
+        .unwrap()
+        .compute()
+        .unwrap();
+    let mut stuck = DpmController::new(platform.clone(), &wrong_alloc, wrong_prior()).unwrap();
     let r_stuck = run(&mut stuck, 8);
 
     // Adaptive controller starting from the same wrong prior.
@@ -54,12 +59,13 @@ fn adaptive_recovers_from_a_wrong_prior() {
         s.use_power.clone(),
         ForecastMethod::ExponentialSmoothing { alpha: 0.6 },
         s.initial_charge,
-    );
+    )
+    .unwrap();
     let r_adapt = run(&mut adaptive, 8);
 
     // Reference: plain controller with the exact forecast.
-    let exact_alloc = experiments::initial_allocation(&platform, &s);
-    let mut exact = DpmController::new(platform.clone(), &exact_alloc, s.charging.clone());
+    let exact_alloc = experiments::initial_allocation(&platform, &s).unwrap();
+    let mut exact = DpmController::new(platform.clone(), &exact_alloc, s.charging.clone()).unwrap();
     let r_exact = run(&mut exact, 8);
 
     let loss = |r: &SimReport| r.wasted + r.undersupplied;
@@ -78,7 +84,10 @@ fn adaptive_recovers_from_a_wrong_prior() {
         loss(&r_adapt),
         loss(&r_exact)
     );
-    assert_eq!(adaptive.replans(), 7);
+    // 6 of the 7 period boundaries re-plan: at the first boundary the
+    // half-learned estimate poses a non-convergent §4.1 problem, which the
+    // allocator rejects and the controller keeps flying the prior plan.
+    assert_eq!(adaptive.replans(), 6);
 }
 
 #[test]
@@ -96,7 +105,8 @@ fn adaptive_learns_a_changed_orbit_shape() {
         vec![
             3.54, 3.54, 3.54, 3.54, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
         ],
-    );
+    )
+    .unwrap();
 
     let run_real = |gov: &mut dyn Governor| -> SimReport {
         Simulation::new(
@@ -109,12 +119,14 @@ fn adaptive_learns_a_changed_orbit_shape() {
                 ..SimConfig::default()
             },
         )
+        .unwrap()
         .run(gov)
+        .unwrap()
     };
 
     // Stuck controller planning on the *old* orbit.
-    let exact_alloc = experiments::initial_allocation(&platform, &s);
-    let mut stuck = DpmController::new(platform.clone(), &exact_alloc, s.charging.clone());
+    let exact_alloc = experiments::initial_allocation(&platform, &s).unwrap();
+    let mut stuck = DpmController::new(platform.clone(), &exact_alloc, s.charging.clone()).unwrap();
     let r_stuck = run_real(&mut stuck);
 
     let mut adaptive = AdaptiveDpmController::new(
@@ -123,7 +135,8 @@ fn adaptive_learns_a_changed_orbit_shape() {
         s.use_power.clone(),
         ForecastMethod::ExponentialSmoothing { alpha: 0.6 },
         s.initial_charge,
-    );
+    )
+    .unwrap();
     let r_adapt = run_real(&mut adaptive);
 
     let loss = |r: &SimReport| r.wasted + r.undersupplied;
@@ -145,7 +158,8 @@ fn adaptive_equals_plain_when_prior_is_exact() {
         s.use_power.clone(),
         ForecastMethod::ExponentialSmoothing { alpha: 0.3 },
         s.initial_charge,
-    );
+    )
+    .unwrap();
     let r = run(&mut adaptive, 4);
     assert_eq!(r.undersupplied, 0.0, "{}", r.summary());
     assert!(r.wasted < 0.1 * r.offered, "{}", r.summary());

@@ -20,11 +20,12 @@ fn proposed_dominates_static_on_both_paper_metrics() {
     let platform = Platform::pama();
     for s in scenarios::all() {
         for periods in [2usize, 4] {
-            let a = experiments::initial_allocation(&platform, &s);
-            let mut proposed = DpmController::new(platform.clone(), &a, s.charging.clone());
-            let rp = experiments::run_governor(&platform, &s, &mut proposed, periods);
-            let mut statik = StaticGovernor::full_power(&platform);
-            let rs = experiments::run_governor(&platform, &s, &mut statik, periods);
+            let a = experiments::initial_allocation(&platform, &s).unwrap();
+            let mut proposed =
+                DpmController::new(platform.clone(), &a, s.charging.clone()).unwrap();
+            let rp = experiments::run_governor(&platform, &s, &mut proposed, periods).unwrap();
+            let mut statik = StaticGovernor::full_power(&platform).unwrap();
+            let rs = experiments::run_governor(&platform, &s, &mut statik, periods).unwrap();
             assert!(
                 rp.wasted < rs.wasted,
                 "{} x{periods}: wasted {} vs {}",
@@ -49,7 +50,8 @@ fn waste_reduction_is_roughly_an_order_of_magnitude() {
     // factor of ten". Require ≥ 5x on both scenarios to allow for our
     // digitization differences while pinning the order of magnitude.
     let platform = Platform::pama();
-    let rows = experiments::table1(&platform, &scenarios::all(), experiments::DEFAULT_PERIODS);
+    let rows =
+        experiments::table1(&platform, &scenarios::all(), experiments::DEFAULT_PERIODS).unwrap();
     let proposed = rows.iter().find(|r| r.governor == "proposed").unwrap();
     let statik = rows.iter().find(|r| r.governor == "static").unwrap();
     for i in 0..2 {
@@ -62,10 +64,10 @@ fn waste_reduction_is_roughly_an_order_of_magnitude() {
 fn timeout_interpolates_between_static_and_always_on() {
     let platform = Platform::pama();
     let s = scenarios::scenario_one();
-    let mut t0 = TimeoutGovernor::new(full_point(&platform), 0);
-    let mut t3 = TimeoutGovernor::new(full_point(&platform), 3);
-    let r0 = experiments::run_governor(&platform, &s, &mut t0, 3);
-    let r3 = experiments::run_governor(&platform, &s, &mut t3, 3);
+    let mut t0 = TimeoutGovernor::new(full_point(&platform), 0).unwrap();
+    let mut t3 = TimeoutGovernor::new(full_point(&platform), 3).unwrap();
+    let r0 = experiments::run_governor(&platform, &s, &mut t0, 3).unwrap();
+    let r3 = experiments::run_governor(&platform, &s, &mut t3, 3).unwrap();
     // With the hold-off, chips are already awake when a quiet slot's
     // events arrive, so jobs start immediately instead of waiting for the
     // next slot boundary: latency can only improve.
@@ -82,16 +84,15 @@ fn timeout_interpolates_between_static_and_always_on() {
 fn oracle_is_no_worse_than_proposed_on_waste() {
     let platform = Platform::pama();
     for s in scenarios::all() {
-        let a = experiments::initial_allocation(&platform, &s);
-        let plan = ParameterScheduler::new(platform.clone()).plan(
-            &a.allocation,
-            &s.charging,
-            s.initial_charge,
-        );
-        let mut oracle = OracleGovernor::from_schedule(&plan);
-        let ro = experiments::run_governor(&platform, &s, &mut oracle, 4);
-        let mut proposed = DpmController::new(platform.clone(), &a, s.charging.clone());
-        let rp = experiments::run_governor(&platform, &s, &mut proposed, 4);
+        let a = experiments::initial_allocation(&platform, &s).unwrap();
+        let plan = ParameterScheduler::new(platform.clone())
+            .unwrap()
+            .plan(&a.allocation, &s.charging, s.initial_charge)
+            .unwrap();
+        let mut oracle = OracleGovernor::from_schedule(&plan).unwrap();
+        let ro = experiments::run_governor(&platform, &s, &mut oracle, 4).unwrap();
+        let mut proposed = DpmController::new(platform.clone(), &a, s.charging.clone()).unwrap();
+        let rp = experiments::run_governor(&platform, &s, &mut proposed, 4).unwrap();
         // The oracle plans on exact knowledge; allow a small tolerance for
         // the controller's feedback occasionally beating the static plan.
         assert!(
@@ -108,11 +109,11 @@ fn oracle_is_no_worse_than_proposed_on_waste() {
 fn greedy_avoids_undersupply_but_wastes_more_than_proposed() {
     let platform = Platform::pama();
     let s = scenarios::scenario_two();
-    let mut greedy = GreedyGovernor::new(platform.clone(), 4.0);
-    let rg = experiments::run_governor(&platform, &s, &mut greedy, 4);
-    let a = experiments::initial_allocation(&platform, &s);
-    let mut proposed = DpmController::new(platform.clone(), &a, s.charging.clone());
-    let rp = experiments::run_governor(&platform, &s, &mut proposed, 4);
+    let mut greedy = GreedyGovernor::new(platform.clone(), 4.0).unwrap();
+    let rg = experiments::run_governor(&platform, &s, &mut greedy, 4).unwrap();
+    let a = experiments::initial_allocation(&platform, &s).unwrap();
+    let mut proposed = DpmController::new(platform.clone(), &a, s.charging.clone()).unwrap();
+    let rp = experiments::run_governor(&platform, &s, &mut proposed, 4).unwrap();
     // Greedy cannot pre-spend ahead of a supply peak, so it pins at C_max
     // more often (or drains when the schedule would have saved).
     assert!(
@@ -133,11 +134,13 @@ fn analytic_eq18_tracks_the_table_controller_closely() {
     // regime.
     let platform = Platform::pama();
     for s in scenarios::all() {
-        let alloc = experiments::initial_allocation(&platform, &s);
-        let mut analytic = AnalyticGovernor::new(platform.clone(), alloc.allocation.clone());
-        let ra = experiments::run_governor(&platform, &s, &mut analytic, 4);
-        let mut proposed = DpmController::new(platform.clone(), &alloc, s.charging.clone());
-        let rp = experiments::run_governor(&platform, &s, &mut proposed, 4);
+        let alloc = experiments::initial_allocation(&platform, &s).unwrap();
+        let mut analytic =
+            AnalyticGovernor::new(platform.clone(), alloc.allocation.clone()).unwrap();
+        let ra = experiments::run_governor(&platform, &s, &mut analytic, 4).unwrap();
+        let mut proposed =
+            DpmController::new(platform.clone(), &alloc, s.charging.clone()).unwrap();
+        let rp = experiments::run_governor(&platform, &s, &mut proposed, 4).unwrap();
         let loss = |r: &dpm_sim::stats::SimReport| r.wasted + r.undersupplied;
         // Feedback never loses to open-loop rounding...
         assert!(
@@ -149,8 +152,8 @@ fn analytic_eq18_tracks_the_table_controller_closely() {
         );
         // ...and the closed form is still schedule-shaped: far better than
         // static.
-        let mut statik = StaticGovernor::full_power(&platform);
-        let rs = experiments::run_governor(&platform, &s, &mut statik, 4);
+        let mut statik = StaticGovernor::full_power(&platform).unwrap();
+        let rs = experiments::run_governor(&platform, &s, &mut statik, 4).unwrap();
         assert!(
             loss(&ra) < loss(&rs),
             "{}: analytic {} vs static {}",
@@ -177,22 +180,22 @@ fn peukert_battery_punishes_bursty_governors_harder() {
         ..BatteryConfig::ideal(platform.battery)
     };
     let run = |gov: &mut dyn Governor, chem: Option<BatteryConfig>| -> SimReport {
-        let mut sim = experiments::simulation(&platform, &s, 4);
+        let mut sim = experiments::simulation(&platform, &s, 4).unwrap();
         if let Some(cfg) = chem {
-            sim = sim.with_battery(cfg, s.initial_charge);
+            sim = sim.with_battery(cfg, s.initial_charge).unwrap();
         }
-        sim.run(gov)
+        sim.run(gov).unwrap()
     };
     let loss = |r: &SimReport| r.wasted + r.undersupplied;
 
-    let a = experiments::initial_allocation(&platform, &s);
-    let mut p_ideal = DpmController::new(platform.clone(), &a, s.charging.clone());
-    let mut p_chem = DpmController::new(platform.clone(), &a, s.charging.clone());
+    let a = experiments::initial_allocation(&platform, &s).unwrap();
+    let mut p_ideal = DpmController::new(platform.clone(), &a, s.charging.clone()).unwrap();
+    let mut p_chem = DpmController::new(platform.clone(), &a, s.charging.clone()).unwrap();
     let proposed_ideal = run(&mut p_ideal, None);
     let proposed_chem = run(&mut p_chem, Some(peukert));
 
-    let mut s_ideal = StaticGovernor::full_power(&platform);
-    let mut s_chem = StaticGovernor::full_power(&platform);
+    let mut s_ideal = StaticGovernor::full_power(&platform).unwrap();
+    let mut s_chem = StaticGovernor::full_power(&platform).unwrap();
     let static_ideal = run(&mut s_ideal, None);
     let static_chem = run(&mut s_chem, Some(peukert));
 
@@ -214,13 +217,13 @@ fn all_governors_complete_comparable_event_work() {
     let expected_events = s.events_per_period(&platform) * 4.0;
     let mut results = Vec::new();
     {
-        let a = experiments::initial_allocation(&platform, &s);
-        let mut g = DpmController::new(platform.clone(), &a, s.charging.clone());
-        results.push(experiments::run_governor(&platform, &s, &mut g, 4));
+        let a = experiments::initial_allocation(&platform, &s).unwrap();
+        let mut g = DpmController::new(platform.clone(), &a, s.charging.clone()).unwrap();
+        results.push(experiments::run_governor(&platform, &s, &mut g, 4).unwrap());
     }
     {
-        let mut g = StaticGovernor::full_power(&platform);
-        results.push(experiments::run_governor(&platform, &s, &mut g, 4));
+        let mut g = StaticGovernor::full_power(&platform).unwrap();
+        results.push(experiments::run_governor(&platform, &s, &mut g, 4).unwrap());
     }
     for r in &results {
         assert!(

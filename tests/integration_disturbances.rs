@@ -9,8 +9,8 @@ use dpm_sim::prelude::*;
 use dpm_workloads::scenarios;
 
 fn proposed(platform: &Platform, s: &dpm_workloads::Scenario) -> DpmController {
-    let a = experiments::initial_allocation(platform, s);
-    DpmController::new(platform.clone(), &a, s.charging.clone())
+    let a = experiments::initial_allocation(platform, s).unwrap();
+    DpmController::new(platform.clone(), &a, s.charging.clone()).unwrap()
 }
 
 fn base_sim(platform: &Platform, s: &dpm_workloads::Scenario, periods: usize) -> Simulation {
@@ -24,6 +24,7 @@ fn base_sim(platform: &Platform, s: &dpm_workloads::Scenario, periods: usize) ->
             ..SimConfig::default()
         },
     )
+    .unwrap()
 }
 
 #[test]
@@ -31,7 +32,7 @@ fn supply_dropout_causes_bounded_undersupply() {
     let platform = Platform::pama();
     let s = scenarios::scenario_one();
     let mut clean_gov = proposed(&platform, &s);
-    let clean = base_sim(&platform, &s, 4).run(&mut clean_gov);
+    let clean = base_sim(&platform, &s, 4).run(&mut clean_gov).unwrap();
 
     let mut faulty_gov = proposed(&platform, &s);
     let mut sim = base_sim(&platform, &s, 4);
@@ -43,7 +44,7 @@ fn supply_dropout_causes_bounded_undersupply() {
             duration: seconds(20.0),
         },
     );
-    let faulty = sim.run(&mut faulty_gov);
+    let faulty = sim.run(&mut faulty_gov).unwrap();
 
     // The fault removes ~47 J of the ~540 J supply; the controller should
     // absorb it mostly by shaving the plan, not by browning out.
@@ -72,9 +73,10 @@ fn event_storm_is_worked_off_without_drops() {
             periods: 4,
             ..SimConfig::default()
         },
-    );
+    )
+    .unwrap();
     sim.schedule(seconds(30.0), Disturbance::EventBurst { count: 25 });
-    let report = sim.run(&mut gov);
+    let report = sim.run(&mut gov).unwrap();
     assert_eq!(report.dropped, 0, "{}", report.summary());
     // The storm's jobs eventually clear: final backlog small.
     let final_backlog = report.slots.last().unwrap().backlog;
@@ -101,7 +103,9 @@ fn noisy_supply_degrades_gracefully() {
             ..SimConfig::default()
         },
     )
-    .run(&mut gov);
+    .unwrap()
+    .run(&mut gov)
+    .unwrap();
     // ±25% noise on the forecast: waste and shortfall stay a small share.
     assert!(
         report.wasted < 0.12 * report.offered,
@@ -133,7 +137,9 @@ fn event_rate_misforecast_is_absorbed() {
             ..SimConfig::default()
         },
     )
-    .run(&mut gov);
+    .unwrap()
+    .run(&mut gov)
+    .unwrap();
     // Energy is conserved regardless; the extra events queue up but
     // nothing is dropped and the battery never violates its window.
     assert_eq!(report.dropped, 0);
@@ -165,7 +171,7 @@ fn back_to_back_disturbances_keep_battery_in_window() {
         },
     );
     sim.schedule(seconds(200.0), Disturbance::EventBurst { count: 15 });
-    let report = sim.run(&mut gov);
+    let report = sim.run(&mut gov).unwrap();
     for slot in &report.slots {
         assert!(
             slot.battery >= platform.battery.c_min.value() - 1e-6
@@ -191,9 +197,9 @@ fn static_governor_suffers_more_from_the_same_fault() {
             duration: seconds(20.0),
         },
     );
-    let rp = sim.run(&mut gov);
+    let rp = sim.run(&mut gov).unwrap();
 
-    let mut statik = dpm_baselines::StaticGovernor::full_power(&platform);
+    let mut statik = dpm_baselines::StaticGovernor::full_power(&platform).unwrap();
     let mut sim = base_sim(&platform, &s, 4);
     sim.schedule(
         seconds(60.0),
@@ -202,7 +208,7 @@ fn static_governor_suffers_more_from_the_same_fault() {
             duration: seconds(20.0),
         },
     );
-    let rs = sim.run(&mut statik);
+    let rs = sim.run(&mut statik).unwrap();
 
     assert!(rp.undersupplied < rs.undersupplied);
     assert!(rp.wasted < rs.wasted);

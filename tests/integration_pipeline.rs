@@ -10,16 +10,17 @@ use dpm_workloads::{scenarios, Scenario};
 
 fn run_proposed(scenario: &Scenario, periods: usize) -> SimReport {
     let platform = Platform::pama();
-    let allocation = experiments::initial_allocation(&platform, scenario);
-    let mut governor = DpmController::new(platform.clone(), &allocation, scenario.charging.clone());
-    experiments::run_governor(&platform, scenario, &mut governor, periods)
+    let allocation = experiments::initial_allocation(&platform, scenario).unwrap();
+    let mut governor =
+        DpmController::new(platform.clone(), &allocation, scenario.charging.clone()).unwrap();
+    experiments::run_governor(&platform, scenario, &mut governor, periods).unwrap()
 }
 
 #[test]
 fn allocation_is_feasible_for_both_paper_scenarios() {
     let platform = Platform::pama();
     for s in scenarios::all() {
-        let a = experiments::initial_allocation(&platform, &s);
+        let a = experiments::initial_allocation(&platform, &s).unwrap();
         assert!(a.feasible, "{} allocation infeasible", s.name);
         assert!(a
             .trajectory
@@ -70,14 +71,14 @@ fn energy_balance_closes_for_every_governor() {
     let s = scenarios::scenario_one();
     let mut governors: Vec<Box<dyn Governor>> = vec![
         Box::new({
-            let a = experiments::initial_allocation(&platform, &s);
-            DpmController::new(platform.clone(), &a, s.charging.clone())
+            let a = experiments::initial_allocation(&platform, &s).unwrap();
+            DpmController::new(platform.clone(), &a, s.charging.clone()).unwrap()
         }),
-        Box::new(dpm_baselines::StaticGovernor::full_power(&platform)),
-        Box::new(dpm_baselines::GreedyGovernor::new(platform.clone(), 4.0)),
+        Box::new(dpm_baselines::StaticGovernor::full_power(&platform).unwrap()),
+        Box::new(dpm_baselines::GreedyGovernor::new(platform.clone(), 4.0).unwrap()),
     ];
     for g in governors.iter_mut() {
-        let report = experiments::run_governor(&platform, &s, g, 3);
+        let report = experiments::run_governor(&platform, &s, g, 3).unwrap();
         let stored_delta = report.final_battery - report.initial_battery;
         let balance = report.offered - report.wasted - report.delivered - stored_delta;
         assert!(
@@ -92,7 +93,7 @@ fn energy_balance_closes_for_every_governor() {
 fn controller_trace_matches_simulated_slots() {
     let platform = Platform::pama();
     let s = scenarios::scenario_one();
-    let (trace, report) = experiments::table3_5(&platform, &s, 2);
+    let (trace, report) = experiments::table3_5(&platform, &s, 2).unwrap();
     assert_eq!(trace.len(), report.slots.len());
     for (rec, slot) in trace.iter().zip(&report.slots) {
         assert_eq!(rec.slot, slot.slot);
@@ -108,8 +109,9 @@ fn algorithm3_absorbs_systematic_supply_error() {
     // must shave the plan instead of letting the battery hit bottom.
     let platform = Platform::pama();
     let s = scenarios::scenario_one();
-    let allocation = experiments::initial_allocation(&platform, &s);
-    let mut governor = DpmController::new(platform.clone(), &allocation, s.charging.clone());
+    let allocation = experiments::initial_allocation(&platform, &s).unwrap();
+    let mut governor =
+        DpmController::new(platform.clone(), &allocation, s.charging.clone()).unwrap();
     let weak_supply = s.charging.scale(0.8);
     let report = Simulation::new(
         platform.clone(),
@@ -121,7 +123,9 @@ fn algorithm3_absorbs_systematic_supply_error() {
             ..SimConfig::default()
         },
     )
-    .run(&mut governor);
+    .unwrap()
+    .run(&mut governor)
+    .unwrap();
     // Brown-outs bounded to a small share of the (reduced) supply, where a
     // schedule-blind governor would keep drawing at the planned level.
     assert!(
@@ -151,13 +155,13 @@ fn random_scenarios_never_panic_and_keep_invariants() {
     let platform = Platform::pama();
     for seed in 0..20 {
         let s = dpm_workloads::random_scenario(seed);
-        let a = experiments::initial_allocation(&platform, &s);
+        let a = experiments::initial_allocation(&platform, &s).unwrap();
         for &v in a.allocation.values() {
             assert!(v >= platform.power.all_standby().value() - 1e-9);
             assert!(v <= platform.board_power(7, platform.f_max()).value() + 1e-9);
         }
-        let mut g = DpmController::new(platform.clone(), &a, s.charging.clone());
-        let report = experiments::run_governor(&platform, &s, &mut g, 2);
+        let mut g = DpmController::new(platform.clone(), &a, s.charging.clone()).unwrap();
+        let report = experiments::run_governor(&platform, &s, &mut g, 2).unwrap();
         assert!(report.wasted >= 0.0 && report.undersupplied >= 0.0);
         assert!(report.final_battery >= platform.battery.c_min.value() - 1e-9);
         assert!(report.final_battery <= platform.battery.c_max.value() + 1e-9);

@@ -10,7 +10,7 @@ use dpm_workloads::{scenarios, Scenario};
 
 #[test]
 fn power_series_roundtrip() {
-    let s = PowerSeries::new(seconds(4.8), vec![2.36, 0.0, 1.18, 3.54]);
+    let s = PowerSeries::new(seconds(4.8), vec![2.36, 0.0, 1.18, 3.54]).unwrap();
     let json = serde_json::to_string(&s).unwrap();
     let back: PowerSeries = serde_json::from_str(&json).unwrap();
     assert_eq!(s, back);
@@ -38,8 +38,8 @@ fn platform_roundtrip() {
 fn sim_report_roundtrip() {
     let platform = Platform::pama();
     let s = scenarios::scenario_one();
-    let mut g = experiments::proposed_controller(&platform, &s);
-    let report = experiments::run_governor(&platform, &s, &mut g, 2);
+    let mut g = experiments::proposed_controller(&platform, &s).unwrap();
+    let report = experiments::run_governor(&platform, &s, &mut g, 2).unwrap();
     let json = serde_json::to_string(&report).unwrap();
     let back: dpm_sim::stats::SimReport = serde_json::from_str(&json).unwrap();
     assert_eq!(report, back);
@@ -49,7 +49,7 @@ fn sim_report_roundtrip() {
 fn controller_trace_roundtrip() {
     let platform = Platform::pama();
     let s = scenarios::scenario_one();
-    let (trace, _) = experiments::table3_5(&platform, &s, 1);
+    let (trace, _) = experiments::table3_5(&platform, &s, 1).unwrap();
     let json = serde_json::to_string(&trace).unwrap();
     let back: Vec<dpm_core::runtime::ControllerRecord> = serde_json::from_str(&json).unwrap();
     assert_eq!(trace, back);
@@ -58,7 +58,7 @@ fn controller_trace_roundtrip() {
 #[test]
 fn table1_rows_roundtrip() {
     let platform = Platform::pama();
-    let rows = experiments::table1(&platform, &scenarios::all(), 1);
+    let rows = experiments::table1(&platform, &scenarios::all(), 1).unwrap();
     let json = serde_json::to_string(&rows).unwrap();
     let back: Vec<experiments::Table1Row> = serde_json::from_str(&json).unwrap();
     assert_eq!(rows, back);

@@ -11,8 +11,9 @@ use dpm_workloads::scenarios;
 fn soak(periods: usize, noise: Option<u64>) -> SimReport {
     let platform = Platform::pama();
     let s = scenarios::scenario_one();
-    let allocation = experiments::initial_allocation(&platform, &s);
-    let mut governor = DpmController::new(platform.clone(), &allocation, s.charging.clone());
+    let allocation = experiments::initial_allocation(&platform, &s).unwrap();
+    let mut governor =
+        DpmController::new(platform.clone(), &allocation, s.charging.clone()).unwrap();
     let source: Box<dyn ChargingSource> = match noise {
         Some(seed) => Box::new(NoisySource::new(
             TraceSource::new(s.charging.clone()),
@@ -36,7 +37,9 @@ fn soak(periods: usize, noise: Option<u64>) -> SimReport {
             trace: true,
         },
     )
+    .unwrap()
     .run(&mut governor)
+    .unwrap()
 }
 
 #[test]

@@ -1,0 +1,36 @@
+//! Offline stand-in for `crossbeam`: the `scope` API this workspace uses,
+//! implemented over `std::thread::scope`. A panic in a spawned thread
+//! propagates when the scope unwinds (std semantics), so the `Ok` path
+//! matches crossbeam's behaviour for non-panicking workloads.
+
+/// Scoped-thread handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread bound to this scope. The closure receives the scope,
+    /// like crossbeam's, enabling nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a thread scope; all spawned threads are joined before this
+/// returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// `crossbeam::thread` module alias for API parity.
+pub mod thread {
+    pub use super::{scope, Scope};
+}

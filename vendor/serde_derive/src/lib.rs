@@ -1,0 +1,354 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the deriving type's definition directly from the token stream
+//! (no `syn`/`quote` available offline) and emits `Serialize`/`Deserialize`
+//! impls against the simplified `Content` data model. Supports exactly the
+//! shapes this workspace uses: named-field structs, tuple structs, and
+//! enums with unit, tuple, and struct variants. Container attributes such
+//! as `#[serde(transparent)]` are accepted and ignored — a newtype struct
+//! already serializes as its inner value here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Unnamed(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) tokens.
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' then the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a comma-separated token list at top level, tracking `<...>` depth
+/// so commas inside generic arguments don't split fields.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_commas(group_tokens)
+        .into_iter()
+        .filter_map(|field| {
+            let i = skip_meta(&field, 0);
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_fields_group(g: &proc_macro::Group) -> Fields {
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    match g.delimiter() {
+        Delimiter::Brace => Fields::Named(parse_named_fields(&tokens)),
+        Delimiter::Parenthesis => Fields::Unnamed(split_commas(&tokens).len()),
+        _ => Fields::Unit,
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stand-in does not support generic types");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) => parse_fields_group(g),
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                other => panic!("unexpected token after struct name: {other:?}"),
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("expected enum body, got {other:?}"),
+            };
+            let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let variants = split_commas(&body_tokens)
+                .into_iter()
+                .filter(|v| !v.is_empty())
+                .map(|v| {
+                    let j = skip_meta(&v, 0);
+                    let vname = match &v[j] {
+                        TokenTree::Ident(id) => id.to_string(),
+                        other => panic!("expected variant name, got {other}"),
+                    };
+                    let fields = match v.get(j + 1) {
+                        Some(TokenTree::Group(g)) => parse_fields_group(g),
+                        _ => Fields::Unit,
+                    };
+                    Variant {
+                        name: vname,
+                        fields,
+                    }
+                })
+                .collect();
+            Input::Enum { name, variants }
+        }
+        other => panic!("cannot derive for {other}"),
+    }
+}
+
+fn serialize_fields(fields: &Fields, access: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|n| {
+                    format!("(\"{n}\".to_string(), serde::Serialize::to_content(&{access}{n}))")
+                })
+                .collect();
+            format!("serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Fields::Unnamed(1) => format!("serde::Serialize::to_content(&{access}0)"),
+        Fields::Unnamed(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Serialize::to_content(&{access}{k})"))
+                .collect();
+            format!("serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "serde::Content::Null".to_string(),
+    }
+}
+
+fn deserialize_named(names: &[String], constructor: &str, ty: &str) -> String {
+    let mut body = String::new();
+    for n in names {
+        body.push_str(&format!(
+            "let {n} = serde::Deserialize::from_content(content.get(\"{n}\")\
+             .ok_or_else(|| serde::DeError(format!(\"missing field `{n}` in {ty}\")))?)?;\n"
+        ));
+    }
+    body.push_str(&format!("Ok({constructor} {{ {} }})", names.join(", ")));
+    body
+}
+
+fn deserialize_unnamed(n: usize, constructor: &str, ty: &str) -> String {
+    if n == 1 {
+        return format!("Ok({constructor}(serde::Deserialize::from_content(content)?))");
+    }
+    let mut body = format!(
+        "let items = match content {{\n\
+         serde::Content::Seq(items) if items.len() == {n} => items,\n\
+         other => return Err(serde::DeError(format!(\"expected {n}-element seq for {ty}, got {{other:?}}\"))),\n\
+         }};\n"
+    );
+    let args: Vec<String> = (0..n)
+        .map(|k| format!("serde::Deserialize::from_content(&items[{k}])?"))
+        .collect();
+    body.push_str(&format!("Ok({constructor}({}))", args.join(", ")));
+    body
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => {
+            let body = serialize_fields(fields, "self.");
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> serde::Content {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{name}::{vn} => serde::Content::Str(\"{vn}\".to_string()),")
+                        }
+                        Fields::Named(names) => {
+                            let binds = names.join(", ");
+                            let entries: Vec<String> = names
+                                .iter()
+                                .map(|n| {
+                                    format!(
+                                        "(\"{n}\".to_string(), serde::Serialize::to_content({n}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Content::Map(vec![\
+                                 (\"{vn}\".to_string(), serde::Content::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                        Fields::Unnamed(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let payload = if *n == 1 {
+                                "serde::Serialize::to_content(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::to_content({b})"))
+                                    .collect();
+                                format!("serde::Content::Seq(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => serde::Content::Map(vec![\
+                                 (\"{vn}\".to_string(), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> serde::Content {{\n\
+                 match self {{ {} }}\n\
+                 }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => deserialize_named(names, "Self", name),
+                Fields::Unnamed(n) => deserialize_unnamed(*n, "Self", name),
+                Fields::Unit => "Ok(Self)".to_string(),
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {{\n\
+                 {body}\n\
+                 }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    let ctor = format!("{name}::{vn}");
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Named(names) => {
+                            let inner = deserialize_named(names, &ctor, name)
+                                .replace("content.get", "payload.get");
+                            Some(format!(
+                                "\"{vn}\" => {{ let payload = value; return (|| -> Result<Self, serde::DeError> {{ {inner} }})(); }}"
+                            ))
+                        }
+                        Fields::Unnamed(n) => {
+                            let inner = deserialize_unnamed(*n, &ctor, name)
+                                .replace("from_content(content)", "from_content(value)")
+                                .replace("match content", "match value");
+                            Some(format!(
+                                "\"{vn}\" => {{ return (|| -> Result<Self, serde::DeError> {{ {inner} }})(); }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {{\n\
+                 if let serde::Content::Str(tag) = content {{\n\
+                 match tag.as_str() {{ {} _ => {{}} }}\n\
+                 }}\n\
+                 if let serde::Content::Map(entries) = content {{\n\
+                 if entries.len() == 1 {{\n\
+                 let (tag, value) = (&entries[0].0, &entries[0].1);\n\
+                 match tag.as_str() {{ {} _ => {{}} }}\n\
+                 }}\n\
+                 }}\n\
+                 Err(serde::DeError(format!(\"no variant of {name} matches {{content:?}}\")))\n\
+                 }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
