@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
-# Gate: no panicking constructs on input-reachable paths in dpm-core.
+# Gate: no panicking constructs on input-reachable paths in dpm-core, nor
+# in the parallel experiment runner (a panic there would look like a lost
+# job to every caller relying on its failure-isolation contract).
 #
-# Scans every file under crates/dpm-core/src, strips everything from the
+# Scans every file under crates/dpm-core/src plus
+# crates/dpm-bench/src/runner.rs, strips everything from the
 # `#[cfg(test)]` marker onward (test modules sit at the end of each file),
 # and fails if the remainder contains `.unwrap()`, `.expect(`, `panic!`,
 # or a non-debug `assert!`/`assert_eq!`/`assert_ne!`. `debug_assert!` is
@@ -10,7 +13,7 @@
 set -eu
 
 status=0
-for f in $(find crates/dpm-core/src -name '*.rs' | sort); do
+for f in $(find crates/dpm-core/src -name '*.rs' | sort) crates/dpm-bench/src/runner.rs; do
     hits=$(awk '/^#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" |
         grep -vE '^[0-9]+: *(//|//!|///)' |
         grep -E '\.unwrap\(\)|\.expect\(|panic!|(^|[^_a-z])assert(_eq|_ne)?!' |
@@ -22,6 +25,6 @@ for f in $(find crates/dpm-core/src -name '*.rs' | sort); do
     fi
 done
 if [ "$status" -ne 0 ]; then
-    echo "dpm-core non-test code must return DpmError instead of panicking (DESIGN.md §7)." >&2
+    echo "non-test code in dpm-core and the runner must return typed errors instead of panicking (DESIGN.md §7–8)." >&2
 fi
 exit $status

@@ -5,13 +5,20 @@
 //! repro table1           # just Table 1
 //! repro table2 table4    # any subset
 //! repro --json out.json  # also dump machine-readable results
+//! repro --jobs 4         # fan Table 1's governor×scenario matrix
+//! DPM_JOBS=4 repro       # same, via the environment
 //! ```
+//!
+//! The governor×scenario matrix behind Table 1 runs on the parallel
+//! experiment runner; the printed numbers are identical for any worker
+//! count. Worker-count priority: `--jobs N`, then `DPM_JOBS`, then the
+//! machine's available parallelism.
 //!
 //! Exit codes: 0 on success, 1 when an experiment fails (infeasible
 //! scenario, simulation error, unwritable output), 2 on a usage error
-//! (unknown selector, missing `--json` path).
+//! (unknown selector, missing `--json` path, bad `--jobs` value).
 
-use dpm_bench::{experiments, format};
+use dpm_bench::{experiments, format, runner};
 use dpm_core::platform::Platform;
 use dpm_workloads::scenarios;
 use serde::Serialize;
@@ -34,6 +41,7 @@ struct JsonDump {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut jobs_cli: Option<usize> = None;
     let mut wanted: BTreeSet<String> = BTreeSet::new();
     let mut iter = args.into_iter();
     while let Some(a) = iter.next() {
@@ -42,6 +50,14 @@ fn main() {
             if json_path.is_none() {
                 eprintln!("--json requires a path");
                 std::process::exit(2);
+            }
+        } else if a == "--jobs" || a == "-j" {
+            match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs_cli = Some(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                }
             }
         } else {
             let key = a.to_lowercase();
@@ -56,7 +72,8 @@ fn main() {
         }
     }
 
-    if let Err(e) = run(&wanted, json_path) {
+    let jobs = runner::resolve_jobs(jobs_cli);
+    if let Err(e) = run(&wanted, json_path, jobs) {
         eprintln!("repro: {e}");
         std::process::exit(1);
     }
@@ -65,6 +82,7 @@ fn main() {
 fn run(
     wanted: &BTreeSet<String>,
     json_path: Option<String>,
+    jobs: usize,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let all = wanted.is_empty();
     let want = |k: &str| all || wanted.contains(k);
@@ -132,10 +150,11 @@ fn run(
         println!();
     }
     if want("table1") {
-        let rows = experiments::table1(
+        let rows = experiments::table1_jobs(
             &platform,
             &[s1.clone(), s2.clone()],
             experiments::DEFAULT_PERIODS,
+            jobs,
         )?;
         println!("{}", format::table1(&rows, &["Scenario 1", "Scenario 2"]));
         if let (Some(proposed), Some(statik)) = (
@@ -154,10 +173,11 @@ fn run(
     }
 
     if let Some(path) = json_path {
-        let rows = experiments::table1(
+        let rows = experiments::table1_jobs(
             &platform,
             &[s1.clone(), s2.clone()],
             experiments::DEFAULT_PERIODS,
+            jobs,
         )?;
         let dump = JsonDump {
             table1: rows,

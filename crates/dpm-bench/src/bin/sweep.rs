@@ -3,170 +3,81 @@
 //! crosses over.
 //!
 //! ```text
-//! sweep battery    # waste/undersupply vs. battery window size
-//! sweep sunlit     # vs. sunlit fraction of the orbit
-//! sweep noise      # vs. supply-forecast error
-//! sweep load       # vs. event-rate scaling
-//! sweep            # all of the above
+//! sweep battery              # waste/undersupply vs. battery window size
+//! sweep sunlit               # vs. sunlit fraction of the orbit
+//! sweep noise                # vs. supply-forecast error
+//! sweep load                 # vs. event-rate scaling
+//! sweep                      # all of the above
+//! sweep --jobs 4             # fan points across 4 worker threads
+//! DPM_JOBS=4 sweep           # same, via the environment
 //! ```
 //!
-//! Output is CSV on stdout (one block per sweep), ready for plotting.
+//! Output is CSV on stdout (one block per sweep), byte-identical for any
+//! worker count; a timing summary goes to stderr. Worker-count priority:
+//! `--jobs N`, then `DPM_JOBS`, then the machine's available parallelism.
 //! Exit codes: 0 on success, 1 when a sweep point fails (infeasible
-//! scenario, simulation error), 2 on an unknown sweep name.
+//! scenario, simulation error — the failing point emits an `error` CSV row
+//! and the remaining points still run), 2 on a usage error.
+//!
+//! All the actual work lives in [`dpm_bench::sweeps`]; this binary only
+//! parses arguments and routes the output.
 
-use dpm_baselines::StaticGovernor;
-use dpm_bench::experiments;
-use dpm_core::platform::{BatteryLimits, Platform};
-use dpm_core::runtime::DpmController;
-use dpm_core::units::joules;
-use dpm_sim::prelude::*;
-use dpm_workloads::{scenarios, OrbitScenarioBuilder, Scenario};
+use dpm_bench::runner;
+use dpm_bench::sweeps;
 
-const PERIODS: usize = 4;
-
-const SWEEPS: [&str; 4] = ["battery", "sunlit", "noise", "load"];
-
-fn run_pair(
-    platform: &Platform,
-    scenario: &Scenario,
-    seed: Option<u64>,
-) -> Result<(SimReport, SimReport), SimError> {
-    let run = |gov: &mut dyn dpm_core::governor::Governor| -> Result<SimReport, SimError> {
-        let source: Box<dyn ChargingSource> = match seed {
-            Some(s) => Box::new(NoisySource::new(
-                TraceSource::new(scenario.charging.clone()),
-                0.2,
-                platform.tau,
-                s,
-            )),
-            None => Box::new(TraceSource::new(scenario.charging.clone())),
-        };
-        Simulation::new(
-            platform.clone(),
-            source,
-            Box::new(ScheduleGenerator::new(scenario.event_rates(platform))),
-            scenario.initial_charge,
-            SimConfig {
-                periods: PERIODS,
-                slots_per_period: scenario.charging.len(),
-                substeps: 8,
-                trace: false,
-            },
-        )?
-        .run(gov)
-    };
-    let alloc = experiments::initial_allocation(platform, scenario)?;
-    let mut proposed = DpmController::new(platform.clone(), &alloc, scenario.charging.clone())?;
-    let rp = run(&mut proposed)?;
-    let mut statik = StaticGovernor::full_power(platform)?;
-    let rs = run(&mut statik)?;
-    Ok((rp, rs))
-}
-
-fn emit_header(sweep: &str, param: &str) {
-    println!("sweep,{param},governor,wasted_j,undersupplied_j,jobs,utilization");
-    let _ = sweep;
-}
-
-fn emit(sweep: &str, value: f64, r: &SimReport) {
-    println!(
-        "{sweep},{value},{},{:.3},{:.3},{},{:.4}",
-        r.governor,
-        r.wasted,
-        r.undersupplied,
-        r.jobs_done,
-        r.utilization()
-    );
-}
-
-fn sweep_battery() -> Result<(), SimError> {
-    emit_header("battery", "cmax_j");
-    let s = scenarios::scenario_one();
-    for cmax in [4.0, 8.0, 16.0, 32.0, 64.0, 128.0] {
-        let mut platform = Platform::pama();
-        platform.battery = BatteryLimits::new(joules(0.5), joules(cmax))?;
-        let mut scenario = s.clone();
-        scenario.initial_charge = joules(0.5 * (0.5 + cmax));
-        let (rp, rs) = run_pair(&platform, &scenario, None)?;
-        emit("battery", cmax, &rp);
-        emit("battery", cmax, &rs);
-    }
-    Ok(())
-}
-
-fn sweep_sunlit() -> Result<(), SimError> {
-    emit_header("sunlit", "fraction");
-    for f in [0.25, 0.4, 0.5, 0.65, 0.8] {
-        let scenario = OrbitScenarioBuilder::new(format!("sun-{f}"))
-            .sunlit_fraction(f)
-            .demand_base(0.5)
-            .demand_peak(2, 1.2)
-            .demand_peak(8, 0.9)
-            .build()?;
-        let platform = Platform::pama();
-        let (rp, rs) = run_pair(&platform, &scenario, None)?;
-        emit("sunlit", f, &rp);
-        emit("sunlit", f, &rs);
-    }
-    Ok(())
-}
-
-fn sweep_noise() -> Result<(), SimError> {
-    emit_header("noise", "seed");
-    let s = scenarios::scenario_one();
-    let platform = Platform::pama();
-    for seed in 1..=5u64 {
-        let (rp, rs) = run_pair(&platform, &s, Some(seed))?;
-        emit("noise", seed as f64, &rp);
-        emit("noise", seed as f64, &rs);
-    }
-    Ok(())
-}
-
-fn sweep_load() -> Result<(), SimError> {
-    emit_header("load", "rate_scale");
-    let base = scenarios::scenario_one();
-    let platform = Platform::pama();
-    for k in [0.25, 0.5, 1.0, 1.5, 2.0] {
-        let mut scenario = base.clone();
-        scenario.use_power = base.use_power.scale(k);
-        let (rp, rs) = run_pair(&platform, &scenario, None)?;
-        emit("load", k, &rp);
-        emit("load", k, &rs);
-    }
-    Ok(())
+fn usage() -> String {
+    format!(
+        "usage: sweep [--jobs N] [{}]...\n\
+         worker count: --jobs N, else ${}, else available parallelism",
+        sweeps::SWEEP_NAMES.join("|"),
+        runner::JOBS_ENV,
+    )
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    for a in &args {
-        if !SWEEPS.contains(&a.as_str()) {
-            eprintln!(
-                "unknown sweep `{a}`; valid sweeps are: {}",
-                SWEEPS.join(" ")
-            );
-            std::process::exit(2);
+    let mut selected: Vec<String> = Vec::new();
+    let mut jobs_cli: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => {
+                let value = args.next().and_then(|v| v.parse::<usize>().ok());
+                match value {
+                    Some(n) if n >= 1 => jobs_cli = Some(n),
+                    _ => {
+                        eprintln!("--jobs needs a positive integer\n{}", usage());
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return;
+            }
+            name if sweeps::SWEEP_NAMES.contains(&name) => selected.push(a),
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                std::process::exit(2);
+            }
         }
     }
-    let all = args.is_empty();
-    let want = |k: &str| all || args.iter().any(|a| a == k);
-    let run = || -> Result<(), SimError> {
-        if want("battery") {
-            sweep_battery()?;
+
+    let jobs = runner::resolve_jobs(jobs_cli);
+    match sweeps::run(&selected, jobs, sweeps::DEFAULT_PERIODS) {
+        Ok(outcome) => {
+            print!("{}", outcome.csv);
+            eprintln!("sweep: {}", outcome.stats.summary());
+            if outcome.failures > 0 {
+                eprintln!(
+                    "sweep: {} point(s) failed (see error rows)",
+                    outcome.failures
+                );
+                std::process::exit(1);
+            }
         }
-        if want("sunlit") {
-            sweep_sunlit()?;
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            std::process::exit(1);
         }
-        if want("noise") {
-            sweep_noise()?;
-        }
-        if want("load") {
-            sweep_load()?;
-        }
-        Ok(())
-    };
-    if let Err(e) = run() {
-        eprintln!("sweep: {e}");
-        std::process::exit(1);
     }
 }

@@ -4,6 +4,7 @@
 //! charging) so the repro binary, the integration tests and the criterion
 //! benches all see identical numbers.
 
+use crate::runner;
 use dpm_baselines::{
     AnalyticGovernor, GreedyGovernor, OracleGovernor, StaticGovernor, TimeoutGovernor,
 };
@@ -17,6 +18,8 @@ use dpm_core::units::Joules;
 use dpm_sim::prelude::*;
 use dpm_workloads::Scenario;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Default simulated horizon: the paper's runtime tables cover two periods
 /// (t = 0 … 110.4 s).
@@ -82,6 +85,209 @@ pub fn run_governor(
     simulation(platform, scenario, periods)?.run(governor)
 }
 
+/// Memoized §4.1 initial allocations.
+///
+/// Every governor that needs `P_init` (proposed, analytic, oracle) used to
+/// recompute the full iterative allocation per run; a sweep revisiting the
+/// same `(platform, scenario)` pair with different seeds recomputed it per
+/// point. This cache computes each distinct pair once and shares the
+/// result via [`Arc`]. Keys are the exact serialized inputs, so two
+/// scenarios that differ in any slot value never collide; lookups from
+/// concurrent worker threads are safe (the map sits behind a [`Mutex`]).
+#[derive(Debug, Default)]
+pub struct AllocCache {
+    inner: Mutex<HashMap<String, Arc<InitialAllocation>>>,
+}
+
+impl AllocCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The allocation for `(platform, scenario)`, computed at most once.
+    ///
+    /// # Errors
+    /// Propagates [`DpmError`] when the scenario is infeasible for the
+    /// platform. Errors are not cached: an infeasible pair stays cheap to
+    /// re-ask and never poisons the map.
+    pub fn allocation(
+        &self,
+        platform: &Platform,
+        scenario: &Scenario,
+    ) -> Result<Arc<InitialAllocation>, DpmError> {
+        let key = match serde_json::to_string(&(platform, scenario)) {
+            Ok(k) => k,
+            // Unserializable inputs cannot happen for these plain-data
+            // types; degrade to uncached computation rather than failing.
+            Err(_) => return initial_allocation(platform, scenario).map(Arc::new),
+        };
+        // A poisoned lock only means another worker panicked mid-insert;
+        // the map itself is still coherent, so keep serving.
+        let hit = {
+            let map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            map.get(&key).cloned()
+        };
+        if let Some(found) = hit {
+            return Ok(found);
+        }
+        let computed = Arc::new(initial_allocation(platform, scenario)?);
+        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(map.entry(key).or_insert(computed).clone())
+    }
+
+    /// Number of distinct allocations currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The governors the experiment matrix knows how to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GovernorSpec {
+    /// The paper's §4 controller (initial allocation + Algorithm 3).
+    Proposed,
+    /// Always-full-power comparator (the paper's "static").
+    Static,
+    /// Timeout-based reactive baseline.
+    Timeout,
+    /// Battery-aware myopic baseline.
+    Greedy,
+    /// Eq. 18 closed form on the initial allocation, no feedback.
+    Analytic,
+    /// Offline Algorithm 2 plan on the exact schedules.
+    Oracle,
+}
+
+impl GovernorSpec {
+    /// Every spec, in the Table 1 row order.
+    pub const ALL: [Self; 6] = [
+        Self::Proposed,
+        Self::Static,
+        Self::Timeout,
+        Self::Greedy,
+        Self::Analytic,
+        Self::Oracle,
+    ];
+
+    /// The row label used in tables and CSV.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Proposed => "proposed",
+            Self::Static => "static",
+            Self::Timeout => "timeout",
+            Self::Greedy => "greedy",
+            Self::Analytic => "analytic",
+            Self::Oracle => "oracle",
+        }
+    }
+
+    /// Construct the governor for a `(platform, scenario)` pair, drawing
+    /// any needed initial allocation from `cache`.
+    ///
+    /// # Errors
+    /// Propagates [`DpmError`] from allocation or governor construction.
+    pub fn build(
+        self,
+        platform: &Platform,
+        scenario: &Scenario,
+        cache: &AllocCache,
+    ) -> Result<Box<dyn Governor>, DpmError> {
+        Ok(match self {
+            Self::Proposed => {
+                let alloc = cache.allocation(platform, scenario)?;
+                Box::new(DpmController::new(
+                    platform.clone(),
+                    &alloc,
+                    scenario.charging.clone(),
+                )?)
+            }
+            Self::Static => Box::new(StaticGovernor::full_power(platform)?),
+            Self::Timeout => {
+                let f = platform.f_max();
+                let v = platform.voltage_for(f).ok_or_else(|| {
+                    DpmError::NoOperatingPoint(format!("no supply voltage for f_max = {f}"))
+                })?;
+                let point = dpm_core::params::OperatingPoint::new(platform.workers(), f, v);
+                Box::new(TimeoutGovernor::new(point, 2)?)
+            }
+            Self::Greedy => Box::new(GreedyGovernor::new(platform.clone(), 4.0)?),
+            Self::Analytic => {
+                let alloc = cache.allocation(platform, scenario)?;
+                Box::new(AnalyticGovernor::new(
+                    platform.clone(),
+                    alloc.allocation.clone(),
+                )?)
+            }
+            Self::Oracle => {
+                let alloc = cache.allocation(platform, scenario)?;
+                let plan = ParameterScheduler::new(platform.clone())?.plan(
+                    &alloc.allocation,
+                    &scenario.charging,
+                    scenario.initial_charge,
+                )?;
+                Box::new(OracleGovernor::from_schedule(&plan)?)
+            }
+        })
+    }
+}
+
+/// One cell of an experiment matrix: run `governor` on `scenario` for
+/// `periods` periods. Platform and scenario are [`Arc`]-shared so a matrix
+/// of N cells over the same inputs clones pointers, not schedules.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// The board model.
+    pub platform: Arc<Platform>,
+    /// The workload.
+    pub scenario: Arc<Scenario>,
+    /// Which governor to run.
+    pub governor: GovernorSpec,
+    /// Simulated horizon in charging periods.
+    pub periods: usize,
+}
+
+/// Run every cell of an experiment matrix, fanning independent cells
+/// across up to `jobs` worker threads.
+///
+/// Results come back in cell order regardless of the worker count
+/// (deterministic ordering — see [`runner::run_indexed`]); a cell that
+/// fails, or whose worker panics, reports its [`SimError`] in its own
+/// result slot without aborting sibling cells. Initial allocations are
+/// computed once per distinct `(platform, scenario)` pair via
+/// [`AllocCache`] and shared across cells.
+pub fn run_matrix(
+    cells: &[MatrixCell],
+    jobs: usize,
+) -> (Vec<Result<SimReport, SimError>>, runner::RunStats) {
+    let cache = AllocCache::new();
+    let (results, stats) =
+        runner::run_indexed(cells, jobs, |_, cell| -> Result<SimReport, SimError> {
+            let mut governor = cell
+                .governor
+                .build(&cell.platform, &cell.scenario, &cache)?;
+            run_governor(
+                &cell.platform,
+                &cell.scenario,
+                governor.as_mut(),
+                cell.periods,
+            )
+        });
+    let results = results
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(cell_result) => cell_result,
+            Err(panic) => Err(SimError::WorkerPanic(panic.to_string())),
+        })
+        .collect();
+    (results, stats)
+}
+
 /// One Table 1 row: a governor's waste/shortfall on both scenarios.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Table1Row {
@@ -98,7 +304,7 @@ pub struct Table1Row {
 }
 
 /// Table 1: proposed vs. static (plus the extra baselines) on both
-/// scenarios.
+/// scenarios, computed serially.
 ///
 /// # Errors
 /// Propagates the first [`SimError`] from any governor/scenario pair.
@@ -107,89 +313,50 @@ pub fn table1(
     scenarios: &[Scenario],
     periods: usize,
 ) -> Result<Vec<Table1Row>, SimError> {
-    let mut rows: Vec<Table1Row> = Vec::new();
-    let mut push = |name: &str, reports: Vec<SimReport>| {
+    table1_jobs(platform, scenarios, periods, 1)
+}
+
+/// Table 1 with the governor×scenario matrix fanned across up to `jobs`
+/// worker threads. Results are identical to [`table1`] for any `jobs`.
+///
+/// # Errors
+/// Propagates the first (in row order) [`SimError`] from any cell.
+pub fn table1_jobs(
+    platform: &Platform,
+    scenarios: &[Scenario],
+    periods: usize,
+    jobs: usize,
+) -> Result<Vec<Table1Row>, SimError> {
+    let platform = Arc::new(platform.clone());
+    let scenarios: Vec<Arc<Scenario>> = scenarios.iter().cloned().map(Arc::new).collect();
+    let mut cells: Vec<MatrixCell> = Vec::with_capacity(GovernorSpec::ALL.len() * scenarios.len());
+    for governor in GovernorSpec::ALL {
+        for s in &scenarios {
+            cells.push(MatrixCell {
+                platform: Arc::clone(&platform),
+                scenario: Arc::clone(s),
+                governor,
+                periods,
+            });
+        }
+    }
+    let (results, _stats) = run_matrix(&cells, jobs);
+
+    let mut rows = Vec::with_capacity(GovernorSpec::ALL.len());
+    let mut it = results.into_iter();
+    for spec in GovernorSpec::ALL {
+        let reports: Vec<SimReport> = it
+            .by_ref()
+            .take(scenarios.len())
+            .collect::<Result<_, _>>()?;
         rows.push(Table1Row {
-            governor: name.to_string(),
+            governor: spec.label().to_string(),
             wasted: reports.iter().map(|r| r.wasted).collect(),
             undersupplied: reports.iter().map(|r| r.undersupplied).collect(),
             jobs: reports.iter().map(|r| r.jobs_done).collect(),
             utilization: reports.iter().map(|r| r.utilization()).collect(),
         });
-    };
-
-    // Proposed.
-    let reports: Vec<SimReport> = scenarios
-        .iter()
-        .map(|s| {
-            let mut g = proposed_controller(platform, s)?;
-            run_governor(platform, s, &mut g, periods)
-        })
-        .collect::<Result<_, _>>()?;
-    push("proposed", reports);
-
-    // Static (the paper's comparator).
-    let reports: Vec<SimReport> = scenarios
-        .iter()
-        .map(|s| {
-            let mut g = StaticGovernor::full_power(platform)?;
-            run_governor(platform, s, &mut g, periods)
-        })
-        .collect::<Result<_, _>>()?;
-    push("static", reports);
-
-    // Timeout (related-work baseline).
-    let reports: Vec<SimReport> = scenarios
-        .iter()
-        .map(|s| {
-            let f = platform.f_max();
-            let v = platform.voltage_for(f).ok_or_else(|| {
-                DpmError::NoOperatingPoint(format!("no supply voltage for f_max = {f}"))
-            })?;
-            let point = dpm_core::params::OperatingPoint::new(platform.workers(), f, v);
-            let mut g = TimeoutGovernor::new(point, 2)?;
-            run_governor(platform, s, &mut g, periods)
-        })
-        .collect::<Result<_, _>>()?;
-    push("timeout", reports);
-
-    // Greedy (battery-aware myopic).
-    let reports: Vec<SimReport> = scenarios
-        .iter()
-        .map(|s| {
-            let mut g = GreedyGovernor::new(platform.clone(), 4.0)?;
-            run_governor(platform, s, &mut g, periods)
-        })
-        .collect::<Result<_, _>>()?;
-    push("greedy", reports);
-
-    // Analytic (Eq. 18 closed form on the same allocation, no feedback).
-    let reports: Vec<SimReport> = scenarios
-        .iter()
-        .map(|s| {
-            let alloc = initial_allocation(platform, s)?;
-            let mut g = AnalyticGovernor::new(platform.clone(), alloc.allocation)?;
-            run_governor(platform, s, &mut g, periods)
-        })
-        .collect::<Result<_, _>>()?;
-    push("analytic", reports);
-
-    // Oracle (offline Algorithm 2 plan on the exact schedules).
-    let reports: Vec<SimReport> = scenarios
-        .iter()
-        .map(|s| {
-            let alloc = initial_allocation(platform, s)?;
-            let plan = ParameterScheduler::new(platform.clone())?.plan(
-                &alloc.allocation,
-                &s.charging,
-                s.initial_charge,
-            )?;
-            let mut g = OracleGovernor::from_schedule(&plan)?;
-            run_governor(platform, s, &mut g, periods)
-        })
-        .collect::<Result<_, _>>()?;
-    push("oracle", reports);
-
+    }
     Ok(rows)
 }
 

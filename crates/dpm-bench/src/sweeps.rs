@@ -1,0 +1,318 @@
+//! Parameter sweeps around the paper's operating point, as a library.
+//!
+//! The `sweep` binary is a thin shell over this module so the CSV
+//! generation is testable: [`run`] must produce **byte-identical** output
+//! for any worker count (the runner collects results by point index, never
+//! by completion order).
+//!
+//! Four sweeps map where the proposed algorithm's advantage comes from:
+//!
+//! * `battery` — waste/undersupply vs. battery window size;
+//! * `sunlit`  — vs. sunlit fraction of the orbit;
+//! * `noise`   — vs. supply-forecast error (seeded);
+//! * `load`    — vs. event-rate scaling.
+//!
+//! Every sweep point is one independent job (proposed + static governor on
+//! the same inputs) fanned across worker threads. **Failure isolation:**
+//! an infeasible point reports its [`SimError`] in its own CSV row —
+//! `sweep,value,error,<message>,,,` — without aborting sibling points;
+//! [`SweepOutcome::failures`] counts them so the binary can keep its
+//! exit-code contract (1 when any point failed).
+
+use crate::experiments::AllocCache;
+use crate::runner::{self, RunStats};
+use dpm_baselines::StaticGovernor;
+use dpm_core::platform::{BatteryLimits, Platform};
+use dpm_core::runtime::DpmController;
+use dpm_core::units::joules;
+use dpm_sim::prelude::*;
+use dpm_workloads::{scenarios, OrbitScenarioBuilder, Scenario};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Charging periods each sweep point simulates. Long enough that a point
+/// is real work (the parallel harness exists to absorb it), short enough
+/// that the full sweep stays interactive.
+pub const DEFAULT_PERIODS: usize = 256;
+
+/// The sweeps this module knows, in output order.
+pub const SWEEP_NAMES: [&str; 4] = ["battery", "sunlit", "noise", "load"];
+
+/// Relative supply-forecast error used by the `noise` sweep.
+const NOISE_SIGMA: f64 = 0.2;
+
+/// One prepared sweep point: everything a worker needs, read-only.
+struct SweepPoint {
+    sweep: &'static str,
+    value: f64,
+    platform: Arc<Platform>,
+    scenario: Arc<Scenario>,
+    seed: Option<u64>,
+    periods: usize,
+}
+
+/// What one worker hands back for a point.
+type PairResult = Result<(SimReport, SimReport), SimError>;
+
+/// The assembled result of a sweep run.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The CSV blocks, identical for every worker count.
+    pub csv: String,
+    /// Runner statistics (wall clock, per-job timings).
+    pub stats: RunStats,
+    /// Number of points that reported an error row.
+    pub failures: usize,
+    /// Simulation steps (slot sub-steps) executed across all points, for
+    /// throughput reporting.
+    pub sim_steps: u64,
+}
+
+/// Run the named sweeps (all of them when `selected` is empty) on up to
+/// `jobs` worker threads, simulating `periods` charging periods per point.
+///
+/// # Errors
+/// Returns [`SimError`] only for *setup* failures (a sweep grid that
+/// cannot even be constructed). Per-point simulation failures do not
+/// abort the run; they appear as error rows and in
+/// [`SweepOutcome::failures`].
+pub fn run(selected: &[String], jobs: usize, periods: usize) -> Result<SweepOutcome, SimError> {
+    let all = selected.is_empty();
+    let want = |k: &str| all || selected.iter().any(|a| a == k);
+
+    let mut points: Vec<SweepPoint> = Vec::new();
+    if want("battery") {
+        points.extend(battery_points(periods)?);
+    }
+    if want("sunlit") {
+        points.extend(sunlit_points(periods)?);
+    }
+    if want("noise") {
+        points.extend(noise_points(periods));
+    }
+    if want("load") {
+        points.extend(load_points(periods));
+    }
+
+    let cache = AllocCache::new();
+    let (results, stats) = runner::run_indexed(&points, jobs, |_, p| run_pair(p, &cache));
+
+    let mut csv = String::new();
+    let mut failures = 0usize;
+    let mut sim_steps = 0u64;
+    let mut current_sweep = "";
+    for (point, slot) in points.iter().zip(results) {
+        if point.sweep != current_sweep {
+            current_sweep = point.sweep;
+            let _ = writeln!(
+                csv,
+                "sweep,{},governor,wasted_j,undersupplied_j,jobs,utilization",
+                param_name(point.sweep)
+            );
+        }
+        let outcome = match slot {
+            Ok(pair) => pair,
+            Err(panic) => Err(SimError::WorkerPanic(panic.to_string())),
+        };
+        match outcome {
+            Ok((proposed, statik)) => {
+                emit(&mut csv, point, &proposed);
+                emit(&mut csv, point, &statik);
+                sim_steps += 2 * sim_steps_per_run(point);
+            }
+            Err(e) => {
+                failures += 1;
+                let _ = writeln!(
+                    csv,
+                    "{},{},error,{},,,",
+                    point.sweep,
+                    point.value,
+                    sanitize(&e.to_string())
+                );
+            }
+        }
+    }
+
+    Ok(SweepOutcome {
+        csv,
+        stats,
+        failures,
+        sim_steps,
+    })
+}
+
+/// The independent-variable column header of a sweep block.
+fn param_name(sweep: &str) -> &'static str {
+    match sweep {
+        "battery" => "cmax_j",
+        "sunlit" => "fraction",
+        "noise" => "seed",
+        _ => "rate_scale",
+    }
+}
+
+/// CSV fields must stay one column each: strip separators/newlines from
+/// error messages.
+fn sanitize(msg: &str) -> String {
+    msg.replace([',', '\n', '\r'], ";")
+}
+
+fn emit(csv: &mut String, point: &SweepPoint, r: &SimReport) {
+    let _ = writeln!(
+        csv,
+        "{},{},{},{:.3},{:.3},{},{:.4}",
+        point.sweep,
+        point.value,
+        r.governor,
+        r.wasted,
+        r.undersupplied,
+        r.jobs_done,
+        r.utilization()
+    );
+}
+
+/// Slot sub-steps one governor run of this point executes.
+fn sim_steps_per_run(point: &SweepPoint) -> u64 {
+    (point.periods * point.scenario.charging.len() * 8) as u64
+}
+
+/// Run the proposed controller and the static comparator on one point.
+fn run_pair(point: &SweepPoint, cache: &AllocCache) -> PairResult {
+    let run = |gov: &mut dyn dpm_core::governor::Governor| -> Result<SimReport, SimError> {
+        let source: Box<dyn ChargingSource> = match point.seed {
+            Some(s) => Box::new(NoisySource::new(
+                TraceSource::new(point.scenario.charging.clone()),
+                NOISE_SIGMA,
+                point.platform.tau,
+                s,
+            )),
+            None => Box::new(TraceSource::new(point.scenario.charging.clone())),
+        };
+        Simulation::new(
+            point.platform.as_ref().clone(),
+            source,
+            Box::new(ScheduleGenerator::new(
+                point.scenario.event_rates(&point.platform),
+            )),
+            point.scenario.initial_charge,
+            SimConfig {
+                periods: point.periods,
+                slots_per_period: point.scenario.charging.len(),
+                substeps: 8,
+                trace: false,
+            },
+        )?
+        .run(gov)
+    };
+    let alloc = cache.allocation(&point.platform, &point.scenario)?;
+    let mut proposed = DpmController::new(
+        point.platform.as_ref().clone(),
+        &alloc,
+        point.scenario.charging.clone(),
+    )?;
+    let rp = run(&mut proposed)?;
+    let mut statik = StaticGovernor::full_power(&point.platform)?;
+    let rs = run(&mut statik)?;
+    Ok((rp, rs))
+}
+
+fn battery_points(periods: usize) -> Result<Vec<SweepPoint>, SimError> {
+    let s = scenarios::scenario_one();
+    let grid = [
+        3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0, 128.0,
+    ];
+    let mut out = Vec::with_capacity(grid.len());
+    for cmax in grid {
+        let mut platform = Platform::pama();
+        platform.battery = BatteryLimits::new(joules(0.5), joules(cmax))?;
+        let mut scenario = s.clone();
+        scenario.initial_charge = joules(0.5 * (0.5 + cmax));
+        out.push(SweepPoint {
+            sweep: "battery",
+            value: cmax,
+            platform: Arc::new(platform),
+            scenario: Arc::new(scenario),
+            seed: None,
+            periods,
+        });
+    }
+    Ok(out)
+}
+
+fn sunlit_points(periods: usize) -> Result<Vec<SweepPoint>, SimError> {
+    let platform = Arc::new(Platform::pama());
+    let grid = [0.2, 0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.65, 0.7, 0.8];
+    let mut out = Vec::with_capacity(grid.len());
+    for f in grid {
+        let scenario = OrbitScenarioBuilder::new(format!("sun-{f}"))
+            .sunlit_fraction(f)
+            .demand_base(0.5)
+            .demand_peak(2, 1.2)
+            .demand_peak(8, 0.9)
+            .build()?;
+        out.push(SweepPoint {
+            sweep: "sunlit",
+            value: f,
+            platform: Arc::clone(&platform),
+            scenario: Arc::new(scenario),
+            seed: None,
+            periods,
+        });
+    }
+    Ok(out)
+}
+
+fn noise_points(periods: usize) -> Vec<SweepPoint> {
+    let platform = Arc::new(Platform::pama());
+    let scenario = Arc::new(scenarios::scenario_one());
+    (1..=12u64)
+        .map(|seed| SweepPoint {
+            sweep: "noise",
+            value: seed as f64,
+            platform: Arc::clone(&platform),
+            scenario: Arc::clone(&scenario),
+            seed: Some(seed),
+            periods,
+        })
+        .collect()
+}
+
+fn load_points(periods: usize) -> Vec<SweepPoint> {
+    let platform = Arc::new(Platform::pama());
+    let base = scenarios::scenario_one();
+    [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0]
+        .into_iter()
+        .map(|k| {
+            let mut scenario = base.clone();
+            scenario.use_power = base.use_power.scale(k);
+            SweepPoint {
+                sweep: "load",
+                value: k,
+                platform: Arc::clone(&platform),
+                scenario: Arc::new(scenario),
+                seed: None,
+                periods,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_selection_filters_blocks() {
+        let out = run(&["load".to_string()], 1, 1).unwrap();
+        assert!(out.csv.contains("load,"));
+        assert!(!out.csv.contains("battery,"));
+        assert_eq!(out.failures, 0);
+    }
+
+    #[test]
+    fn header_appears_once_per_block() {
+        let out = run(&["noise".to_string(), "load".to_string()], 2, 1).unwrap();
+        let headers = out.csv.lines().filter(|l| l.starts_with("sweep,")).count();
+        assert_eq!(headers, 2);
+    }
+}

@@ -134,9 +134,8 @@ fn interpolate_between_anchors(
             }
         }
     }
-    let avg = 0.5 * (out[0] + out[n_pts - 1]);
-    out[0] = avg;
-    out[n_pts - 1] = avg;
+    pin_anchors(&mut out, anchors, limits);
+    repair_seam(&mut out, anchors, limits);
     EnergyTrajectory::assemble(traj.slot_width(), out)
 }
 
@@ -274,12 +273,17 @@ fn remap_between_anchors(
         let (ta, tb) = (anchor_target(a, limits), anchor_target(b, limits));
         let (pa, pb) = (a.energy.value(), b.energy.value());
         let denom = pb - pa;
-        // Affine map sending pa→ta, pb→tb; identity if the segment is flat.
+        let (lo, hi) = (limits.c_min.value(), limits.c_max.value());
+        // Affine map sending pa→ta, pb→tb; a translation if the segment is
+        // flat (pa == pb). The translation preserves interior excursions
+        // verbatim, so it can push breakpoints past the battery window —
+        // clamp the mapped segment back into [C_min, C_max]. Anchor targets
+        // already lie inside the window, so clamping never moves them.
         let map = |p: f64| -> f64 {
             if denom.abs() < 1e-12 {
-                ta + (p - pa)
+                (ta + (p - pa)).clamp(lo, hi)
             } else {
-                ta + (tb - ta) * (p - pa) / denom
+                (ta + (tb - ta) * (p - pa) / denom).clamp(lo, hi)
             }
         };
         // Walk the cyclic index range [a.index, b.index], wrapping at the
@@ -303,11 +307,35 @@ fn remap_between_anchors(
             }
         }
     }
-    // Periodicity: ends must agree (they represent the same instant).
-    let avg = 0.5 * (out[0] + out[n_pts - 1]);
-    out[0] = avg;
-    out[n_pts - 1] = avg;
+    pin_anchors(&mut out, anchors, limits);
+    repair_seam(&mut out, anchors, limits);
     EnergyTrajectory::assemble(traj.slot_width(), out)
+}
+
+/// The segment rebuilds evaluate each anchor through the neighbouring
+/// segment's formula, which reproduces the target only up to f64 rounding;
+/// downstream feasibility checks compare against the bounds exactly, so
+/// write every anchor's target verbatim.
+fn pin_anchors(out: &mut [f64], anchors: &[Extremum], limits: BatteryLimits) {
+    for e in anchors {
+        out[e.index] = anchor_target(e, limits);
+    }
+}
+
+/// Periodicity repair: breakpoints 0 and `n − 1` represent the same
+/// instant, so they must agree after the segment rebuilds. Averaging the
+/// two ends would drag an anchor sitting at either end off its exact
+/// `C_min`/`C_max` target, so an anchored end wins the seam; only an
+/// unanchored seam is averaged.
+fn repair_seam(out: &mut [f64], anchors: &[Extremum], limits: BatteryLimits) {
+    let last = out.len() - 1;
+    let pinned = anchors
+        .iter()
+        .find(|e| e.index == 0 || e.index == last)
+        .map(|e| anchor_target(e, limits));
+    let v = pinned.unwrap_or_else(|| 0.5 * (out[0] + out[last]));
+    out[0] = v;
+    out[last] = v;
 }
 
 #[cfg(test)]
@@ -451,6 +479,64 @@ mod tests {
         // The deeper trough (0.2) survives.
         assert!(merged.iter().any(|e| e.energy == joules(0.2)));
         assert!(!merged.iter().any(|e| e.energy == joules(0.5)));
+    }
+
+    #[test]
+    fn seam_repair_keeps_endpoint_anchor_pinned() {
+        // Violating trough at breakpoint 0. The seam repair used to average
+        // breakpoints 0 and n−1 *after* the remap, dragging the anchored
+        // endpoint off its exact C_min target (it landed at ≈1.83).
+        let t = traj_from_net(&[3.0, 3.0, -2.0, -2.0], 0.0); // [0, 3, 6, 4, 2]
+        assert!(t.min_energy() < joules(1.0));
+        let r = reshape_trajectory(&t, limits());
+        assert!(r.anchors.iter().any(|e| e.index == 0));
+        let pts = r.trajectory.points();
+        assert_eq!(pts[0], pts[pts.len() - 1], "periodic seam must agree");
+        assert!(
+            (pts[0] - 1.0).abs() < 1e-9,
+            "anchor at the seam must stay on C_min: {pts:?}"
+        );
+        assert!(r.trajectory.within(joules(1.0), joules(10.0), 1e-9));
+    }
+
+    #[test]
+    fn even_slope_seam_repair_keeps_endpoint_anchor_pinned() {
+        let t = traj_from_net(&[3.0, 3.0, -2.0, -2.0], 0.0);
+        let r = reshape_trajectory_with(&t, limits(), ReshapeStrategy::EvenSlope);
+        let pts = r.trajectory.points();
+        assert_eq!(pts[0], pts[pts.len() - 1]);
+        assert!(
+            (pts[0] - 1.0).abs() < 1e-9,
+            "anchor at the seam must stay on C_min: {pts:?}"
+        );
+        assert!(r.trajectory.within(joules(1.0), joules(10.0), 1e-9));
+    }
+
+    #[test]
+    fn flat_segment_translation_is_clamped_into_window() {
+        // Hand-built anchor pair with *equal* energies, forcing the
+        // translation fallback of the affine map. The interior breakpoint
+        // sits near C_max, so the unclamped translation `ta + (p − pa)`
+        // used to push it above the window.
+        let ex = |index: usize, e: f64, kind| Extremum {
+            index,
+            time: seconds(index as f64),
+            energy: joules(e),
+            kind,
+        };
+        let t = EnergyTrajectory::from_points(seconds(1.0), vec![0.5, 9.8, 0.5]).unwrap();
+        let anchors = vec![
+            ex(0, 0.5, ExtremumKind::Minimum),
+            ex(2, 0.5, ExtremumKind::Maximum),
+        ];
+        let out = remap_between_anchors(&t, &anchors, limits());
+        // Translation is +0.5 (trough 0.5 → C_min 1.0): 9.8 would become
+        // 10.3 > C_max without the clamp.
+        assert!(
+            out.within(joules(1.0), joules(10.0), 1e-9),
+            "{:?}",
+            out.points()
+        );
     }
 
     #[test]

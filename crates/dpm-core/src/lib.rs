@@ -74,6 +74,28 @@ pub mod runtime;
 pub mod series;
 pub mod units;
 
+// Compile-time thread-safety audit. The parallel experiment harness in
+// `dpm-bench` fans sweep points and governor runs out over scoped worker
+// threads, sharing read-only platforms/scenarios/allocations by reference
+// (or `Arc`) and moving per-job results back. Everything it shares or
+// moves must therefore be `Send + Sync`; this block turns an accidental
+// `Rc`/`RefCell`/raw-pointer regression in any of these types into a
+// compile error instead of a downstream build break.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<platform::Platform>();
+    assert_send_sync::<platform::BatteryLimits>();
+    assert_send_sync::<series::PowerSeries>();
+    assert_send_sync::<series::EnergyTrajectory>();
+    assert_send_sync::<alloc::InitialAllocation>();
+    assert_send_sync::<alloc::AllocationProblem>();
+    assert_send_sync::<params::OperatingPoint>();
+    assert_send_sync::<params::ParetoTable>();
+    assert_send_sync::<runtime::DpmController>();
+    assert_send_sync::<runtime::AdaptiveDpmController>();
+    assert_send_sync::<error::DpmError>();
+};
+
 /// One-stop imports for typical users.
 pub mod prelude {
     pub use crate::alloc::{

@@ -202,7 +202,16 @@ impl PowerSeries {
     /// Integral over `[a, b)` with periodic wrap-around, so `b` may exceed
     /// `T` or precede `a` (meaning "wrap past the period end"). Algorithm 3
     /// redistributes energy over a horizon that may cross the boundary.
+    ///
+    /// The empty interval (`b == a`, e.g. a zero-length sub-step in the
+    /// simulator) integrates to zero; an interval of exactly one period
+    /// (`b == a + T`) integrates to the full-period value. The two are
+    /// indistinguishable after both ends are wrapped onto `[0, T)`, so the
+    /// raw endpoints are compared before wrapping.
     pub fn integral_wrapping(&self, a: Seconds, b: Seconds) -> Joules {
+        if a.value() == b.value() {
+            return Joules::ZERO;
+        }
         let period = self.period();
         let a = seconds(a.value().rem_euclid(period.value()));
         let b = seconds(b.value().rem_euclid(period.value()));
@@ -562,14 +571,52 @@ impl EnergyTrajectory {
         out
     }
 
-    /// First breakpoint index `≥ from` where the trajectory reaches `level`
-    /// within `tol`, or `None`. Algorithm 3 searches forward for the time
-    /// the allocation pins at `C_max`/`C_min`.
+    /// First breakpoint index `≥ from` at which the trajectory has reached
+    /// `level`, or `None`. Algorithm 3 searches forward for the time the
+    /// allocation pins at `C_max`/`C_min`.
+    ///
+    /// A breakpoint within `tol` of `level` matches directly. Because the
+    /// trajectory is piecewise linear, it can also cross `level` *strictly
+    /// between* two breakpoints (the sign of `p − level` flips across a
+    /// segment without either endpoint landing within `tol`); such a
+    /// crossing reports the segment's end breakpoint — the first breakpoint
+    /// by which the level has been reached.
     pub fn first_reaching(&self, from: usize, level: Joules, tol: f64) -> Option<usize> {
-        self.points[from..]
-            .iter()
-            .position(|&p| (p - level.value()).abs() <= tol)
-            .map(|off| from + off)
+        let pts = self.points.get(from..).unwrap_or(&[]);
+        let lv = level.value();
+        let mut prev = *pts.first()?;
+        if (prev - lv).abs() <= tol {
+            return Some(from);
+        }
+        for (off, &p) in pts.iter().enumerate().skip(1) {
+            if (p - lv).abs() <= tol || (prev - lv) * (p - lv) < 0.0 {
+                return Some(from + off);
+            }
+            prev = p;
+        }
+        None
+    }
+
+    /// Exact time `≥ from`'s breakpoint at which the trajectory first
+    /// reaches `level`, linearly interpolated inside the crossing segment;
+    /// `None` when the level is never reached. Companion to
+    /// [`Self::first_reaching`] for callers that need the pin *time* rather
+    /// than a breakpoint index.
+    pub fn first_reaching_time(&self, from: usize, level: Joules, tol: f64) -> Option<Seconds> {
+        let i = self.first_reaching(from, level, tol)?;
+        let lv = level.value();
+        let t_i = i as f64 * self.slot.value();
+        if (self.points[i] - lv).abs() <= tol || i == from {
+            return Some(seconds(t_i));
+        }
+        // Reached by an interior crossing of segment [i-1, i]: interpolate.
+        let (p0, p1) = (self.points[i - 1], self.points[i]);
+        let denom = p1 - p0;
+        if denom.abs() <= f64::EPSILON * p0.abs().max(p1.abs()).max(1.0) {
+            return Some(seconds(t_i));
+        }
+        let frac = ((lv - p0) / denom).clamp(0.0, 1.0);
+        Some(seconds((i as f64 - 1.0 + frac) * self.slot.value()))
     }
 
     /// True when every breakpoint lies inside `[lo, hi]` (with tolerance).
@@ -660,6 +707,37 @@ mod tests {
         assert!(s
             .integral_wrapping(seconds(2.0), seconds(1.0))
             .approx_eq(joules(4.0), 1e-12));
+    }
+
+    #[test]
+    fn integral_wrapping_empty_interval_is_zero() {
+        // Regression: `b == a` used to fall into the wrap branch and return
+        // the *full-period* integral (a zero-length sub-step in the
+        // simulator then double-counted a whole period of supply).
+        let s = series(&[1.0, 2.0, 3.0]);
+        for a in [0.0, 0.4, 1.0, 2.999, 3.0, -1.5, 7.2] {
+            assert_eq!(
+                s.integral_wrapping(seconds(a), seconds(a)),
+                Joules::ZERO,
+                "a = {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn integral_wrapping_full_period_is_total() {
+        let s = series(&[1.0, 2.0, 3.0]);
+        // Exactly one period still integrates to the full total (0.75 and
+        // 3.75 are exactly representable, so the wrap is exact) …
+        assert!(s
+            .integral_wrapping(seconds(0.75), seconds(3.75))
+            .approx_eq(s.integral(), 1e-12));
+        // … and matches the two integral_range pieces it is built from.
+        let pieces = s.integral_range(seconds(0.75), seconds(3.0))
+            + s.integral_range(seconds(0.0), seconds(0.75));
+        assert!(s
+            .integral_wrapping(seconds(0.75), seconds(3.75))
+            .approx_eq(pieces, 1e-12));
     }
 
     #[test]
@@ -760,6 +838,37 @@ mod tests {
         let t = EnergyTrajectory::from_points(seconds(1.0), vec![0.0, 1.0, 2.0, 1.0]).unwrap();
         assert_eq!(t.first_reaching(0, joules(2.0), 1e-9), Some(2));
         assert_eq!(t.first_reaching(3, joules(2.0), 1e-9), None);
+        assert_eq!(t.first_reaching(9, joules(2.0), 1e-9), None);
+    }
+
+    #[test]
+    fn first_reaching_detects_interior_crossing() {
+        // Regression: the level 2.0 is crossed strictly inside the segment
+        // [0, 3] without either breakpoint lying within tol, so the old
+        // breakpoint-only scan returned None and Algorithm 3's horizon
+        // search skipped the true pin time.
+        let t = EnergyTrajectory::from_points(seconds(1.0), vec![0.0, 3.0, 3.5]).unwrap();
+        assert_eq!(t.first_reaching(0, joules(2.0), 1e-9), Some(1));
+        // Downward crossings count too.
+        let d = EnergyTrajectory::from_points(seconds(1.0), vec![5.0, 1.0, 0.5]).unwrap();
+        assert_eq!(d.first_reaching(0, joules(2.0), 1e-9), Some(1));
+        // A segment that merely touches from above without sign change
+        // still requires the tol match.
+        let g = EnergyTrajectory::from_points(seconds(1.0), vec![3.0, 2.5, 3.0]).unwrap();
+        assert_eq!(g.first_reaching(0, joules(2.0), 1e-9), None);
+    }
+
+    #[test]
+    fn first_reaching_time_interpolates_crossing() {
+        let t = EnergyTrajectory::from_points(seconds(2.0), vec![0.0, 4.0, 4.5]).unwrap();
+        // Level 1.0 is reached a quarter of the way through segment 0,
+        // i.e. at t = 0.5 s of the 2 s slot.
+        let at = t.first_reaching_time(0, joules(1.0), 1e-9).unwrap();
+        assert!(at.approx_eq(seconds(0.5), 1e-12), "{at:?}");
+        // A breakpoint hit reports the breakpoint's own time.
+        let bp = t.first_reaching_time(0, joules(4.0), 1e-9).unwrap();
+        assert!(bp.approx_eq(seconds(2.0), 1e-12), "{bp:?}");
+        assert_eq!(t.first_reaching_time(0, joules(9.0), 1e-9), None);
     }
 
     #[test]

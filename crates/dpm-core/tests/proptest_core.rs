@@ -1,12 +1,13 @@
 //! Property-based tests for the core invariants listed in DESIGN.md §6.
 
 use dpm_core::alloc::{
-    normalize_to_supply, reshape_trajectory, AllocationProblem, InitialAllocator,
+    normalize_to_supply, reshape_trajectory, reshape_trajectory_with, AllocationProblem,
+    InitialAllocator, ReshapeStrategy,
 };
 use dpm_core::params::ParetoTable;
 use dpm_core::platform::{BatteryLimits, Platform};
 use dpm_core::runtime::redistribute;
-use dpm_core::series::PowerSeries;
+use dpm_core::series::{ExtremumKind, PowerSeries};
 use dpm_core::units::{joules, seconds, watts, Joules};
 use proptest::prelude::*;
 
@@ -163,5 +164,71 @@ proptest! {
         let a = s.integral_range(seconds(0.0), seconds(cut)).value();
         let b = s.integral_range(seconds(cut), s.period()).value();
         prop_assert!((a + b - total).abs() < 1e-9);
+    }
+
+    /// An empty wrap-around interval is empty, never a full period: for any
+    /// instant t, ∫_wrap[t,t) = 0.
+    #[test]
+    fn integral_wrapping_empty_interval_is_zero(
+        s in power_series(12, 3.0),
+        t in -120.0f64..120.0,
+    ) {
+        prop_assert_eq!(s.integral_wrapping(seconds(t), seconds(t)), Joules::ZERO);
+    }
+
+    /// The wrap-around integral agrees with its in-period pieces: directly
+    /// with ∫[a,b) when the interval does not cross the seam, and with
+    /// ∫[a,T) + ∫[0,b) when it does.
+    #[test]
+    fn integral_wrapping_matches_range_pieces(
+        s in power_series(12, 3.0),
+        a in 0.0f64..57.6,
+        b in 0.0f64..57.6,
+    ) {
+        let w = s.integral_wrapping(seconds(a), seconds(b)).value();
+        let pieces = if b >= a {
+            s.integral_range(seconds(a), seconds(b)).value()
+        } else {
+            s.integral_range(seconds(a), s.period()).value()
+                + s.integral_range(seconds(0.0), seconds(b)).value()
+        };
+        prop_assert!((w - pieces).abs() < 1e-9, "wrap {w} vs pieces {pieces}");
+    }
+
+    /// Algorithm 1 sends every *violating* anchor breakpoint exactly onto
+    /// its battery bound — under both segment-rebuild strategies, and in
+    /// particular at the periodic seam (indices 0 and n−1), which the seam
+    /// repair must not average away.
+    #[test]
+    fn violating_anchors_land_exactly_on_their_bounds(
+        raw in prop::collection::vec(-4.0f64..4.0, 16..=16),
+        start in 2.0f64..14.0,
+    ) {
+        // Zero-mean net power ⇒ periodic trajectory, Algorithm 1's
+        // documented precondition (the Eq. 8 normalization guarantees it
+        // in the real pipeline).
+        let mean = raw.iter().sum::<f64>() / raw.len() as f64;
+        let net = PowerSeries::new(
+            seconds(1.0),
+            raw.iter().map(|v| v - mean).collect(),
+        ).unwrap();
+        let limits = BatteryLimits::new(joules(1.0), joules(15.0)).unwrap();
+        let traj = net.cumulative(joules(start));
+        for strategy in [ReshapeStrategy::ShapePreserving, ReshapeStrategy::EvenSlope] {
+            let out = reshape_trajectory_with(&traj, limits, strategy);
+            for anchor in &out.anchors {
+                let bound = match anchor.kind {
+                    ExtremumKind::Maximum if anchor.energy > limits.c_max => limits.c_max,
+                    ExtremumKind::Minimum if anchor.energy < limits.c_min => limits.c_min,
+                    _ => continue, // pseudo-anchor: no bound to pin to
+                };
+                let landed = out.trajectory.point(anchor.index);
+                prop_assert_eq!(
+                    landed, bound,
+                    "{:?} anchor at index {} landed on {:?}, not {:?} ({:?})",
+                    anchor.kind, anchor.index, landed, bound, strategy
+                );
+            }
+        }
     }
 }

@@ -29,6 +29,10 @@ pub enum SimError {
     /// The run configuration cannot produce a simulation (zero periods,
     /// zero slots, zero sub-steps).
     InvalidConfig(String),
+    /// A worker thread running this job in a parallel experiment harness
+    /// panicked. The panic is caught at the job boundary so sibling jobs
+    /// keep their results; the payload message is preserved here.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for SimError {
@@ -40,6 +44,7 @@ impl fmt::Display for SimError {
             }
             Self::BatteryMisconfigured(msg) => write!(f, "battery misconfigured: {msg}"),
             Self::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
+            Self::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
         }
     }
 }

@@ -1,0 +1,89 @@
+//! End-to-end contract tests for the parallel experiment runner: the same
+//! sweep/table produced serially and in parallel must be byte-identical,
+//! and one failing point must not take its siblings down.
+
+use dpm_bench::experiments::{self, GovernorSpec, MatrixCell};
+use dpm_bench::sweeps;
+use dpm_core::platform::{BatteryLimits, Platform};
+use dpm_core::units::joules;
+use dpm_sim::prelude::SimError;
+use dpm_workloads::scenarios;
+use std::sync::Arc;
+
+/// Short horizon: these tests exercise the harness, not the physics.
+const PERIODS: usize = 2;
+
+#[test]
+fn sweep_csv_is_byte_identical_for_any_worker_count() {
+    let all: Vec<String> = Vec::new();
+    let (serial, _) = sweeps::run(&all, 1, PERIODS)
+        .map(|o| (o.csv, o.failures))
+        .expect("serial sweep");
+    for jobs in [2, 4, 8] {
+        let out = sweeps::run(&all, jobs, PERIODS).expect("parallel sweep");
+        assert_eq!(out.failures, 0, "jobs = {jobs}");
+        assert_eq!(serial, out.csv, "CSV diverged at jobs = {jobs}");
+    }
+}
+
+#[test]
+fn table1_is_identical_for_any_worker_count() {
+    let platform = Platform::pama();
+    let scenarios = scenarios::all();
+    let serial = experiments::table1(&platform, &scenarios, PERIODS).expect("serial table1");
+    for jobs in [2, 4, 13] {
+        let parallel = experiments::table1_jobs(&platform, &scenarios, PERIODS, jobs)
+            .expect("parallel table1");
+        assert_eq!(serial, parallel, "rows diverged at jobs = {jobs}");
+    }
+}
+
+#[test]
+fn one_infeasible_cell_does_not_abort_its_siblings() {
+    let good = Arc::new(Platform::pama());
+    // A battery window too tight for the allocator to converge in: the
+    // proposed governor's cell must fail, everyone else's must not.
+    let mut tight = Platform::pama();
+    tight.battery = BatteryLimits::new(joules(0.5), joules(2.0)).expect("limits");
+    let tight = Arc::new(tight);
+    let mut scenario = scenarios::scenario_one();
+    scenario.initial_charge = joules(1.25);
+    let scenario = Arc::new(scenario);
+    let good_scenario = Arc::new(scenarios::scenario_one());
+
+    let cells = vec![
+        MatrixCell {
+            platform: Arc::clone(&good),
+            scenario: Arc::clone(&good_scenario),
+            governor: GovernorSpec::Proposed,
+            periods: PERIODS,
+        },
+        MatrixCell {
+            platform: Arc::clone(&tight),
+            scenario: Arc::clone(&scenario),
+            governor: GovernorSpec::Proposed,
+            periods: PERIODS,
+        },
+        MatrixCell {
+            platform: Arc::clone(&good),
+            scenario: Arc::clone(&good_scenario),
+            governor: GovernorSpec::Static,
+            periods: PERIODS,
+        },
+    ];
+    let (results, stats) = experiments::run_matrix(&cells, 3);
+    assert_eq!(results.len(), 3);
+    assert!(results[0].is_ok(), "{:?}", results[0]);
+    assert!(results[1].is_err(), "infeasible cell should fail");
+    assert!(results[2].is_ok(), "{:?}", results[2]);
+    assert_eq!(stats.jobs, 3);
+}
+
+#[test]
+fn worker_panic_surfaces_as_a_structured_sim_error() {
+    // run_matrix maps a caught worker panic to SimError::WorkerPanic so a
+    // panicking cell lands in its own result slot like any other failure.
+    let e = SimError::WorkerPanic("job 3 panicked: boom".into());
+    assert!(e.to_string().contains("worker thread panicked"));
+    assert!(e.to_string().contains("boom"));
+}
