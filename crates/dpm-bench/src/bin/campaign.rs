@@ -1,0 +1,101 @@
+//! `campaign` — fault-injection survival campaigns: governor × fault-plan
+//! matrices with survival metrics per point.
+//!
+//! ```text
+//! campaign                    # 8 seeds × 4 governor arms, 8 periods each
+//! campaign --seeds 16         # more fault plans
+//! campaign --periods 4        # shorter points
+//! campaign --jobs 4           # fan points across 4 worker threads
+//! DPM_JOBS=4 campaign         # same, via the environment
+//! ```
+//!
+//! Output is CSV on stdout (one row per point), byte-identical for any
+//! worker count; a timing summary goes to stderr. Worker-count priority:
+//! `--jobs N`, then `DPM_JOBS`, then the machine's available parallelism.
+//! Exit codes: 0 on success — including points where a safety-wrapped
+//! governor degraded to its fallback (that is a *result*, recorded in the
+//! `degradations` column, not an error) — 1 when a point fails outright
+//! (the failing point emits an `error` CSV row and the remaining points
+//! still run), 2 on a usage error.
+//!
+//! All the actual work lives in [`dpm_bench::campaign`]; this binary only
+//! parses arguments and routes the output.
+
+use dpm_bench::campaign;
+use dpm_bench::runner;
+
+fn usage() -> String {
+    format!(
+        "usage: campaign [--jobs N] [--seeds N] [--periods N]\n\
+         worker count: --jobs N, else ${}, else available parallelism",
+        runner::JOBS_ENV,
+    )
+}
+
+fn main() {
+    let mut jobs_cli: Option<usize> = None;
+    let mut seeds: u64 = campaign::DEFAULT_SEEDS;
+    let mut periods: usize = campaign::DEFAULT_PERIODS;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => {
+                let value = args.next().and_then(|v| v.parse::<usize>().ok());
+                match value {
+                    Some(n) if n >= 1 => jobs_cli = Some(n),
+                    _ => {
+                        eprintln!("--jobs needs a positive integer\n{}", usage());
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seeds" => {
+                let value = args.next().and_then(|v| v.parse::<u64>().ok());
+                match value {
+                    Some(n) if n >= 1 => seeds = n,
+                    _ => {
+                        eprintln!("--seeds needs a positive integer\n{}", usage());
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--periods" => {
+                let value = args.next().and_then(|v| v.parse::<usize>().ok());
+                match value {
+                    Some(n) if n >= 1 => periods = n,
+                    _ => {
+                        eprintln!("--periods needs a positive integer\n{}", usage());
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let jobs = runner::resolve_jobs(jobs_cli);
+    match campaign::run(seeds, jobs, periods) {
+        Ok(outcome) => {
+            print!("{}", outcome.csv);
+            eprintln!("campaign: {}", outcome.stats.summary());
+            if outcome.failures > 0 {
+                eprintln!(
+                    "campaign: {} point(s) failed (see error rows)",
+                    outcome.failures
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            std::process::exit(1);
+        }
+    }
+}

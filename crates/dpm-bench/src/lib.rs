@@ -4,14 +4,16 @@
 //! table and figure in the paper ([`experiments`]), text renderers in the
 //! paper's layouts ([`mod@format`]), the parallel experiment runner that
 //! fans independent jobs across cores ([`runner`]), the sweep library the
-//! `sweep` binary is a thin shell over ([`sweeps`]), and the `repro`
-//! binary that prints the tables. The criterion benches under `benches/`
-//! reuse the same experiment functions so performance numbers and
-//! correctness numbers cannot drift apart.
+//! `sweep` binary is a thin shell over ([`sweeps`]), the fault-injection
+//! survival campaigns behind the `campaign` binary ([`campaign`]), and
+//! the `repro` binary that prints the tables. The criterion benches under
+//! `benches/` reuse the same experiment functions so performance numbers
+//! and correctness numbers cannot drift apart.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod format;
 pub mod runner;

@@ -93,6 +93,8 @@ const _: () = {
     assert_send_sync::<params::ParetoTable>();
     assert_send_sync::<runtime::DpmController>();
     assert_send_sync::<runtime::AdaptiveDpmController>();
+    assert_send_sync::<runtime::SafetyGovernor<runtime::DpmController>>();
+    assert_send_sync::<runtime::DegradationRecord>();
     assert_send_sync::<error::DpmError>();
 };
 
@@ -108,7 +110,8 @@ pub mod prelude {
     pub use crate::params::{OperatingPoint, ParameterScheduler, ParetoTable};
     pub use crate::platform::{BatteryLimits, Platform, SwitchOverheads};
     pub use crate::runtime::{
-        redistribute, AdaptiveDpmController, ControllerRecord, DpmController,
+        redistribute, AdaptiveDpmController, ControllerRecord, DegradationRecord, DpmController,
+        SafetyConfig, SafetyGovernor, SafetyTransition,
     };
     pub use crate::series::{EnergyTrajectory, PowerSeries};
     pub use crate::units::{

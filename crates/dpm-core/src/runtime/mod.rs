@@ -3,8 +3,10 @@
 
 mod adaptive;
 mod controller;
+mod safety;
 mod update;
 
 pub use adaptive::AdaptiveDpmController;
 pub use controller::{ControllerRecord, DpmController};
+pub use safety::{DegradationRecord, SafetyConfig, SafetyGovernor, SafetyTransition};
 pub use update::{redistribute, RedistributeOutcome};

@@ -1,0 +1,596 @@
+//! Graceful degradation: a wrapper that keeps *any* governor inside the
+//! battery's safe envelope when the world misbehaves (DESIGN.md §9).
+//!
+//! The paper's controller assumes its plan is feasible and its inputs are
+//! honest. Under fault injection neither holds: charging can drop out
+//! mid-eclipse, processors can fail-stop, the gauge can lie, and a replan
+//! can return an error. [`SafetyGovernor`] wraps an inner [`Governor`]
+//! with three mechanisms:
+//!
+//! 1. **Load shedding.** When the measured charge enters the *guard band*
+//!    — within [`SafetyConfig::guard_band`] joules of `C_min` — the
+//!    wrapper steps the commanded operating point down the Pareto
+//!    frontier by [`SafetyConfig::shed_step`] ranks per slot, regardless
+//!    of what the inner governor asked for. Once the charge climbs back
+//!    above the *recover band* the shed level relaxes one rank per slot,
+//!    so recovery is deliberately slower than degradation (hysteresis —
+//!    no chatter at the band edge).
+//! 2. **Bounded replan retries.** An inner `decide` error does not abort
+//!    the mission. The wrapper holds the last good operating point,
+//!    backs off for [`SafetyConfig::backoff_slots`]·failures slots, and
+//!    retries. After [`SafetyConfig::max_replan_failures`] consecutive
+//!    failures it stops consulting the inner governor entirely and
+//!    engages a **static fallback**: the cheapest running frontier point,
+//!    which by construction draws barely more than the standby floor.
+//! 3. **A degradation trace.** Every shed, recover, failure, retry
+//!    success, and fallback engagement is recorded as a
+//!    [`DegradationRecord`] with the slot, time, and measured charge at
+//!    the transition — the fault-campaign survival reports count these.
+//!
+//! The wrapper never returns an error from [`Governor::decide`]; its
+//! whole contract is that degraded service beats no service.
+
+use crate::error::DpmError;
+use crate::governor::{Governor, SlotObservation};
+use crate::params::{OperatingPoint, ParetoTable};
+use crate::platform::Platform;
+use crate::units::Joules;
+use serde::{Deserialize, Serialize};
+
+/// Tunables for the safety wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SafetyConfig {
+    /// Shed load when the measured charge is within this many joules of
+    /// `C_min`.
+    pub guard_band: Joules,
+    /// Start relaxing the shed level once the measured charge exceeds
+    /// `C_min` by this much; must be ≥ `guard_band` (hysteresis width).
+    pub recover_band: Joules,
+    /// Frontier ranks dropped per slot while inside the guard band.
+    pub shed_step: usize,
+    /// Consecutive inner-governor failures tolerated before the static
+    /// fallback engages permanently.
+    pub max_replan_failures: u32,
+    /// Backoff between retries grows by this many slots per consecutive
+    /// failure (0 = retry every slot).
+    pub backoff_slots: u64,
+}
+
+impl SafetyConfig {
+    /// Conservative defaults scaled to the platform's battery window:
+    /// guard band at 10% of the window, recovery at 20%, one rank shed
+    /// per slot, fallback after 3 consecutive replan failures with
+    /// linearly growing backoff.
+    pub fn default_for(platform: &Platform) -> Self {
+        let window = platform.battery.window();
+        Self {
+            guard_band: window * 0.10,
+            recover_band: window * 0.20,
+            shed_step: 1,
+            max_replan_failures: 3,
+            backoff_slots: 1,
+        }
+    }
+
+    fn validate(&self) -> Result<(), DpmError> {
+        if !self.guard_band.value().is_finite() || self.guard_band.value() < 0.0 {
+            return Err(DpmError::InvalidParameter {
+                name: "guard_band",
+                reason: format!("must be finite and >= 0, got {}", self.guard_band.value()),
+            });
+        }
+        if !self.recover_band.value().is_finite()
+            || self.recover_band.value() < self.guard_band.value()
+        {
+            return Err(DpmError::InvalidParameter {
+                name: "recover_band",
+                reason: format!(
+                    "must be finite and >= guard_band ({}), got {}",
+                    self.guard_band.value(),
+                    self.recover_band.value()
+                ),
+            });
+        }
+        if self.shed_step == 0 {
+            return Err(DpmError::InvalidParameter {
+                name: "shed_step",
+                reason: "must be >= 1".into(),
+            });
+        }
+        if self.max_replan_failures == 0 {
+            return Err(DpmError::InvalidParameter {
+                name: "max_replan_failures",
+                reason: "must be >= 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One state change of the safety machinery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SafetyTransition {
+    /// The guard band forced the shed level up (deeper degradation).
+    Shed {
+        /// Shed level before.
+        from_level: usize,
+        /// Shed level after.
+        to_level: usize,
+    },
+    /// Charge recovered past the recover band; shed level relaxed.
+    Recover {
+        /// Shed level before.
+        from_level: usize,
+        /// Shed level after.
+        to_level: usize,
+    },
+    /// The inner governor's `decide` returned an error.
+    ReplanFailed {
+        /// Consecutive failures including this one.
+        failures: u32,
+        /// The inner error, stringified for the trace.
+        error: String,
+    },
+    /// The inner governor succeeded again after one or more failures.
+    ReplanRecovered {
+        /// Consecutive failures that preceded this success.
+        after: u32,
+    },
+    /// The failure budget is spent; the static fallback point now serves
+    /// every remaining slot.
+    FallbackEngaged {
+        /// Consecutive failures that triggered the fallback.
+        failures: u32,
+    },
+}
+
+/// A trace entry: when and under what conditions a transition happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationRecord {
+    /// Slot of the transition.
+    pub slot: u64,
+    /// Simulated time at the slot boundary (s).
+    pub time: f64,
+    /// Measured battery charge at the transition (J) — the gauge reading,
+    /// which under sensor faults is not the physical level.
+    pub battery: f64,
+    /// What changed.
+    pub transition: SafetyTransition,
+}
+
+/// A graceful-degradation wrapper around any [`Governor`]; see the module
+/// docs for the contract.
+pub struct SafetyGovernor<G> {
+    inner: G,
+    name: String,
+    config: SafetyConfig,
+    c_min: Joules,
+    pareto: ParetoTable,
+    fallback: OperatingPoint,
+    shed_level: usize,
+    consecutive_failures: u32,
+    retry_at: u64,
+    fallback_engaged: bool,
+    last_good: OperatingPoint,
+    trace: Vec<DegradationRecord>,
+}
+
+impl<G: Governor> SafetyGovernor<G> {
+    /// Wrap `inner` for `platform` with explicit tunables.
+    ///
+    /// # Errors
+    /// [`DpmError::InvalidParameter`] on a malformed [`SafetyConfig`] and
+    /// anything [`ParetoTable::build`] reports for the platform.
+    pub fn new(inner: G, platform: &Platform, config: SafetyConfig) -> Result<Self, DpmError> {
+        config.validate()?;
+        let pareto = ParetoTable::build(platform)?;
+        // The static fallback: the cheapest point that still runs — one
+        // rank above the all-off floor, so a fallback mission keeps
+        // (minimal) service instead of going dark.
+        let fallback = pareto
+            .frontier()
+            .iter()
+            .find(|r| !r.point.is_off())
+            .map_or(OperatingPoint::OFF, |r| r.point);
+        let name = format!("safe({})", inner.name());
+        Ok(Self {
+            inner,
+            name,
+            config,
+            c_min: platform.battery.c_min,
+            pareto,
+            fallback,
+            shed_level: 0,
+            consecutive_failures: 0,
+            retry_at: 0,
+            fallback_engaged: false,
+            last_good: OperatingPoint::OFF,
+            trace: Vec::new(),
+        })
+    }
+
+    /// Wrap `inner` with [`SafetyConfig::default_for`] the platform.
+    ///
+    /// # Errors
+    /// Same conditions as [`SafetyGovernor::new`].
+    pub fn with_defaults(inner: G, platform: &Platform) -> Result<Self, DpmError> {
+        let config = SafetyConfig::default_for(platform);
+        Self::new(inner, platform, config)
+    }
+
+    /// The degradation/recovery trace so far.
+    pub fn trace(&self) -> &[DegradationRecord] {
+        &self.trace
+    }
+
+    /// Drain the trace, leaving it empty.
+    pub fn take_trace(&mut self) -> Vec<DegradationRecord> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Transitions recorded so far.
+    pub fn degradation_count(&self) -> u64 {
+        self.trace.len() as u64
+    }
+
+    /// Current shed depth in frontier ranks (0 = passing the inner
+    /// governor's choice through unchanged).
+    pub fn shed_level(&self) -> usize {
+        self.shed_level
+    }
+
+    /// Whether service is currently degraded: load shed, in a retry
+    /// backoff, or running on the static fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.shed_level > 0 || self.consecutive_failures > 0 || self.fallback_engaged
+    }
+
+    /// Whether the static fallback has permanently engaged.
+    pub fn fallback_engaged(&self) -> bool {
+        self.fallback_engaged
+    }
+
+    /// Unwrap, discarding the safety state.
+    pub fn into_inner(self) -> G {
+        self.inner
+    }
+
+    fn record(&mut self, obs: &SlotObservation, transition: SafetyTransition) {
+        self.trace.push(DegradationRecord {
+            slot: obs.slot,
+            time: obs.time.value(),
+            battery: obs.battery.value(),
+            transition,
+        });
+    }
+
+    /// What the inner layer wants this slot, with the retry/fallback
+    /// machinery applied.
+    fn desired(&mut self, obs: &SlotObservation) -> OperatingPoint {
+        if self.fallback_engaged {
+            return self.fallback;
+        }
+        if obs.slot < self.retry_at {
+            return self.last_good;
+        }
+        match self.inner.decide(obs) {
+            Ok(point) => {
+                if self.consecutive_failures > 0 {
+                    let after = self.consecutive_failures;
+                    self.consecutive_failures = 0;
+                    self.record(obs, SafetyTransition::ReplanRecovered { after });
+                }
+                self.last_good = point;
+                point
+            }
+            Err(e) => {
+                self.consecutive_failures += 1;
+                let failures = self.consecutive_failures;
+                self.record(
+                    obs,
+                    SafetyTransition::ReplanFailed {
+                        failures,
+                        error: e.to_string(),
+                    },
+                );
+                if failures >= self.config.max_replan_failures {
+                    self.fallback_engaged = true;
+                    self.record(obs, SafetyTransition::FallbackEngaged { failures });
+                    self.fallback
+                } else {
+                    self.retry_at = obs.slot + 1 + self.config.backoff_slots * u64::from(failures);
+                    self.last_good
+                }
+            }
+        }
+    }
+
+    /// Move the shed level for this slot's measured charge.
+    fn apply_guard_band(&mut self, obs: &SlotObservation) {
+        let charge = obs.battery.value();
+        let floor = self.c_min.value();
+        if charge < floor + self.config.guard_band.value() {
+            let cap = self.pareto.frontier().len();
+            let to_level = (self.shed_level + self.config.shed_step).min(cap);
+            if to_level != self.shed_level {
+                let from_level = self.shed_level;
+                self.shed_level = to_level;
+                self.record(
+                    obs,
+                    SafetyTransition::Shed {
+                        from_level,
+                        to_level,
+                    },
+                );
+            }
+        } else if charge >= floor + self.config.recover_band.value() && self.shed_level > 0 {
+            let from_level = self.shed_level;
+            self.shed_level -= 1;
+            self.record(
+                obs,
+                SafetyTransition::Recover {
+                    from_level,
+                    to_level: self.shed_level,
+                },
+            );
+        }
+    }
+
+    /// Demote `desired` by the current shed level along the frontier.
+    /// Rank 0 of the frontier is the all-off point, so a deep enough shed
+    /// always bottoms out at the standby floor.
+    fn shed(&self, desired: OperatingPoint) -> OperatingPoint {
+        if self.shed_level == 0 || desired.is_off() {
+            return desired;
+        }
+        let frontier = self.pareto.frontier();
+        // An off-frontier request (possible with a hand-rolled inner
+        // governor) sheds from the top of the table.
+        let idx = frontier
+            .iter()
+            .position(|r| r.point == desired)
+            .unwrap_or(frontier.len().saturating_sub(1));
+        let target = idx.saturating_sub(self.shed_level);
+        frontier
+            .get(target)
+            .map_or(OperatingPoint::OFF, |r| r.point)
+    }
+}
+
+impl<G: Governor> Governor for SafetyGovernor<G> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, obs: &SlotObservation) -> Result<OperatingPoint, DpmError> {
+        let desired = self.desired(obs);
+        self.apply_guard_band(obs);
+        Ok(self.shed(desired))
+    }
+
+    fn uses_surplus_energy(&self) -> bool {
+        self.inner.uses_surplus_energy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::joules;
+
+    struct Pinned(OperatingPoint);
+    impl Governor for Pinned {
+        fn name(&self) -> &str {
+            "pinned"
+        }
+        fn decide(&mut self, _o: &SlotObservation) -> Result<OperatingPoint, DpmError> {
+            Ok(self.0)
+        }
+    }
+
+    /// Fails every decision from slot `fail_from` onward.
+    struct Flaky {
+        fail_from: u64,
+        point: OperatingPoint,
+    }
+    impl Governor for Flaky {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn decide(&mut self, o: &SlotObservation) -> Result<OperatingPoint, DpmError> {
+            if o.slot >= self.fail_from {
+                Err(DpmError::EmptyScheduleWindow)
+            } else {
+                Ok(self.point)
+            }
+        }
+    }
+
+    fn obs(slot: u64, battery: f64) -> SlotObservation {
+        SlotObservation {
+            slot,
+            time: crate::units::seconds(slot as f64 * 4.8),
+            battery: joules(battery),
+            used_last: Joules::ZERO,
+            supplied_last: Joules::ZERO,
+            backlog: 0,
+        }
+    }
+
+    fn peak_point(platform: &Platform) -> OperatingPoint {
+        ParetoTable::build(platform).unwrap().peak().point
+    }
+
+    #[test]
+    fn passes_through_when_healthy() {
+        let platform = Platform::pama();
+        let peak = peak_point(&platform);
+        let mut g = SafetyGovernor::with_defaults(Pinned(peak), &platform).unwrap();
+        assert_eq!(g.name(), "safe(pinned)");
+        // 8 J is far above the guard band (C_min 0.5 + 10% of 15.5 ≈ 2.05).
+        let p = g.decide(&obs(0, 8.0)).unwrap();
+        assert_eq!(p, peak);
+        assert!(!g.is_degraded());
+        assert!(g.trace().is_empty());
+    }
+
+    #[test]
+    fn sheds_inside_the_guard_band_and_recovers_with_hysteresis() {
+        let platform = Platform::pama();
+        let peak = peak_point(&platform);
+        let mut g = SafetyGovernor::with_defaults(Pinned(peak), &platform).unwrap();
+        // Inside the guard band: one rank down per slot.
+        let p1 = g.decide(&obs(0, 1.0)).unwrap();
+        let frontier_len = ParetoTable::build(&platform).unwrap().frontier().len();
+        assert_eq!(g.shed_level(), 1);
+        assert_ne!(p1, peak);
+        let _ = g.decide(&obs(1, 1.0)).unwrap();
+        assert_eq!(g.shed_level(), 2);
+        assert!(g.is_degraded());
+        // Between the bands: the level holds (hysteresis).
+        let mid = 0.5 + 0.15 * 15.5;
+        let _ = g.decide(&obs(2, mid)).unwrap();
+        assert_eq!(g.shed_level(), 2);
+        // Above the recover band: one rank back per slot.
+        let _ = g.decide(&obs(3, 8.0)).unwrap();
+        assert_eq!(g.shed_level(), 1);
+        let p = g.decide(&obs(4, 8.0)).unwrap();
+        assert_eq!(g.shed_level(), 0);
+        assert_eq!(p, peak);
+        assert!(g.shed_level() <= frontier_len);
+        // Trace saw 2 sheds + 2 recovers.
+        assert_eq!(g.degradation_count(), 4);
+    }
+
+    #[test]
+    fn deep_shed_bottoms_out_at_off() {
+        let platform = Platform::pama();
+        let peak = peak_point(&platform);
+        let config = SafetyConfig {
+            shed_step: 64,
+            ..SafetyConfig::default_for(&platform)
+        };
+        let mut g = SafetyGovernor::new(Pinned(peak), &platform, config).unwrap();
+        let p = g.decide(&obs(0, 0.6)).unwrap();
+        assert!(p.is_off(), "{p:?}");
+    }
+
+    #[test]
+    fn replan_failures_back_off_then_engage_fallback() {
+        let platform = Platform::pama();
+        let peak = peak_point(&platform);
+        let mut g = SafetyGovernor::with_defaults(
+            Flaky {
+                fail_from: 2,
+                point: peak,
+            },
+            &platform,
+        )
+        .unwrap();
+        assert_eq!(g.decide(&obs(0, 8.0)).unwrap(), peak);
+        assert_eq!(g.decide(&obs(1, 8.0)).unwrap(), peak);
+        // Failure 1: hold last good, back off (retry_at = 2 + 1 + 1 = 4).
+        assert_eq!(g.decide(&obs(2, 8.0)).unwrap(), peak);
+        assert!(g.is_degraded());
+        // Slot 3 is inside the backoff: inner is NOT consulted.
+        assert_eq!(g.decide(&obs(3, 8.0)).unwrap(), peak);
+        // Failure 2 (slot 4) holds again; failure 3 (slot 7) spends the
+        // budget and switches to the cheapest running point immediately.
+        assert_eq!(g.decide(&obs(4, 8.0)).unwrap(), peak);
+        let p = g.decide(&obs(7, 8.0)).unwrap();
+        assert!(g.fallback_engaged());
+        assert!(!p.is_off());
+        assert_ne!(p, peak);
+        // From now on: the same fallback point, no more inner calls.
+        assert_eq!(g.decide(&obs(8, 8.0)).unwrap(), p);
+        let transitions: Vec<_> = g.trace().iter().map(|r| &r.transition).collect();
+        assert!(matches!(
+            transitions.last(),
+            Some(SafetyTransition::FallbackEngaged { failures: 3 })
+        ));
+        assert_eq!(
+            transitions
+                .iter()
+                .filter(|t| matches!(t, SafetyTransition::ReplanFailed { .. }))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn transient_failure_recovers_and_is_traced() {
+        let platform = Platform::pama();
+        let peak = peak_point(&platform);
+        /// Fails exactly once, on slot 1.
+        struct Once(OperatingPoint);
+        impl Governor for Once {
+            fn name(&self) -> &str {
+                "once"
+            }
+            fn decide(&mut self, o: &SlotObservation) -> Result<OperatingPoint, DpmError> {
+                if o.slot == 1 {
+                    Err(DpmError::EmptyScheduleWindow)
+                } else {
+                    Ok(self.0)
+                }
+            }
+        }
+        let mut g = SafetyGovernor::with_defaults(Once(peak), &platform).unwrap();
+        let _ = g.decide(&obs(0, 8.0)).unwrap();
+        let _ = g.decide(&obs(1, 8.0)).unwrap(); // fails, holds
+        let _ = g.decide(&obs(2, 8.0)).unwrap(); // backoff hold
+        let p = g.decide(&obs(3, 8.0)).unwrap(); // retry succeeds
+        assert_eq!(p, peak);
+        assert!(!g.is_degraded());
+        assert!(matches!(
+            g.take_trace().last().map(|r| r.transition.clone()),
+            Some(SafetyTransition::ReplanRecovered { after: 1 })
+        ));
+        assert_eq!(g.degradation_count(), 0, "take_trace drained it");
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let platform = Platform::pama();
+        let base = SafetyConfig::default_for(&platform);
+        for config in [
+            SafetyConfig {
+                guard_band: joules(-1.0),
+                ..base
+            },
+            SafetyConfig {
+                recover_band: joules(0.0),
+                ..base
+            },
+            SafetyConfig {
+                shed_step: 0,
+                ..base
+            },
+            SafetyConfig {
+                max_replan_failures: 0,
+                ..base
+            },
+        ] {
+            assert!(matches!(
+                SafetyGovernor::new(Pinned(OperatingPoint::OFF), &platform, config),
+                Err(DpmError::InvalidParameter { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn records_serialize_round_trip() {
+        let rec = DegradationRecord {
+            slot: 3,
+            time: 14.4,
+            battery: 1.25,
+            transition: SafetyTransition::Shed {
+                from_level: 0,
+                to_level: 1,
+            },
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: DegradationRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+}

@@ -232,6 +232,29 @@ impl Battery {
         self.rate_loss
     }
 
+    /// Derate the usable capacity window (cell ageing, a cold eclipse, a
+    /// failed string in the pack): `C_max ← C_min + factor·(C_max − C_min)`
+    /// with `factor` clamped into `[0, 1]` (non-finite factors are treated
+    /// as 1, i.e. no fade). Charge above the shrunken ceiling is lost and
+    /// accounted as wasted; `C_min` is untouched — the reserve floor is a
+    /// mission constraint, not a cell property. Returns the charge lost.
+    ///
+    /// Fades compose: two successive `fade(0.5)` calls leave a quarter of
+    /// the original window.
+    pub fn fade(&mut self, factor: f64) -> Joules {
+        let f = if factor.is_finite() {
+            factor.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let new_max = self.config.limits.c_min + self.config.limits.window() * f;
+        self.config.limits.c_max = new_max;
+        let lost = (self.level - new_max).max(Joules::ZERO);
+        self.level -= lost;
+        self.wasted += lost;
+        lost
+    }
+
     /// Advance self-discharge over `dt` seconds.
     pub fn tick(&mut self, dt: f64) {
         if self.config.self_discharge_per_s > 0.0 {
@@ -402,6 +425,35 @@ mod tests {
         let gb = b.draw_over(joules(3.0), 0.1);
         assert_eq!(ga, gb);
         assert_eq!(a.level(), b.level());
+    }
+
+    #[test]
+    fn fade_shrinks_the_window_and_spills_excess_charge() {
+        let mut b = battery(12.0);
+        // Window 0.5..16 → fade 0.5 → 0.5 + 0.5·15.5 = 8.25 J ceiling.
+        let lost = b.fade(0.5);
+        assert!(b.limits().c_max.approx_eq(joules(8.25), 1e-12));
+        assert_eq!(b.limits().c_min, joules(0.5));
+        assert!(lost.approx_eq(joules(12.0 - 8.25), 1e-12));
+        assert!(b.level().approx_eq(joules(8.25), 1e-12));
+        assert!(b.wasted().approx_eq(lost, 1e-12));
+        // Charging now tops out at the derated ceiling.
+        b.charge(joules(5.0));
+        assert!(b.level().approx_eq(joules(8.25), 1e-12));
+    }
+
+    #[test]
+    fn fades_compose_and_bad_factors_are_ignored() {
+        let mut b = battery(4.0);
+        b.fade(0.5);
+        b.fade(0.5);
+        // 0.5 + 0.25·15.5 = 4.375 J ceiling; 4 J level is below it.
+        assert!(b.limits().c_max.approx_eq(joules(4.375), 1e-12));
+        assert_eq!(b.level(), joules(4.0));
+        let before = b.limits();
+        b.fade(f64::NAN);
+        b.fade(1.7); // clamped to 1: no further shrink
+        assert_eq!(b.limits(), before);
     }
 
     #[test]

@@ -122,17 +122,49 @@ impl PamaBoard {
         &self.ring
     }
 
+    /// Inject (`faulted = true`) or clear a fail-stop processor fault at
+    /// chip `index`. Out-of-range indices are ignored — a generated fault
+    /// plan must not be able to crash the board model.
+    pub fn set_fault(&mut self, index: usize, faulted: bool, t: Seconds) {
+        if let Some(chip) = self.processors.get_mut(index) {
+            chip.set_fault(faulted, t);
+        }
+    }
+
+    /// Worker chips (controller excluded) currently healthy.
+    pub fn healthy_workers(&self) -> usize {
+        self.processors
+            .iter()
+            .skip(self.platform.reserved)
+            .filter(|p| !p.is_faulted())
+            .count()
+    }
+
+    /// Chips currently failed-stop (controller included).
+    pub fn faulted_count(&self) -> usize {
+        self.processors.iter().filter(|p| p.is_faulted()).count()
+    }
+
     /// Apply a governor command at time `t`. Returns the worst-case
     /// transition latency across the chips (the parallel stage cannot
     /// start before every participant is up).
+    ///
+    /// Faulted chips are skipped: the commanded worker count activates the
+    /// first `workers` *healthy* worker chips, so a board with spare
+    /// capacity routes around a failed PIM (with no faults the assignment
+    /// is the original positional one).
     pub fn apply(&mut self, point: OperatingPoint, t: Seconds) -> Seconds {
         let mut worst = Seconds::ZERO;
         let workers = point.workers.min(self.platform.workers());
+        let mut activated = 0usize;
         for (idx, chip) in self.processors.iter_mut().enumerate() {
             let is_controller = idx < self.platform.reserved;
             let should_run =
-                !point.is_off() && (is_controller || idx - self.platform.reserved < workers);
+                !point.is_off() && !chip.is_faulted() && (is_controller || activated < workers);
             if should_run {
+                if !is_controller {
+                    activated += 1;
+                }
                 if point.frequency.value() > 0.0 {
                     worst = worst.max(chip.set_frequency(point.frequency, t));
                 }
@@ -158,10 +190,15 @@ impl PamaBoard {
     ) -> Seconds {
         let workers = point.workers.min(self.platform.workers());
         let mut worst = Seconds::ZERO;
+        let mut activated = 0usize;
         for idx in 0..self.processors.len() {
             let is_controller = idx < self.platform.reserved;
-            let should_run =
-                !point.is_off() && (is_controller || idx - self.platform.reserved < workers);
+            let should_run = !point.is_off()
+                && !self.processors[idx].is_faulted()
+                && (is_controller || activated < workers);
+            if should_run && !is_controller {
+                activated += 1;
+            }
             // The controller itself switches locally (no ring trip).
             let effective = if is_controller {
                 t
@@ -225,18 +262,23 @@ impl PamaBoard {
         }
     }
 
-    /// Throughput of the applied point, jobs/s (0 when off).
+    /// Throughput of the applied point, jobs/s (0 when off). Capped by the
+    /// healthy worker count: faulted chips contribute nothing.
     pub fn service_rate(&self) -> f64 {
         if self.current.is_off() {
             return 0.0;
         }
+        let workers = self
+            .current
+            .workers
+            .min(self.platform.workers())
+            .min(self.healthy_workers());
+        if workers == 0 {
+            return 0.0;
+        }
         self.platform
             .perf_model()
-            .throughput(
-                self.current.workers.min(self.platform.workers()),
-                self.current.frequency,
-                self.current.voltage,
-            )
+            .throughput(workers, self.current.frequency, self.current.voltage)
             .value()
     }
 
@@ -449,6 +491,76 @@ mod tests {
         fast.advance(Seconds::ZERO, seconds(48.0), 1.0, false);
 
         assert!(fast.jobs_done() > 3 * slow.jobs_done());
+    }
+
+    #[test]
+    fn faulted_worker_reduces_throughput_and_power() {
+        let mut healthy = board();
+        healthy.apply(point(7, 80.0), Seconds::ZERO);
+        let full_rate = healthy.service_rate();
+        let full_power = healthy.power();
+
+        let mut degraded = board();
+        degraded.set_fault(3, true, Seconds::ZERO);
+        degraded.set_fault(5, true, Seconds::ZERO);
+        degraded.apply(point(7, 80.0), Seconds::ZERO);
+        assert_eq!(degraded.healthy_workers(), 5);
+        assert_eq!(degraded.faulted_count(), 2);
+        assert!(degraded.service_rate() < full_rate);
+        assert!(degraded.power().value() < full_power.value());
+        // The 5 healthy workers all run: rate matches a 5-worker command.
+        let mut five = board();
+        five.apply(point(5, 80.0), Seconds::ZERO);
+        assert!((degraded.service_rate() - five.service_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spare_capacity_routes_around_a_fault() {
+        // Command 3 workers with one chip down: 3 healthy chips still run.
+        let mut b = board();
+        b.set_fault(1, true, Seconds::ZERO);
+        b.apply(point(3, 80.0), Seconds::ZERO);
+        let active = b
+            .processors()
+            .iter()
+            .filter(|p| p.mode() == Mode::Active)
+            .count();
+        assert_eq!(active, 4, "controller + 3 healthy workers");
+        let mut clean = board();
+        clean.apply(point(3, 80.0), Seconds::ZERO);
+        assert!((b.service_rate() - clean.service_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_restores_capacity_after_reapply() {
+        let mut b = board();
+        for idx in 1..8 {
+            b.set_fault(idx, true, Seconds::ZERO);
+        }
+        b.apply(point(7, 80.0), Seconds::ZERO);
+        assert_eq!(b.service_rate(), 0.0, "no healthy workers, no service");
+        for idx in 1..8 {
+            b.set_fault(idx, false, seconds(4.8));
+        }
+        // Recovery alone does not wake anyone…
+        assert_eq!(
+            b.processors()
+                .iter()
+                .filter(|p| p.mode() == Mode::Active)
+                .count(),
+            1,
+            "only the controller is up until the next command"
+        );
+        // …the next governor command does.
+        b.apply(point(7, 80.0), seconds(9.6));
+        assert!(b.service_rate() > 0.0);
+    }
+
+    #[test]
+    fn out_of_range_fault_index_is_ignored() {
+        let mut b = board();
+        b.set_fault(99, true, Seconds::ZERO);
+        assert_eq!(b.faulted_count(), 0);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //!
 //! The top-level simulation ([`crate::sim`]) advances in governor slots
 //! with fluid-flow job processing inside each slot; the event queue carries
-//! the *punctual* occurrences that don't fit a fixed grid — injected
-//! disturbances (supply dropouts, event storms, processor faults) and any
-//! user-scheduled callbacks.
+//! the *punctual* occurrences that don't fit a fixed grid — the injected
+//! [`crate::sim::Disturbance`]s (supply scaling and charging dropouts,
+//! event storms, processor faults and recoveries, battery capacity fades,
+//! battery-gauge sensor faults) and any user-scheduled callbacks.
 
 use crate::error::SimError;
 use dpm_core::units::Seconds;
@@ -36,8 +37,15 @@ impl Clock {
     /// [`SimError::ClockRegression`] on attempts to move backwards — a
     /// scheduling bug in the caller's event script. The clock is left
     /// unchanged.
+    ///
+    /// The regression check uses a *relative-or-absolute* tolerance,
+    /// `1e-12 · max(1, |now|)`: an absolute `1e-12` would spuriously trip
+    /// on rounding noise at large simulated times (a 256-period soak sits
+    /// near `t ≈ 1.5e4` s, where one f64 ulp already exceeds `1e-12`),
+    /// while a purely relative one would be zero at `t = 0`.
     pub fn advance_to(&mut self, t: Seconds) -> Result<(), SimError> {
-        if t.value() + 1e-12 < self.now.value() {
+        let tol = 1e-12 * self.now.value().abs().max(1.0);
+        if t.value() + tol < self.now.value() {
             return Err(SimError::ClockRegression {
                 from: self.now.value(),
                 to: t.value(),
@@ -153,6 +161,34 @@ mod tests {
             Err(SimError::ClockRegression { .. })
         ));
         assert_eq!(c.now(), seconds(5.0), "failed advance leaves time put");
+    }
+
+    #[test]
+    fn clock_tolerance_scales_with_simulated_time() {
+        // Regression test for the old absolute 1e-12 tolerance: at soak
+        // timescales (256 periods ≈ 1.47e4 s) a few ulps of rounding noise
+        // exceed 1e-12 and must NOT be rejected as a regression.
+        let mut c = Clock::new();
+        let big = 256.0 * 57.6; // ≈ 1.47e4 s
+        c.advance_to(seconds(big)).unwrap();
+        // A handful of ulps below `big`: larger than 1e-12 absolute,
+        // comfortably inside the relative tolerance.
+        let jitter = big - 5.0 * (big * f64::EPSILON);
+        assert!(big - jitter > 1e-12, "test must exceed the old tolerance");
+        c.advance_to(seconds(jitter)).unwrap();
+        assert_eq!(c.now(), seconds(big), "clock never actually moves back");
+        // A genuine regression at scale still errors.
+        assert!(matches!(
+            c.advance_to(seconds(big - 1.0)),
+            Err(SimError::ClockRegression { .. })
+        ));
+        // Near t = 0 the absolute floor still applies.
+        let mut small = Clock::new();
+        small.advance_to(seconds(1e-9)).unwrap();
+        assert!(matches!(
+            small.advance_to(seconds(-1.0)),
+            Err(SimError::ClockRegression { .. })
+        ));
     }
 
     #[test]

@@ -65,10 +65,10 @@ pub mod prelude {
     pub use crate::engine::{Clock, EventQueue};
     pub use crate::error::SimError;
     pub use crate::events::{BurstGenerator, EventGenerator, PoissonGenerator, ScheduleGenerator};
-    pub use crate::meter::PowerMeter;
+    pub use crate::meter::{ChargeSensor, PowerMeter};
     pub use crate::network::{RingConfig, RingNetwork};
     pub use crate::processor::{Mode, Processor, TransitionLatency};
     pub use crate::sim::{Disturbance, SimConfig, Simulation};
     pub use crate::source::{ChargingSource, NoisySource, SolarOrbitSource, TraceSource};
-    pub use crate::stats::{SimReport, SlotRecord};
+    pub use crate::stats::{SimReport, SlotRecord, SurvivalReport};
 }

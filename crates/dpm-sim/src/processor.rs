@@ -67,6 +67,9 @@ pub struct Processor {
     /// Simulated time until which the chip is unavailable because a
     /// transition is in flight.
     busy_until: Seconds,
+    /// Fail-stop fault flag: a faulted chip sits at its standby floor and
+    /// ignores mode/frequency commands until it recovers.
+    faulted: bool,
     /// Count of mode transitions performed (for overhead ablations).
     transitions: u64,
     /// Count of frequency changes performed.
@@ -88,6 +91,7 @@ impl Processor {
             mode_power,
             latency,
             busy_until: Seconds::ZERO,
+            faulted: false,
             transitions: 0,
             freq_changes: 0,
         }
@@ -117,9 +121,37 @@ impl Processor {
         self.freq_changes
     }
 
-    /// Is the chip free to compute at time `t` (no transition in flight)?
+    /// Is the chip free to compute at time `t` (no transition in flight,
+    /// not faulted)?
     pub fn available_at(&self, t: Seconds) -> bool {
-        t.value() >= self.busy_until.value()
+        !self.faulted && t.value() >= self.busy_until.value()
+    }
+
+    /// Whether the chip is currently failed-stop.
+    #[inline]
+    pub fn is_faulted(&self) -> bool {
+        self.faulted
+    }
+
+    /// Inject or clear a fail-stop fault at time `t`. Faulting forces an
+    /// immediate drop to standby (the watchdog clock-gates the chip);
+    /// recovery leaves the chip in standby — the next governor command
+    /// wakes it through the ordinary FPGA sequence, so recovery latency is
+    /// visible at the next slot boundary, not instantaneous.
+    pub fn set_fault(&mut self, faulted: bool, t: Seconds) {
+        if faulted == self.faulted {
+            return;
+        }
+        self.faulted = faulted;
+        if faulted {
+            if self.mode != Mode::Standby {
+                self.mode = Mode::Standby;
+                self.transitions += 1;
+            }
+        } else {
+            // A recovered chip is ready for commands from `t` onward.
+            self.busy_until = self.busy_until.max(t);
+        }
     }
 
     /// Instantaneous power draw in the current mode (uses the full Eq. 4
@@ -138,8 +170,9 @@ impl Processor {
     }
 
     /// Command: change mode at time `t`. Returns the latency incurred.
+    /// A faulted chip ignores the command (it is pinned at standby).
     pub fn set_mode(&mut self, mode: Mode, t: Seconds) -> Seconds {
-        if mode == self.mode {
+        if self.faulted || mode == self.mode {
             return Seconds::ZERO;
         }
         let latency = match (self.mode, mode) {
@@ -154,9 +187,10 @@ impl Processor {
     }
 
     /// Command: change frequency at time `t` (the FPGA write sequence).
-    /// The chip passes through standby and wakes at the new clock.
+    /// The chip passes through standby and wakes at the new clock. A
+    /// faulted chip ignores the command.
     pub fn set_frequency(&mut self, f: Hertz, t: Seconds) -> Seconds {
-        if (f.value() - self.frequency.value()).abs() < 1e-6 {
+        if self.faulted || (f.value() - self.frequency.value()).abs() < 1e-6 {
             return Seconds::ZERO;
         }
         assert!(f.value() > 0.0, "use set_mode(Standby) to stop the clock");
@@ -236,6 +270,38 @@ mod tests {
         );
         assert_eq!(p.transition_count(), 0);
         assert_eq!(p.freq_change_count(), 0);
+    }
+
+    #[test]
+    fn fault_forces_standby_and_blocks_commands() {
+        let mut p = chip();
+        p.set_mode(Mode::Active, Seconds::ZERO);
+        p.set_fault(true, seconds(1.0));
+        assert!(p.is_faulted());
+        assert_eq!(p.mode(), Mode::Standby);
+        assert!(!p.available_at(seconds(100.0)));
+        // Commands bounce off a faulted chip with no latency and no state
+        // change.
+        assert_eq!(p.set_mode(Mode::Active, seconds(2.0)), Seconds::ZERO);
+        assert_eq!(
+            p.set_frequency(Hertz::from_mhz(80.0), seconds(2.0)),
+            Seconds::ZERO
+        );
+        assert_eq!(p.mode(), Mode::Standby);
+        assert_eq!(p.frequency(), Hertz::from_mhz(20.0));
+    }
+
+    #[test]
+    fn recovery_leaves_standby_until_commanded() {
+        let mut p = chip();
+        p.set_fault(true, seconds(1.0));
+        p.set_fault(false, seconds(5.0));
+        assert!(!p.is_faulted());
+        assert_eq!(p.mode(), Mode::Standby);
+        assert!(p.available_at(seconds(5.0)));
+        let lat = p.set_mode(Mode::Active, seconds(6.0));
+        assert!(lat.value() > 0.0, "wake goes through the normal sequence");
+        assert_eq!(p.mode(), Mode::Active);
     }
 
     #[test]

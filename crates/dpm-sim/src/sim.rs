@@ -7,21 +7,34 @@
 //! point — exactly the §4.3 feedback loop. Within the slot the simulator
 //! integrates supply and demand over `substeps` sub-intervals so charging
 //! edges and brown-outs land at the right times.
+//!
+//! ## Fault injection
+//!
+//! [`Disturbance`]s scheduled through [`Simulation::schedule`] perturb a
+//! run mid-flight: supply scaling and total charging dropouts, event
+//! storms, fail-stop processor faults (and their recoveries), permanent
+//! battery capacity fades, and battery-gauge sensor faults. The sensor
+//! faults corrupt only what the governor *observes*
+//! ([`SlotObservation::battery`] comes from the [`ChargeSensor`] gauge);
+//! the physical battery keeps its true level, so a governor that trusts a
+//! lying gauge mismanages a perfectly healthy pack — exactly the failure
+//! class a `SafetyGovernor` guard band is designed to bound.
 
 use crate::battery::{Battery, BatteryConfig};
 use crate::board::PamaBoard;
 use crate::engine::EventQueue;
 use crate::error::SimError;
 use crate::events::EventGenerator;
-use crate::meter::PowerMeter;
+use crate::meter::{ChargeSensor, PowerMeter};
 use crate::source::ChargingSource;
 use crate::stats::{SimReport, SlotRecord};
 use dpm_core::governor::{Governor, SlotObservation};
 use dpm_core::platform::Platform;
 use dpm_core::units::{seconds, Joules, Seconds};
+use serde::{Deserialize, Serialize};
 
 /// Punctual mid-run disturbances (failure injection).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Disturbance {
     /// Scale the supply by `factor` for `duration` (cloud cover, panel
     /// fault, attitude excursion).
@@ -35,6 +48,49 @@ pub enum Disturbance {
     EventBurst {
         /// Number of events injected.
         count: usize,
+    },
+    /// The charging path delivers nothing for `duration` (harness
+    /// disconnect, eclipse excursion, blown charge regulator). Unlike
+    /// `SupplyScale { factor: 0.0, .. }` it composes with an active scale
+    /// — a later scale event does not cancel the dropout.
+    ChargingDropout {
+        /// How long the supply is fully cut.
+        duration: Seconds,
+    },
+    /// Fail-stop fault on processor `index`: the chip drops to its standby
+    /// floor, contributes no throughput, and ignores governor commands
+    /// until a matching [`Disturbance::ProcessorRecover`].
+    ProcessorFault {
+        /// Board index of the chip (0 is the controller).
+        index: usize,
+    },
+    /// Clear a fail-stop fault on processor `index`; the chip rejoins in
+    /// standby and wakes at the next governor command.
+    ProcessorRecover {
+        /// Board index of the chip.
+        index: usize,
+    },
+    /// Permanently derate the battery's usable window:
+    /// `C_max ← C_min + factor·(C_max − C_min)` (see
+    /// [`Battery::fade`]). Fades compose multiplicatively.
+    BatteryFade {
+        /// Remaining fraction of the capacity window, clamped to `[0, 1]`.
+        factor: f64,
+    },
+    /// The battery gauge reads with ±`amplitude` relative error for
+    /// `duration`, deterministically seeded — physics is untouched.
+    SensorNoise {
+        /// Relative error bound (0.2 = ±20%).
+        amplitude: f64,
+        /// How long the gauge stays noisy.
+        duration: Seconds,
+        /// Seed for the per-reading error hash.
+        seed: u64,
+    },
+    /// The battery gauge freezes at its next reading for `duration`.
+    SensorStuck {
+        /// How long the gauge stays frozen.
+        duration: Seconds,
     },
 }
 
@@ -70,10 +126,12 @@ pub struct Simulation {
     battery: Battery,
     board: PamaBoard,
     meter: PowerMeter,
+    sensor: ChargeSensor,
     disturbances: EventQueue<Disturbance>,
     config: SimConfig,
     supply_scale: f64,
     supply_scale_until: Seconds,
+    dropout_until: Seconds,
 }
 
 impl Simulation {
@@ -106,10 +164,12 @@ impl Simulation {
             battery,
             board,
             meter: PowerMeter::new(),
+            sensor: ChargeSensor::new(),
             disturbances: EventQueue::new(),
             config,
             supply_scale: 1.0,
             supply_scale_until: Seconds::ZERO,
+            dropout_until: Seconds::ZERO,
         })
     }
 
@@ -152,10 +212,13 @@ impl Simulation {
 
         for slot in 0..total_slots {
             let t_slot = seconds(slot as f64 * tau.value());
+            // The governor sees the *gauge* reading, not ground truth —
+            // sensor faults corrupt the observation while the battery's
+            // physical level (and the report metrics) stay honest.
             let obs = SlotObservation {
                 slot,
                 time: t_slot,
-                battery: self.battery.level(),
+                battery: self.sensor.read(t_slot, self.battery.level()),
                 used_last,
                 supplied_last,
                 backlog: self.board.backlog(),
@@ -172,7 +235,10 @@ impl Simulation {
                 self.apply_disturbances(t, dt);
 
                 // --- supply ------------------------------------------------
-                let scale = if t.value() < self.supply_scale_until.value() {
+                let scale = if t.value() < self.dropout_until.value() {
+                    // A charging dropout overrides any concurrent scaling.
+                    0.0
+                } else if t.value() < self.supply_scale_until.value() {
                     self.supply_scale
                 } else {
                     1.0
@@ -237,6 +303,7 @@ impl Simulation {
                     used: slot_used.value(),
                     supplied: slot_supplied.value(),
                     battery: self.battery.level().value(),
+                    undersupplied: self.battery.undersupplied().value(),
                     jobs: slot_jobs,
                     backlog: self.board.backlog(),
                 });
@@ -275,6 +342,34 @@ impl Simulation {
                 }
                 Disturbance::EventBurst { count } => {
                     self.board.enqueue(count, at);
+                }
+                Disturbance::ChargingDropout { duration } => {
+                    let until = seconds(at.value() + duration.value());
+                    self.dropout_until = self.dropout_until.max(until);
+                }
+                Disturbance::ProcessorFault { index } => {
+                    self.board.set_fault(index, true, at);
+                }
+                Disturbance::ProcessorRecover { index } => {
+                    self.board.set_fault(index, false, at);
+                }
+                Disturbance::BatteryFade { factor } => {
+                    self.battery.fade(factor);
+                }
+                Disturbance::SensorNoise {
+                    amplitude,
+                    duration,
+                    seed,
+                } => {
+                    self.sensor.inject_noise(
+                        amplitude,
+                        seconds(at.value() + duration.value()),
+                        seed,
+                    );
+                }
+                Disturbance::SensorStuck { duration } => {
+                    self.sensor
+                        .inject_stuck(seconds(at.value() + duration.value()));
                 }
             }
         }
@@ -430,6 +525,180 @@ mod tests {
         assert!(report.jobs_done >= 15, "{}", report.jobs_done);
         let last = report.slots.last().unwrap();
         assert!(last.backlog > 0);
+    }
+
+    #[test]
+    fn charging_dropout_overrides_supply_scaling() {
+        let mut s = sim(0.2);
+        // A generous scale-up arrives first, then a dropout cuts supply
+        // entirely for the rest of the first charging phase.
+        s.schedule(
+            seconds(0.0),
+            Disturbance::SupplyScale {
+                factor: 2.0,
+                duration: seconds(28.8),
+            },
+        );
+        s.schedule(
+            seconds(4.8),
+            Disturbance::ChargingDropout {
+                duration: seconds(24.0),
+            },
+        );
+        let r = s.run(&mut Pinned(OperatingPoint::OFF)).unwrap();
+        // The same scale-up with no dropout: both charging phases at 2×.
+        let mut only_scale = sim(0.2);
+        only_scale.schedule(
+            seconds(0.0),
+            Disturbance::SupplyScale {
+                factor: 2.0,
+                duration: seconds(28.8),
+            },
+        );
+        let r_scale = only_scale.run(&mut Pinned(OperatingPoint::OFF)).unwrap();
+        let baseline = sim(0.2).run(&mut Pinned(OperatingPoint::OFF)).unwrap();
+        // One doubled slot, five dropped slots, one untouched period:
+        // below even the undisturbed supply, and far below scale-only —
+        // the dropout beat the concurrent 2× scale.
+        assert!(
+            r.offered < baseline.offered && r.offered < 0.5 * r_scale.offered,
+            "{} vs baseline {} and scale-only {}",
+            r.offered,
+            baseline.offered,
+            r_scale.offered
+        );
+    }
+
+    #[test]
+    fn processor_fault_and_recovery_change_throughput() {
+        // A deep backlog keeps the board capacity-limited, and commanding
+        // all 7 workers leaves no healthy spares to route around faults.
+        let point = OperatingPoint::new(7, Hertz::from_mhz(20.0), volts(3.3));
+        let burst = Disturbance::EventBurst { count: 500 };
+        let mut s = sim(0.0);
+        s.schedule(seconds(0.0), burst);
+        let healthy = s.run(&mut Pinned(point)).unwrap();
+        // Kill every worker chip for the whole run: zero throughput.
+        let mut s = sim(0.0);
+        s.schedule(seconds(0.0), burst);
+        for index in 1..8 {
+            s.schedule(seconds(0.0), Disturbance::ProcessorFault { index });
+        }
+        let faulted = s.run(&mut Pinned(point)).unwrap();
+        assert!(healthy.jobs_done > 0);
+        assert_eq!(faulted.jobs_done, 0, "no healthy workers, no jobs");
+        // Recovery part-way through restores some capacity.
+        let mut s = sim(0.0);
+        s.schedule(seconds(0.0), burst);
+        for index in 1..8 {
+            s.schedule(seconds(0.0), Disturbance::ProcessorFault { index });
+            s.schedule(seconds(57.6), Disturbance::ProcessorRecover { index });
+        }
+        let recovered = s.run(&mut Pinned(point)).unwrap();
+        assert!(
+            recovered.jobs_done > faulted.jobs_done && recovered.jobs_done < healthy.jobs_done,
+            "{} / {} / {}",
+            faulted.jobs_done,
+            recovered.jobs_done,
+            healthy.jobs_done
+        );
+    }
+
+    #[test]
+    fn battery_fade_spills_charge_as_waste() {
+        let mut s = sim(0.2);
+        // Halve the window while the battery holds 8 J: the excess above
+        // the new C_max spills immediately and later charging tops out low.
+        s.schedule(seconds(0.1), Disturbance::BatteryFade { factor: 0.25 });
+        let r = s.run(&mut Pinned(OperatingPoint::OFF)).unwrap();
+        let limits = Platform::pama().battery;
+        let faded_cmax = limits.c_min.value() + 0.25 * limits.window().value();
+        assert!(
+            r.final_battery <= faded_cmax + 1e-9,
+            "{} > {}",
+            r.final_battery,
+            faded_cmax
+        );
+        let baseline = sim(0.2).run(&mut Pinned(OperatingPoint::OFF)).unwrap();
+        assert!(r.wasted > baseline.wasted);
+    }
+
+    #[test]
+    fn stuck_sensor_lies_to_the_governor_not_the_report() {
+        /// Records what it was told about the battery each slot.
+        struct Recorder(Vec<f64>);
+        impl Governor for Recorder {
+            fn name(&self) -> &str {
+                "recorder"
+            }
+            fn decide(
+                &mut self,
+                o: &SlotObservation,
+            ) -> Result<OperatingPoint, dpm_core::error::DpmError> {
+                self.0.push(o.battery.value());
+                Ok(OperatingPoint::OFF)
+            }
+        }
+        let mut s = sim(0.2);
+        s.schedule(
+            seconds(0.0),
+            Disturbance::SensorStuck {
+                duration: seconds(1e9),
+            },
+        );
+        let mut g = Recorder(Vec::new());
+        let r = s.run(&mut g).unwrap();
+        // Slot 0's observation is taken before the event fires (the slot
+        // decision precedes the sub-step loop); the stuck gauge captures
+        // its next reading, so slot 1 onward repeats slot 1's value.
+        let frozen = g.0[1];
+        assert!(
+            g.0[2..].iter().all(|b| (b - frozen).abs() < 1e-12),
+            "{:?}",
+            g.0
+        );
+        // Physics was untouched: the reported trajectory matches a run
+        // with a healthy gauge, even though the governor saw a flat line.
+        let clean = sim(0.2).run(&mut Pinned(OperatingPoint::OFF)).unwrap();
+        assert!((r.final_battery - clean.final_battery).abs() < 1e-9);
+        assert!((r.final_battery - frozen).abs() > 0.1, "gauge really lied");
+    }
+
+    #[test]
+    fn sensor_noise_is_bounded_and_report_stays_honest() {
+        let mut s = sim(0.2);
+        s.schedule(
+            seconds(0.0),
+            Disturbance::SensorNoise {
+                amplitude: 0.2,
+                duration: seconds(1e9),
+                seed: 7,
+            },
+        );
+        let noisy = s.run(&mut Pinned(OperatingPoint::OFF)).unwrap();
+        let clean = sim(0.2).run(&mut Pinned(OperatingPoint::OFF)).unwrap();
+        // The gauge only affects observations; a pinned governor ignores
+        // them, so the physical outcome is identical.
+        assert!((noisy.final_battery - clean.final_battery).abs() < 1e-9);
+        assert!((noisy.offered - clean.offered).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_undersupply_is_cumulative_and_matches_report() {
+        let point = OperatingPoint::new(7, Hertz::from_mhz(80.0), volts(3.3));
+        let report = sim(2.0).run(&mut Pinned(point)).unwrap();
+        assert!(report.undersupplied > 0.0);
+        let mut prev = 0.0;
+        for s in &report.slots {
+            assert!(
+                s.undersupplied + 1e-12 >= prev,
+                "undersupply went backwards: {} < {}",
+                s.undersupplied,
+                prev
+            );
+            prev = s.undersupplied;
+        }
+        assert!((prev - report.undersupplied).abs() < 1e-12);
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub struct SlotRecord {
     pub supplied: f64,
     /// Battery level at slot end (J).
     pub battery: f64,
+    /// Cumulative undersupplied energy at slot end (J) — monotone
+    /// non-decreasing across slots; the last slot's value equals
+    /// [`SimReport::undersupplied`].
+    pub undersupplied: f64,
     /// Jobs completed this slot.
     pub jobs: u64,
     /// Backlog at slot end.
@@ -95,11 +99,12 @@ impl SimReport {
     /// Per-slot trace as CSV (header + one row per slot) for external
     /// plotting tools.
     pub fn slots_csv(&self) -> String {
-        let mut out =
-            String::from("slot,time_s,workers,freq_mhz,used_j,supplied_j,battery_j,jobs,backlog\n");
+        let mut out = String::from(
+            "slot,time_s,workers,freq_mhz,used_j,supplied_j,battery_j,undersupplied_j,jobs,backlog\n",
+        );
         for s in &self.slots {
             out.push_str(&format!(
-                "{},{:.3},{},{:.1},{:.6},{:.6},{:.6},{},{}\n",
+                "{},{:.3},{},{:.1},{:.6},{:.6},{:.6},{:.6},{},{}\n",
                 s.slot,
                 s.time,
                 s.workers,
@@ -107,6 +112,7 @@ impl SimReport {
                 s.used,
                 s.supplied,
                 s.battery,
+                s.undersupplied,
                 s.jobs,
                 s.backlog
             ));
@@ -124,6 +130,87 @@ impl SimReport {
             self.jobs_done,
             100.0 * self.utilization()
         )
+    }
+}
+
+/// Survival metrics of one run under fault injection — the fault-campaign
+/// CSV rows are built from this (DESIGN.md §9 defines each metric).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurvivalReport {
+    /// Governor under test.
+    pub governor: String,
+    /// Guard band above `C_min` (J) the metrics are computed against.
+    pub guard_band: f64,
+    /// `true` when the run never browned out: zero undersupplied energy
+    /// and the battery trace stayed strictly above `C_min`.
+    pub survived: bool,
+    /// Deepest battery charge observed at any slot boundary (J).
+    pub deepest_charge: f64,
+    /// Total simulated time spent at or below `C_min + guard_band` (s),
+    /// counted in whole slots from the trace.
+    pub time_below_guard: f64,
+    /// Total undersupplied energy (J).
+    pub undersupplied: f64,
+    /// Events dropped at the backlog cap.
+    pub missed_events: u64,
+    /// Duration of the *first* excursion below the guard threshold (s):
+    /// from the slot that first dips below it to the slot that climbs back
+    /// above, or to the end of the run when it never recovers. `0` when
+    /// the trajectory never enters the guard band.
+    pub recovery_latency: f64,
+    /// Degradation/recovery transitions the governor recorded (0 for a
+    /// bare governor with no safety wrapper).
+    pub degradations: u64,
+    /// Jobs completed despite the faults.
+    pub jobs_done: u64,
+}
+
+impl SurvivalReport {
+    /// Derive the survival metrics from a traced run. `c_min` and
+    /// `guard_band` are in joules; `degradations` comes from the governor
+    /// (a [`SafetyGovernor`](dpm_core::runtime) trace length, or 0).
+    ///
+    /// Requires a run with `SimConfig::trace = true`; with an empty trace
+    /// the time-resolved metrics fall back to the endpoint levels only.
+    pub fn from_report(r: &SimReport, c_min: f64, guard_band: f64, degradations: u64) -> Self {
+        let threshold = c_min + guard_band;
+        let slot_dt = if r.slots.is_empty() {
+            0.0
+        } else {
+            r.duration / r.slots.len() as f64
+        };
+        let mut deepest = r.initial_battery.min(r.final_battery);
+        let mut time_below = 0.0;
+        let mut first_dip: Option<f64> = None;
+        let mut recovery: Option<f64> = None;
+        for s in &r.slots {
+            deepest = deepest.min(s.battery);
+            if s.battery <= threshold {
+                time_below += slot_dt;
+                if first_dip.is_none() {
+                    first_dip = Some(s.time);
+                }
+            } else if let (Some(dip), None) = (first_dip, recovery) {
+                recovery = Some(s.time - dip);
+            }
+        }
+        let recovery_latency = match (first_dip, recovery) {
+            (Some(dip), None) => r.duration - dip,
+            (_, Some(lat)) => lat,
+            (None, None) => 0.0,
+        };
+        Self {
+            governor: r.governor.clone(),
+            guard_band,
+            survived: r.undersupplied <= 1e-9 && deepest > c_min + 1e-9,
+            deepest_charge: deepest,
+            time_below_guard: time_below,
+            undersupplied: r.undersupplied,
+            missed_events: r.dropped,
+            recovery_latency,
+            degradations,
+            jobs_done: r.jobs_done,
+        }
     }
 }
 
@@ -180,6 +267,7 @@ mod tests {
             used: 5.0,
             supplied: 6.0,
             battery: 8.0,
+            undersupplied: 0.25,
             jobs: 2,
             backlog: 1,
         });
@@ -187,7 +275,74 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("slot,time_s"));
+        assert!(lines[0].contains("undersupplied_j"));
         assert!(lines[1].starts_with("0,0.000,3,40.0"));
+        assert!(lines[1].contains(",0.250000,"));
+    }
+
+    fn slot(slot: u64, time: f64, battery: f64) -> SlotRecord {
+        SlotRecord {
+            slot,
+            time,
+            workers: 1,
+            freq_mhz: 20.0,
+            used: 0.0,
+            supplied: 0.0,
+            battery,
+            undersupplied: 0.0,
+            jobs: 0,
+            backlog: 0,
+        }
+    }
+
+    #[test]
+    fn survival_metrics_track_the_guard_band_excursion() {
+        let mut r = report();
+        r.undersupplied = 0.0;
+        r.duration = 40.0; // 4 slots of 10 s
+        r.slots = vec![
+            slot(0, 0.0, 8.0),
+            slot(1, 10.0, 2.0), // dips below 0.5 + 2.0
+            slot(2, 20.0, 2.4),
+            slot(3, 30.0, 6.0), // recovered
+        ];
+        let s = SurvivalReport::from_report(&r, 0.5, 2.0, 3);
+        assert!(s.survived);
+        assert!((s.deepest_charge - 2.0).abs() < 1e-12);
+        assert!((s.time_below_guard - 20.0).abs() < 1e-12);
+        // First dip at the slot starting t = 10, back above at the slot
+        // starting t = 30: a 20 s excursion.
+        assert!(
+            (s.recovery_latency - 20.0).abs() < 1e-12,
+            "{}",
+            s.recovery_latency
+        );
+        assert_eq!(s.degradations, 3);
+    }
+
+    #[test]
+    fn survival_flags_a_breach_and_an_unrecovered_dip() {
+        let mut r = report();
+        r.undersupplied = 1.5;
+        r.duration = 20.0;
+        r.slots = vec![slot(0, 0.0, 4.0), slot(1, 10.0, 0.5)];
+        let s = SurvivalReport::from_report(&r, 0.5, 1.0, 0);
+        assert!(!s.survived, "undersupply and a floor touch are a breach");
+        assert!((s.deepest_charge - 0.5).abs() < 1e-12);
+        // Dips at t = 10 and never recovers: latency runs to the end.
+        assert!((s.recovery_latency - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_with_no_dip_has_zero_latency() {
+        let mut r = report();
+        r.undersupplied = 0.0;
+        r.duration = 20.0;
+        r.slots = vec![slot(0, 0.0, 8.0), slot(1, 10.0, 9.0)];
+        let s = SurvivalReport::from_report(&r, 0.5, 1.0, 0);
+        assert!(s.survived);
+        assert_eq!(s.recovery_latency, 0.0);
+        assert_eq!(s.time_below_guard, 0.0);
     }
 
     #[test]

@@ -213,6 +213,55 @@ proptest! {
         }
     }
 
+    /// Cumulative undersupply in the per-slot trace is monotone
+    /// non-decreasing under *any* sequence of charging dropouts (possibly
+    /// overlapping, possibly past the horizon), and the last slot's value
+    /// equals the report total — the invariant the survival metrics in
+    /// `SurvivalReport` rely on.
+    #[test]
+    fn undersupply_monotone_under_random_dropouts(
+        dropouts in prop::collection::vec((0.0f64..110.0, 1.0f64..60.0), 0..6),
+        burst in 0usize..40,
+    ) {
+        let platform = Platform::pama();
+        let tau = platform.tau;
+        let charging = PowerSeries::constant(tau, 12, 1.5).unwrap();
+        let events = PowerSeries::constant(tau, 12, 0.4).unwrap();
+        let config = SimConfig {
+            periods: 2,
+            slots_per_period: 12,
+            substeps: 4,
+            trace: true,
+        };
+        let peak = ParetoTable::build(&platform).unwrap().peak().point;
+        let mut pinned = Pinned(peak);
+        let mut sim = Simulation::new(
+            platform,
+            Box::new(TraceSource::new(charging)),
+            Box::new(ScheduleGenerator::new(events)),
+            joules(8.0),
+            config,
+        ).unwrap();
+        for &(at, dur) in &dropouts {
+            sim.schedule(seconds(at), Disturbance::ChargingDropout { duration: seconds(dur) });
+        }
+        sim.schedule(seconds(0.0), Disturbance::EventBurst { count: burst });
+        let report = sim.run(&mut pinned).unwrap();
+        prop_assert_eq!(report.slots.len(), 24);
+        let mut prev = 0.0f64;
+        for s in &report.slots {
+            prop_assert!(
+                s.undersupplied + 1e-9 >= prev,
+                "undersupply regressed at slot {}: {} < {prev}",
+                s.slot,
+                s.undersupplied,
+            );
+            prev = s.undersupplied;
+        }
+        prop_assert!((prev - report.undersupplied).abs() < 1e-9,
+            "trace tail {prev} vs report {}", report.undersupplied);
+    }
+
     /// The simulator itself stays total even when the governor is a
     /// trivial fixed-point policy: arbitrary finite charging traces
     /// (including all-zero and single-slot) produce a report or a

@@ -1,0 +1,295 @@
+//! Seeded fault-plan generation for reproducible robustness campaigns.
+//!
+//! A [`FaultPlan`] is a named, time-sorted list of [`Disturbance`]s — the
+//! fault side of a campaign point, the same way a [`crate::Scenario`] is
+//! the workload side. [`generate`] draws a plan from a seed and a
+//! [`FaultPlanConfig`], so `(seed, config)` fully determines every fault a
+//! campaign run sees: the same pair always produces byte-identical plans,
+//! which is what lets `dpm-bench`'s campaign CSV stay identical across
+//! `--jobs` settings.
+
+use dpm_core::units::{seconds, Seconds};
+use dpm_sim::sim::{Disturbance, Simulation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Absolute injection time.
+    pub at: Seconds,
+    /// What happens.
+    pub disturbance: Disturbance,
+}
+
+/// A reproducible fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Identifier for reports (encodes the seed).
+    pub name: String,
+    /// Events sorted by injection time.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults — the control arm of a campaign.
+    pub fn quiescent() -> Self {
+        Self {
+            name: "quiescent".into(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Inject every event into `sim`'s disturbance queue.
+    pub fn schedule(&self, sim: &mut Simulation) {
+        for e in &self.events {
+            sim.schedule(e.at, e.disturbance);
+        }
+    }
+}
+
+/// Knobs for [`generate`]: how many of each fault class to draw over the
+/// horizon. Counts of zero switch a class off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlanConfig {
+    /// Injection window: all events land in `[0, horizon)`.
+    pub horizon: Seconds,
+    /// Worker chips eligible for fail-stop faults (board indices
+    /// `1..=workers`; index 0, the controller, is never faulted).
+    pub workers: usize,
+    /// Charging dropouts to draw.
+    pub dropouts: usize,
+    /// Longest single dropout.
+    pub max_dropout: Seconds,
+    /// Event bursts to draw.
+    pub bursts: usize,
+    /// Largest single burst (events).
+    pub max_burst: usize,
+    /// Fail-stop processor faults to draw; each is paired with a later
+    /// recovery inside the horizon.
+    pub processor_faults: usize,
+    /// Battery capacity fades to draw (each derates the window to a
+    /// factor in `[0.5, 0.95]`).
+    pub battery_fades: usize,
+    /// Battery-gauge glitches to draw (noise or stuck, evens/odds).
+    pub sensor_glitches: usize,
+}
+
+impl FaultPlanConfig {
+    /// A representative mixed campaign over `horizon`: a couple of
+    /// dropouts and bursts, one processor fault, one fade, one gauge
+    /// glitch — enough to exercise every degradation path without
+    /// swamping the workload.
+    pub fn standard(horizon: Seconds) -> Self {
+        Self {
+            horizon,
+            workers: 7,
+            dropouts: 2,
+            max_dropout: seconds(0.25 * horizon.value().max(0.0)),
+            bursts: 2,
+            max_burst: 40,
+            processor_faults: 1,
+            battery_fades: 1,
+            sensor_glitches: 1,
+        }
+    }
+}
+
+/// Draw a fault plan from `(seed, config)`. Deterministic: the same pair
+/// always yields the same plan. A non-positive horizon yields an empty
+/// plan.
+pub fn generate(seed: u64, config: &FaultPlanConfig) -> FaultPlan {
+    let h = config.horizon.value();
+    let name = format!("faults-{seed}");
+    if !(h > 0.0) {
+        return FaultPlan {
+            name,
+            events: Vec::new(),
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+
+    for _ in 0..config.dropouts {
+        let at = rng.gen_range(0.0..h);
+        let max_d = config.max_dropout.value().max(1e-3);
+        let duration = rng.gen_range(0.1 * max_d..max_d);
+        events.push(FaultEvent {
+            at: seconds(at),
+            disturbance: Disturbance::ChargingDropout {
+                duration: seconds(duration),
+            },
+        });
+    }
+    for _ in 0..config.bursts {
+        let at = rng.gen_range(0.0..h);
+        let count = rng.gen_range(1..=config.max_burst.max(1));
+        events.push(FaultEvent {
+            at: seconds(at),
+            disturbance: Disturbance::EventBurst { count },
+        });
+    }
+    for _ in 0..config.processor_faults.min(config.workers) {
+        let index = rng.gen_range(1..=config.workers.max(1));
+        let at = rng.gen_range(0.0..0.8 * h);
+        // Recover strictly later but still inside the horizon, so the
+        // run exercises both the degraded and the healed regime.
+        let back = rng.gen_range(at + 0.05 * h..h);
+        events.push(FaultEvent {
+            at: seconds(at),
+            disturbance: Disturbance::ProcessorFault { index },
+        });
+        events.push(FaultEvent {
+            at: seconds(back),
+            disturbance: Disturbance::ProcessorRecover { index },
+        });
+    }
+    for _ in 0..config.battery_fades {
+        let at = rng.gen_range(0.0..h);
+        let factor = rng.gen_range(0.5..0.95);
+        events.push(FaultEvent {
+            at: seconds(at),
+            disturbance: Disturbance::BatteryFade { factor },
+        });
+    }
+    for i in 0..config.sensor_glitches {
+        let at = rng.gen_range(0.0..h);
+        let duration = seconds(rng.gen_range(0.05 * h..0.3 * h));
+        let disturbance = if i % 2 == 0 {
+            Disturbance::SensorNoise {
+                amplitude: rng.gen_range(0.05..0.3),
+                duration,
+                seed: rng.gen_range(0..u64::MAX),
+            }
+        } else {
+            Disturbance::SensorStuck { duration }
+        };
+        events.push(FaultEvent {
+            at: seconds(at),
+            disturbance,
+        });
+    }
+
+    events.sort_by(|a, b| a.at.value().total_cmp(&b.at.value()));
+    FaultPlan { name, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> FaultPlanConfig {
+        FaultPlanConfig::standard(seconds(115.2))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(42, &config());
+        let b = generate(42, &config());
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn seeds_produce_different_plans() {
+        assert_ne!(generate(1, &config()).events, generate(2, &config()).events);
+    }
+
+    #[test]
+    fn events_are_sorted_and_inside_the_horizon() {
+        let plan = generate(7, &config());
+        let mut prev = 0.0;
+        for e in &plan.events {
+            assert!(e.at.value() >= prev, "{plan:?}");
+            assert!(e.at.value() < 115.2);
+            prev = e.at.value();
+        }
+    }
+
+    #[test]
+    fn processor_faults_pair_with_later_recoveries() {
+        let mut cfg = config();
+        cfg.processor_faults = 3;
+        let plan = generate(11, &cfg);
+        let faults: Vec<_> = plan
+            .events
+            .iter()
+            .filter_map(|e| match e.disturbance {
+                Disturbance::ProcessorFault { index } => Some((e.at.value(), index)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(faults.len(), 3);
+        for (at, index) in faults {
+            assert!(index >= 1 && index <= cfg.workers, "controller spared");
+            let recovered = plan.events.iter().any(|e| {
+                matches!(e.disturbance, Disturbance::ProcessorRecover { index: i } if i == index)
+                    && e.at.value() > at
+            });
+            assert!(recovered, "fault on {index} at {at} never recovers");
+        }
+    }
+
+    #[test]
+    fn zero_counts_and_horizon_give_empty_or_partial_plans() {
+        let empty = generate(
+            3,
+            &FaultPlanConfig {
+                dropouts: 0,
+                bursts: 0,
+                processor_faults: 0,
+                battery_fades: 0,
+                sensor_glitches: 0,
+                ..config()
+            },
+        );
+        assert!(empty.is_empty());
+        assert!(generate(3, &FaultPlanConfig::standard(seconds(0.0))).is_empty());
+        assert_eq!(FaultPlan::quiescent().len(), 0);
+    }
+
+    #[test]
+    fn plans_schedule_into_a_simulation() {
+        use dpm_core::platform::Platform;
+        use dpm_sim::events::ScheduleGenerator;
+        use dpm_sim::sim::SimConfig;
+        use dpm_sim::source::TraceSource;
+        let scenario = crate::scenario_one();
+        let platform = Platform::pama();
+        let mut sim = Simulation::new(
+            platform.clone(),
+            Box::new(TraceSource::new(scenario.charging.clone())),
+            Box::new(ScheduleGenerator::new(scenario.event_rates(&platform))),
+            scenario.initial_charge,
+            SimConfig::default(),
+        )
+        .unwrap();
+        generate(5, &config()).schedule(&mut sim);
+        // The run completes with the injected plan in place.
+        struct Off;
+        impl dpm_core::governor::Governor for Off {
+            fn name(&self) -> &str {
+                "off"
+            }
+            fn decide(
+                &mut self,
+                _o: &dpm_core::governor::SlotObservation,
+            ) -> Result<dpm_core::params::OperatingPoint, dpm_core::error::DpmError> {
+                Ok(dpm_core::params::OperatingPoint::OFF)
+            }
+        }
+        let report = sim.run(&mut Off).unwrap();
+        assert!(report.duration > 0.0);
+    }
+}

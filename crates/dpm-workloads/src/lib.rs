@@ -2,7 +2,8 @@
 //!
 //! Workload definitions for the reproduction: the paper's two evaluation
 //! scenarios ([`scenarios`]) digitized from Figures 3–4 / Tables 3 & 5,
-//! and parameterized generators ([`generator`]) for sweeps and fuzzing.
+//! parameterized generators ([`generator`]) for sweeps and fuzzing, and
+//! seeded fault plans ([`faults`]) for robustness campaigns.
 //!
 //! A [`Scenario`] bundles everything §2 calls the problem inputs — the
 //! expected charging schedule `c(t)`, the desired use-power shape
@@ -16,9 +17,11 @@
 // reject NaN, which is exactly what the validation layer is for.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod faults;
 pub mod generator;
 pub mod scenarios;
 
+pub use faults::{generate as generate_faults, FaultEvent, FaultPlan, FaultPlanConfig};
 pub use generator::{random_scenario, OrbitScenarioBuilder};
 pub use scenarios::{scenario_one, scenario_two};
 

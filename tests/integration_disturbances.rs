@@ -1,6 +1,8 @@
 //! Failure injection: §4.3's reason for existing. Supply faults, event
 //! storms, noisy panels and mis-forecasts, all absorbed by the Algorithm 3
-//! feedback loop.
+//! feedback loop — plus the graceful-degradation contract of the
+//! [`SafetyGovernor`] wrapper under the harder §9 fault classes
+//! (charging dropouts, processor fail-stops, replan failures).
 
 use dpm_bench::experiments;
 use dpm_core::platform::Platform;
@@ -212,4 +214,172 @@ fn static_governor_suffers_more_from_the_same_fault() {
 
     assert!(rp.undersupplied < rs.undersupplied);
     assert!(rp.wasted < rs.wasted);
+}
+
+/// The acceptance demonstration for the safety wrapper: under an extended
+/// charging dropout plus an event storm, a moderate static governor drains
+/// the battery to the floor and browns out — while the *same* governor
+/// wrapped in a [`SafetyGovernor`] sheds load inside the guard band and
+/// finishes the mission with zero undersupply, never touching `C_min`.
+#[test]
+fn safety_governor_survives_a_dropout_the_bare_governor_does_not() {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    // A point drawing ~1.12 W (≈ mean supply): sustainable in the nominal
+    // orbit, fatal across a 60 s charging dropout with a busy board.
+    let point = OperatingPoint::new(3, Hertz::from_mhz(40.0), volts(3.3));
+    let inject = |sim: &mut Simulation| {
+        // The dropout starts where the eclipse would, stretching the dark
+        // stretch to 60 s (it swallows the next sunlit phase), and the
+        // burst keeps the workers busy the whole way down.
+        sim.schedule(
+            seconds(28.8),
+            Disturbance::ChargingDropout {
+                duration: seconds(60.0),
+            },
+        );
+        sim.schedule(seconds(30.0), Disturbance::EventBurst { count: 60 });
+    };
+
+    let mut bare = dpm_baselines::StaticGovernor::new(point).unwrap();
+    let mut sim = base_sim(&platform, &s, 4);
+    inject(&mut sim);
+    let r_bare = sim.run(&mut bare).unwrap();
+    assert!(
+        r_bare.undersupplied > 1.0,
+        "the bare governor must brown out for this demo to mean anything; \
+         undersupplied {}",
+        r_bare.undersupplied
+    );
+    let bare_deepest = r_bare
+        .slots
+        .iter()
+        .map(|sl| sl.battery)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        bare_deepest <= platform.battery.c_min.value() + 0.1,
+        "bare run rides the floor, got {bare_deepest}"
+    );
+
+    // Guard band sized to one full-draw slot (~5.4 J) plus headroom, and a
+    // shed step deep enough to jump straight to the standby floor.
+    let config = SafetyConfig {
+        guard_band: joules(6.0),
+        recover_band: joules(8.0),
+        shed_step: 64,
+        max_replan_failures: 3,
+        backoff_slots: 1,
+    };
+    let inner = dpm_baselines::StaticGovernor::new(point).unwrap();
+    let mut safe = SafetyGovernor::new(inner, &platform, config).unwrap();
+    let mut sim = base_sim(&platform, &s, 4);
+    inject(&mut sim);
+    let r_safe = sim.run(&mut safe).unwrap();
+
+    assert_eq!(
+        r_safe.undersupplied, 0.0,
+        "the wrapped governor must never brown out"
+    );
+    for slot in &r_safe.slots {
+        assert!(
+            slot.battery > platform.battery.c_min.value() + 1e-9,
+            "slot {}: battery {} touched C_min",
+            slot.slot,
+            slot.battery
+        );
+    }
+    assert!(
+        safe.degradation_count() > 0,
+        "survival must come from recorded shed/recover transitions"
+    );
+    assert!(
+        safe.trace()
+            .iter()
+            .any(|r| matches!(r.transition, SafetyTransition::Shed { .. })),
+        "{:?}",
+        safe.trace()
+    );
+}
+
+/// A replan failure mid-run degrades to the static fallback and the run
+/// completes with a recorded transition — it does not abort.
+#[test]
+fn replan_failures_fall_back_instead_of_aborting() {
+    /// A governor whose planner dies for good at slot 6.
+    struct Flaky {
+        point: OperatingPoint,
+    }
+    impl Governor for Flaky {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn decide(&mut self, o: &SlotObservation) -> Result<OperatingPoint, DpmError> {
+            if o.slot >= 6 {
+                Err(DpmError::EmptyScheduleWindow)
+            } else {
+                Ok(self.point)
+            }
+        }
+    }
+
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let point = OperatingPoint::new(3, Hertz::from_mhz(40.0), volts(3.3));
+
+    // Bare: the sim aborts with the governor's error.
+    let mut bare = Flaky { point };
+    assert!(base_sim(&platform, &s, 2).run(&mut bare).is_err());
+
+    // Wrapped: bounded retries, then the static fallback serves the rest.
+    let inner = Flaky { point };
+    let mut safe = SafetyGovernor::with_defaults(inner, &platform).unwrap();
+    let report = base_sim(&platform, &s, 2).run(&mut safe).unwrap();
+    assert_eq!(report.slots.len(), 24, "the run completed every slot");
+    assert!(
+        safe.trace()
+            .iter()
+            .any(|r| matches!(r.transition, SafetyTransition::FallbackEngaged { .. })),
+        "{:?}",
+        safe.trace()
+    );
+}
+
+/// Cumulative undersupply in the slot trace is monotone non-decreasing and
+/// lands exactly on the report total, under stacked charging dropouts.
+#[test]
+fn undersupply_trace_is_monotone_under_dropouts() {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let mut statik = dpm_baselines::StaticGovernor::full_power(&platform).unwrap();
+    let mut sim = base_sim(&platform, &s, 4);
+    for k in 0..4u64 {
+        sim.schedule(
+            seconds(10.0 + 50.0 * k as f64),
+            Disturbance::ChargingDropout {
+                duration: seconds(15.0 + 5.0 * k as f64),
+            },
+        );
+    }
+    let report = sim.run(&mut statik).unwrap();
+    assert!(
+        report.undersupplied > 0.0,
+        "full power under dropouts starves"
+    );
+    let mut prev = 0.0;
+    for slot in &report.slots {
+        assert!(
+            slot.undersupplied + 1e-12 >= prev,
+            "slot {}: cumulative undersupply went backwards ({} < {})",
+            slot.slot,
+            slot.undersupplied,
+            prev
+        );
+        prev = slot.undersupplied;
+    }
+    let last = report.slots.last().unwrap().undersupplied;
+    assert!(
+        (last - report.undersupplied).abs() < 1e-9,
+        "trace total {last} != report total {}",
+        report.undersupplied
+    );
 }

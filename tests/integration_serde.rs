@@ -63,3 +63,88 @@ fn table1_rows_roundtrip() {
     let back: Vec<experiments::Table1Row> = serde_json::from_str(&json).unwrap();
     assert_eq!(rows, back);
 }
+
+#[test]
+fn disturbance_roundtrip() {
+    use dpm_sim::sim::Disturbance;
+    let all = vec![
+        Disturbance::SupplyScale {
+            factor: 0.5,
+            duration: seconds(20.0),
+        },
+        Disturbance::EventBurst { count: 40 },
+        Disturbance::ChargingDropout {
+            duration: seconds(60.0),
+        },
+        Disturbance::ProcessorFault { index: 3 },
+        Disturbance::ProcessorRecover { index: 3 },
+        Disturbance::BatteryFade { factor: 0.75 },
+        Disturbance::SensorNoise {
+            amplitude: 0.2,
+            duration: seconds(30.0),
+            seed: 7,
+        },
+        Disturbance::SensorStuck {
+            duration: seconds(15.0),
+        },
+    ];
+    let json = serde_json::to_string(&all).unwrap();
+    let back: Vec<Disturbance> = serde_json::from_str(&json).unwrap();
+    assert_eq!(all, back);
+}
+
+#[test]
+fn fault_plan_roundtrip() {
+    use dpm_workloads::{faults, FaultPlan, FaultPlanConfig};
+    let plan = faults::generate(42, &FaultPlanConfig::standard(seconds(230.4)));
+    assert!(!plan.is_empty());
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: FaultPlan = serde_json::from_str(&json).unwrap();
+    assert_eq!(plan, back);
+    // The config itself is part of the interchange surface too (campaign
+    // manifests record what was injected).
+    let config = FaultPlanConfig::standard(seconds(230.4));
+    let json = serde_json::to_string(&config).unwrap();
+    let back: FaultPlanConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(config, back);
+}
+
+#[test]
+fn survival_report_roundtrip() {
+    use dpm_sim::stats::SurvivalReport;
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let mut g = experiments::proposed_controller(&platform, &s).unwrap();
+    let report = experiments::run_governor(&platform, &s, &mut g, 2).unwrap();
+    let survival = SurvivalReport::from_report(&report, 0.5, 2.0, 3);
+    let json = serde_json::to_string(&survival).unwrap();
+    let back: SurvivalReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(survival, back);
+}
+
+#[test]
+fn degradation_trace_roundtrip() {
+    use dpm_core::governor::{Governor, SlotObservation};
+    use dpm_core::runtime::{DegradationRecord, SafetyGovernor};
+    use dpm_core::units::joules;
+    let platform = Platform::pama();
+    let inner = dpm_baselines::StaticGovernor::full_power(&platform).unwrap();
+    let mut safe = SafetyGovernor::with_defaults(inner, &platform).unwrap();
+    // Drive the wrapper into the guard band so the trace is non-trivial.
+    for slot in 0..4u64 {
+        let obs = SlotObservation {
+            slot,
+            time: seconds(slot as f64 * 4.8),
+            battery: joules(if slot < 2 { 1.0 } else { 8.0 }),
+            used_last: joules(0.0),
+            supplied_last: joules(0.0),
+            backlog: 0,
+        };
+        safe.decide(&obs).unwrap();
+    }
+    let trace = safe.take_trace();
+    assert!(!trace.is_empty());
+    let json = serde_json::to_string(&trace).unwrap();
+    let back: Vec<DegradationRecord> = serde_json::from_str(&json).unwrap();
+    assert_eq!(trace, back);
+}
