@@ -3,10 +3,13 @@
 # in the parallel experiment runner (a panic there would look like a lost
 # job to every caller relying on its failure-isolation contract).
 #
-# Scans every file under crates/dpm-core/src plus the dpm-bench runner
-# and campaign modules and the dpm-workloads fault-plan generator (the
-# fault-injection path must degrade through typed errors, never abort a
-# campaign), strips everything from the `#[cfg(test)]` marker onward
+# Scans every file under crates/dpm-core/src and crates/dpm-telemetry/src
+# (the observability layer must never take down the system it observes —
+# a poisoned lock degrades to recovering the data, not panicking), plus
+# the dpm-bench runner and campaign modules, the simulation engine, and
+# the dpm-workloads fault-plan generator (the fault-injection path must
+# degrade through typed errors, never abort a campaign), strips
+# everything from the `#[cfg(test)]` marker onward
 # (test modules sit at the end of each file),
 # and fails if the remainder contains `.unwrap()`, `.expect(`, `panic!`,
 # or a non-debug `assert!`/`assert_eq!`/`assert_ne!`. `debug_assert!` is
@@ -16,8 +19,11 @@ set -eu
 
 status=0
 for f in $(find crates/dpm-core/src -name '*.rs' | sort) \
+    $(find crates/dpm-telemetry/src -name '*.rs' | sort) \
     crates/dpm-bench/src/runner.rs \
     crates/dpm-bench/src/campaign.rs \
+    crates/dpm-bench/src/telemetry_out.rs \
+    crates/dpm-sim/src/sim.rs \
     crates/dpm-workloads/src/faults.rs; do
     hits=$(awk '/^#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" |
         grep -vE '^[0-9]+: *(//|//!|///)' |
@@ -30,6 +36,6 @@ for f in $(find crates/dpm-core/src -name '*.rs' | sort) \
     fi
 done
 if [ "$status" -ne 0 ]; then
-    echo "non-test code in dpm-core, the runner, the campaign, and the fault generator must return typed errors instead of panicking (DESIGN.md §7–8)." >&2
+    echo "non-test code in dpm-core, dpm-telemetry, the runner, the campaign, the simulation engine, and the fault generator must return typed errors instead of panicking (DESIGN.md §7–8)." >&2
 fi
 exit $status

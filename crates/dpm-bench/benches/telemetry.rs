@@ -1,0 +1,108 @@
+//! Telemetry overhead bench: the cost of a disabled recorder on the
+//! instrumented decide path must be near zero (the ISSUE's acceptance
+//! bar), and the enabled cost must stay small enough to leave on during
+//! experiments. Three groups:
+//!
+//! - `telemetry/micro` — raw per-op cost of `incr`/`observe`/`event`/
+//!   `span` for a disabled vs. enabled recorder.
+//! - `telemetry/decide` — a full [`DpmController::decide`] slot with
+//!   telemetry off vs. on (the real regression guard: the decide path is
+//!   instrumented unconditionally).
+//! - `telemetry/snapshot` — serializing a populated recorder to JSONL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpm_bench::experiments;
+use dpm_core::governor::{Governor, SlotObservation};
+use dpm_core::platform::Platform;
+use dpm_core::runtime::DpmController;
+use dpm_core::units::{joules, seconds};
+use dpm_telemetry::Recorder;
+use dpm_workloads::scenarios;
+use std::hint::black_box;
+
+fn bench_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry/micro");
+    for (label, rec) in [
+        ("disabled", Recorder::disabled()),
+        ("enabled", Recorder::enabled("bench")),
+    ] {
+        group.bench_with_input(BenchmarkId::new("incr", label), &rec, |b, r| {
+            b.iter(|| r.incr(black_box("bench.counter"), 1))
+        });
+        group.bench_with_input(BenchmarkId::new("observe", label), &rec, |b, r| {
+            b.iter(|| r.observe(black_box("bench.hist"), black_box(3.5)))
+        });
+        group.bench_with_input(BenchmarkId::new("event", label), &rec, |b, r| {
+            b.iter(|| r.event(black_box("bench.event"), Some(7), 33.6, &[("x", 1.0)]))
+        });
+        group.bench_with_input(BenchmarkId::new("span", label), &rec, |b, r| {
+            b.iter(|| drop(black_box(r.span("bench.span"))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let platform = Platform::pama();
+    let s = scenarios::scenario_one();
+    let alloc = experiments::initial_allocation(&platform, &s).unwrap();
+
+    let mut group = c.benchmark_group("telemetry/decide");
+    for (label, rec) in [
+        ("disabled", Recorder::disabled()),
+        ("enabled", Recorder::enabled("bench")),
+    ] {
+        let controller = DpmController::new(platform.clone(), &alloc, s.charging.clone())
+            .unwrap()
+            .with_telemetry(rec);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &controller,
+            |b, base| {
+                b.iter(|| {
+                    let mut g = base.clone();
+                    let obs = SlotObservation {
+                        slot: 1,
+                        time: seconds(platform.tau.value()),
+                        battery: s.initial_charge,
+                        used_last: joules(38.0),
+                        supplied_last: joules(40.0),
+                        backlog: 0,
+                    };
+                    black_box(g.decide(&obs))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let rec = Recorder::enabled("bench");
+    for i in 0..1000u64 {
+        rec.incr("bench.counter", 1);
+        rec.observe("bench.hist", i as f64 * 0.1);
+        rec.event("bench.event", Some(i), i as f64, &[("v", i as f64)]);
+    }
+    let mut group = c.benchmark_group("telemetry/snapshot");
+    group.bench_function("to_jsonl_1k_events", |b| {
+        b.iter(|| black_box(rec.to_jsonl().len()))
+    });
+    group.finish();
+}
+
+/// Short measurement windows: these benches track regressions, not
+/// microsecond noise.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_micro, bench_decide, bench_snapshot
+}
+criterion_main!(benches);

@@ -7,11 +7,15 @@
 //! campaign --periods 4        # shorter points
 //! campaign --jobs 4           # fan points across 4 worker threads
 //! DPM_JOBS=4 campaign         # same, via the environment
+//! campaign --telemetry t.jsonl  # structured trace + wall-clock profile
 //! ```
 //!
 //! Output is CSV on stdout (one row per point), byte-identical for any
 //! worker count; a timing summary goes to stderr. Worker-count priority:
 //! `--jobs N`, then `DPM_JOBS`, then the machine's available parallelism.
+//! `--telemetry PATH` writes the deterministic JSONL trace to `PATH` and
+//! the wall-clock span profile to `PATH.profile`; the trace is
+//! byte-identical across repeated runs and worker counts.
 //! Exit codes: 0 on success — including points where a safety-wrapped
 //! governor degraded to its fallback (that is a *result*, recorded in the
 //! `degradations` column, not an error) — 1 when a point fails outright
@@ -23,10 +27,12 @@
 
 use dpm_bench::campaign;
 use dpm_bench::runner;
+use dpm_bench::telemetry_out;
+use dpm_telemetry::Recorder;
 
 fn usage() -> String {
     format!(
-        "usage: campaign [--jobs N] [--seeds N] [--periods N]\n\
+        "usage: campaign [--jobs N] [--seeds N] [--periods N] [--telemetry PATH]\n\
          worker count: --jobs N, else ${}, else available parallelism",
         runner::JOBS_ENV,
     )
@@ -36,9 +42,17 @@ fn main() {
     let mut jobs_cli: Option<usize> = None;
     let mut seeds: u64 = campaign::DEFAULT_SEEDS;
     let mut periods: usize = campaign::DEFAULT_PERIODS;
+    let mut telemetry_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--telemetry" => match args.next() {
+                Some(path) => telemetry_path = Some(path),
+                None => {
+                    eprintln!("--telemetry requires a path\n{}", usage());
+                    std::process::exit(2);
+                }
+            },
             "--jobs" | "-j" => {
                 let value = args.next().and_then(|v| v.parse::<usize>().ok());
                 match value {
@@ -81,10 +95,20 @@ fn main() {
     }
 
     let jobs = runner::resolve_jobs(jobs_cli);
-    match campaign::run(seeds, jobs, periods) {
+    let telemetry = match telemetry_path {
+        Some(_) => Recorder::enabled("campaign"),
+        None => Recorder::disabled(),
+    };
+    match campaign::run_with(seeds, jobs, periods, &telemetry) {
         Ok(outcome) => {
             print!("{}", outcome.csv);
             eprintln!("campaign: {}", outcome.stats.summary());
+            if let Some(path) = telemetry_path {
+                if let Err(e) = telemetry_out::write_outputs(&telemetry, &path) {
+                    eprintln!("campaign: cannot write telemetry to {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
             if outcome.failures > 0 {
                 eprintln!(
                     "campaign: {} point(s) failed (see error rows)",

@@ -7,6 +7,7 @@
 //! repro --json out.json  # also dump machine-readable results
 //! repro --jobs 4         # fan Table 1's governor×scenario matrix
 //! DPM_JOBS=4 repro       # same, via the environment
+//! repro --telemetry t.jsonl  # structured trace + wall-clock profile
 //! ```
 //!
 //! The governor×scenario matrix behind Table 1 runs on the parallel
@@ -14,12 +15,18 @@
 //! count. Worker-count priority: `--jobs N`, then `DPM_JOBS`, then the
 //! machine's available parallelism.
 //!
+//! `--telemetry PATH` writes the deterministic JSONL trace to `PATH`, the
+//! wall-clock span profile to `PATH.profile`, and a summary to stderr —
+//! the trace is byte-identical across repeated runs and `--jobs`
+//! settings; stdout is untouched.
+//!
 //! Exit codes: 0 on success, 1 when an experiment fails (infeasible
 //! scenario, simulation error, unwritable output), 2 on a usage error
 //! (unknown selector, missing `--json` path, bad `--jobs` value).
 
-use dpm_bench::{experiments, format, runner};
+use dpm_bench::{experiments, format, runner, telemetry_out};
 use dpm_core::platform::Platform;
+use dpm_telemetry::Recorder;
 use dpm_workloads::scenarios;
 use serde::Serialize;
 use std::collections::BTreeSet;
@@ -41,6 +48,7 @@ struct JsonDump {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
     let mut jobs_cli: Option<usize> = None;
     let mut wanted: BTreeSet<String> = BTreeSet::new();
     let mut iter = args.into_iter();
@@ -49,6 +57,12 @@ fn main() {
             json_path = iter.next();
             if json_path.is_none() {
                 eprintln!("--json requires a path");
+                std::process::exit(2);
+            }
+        } else if a == "--telemetry" {
+            telemetry_path = iter.next();
+            if telemetry_path.is_none() {
+                eprintln!("--telemetry requires a path");
                 std::process::exit(2);
             }
         } else if a == "--jobs" || a == "-j" {
@@ -73,9 +87,19 @@ fn main() {
     }
 
     let jobs = runner::resolve_jobs(jobs_cli);
-    if let Err(e) = run(&wanted, json_path, jobs) {
+    let telemetry = match telemetry_path {
+        Some(_) => Recorder::enabled("repro"),
+        None => Recorder::disabled(),
+    };
+    if let Err(e) = run(&wanted, json_path, jobs, &telemetry) {
         eprintln!("repro: {e}");
         std::process::exit(1);
+    }
+    if let Some(path) = telemetry_path {
+        if let Err(e) = telemetry_out::write_outputs(&telemetry, &path) {
+            eprintln!("repro: cannot write telemetry to {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -83,6 +107,7 @@ fn run(
     wanted: &BTreeSet<String>,
     json_path: Option<String>,
     jobs: usize,
+    telemetry: &Recorder,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let all = wanted.is_empty();
     let want = |k: &str| all || wanted.contains(k);
@@ -106,7 +131,9 @@ fn run(
         );
     }
     if want("table2") {
-        let iters = experiments::table2_4(&platform, &s1)?;
+        let rec = telemetry.sibling();
+        let iters = experiments::table2_4_with(&platform, &s1, &rec)?;
+        telemetry.absorb("table2", &rec);
         println!(
             "{}",
             format::table2_4(
@@ -116,7 +143,9 @@ fn run(
         );
     }
     if want("table4") {
-        let iters = experiments::table2_4(&platform, &s2)?;
+        let rec = telemetry.sibling();
+        let iters = experiments::table2_4_with(&platform, &s2, &rec)?;
+        telemetry.absorb("table4", &rec);
         println!(
             "{}",
             format::table2_4(
@@ -126,7 +155,10 @@ fn run(
         );
     }
     if want("table3") {
-        let (trace, report) = experiments::table3_5(&platform, &s1, experiments::DEFAULT_PERIODS)?;
+        let rec = telemetry.sibling();
+        let (trace, report) =
+            experiments::table3_5_with(&platform, &s1, experiments::DEFAULT_PERIODS, &rec)?;
+        telemetry.absorb("table3", &rec);
         println!(
             "{}",
             format::table3_5(
@@ -138,7 +170,10 @@ fn run(
         println!();
     }
     if want("table5") {
-        let (trace, report) = experiments::table3_5(&platform, &s2, experiments::DEFAULT_PERIODS)?;
+        let rec = telemetry.sibling();
+        let (trace, report) =
+            experiments::table3_5_with(&platform, &s2, experiments::DEFAULT_PERIODS, &rec)?;
+        telemetry.absorb("table5", &rec);
         println!(
             "{}",
             format::table3_5(
@@ -150,11 +185,12 @@ fn run(
         println!();
     }
     if want("table1") {
-        let rows = experiments::table1_jobs(
+        let rows = experiments::table1_jobs_with(
             &platform,
             &[s1.clone(), s2.clone()],
             experiments::DEFAULT_PERIODS,
             jobs,
+            telemetry,
         )?;
         println!("{}", format::table1(&rows, &["Scenario 1", "Scenario 2"]));
         if let (Some(proposed), Some(statik)) = (

@@ -10,11 +10,15 @@
 //! sweep                      # all of the above
 //! sweep --jobs 4             # fan points across 4 worker threads
 //! DPM_JOBS=4 sweep           # same, via the environment
+//! sweep --telemetry t.jsonl  # structured trace + wall-clock profile
 //! ```
 //!
 //! Output is CSV on stdout (one block per sweep), byte-identical for any
 //! worker count; a timing summary goes to stderr. Worker-count priority:
 //! `--jobs N`, then `DPM_JOBS`, then the machine's available parallelism.
+//! `--telemetry PATH` writes the deterministic JSONL trace to `PATH` and
+//! the wall-clock span profile to `PATH.profile`; the trace is
+//! byte-identical across repeated runs and worker counts.
 //! Exit codes: 0 on success, 1 when a sweep point fails (infeasible
 //! scenario, simulation error — the failing point emits an `error` CSV row
 //! and the remaining points still run), 2 on a usage error.
@@ -24,10 +28,12 @@
 
 use dpm_bench::runner;
 use dpm_bench::sweeps;
+use dpm_bench::telemetry_out;
+use dpm_telemetry::Recorder;
 
 fn usage() -> String {
     format!(
-        "usage: sweep [--jobs N] [{}]...\n\
+        "usage: sweep [--jobs N] [--telemetry PATH] [{}]...\n\
          worker count: --jobs N, else ${}, else available parallelism",
         sweeps::SWEEP_NAMES.join("|"),
         runner::JOBS_ENV,
@@ -37,9 +43,17 @@ fn usage() -> String {
 fn main() {
     let mut selected: Vec<String> = Vec::new();
     let mut jobs_cli: Option<usize> = None;
+    let mut telemetry_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--telemetry" => match args.next() {
+                Some(path) => telemetry_path = Some(path),
+                None => {
+                    eprintln!("--telemetry requires a path\n{}", usage());
+                    std::process::exit(2);
+                }
+            },
             "--jobs" | "-j" => {
                 let value = args.next().and_then(|v| v.parse::<usize>().ok());
                 match value {
@@ -63,10 +77,20 @@ fn main() {
     }
 
     let jobs = runner::resolve_jobs(jobs_cli);
-    match sweeps::run(&selected, jobs, sweeps::DEFAULT_PERIODS) {
+    let telemetry = match telemetry_path {
+        Some(_) => Recorder::enabled("sweep"),
+        None => Recorder::disabled(),
+    };
+    match sweeps::run_with(&selected, jobs, sweeps::DEFAULT_PERIODS, &telemetry) {
         Ok(outcome) => {
             print!("{}", outcome.csv);
             eprintln!("sweep: {}", outcome.stats.summary());
+            if let Some(path) = telemetry_path {
+                if let Err(e) = telemetry_out::write_outputs(&telemetry, &path) {
+                    eprintln!("sweep: cannot write telemetry to {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
             if outcome.failures > 0 {
                 eprintln!(
                     "sweep: {} point(s) failed (see error rows)",

@@ -31,6 +31,7 @@ use dpm_core::platform::Platform;
 use dpm_core::runtime::{DpmController, SafetyConfig, SafetyGovernor};
 use dpm_core::units::seconds;
 use dpm_sim::prelude::*;
+use dpm_telemetry::Recorder;
 use dpm_workloads::{faults, scenarios, FaultPlanConfig, Scenario};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -74,6 +75,23 @@ pub struct CampaignOutcome {
 /// failures do not abort the run; they appear as error rows and in
 /// [`CampaignOutcome::failures`].
 pub fn run(seeds: u64, jobs: usize, periods: usize) -> Result<CampaignOutcome, SimError> {
+    run_with(seeds, jobs, periods, &Recorder::disabled())
+}
+
+/// [`run`] with telemetry: each point records into its own sibling
+/// recorder (controller counters, per-slot simulator events, the safety
+/// wrapper's `safety.*` degradation events, and `sim.disturbance` events
+/// from the fault plan), absorbed into `telemetry` in point order as
+/// `campaign/{governor}/{seed}` — byte-identical for any worker count.
+///
+/// # Errors
+/// Same contract as [`run`].
+pub fn run_with(
+    seeds: u64,
+    jobs: usize,
+    periods: usize,
+    telemetry: &Recorder,
+) -> Result<CampaignOutcome, SimError> {
     let platform = Arc::new(Platform::pama());
     let scenario = Arc::new(scenarios::scenario_one());
     let mut points = Vec::with_capacity(seeds as usize * GOVERNOR_NAMES.len());
@@ -90,7 +108,17 @@ pub fn run(seeds: u64, jobs: usize, periods: usize) -> Result<CampaignOutcome, S
     }
 
     let cache = AllocCache::new();
-    let (results, stats) = runner::run_indexed(&points, jobs, |_, p| run_point(p, &cache));
+    let siblings: Vec<Recorder> = points.iter().map(|_| telemetry.sibling()).collect();
+    let (results, stats) = runner::run_indexed(&points, jobs, |i, p| {
+        run_point_with(p, &cache, &siblings[i])
+    });
+    for (point, sibling) in points.iter().zip(&siblings) {
+        telemetry.absorb(
+            &format!("campaign/{}/{}", point.governor, point.seed),
+            sibling,
+        );
+    }
+    stats.record_into(telemetry, "campaign");
 
     let mut csv = String::from(
         "scenario,seed,governor,survived,deepest_j,below_guard_s,undersupplied_j,\
@@ -147,8 +175,13 @@ fn sanitize(msg: &str) -> String {
     msg.replace([',', '\n', '\r'], ";")
 }
 
-/// Run one governor arm against one seeded fault plan.
-fn run_point(point: &CampaignPoint, cache: &AllocCache) -> Result<SurvivalReport, SimError> {
+/// Run one governor arm against one seeded fault plan, recording into the
+/// point's own recorder (sequential within the job, so deterministic).
+fn run_point_with(
+    point: &CampaignPoint,
+    cache: &AllocCache,
+    telemetry: &Recorder,
+) -> Result<SurvivalReport, SimError> {
     let platform = point.platform.as_ref();
     let scenario = point.scenario.as_ref();
     let slots = scenario.charging.len();
@@ -168,6 +201,7 @@ fn run_point(point: &CampaignPoint, cache: &AllocCache) -> Result<SurvivalReport
         },
     )?;
     plan.schedule(&mut sim);
+    let sim = sim.with_telemetry(telemetry.clone());
 
     let safety = SafetyConfig::default_for(platform);
     let c_min = platform.battery.c_min.value();
@@ -176,13 +210,16 @@ fn run_point(point: &CampaignPoint, cache: &AllocCache) -> Result<SurvivalReport
     let (report, degradations) = match point.governor {
         "proposed" => {
             let alloc = cache.allocation(platform, scenario)?;
-            let mut g = DpmController::new(platform.clone(), &alloc, scenario.charging.clone())?;
+            let mut g = DpmController::new(platform.clone(), &alloc, scenario.charging.clone())?
+                .with_telemetry(telemetry.clone());
             (sim.run(&mut g)?, 0)
         }
         "proposed+safe" => {
             let alloc = cache.allocation(platform, scenario)?;
-            let inner = DpmController::new(platform.clone(), &alloc, scenario.charging.clone())?;
-            let mut g = SafetyGovernor::new(inner, platform, safety)?;
+            let inner = DpmController::new(platform.clone(), &alloc, scenario.charging.clone())?
+                .with_telemetry(telemetry.clone());
+            let mut g =
+                SafetyGovernor::new(inner, platform, safety)?.with_telemetry(telemetry.clone());
             let r = sim.run(&mut g)?;
             let d = g.degradation_count();
             (r, d)
@@ -193,7 +230,8 @@ fn run_point(point: &CampaignPoint, cache: &AllocCache) -> Result<SurvivalReport
         }
         _ => {
             let inner = StaticGovernor::full_power(platform)?;
-            let mut g = SafetyGovernor::new(inner, platform, safety)?;
+            let mut g =
+                SafetyGovernor::new(inner, platform, safety)?.with_telemetry(telemetry.clone());
             let r = sim.run(&mut g)?;
             let d = g.degradation_count();
             (r, d)

@@ -16,6 +16,7 @@ use dpm_core::platform::Platform;
 use dpm_core::runtime::{ControllerRecord, DpmController};
 use dpm_core::units::Joules;
 use dpm_sim::prelude::*;
+use dpm_telemetry::Recorder;
 use dpm_workloads::Scenario;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -83,6 +84,23 @@ pub fn run_governor(
     periods: usize,
 ) -> Result<SimReport, SimError> {
     simulation(platform, scenario, periods)?.run(governor)
+}
+
+/// [`run_governor`] with the simulation's telemetry wired to `telemetry`
+/// (per-slot events, disturbance events, end-of-run gauges).
+///
+/// # Errors
+/// Propagates [`SimError`] from assembly or the run itself.
+pub fn run_governor_with(
+    platform: &Platform,
+    scenario: &Scenario,
+    governor: &mut dyn Governor,
+    periods: usize,
+    telemetry: &Recorder,
+) -> Result<SimReport, SimError> {
+    simulation(platform, scenario, periods)?
+        .with_telemetry(telemetry.clone())
+        .run(governor)
 }
 
 /// Memoized §4.1 initial allocations.
@@ -198,14 +216,31 @@ impl GovernorSpec {
         scenario: &Scenario,
         cache: &AllocCache,
     ) -> Result<Box<dyn Governor>, DpmError> {
+        self.build_with(platform, scenario, cache, &Recorder::disabled())
+    }
+
+    /// [`Self::build`], wiring `telemetry` into governors that support it
+    /// (currently the proposed controller's per-decide instrumentation).
+    /// The [`AllocCache`] itself stays uninstrumented: which worker takes
+    /// a cache miss is scheduling-dependent, and attributing it would
+    /// break the trace's `--jobs` independence.
+    ///
+    /// # Errors
+    /// Propagates [`DpmError`] from allocation or governor construction.
+    pub fn build_with(
+        self,
+        platform: &Platform,
+        scenario: &Scenario,
+        cache: &AllocCache,
+        telemetry: &Recorder,
+    ) -> Result<Box<dyn Governor>, DpmError> {
         Ok(match self {
             Self::Proposed => {
                 let alloc = cache.allocation(platform, scenario)?;
-                Box::new(DpmController::new(
-                    platform.clone(),
-                    &alloc,
-                    scenario.charging.clone(),
-                )?)
+                Box::new(
+                    DpmController::new(platform.clone(), &alloc, scenario.charging.clone())?
+                        .with_telemetry(telemetry.clone()),
+                )
             }
             Self::Static => Box::new(StaticGovernor::full_power(platform)?),
             Self::Timeout => {
@@ -265,19 +300,41 @@ pub fn run_matrix(
     cells: &[MatrixCell],
     jobs: usize,
 ) -> (Vec<Result<SimReport, SimError>>, runner::RunStats) {
+    run_matrix_with(cells, jobs, &Recorder::disabled(), "matrix")
+}
+
+/// [`run_matrix`] with telemetry: each cell records into its own sibling
+/// recorder (governor decide counters, per-slot simulator events), and the
+/// siblings are absorbed into `telemetry` **in cell order** on the calling
+/// thread under `{scope}/{governor}/{cell_index}` — so the merged trace is
+/// byte-identical for any `jobs` value. Wall-clock job timings land in the
+/// `{scope}.job`/`{scope}.run` spans (profile only).
+pub fn run_matrix_with(
+    cells: &[MatrixCell],
+    jobs: usize,
+    telemetry: &Recorder,
+    scope: &str,
+) -> (Vec<Result<SimReport, SimError>>, runner::RunStats) {
     let cache = AllocCache::new();
+    let siblings: Vec<Recorder> = cells.iter().map(|_| telemetry.sibling()).collect();
     let (results, stats) =
-        runner::run_indexed(cells, jobs, |_, cell| -> Result<SimReport, SimError> {
-            let mut governor = cell
-                .governor
-                .build(&cell.platform, &cell.scenario, &cache)?;
-            run_governor(
+        runner::run_indexed(cells, jobs, |i, cell| -> Result<SimReport, SimError> {
+            let rec = &siblings[i];
+            let mut governor =
+                cell.governor
+                    .build_with(&cell.platform, &cell.scenario, &cache, rec)?;
+            run_governor_with(
                 &cell.platform,
                 &cell.scenario,
                 governor.as_mut(),
                 cell.periods,
+                rec,
             )
         });
+    for (i, (cell, sibling)) in cells.iter().zip(&siblings).enumerate() {
+        telemetry.absorb(&format!("{scope}/{}/{i}", cell.governor.label()), sibling);
+    }
+    stats.record_into(telemetry, scope);
     let results = results
         .into_iter()
         .map(|slot| match slot {
@@ -327,6 +384,21 @@ pub fn table1_jobs(
     periods: usize,
     jobs: usize,
 ) -> Result<Vec<Table1Row>, SimError> {
+    table1_jobs_with(platform, scenarios, periods, jobs, &Recorder::disabled())
+}
+
+/// [`table1_jobs`] with the matrix recorded into `telemetry` under the
+/// `table1` scope (see [`run_matrix_with`] for the determinism contract).
+///
+/// # Errors
+/// Propagates the first (in row order) [`SimError`] from any cell.
+pub fn table1_jobs_with(
+    platform: &Platform,
+    scenarios: &[Scenario],
+    periods: usize,
+    jobs: usize,
+    telemetry: &Recorder,
+) -> Result<Vec<Table1Row>, SimError> {
     let platform = Arc::new(platform.clone());
     let scenarios: Vec<Arc<Scenario>> = scenarios.iter().cloned().map(Arc::new).collect();
     let mut cells: Vec<MatrixCell> = Vec::with_capacity(GovernorSpec::ALL.len() * scenarios.len());
@@ -340,7 +412,7 @@ pub fn table1_jobs(
             });
         }
     }
-    let (results, _stats) = run_matrix(&cells, jobs);
+    let (results, _stats) = run_matrix_with(&cells, jobs, telemetry, "table1");
 
     let mut rows = Vec::with_capacity(GovernorSpec::ALL.len());
     let mut it = results.into_iter();
@@ -371,6 +443,24 @@ pub fn table2_4(
     Ok(initial_allocation(platform, scenario)?.iterations)
 }
 
+/// [`table2_4`] with the Algorithm 1 run recorded into `telemetry`
+/// (`alloc.compute.calls`/`alloc.reshape.iterations` counters, an
+/// `alloc.iterations` histogram, and a convergence event).
+///
+/// # Errors
+/// Propagates [`DpmError`] when the allocation cannot be computed.
+pub fn table2_4_with(
+    platform: &Platform,
+    scenario: &Scenario,
+    telemetry: &Recorder,
+) -> Result<Vec<AllocationIteration>, DpmError> {
+    Ok(
+        InitialAllocator::new(scenario.allocation_problem(platform))?
+            .compute_with(telemetry)?
+            .iterations,
+    )
+}
+
 /// Tables 3/5: the runtime controller trace over `periods` periods, with
 /// the simulator supplying the "actual" energies.
 ///
@@ -381,8 +471,27 @@ pub fn table3_5(
     scenario: &Scenario,
     periods: usize,
 ) -> Result<(Vec<ControllerRecord>, SimReport), SimError> {
-    let mut governor = proposed_controller(platform, scenario)?;
-    let report = run_governor(platform, scenario, &mut governor, periods)?;
+    table3_5_with(platform, scenario, periods, &Recorder::disabled())
+}
+
+/// [`table3_5`] with the allocation, controller, and simulation all
+/// recording into `telemetry` (this path is serial, so one shared recorder
+/// is deterministic as-is — no sibling/absorb dance needed).
+///
+/// # Errors
+/// Propagates [`SimError`] from the controller or the run.
+pub fn table3_5_with(
+    platform: &Platform,
+    scenario: &Scenario,
+    periods: usize,
+    telemetry: &Recorder,
+) -> Result<(Vec<ControllerRecord>, SimReport), SimError> {
+    let alloc = InitialAllocator::new(scenario.allocation_problem(platform))?
+        .compute_with(telemetry)
+        .map_err(SimError::from)?;
+    let mut governor = DpmController::new(platform.clone(), &alloc, scenario.charging.clone())?
+        .with_telemetry(telemetry.clone());
+    let report = run_governor_with(platform, scenario, &mut governor, periods, telemetry)?;
     Ok((governor.take_trace(), report))
 }
 

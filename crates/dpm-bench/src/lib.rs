@@ -18,3 +18,4 @@ pub mod experiments;
 pub mod format;
 pub mod runner;
 pub mod sweeps;
+pub mod telemetry_out;

@@ -84,6 +84,25 @@ impl RunStats {
         self.timings.iter().map(|t| t.wall).fold(0.0, f64::max)
     }
 
+    /// Fold this run's timings into `telemetry` under `label`: each job
+    /// lands in the `{label}.job` span, the whole run in `{label}.run`,
+    /// and the job count in the `{label}.jobs` counter. Only the counts
+    /// reach the deterministic trace — the wall-clock side stays in the
+    /// profile, so traces remain byte-identical across `--jobs` settings.
+    /// (Thread count is deliberately not recorded: it varies with
+    /// `--jobs`.)
+    pub fn record_into(&self, telemetry: &dpm_telemetry::Recorder, label: &str) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        telemetry.incr(&format!("{label}.jobs"), self.jobs as u64);
+        let span = format!("{label}.job");
+        for timing in &self.timings {
+            telemetry.record_span(&span, timing.wall);
+        }
+        telemetry.record_span(&format!("{label}.run"), self.wall);
+    }
+
     /// One-line human summary for a harness's stderr diagnostics.
     pub fn summary(&self) -> String {
         format!(
@@ -223,6 +242,9 @@ const _: () = {
     assert_send_sync::<dpm_workloads::Scenario>();
     assert_send::<dpm_sim::prelude::SimReport>();
     assert_send::<dpm_sim::prelude::SimError>();
+    // Per-job sibling recorders are shared into the worker closures by
+    // reference and absorbed on the main thread afterwards.
+    assert_send_sync::<dpm_telemetry::Recorder>();
 };
 
 #[cfg(test)]

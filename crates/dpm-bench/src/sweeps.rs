@@ -26,6 +26,7 @@ use dpm_core::platform::{BatteryLimits, Platform};
 use dpm_core::runtime::DpmController;
 use dpm_core::units::joules;
 use dpm_sim::prelude::*;
+use dpm_telemetry::Recorder;
 use dpm_workloads::{scenarios, OrbitScenarioBuilder, Scenario};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -77,6 +78,22 @@ pub struct SweepOutcome {
 /// abort the run; they appear as error rows and in
 /// [`SweepOutcome::failures`].
 pub fn run(selected: &[String], jobs: usize, periods: usize) -> Result<SweepOutcome, SimError> {
+    run_with(selected, jobs, periods, &Recorder::disabled())
+}
+
+/// [`run`] with telemetry: each point records into its own sibling
+/// recorder (sub-scoped `proposed`/`static` per governor run), absorbed
+/// into `telemetry` in point order as `sweep/{name}/{index}` — so the
+/// trace, like the CSV, is byte-identical for any worker count.
+///
+/// # Errors
+/// Same contract as [`run`].
+pub fn run_with(
+    selected: &[String],
+    jobs: usize,
+    periods: usize,
+    telemetry: &Recorder,
+) -> Result<SweepOutcome, SimError> {
     let all = selected.is_empty();
     let want = |k: &str| all || selected.iter().any(|a| a == k);
 
@@ -95,7 +112,13 @@ pub fn run(selected: &[String], jobs: usize, periods: usize) -> Result<SweepOutc
     }
 
     let cache = AllocCache::new();
-    let (results, stats) = runner::run_indexed(&points, jobs, |_, p| run_pair(p, &cache));
+    let siblings: Vec<Recorder> = points.iter().map(|_| telemetry.sibling()).collect();
+    let (results, stats) =
+        runner::run_indexed(&points, jobs, |i, p| run_pair_with(p, &cache, &siblings[i]));
+    for (i, (point, sibling)) in points.iter().zip(&siblings).enumerate() {
+        telemetry.absorb(&format!("sweep/{}/{i}", point.sweep), sibling);
+    }
+    stats.record_into(telemetry, "sweep");
 
     let mut csv = String::new();
     let mut failures = 0usize;
@@ -176,9 +199,14 @@ fn sim_steps_per_run(point: &SweepPoint) -> u64 {
     (point.periods * point.scenario.charging.len() * 8) as u64
 }
 
-/// Run the proposed controller and the static comparator on one point.
-fn run_pair(point: &SweepPoint, cache: &AllocCache) -> PairResult {
-    let run = |gov: &mut dyn dpm_core::governor::Governor| -> Result<SimReport, SimError> {
+/// Run the proposed controller and the static comparator on one point,
+/// each recording into its own sub-scope of `telemetry` (the point's
+/// sibling recorder — everything here is sequential within the job, so
+/// the sub-scopes are absorbed deterministically).
+fn run_pair_with(point: &SweepPoint, cache: &AllocCache, telemetry: &Recorder) -> PairResult {
+    let run = |gov: &mut dyn dpm_core::governor::Governor,
+               rec: &Recorder|
+     -> Result<SimReport, SimError> {
         let source: Box<dyn ChargingSource> = match point.seed {
             Some(s) => Box::new(NoisySource::new(
                 TraceSource::new(point.scenario.charging.clone()),
@@ -202,17 +230,23 @@ fn run_pair(point: &SweepPoint, cache: &AllocCache) -> PairResult {
                 trace: false,
             },
         )?
+        .with_telemetry(rec.clone())
         .run(gov)
     };
     let alloc = cache.allocation(&point.platform, &point.scenario)?;
+    let proposed_rec = telemetry.sibling();
     let mut proposed = DpmController::new(
         point.platform.as_ref().clone(),
         &alloc,
         point.scenario.charging.clone(),
-    )?;
-    let rp = run(&mut proposed)?;
+    )?
+    .with_telemetry(proposed_rec.clone());
+    let rp = run(&mut proposed, &proposed_rec)?;
+    telemetry.absorb("proposed", &proposed_rec);
+    let static_rec = telemetry.sibling();
     let mut statik = StaticGovernor::full_power(&point.platform)?;
-    let rs = run(&mut statik)?;
+    let rs = run(&mut statik, &static_rec)?;
+    telemetry.absorb("static", &static_rec);
     Ok((rp, rs))
 }
 

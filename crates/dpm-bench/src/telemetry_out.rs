@@ -1,0 +1,27 @@
+//! Shared `--telemetry <path>` output routine for the harness binaries.
+//!
+//! The split matters: the **trace** (`<path>`, JSONL of
+//! [`dpm_telemetry::TraceLine`]) is deterministic and byte-comparable
+//! across runs and `--jobs` settings — CI diffs it. The **profile**
+//! (`<path>.profile`, JSONL of [`dpm_telemetry::ProfileLine`]) carries the
+//! wall-clock span timings and is explicitly non-reproducible. The stderr
+//! summary renders both, with the wall-clock section clearly labeled.
+
+use dpm_telemetry::Recorder;
+
+/// Write the deterministic trace to `path` and the wall-clock profile to
+/// `<path>.profile`, then print the human summary to stderr. Does nothing
+/// for a disabled recorder.
+///
+/// # Errors
+/// Propagates [`std::io::Error`] when either file cannot be written.
+pub fn write_outputs(recorder: &Recorder, path: &str) -> Result<(), std::io::Error> {
+    if !recorder.is_enabled() {
+        return Ok(());
+    }
+    std::fs::write(path, recorder.to_jsonl())?;
+    std::fs::write(format!("{path}.profile"), recorder.profile_jsonl())?;
+    eprint!("{}", recorder.summary());
+    eprintln!("telemetry: trace -> {path}, wall-clock profile -> {path}.profile");
+    Ok(())
+}

@@ -16,6 +16,7 @@ use crate::error::DpmError;
 use crate::platform::BatteryLimits;
 use crate::series::{EnergyTrajectory, PowerSeries};
 use crate::units::{Joules, Watts};
+use dpm_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 
 /// One round of the iterative allocation computation — a row pair of the
@@ -197,6 +198,44 @@ impl InitialAllocator {
         Err(DpmError::ConvergenceFailure {
             iterations: iterations.len(),
         })
+    }
+
+    /// [`Self::compute`], with the outcome recorded into `telemetry`:
+    /// counters for calls and Algorithm 1 reshape rounds, an `alloc.iterations`
+    /// histogram, and a converged/infeasible/budget-exhausted event. The
+    /// events carry slot `None` and time `0.0` — the allocation runs before
+    /// simulated time starts.
+    pub fn compute_with(&self, telemetry: &Recorder) -> Result<InitialAllocation, DpmError> {
+        let _span = telemetry.span("alloc.compute");
+        let result = self.compute();
+        telemetry.incr("alloc.compute.calls", 1);
+        match &result {
+            Ok(allocation) => {
+                let rounds = allocation.iterations.len();
+                telemetry.incr("alloc.reshape.iterations", rounds as u64);
+                telemetry.observe("alloc.iterations", rounds as f64);
+                telemetry.event(
+                    "alloc.converged",
+                    None,
+                    0.0,
+                    &[("iterations", rounds as f64)],
+                );
+            }
+            Err(DpmError::InfeasibleAllocation { iterations }) => telemetry.event(
+                "alloc.infeasible",
+                None,
+                0.0,
+                &[("iterations", *iterations as f64)],
+            ),
+            Err(DpmError::ConvergenceFailure { iterations }) => telemetry.event(
+                "alloc.convergence_failure",
+                None,
+                0.0,
+                &[("iterations", *iterations as f64)],
+            ),
+            Err(_) => {}
+        }
+        result
     }
 }
 

@@ -271,6 +271,65 @@ mod tests {
     }
 
     #[test]
+    fn alpha_boundaries_validate_exactly() {
+        // The interval is half-open (0, 1]: the upper boundary is legal
+        // (pure last-period behaviour), the lower is not.
+        assert!(ForecastMethod::ExponentialSmoothing { alpha: 1.0 }
+            .validate()
+            .is_ok());
+        assert!(ForecastMethod::ExponentialSmoothing {
+            alpha: f64::MIN_POSITIVE
+        }
+        .validate()
+        .is_ok());
+        for bad in [0.0, -0.3, 1.0 + 1e-12, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    ForecastMethod::ExponentialSmoothing { alpha: bad }.validate(),
+                    Err(DpmError::InvalidParameter { name: "alpha", .. })
+                ),
+                "alpha = {bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_window_is_rejected_end_to_end() {
+        assert!(matches!(
+            ForecastMethod::SlidingMean { window: 0 }.validate(),
+            Err(DpmError::InvalidParameter { name: "window", .. })
+        ));
+        // The constructor enforces the same check, so a bad method can
+        // never produce a running estimator.
+        assert!(matches!(
+            ScheduleEstimator::new(wrong_prior(), ForecastMethod::SlidingMean { window: 0 }),
+            Err(DpmError::InvalidParameter { name: "window", .. })
+        ));
+        assert!(ForecastMethod::SlidingMean { window: 1 }.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_history_estimator_reports_prior_and_nan_on_mismatch() {
+        // Before any observation, the estimate is exactly the prior and
+        // rmse against an equal-length truth is well-defined.
+        let e = ScheduleEstimator::new(wrong_prior(), ForecastMethod::LastPeriod).unwrap();
+        assert_eq!(e.observations(), 0);
+        assert_eq!(e.estimate(), &wrong_prior());
+        assert!(e.rmse(&wrong_prior()) < 1e-12);
+        // Length-mismatched truth degrades to NaN (telemetry, not control
+        // flow) rather than erroring or panicking.
+        let short = PowerSeries::constant(seconds(4.8), 3, 1.0).unwrap();
+        assert!(e.rmse(&short).is_nan());
+        // A zero-slot prior cannot even be constructed: the series layer
+        // rejects it, so the estimator propagates the typed error instead
+        // of running with an empty history.
+        assert!(matches!(
+            ScheduleEstimator::cold(seconds(4.8), 0, ForecastMethod::LastPeriod),
+            Err(DpmError::InvalidSeries(_))
+        ));
+    }
+
+    #[test]
     fn ignores_bad_telemetry() {
         let mut e = ScheduleEstimator::cold(seconds(4.8), 12, ForecastMethod::LastPeriod).unwrap();
         e.observe(12, 1.0); // out of range

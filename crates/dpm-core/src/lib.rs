@@ -117,4 +117,5 @@ pub mod prelude {
     pub use crate::units::{
         hertz, joules, seconds, volts, watts, Hertz, Joules, Seconds, Volts, Watts,
     };
+    pub use dpm_telemetry::{Recorder, SpanGuard};
 }

@@ -23,6 +23,7 @@ use crate::params::{OperatingPoint, ParetoTable};
 use crate::platform::Platform;
 use crate::series::PowerSeries;
 use crate::units::{watts, Joules, Watts};
+use dpm_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -74,6 +75,8 @@ pub struct DpmController {
     /// Observed/forecast supply ratio from the latest informative slot.
     supply_ratio: f64,
     trace: Vec<ControllerRecord>,
+    /// Telemetry sink (disabled by default; clones share the sink).
+    telemetry: Recorder,
 }
 
 impl DpmController {
@@ -110,7 +113,17 @@ impl DpmController {
             last_forecast_supply: Joules::ZERO,
             supply_ratio: 1.0,
             trace: Vec::new(),
+            telemetry: Recorder::disabled(),
         })
+    }
+
+    /// Attach a telemetry recorder; per-decide spans, replan counters, and
+    /// Algorithm 3 events land in it. A [`Recorder::disabled`] handle (the
+    /// default) keeps the instrumented paths at a branch's cost.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The decision trace accumulated so far.
@@ -196,6 +209,8 @@ impl Governor for DpmController {
     }
 
     fn decide(&mut self, obs: &SlotObservation) -> Result<OperatingPoint, DpmError> {
+        let _decide_span = self.telemetry.span("core.decide");
+        self.telemetry.incr("core.decide.calls", 1);
         let tau = self.platform.tau;
         let bounds = self.power_bounds();
 
@@ -219,7 +234,7 @@ impl Governor for DpmController {
                 .map(|i| self.forecast_at(obs.slot, i) * self.supply_ratio)
                 .collect();
             let mut plan: Vec<f64> = self.plan.iter().copied().collect();
-            redistribute(
+            let outcome = redistribute(
                 &mut plan,
                 &charging,
                 tau,
@@ -229,6 +244,19 @@ impl Governor for DpmController {
                 bounds,
             )?;
             self.plan = plan.into();
+            self.telemetry.incr("core.replan.count", 1);
+            self.telemetry
+                .observe("core.replan.horizon_slots", outcome.horizon_slots as f64);
+            self.telemetry.event(
+                "core.replan",
+                Some(obs.slot),
+                obs.time.value(),
+                &[
+                    ("e_diff_j", e_diff.value()),
+                    ("horizon_slots", outcome.horizon_slots as f64),
+                    ("applied_j", outcome.applied.value()),
+                ],
+            );
         }
 
         // --- Algorithm 2: pick the operating point for this slot ---------

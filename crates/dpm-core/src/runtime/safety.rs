@@ -35,6 +35,7 @@ use crate::governor::{Governor, SlotObservation};
 use crate::params::{OperatingPoint, ParetoTable};
 use crate::platform::Platform;
 use crate::units::Joules;
+use dpm_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 
 /// Tunables for the safety wrapper.
@@ -173,6 +174,9 @@ pub struct SafetyGovernor<G> {
     fallback_engaged: bool,
     last_good: OperatingPoint,
     trace: Vec<DegradationRecord>,
+    /// Telemetry sink (disabled by default); every [`DegradationRecord`]
+    /// is mirrored into it as a `safety.*` event.
+    telemetry: Recorder,
 }
 
 impl<G: Governor> SafetyGovernor<G> {
@@ -206,7 +210,18 @@ impl<G: Governor> SafetyGovernor<G> {
             fallback_engaged: false,
             last_good: OperatingPoint::OFF,
             trace: Vec::new(),
+            telemetry: Recorder::disabled(),
         })
+    }
+
+    /// Attach a telemetry recorder: every degradation transition is then
+    /// emitted as a structured `safety.*` event alongside the
+    /// [`DegradationRecord`] trace (same slot, time, and payload — one
+    /// unified stream instead of two divergent ones).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Wrap `inner` with [`SafetyConfig::default_for`] the platform.
@@ -256,12 +271,71 @@ impl<G: Governor> SafetyGovernor<G> {
     }
 
     fn record(&mut self, obs: &SlotObservation, transition: SafetyTransition) {
+        self.emit(obs, &transition);
         self.trace.push(DegradationRecord {
             slot: obs.slot,
             time: obs.time.value(),
             battery: obs.battery.value(),
             transition,
         });
+    }
+
+    /// Mirror a transition into the telemetry stream.
+    fn emit(&self, obs: &SlotObservation, transition: &SafetyTransition) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.incr("safety.degradations", 1);
+        let slot = Some(obs.slot);
+        let time = obs.time.value();
+        let battery = obs.battery.value();
+        match transition {
+            SafetyTransition::Shed {
+                from_level,
+                to_level,
+            } => self.telemetry.event(
+                "safety.shed",
+                slot,
+                time,
+                &[
+                    ("battery_j", battery),
+                    ("from_level", *from_level as f64),
+                    ("to_level", *to_level as f64),
+                ],
+            ),
+            SafetyTransition::Recover {
+                from_level,
+                to_level,
+            } => self.telemetry.event(
+                "safety.recover",
+                slot,
+                time,
+                &[
+                    ("battery_j", battery),
+                    ("from_level", *from_level as f64),
+                    ("to_level", *to_level as f64),
+                ],
+            ),
+            SafetyTransition::ReplanFailed { failures, error } => self.telemetry.event_with_detail(
+                "safety.replan_failed",
+                slot,
+                time,
+                &[("battery_j", battery), ("failures", f64::from(*failures))],
+                error,
+            ),
+            SafetyTransition::ReplanRecovered { after } => self.telemetry.event(
+                "safety.replan_recovered",
+                slot,
+                time,
+                &[("battery_j", battery), ("after", f64::from(*after))],
+            ),
+            SafetyTransition::FallbackEngaged { failures } => self.telemetry.event(
+                "safety.fallback_engaged",
+                slot,
+                time,
+                &[("battery_j", battery), ("failures", f64::from(*failures))],
+            ),
+        }
     }
 
     /// What the inner layer wants this slot, with the retry/fallback

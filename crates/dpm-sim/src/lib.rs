@@ -71,4 +71,5 @@ pub mod prelude {
     pub use crate::sim::{Disturbance, SimConfig, Simulation};
     pub use crate::source::{ChargingSource, NoisySource, SolarOrbitSource, TraceSource};
     pub use crate::stats::{SimReport, SlotRecord, SurvivalReport};
+    pub use dpm_telemetry::Recorder;
 }

@@ -31,6 +31,7 @@ use crate::stats::{SimReport, SlotRecord};
 use dpm_core::governor::{Governor, SlotObservation};
 use dpm_core::platform::Platform;
 use dpm_core::units::{seconds, Joules, Seconds};
+use dpm_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 
 /// Punctual mid-run disturbances (failure injection).
@@ -132,6 +133,9 @@ pub struct Simulation {
     supply_scale: f64,
     supply_scale_until: Seconds,
     dropout_until: Seconds,
+    /// Telemetry sink (disabled by default): per-slot battery/energy
+    /// events, disturbance events, end-of-run gauges.
+    telemetry: Recorder,
 }
 
 impl Simulation {
@@ -170,7 +174,19 @@ impl Simulation {
             supply_scale: 1.0,
             supply_scale_until: Seconds::ZERO,
             dropout_until: Seconds::ZERO,
+            telemetry: Recorder::disabled(),
         })
+    }
+
+    /// Attach a telemetry recorder. Every slot emits a `sim.slot` event
+    /// (battery, energy flows, backlog, at simulated time), disturbances
+    /// emit `sim.disturbance` events as they fire, and the run's closing
+    /// balances land as `sim.*` gauges. All of it is stamped with
+    /// simulated time only, so the trace stays deterministic.
+    #[must_use = "builders return a new simulation rather than mutating in place"]
+    pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Use a non-ideal battery.
@@ -294,6 +310,23 @@ impl Simulation {
 
             used_last = slot_used;
             supplied_last = slot_supplied;
+            if self.telemetry.is_enabled() {
+                self.telemetry.event(
+                    "sim.slot",
+                    Some(slot),
+                    t_slot.value(),
+                    &[
+                        ("battery_j", self.battery.level().value()),
+                        ("used_j", slot_used.value()),
+                        ("supplied_j", slot_supplied.value()),
+                        ("jobs", slot_jobs as f64),
+                        ("backlog", self.board.backlog() as f64),
+                    ],
+                );
+                self.telemetry
+                    .observe("sim.battery_j", self.battery.level().value());
+                self.telemetry.observe("sim.slot.used_j", slot_used.value());
+            }
             if self.config.trace {
                 slots.push(SlotRecord {
                     slot,
@@ -311,6 +344,20 @@ impl Simulation {
         }
 
         let duration = total_slots as f64 * tau.value();
+        if self.telemetry.is_enabled() {
+            self.telemetry.incr("sim.slots", total_slots);
+            self.telemetry.incr("sim.jobs_done", self.board.jobs_done());
+            self.telemetry
+                .incr("sim.jobs_dropped", self.board.dropped());
+            self.telemetry
+                .gauge("sim.final_battery_j", self.battery.level().value());
+            self.telemetry
+                .gauge("sim.wasted_j", self.battery.wasted().value());
+            self.telemetry
+                .gauge("sim.undersupplied_j", self.battery.undersupplied().value());
+            self.telemetry
+                .gauge("sim.delivered_j", self.battery.delivered().value());
+        }
         let latency = self.board.latency();
         Ok(SimReport {
             governor: governor.name().to_string(),
@@ -330,11 +377,51 @@ impl Simulation {
         })
     }
 
+    /// Trace a disturbance as it fires, stamped with its scheduled time
+    /// and its kind as the event detail.
+    fn emit_disturbance(&self, at: Seconds, d: &Disturbance) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let (kind, fields): (&str, Vec<(&str, f64)>) = match d {
+            Disturbance::SupplyScale { factor, duration } => (
+                "SupplyScale",
+                vec![("factor", *factor), ("duration_s", duration.value())],
+            ),
+            Disturbance::EventBurst { count } => ("EventBurst", vec![("count", *count as f64)]),
+            Disturbance::ChargingDropout { duration } => {
+                ("ChargingDropout", vec![("duration_s", duration.value())])
+            }
+            Disturbance::ProcessorFault { index } => {
+                ("ProcessorFault", vec![("index", *index as f64)])
+            }
+            Disturbance::ProcessorRecover { index } => {
+                ("ProcessorRecover", vec![("index", *index as f64)])
+            }
+            Disturbance::BatteryFade { factor } => ("BatteryFade", vec![("factor", *factor)]),
+            Disturbance::SensorNoise {
+                amplitude,
+                duration,
+                ..
+            } => (
+                "SensorNoise",
+                vec![("amplitude", *amplitude), ("duration_s", duration.value())],
+            ),
+            Disturbance::SensorStuck { duration } => {
+                ("SensorStuck", vec![("duration_s", duration.value())])
+            }
+        };
+        self.telemetry
+            .event_with_detail("sim.disturbance", None, at.value(), &fields, kind);
+        self.telemetry.incr("sim.disturbances", 1);
+    }
+
     fn apply_disturbances(&mut self, t: Seconds, dt: Seconds) {
         while let Some((at, d)) = self
             .disturbances
             .pop_before(seconds(t.value() + dt.value()))
         {
+            self.emit_disturbance(at, &d);
             match d {
                 Disturbance::SupplyScale { factor, duration } => {
                     self.supply_scale = factor.max(0.0);

@@ -1,0 +1,246 @@
+//! Fixed-bucket histograms: deterministic, mergeable, quantile-queryable.
+//!
+//! Bucket bounds are fixed at construction (never rebalanced), so two
+//! histograms fed the same observations in any order hold identical state
+//! — the property the trace's byte-comparability rests on. Values are
+//! counted into the first bucket whose upper bound is `>= value`, with
+//! one implicit overflow bucket past the last bound.
+
+/// Default bucket upper bounds, spanning the magnitudes the DPM stack
+/// observes (iteration counts, horizon slots, joules per slot, sweep
+/// aggregates). Callers with tighter ranges pass their own bounds via
+/// [`crate::Recorder::observe_with`].
+pub const DEFAULT_BOUNDS: [f64; 12] = [
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+];
+
+/// A fixed-bucket histogram with scalar summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets; the last one is the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given bucket upper bounds. Non-finite bounds
+    /// are dropped and the rest sorted and deduplicated — telemetry
+    /// sanitizes rather than fails, so a malformed bound list degrades to
+    /// fewer buckets instead of an error on a hot path.
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(f64::total_cmp);
+        bounds.dedup();
+        let buckets = bounds.len() + 1;
+        Self {
+            bounds,
+            counts: vec![0; buckets],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A histogram over [`DEFAULT_BOUNDS`].
+    pub fn with_default_bounds() -> Self {
+        Self::new(&DEFAULT_BOUNDS)
+    }
+
+    /// Record one observation. Non-finite values are ignored (a NaN would
+    /// poison `sum` and break byte-comparability downstream).
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation, `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean observation, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds().len() + 1` entries; the last is the
+    /// overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`q` clamped to `[0, 1]`):
+    /// the bound of the first bucket at which the cumulative count reaches
+    /// `q · count`. Observations past the last bound report the observed
+    /// maximum. `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return match self.bounds.get(i) {
+                    Some(&b) => b.min(self.max),
+                    None => self.max,
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one. Matching bounds merge
+    /// bucket-by-bucket; mismatched bounds merge the scalar statistics
+    /// exactly but pool the other side's observations into the overflow
+    /// bucket (a lossy but deterministic degradation — absorb scopes are
+    /// expected to keep one bound set per metric name).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.bounds == other.bounds {
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                *a += b;
+            }
+        } else if let Some(last) = self.counts.last_mut() {
+            *last += other.count;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_the_right_buckets() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 106.0).abs() < 1e-12);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn ignores_non_finite_observations() {
+        let mut h = Histogram::with_default_bounds();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_counts() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        for v in [0.5, 1.5, 1.6, 3.0, 3.5, 3.9, 5.0, 6.0, 7.0, 7.5] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(0.5), 4.0);
+        // The top bucket's bound (8.0) caps at the observed max.
+        assert_eq!(h.quantile(1.0), 7.5);
+        // A value past the last bound caps at the observed max.
+        h.record(1000.0);
+        assert_eq!(h.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_observed_max() {
+        let mut h = Histogram::new(&[100.0]);
+        h.record(3.0);
+        assert_eq!(h.quantile(0.5), 3.0);
+    }
+
+    #[test]
+    fn merge_with_matching_bounds_is_exact() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        let mut b = Histogram::new(&[1.0, 2.0]);
+        a.record(0.5);
+        b.record(1.5);
+        b.record(9.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1, 1]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_with_mismatched_bounds_pools_into_overflow() {
+        let mut a = Histogram::new(&[1.0]);
+        let mut b = Histogram::new(&[2.0]);
+        b.record(0.5);
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[0, 2]);
+        assert_eq!(a.count(), 2);
+        assert!((a.sum() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_bounds_are_sanitized() {
+        let h = Histogram::new(&[2.0, f64::NAN, 1.0, 2.0]);
+        assert_eq!(h.bounds(), &[1.0, 2.0]);
+        assert_eq!(h.counts().len(), 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! The serialized trace schema: one [`TraceLine`] per JSONL line.
+//!
+//! Schema stability matters more here than ergonomics — CI compares
+//! traces byte-for-byte — so every type is a plain non-generic struct
+//! with explicit field names, and the deterministic trace and the
+//! wall-clock profile are **separate documents**: [`TraceLine`] never
+//! carries a wall-clock field, [`ProfileLine`] carries nothing else.
+
+use serde::{Deserialize, Serialize};
+
+/// Version stamp written into [`TraceMeta`]; bump on any schema change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One structured event, stamped with simulated time and a sequence
+/// number that is monotonic within its scope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotonic sequence number within `scope` (assigned at record time
+    /// by the recorder that first saw the event).
+    pub seq: u64,
+    /// Absorption path of the recorder that recorded the event (empty for
+    /// the root recorder; `"sweep/load/3/proposed"`-style after
+    /// [`crate::Recorder::absorb`]).
+    pub scope: String,
+    /// Event name (`"sim.slot"`, `"core.replan"`, `"safety.shed"`, …).
+    pub name: String,
+    /// Governor slot the event belongs to, when it has one.
+    pub slot: Option<u64>,
+    /// Simulated time of the event (s) — never wall clock.
+    pub time: f64,
+    /// Numeric payload, in the order the instrumentation site listed it.
+    pub fields: Vec<(String, f64)>,
+    /// Free-form annotation (a disturbance kind, an error message).
+    pub detail: Option<String>,
+}
+
+/// The header line of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// [`SCHEMA_VERSION`] at write time.
+    pub schema: u32,
+    /// The root recorder's source label (`"repro"`, `"sweep"`, …).
+    pub source: String,
+    /// Events retained in the trace.
+    pub events: u64,
+    /// Events dropped at the ring-buffer capacity (oldest first).
+    pub dropped: u64,
+}
+
+/// A named monotonic counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterLine {
+    /// Scope-qualified counter name.
+    pub name: String,
+    /// Final value.
+    pub value: u64,
+}
+
+/// A named last-write-wins gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeLine {
+    /// Scope-qualified gauge name.
+    pub name: String,
+    /// Final value.
+    pub value: f64,
+}
+
+/// A histogram snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramLine {
+    /// Scope-qualified histogram name.
+    pub name: String,
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (`bounds.len() + 1`; last is overflow).
+    pub counts: Vec<u64>,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (`0.0` when empty).
+    pub min: f64,
+    /// Largest observation (`0.0` when empty).
+    pub max: f64,
+}
+
+/// The deterministic face of a span timer: how many times it ran. The
+/// wall-clock side lives in [`ProfileLine`], outside the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanLine {
+    /// Scope-qualified span name.
+    pub name: String,
+    /// Number of completed span executions.
+    pub count: u64,
+}
+
+/// One line of the deterministic JSONL trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceLine {
+    /// Trace header (always the first line).
+    Meta(TraceMeta),
+    /// A structured event.
+    Event(Event),
+    /// A counter's final value.
+    Counter(CounterLine),
+    /// A gauge's final value.
+    Gauge(GaugeLine),
+    /// A histogram snapshot.
+    Histogram(HistogramLine),
+    /// A span's deterministic call count.
+    Span(SpanLine),
+}
+
+/// One line of the **wall-clock profile** — the explicitly separate,
+/// non-reproducible document written next to the trace (`<path>.profile`)
+/// and rendered in the stderr summary. Never part of the trace itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileLine {
+    /// Scope-qualified span name.
+    pub name: String,
+    /// Completed span executions.
+    pub count: u64,
+    /// Total wall-clock seconds across executions.
+    pub total_s: f64,
+    /// Mean wall-clock seconds per execution.
+    pub mean_s: f64,
+    /// Longest single execution (s).
+    pub max_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event() -> Event {
+        Event {
+            seq: 7,
+            scope: "sweep/load/3/proposed".into(),
+            name: "sim.slot".into(),
+            slot: Some(11),
+            time: 52.8,
+            fields: vec![("battery_j".into(), 7.25), ("used_j".into(), 0.5)],
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let lines = vec![
+            TraceLine::Meta(TraceMeta {
+                schema: SCHEMA_VERSION,
+                source: "repro".into(),
+                events: 2,
+                dropped: 0,
+            }),
+            TraceLine::Event(event()),
+            TraceLine::Event(Event {
+                slot: None,
+                detail: Some("ChargingDropout".into()),
+                ..event()
+            }),
+            TraceLine::Counter(CounterLine {
+                name: "core.replan.count".into(),
+                value: 42,
+            }),
+            TraceLine::Gauge(GaugeLine {
+                name: "sim.battery_j".into(),
+                value: 6.125,
+            }),
+            TraceLine::Histogram(HistogramLine {
+                name: "alloc.iterations".into(),
+                bounds: vec![1.0, 2.0, 4.0],
+                counts: vec![0, 1, 2, 0],
+                count: 3,
+                sum: 9.0,
+                min: 2.0,
+                max: 4.0,
+            }),
+            TraceLine::Span(SpanLine {
+                name: "core.decide".into(),
+                count: 24,
+            }),
+        ];
+        for line in lines {
+            let json = serde_json::to_string(&line).unwrap();
+            let back: TraceLine = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, line, "{json}");
+            // Re-serialization is byte-stable (the determinism contract).
+            assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        }
+    }
+
+    #[test]
+    fn profile_lines_round_trip_but_stay_separate() {
+        let p = ProfileLine {
+            name: "table1.job".into(),
+            count: 12,
+            total_s: 0.5,
+            mean_s: 0.5 / 12.0,
+            max_s: 0.1,
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ProfileLine = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        // A ProfileLine is not a TraceLine: parsing it as one must fail.
+        assert!(serde_json::from_str::<TraceLine>(&json).is_err());
+    }
+}

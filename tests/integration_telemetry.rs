@@ -1,0 +1,143 @@
+//! End-to-end telemetry contract: the trace a harness run records must be
+//! (a) byte-identical for any worker count and across repeated runs,
+//! (b) valid JSONL that round-trips through serde, and (c) actually carry
+//! the signals the paper's experiments care about — replan counters from
+//! the Algorithm 3 path, per-slot battery gauges from the simulator, and
+//! `safety.*` degradation events from the fault campaigns. A disabled
+//! recorder must record nothing at all.
+
+use dpm_bench::{campaign, experiments, sweeps};
+use dpm_core::platform::Platform;
+use dpm_telemetry::{Recorder, TraceLine};
+use dpm_workloads::scenarios;
+
+/// Record one Table 1 matrix run into a fresh recorder.
+fn table1_trace(jobs: usize) -> String {
+    let telemetry = Recorder::enabled("repro");
+    let platform = Platform::pama();
+    let scenarios = [scenarios::scenario_one(), scenarios::scenario_two()];
+    experiments::table1_jobs_with(&platform, &scenarios, 2, jobs, &telemetry).unwrap();
+    telemetry.to_jsonl()
+}
+
+#[test]
+fn table1_trace_is_byte_identical_across_worker_counts() {
+    let serial = table1_trace(1);
+    let parallel = table1_trace(4);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel);
+    // And across repeated runs at the same worker count.
+    assert_eq!(parallel, table1_trace(4));
+}
+
+#[test]
+fn sweep_trace_is_byte_identical_across_worker_counts() {
+    let trace = |jobs: usize| {
+        let telemetry = Recorder::enabled("sweep");
+        sweeps::run_with(&["load".to_string()], jobs, 1, &telemetry).unwrap();
+        telemetry.to_jsonl()
+    };
+    let serial = trace(1);
+    let parallel = trace(4);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn trace_round_trips_through_serde_line_by_line() {
+    let jsonl = table1_trace(2);
+    let mut lines = 0usize;
+    for line in jsonl.lines() {
+        let parsed: TraceLine = serde_json::from_str(line).unwrap();
+        let again = serde_json::to_string(&parsed).unwrap();
+        assert_eq!(line, again, "line {lines} did not round-trip");
+        lines += 1;
+    }
+    assert!(lines > 10, "suspiciously small trace: {lines} lines");
+    // The first line is the meta header with the schema version.
+    match serde_json::from_str::<TraceLine>(jsonl.lines().next().unwrap()).unwrap() {
+        TraceLine::Meta(meta) => {
+            assert_eq!(meta.schema, dpm_telemetry::SCHEMA_VERSION);
+            assert_eq!(meta.source, "repro");
+        }
+        other => panic!("first line is not meta: {other:?}"),
+    }
+}
+
+#[test]
+fn table3_trace_carries_controller_and_simulator_signals() {
+    let telemetry = Recorder::enabled("test");
+    let platform = Platform::pama();
+    let s1 = scenarios::scenario_one();
+    experiments::table3_5_with(&platform, &s1, experiments::DEFAULT_PERIODS, &telemetry).unwrap();
+
+    assert!(telemetry.counter("core.decide.calls") > 0);
+    assert!(telemetry.counter("core.replan.count") > 0);
+    assert!(telemetry.counter("alloc.compute.calls") >= 1);
+    assert!(telemetry.counter("sim.slots") > 0);
+
+    let jsonl = telemetry.to_jsonl();
+    let mut slot_events = 0usize;
+    let mut battery_hist = false;
+    for line in jsonl.lines() {
+        match serde_json::from_str::<TraceLine>(line).unwrap() {
+            TraceLine::Event(e) if e.name == "sim.slot" => {
+                assert!(e.slot.is_some());
+                assert!(e.fields.iter().any(|(k, _)| k == "battery_j"));
+                slot_events += 1;
+            }
+            TraceLine::Histogram(h) if h.name == "sim.battery_j" => {
+                assert!(h.count > 0);
+                battery_hist = true;
+            }
+            _ => {}
+        }
+    }
+    assert!(slot_events > 0, "no per-slot simulator events in trace");
+    assert!(battery_hist, "no sim.battery_j histogram in trace");
+}
+
+#[test]
+fn campaign_trace_carries_safety_degradation_events() {
+    let telemetry = Recorder::enabled("campaign");
+    campaign::run_with(3, 2, 4, &telemetry).unwrap();
+    // Point recorders are absorbed under `campaign/{governor}/{seed}`
+    // scopes, so campaign counters carry prefixed names in the trace.
+    let lines: Vec<TraceLine> = telemetry
+        .to_jsonl()
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    let counter_sum = |suffix: &str| -> u64 {
+        lines
+            .iter()
+            .filter_map(|l| match l {
+                TraceLine::Counter(c) if c.name.ends_with(suffix) => Some(c.value),
+                _ => None,
+            })
+            .sum()
+    };
+    assert!(
+        counter_sum("safety.degradations") > 0,
+        "standard fault mix should trigger the safety wrapper"
+    );
+    assert!(counter_sum("sim.disturbances") > 0);
+    let safety_events = lines
+        .iter()
+        .filter(|l| matches!(l, TraceLine::Event(e) if e.name.starts_with("safety.")))
+        .count();
+    assert!(safety_events > 0, "no safety.* events in campaign trace");
+}
+
+#[test]
+fn disabled_recorder_records_nothing() {
+    let telemetry = Recorder::disabled();
+    let platform = Platform::pama();
+    let s1 = scenarios::scenario_one();
+    experiments::table3_5_with(&platform, &s1, 4, &telemetry).unwrap();
+    assert!(!telemetry.is_enabled());
+    assert_eq!(telemetry.event_count(), 0);
+    assert_eq!(telemetry.counter("core.decide.calls"), 0);
+    assert!(telemetry.to_jsonl().is_empty());
+    assert!(telemetry.profile_jsonl().is_empty());
+}
