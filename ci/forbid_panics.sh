@@ -3,9 +3,11 @@
 # in the parallel experiment runner (a panic there would look like a lost
 # job to every caller relying on its failure-isolation contract).
 #
-# Scans every file under crates/dpm-core/src and crates/dpm-telemetry/src
+# Scans every file under crates/dpm-core/src, crates/dpm-telemetry/src
 # (the observability layer must never take down the system it observes —
-# a poisoned lock degrades to recovering the data, not panicking), plus
+# a poisoned lock degrades to recovering the data, not panicking), and
+# crates/dpm-trace/src (trace analysis runs over possibly hostile input
+# and must degrade through typed errors), plus
 # the dpm-bench runner and campaign modules, the simulation engine, and
 # the dpm-workloads fault-plan generator (the fault-injection path must
 # degrade through typed errors, never abort a campaign), strips
@@ -20,6 +22,7 @@ set -eu
 status=0
 for f in $(find crates/dpm-core/src -name '*.rs' | sort) \
     $(find crates/dpm-telemetry/src -name '*.rs' | sort) \
+    $(find crates/dpm-trace/src -name '*.rs' | sort) \
     crates/dpm-bench/src/runner.rs \
     crates/dpm-bench/src/campaign.rs \
     crates/dpm-bench/src/telemetry_out.rs \

@@ -9,9 +9,26 @@
 
 use dpm_telemetry::Recorder;
 
+/// The loud warning printed when the event ring dropped anything: a
+/// truncated trace silently weakens every downstream analysis
+/// (`dpm-analyze audit` skips its slot-sum checks), so the condition must
+/// be impossible to miss in the run log. Returns `None` when nothing was
+/// dropped or the recorder is disabled.
+pub fn ring_warning(recorder: &Recorder) -> Option<String> {
+    if !recorder.is_enabled() || recorder.dropped() == 0 {
+        return None;
+    }
+    Some(format!(
+        "WARNING: telemetry ring dropped {} event(s) ({} retained); the trace is \
+         truncated and slot-sum audits are degraded — raise the ring capacity",
+        recorder.dropped(),
+        recorder.event_count()
+    ))
+}
+
 /// Write the deterministic trace to `path` and the wall-clock profile to
-/// `<path>.profile`, then print the human summary to stderr. Does nothing
-/// for a disabled recorder.
+/// `<path>.profile`, then print the human summary to stderr. Warns loudly
+/// when the event ring overflowed. Does nothing for a disabled recorder.
 ///
 /// # Errors
 /// Propagates [`std::io::Error`] when either file cannot be written.
@@ -22,6 +39,9 @@ pub fn write_outputs(recorder: &Recorder, path: &str) -> Result<(), std::io::Err
     std::fs::write(path, recorder.to_jsonl())?;
     std::fs::write(format!("{path}.profile"), recorder.profile_jsonl())?;
     eprint!("{}", recorder.summary());
+    if let Some(warning) = ring_warning(recorder) {
+        eprintln!("{warning}");
+    }
     eprintln!("telemetry: trace -> {path}, wall-clock profile -> {path}.profile");
     Ok(())
 }

@@ -217,9 +217,22 @@ impl<G: Governor> SafetyGovernor<G> {
     /// Attach a telemetry recorder: every degradation transition is then
     /// emitted as a structured `safety.*` event alongside the
     /// [`DegradationRecord`] trace (same slot, time, and payload — one
-    /// unified stream instead of two divergent ones).
+    /// unified stream instead of two divergent ones). The tunables land
+    /// as `safety.*` gauges so a trace auditor can check transition
+    /// legality (step sizes, retry dwell, the fallback budget) against
+    /// the configuration that actually ran.
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        if telemetry.is_enabled() {
+            telemetry.gauge("safety.guard_band_j", self.config.guard_band.value());
+            telemetry.gauge("safety.recover_band_j", self.config.recover_band.value());
+            telemetry.gauge("safety.shed_step", self.config.shed_step as f64);
+            telemetry.gauge(
+                "safety.max_replan_failures",
+                f64::from(self.config.max_replan_failures),
+            );
+            telemetry.gauge("safety.backoff_slots", self.config.backoff_slots as f64);
+        }
         self.telemetry = telemetry;
         self
     }

@@ -263,6 +263,17 @@ impl Battery {
         }
     }
 
+    /// Whether this battery's accounting closes exactly: with perfect
+    /// coulombic efficiency and no self-discharge, every offered joule is
+    /// found again in `wasted + rate_loss + delivered + Δlevel`. Trace
+    /// auditors use this to decide whether the energy-conservation
+    /// invariant applies to a run (Peukert overhead is fine — it is
+    /// tracked in [`Self::rate_loss`] — but conversion and leakage losses
+    /// are not itemized).
+    pub fn conserves_energy(&self) -> bool {
+        self.config.charge_efficiency == 1.0 && self.config.self_discharge_per_s == 0.0
+    }
+
     /// Reset the accounting counters (level is kept).
     pub fn reset_accounting(&mut self) {
         self.wasted = Joules::ZERO;

@@ -221,6 +221,26 @@ impl Simulation {
 
         let elastic = governor.uses_surplus_energy();
         let initial_battery = self.battery.level().value();
+        if self.telemetry.is_enabled() {
+            // The audit anchors: the capacity window the trajectory must
+            // stay inside (fades only ever *shrink* C_max below this), the
+            // starting level the energy balance is taken from, and whether
+            // this battery's accounting closes exactly (see
+            // `Battery::conserves_energy`).
+            let limits = self.battery.limits();
+            self.telemetry.gauge("sim.c_min_j", limits.c_min.value());
+            self.telemetry.gauge("sim.c_max_j", limits.c_max.value());
+            self.telemetry
+                .gauge("sim.initial_battery_j", initial_battery);
+            self.telemetry.gauge(
+                "sim.energy_conserving",
+                if self.battery.conserves_energy() {
+                    1.0
+                } else {
+                    0.0
+                },
+            );
+        }
         let mut used_last = Joules::ZERO;
         let mut supplied_last = Joules::ZERO;
         let mut compute_energy = 0.0;
@@ -319,6 +339,7 @@ impl Simulation {
                         ("battery_j", self.battery.level().value()),
                         ("used_j", slot_used.value()),
                         ("supplied_j", slot_supplied.value()),
+                        ("undersupplied_j", self.battery.undersupplied().value()),
                         ("jobs", slot_jobs as f64),
                         ("backlog", self.board.backlog() as f64),
                     ],
@@ -357,6 +378,10 @@ impl Simulation {
                 .gauge("sim.undersupplied_j", self.battery.undersupplied().value());
             self.telemetry
                 .gauge("sim.delivered_j", self.battery.delivered().value());
+            self.telemetry
+                .gauge("sim.offered_j", self.battery.offered().value());
+            self.telemetry
+                .gauge("sim.rate_loss_j", self.battery.rate_loss().value());
         }
         let latency = self.board.latency();
         Ok(SimReport {

@@ -238,6 +238,72 @@ mod tests {
     }
 
     #[test]
+    fn values_exactly_on_bucket_boundaries_land_in_the_bounded_bucket() {
+        // The rule is `value <= bound`: a value equal to an upper bound
+        // belongs to that bucket, not the next one.
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [1.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[1, 1, 1, 0], "no boundary value overflowed");
+        // Nudged just past a bound, the value moves one bucket up.
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.record(1.0 + f64::EPSILON * 2.0);
+        assert_eq!(h.counts(), &[0, 1, 0, 0]);
+        // Exactly on the *last* bound still avoids the overflow bucket;
+        // the tiniest step past it does not.
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.record(4.0);
+        h.record(4.0 + f64::EPSILON * 4.0);
+        assert_eq!(h.counts(), &[0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn non_finite_inputs_never_panic_or_poison_state() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        h.record(1.5);
+        h.record(f64::NAN);
+        // Only the finite observation registered; the scalar summaries
+        // were not poisoned by the NaN/±inf neighbours.
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.counts(), &[0, 1, 0]);
+        assert_eq!(h.sum(), 1.5);
+        assert_eq!(h.min(), 1.5);
+        assert_eq!(h.max(), 1.5);
+        assert!(h.mean().is_finite());
+        assert!(h.quantile(0.5).is_finite());
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_and_summaries_are_zero() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 0.0, "q = {q}");
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        // An empty merge source leaves the target untouched.
+        let mut target = Histogram::new(&[1.0, 2.0]);
+        target.merge(&h);
+        assert_eq!(target.count(), 0);
+    }
+
+    #[test]
+    fn quantile_with_nan_q_does_not_panic() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.record(0.5);
+        // NaN clamps to the low end of [0, 1]; the call must not panic
+        // and must return a finite bound.
+        assert!(h.quantile(f64::NAN).is_finite());
+    }
+
+    #[test]
     fn malformed_bounds_are_sanitized() {
         let h = Histogram::new(&[2.0, f64::NAN, 1.0, 2.0]);
         assert_eq!(h.bounds(), &[1.0, 2.0]);

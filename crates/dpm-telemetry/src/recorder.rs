@@ -49,6 +49,12 @@ struct Inner {
     events: VecDeque<Event>,
     dropped: u64,
     next_seq: u64,
+    /// Per-scope sequence counters for *absorbed* events: when a child's
+    /// events land under a scope, they are re-stamped from this map so
+    /// that `(scope, seq)` stays unique and monotonic even when two
+    /// siblings are absorbed under the same scope string. Directly
+    /// recorded events (scope `""`) keep using `next_seq`.
+    seq_by_scope: BTreeMap<String, u64>,
 }
 
 #[derive(Debug)]
@@ -103,6 +109,7 @@ impl Recorder {
                     events: VecDeque::new(),
                     dropped: 0,
                     next_seq: 0,
+                    seq_by_scope: BTreeMap::new(),
                 }),
             })),
         }
@@ -266,6 +273,7 @@ impl Recorder {
             );
             c.dropped = 0;
             c.next_seq = 0;
+            c.seq_by_scope.clear();
             drained
         };
         let Some(mut inner) = self.lock() else {
@@ -294,6 +302,17 @@ impl Recorder {
         }
         for mut event in events {
             event.scope = join(scope, &event.scope);
+            // Re-stamp the sequence from the parent's per-scope counter:
+            // the child numbered from 0, and a second sibling absorbed
+            // under the same scope would otherwise restart the numbering
+            // and interleave duplicate `(scope, seq)` pairs.
+            let seq = {
+                let next = inner.seq_by_scope.entry(event.scope.clone()).or_insert(0);
+                let seq = *next;
+                *next += 1;
+                seq
+            };
+            event.seq = seq;
             push_capped(&mut inner, event);
         }
         inner.dropped += dropped;
@@ -615,6 +634,66 @@ mod tests {
         // The child was drained.
         assert_eq!(child.event_count(), 0);
         assert_eq!(child.counter("shared"), 0);
+    }
+
+    #[test]
+    fn siblings_absorbed_under_the_same_scope_do_not_interleave_seqs() {
+        let root = Recorder::enabled("root");
+        let a = root.sibling();
+        let b = root.sibling();
+        for i in 0..3u64 {
+            a.event("e", Some(i), i as f64, &[("side", 0.0)]);
+            b.event("e", Some(i), i as f64, &[("side", 1.0)]);
+        }
+        // Both children land under the *same* scope string — a collision
+        // the per-scope renumbering must absorb without duplicate or
+        // non-monotonic `(scope, seq)` pairs.
+        root.absorb("shared", &a);
+        root.absorb("shared", &b);
+        let seqs: Vec<u64> = root
+            .snapshot()
+            .into_iter()
+            .filter_map(|l| match l {
+                TraceLine::Event(e) => {
+                    assert_eq!(e.scope, "shared");
+                    Some(e.seq)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn colliding_scopes_keep_distinct_nested_paths_separate() {
+        let root = Recorder::enabled("root");
+        let a = root.sibling();
+        let inner_a = a.sibling();
+        inner_a.event("nested", None, 0.0, &[]);
+        a.event("direct", None, 0.0, &[]);
+        a.absorb("leaf", &inner_a);
+        let b = root.sibling();
+        b.event("direct", None, 1.0, &[]);
+        root.absorb("job", &a);
+        root.absorb("job", &b);
+        // Scope "job" holds a's direct event then b's (seqs 0, 1);
+        // "job/leaf" numbers independently from 0.
+        let got: Vec<(String, u64, String)> = root
+            .snapshot()
+            .into_iter()
+            .filter_map(|l| match l {
+                TraceLine::Event(e) => Some((e.scope, e.seq, e.name)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("job".into(), 0, "direct".into()),
+                ("job/leaf".into(), 0, "nested".into()),
+                ("job".into(), 1, "direct".into()),
+            ]
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! carries a wall-clock field, [`ProfileLine`] carries nothing else.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Version stamp written into [`TraceMeta`]; bump on any schema change.
 pub const SCHEMA_VERSION: u32 = 1;
@@ -128,6 +129,62 @@ pub struct ProfileLine {
     pub max_s: f64,
 }
 
+/// Failure to parse one line of a JSONL trace or profile document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong, from the serde layer.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a JSONL document where each non-blank line deserializes to `L`.
+fn parse_jsonl<L: Deserialize>(input: &str) -> Result<Vec<L>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<L>(line) {
+            Ok(parsed) => out.push(parsed),
+            Err(e) => {
+                return Err(ParseError {
+                    line: i + 1,
+                    message: e.to_string(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a deterministic trace document (one [`TraceLine`] per non-blank
+/// line) — the inverse of [`crate::Recorder::to_jsonl`]. Blank lines are
+/// skipped; the first malformed line aborts with its 1-based line number.
+///
+/// # Errors
+/// [`ParseError`] naming the first line that does not deserialize.
+pub fn parse_trace_jsonl(input: &str) -> Result<Vec<TraceLine>, ParseError> {
+    parse_jsonl(input)
+}
+
+/// Parse a wall-clock profile document (one [`ProfileLine`] per non-blank
+/// line) — the inverse of [`crate::Recorder::profile_jsonl`].
+///
+/// # Errors
+/// [`ParseError`] naming the first line that does not deserialize.
+pub fn parse_profile_jsonl(input: &str) -> Result<Vec<ProfileLine>, ParseError> {
+    parse_jsonl(input)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +245,56 @@ mod tests {
             // Re-serialization is byte-stable (the determinism contract).
             assert_eq!(serde_json::to_string(&back).unwrap(), json);
         }
+    }
+
+    #[test]
+    fn parse_trace_jsonl_round_trips_and_skips_blanks() {
+        let lines = vec![
+            TraceLine::Meta(TraceMeta {
+                schema: SCHEMA_VERSION,
+                source: "t".into(),
+                events: 1,
+                dropped: 0,
+            }),
+            TraceLine::Event(event()),
+        ];
+        let mut doc = String::new();
+        for l in &lines {
+            doc.push_str(&serde_json::to_string(l).unwrap());
+            doc.push('\n');
+        }
+        doc.push('\n'); // trailing blank line is tolerated
+        let parsed = parse_trace_jsonl(&doc).unwrap();
+        assert_eq!(parsed, lines);
+        assert!(parse_trace_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_errors_carry_the_line_number() {
+        let meta = serde_json::to_string(&TraceLine::Meta(TraceMeta {
+            schema: SCHEMA_VERSION,
+            source: "t".into(),
+            events: 0,
+            dropped: 0,
+        }))
+        .unwrap();
+        let doc = format!("{meta}\nnot json\n");
+        let err = parse_trace_jsonl(&doc).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(!err.to_string().is_empty());
+        // A profile document is not a trace document.
+        let profile = serde_json::to_string(&ProfileLine {
+            name: "job".into(),
+            count: 1,
+            total_s: 0.5,
+            mean_s: 0.5,
+            max_s: 0.5,
+        })
+        .unwrap();
+        assert!(parse_trace_jsonl(&profile).is_err());
+        let parsed = parse_profile_jsonl(&profile).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "job");
     }
 
     #[test]

@@ -1,0 +1,976 @@
+//! The invariant engine: replay a parsed [`Trace`] against everything the
+//! paper (and DESIGN.md §9–10) guarantees about a run, and pinpoint the
+//! first line that breaks a guarantee as a `(scope, seq, slot)` triple.
+//!
+//! Four invariant families:
+//!
+//! 1. **Well-formedness** — the meta header's event count matches the
+//!    body, and sequence numbers are strictly monotonic within each scope
+//!    (the absorb contract).
+//! 2. **Battery envelope** — every `sim.slot` event's battery level stays
+//!    inside the `[C_min, C_max]` window the run advertised in its
+//!    `sim.c_min_j`/`sim.c_max_j` gauges (Algorithm 1's reshape
+//!    guarantee), with the remaining slack computed per slot.
+//! 3. **Energy conservation** — the per-slot supplied/used streams must
+//!    re-add to the end-of-run gauges, and for a battery that advertises
+//!    exact accounting (`sim.energy_conserving` = 1) the closing balance
+//!    `offered − wasted − rate_loss − delivered − ΔE` must vanish (Eq. 8's
+//!    supply/dissipation balance over the period).
+//! 4. **Safety-machine legality** — `safety.*` transitions may only move
+//!    the degradation level one hysteresis step at a time, retries must
+//!    respect the configured backoff dwell, the failure counter must count
+//!    consecutively, and an engaged static fallback is terminal.
+//!    Cumulative undersupply may never decrease.
+//!
+//! Slot-sum checks are skipped (with a note) when the trace reports
+//! dropped events: a saturated ring truncates the per-slot streams, and a
+//! sum over a truncated stream would report phantom violations.
+
+use crate::model::{split_scoped, Trace};
+use dpm_telemetry::Event;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Tunables for an audit pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditConfig {
+    /// Absolute tolerance (J) for every energy comparison.
+    pub tolerance_j: f64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self { tolerance_j: 1e-6 }
+    }
+}
+
+/// One broken invariant, pinpointed to where it was observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Invariant family identifier (`"battery.window"`, …).
+    pub invariant: &'static str,
+    /// Scope of the offending line (empty for the root scope).
+    pub scope: String,
+    /// Sequence number of the offending event, when the violation is
+    /// anchored to one.
+    pub seq: Option<u64>,
+    /// Slot of the offending event, when it has one.
+    pub slot: Option<u64>,
+    /// Human-readable account of what was expected and what was found.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] scope=\"{}\"", self.invariant, self.scope)?;
+        match self.seq {
+            Some(seq) => write!(f, " seq={seq}")?,
+            None => write!(f, " seq=-")?,
+        }
+        match self.slot {
+            Some(slot) => write!(f, " slot={slot}")?,
+            None => write!(f, " slot=-")?,
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The outcome of an audit pass.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AuditReport {
+    /// Broken invariants in deterministic discovery order (meta first,
+    /// then scopes in sorted order, events in ring order within a scope).
+    pub violations: Vec<Violation>,
+    /// Non-fatal observations: checks that were skipped and why, minimum
+    /// battery slack seen, etc.
+    pub notes: Vec<String>,
+    /// Scopes that carried at least one auditable signal.
+    pub scopes: usize,
+    /// Individual comparisons performed.
+    pub checks: usize,
+}
+
+impl AuditReport {
+    /// Whether every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The first violation in discovery order, if any.
+    pub fn first(&self) -> Option<&Violation> {
+        self.violations.first()
+    }
+}
+
+/// Safety-machine state while walking one scope's `safety.*` events.
+#[derive(Default)]
+struct SafetyState {
+    last_level: Option<f64>,
+    consecutive_failures: f64,
+    /// `(slot, failures)` of the most recent failure, for the dwell check.
+    last_failure: Option<(u64, f64)>,
+    fallback_engaged: bool,
+    last_slot: Option<u64>,
+    events_seen: u64,
+}
+
+/// Audit `trace` against every invariant family; see the module docs.
+pub fn audit(trace: &Trace, cfg: &AuditConfig) -> AuditReport {
+    let mut report = AuditReport::default();
+    let tol = cfg.tolerance_j;
+
+    // 1. Meta consistency.
+    report.checks += 1;
+    if trace.meta.events != trace.events.len() as u64 {
+        report.violations.push(Violation {
+            invariant: "meta.events",
+            scope: String::new(),
+            seq: None,
+            slot: None,
+            message: format!(
+                "meta advertises {} events but the body holds {}",
+                trace.meta.events,
+                trace.events.len()
+            ),
+        });
+    }
+    let dropped = trace.meta.dropped;
+    if dropped > 0 {
+        report.notes.push(format!(
+            "{dropped} events were dropped at the ring capacity: slot-sum and event-count checks skipped"
+        ));
+    }
+
+    let by_scope = trace.events_by_scope();
+    report.scopes = by_scope.len();
+    let mut min_slack: Option<(f64, String, u64)> = None;
+
+    for (scope, events) in &by_scope {
+        audit_seq_monotonic(scope, events, &mut report);
+        audit_slots(
+            trace,
+            scope,
+            events,
+            tol,
+            dropped,
+            &mut report,
+            &mut min_slack,
+        );
+        audit_safety(trace, scope, events, dropped, &mut report);
+    }
+
+    // Gauge-only closing balance, independent of the event ring.
+    audit_energy_balance(trace, tol, &mut report);
+
+    if let Some((slack, scope, slot)) = min_slack {
+        report.notes.push(format!(
+            "minimum battery slack to the window edge: {slack:.6} J (scope \"{scope}\", slot {slot})"
+        ));
+    }
+    report
+}
+
+/// Sequence numbers must be strictly increasing within a scope.
+fn audit_seq_monotonic(scope: &str, events: &[&Event], report: &mut AuditReport) {
+    let mut prev: Option<u64> = None;
+    for e in events {
+        report.checks += 1;
+        if let Some(p) = prev {
+            if e.seq <= p {
+                report.violations.push(Violation {
+                    invariant: "seq.monotonic",
+                    scope: scope.to_string(),
+                    seq: Some(e.seq),
+                    slot: e.slot,
+                    message: format!("sequence number {} follows {} in the same scope", e.seq, p),
+                });
+            }
+        }
+        prev = Some(e.seq);
+    }
+}
+
+/// Battery-envelope, slot-order, and undersupply checks over `sim.slot`.
+#[allow(clippy::too_many_arguments)]
+fn audit_slots(
+    trace: &Trace,
+    scope: &str,
+    events: &[&Event],
+    tol: f64,
+    dropped: u64,
+    report: &mut AuditReport,
+    min_slack: &mut Option<(f64, String, u64)>,
+) {
+    let slots: Vec<&&Event> = events.iter().filter(|e| e.name == "sim.slot").collect();
+    if slots.is_empty() {
+        return;
+    }
+    let window = (
+        trace.scoped_gauge(scope, "sim.c_min_j"),
+        trace.scoped_gauge(scope, "sim.c_max_j"),
+    );
+    if window.0.is_none() || window.1.is_none() {
+        report.notes.push(format!(
+            "scope \"{scope}\": no sim.c_min_j/sim.c_max_j gauges — battery-window check skipped"
+        ));
+    }
+
+    let mut last_slot: Option<u64> = None;
+    let mut last_under: Option<f64> = None;
+    let mut sum_used = 0.0;
+    let mut sum_supplied = 0.0;
+    let mut last_battery: Option<f64> = None;
+
+    for e in &slots {
+        let slot = e.slot;
+        // Slot numbers must advance.
+        report.checks += 1;
+        if let (Some(prev), Some(cur)) = (last_slot, slot) {
+            if cur <= prev {
+                report.violations.push(Violation {
+                    invariant: "slot.order",
+                    scope: scope.to_string(),
+                    seq: Some(e.seq),
+                    slot,
+                    message: format!("slot {cur} follows slot {prev}"),
+                });
+            }
+        }
+        last_slot = slot.or(last_slot);
+
+        let battery = Trace::field(e, "battery_j");
+        match battery {
+            None => report.violations.push(Violation {
+                invariant: "slot.fields",
+                scope: scope.to_string(),
+                seq: Some(e.seq),
+                slot,
+                message: "sim.slot event carries no battery_j field".into(),
+            }),
+            Some(b) => {
+                last_battery = Some(b);
+                if let (Some(c_min), Some(c_max)) = window {
+                    report.checks += 1;
+                    let slack = (b - c_min).min(c_max - b);
+                    let is_tighter = match min_slack {
+                        Some((s, _, _)) => slack < *s,
+                        None => true,
+                    };
+                    if is_tighter {
+                        *min_slack = Some((slack, scope.to_string(), slot.unwrap_or(u64::MAX)));
+                    }
+                    if b < c_min - tol || b > c_max + tol {
+                        report.violations.push(Violation {
+                            invariant: "battery.window",
+                            scope: scope.to_string(),
+                            seq: Some(e.seq),
+                            slot,
+                            message: format!(
+                                "battery {b} J outside [{c_min}, {c_max}] J (slack {slack:.6} J)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        sum_used += Trace::field(e, "used_j").unwrap_or(0.0);
+        sum_supplied += Trace::field(e, "supplied_j").unwrap_or(0.0);
+
+        if let Some(u) = Trace::field(e, "undersupplied_j") {
+            report.checks += 1;
+            if let Some(prev) = last_under {
+                if u + tol < prev {
+                    report.violations.push(Violation {
+                        invariant: "undersupply.monotonic",
+                        scope: scope.to_string(),
+                        seq: Some(e.seq),
+                        slot,
+                        message: format!("cumulative undersupply fell from {prev} J to {u} J"),
+                    });
+                }
+            }
+            last_under = Some(u);
+        }
+    }
+
+    // Slot-stream sums against the end-of-run gauges — only meaningful
+    // when no event was dropped from the ring.
+    if dropped > 0 {
+        return;
+    }
+    let anchor_seq = slots.last().map(|e| e.seq);
+    let anchor_slot = slots.last().and_then(|e| e.slot);
+    let mut check_sum = |metric: &str, sum: f64, invariant: &'static str| {
+        if let Some(gauge) = trace.scoped_gauge(scope, metric) {
+            report.checks += 1;
+            if (sum - gauge).abs() > tol {
+                report.violations.push(Violation {
+                    invariant,
+                    scope: scope.to_string(),
+                    seq: anchor_seq,
+                    slot: anchor_slot,
+                    message: format!(
+                        "slot stream sums to {sum} J but the {metric} gauge reads {gauge} J"
+                    ),
+                });
+            }
+        }
+    };
+    check_sum("sim.delivered_j", sum_used, "energy.delivered");
+    check_sum("sim.offered_j", sum_supplied, "energy.offered");
+    if let (Some(last), Some(gauge)) = (
+        last_battery,
+        trace.scoped_gauge(scope, "sim.final_battery_j"),
+    ) {
+        report.checks += 1;
+        if (last - gauge).abs() > tol {
+            report.violations.push(Violation {
+                invariant: "battery.final",
+                scope: scope.to_string(),
+                seq: anchor_seq,
+                slot: anchor_slot,
+                message: format!(
+                    "last slot battery {last} J disagrees with sim.final_battery_j {gauge} J"
+                ),
+            });
+        }
+    }
+    if let (Some(last), Some(gauge)) =
+        (last_under, trace.scoped_gauge(scope, "sim.undersupplied_j"))
+    {
+        report.checks += 1;
+        if (last - gauge).abs() > tol {
+            report.violations.push(Violation {
+                invariant: "undersupply.final",
+                scope: scope.to_string(),
+                seq: anchor_seq,
+                slot: anchor_slot,
+                message: format!(
+                    "last slot undersupply {last} J disagrees with sim.undersupplied_j {gauge} J"
+                ),
+            });
+        }
+    }
+}
+
+/// `safety.*` transition legality for one scope.
+fn audit_safety(
+    trace: &Trace,
+    scope: &str,
+    events: &[&Event],
+    dropped: u64,
+    report: &mut AuditReport,
+) {
+    let shed_step = trace.scoped_gauge(scope, "safety.shed_step");
+    let backoff = trace.scoped_gauge(scope, "safety.backoff_slots");
+    let max_failures = trace.scoped_gauge(scope, "safety.max_replan_failures");
+    let mut state = SafetyState::default();
+
+    let fail = |invariant: &'static str, e: &Event, message: String, report: &mut AuditReport| {
+        report.violations.push(Violation {
+            invariant,
+            scope: scope.to_string(),
+            seq: Some(e.seq),
+            slot: e.slot,
+            message,
+        });
+    };
+
+    for e in events.iter().filter(|e| e.name.starts_with("safety.")) {
+        state.events_seen += 1;
+        report.checks += 1;
+
+        // Safety transitions happen at governor decision points; their
+        // slots may repeat (several transitions in one slot) but never
+        // run backwards.
+        if let (Some(prev), Some(cur)) = (state.last_slot, e.slot) {
+            if cur < prev {
+                fail(
+                    "safety.slot_order",
+                    e,
+                    format!("transition at slot {cur} follows one at slot {prev}"),
+                    report,
+                );
+            }
+        }
+        state.last_slot = e.slot.or(state.last_slot);
+
+        let replan_kind = matches!(
+            e.name.as_str(),
+            "safety.replan_failed" | "safety.replan_recovered" | "safety.fallback_engaged"
+        );
+        if state.fallback_engaged && replan_kind {
+            fail(
+                "safety.fallback_terminal",
+                e,
+                format!("{} after the static fallback engaged", e.name),
+                report,
+            );
+        }
+
+        match e.name.as_str() {
+            "safety.shed" | "safety.recover" => {
+                let (Some(from), Some(to)) =
+                    (Trace::field(e, "from_level"), Trace::field(e, "to_level"))
+                else {
+                    fail(
+                        "safety.fields",
+                        e,
+                        format!("{} event lacks from_level/to_level", e.name),
+                        report,
+                    );
+                    continue;
+                };
+                if let Some(last) = state.last_level {
+                    if from != last {
+                        fail(
+                            "safety.level_chain",
+                            e,
+                            format!("transition starts at level {from} but the previous one ended at {last}"),
+                            report,
+                        );
+                    }
+                }
+                if e.name == "safety.shed" {
+                    let step_cap = shed_step.unwrap_or(f64::INFINITY);
+                    if to <= from || to - from > step_cap {
+                        fail(
+                            "safety.shed_step",
+                            e,
+                            format!(
+                                "shed moved {from} → {to}; must rise by 1..={step_cap} ranks per slot"
+                            ),
+                            report,
+                        );
+                    }
+                } else if to != from - 1.0 {
+                    fail(
+                        "safety.recover_step",
+                        e,
+                        format!("recovery moved {from} → {to}; hysteresis relaxes exactly one rank per slot"),
+                        report,
+                    );
+                }
+                state.last_level = Some(to);
+            }
+            "safety.replan_failed" => {
+                let Some(failures) = Trace::field(e, "failures") else {
+                    fail(
+                        "safety.fields",
+                        e,
+                        "replan_failed event lacks a failures field".into(),
+                        report,
+                    );
+                    continue;
+                };
+                let expected = state.consecutive_failures + 1.0;
+                if failures != expected {
+                    fail(
+                        "safety.failure_count",
+                        e,
+                        format!(
+                            "failure counter reads {failures}, expected {expected} (consecutive)"
+                        ),
+                        report,
+                    );
+                }
+                if let (Some((prev_slot, prev_failures)), Some(b), Some(cur)) =
+                    (state.last_failure, backoff, e.slot)
+                {
+                    let earliest = prev_slot as f64 + 1.0 + b * prev_failures;
+                    if (cur as f64) < earliest {
+                        fail(
+                            "safety.retry_dwell",
+                            e,
+                            format!(
+                                "inner governor consulted at slot {cur}, before the backoff dwell ends at slot {earliest}"
+                            ),
+                            report,
+                        );
+                    }
+                }
+                state.consecutive_failures = failures;
+                if let Some(cur) = e.slot {
+                    state.last_failure = Some((cur, failures));
+                }
+            }
+            "safety.replan_recovered" => {
+                let after = Trace::field(e, "after").unwrap_or(-1.0);
+                if state.consecutive_failures < 1.0 {
+                    fail(
+                        "safety.recovered_without_failure",
+                        e,
+                        "replan recovery with no preceding failure".into(),
+                        report,
+                    );
+                } else if after != state.consecutive_failures {
+                    fail(
+                        "safety.failure_count",
+                        e,
+                        format!(
+                            "recovery reports {after} preceding failures, the stream shows {}",
+                            state.consecutive_failures
+                        ),
+                        report,
+                    );
+                }
+                state.consecutive_failures = 0.0;
+                state.last_failure = None;
+            }
+            "safety.fallback_engaged" => {
+                let failures = Trace::field(e, "failures").unwrap_or(-1.0);
+                if let Some(budget) = max_failures {
+                    if failures != budget {
+                        fail(
+                            "safety.fallback_budget",
+                            e,
+                            format!(
+                                "fallback engaged after {failures} failures; the configured budget is {budget}"
+                            ),
+                            report,
+                        );
+                    }
+                }
+                state.fallback_engaged = true;
+            }
+            _ => {}
+        }
+    }
+
+    // The degradation counter must agree with the event stream (only
+    // provable when the ring dropped nothing).
+    if dropped == 0 {
+        if let Some(counted) = trace.scoped_counter(scope, "safety.degradations") {
+            report.checks += 1;
+            if counted != state.events_seen {
+                report.violations.push(Violation {
+                    invariant: "safety.event_count",
+                    scope: scope.to_string(),
+                    seq: None,
+                    slot: None,
+                    message: format!(
+                        "safety.degradations counter reads {counted} but {} safety.* events are in the trace",
+                        state.events_seen
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Closing energy balance from gauges alone (Eq. 8 over the whole run):
+/// `offered − wasted − rate_loss − delivered − (final − initial) ≈ 0`,
+/// for every scope that advertises exact accounting.
+fn audit_energy_balance(trace: &Trace, tol: f64, report: &mut AuditReport) {
+    // Enumerate scopes from the gauge map so the check also covers scopes
+    // whose events were dropped from the ring.
+    let mut scopes: BTreeMap<&str, ()> = BTreeMap::new();
+    for name in trace.gauges.keys() {
+        let (scope, metric) = split_scoped(name);
+        if metric == "sim.final_battery_j" {
+            scopes.insert(scope, ());
+        }
+    }
+    for (scope, ()) in scopes {
+        let conserving = trace.scoped_gauge(scope, "sim.energy_conserving");
+        if conserving != Some(1.0) {
+            if conserving == Some(0.0) {
+                report.notes.push(format!(
+                    "scope \"{scope}\": battery does not conserve energy exactly — balance check skipped"
+                ));
+            }
+            continue;
+        }
+        let needed = [
+            trace.scoped_gauge(scope, "sim.offered_j"),
+            trace.scoped_gauge(scope, "sim.wasted_j"),
+            trace.scoped_gauge(scope, "sim.rate_loss_j"),
+            trace.scoped_gauge(scope, "sim.delivered_j"),
+            trace.scoped_gauge(scope, "sim.initial_battery_j"),
+            trace.scoped_gauge(scope, "sim.final_battery_j"),
+        ];
+        let [Some(offered), Some(wasted), Some(rate_loss), Some(delivered), Some(initial), Some(fin)] =
+            needed
+        else {
+            report.notes.push(format!(
+                "scope \"{scope}\": incomplete sim.* gauges — balance check skipped"
+            ));
+            continue;
+        };
+        report.checks += 1;
+        let residual = offered - wasted - rate_loss - delivered - (fin - initial);
+        if residual.abs() > tol {
+            report.violations.push(Violation {
+                invariant: "energy.balance",
+                scope: scope.to_string(),
+                seq: None,
+                slot: None,
+                message: format!(
+                    "offered {offered} − wasted {wasted} − rate_loss {rate_loss} − delivered {delivered} − ΔE {} leaves {residual} J unaccounted",
+                    fin - initial
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_telemetry::Recorder;
+
+    /// A minimal healthy single-scope run: 3 slots, window [0.5, 16].
+    fn healthy_recorder() -> Recorder {
+        let rec = Recorder::enabled("unit");
+        rec.gauge("sim.c_min_j", 0.5);
+        rec.gauge("sim.c_max_j", 16.0);
+        rec.gauge("sim.initial_battery_j", 8.0);
+        rec.gauge("sim.energy_conserving", 1.0);
+        // Start at 8 J; each slot nets +0.5 J (supplied 1.0, used 0.5),
+        // so Eq. 8 closes exactly: 3 − 0 − 0 − 1.5 − 1.5 = 0.
+        let levels = [8.5, 9.0, 9.5];
+        let supplied = 1.0; // per slot
+        let used = 0.5; // per slot
+        for (i, level) in levels.iter().enumerate() {
+            rec.event(
+                "sim.slot",
+                Some(i as u64),
+                i as f64 * 4.8,
+                &[
+                    ("battery_j", *level),
+                    ("used_j", used),
+                    ("supplied_j", supplied),
+                    ("undersupplied_j", 0.0),
+                    ("jobs", 1.0),
+                    ("backlog", 0.0),
+                ],
+            );
+        }
+        rec.gauge("sim.final_battery_j", 9.5);
+        rec.gauge("sim.delivered_j", 1.5);
+        rec.gauge("sim.offered_j", 3.0);
+        rec.gauge("sim.wasted_j", 0.0);
+        rec.gauge("sim.rate_loss_j", 0.0);
+        rec.gauge("sim.undersupplied_j", 0.0);
+        rec
+    }
+
+    fn audit_str(jsonl: &str) -> AuditReport {
+        let trace = Trace::parse(jsonl).unwrap();
+        audit(&trace, &AuditConfig::default())
+    }
+
+    #[test]
+    fn healthy_trace_passes_with_slack_note() {
+        let report = audit_str(&healthy_recorder().to_jsonl());
+        assert!(report.ok(), "{:?}", report.violations);
+        assert!(report.checks > 5);
+        assert!(
+            report.notes.iter().any(|n| n.contains("slack")),
+            "{:?}",
+            report.notes
+        );
+    }
+
+    #[test]
+    fn battery_outside_the_window_is_pinpointed() {
+        let rec = healthy_recorder();
+        rec.event(
+            "sim.slot",
+            Some(3),
+            14.4,
+            &[
+                ("battery_j", 21.0), // past C_max = 16
+                ("used_j", 0.0),
+                ("supplied_j", 0.0),
+                ("undersupplied_j", 0.0),
+            ],
+        );
+        let report = audit_str(&rec.to_jsonl());
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.invariant == "battery.window")
+            .expect("window violation");
+        assert_eq!(v.slot, Some(3));
+        assert_eq!(v.seq, Some(3));
+        assert_eq!(v.scope, "");
+        // The late extra slot also breaks the stream-vs-gauge anchors.
+        assert!(!report.ok());
+    }
+
+    #[test]
+    fn undersupply_must_not_decrease() {
+        let rec = Recorder::enabled("unit");
+        rec.event(
+            "sim.slot",
+            Some(0),
+            0.0,
+            &[("battery_j", 1.0), ("undersupplied_j", 2.0)],
+        );
+        rec.event(
+            "sim.slot",
+            Some(1),
+            4.8,
+            &[("battery_j", 1.0), ("undersupplied_j", 1.0)],
+        );
+        let report = audit_str(&rec.to_jsonl());
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.invariant == "undersupply.monotonic")
+            .expect("monotonicity violation");
+        assert_eq!(v.slot, Some(1));
+    }
+
+    #[test]
+    fn sum_mismatch_against_gauges_is_flagged() {
+        let rec = healthy_recorder();
+        rec.gauge("sim.delivered_j", 99.0); // stream sums to 1.5
+        let report = audit_str(&rec.to_jsonl());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "energy.delivered"));
+    }
+
+    #[test]
+    fn closing_balance_catches_unaccounted_energy() {
+        let rec = healthy_recorder();
+        rec.gauge("sim.offered_j", 5.0); // breaks both the sum and Eq. 8
+        let report = audit_str(&rec.to_jsonl());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "energy.offered"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "energy.balance"));
+    }
+
+    #[test]
+    fn non_conserving_batteries_skip_the_balance() {
+        let rec = healthy_recorder();
+        rec.gauge("sim.energy_conserving", 0.0);
+        rec.gauge("sim.offered_j", 5.0); // would break Eq. 8
+        let report = audit_str(&rec.to_jsonl());
+        assert!(!report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "energy.balance"));
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("balance check skipped")));
+    }
+
+    fn safety_config(rec: &Recorder) {
+        rec.gauge("safety.shed_step", 1.0);
+        rec.gauge("safety.backoff_slots", 1.0);
+        rec.gauge("safety.max_replan_failures", 3.0);
+    }
+
+    #[test]
+    fn legal_safety_stream_passes() {
+        let rec = Recorder::enabled("unit");
+        safety_config(&rec);
+        rec.event(
+            "safety.shed",
+            Some(0),
+            0.0,
+            &[("from_level", 0.0), ("to_level", 1.0)],
+        );
+        rec.event(
+            "safety.shed",
+            Some(1),
+            4.8,
+            &[("from_level", 1.0), ("to_level", 2.0)],
+        );
+        rec.event(
+            "safety.recover",
+            Some(3),
+            14.4,
+            &[("from_level", 2.0), ("to_level", 1.0)],
+        );
+        rec.event("safety.replan_failed", Some(4), 19.2, &[("failures", 1.0)]);
+        rec.event("safety.replan_recovered", Some(6), 28.8, &[("after", 1.0)]);
+        rec.incr("safety.degradations", 5);
+        let report = audit_str(&rec.to_jsonl());
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn out_of_order_shed_levels_are_pinpointed() {
+        let rec = Recorder::enabled("unit");
+        safety_config(&rec);
+        rec.event(
+            "safety.shed",
+            Some(0),
+            0.0,
+            &[("from_level", 0.0), ("to_level", 1.0)],
+        );
+        // Chain break: previous transition ended at 1, this one starts at 3.
+        rec.event(
+            "safety.shed",
+            Some(1),
+            4.8,
+            &[("from_level", 3.0), ("to_level", 4.0)],
+        );
+        rec.incr("safety.degradations", 2);
+        let report = audit_str(&rec.to_jsonl());
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.invariant == "safety.level_chain")
+            .expect("chain violation");
+        assert_eq!((v.seq, v.slot), (Some(1), Some(1)));
+    }
+
+    #[test]
+    fn oversized_shed_and_multi_rank_recovery_are_illegal() {
+        let rec = Recorder::enabled("unit");
+        safety_config(&rec); // shed_step = 1
+        rec.event(
+            "safety.shed",
+            Some(0),
+            0.0,
+            &[("from_level", 0.0), ("to_level", 2.0)],
+        );
+        rec.event(
+            "safety.recover",
+            Some(1),
+            4.8,
+            &[("from_level", 2.0), ("to_level", 0.0)],
+        );
+        rec.incr("safety.degradations", 2);
+        let report = audit_str(&rec.to_jsonl());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "safety.shed_step"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "safety.recover_step"));
+    }
+
+    #[test]
+    fn fallback_is_terminal_and_respects_the_budget() {
+        let rec = Recorder::enabled("unit");
+        safety_config(&rec);
+        rec.event("safety.replan_failed", Some(0), 0.0, &[("failures", 1.0)]);
+        rec.event("safety.replan_failed", Some(3), 14.4, &[("failures", 2.0)]);
+        rec.event("safety.replan_failed", Some(7), 33.6, &[("failures", 3.0)]);
+        rec.event(
+            "safety.fallback_engaged",
+            Some(7),
+            33.6,
+            &[("failures", 3.0)],
+        );
+        // Illegal: the inner governor must never be consulted again.
+        rec.event("safety.replan_failed", Some(9), 43.2, &[("failures", 4.0)]);
+        rec.incr("safety.degradations", 5);
+        let report = audit_str(&rec.to_jsonl());
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.invariant == "safety.fallback_terminal")
+            .expect("terminal violation");
+        assert_eq!(v.slot, Some(9));
+    }
+
+    #[test]
+    fn retry_before_the_dwell_is_illegal() {
+        let rec = Recorder::enabled("unit");
+        safety_config(&rec); // backoff_slots = 1
+        rec.event("safety.replan_failed", Some(4), 19.2, &[("failures", 1.0)]);
+        // Earliest legal retry: slot 4 + 1 + 1·1 = 6. Slot 5 is too soon.
+        rec.event("safety.replan_failed", Some(5), 24.0, &[("failures", 2.0)]);
+        rec.incr("safety.degradations", 2);
+        let report = audit_str(&rec.to_jsonl());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "safety.retry_dwell"));
+    }
+
+    #[test]
+    fn degradation_counter_must_match_the_event_stream() {
+        let rec = Recorder::enabled("unit");
+        rec.event(
+            "safety.shed",
+            Some(0),
+            0.0,
+            &[("from_level", 0.0), ("to_level", 1.0)],
+        );
+        rec.incr("safety.degradations", 7);
+        let report = audit_str(&rec.to_jsonl());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "safety.event_count"));
+    }
+
+    #[test]
+    fn non_monotonic_seq_is_caught() {
+        // Hand-build a trace with a rewound sequence number.
+        let rec = Recorder::enabled("unit");
+        rec.event("a", Some(0), 0.0, &[]);
+        rec.event("b", Some(1), 1.0, &[]);
+        let mut jsonl = rec.to_jsonl();
+        jsonl = jsonl.replace("\"seq\":1", "\"seq\":0");
+        let report = audit_str(&jsonl);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "seq.monotonic"));
+    }
+
+    #[test]
+    fn meta_event_count_mismatch_is_caught() {
+        let rec = Recorder::enabled("unit");
+        rec.event("a", Some(0), 0.0, &[]);
+        let jsonl = rec.to_jsonl().replace("\"events\":1", "\"events\":5");
+        let report = audit_str(&jsonl);
+        assert_eq!(report.first().map(|v| v.invariant), Some("meta.events"));
+    }
+
+    #[test]
+    fn dropped_events_skip_sum_checks_with_a_note() {
+        let rec = Recorder::with_capacity("unit", 2);
+        rec.gauge("sim.delivered_j", 99.0); // would fail the sum check
+        for i in 0..5u64 {
+            rec.event(
+                "sim.slot",
+                Some(i),
+                i as f64,
+                &[("battery_j", 1.0), ("used_j", 0.1), ("supplied_j", 0.1)],
+            );
+        }
+        let report = audit_str(&rec.to_jsonl());
+        assert!(!report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "energy.delivered"));
+        assert!(report.notes.iter().any(|n| n.contains("dropped")));
+    }
+
+    #[test]
+    fn violations_render_with_their_anchor() {
+        let v = Violation {
+            invariant: "battery.window",
+            scope: "table1/0".into(),
+            seq: Some(12),
+            slot: Some(4),
+            message: "out of window".into(),
+        };
+        let s = v.to_string();
+        assert!(
+            s.contains("battery.window") && s.contains("table1/0"),
+            "{s}"
+        );
+        assert!(s.contains("seq=12") && s.contains("slot=4"), "{s}");
+    }
+}

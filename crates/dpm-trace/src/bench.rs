@@ -1,0 +1,252 @@
+//! Performance baselines from wall-clock profile documents.
+//!
+//! A `.profile` document (see [`dpm_telemetry::ProfileLine`]) is
+//! non-reproducible by design — wall clock varies run to run — but its
+//! *shape* is stable: the same spans run the same number of times, and
+//! their mean durations drift only when the code regresses. This module
+//! condenses a profile into a committed `BENCH_<name>.json` baseline and
+//! checks fresh profiles against it within a tolerance band, giving CI a
+//! cheap perf-regression gate without a benchmarking framework.
+
+use crate::error::TraceError;
+use dpm_telemetry::ProfileLine;
+use serde::{Deserialize, Serialize};
+
+/// Version stamp of the baseline document format.
+pub const BENCH_SCHEMA: u32 = 1;
+
+/// One span's condensed timing in a baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSpan {
+    /// Scope-qualified span name.
+    pub name: String,
+    /// Completed executions.
+    pub count: u64,
+    /// Total wall-clock seconds.
+    pub total_s: f64,
+    /// Mean wall-clock seconds per execution.
+    pub mean_s: f64,
+    /// Longest single execution (s).
+    pub max_s: f64,
+}
+
+/// A committed performance baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchBaseline {
+    /// [`BENCH_SCHEMA`] at write time.
+    pub schema: u32,
+    /// Baseline name (`"repro"`, …).
+    pub name: String,
+    /// Spans sorted by name.
+    pub spans: Vec<BenchSpan>,
+}
+
+/// One span that regressed against the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The offending span.
+    pub span: String,
+    /// What regressed and by how much.
+    pub message: String,
+}
+
+impl BenchBaseline {
+    /// Condense a parsed profile into a named baseline, spans sorted by
+    /// name so the JSON is deterministic up to the timing values.
+    pub fn from_profile(name: &str, profile: &[ProfileLine]) -> Self {
+        let mut spans: Vec<BenchSpan> = profile
+            .iter()
+            .map(|p| BenchSpan {
+                name: p.name.clone(),
+                count: p.count,
+                total_s: p.total_s,
+                mean_s: p.mean_s,
+                max_s: p.max_s,
+            })
+            .collect();
+        spans.sort_by(|a, b| a.name.cmp(&b.name));
+        Self {
+            schema: BENCH_SCHEMA,
+            name: name.to_string(),
+            spans,
+        }
+    }
+
+    /// Serialize to the committed JSON form (pretty, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut json = serde_json::to_string_pretty(self).unwrap_or_default();
+        json.push('\n');
+        json
+    }
+
+    /// Parse a committed baseline document.
+    ///
+    /// # Errors
+    /// [`TraceError::InvalidBaseline`] when the document does not
+    /// deserialize or advertises an unknown schema.
+    pub fn parse(input: &str) -> Result<Self, TraceError> {
+        let baseline: Self =
+            serde_json::from_str(input).map_err(|e| TraceError::InvalidBaseline(e.to_string()))?;
+        if baseline.schema != BENCH_SCHEMA {
+            return Err(TraceError::InvalidBaseline(format!(
+                "baseline schema v{} is not the v{BENCH_SCHEMA} this analyzer understands",
+                baseline.schema
+            )));
+        }
+        Ok(baseline)
+    }
+
+    /// Look up a span by name.
+    fn span(&self, name: &str) -> Option<&BenchSpan> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+}
+
+/// Check a fresh profile against a committed baseline.
+///
+/// A span regresses when it vanished, its deterministic call count
+/// changed (that is a behavior change, not noise), or its mean duration
+/// exceeds the baseline's by more than `tolerance_pct` percent. Spans
+/// present in the candidate but not the baseline are reported too — new
+/// hot paths should enter the baseline deliberately. Returns the empty
+/// vector when the profile is within the band.
+pub fn check(
+    baseline: &BenchBaseline,
+    candidate: &[ProfileLine],
+    tolerance_pct: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    let factor = 1.0 + tolerance_pct / 100.0;
+    for base in &baseline.spans {
+        let Some(cur) = candidate.iter().find(|p| p.name == base.name) else {
+            regressions.push(Regression {
+                span: base.name.clone(),
+                message: "span missing from the candidate profile".into(),
+            });
+            continue;
+        };
+        if cur.count != base.count {
+            regressions.push(Regression {
+                span: base.name.clone(),
+                message: format!(
+                    "call count changed: baseline {}, candidate {} (deterministic counts must match)",
+                    base.count, cur.count
+                ),
+            });
+        }
+        // Allow a small absolute floor so sub-microsecond spans do not
+        // flap on scheduler noise.
+        let limit = base.mean_s * factor + 1e-9;
+        if cur.mean_s > limit {
+            regressions.push(Regression {
+                span: base.name.clone(),
+                message: format!(
+                    "mean {:.6}s exceeds baseline {:.6}s by more than {tolerance_pct}%",
+                    cur.mean_s, base.mean_s
+                ),
+            });
+        }
+    }
+    for cur in candidate {
+        if baseline.span(&cur.name).is_none() {
+            regressions.push(Regression {
+                span: cur.name.clone(),
+                message: "span absent from the baseline (re-generate it to admit new spans)".into(),
+            });
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> Vec<ProfileLine> {
+        vec![
+            ProfileLine {
+                name: "table1.job".into(),
+                count: 12,
+                total_s: 0.24,
+                mean_s: 0.02,
+                max_s: 0.05,
+            },
+            ProfileLine {
+                name: "campaign.cell".into(),
+                count: 3,
+                total_s: 0.3,
+                mean_s: 0.1,
+                max_s: 0.12,
+            },
+        ]
+    }
+
+    #[test]
+    fn baseline_round_trips_and_sorts_spans() {
+        let base = BenchBaseline::from_profile("repro", &profile());
+        assert_eq!(base.schema, BENCH_SCHEMA);
+        assert_eq!(base.spans[0].name, "campaign.cell");
+        assert_eq!(base.spans[1].name, "table1.job");
+        let json = base.to_json();
+        assert!(json.ends_with('\n'));
+        let back = BenchBaseline::parse(&json).expect("parses");
+        assert_eq!(back, base);
+    }
+
+    #[test]
+    fn malformed_and_future_baselines_are_rejected() {
+        assert!(matches!(
+            BenchBaseline::parse("not json"),
+            Err(TraceError::InvalidBaseline(_))
+        ));
+        let base = BenchBaseline::from_profile("repro", &profile());
+        let bumped = base.to_json().replacen("1", "9", 1);
+        assert!(matches!(
+            BenchBaseline::parse(&bumped),
+            Err(TraceError::InvalidBaseline(_))
+        ));
+    }
+
+    #[test]
+    fn identical_profile_is_within_band() {
+        let base = BenchBaseline::from_profile("repro", &profile());
+        assert!(check(&base, &profile(), 10.0).is_empty());
+    }
+
+    #[test]
+    fn slow_span_regresses_but_tolerance_absorbs_noise() {
+        let base = BenchBaseline::from_profile("repro", &profile());
+        let mut cur = profile();
+        cur[0].mean_s = 0.021; // +5% on table1.job
+        assert!(check(&base, &cur, 10.0).is_empty());
+        cur[0].mean_s = 0.03; // +50%
+        let regs = check(&base, &cur, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].span, "table1.job");
+        assert!(regs[0].message.contains("exceeds baseline"));
+    }
+
+    #[test]
+    fn count_changes_and_missing_or_new_spans_are_regressions() {
+        let base = BenchBaseline::from_profile("repro", &profile());
+        let mut cur = profile();
+        cur[1].count = 99;
+        let regs = check(&base, &cur, 50.0);
+        assert!(regs.iter().any(|r| r.message.contains("call count")));
+
+        let removed: Vec<ProfileLine> = profile().into_iter().skip(1).collect();
+        let regs = check(&base, &removed, 50.0);
+        assert!(regs.iter().any(|r| r.message.contains("missing")));
+
+        let mut added = profile();
+        added.push(ProfileLine {
+            name: "new.span".into(),
+            count: 1,
+            total_s: 0.0,
+            mean_s: 0.0,
+            max_s: 0.0,
+        });
+        let regs = check(&base, &added, 50.0);
+        assert!(regs.iter().any(|r| r.span == "new.span"));
+    }
+}

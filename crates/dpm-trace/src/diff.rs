@@ -1,0 +1,188 @@
+//! First-divergence comparison between two trace documents.
+//!
+//! The determinism contract (DESIGN.md §10) says two runs of the same
+//! configuration produce byte-identical traces, so CI used to compare
+//! them with `cmp`. `cmp` reports a byte offset; this module reports the
+//! first diverging *line* together with the common lines leading up to
+//! it and a decoded hint (`event sim.slot scope="table1/0" seq=12
+//! slot=4`), which turns "traces differ" into "the runs diverged at this
+//! slot of this experiment".
+
+use dpm_telemetry::TraceLine;
+use std::fmt;
+
+/// The first point where two JSONL documents disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// 1-based line number of the first differing line.
+    pub line: usize,
+    /// The left document's line, or `None` if it ended first.
+    pub left: Option<String>,
+    /// The right document's line, or `None` if it ended first.
+    pub right: Option<String>,
+    /// Up to the requested number of common lines immediately before the
+    /// divergence.
+    pub context: Vec<String>,
+}
+
+/// Decode a trace line into a short human hint, if it parses.
+fn decode_hint(line: &str) -> Option<String> {
+    let parsed: TraceLine = serde_json::from_str(line).ok()?;
+    Some(match parsed {
+        TraceLine::Meta(m) => format!(
+            "meta source=\"{}\" events={} dropped={}",
+            m.source, m.events, m.dropped
+        ),
+        TraceLine::Event(e) => {
+            let slot = e.slot.map(|s| s.to_string()).unwrap_or_else(|| "-".into());
+            format!(
+                "event {} scope=\"{}\" seq={} slot={slot} t={}",
+                e.name, e.scope, e.seq, e.time
+            )
+        }
+        TraceLine::Counter(c) => format!("counter {} = {}", c.name, c.value),
+        TraceLine::Gauge(g) => format!("gauge {} = {}", g.name, g.value),
+        TraceLine::Histogram(h) => {
+            format!("histogram {} count={} sum={}", h.name, h.count, h.sum)
+        }
+        TraceLine::Span(s) => format!("span {} count={}", s.name, s.count),
+    })
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "first divergence at line {}:", self.line)?;
+        let context_start = self.line.saturating_sub(self.context.len());
+        for (i, line) in self.context.iter().enumerate() {
+            writeln!(f, "  {:>6}   {line}", context_start + i)?;
+        }
+        match &self.left {
+            Some(line) => {
+                writeln!(f, "  {:>6} < {line}", self.line)?;
+                if let Some(hint) = decode_hint(line) {
+                    writeln!(f, "           ({hint})")?;
+                }
+            }
+            None => writeln!(f, "  {:>6} < <end of document>", self.line)?,
+        }
+        match &self.right {
+            Some(line) => {
+                writeln!(f, "  {:>6} > {line}", self.line)?;
+                if let Some(hint) = decode_hint(line) {
+                    writeln!(f, "           ({hint})")?;
+                }
+            }
+            None => writeln!(f, "  {:>6} > <end of document>", self.line)?,
+        }
+        Ok(())
+    }
+}
+
+/// Find the first line where `left` and `right` differ, carrying up to
+/// `context` preceding common lines. Returns `None` when the documents
+/// are line-identical (a trailing newline difference counts as a
+/// divergence: determinism is a byte contract).
+pub fn first_divergence(left: &str, right: &str, context: usize) -> Option<Divergence> {
+    let mut recent: Vec<String> = Vec::new();
+    let mut l_iter = left.lines();
+    let mut r_iter = right.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (l_iter.next(), r_iter.next()) {
+            (None, None) => return None,
+            (l, r) => {
+                if l != r {
+                    return Some(Divergence {
+                        line,
+                        left: l.map(str::to_string),
+                        right: r.map(str::to_string),
+                        context: recent,
+                    });
+                }
+                if context > 0 {
+                    if recent.len() == context {
+                        recent.remove(0);
+                    }
+                    if let Some(l) = l {
+                        recent.push(l.to_string());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_telemetry::Recorder;
+
+    fn trace_with_levels(levels: &[f64]) -> String {
+        let rec = Recorder::enabled("diff");
+        rec.gauge("sim.c_min_j", 0.5);
+        for (i, level) in levels.iter().enumerate() {
+            rec.event(
+                "sim.slot",
+                Some(i as u64),
+                i as f64,
+                &[("battery_j", *level)],
+            );
+        }
+        rec.to_jsonl()
+    }
+
+    #[test]
+    fn identical_documents_have_no_divergence() {
+        let a = trace_with_levels(&[1.0, 2.0, 3.0]);
+        assert_eq!(first_divergence(&a, &a.clone(), 3), None);
+        assert_eq!(first_divergence("", "", 3), None);
+    }
+
+    #[test]
+    fn first_differing_line_is_pinpointed_with_context() {
+        let a = trace_with_levels(&[1.0, 2.0, 3.0]);
+        let b = trace_with_levels(&[1.0, 2.0, 4.0]);
+        let d = first_divergence(&a, &b, 2).expect("must diverge");
+        // Line 1 is meta, line 2 the first slot event; levels diverge at
+        // the third slot event, line 4.
+        assert_eq!(d.line, 4);
+        assert_eq!(d.context.len(), 2);
+        assert!(d.left.as_deref().unwrap_or("").contains("battery_j"));
+        assert_ne!(d.left, d.right);
+        let rendered = d.to_string();
+        assert!(rendered.contains("line 4"), "{rendered}");
+        assert!(rendered.contains("event sim.slot"), "{rendered}");
+        assert!(rendered.contains("slot=2"), "{rendered}");
+    }
+
+    #[test]
+    fn truncated_document_diverges_at_the_missing_line() {
+        // Cut the final line off the same document, so the meta headers
+        // (which carry the event count) stay identical.
+        let b = trace_with_levels(&[1.0, 2.0, 3.0]);
+        let a: String = b.lines().take(3).fold(String::new(), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        });
+        let d = first_divergence(&a, &b, 8).expect("must diverge");
+        assert_eq!(d.line, 4);
+        assert_eq!(d.left, None);
+        assert!(d.right.is_some());
+        assert!(d.to_string().contains("<end of document>"));
+        // Symmetric case.
+        let d2 = first_divergence(&b, &a, 0).expect("must diverge");
+        assert_eq!(d2.right, None);
+        assert!(d2.context.is_empty());
+    }
+
+    #[test]
+    fn non_jsonl_lines_render_without_a_hint() {
+        let d = first_divergence("same\nleftish", "same\nrightish", 1).expect("diverges");
+        assert_eq!(d.line, 2);
+        let rendered = d.to_string();
+        assert!(rendered.contains("leftish") && rendered.contains("rightish"));
+        assert!(!rendered.contains("("), "no hint expected: {rendered}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Typed errors for trace analysis, following the repo-wide convention
+//! (DESIGN.md §7): analysis over possibly hostile input degrades through
+//! `Result`, never a panic.
+
+use std::fmt;
+
+/// Why a trace or baseline document could not be analyzed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A line of the document failed to deserialize.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The serde layer's message.
+        message: String,
+    },
+    /// The trace header advertises a schema this analyzer does not speak.
+    SchemaMismatch {
+        /// Version found in the meta line.
+        found: u32,
+        /// Version this crate was built against.
+        expected: u32,
+    },
+    /// The document's first line is not a `meta` header.
+    MissingMeta,
+    /// A baseline document is structurally invalid.
+    InvalidBaseline(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            Self::SchemaMismatch { found, expected } => write!(
+                f,
+                "trace schema v{found} is not the v{expected} this analyzer understands"
+            ),
+            Self::MissingMeta => {
+                write!(f, "the first line of a trace must be its meta header")
+            }
+            Self::InvalidBaseline(reason) => write!(f, "invalid baseline: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<dpm_telemetry::ParseError> for TraceError {
+    fn from(e: dpm_telemetry::ParseError) -> Self {
+        Self::Parse {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(TraceError, &str)> = vec![
+            (
+                TraceError::Parse {
+                    line: 3,
+                    message: "bad".into(),
+                },
+                "line 3",
+            ),
+            (
+                TraceError::SchemaMismatch {
+                    found: 9,
+                    expected: 1,
+                },
+                "v9",
+            ),
+            (TraceError::MissingMeta, "meta"),
+            (TraceError::InvalidBaseline("no spans".into()), "no spans"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn converts_from_telemetry_parse_errors() {
+        let e = dpm_telemetry::ParseError {
+            line: 7,
+            message: "x".into(),
+        };
+        assert_eq!(
+            TraceError::from(e),
+            TraceError::Parse {
+                line: 7,
+                message: "x".into()
+            }
+        );
+    }
+}

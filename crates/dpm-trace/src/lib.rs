@@ -1,0 +1,53 @@
+//! Trace analysis over the deterministic telemetry layer.
+//!
+//! [`dpm_telemetry`] writes schema-v1 JSONL traces; this crate reads
+//! them back and turns them into actionable checks (see DESIGN.md §10
+//! and docs/TRACE_SCHEMA.md):
+//!
+//! - [`model::Trace`] — parse + index a trace document;
+//! - [`audit`] — replay a trace against the battery-window, energy-
+//!   conservation, safety-legality, and undersupply-monotonicity
+//!   invariants, pinpointing the first violation as `(scope, seq, slot)`;
+//! - [`diff`] — first-divergence comparison between two traces with
+//!   decoded context (the determinism gate);
+//! - [`summary`] — per-run report: activity counters, safety transition
+//!   census, histogram quantiles, ASCII battery trajectories;
+//! - [`bench`] — condense wall-clock `.profile` documents into committed
+//!   `BENCH_<name>.json` baselines and check fresh profiles against them.
+//!
+//! The `dpm-analyze` binary in `dpm-bench` fronts all four as commands.
+//!
+//! Like the telemetry layer it reads, this crate must never take down a
+//! caller on hostile input: non-test code is panic-free (enforced by
+//! `ci/forbid_panics.sh`) and every failure is a typed [`TraceError`].
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod bench;
+pub mod diff;
+mod error;
+pub mod model;
+pub mod summary;
+
+pub use audit::{audit, AuditConfig, AuditReport, Violation};
+pub use bench::{check as bench_check, BenchBaseline, BenchSpan, Regression, BENCH_SCHEMA};
+pub use diff::{first_divergence, Divergence};
+pub use error::TraceError;
+pub use model::{split_scoped, Trace};
+pub use summary::{quantile, render as render_summary};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Trace>();
+        assert_send_sync::<AuditReport>();
+        assert_send_sync::<TraceError>();
+        assert_send_sync::<BenchBaseline>();
+        assert_send_sync::<Divergence>();
+    }
+}

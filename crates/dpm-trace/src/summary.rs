@@ -1,0 +1,318 @@
+//! Per-run human-readable reports over a parsed trace: replan and safety
+//! activity, histogram quantiles, and an ASCII battery trajectory per
+//! scope — the "what happened in this run" view that raw JSONL hides.
+
+use crate::model::{split_scoped, Trace};
+use dpm_telemetry::HistogramLine;
+use std::fmt::Write as _;
+
+/// Density ramp for the battery timeline, dimmest to brightest.
+const RAMP: &[u8] = b" .:-=+*#%@";
+/// Maximum timeline width in columns.
+const TIMELINE_COLS: usize = 64;
+
+/// Approximate quantile from a histogram snapshot's bucket counts.
+///
+/// Returns the upper bound of the bucket where the cumulative count
+/// crosses `q * count`, clamped to the recorded `[min, max]`; the
+/// overflow bucket reports `max`. An empty histogram reports 0. `q` is
+/// clamped into `[0, 1]`; a NaN `q` behaves as 0.
+pub fn quantile(h: &HistogramLine, q: f64) -> f64 {
+    if h.count == 0 {
+        return 0.0;
+    }
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+    let rank = (q * h.count as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, c) in h.counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return match h.bounds.get(i) {
+                Some(bound) => bound.clamp(h.min, h.max),
+                None => h.max, // overflow bucket
+            };
+        }
+    }
+    h.max
+}
+
+/// Downsample `values` to at most `cols` points by averaging fixed-width
+/// chunks, preserving the first and last samples' chunks.
+fn downsample(values: &[f64], cols: usize) -> Vec<f64> {
+    if cols == 0 || values.is_empty() {
+        return Vec::new();
+    }
+    if values.len() <= cols {
+        return values.to_vec();
+    }
+    let mut out = Vec::with_capacity(cols);
+    for chunk in 0..cols {
+        let start = chunk * values.len() / cols;
+        let end = ((chunk + 1) * values.len() / cols).max(start + 1);
+        let slice = &values[start..end.min(values.len())];
+        let sum: f64 = slice.iter().sum();
+        out.push(sum / slice.len().max(1) as f64);
+    }
+    out
+}
+
+/// Map battery levels to a one-line ASCII trajectory over `[lo, hi]`.
+fn timeline(values: &[f64], lo: f64, hi: f64) -> String {
+    let span = hi - lo;
+    downsample(values, TIMELINE_COLS)
+        .iter()
+        .map(|v| {
+            let norm = if span > 0.0 {
+                ((v - lo) / span).clamp(0.0, 1.0)
+            } else {
+                0.5
+            };
+            let idx = (norm * (RAMP.len() - 1) as f64).round() as usize;
+            char::from(*RAMP.get(idx.min(RAMP.len() - 1)).unwrap_or(&b' '))
+        })
+        .collect()
+}
+
+/// Counters worth surfacing in the activity section, by metric base name.
+const ACTIVITY_COUNTERS: &[&str] = &[
+    "core.decide.calls",
+    "core.replan.count",
+    "safety.degradations",
+    "sim.slots",
+    "sim.jobs_done",
+    "sim.jobs_dropped",
+    "sim.disturbances",
+];
+
+/// Render the full report for a parsed trace.
+pub fn render(trace: &Trace) -> String {
+    let mut out = String::new();
+    let meta = &trace.meta;
+    let _ = writeln!(
+        out,
+        "trace \"{}\" (schema v{}): {} events, {} dropped, {} counters, {} gauges, {} histograms",
+        meta.source,
+        meta.schema,
+        meta.events,
+        meta.dropped,
+        trace.counters.len(),
+        trace.gauges.len(),
+        trace.histograms.len(),
+    );
+
+    // Governor / safety activity, grouped under each scope.
+    let mut activity: Vec<(&str, &str, u64)> = Vec::new();
+    for (name, value) in &trace.counters {
+        let (scope, metric) = split_scoped(name);
+        if ACTIVITY_COUNTERS.contains(&metric) {
+            activity.push((scope, metric, *value));
+        }
+    }
+    if !activity.is_empty() {
+        let _ = writeln!(out, "\nactivity:");
+        for (scope, metric, value) in &activity {
+            let shown = if scope.is_empty() { "<root>" } else { scope };
+            let _ = writeln!(out, "  {shown:<40} {metric:<22} {value}");
+        }
+    }
+
+    // Safety transition census from the event stream.
+    let mut shed = 0u64;
+    let mut recover = 0u64;
+    let mut replan_failed = 0u64;
+    let mut replan_recovered = 0u64;
+    let mut fallback = 0u64;
+    for e in &trace.events {
+        match e.name.as_str() {
+            "safety.shed" => shed += 1,
+            "safety.recover" => recover += 1,
+            "safety.replan_failed" => replan_failed += 1,
+            "safety.replan_recovered" => replan_recovered += 1,
+            "safety.fallback_engaged" => fallback += 1,
+            _ => {}
+        }
+    }
+    if shed + recover + replan_failed + replan_recovered + fallback > 0 {
+        let _ = writeln!(
+            out,
+            "\nsafety transitions: {shed} shed, {recover} recover, {replan_failed} replan-failed, {replan_recovered} replan-recovered, {fallback} fallback"
+        );
+    }
+
+    // Histogram quantiles.
+    if !trace.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<46} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "count", "p50", "p90", "p99", "max"
+        );
+        for (name, h) in &trace.histograms {
+            let _ = writeln!(
+                out,
+                "{:<46} {:>8} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                name,
+                h.count,
+                quantile(h, 0.50),
+                quantile(h, 0.90),
+                quantile(h, 0.99),
+                h.max
+            );
+        }
+    }
+
+    // Battery trajectory per scope that carries sim.slot events.
+    let mut drew_header = false;
+    for (scope, events) in trace.events_by_scope() {
+        let levels: Vec<f64> = events
+            .iter()
+            .filter(|e| e.name == "sim.slot")
+            .filter_map(|e| Trace::field(e, "battery_j"))
+            .collect();
+        if levels.is_empty() {
+            continue;
+        }
+        // Scale to the advertised window when present, else to the data.
+        let (lo, hi) = match (
+            trace.scoped_gauge(scope, "sim.c_min_j"),
+            trace.scoped_gauge(scope, "sim.c_max_j"),
+        ) {
+            (Some(lo), Some(hi)) => (lo, hi),
+            _ => (
+                levels.iter().copied().fold(f64::INFINITY, f64::min),
+                levels.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            ),
+        };
+        if !drew_header {
+            let _ = writeln!(
+                out,
+                "\nbattery trajectory (scaled {} → {} over [C_min, C_max], {} slots max per row):",
+                char::from(RAMP[0]),
+                char::from(RAMP[RAMP.len() - 1]),
+                TIMELINE_COLS
+            );
+            drew_header = true;
+        }
+        let shown = if scope.is_empty() { "<root>" } else { scope };
+        let _ = writeln!(
+            out,
+            "  {:<40} |{}| {} slots",
+            shown,
+            timeline(&levels, lo, hi),
+            levels.len()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_telemetry::Recorder;
+
+    fn sample_trace() -> Trace {
+        let rec = Recorder::enabled("summary");
+        rec.incr("core.replan.count", 4);
+        rec.incr("safety.degradations", 2);
+        rec.gauge("sim.c_min_j", 0.0);
+        rec.gauge("sim.c_max_j", 10.0);
+        for i in 0..100u64 {
+            rec.event(
+                "sim.slot",
+                Some(i),
+                i as f64,
+                &[("battery_j", (i % 10) as f64)],
+            );
+            rec.observe("sim.slot.used_j", (i % 5) as f64);
+        }
+        rec.event(
+            "safety.shed",
+            Some(3),
+            3.0,
+            &[("from_level", 0.0), ("to_level", 1.0)],
+        );
+        rec.event(
+            "safety.recover",
+            Some(9),
+            9.0,
+            &[("from_level", 1.0), ("to_level", 0.0)],
+        );
+        Trace::parse(&rec.to_jsonl()).expect("trace parses")
+    }
+
+    #[test]
+    fn report_carries_all_sections() {
+        let report = render(&sample_trace());
+        assert!(report.contains("trace \"summary\""), "{report}");
+        assert!(report.contains("core.replan.count"), "{report}");
+        assert!(report.contains("1 shed, 1 recover"), "{report}");
+        assert!(report.contains("sim.slot.used_j"), "{report}");
+        assert!(report.contains("battery trajectory"), "{report}");
+        assert!(report.contains("100 slots"), "{report}");
+        // The timeline is downsampled to the column budget.
+        let row = report
+            .lines()
+            .find(|l| l.contains("100 slots"))
+            .expect("timeline row");
+        let bars: String = row
+            .split('|')
+            .nth(1)
+            .expect("ramp between pipes")
+            .to_string();
+        assert_eq!(bars.len(), TIMELINE_COLS);
+    }
+
+    #[test]
+    fn quantiles_come_from_bucket_bounds() {
+        let rec = Recorder::enabled("q");
+        for v in [1.0, 1.0, 2.0, 4.0] {
+            rec.observe("h", v);
+        }
+        let trace = Trace::parse(&rec.to_jsonl()).expect("parses");
+        let h = trace.histograms.get("h").expect("histogram");
+        let p50 = quantile(h, 0.5);
+        assert!((1.0..=2.0).contains(&p50), "{p50}");
+        assert_eq!(quantile(h, 1.0), h.max);
+        assert_eq!(quantile(h, 0.0), quantile(h, f64::NAN));
+        let empty = HistogramLine {
+            name: "e".into(),
+            bounds: vec![1.0],
+            counts: vec![0, 0],
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
+        assert_eq!(quantile(&empty, 0.9), 0.0);
+    }
+
+    #[test]
+    fn downsample_preserves_short_series_and_bounds_long_ones() {
+        assert_eq!(downsample(&[1.0, 2.0], 64), vec![1.0, 2.0]);
+        assert!(downsample(&[], 64).is_empty());
+        let long: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let ds = downsample(&long, 64);
+        assert_eq!(ds.len(), 64);
+        // Monotone input stays monotone through chunk means.
+        assert!(ds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn timeline_is_flat_for_degenerate_scales() {
+        let line = timeline(&[5.0, 5.0, 5.0], 5.0, 5.0);
+        assert_eq!(line.len(), 3);
+        assert!(line
+            .chars()
+            .all(|c| c == line.chars().next().unwrap_or(' ')));
+    }
+
+    #[test]
+    fn scopes_without_window_gauges_scale_to_their_data() {
+        let rec = Recorder::enabled("nw");
+        rec.event("sim.slot", Some(0), 0.0, &[("battery_j", 3.0)]);
+        rec.event("sim.slot", Some(1), 1.0, &[("battery_j", 7.0)]);
+        let trace = Trace::parse(&rec.to_jsonl()).expect("parses");
+        let report = render(&trace);
+        assert!(report.contains("battery trajectory"), "{report}");
+        assert!(report.contains("2 slots"), "{report}");
+    }
+}
