@@ -8,9 +8,10 @@
 # a poisoned lock degrades to recovering the data, not panicking), and
 # crates/dpm-trace/src (trace analysis runs over possibly hostile input
 # and must degrade through typed errors), plus
-# the dpm-bench runner and campaign modules, the simulation engine, and
-# the dpm-workloads fault-plan generator (the fault-injection path must
-# degrade through typed errors, never abort a campaign), strips
+# the dpm-bench runner, campaign, and fleet modules, the simulation
+# engine and its struct-of-arrays fleet core, and the dpm-workloads
+# fault-plan and fleet-population generators (the fault-injection path
+# must degrade through typed errors, never abort a campaign), strips
 # everything from the `#[cfg(test)]` marker onward
 # (test modules sit at the end of each file),
 # and fails if the remainder contains `.unwrap()`, `.expect(`, `panic!`,
@@ -25,9 +26,12 @@ for f in $(find crates/dpm-core/src -name '*.rs' | sort) \
     $(find crates/dpm-trace/src -name '*.rs' | sort) \
     crates/dpm-bench/src/runner.rs \
     crates/dpm-bench/src/campaign.rs \
+    crates/dpm-bench/src/fleet.rs \
     crates/dpm-bench/src/telemetry_out.rs \
     crates/dpm-sim/src/sim.rs \
-    crates/dpm-workloads/src/faults.rs; do
+    crates/dpm-sim/src/fleet.rs \
+    crates/dpm-workloads/src/faults.rs \
+    crates/dpm-workloads/src/fleet.rs; do
     hits=$(awk '/^#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" |
         grep -vE '^[0-9]+: *(//|//!|///)' |
         grep -E '\.unwrap\(\)|\.expect\(|panic!|(^|[^_a-z])assert(_eq|_ne)?!' |

@@ -1,5 +1,7 @@
 //! `campaign` — fault-injection survival campaigns: governor × fault-plan
-//! matrices with survival metrics per point.
+//! matrices with survival metrics per point, plus a fleet mode that runs
+//! a sharded struct-of-arrays board population instead of the governor
+//! matrix.
 //!
 //! ```text
 //! campaign                    # 8 seeds × 4 governor arms, 8 periods each
@@ -8,31 +10,38 @@
 //! campaign --jobs 4           # fan points across 4 worker threads
 //! DPM_JOBS=4 campaign         # same, via the environment
 //! campaign --telemetry t.jsonl  # structured trace + wall-clock profile
+//! campaign --fleet 125000     # 125k-board fleet campaign (10^6
+//!                             # board-periods at the default 8 periods)
+//! campaign --fleet 512 --master-seed 7  # different board population
 //! ```
 //!
-//! Output is CSV on stdout (one row per point), byte-identical for any
-//! worker count; a timing summary goes to stderr. Worker-count priority:
-//! `--jobs N`, then `DPM_JOBS`, then the machine's available parallelism.
-//! `--telemetry PATH` writes the deterministic JSONL trace to `PATH` and
-//! the wall-clock span profile to `PATH.profile`; the trace is
-//! byte-identical across repeated runs and worker counts.
+//! Output is CSV on stdout (one row per point — or per shard in fleet
+//! mode), byte-identical for any worker count; a timing summary goes to
+//! stderr. Worker-count priority: `--jobs N`, then `DPM_JOBS`, then the
+//! machine's available parallelism. `--telemetry PATH` writes the
+//! deterministic JSONL trace to `PATH` and the wall-clock span profile to
+//! `PATH.profile`; the trace is byte-identical across repeated runs and
+//! worker counts.
 //! Exit codes: 0 on success — including points where a safety-wrapped
 //! governor degraded to its fallback (that is a *result*, recorded in the
 //! `degradations` column, not an error) — 1 when a point fails outright
 //! (the failing point emits an `error` CSV row and the remaining points
 //! still run), 2 on a usage error.
 //!
-//! All the actual work lives in [`dpm_bench::campaign`]; this binary only
-//! parses arguments and routes the output.
+//! All the actual work lives in [`dpm_bench::campaign`] and
+//! [`dpm_bench::fleet`]; this binary only parses arguments and routes the
+//! output.
 
-use dpm_bench::campaign;
 use dpm_bench::runner;
 use dpm_bench::telemetry_out;
+use dpm_bench::{campaign, fleet};
 use dpm_telemetry::Recorder;
 
 fn usage() -> String {
     format!(
         "usage: campaign [--jobs N] [--seeds N] [--periods N] [--telemetry PATH]\n\
+         \x20      campaign --fleet N [--master-seed S] [--jobs N] [--periods N] \
+         [--telemetry PATH]\n\
          worker count: --jobs N, else ${}, else available parallelism",
         runner::JOBS_ENV,
     )
@@ -43,6 +52,8 @@ fn main() {
     let mut seeds: u64 = campaign::DEFAULT_SEEDS;
     let mut periods: usize = campaign::DEFAULT_PERIODS;
     let mut telemetry_path: Option<String> = None;
+    let mut fleet_boards: Option<usize> = None;
+    let mut master_seed: u64 = fleet::DEFAULT_MASTER_SEED;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -83,6 +94,26 @@ fn main() {
                     }
                 }
             }
+            "--fleet" => {
+                let value = args.next().and_then(|v| v.parse::<usize>().ok());
+                match value {
+                    Some(n) if n >= 1 => fleet_boards = Some(n),
+                    _ => {
+                        eprintln!("--fleet needs a positive board count\n{}", usage());
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--master-seed" => {
+                let value = args.next().and_then(|v| v.parse::<u64>().ok());
+                match value {
+                    Some(n) => master_seed = n,
+                    None => {
+                        eprintln!("--master-seed needs an integer\n{}", usage());
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return;
@@ -95,6 +126,47 @@ fn main() {
     }
 
     let jobs = runner::resolve_jobs(jobs_cli);
+
+    if let Some(boards) = fleet_boards {
+        let telemetry = match telemetry_path {
+            Some(_) => Recorder::enabled("fleet"),
+            None => Recorder::disabled(),
+        };
+        match fleet::run_with(boards, jobs, periods, master_seed, &telemetry) {
+            Ok(outcome) => {
+                print!("{}", outcome.csv);
+                eprintln!(
+                    "fleet: {} boards x {} periods = {} board-slots, \
+                     {} survived ({:.1}%), {}",
+                    outcome.boards,
+                    periods,
+                    outcome.board_slots,
+                    outcome.survived,
+                    100.0 * outcome.survival_fraction(),
+                    outcome.stats.summary(),
+                );
+                if let Some(path) = telemetry_path {
+                    if let Err(e) = telemetry_out::write_outputs(&telemetry, &path) {
+                        eprintln!("campaign: cannot write telemetry to {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                if outcome.failures > 0 {
+                    eprintln!(
+                        "fleet: {} shard(s) failed (see error rows)",
+                        outcome.failures
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("campaign: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let telemetry = match telemetry_path {
         Some(_) => Recorder::enabled("campaign"),
         None => Recorder::disabled(),

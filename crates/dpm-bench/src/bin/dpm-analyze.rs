@@ -5,6 +5,7 @@
 //! dpm-analyze audit <trace> [--tolerance <J>]
 //! dpm-analyze diff <left> <right> [--context <N>]
 //! dpm-analyze summary <trace>
+//! dpm-analyze fleet <trace>
 //! dpm-analyze bench <profile> --name <name> [--out <path>]
 //! dpm-analyze bench <profile> --check <baseline> [--tolerance <pct>]
 //! ```
@@ -17,6 +18,10 @@
 //!   with context and a decoded hint — the CI determinism gate.
 //! - `summary` renders a per-run report: activity counters, safety
 //!   transition census, histogram quantiles, ASCII battery trajectories.
+//! - `fleet` aggregates the per-shard `fleet.*` metrics of a
+//!   `campaign --fleet` trace into one population report — survival
+//!   fraction, battery-floor percentiles (p1/p10/p50), shed census —
+//!   and exits 1 when the trace carries no fleet metrics.
 //! - `bench` condenses a wall-clock `.profile` document into a
 //!   `BENCH_<name>.json` baseline, or checks a fresh profile against a
 //!   committed baseline and exits 1 on regression.
@@ -25,13 +30,14 @@
 //! unreadable input, 2 usage error.
 
 use dpm_telemetry::parse_profile_jsonl;
-use dpm_trace::{audit, bench_check, first_divergence, render_summary};
-use dpm_trace::{AuditConfig, BenchBaseline, Trace};
+use dpm_trace::{audit, bench_check, first_divergence, render_fleet, render_summary};
+use dpm_trace::{summarize_fleet, AuditConfig, BenchBaseline, Trace};
 
 const USAGE: &str = "usage:
   dpm-analyze audit <trace> [--tolerance <J>]
   dpm-analyze diff <left> <right> [--context <N>]
   dpm-analyze summary <trace>
+  dpm-analyze fleet <trace>
   dpm-analyze bench <profile> --name <name> [--out <path>]
   dpm-analyze bench <profile> --check <baseline> [--tolerance <pct>]";
 
@@ -147,6 +153,25 @@ fn cmd_summary(mut args: std::vec::IntoIter<String>) -> i32 {
     0
 }
 
+fn cmd_fleet(mut args: std::vec::IntoIter<String>) -> i32 {
+    let Some(path) = args.next() else {
+        usage_exit("fleet requires a trace path");
+    };
+    if let Some(extra) = args.next() {
+        usage_exit(&format!("unexpected argument `{extra}`"));
+    }
+    match summarize_fleet(&parse_trace(&path)) {
+        Some(summary) => {
+            print!("{}", render_fleet(&summary));
+            0
+        }
+        None => {
+            eprintln!("dpm-analyze: {path}: no fleet.* metrics (not a fleet-campaign trace)");
+            1
+        }
+    }
+}
+
 fn cmd_bench(mut args: std::vec::IntoIter<String>) -> i32 {
     let mut profile_path: Option<String> = None;
     let mut name: Option<String> = None;
@@ -224,6 +249,7 @@ fn main() {
         Some("audit") => cmd_audit(args),
         Some("diff") => cmd_diff(args),
         Some("summary") => cmd_summary(args),
+        Some("fleet") => cmd_fleet(args),
         Some("bench") => cmd_bench(args),
         Some(other) => usage_exit(&format!("unknown command `{other}`")),
         None => usage_exit("a command is required"),

@@ -170,8 +170,8 @@ pub fn run_with(
 }
 
 /// CSV fields must stay one column each: strip separators/newlines from
-/// error messages.
-fn sanitize(msg: &str) -> String {
+/// error messages. Shared with [`crate::fleet`]'s error rows.
+pub(crate) fn sanitize(msg: &str) -> String {
     msg.replace([',', '\n', '\r'], ";")
 }
 

@@ -1,0 +1,440 @@
+//! Fleet campaigns: shard a struct-of-arrays board population across the
+//! scoped-thread runner.
+//!
+//! The `campaign` binary's `--fleet N` mode is a thin shell over this
+//! module. A fleet of `N` boards is cut into fixed-size shards of
+//! [`SHARD_BOARDS`] boards each — the shard layout depends only on `N`,
+//! never on `--jobs` — and each shard runs one
+//! [`FleetState`](dpm_sim::fleet::FleetState) through
+//! [`crate::runner::run_indexed`]. Because board specs are
+//! shard-independent (see [`dpm_workloads::fleet`]), shard `i` computes
+//! the same boards bit-for-bit whether it runs alone or beside fifteen
+//! siblings, and results are collected by shard index, so the CSV and the
+//! telemetry trace are **byte-identical for any worker count** — the same
+//! contract as [`crate::campaign`] and [`crate::sweeps`].
+//!
+//! Every board follows the paper's own open-loop plan: the §4.1 initial
+//! allocation is pushed through the §4.2 parameter scheduler once, and
+//! the resulting per-slot operating points become the fleet's cycled
+//! allocation table. A hysteretic [`ShedGuard`](dpm_sim::fleet::ShedGuard)
+//! stands in for the per-board safety layer, so the shed-event census
+//! measures how often boards have to shed workers to stay alive.
+//!
+//! Per shard, the sibling recorder carries `fleet.*` counters (boards,
+//! survivors, sheds, jobs, drops, board-slots), population histograms of
+//! the battery floor and final charge (fixed bounds derived from the
+//! battery window, so shard histograms merge bucket-exactly), and
+//! undersupply/survival gauges — all absorbed under `fleet/{shard}` in
+//! shard order. `dpm-analyze fleet` reads them back into a population
+//! summary.
+
+use crate::campaign::sanitize;
+use crate::experiments::initial_allocation;
+use crate::runner::{self, RunStats};
+use dpm_core::params::{OperatingPoint, ParameterScheduler};
+use dpm_core::platform::{BatteryLimits, Platform};
+use dpm_core::units::seconds;
+use dpm_sim::fleet::{FleetConfig, FleetReport, FleetState, ShedGuard};
+use dpm_sim::prelude::*;
+use dpm_telemetry::Recorder;
+use dpm_workloads::{scenarios, FleetScenarioConfig, Scenario};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Boards per shard. Fixed — the shard layout is a function of the fleet
+/// size alone, which is what keeps output byte-identical across `--jobs`.
+/// 256 boards keep a shard's state (~50 f64/board) comfortably inside L2
+/// while giving the runner enough shards to balance.
+pub const SHARD_BOARDS: usize = 256;
+
+/// Default master seed for the population generator.
+pub const DEFAULT_MASTER_SEED: u64 = 1;
+
+/// Histogram buckets for the battery-floor/final-charge population
+/// histograms.
+pub const BATTERY_BUCKETS: usize = 32;
+
+/// Histogram bounds spanning the battery window in [`BATTERY_BUCKETS`]
+/// equal steps. Derived from the platform alone, so every shard observes
+/// into identical buckets and merged histograms stay bucket-exact.
+pub fn battery_bounds(limits: &BatteryLimits) -> Vec<f64> {
+    let c_min = limits.c_min.value();
+    let window = limits.window().value();
+    (1..=BATTERY_BUCKETS)
+        .map(|i| c_min + window * i as f64 / BATTERY_BUCKETS as f64)
+        .collect()
+}
+
+/// One prepared shard: everything a worker needs, read-only.
+struct FleetShard {
+    index: usize,
+    boards: std::ops::Range<usize>,
+    master_seed: u64,
+    periods: usize,
+    platform: Arc<Platform>,
+    scenario: Arc<Scenario>,
+    allocation: Arc<Vec<OperatingPoint>>,
+    population: FleetScenarioConfig,
+    guard: ShedGuard,
+    bounds: Arc<Vec<f64>>,
+}
+
+/// Scalar results of one shard, in CSV column order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ShardSummary {
+    boards: usize,
+    board_slots: u64,
+    survived: usize,
+    sheds: u64,
+    jobs_done: u64,
+    dropped: u64,
+    undersupplied: f64,
+    min_battery_p10: f64,
+    min_battery_p50: f64,
+}
+
+/// The assembled result of a fleet campaign.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The CSV matrix (one row per shard plus a `total` row), identical
+    /// for every worker count.
+    pub csv: String,
+    /// Runner statistics (wall clock, per-shard timings).
+    pub stats: RunStats,
+    /// Number of shards that reported an error row.
+    pub failures: usize,
+    /// Boards simulated (excluding failed shards).
+    pub boards: usize,
+    /// Board-slots advanced (the throughput numerator).
+    pub board_slots: u64,
+    /// Boards that survived.
+    pub survived: usize,
+}
+
+impl FleetOutcome {
+    /// Population survival fraction (1.0 for an empty fleet).
+    pub fn survival_fraction(&self) -> f64 {
+        if self.boards == 0 {
+            1.0
+        } else {
+            self.survived as f64 / self.boards as f64
+        }
+    }
+}
+
+/// Run a fleet campaign of `boards` boards for `periods` charging periods
+/// on up to `jobs` worker threads.
+///
+/// # Errors
+/// Returns [`SimError`] only for *setup* failures (infeasible scenario).
+/// Per-shard failures do not abort the run; they appear as error rows and
+/// in [`FleetOutcome::failures`].
+pub fn run(
+    boards: usize,
+    jobs: usize,
+    periods: usize,
+    master_seed: u64,
+) -> Result<FleetOutcome, SimError> {
+    run_with(boards, jobs, periods, master_seed, &Recorder::disabled())
+}
+
+/// [`run`] with telemetry: each shard records into its own sibling
+/// recorder, absorbed into `telemetry` in shard order as `fleet/{shard}`
+/// — byte-identical for any worker count.
+///
+/// # Errors
+/// Same contract as [`run`].
+pub fn run_with(
+    boards: usize,
+    jobs: usize,
+    periods: usize,
+    master_seed: u64,
+    telemetry: &Recorder,
+) -> Result<FleetOutcome, SimError> {
+    let platform = Arc::new(Platform::pama());
+    let scenario = Arc::new(scenarios::scenario_one());
+    let slots = scenario.charging.len();
+    let horizon = seconds(periods as f64 * slots as f64 * platform.tau.value());
+
+    // The paper's open-loop plan, computed once for the whole fleet: §4.1
+    // initial allocation → §4.2 discrete operating points, one per slot.
+    let alloc = initial_allocation(&platform, &scenario)?;
+    let schedule = ParameterScheduler::new(platform.as_ref().clone())?.plan(
+        &alloc.allocation,
+        &scenario.charging,
+        scenario.initial_charge,
+    )?;
+    let allocation: Arc<Vec<OperatingPoint>> =
+        Arc::new(schedule.slots.iter().map(|s| s.point).collect());
+    if allocation.is_empty() {
+        return Err(SimError::InvalidConfig(
+            "parameter scheduler produced an empty allocation table".into(),
+        ));
+    }
+
+    // Hysteretic per-board load shedding: shed below 15 % of the window,
+    // recover above 30 %, down to a bare board at worst.
+    let limits = platform.battery;
+    let guard = ShedGuard {
+        shed_below: limits.c_min + limits.window() * 0.15,
+        recover_above: limits.c_min + limits.window() * 0.30,
+        max_degradation: platform.workers() as u32,
+    };
+    let bounds = Arc::new(battery_bounds(&limits));
+    let population = FleetScenarioConfig::standard(horizon);
+
+    let shard_count = boards.div_ceil(SHARD_BOARDS);
+    let mut shards = Vec::with_capacity(shard_count);
+    for i in 0..shard_count {
+        shards.push(FleetShard {
+            index: i,
+            boards: i * SHARD_BOARDS..boards.min((i + 1) * SHARD_BOARDS),
+            master_seed,
+            periods,
+            platform: Arc::clone(&platform),
+            scenario: Arc::clone(&scenario),
+            allocation: Arc::clone(&allocation),
+            population,
+            guard,
+            bounds: Arc::clone(&bounds),
+        });
+    }
+
+    let siblings: Vec<Recorder> = shards.iter().map(|_| telemetry.sibling()).collect();
+    let (results, stats) =
+        runner::run_indexed(&shards, jobs, |i, shard| run_shard(shard, &siblings[i]));
+    for (shard, sibling) in shards.iter().zip(&siblings) {
+        telemetry.absorb(&format!("fleet/{}", shard.index), sibling);
+    }
+    stats.record_into(telemetry, "fleet");
+
+    let mut csv = String::from(
+        "shard,boards,survived,sheds,jobs_done,dropped,undersupplied_j,\
+         min_battery_p10_j,min_battery_p50_j\n",
+    );
+    let mut failures = 0usize;
+    let mut total = ShardSummary {
+        boards: 0,
+        board_slots: 0,
+        survived: 0,
+        sheds: 0,
+        jobs_done: 0,
+        dropped: 0,
+        undersupplied: 0.0,
+        min_battery_p10: 0.0,
+        min_battery_p50: 0.0,
+    };
+    for (shard, slot) in shards.iter().zip(results) {
+        let outcome = match slot {
+            Ok(r) => r,
+            Err(panic) => Err(SimError::WorkerPanic(panic.to_string())),
+        };
+        match outcome {
+            Ok(s) => {
+                total.boards += s.boards;
+                total.board_slots += s.board_slots;
+                total.survived += s.survived;
+                total.sheds += s.sheds;
+                total.jobs_done += s.jobs_done;
+                total.dropped += s.dropped;
+                total.undersupplied += s.undersupplied;
+                let _ = writeln!(
+                    csv,
+                    "{},{},{},{},{},{},{:.4},{:.4},{:.4}",
+                    shard.index,
+                    s.boards,
+                    s.survived,
+                    s.sheds,
+                    s.jobs_done,
+                    s.dropped,
+                    s.undersupplied,
+                    s.min_battery_p10,
+                    s.min_battery_p50,
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                let _ = writeln!(
+                    csv,
+                    "{},error,{},,,,,,",
+                    shard.index,
+                    sanitize(&e.to_string()),
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        csv,
+        "total,{},{},{},{},{},{:.4},,",
+        total.boards,
+        total.survived,
+        total.sheds,
+        total.jobs_done,
+        total.dropped,
+        total.undersupplied,
+    );
+
+    Ok(FleetOutcome {
+        csv,
+        stats,
+        failures,
+        boards: total.boards,
+        board_slots: total.board_slots,
+        survived: total.survived,
+    })
+}
+
+/// Run one shard and fold its report into the shard's recorder.
+fn run_shard(shard: &FleetShard, telemetry: &Recorder) -> Result<ShardSummary, SimError> {
+    let platform = shard.platform.as_ref();
+    let scenario = shard.scenario.as_ref();
+    let specs = dpm_workloads::fleet_specs(
+        scenario,
+        shard.master_seed,
+        shard.boards.clone(),
+        &shard.population,
+    );
+
+    let mut config = FleetConfig::new(
+        platform.clone(),
+        scenario.charging.clone(),
+        scenario.event_rates(platform),
+        shard.allocation.as_ref().clone(),
+    );
+    config.periods = shard.periods;
+    config.slots_per_period = scenario.charging.len();
+    config.substeps = 8;
+    config.guard = Some(shard.guard);
+    config.trace = false;
+
+    let report = FleetState::new(config, &specs)?.run();
+    record_report(telemetry, &report, &shard.bounds);
+    Ok(summarize(&report))
+}
+
+/// Emit the `fleet.*` schema-v1 telemetry for one shard's report.
+fn record_report(telemetry: &Recorder, report: &FleetReport, bounds: &[f64]) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    telemetry.incr("fleet.boards", report.boards as u64);
+    telemetry.incr("fleet.board_slots", report.board_slots);
+    telemetry.incr("fleet.survived", report.survived_count() as u64);
+    telemetry.incr("fleet.sheds", report.total_sheds());
+    telemetry.incr("fleet.jobs_done", report.jobs_done.iter().sum());
+    telemetry.incr("fleet.jobs_dropped", report.dropped.iter().sum());
+    for b in 0..report.boards {
+        telemetry.observe_with("fleet.min_battery_j", bounds, report.min_battery[b]);
+        telemetry.observe_with("fleet.final_battery_j", bounds, report.final_battery[b]);
+    }
+    telemetry.gauge(
+        "fleet.undersupplied_j",
+        report.undersupplied.iter().sum::<f64>(),
+    );
+    telemetry.gauge("fleet.survival_fraction", report.survival_fraction());
+}
+
+/// Collapse a shard report into its CSV row.
+fn summarize(report: &FleetReport) -> ShardSummary {
+    let mut sorted = report.min_battery.clone();
+    sorted.sort_by(f64::total_cmp);
+    ShardSummary {
+        boards: report.boards,
+        board_slots: report.board_slots,
+        survived: report.survived_count(),
+        sheds: report.total_sheds(),
+        jobs_done: report.jobs_done.iter().sum(),
+        dropped: report.dropped.iter().sum(),
+        undersupplied: report.undersupplied.iter().sum(),
+        min_battery_p10: percentile(&sorted, 0.10),
+        min_battery_p50: percentile(&sorted, 0.50),
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0.0 when empty)
+/// — the same convention as the telemetry histogram quantile.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_is_byte_identical_across_worker_counts() {
+        let serial = run(300, 1, 1, DEFAULT_MASTER_SEED).unwrap();
+        let parallel = run(300, 4, 1, DEFAULT_MASTER_SEED).unwrap();
+        assert_eq!(serial.csv, parallel.csv);
+        assert_eq!(serial.failures, 0);
+        assert_eq!(parallel.failures, 0);
+        // 300 boards → shards of 256 + 44.
+        assert_eq!(serial.stats.jobs, 2);
+        assert_eq!(serial.boards, 300);
+        assert_eq!(serial.board_slots, 300 * 12);
+    }
+
+    #[test]
+    fn fleet_trace_is_byte_identical_across_worker_counts() {
+        let tel_a = Recorder::enabled("fleet-test");
+        let tel_b = Recorder::enabled("fleet-test");
+        run_with(300, 1, 1, 7, &tel_a).unwrap();
+        run_with(300, 3, 1, 7, &tel_b).unwrap();
+        let a = tel_a.to_jsonl();
+        assert!(!a.is_empty());
+        assert_eq!(a, tel_b.to_jsonl());
+        assert!(a.contains("fleet.min_battery_j"));
+        assert!(a.contains("fleet.board_slots"));
+    }
+
+    #[test]
+    fn master_seed_changes_the_outcome() {
+        let a = run(256, 2, 1, 1).unwrap();
+        let b = run(256, 2, 1, 2).unwrap();
+        assert_ne!(a.csv, b.csv);
+    }
+
+    #[test]
+    fn empty_fleet_reports_cleanly() {
+        let outcome = run(0, 4, 1, 1).unwrap();
+        assert_eq!(outcome.boards, 0);
+        assert_eq!(outcome.failures, 0);
+        assert_eq!(outcome.survival_fraction(), 1.0);
+        assert!(outcome.csv.ends_with("total,0,0,0,0,0,0.0000,,\n"));
+    }
+
+    #[test]
+    fn battery_bounds_span_the_window() {
+        let limits = Platform::pama().battery;
+        let bounds = battery_bounds(&limits);
+        assert_eq!(bounds.len(), BATTERY_BUCKETS);
+        assert!(bounds[0] > limits.c_min.value());
+        let last = bounds[bounds.len() - 1];
+        assert!((last - limits.c_max.value()).abs() < 1e-12);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.10), 1.0);
+        assert_eq!(percentile(&xs, 0.50), 2.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn survivors_and_sheds_are_plausible() {
+        let outcome = run(256, 2, 2, DEFAULT_MASTER_SEED).unwrap();
+        assert_eq!(outcome.failures, 0);
+        assert!(outcome.survived <= outcome.boards);
+        // The standard population includes fault plans; with jittered
+        // charges some boards must dip into the shed band over 2 periods.
+        let header_and_rows: Vec<&str> = outcome.csv.lines().collect();
+        assert_eq!(header_and_rows.len(), 1 + 1 + 1, "1 shard + total");
+    }
+}

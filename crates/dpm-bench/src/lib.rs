@@ -5,8 +5,9 @@
 //! paper's layouts ([`mod@format`]), the parallel experiment runner that
 //! fans independent jobs across cores ([`runner`]), the sweep library the
 //! `sweep` binary is a thin shell over ([`sweeps`]), the fault-injection
-//! survival campaigns behind the `campaign` binary ([`campaign`]), and
-//! the `repro` binary that prints the tables. The criterion benches under
+//! survival campaigns behind the `campaign` binary ([`campaign`]), the
+//! sharded struct-of-arrays fleet campaigns behind its `--fleet` mode
+//! ([`fleet`]), and the `repro` binary that prints the tables. The criterion benches under
 //! `benches/` reuse the same experiment functions so performance numbers
 //! and correctness numbers cannot drift apart.
 
@@ -15,6 +16,7 @@
 
 pub mod campaign;
 pub mod experiments;
+pub mod fleet;
 pub mod format;
 pub mod runner;
 pub mod sweeps;

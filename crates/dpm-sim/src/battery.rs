@@ -38,6 +38,98 @@ impl PeukertModel {
     }
 }
 
+/// Pure per-board battery kernels over raw `f64` state.
+///
+/// These are the single implementation of the battery arithmetic: the
+/// scalar [`Battery`] delegates to them through its unit-typed fields, and
+/// the struct-of-arrays fleet stepper ([`crate::fleet`]) calls them
+/// directly on its contiguous slices. Because every unit newtype in
+/// `dpm_core::units` wraps one `f64` and forwards its operators 1:1, the
+/// two callers are bit-identical by construction. Keep the operation
+/// order here exactly as documented — reordering a `min`/`max`/`+` chain
+/// breaks the scalar/SoA equivalence proptest.
+pub mod kernel {
+    /// Offer `energy` joules to a store at `level` with ceiling `c_max`.
+    /// Mutates the level and the offered/wasted accumulators; returns the
+    /// energy stored. Non-positive (or NaN) offers are ignored.
+    #[inline]
+    pub fn charge(
+        level: &mut f64,
+        offered: &mut f64,
+        wasted: &mut f64,
+        c_max: f64,
+        charge_efficiency: f64,
+        energy: f64,
+    ) -> f64 {
+        if !(energy > 0.0) {
+            return 0.0;
+        }
+        *offered += energy;
+        let storable = energy * charge_efficiency;
+        let headroom = c_max - *level;
+        let stored = storable.min(headroom).max(0.0);
+        *level += stored;
+        *wasted += storable - stored;
+        stored
+    }
+
+    /// Demand `energy` joules from a store at `level` with floor `c_min`.
+    /// Mutates the level and the undersupplied/delivered accumulators;
+    /// returns the energy delivered. Non-positive demands are ignored.
+    #[inline]
+    pub fn draw(
+        level: &mut f64,
+        undersupplied: &mut f64,
+        delivered_total: &mut f64,
+        c_min: f64,
+        energy: f64,
+    ) -> f64 {
+        if !(energy > 0.0) {
+            return 0.0;
+        }
+        let available = (*level - c_min).max(0.0);
+        let delivered = energy.min(available);
+        *level -= delivered;
+        *undersupplied += energy - delivered;
+        *delivered_total += delivered;
+        delivered
+    }
+
+    /// Derate the window: `c_max ← c_min + factor·(c_max − c_min)` with
+    /// `factor` clamped into `[0, 1]` (non-finite treated as 1). Charge
+    /// above the new ceiling is spilled into `wasted`; returns the loss.
+    #[inline]
+    pub fn fade(
+        level: &mut f64,
+        wasted: &mut f64,
+        c_max: &mut f64,
+        c_min: f64,
+        factor: f64,
+    ) -> f64 {
+        let f = if factor.is_finite() {
+            factor.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let new_max = c_min + (*c_max - c_min) * f;
+        *c_max = new_max;
+        let lost = (*level - new_max).max(0.0);
+        *level -= lost;
+        *wasted += lost;
+        lost
+    }
+
+    /// Advance self-discharge over `dt` seconds. A no-op when the leak
+    /// rate is zero (the paper's ideal battery).
+    #[inline]
+    pub fn tick(level: &mut f64, self_discharge_per_s: f64, dt: f64) {
+        if self_discharge_per_s > 0.0 {
+            let leak = *level * (self_discharge_per_s * dt).min(1.0);
+            *level = (*level - leak).max(0.0);
+        }
+    }
+}
+
 /// Battery configuration beyond the capacity window.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BatteryConfig {
@@ -108,7 +200,8 @@ impl Battery {
         if let Some(p) = config.peukert {
             if !(p.exponent >= 1.0) || !(p.reference_power.value() > 0.0) {
                 return Err(SimError::BatteryMisconfigured(format!(
-                    "Peukert model needs exponent >= 1 and positive reference                      power, got k = {}, P_ref = {}",
+                    "Peukert model needs exponent >= 1 and positive reference power, \
+                     got k = {}, P_ref = {}",
                     p.exponent, p.reference_power
                 )));
             }
@@ -167,19 +260,17 @@ impl Battery {
     /// ignored rather than corrupting the accounting.
     pub fn charge(&mut self, energy: Joules) -> Joules {
         debug_assert!(energy.value() >= 0.0, "cannot charge a negative amount");
-        if !(energy.value() > 0.0) {
-            return Joules::ZERO;
-        }
-        self.offered += energy;
-        let storable = energy * self.config.charge_efficiency;
-        let headroom = self.config.limits.c_max - self.level;
-        let stored = storable.min(headroom).max(Joules::ZERO);
-        self.level += stored;
         // Both conversion loss and overflow are energy the mission never
         // uses; the paper's "wasted" metric is overflow only, so losses
         // are tracked inside `stored` vs `offered` and waste is overflow.
-        self.wasted += storable - stored;
-        stored
+        Joules(kernel::charge(
+            &mut self.level.0,
+            &mut self.offered.0,
+            &mut self.wasted.0,
+            self.config.limits.c_max.value(),
+            self.config.charge_efficiency,
+            energy.value(),
+        ))
     }
 
     /// Demand `energy` for the load. Delivers down to `C_min`; the
@@ -188,15 +279,13 @@ impl Battery {
     /// [`Self::draw_over`] for the Peukert-aware path.
     pub fn draw(&mut self, energy: Joules) -> Joules {
         debug_assert!(energy.value() >= 0.0, "cannot draw a negative amount");
-        if !(energy.value() > 0.0) {
-            return Joules::ZERO;
-        }
-        let available = (self.level - self.config.limits.c_min).max(Joules::ZERO);
-        let delivered = energy.min(available);
-        self.level -= delivered;
-        self.undersupplied += energy - delivered;
-        self.delivered += delivered;
-        delivered
+        Joules(kernel::draw(
+            &mut self.level.0,
+            &mut self.undersupplied.0,
+            &mut self.delivered.0,
+            self.config.limits.c_min.value(),
+            energy.value(),
+        ))
     }
 
     /// Rate-aware draw: deliver `energy` over `dt` seconds, consuming
@@ -242,25 +331,18 @@ impl Battery {
     /// Fades compose: two successive `fade(0.5)` calls leave a quarter of
     /// the original window.
     pub fn fade(&mut self, factor: f64) -> Joules {
-        let f = if factor.is_finite() {
-            factor.clamp(0.0, 1.0)
-        } else {
-            1.0
-        };
-        let new_max = self.config.limits.c_min + self.config.limits.window() * f;
-        self.config.limits.c_max = new_max;
-        let lost = (self.level - new_max).max(Joules::ZERO);
-        self.level -= lost;
-        self.wasted += lost;
-        lost
+        Joules(kernel::fade(
+            &mut self.level.0,
+            &mut self.wasted.0,
+            &mut self.config.limits.c_max.0,
+            self.config.limits.c_min.value(),
+            factor,
+        ))
     }
 
     /// Advance self-discharge over `dt` seconds.
     pub fn tick(&mut self, dt: f64) {
-        if self.config.self_discharge_per_s > 0.0 {
-            let leak = self.level * (self.config.self_discharge_per_s * dt).min(1.0);
-            self.level = (self.level - leak).max(Joules::ZERO);
-        }
+        kernel::tick(&mut self.level.0, self.config.self_discharge_per_s, dt);
     }
 
     /// Whether this battery's accounting closes exactly: with perfect

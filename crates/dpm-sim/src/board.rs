@@ -15,6 +15,115 @@ use dpm_core::platform::Platform;
 use dpm_core::units::{Seconds, Watts};
 use std::collections::VecDeque;
 
+/// Pure per-board kernels shared by [`PamaBoard`] and the
+/// struct-of-arrays fleet stepper ([`crate::fleet`]).
+///
+/// As with [`crate::battery::kernel`], these are the single
+/// implementation of the board arithmetic; the scalar board delegates to
+/// them and the fleet calls them on raw state, so both paths are
+/// bit-identical by construction. The operation order is load-bearing.
+pub mod kernel {
+    use dpm_core::params::OperatingPoint;
+    use dpm_core::platform::Platform;
+
+    /// The chip-activation predicate of [`super::PamaBoard::apply`]: the
+    /// controller always runs when the board is on; healthy worker chips
+    /// run until `workers` of them have been activated.
+    #[inline]
+    pub fn chip_should_run(
+        point: &OperatingPoint,
+        faulted: bool,
+        is_controller: bool,
+        activated: usize,
+        workers: usize,
+    ) -> bool {
+        !point.is_off() && !faulted && (is_controller || activated < workers)
+    }
+
+    /// Throughput of `point` on `platform` with `healthy_workers` healthy
+    /// worker chips, jobs/s (0 when off or no workers).
+    pub fn service_rate(
+        platform: &Platform,
+        point: &OperatingPoint,
+        healthy_workers: usize,
+    ) -> f64 {
+        if point.is_off() {
+            return 0.0;
+        }
+        let workers = point.workers.min(platform.workers()).min(healthy_workers);
+        if workers == 0 {
+            return 0.0;
+        }
+        platform
+            .perf_model()
+            .throughput(workers, point.frequency, point.voltage)
+            .value()
+    }
+
+    /// Backlog-limited busy-fraction target for an interval of `dt`
+    /// seconds at `rate` jobs/s with `pending` job-units outstanding.
+    #[inline]
+    pub fn work_fraction(rate: f64, dt: f64, pending: f64, elastic: bool) -> f64 {
+        let capacity = rate * dt;
+        if capacity <= 0.0 {
+            0.0
+        } else if elastic {
+            1.0
+        } else {
+            (pending / capacity).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Outstanding work in job units: `backlog` queued jobs minus the
+    /// progress already made on the head job.
+    #[inline]
+    pub fn pending_work(backlog: usize, progress: f64) -> f64 {
+        if backlog == 0 {
+            0.0
+        } else {
+            backlog as f64 - progress
+        }
+    }
+
+    /// Drain up to `capacity` job-units from a queue of `backlog` jobs
+    /// with fractional head-job `progress`. Calls `on_complete(consumed)`
+    /// once per finished job with the job-units consumed so far (the
+    /// scalar board uses it to pop the arrival queue and interpolate the
+    /// completion time). Returns `(jobs_completed, capacity_left)`.
+    #[inline]
+    pub fn drain_queue(
+        capacity: f64,
+        progress: &mut f64,
+        backlog: usize,
+        mut on_complete: impl FnMut(f64),
+    ) -> (u64, f64) {
+        let mut remaining = capacity;
+        let mut completed = 0u64;
+        let mut left = backlog;
+        while remaining > 0.0 && left > 0 {
+            let need = 1.0 - *progress;
+            if remaining >= need {
+                remaining -= need;
+                *progress = 0.0;
+                left -= 1;
+                completed += 1;
+                on_complete(capacity - remaining);
+            } else {
+                *progress += remaining;
+                remaining = 0.0;
+            }
+        }
+        (completed, remaining)
+    }
+
+    /// Busy fraction of the interval given the capacity left over.
+    #[inline]
+    pub fn busy_fraction(capacity: f64, remaining: f64, rate: f64, dt: f64) -> f64 {
+        let busy = (capacity - remaining) / (rate * dt).max(1e-12);
+        busy.clamp(0.0, 1.0)
+    }
+}
+
 /// Job-latency statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LatencyStats {
@@ -159,8 +268,13 @@ impl PamaBoard {
         let mut activated = 0usize;
         for (idx, chip) in self.processors.iter_mut().enumerate() {
             let is_controller = idx < self.platform.reserved;
-            let should_run =
-                !point.is_off() && !chip.is_faulted() && (is_controller || activated < workers);
+            let should_run = kernel::chip_should_run(
+                &point,
+                chip.is_faulted(),
+                is_controller,
+                activated,
+                workers,
+            );
             if should_run {
                 if !is_controller {
                     activated += 1;
@@ -193,9 +307,13 @@ impl PamaBoard {
         let mut activated = 0usize;
         for idx in 0..self.processors.len() {
             let is_controller = idx < self.platform.reserved;
-            let should_run = !point.is_off()
-                && !self.processors[idx].is_faulted()
-                && (is_controller || activated < workers);
+            let should_run = kernel::chip_should_run(
+                &point,
+                self.processors[idx].is_faulted(),
+                is_controller,
+                activated,
+                workers,
+            );
             if should_run && !is_controller {
                 activated += 1;
             }
@@ -255,31 +373,13 @@ impl PamaBoard {
     /// Outstanding work in job units: queued jobs minus the progress
     /// already made on the head job.
     pub fn pending_work(&self) -> f64 {
-        if self.queue.is_empty() {
-            0.0
-        } else {
-            self.queue.len() as f64 - self.progress
-        }
+        kernel::pending_work(self.queue.len(), self.progress)
     }
 
     /// Throughput of the applied point, jobs/s (0 when off). Capped by the
     /// healthy worker count: faulted chips contribute nothing.
     pub fn service_rate(&self) -> f64 {
-        if self.current.is_off() {
-            return 0.0;
-        }
-        let workers = self
-            .current
-            .workers
-            .min(self.platform.workers())
-            .min(self.healthy_workers());
-        if workers == 0 {
-            return 0.0;
-        }
-        self.platform
-            .perf_model()
-            .throughput(workers, self.current.frequency, self.current.voltage)
-            .value()
+        kernel::service_rate(&self.platform, &self.current, self.healthy_workers())
     }
 
     /// Fraction of an interval `dt` the workers would spend computing.
@@ -287,14 +387,12 @@ impl PamaBoard {
     /// an active board is busy throughout; otherwise busyness is backlog-
     /// limited: `min(1, work/capacity)`.
     pub fn work_fraction(&self, dt: Seconds, elastic: bool) -> f64 {
-        let capacity = self.service_rate() * dt.value();
-        if capacity <= 0.0 {
-            0.0
-        } else if elastic {
-            1.0
-        } else {
-            (self.pending_work() / capacity).clamp(0.0, 1.0)
-        }
+        kernel::work_fraction(
+            self.service_rate(),
+            dt.value(),
+            self.pending_work(),
+            elastic,
+        )
     }
 
     /// Background work performed (job-equivalents of surplus capacity
@@ -339,35 +437,31 @@ impl PamaBoard {
             return (0, 0.0);
         }
         let capacity = rate * dt.value() * availability;
-        let mut remaining = capacity;
-        let mut completed = 0u64;
-        while remaining > 0.0 && !self.queue.is_empty() {
-            let need = 1.0 - self.progress;
-            if remaining >= need {
-                remaining -= need;
-                self.progress = 0.0;
-                let arrival = self.queue.pop_front().expect("non-empty");
-                // Completion time: interpolate within the step.
-                let done_at = t.value() + (capacity - remaining) / capacity * dt.value();
-                let lat = (done_at - arrival.value()).max(0.0);
-                self.latency.count += 1;
-                self.latency.sum += lat;
-                self.latency.max = self.latency.max.max(lat);
-                self.jobs_done += 1;
-                completed += 1;
-            } else {
-                self.progress += remaining;
-                remaining = 0.0;
-            }
-        }
+        let queue = &mut self.queue;
+        let latency = &mut self.latency;
+        let jobs_done = &mut self.jobs_done;
+        let (completed, mut remaining) =
+            kernel::drain_queue(capacity, &mut self.progress, queue.len(), |consumed| {
+                if let Some(arrival) = queue.pop_front() {
+                    // Completion time: interpolate within the step.
+                    let done_at = t.value() + consumed / capacity * dt.value();
+                    let lat = (done_at - arrival.value()).max(0.0);
+                    latency.count += 1;
+                    latency.sum += lat;
+                    latency.max = latency.max.max(lat);
+                    *jobs_done += 1;
+                }
+            });
         if elastic && remaining > 0.0 {
             // Surplus capacity performs background science instead of
             // idling; it consumes the rest of the interval.
             self.background_work += remaining;
             remaining = 0.0;
         }
-        let busy = (capacity - remaining) / (rate * dt.value()).max(1e-12);
-        (completed, busy.clamp(0.0, 1.0))
+        (
+            completed,
+            kernel::busy_fraction(capacity, remaining, rate, dt.value()),
+        )
     }
 
     /// Serial scatter/gather time for one fork-join job at the current

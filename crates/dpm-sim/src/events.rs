@@ -11,6 +11,19 @@ use dpm_core::units::Seconds;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Pure arrival-accumulation kernel shared by [`ScheduleGenerator`] and
+/// the fleet stepper ([`crate::fleet`]): add the expected arrivals for an
+/// interval to the fractional carry and emit the whole events. Keeping
+/// the floor/carry arithmetic in one place keeps the scalar and
+/// struct-of-arrays event streams bit-identical.
+#[inline]
+pub fn accumulate_arrivals(expected: f64, carry: &mut f64) -> usize {
+    let total = expected + *carry;
+    let n = total.floor();
+    *carry = total - n;
+    n as usize
+}
+
 /// Produces event arrivals over simulation intervals.
 pub trait EventGenerator: Send {
     /// Number of events arriving in `[t, t + dt)`.
@@ -44,10 +57,7 @@ impl EventGenerator for ScheduleGenerator {
             .rates
             .integral_wrapping(Seconds(a), Seconds(a + dt.value()))
             .value();
-        let total = expected + self.carry;
-        let n = total.floor();
-        self.carry = total - n;
-        n as usize
+        accumulate_arrivals(expected, &mut self.carry)
     }
 
     fn expected_rate(&self, t: Seconds) -> f64 {

@@ -1,0 +1,1055 @@
+//! Struct-of-arrays fleet core: the population-scale face of the
+//! simulator.
+//!
+//! One [`crate::sim::Simulation`] owns one board behind several layers of
+//! boxed traits — fine for studying a governor, hopeless for the
+//! ROADMAP's "thousands-to-millions of boards per run". [`FleetState`]
+//! flattens the per-board state (battery charge, allocation index,
+//! arrival carry, degradation level, fault flags) into contiguous
+//! `f64`/`u32` slices and advances *all* boards one τ slot at a time with
+//! [`FleetState::step_slot`], so the hot loop is a cache-friendly sweep
+//! over arrays instead of a pointer chase per board.
+//!
+//! The arithmetic is **not** re-implemented here: every step calls the
+//! pure kernels extracted from the scalar models
+//! ([`crate::battery::kernel`], [`crate::board::kernel`],
+//! [`crate::processor::chip_power`], [`crate::events::accumulate_arrivals`]),
+//! so a 1-board fleet is bit-identical to `Simulation::run` with a pinned
+//! governor on the same inputs — a property the equivalence proptest in
+//! `dpm-workloads` enforces. The scope is correspondingly the scalar
+//! simulator's *open-loop* regime:
+//!
+//! * boards follow a fixed [`FleetConfig::allocation`] table cycled per
+//!   slot (a single entry behaves exactly like a pinned governor), with
+//!   an optional hysteretic [`ShedGuard`] degrading the worker count —
+//!   there is no per-board closed-loop governor;
+//! * the battery is the paper's ideal model (unit efficiency, no
+//!   self-discharge, no Peukert rate dependence), matching what
+//!   `Simulation::new` builds;
+//! * work is inelastic (no background-science soak) and job latency is
+//!   not tracked (only completion/drop counts);
+//! * sensor disturbances are accepted and ignored — with no governor in
+//!   the loop a lying gauge changes nothing, exactly as in a pinned
+//!   scalar run.
+
+use crate::battery::kernel as battery_kernel;
+use crate::board::kernel as board_kernel;
+use crate::error::SimError;
+use crate::events::accumulate_arrivals;
+use crate::processor::{chip_power, Mode, TransitionLatency};
+use crate::sim::Disturbance;
+use crate::source::{ChargingSource, TraceSource};
+use dpm_core::model::ModePower;
+use dpm_core::params::OperatingPoint;
+use dpm_core::platform::Platform;
+use dpm_core::series::PowerSeries;
+use dpm_core::units::{seconds, Hertz, Joules, Seconds};
+
+/// Survival tolerances shared with
+/// [`crate::stats::SurvivalReport::from_report`]: a board survived when
+/// its cumulative undersupply stays within `UNDERSUPPLY_TOL` and its
+/// battery floor stays strictly above `C_min + FLOOR_TOL`.
+const UNDERSUPPLY_TOL: f64 = 1e-9;
+/// See [`UNDERSUPPLY_TOL`].
+const FLOOR_TOL: f64 = 1e-9;
+
+/// Per-board inputs to a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardSpec {
+    /// Initial battery charge (clamped into the platform window, exactly
+    /// as [`crate::battery::Battery::new`] does).
+    pub initial_charge: Joules,
+    /// Event-rate phase offset in whole slots: this board sees the rate
+    /// schedule rotated so its slot `s` carries the base schedule's slot
+    /// `s + phase_slots` (mod the schedule length). Phase 0 is
+    /// bit-identical to the scalar generator.
+    pub phase_slots: usize,
+    /// Time-sorted fault schedule for this board (ties keep list order,
+    /// matching the scalar disturbance queue's insertion-order
+    /// tie-break).
+    pub faults: Vec<(Seconds, Disturbance)>,
+}
+
+impl BoardSpec {
+    /// A quiescent board: `initial` charge, phase 0, no faults.
+    pub fn quiescent(initial: Joules) -> Self {
+        Self {
+            initial_charge: initial,
+            phase_slots: 0,
+            faults: Vec::new(),
+        }
+    }
+}
+
+/// Optional hysteretic load-shed guard applied at each slot boundary,
+/// before the allocation point is applied. Sheds raise the degradation
+/// level (each level removes one worker from the commanded point);
+/// recovery relaxes one level per slot. The guard reads the *ground
+/// truth* charge — it models a board-local hardware comparator, not the
+/// gauge-fed `SafetyGovernor`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedGuard {
+    /// Shed one worker when the charge is below this at a slot boundary.
+    pub shed_below: Joules,
+    /// Recover one level when the charge is above this (hysteresis band).
+    pub recover_above: Joules,
+    /// Ceiling on the degradation level.
+    pub max_degradation: u32,
+}
+
+/// Configuration shared by every board of a fleet.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Platform description (validated in [`FleetState::new`]).
+    pub platform: Platform,
+    /// Charging schedule, shared (and unphased) across the fleet: a
+    /// satellite constellation sees one sun.
+    pub charging: PowerSeries,
+    /// Base event-rate schedule; boards apply their own phase offsets.
+    pub event_rates: PowerSeries,
+    /// Operating-point table cycled one entry per slot. A single entry
+    /// pins every board to that point.
+    pub allocation: Vec<OperatingPoint>,
+    /// Charging periods to simulate.
+    pub periods: usize,
+    /// Governor slots per period (the paper: 12).
+    pub slots_per_period: usize,
+    /// Integration sub-steps per slot.
+    pub substeps: usize,
+    /// Optional load-shed guard.
+    pub guard: Option<ShedGuard>,
+    /// Keep the per-board per-slot trace in the report (memory scales
+    /// with boards × slots; leave off for large fleets).
+    pub trace: bool,
+}
+
+impl FleetConfig {
+    /// Fleet equivalent of [`crate::sim::SimConfig::default`]: 2 periods
+    /// of 12 slots at 8 sub-steps, no guard, no trace.
+    pub fn new(
+        platform: Platform,
+        charging: PowerSeries,
+        event_rates: PowerSeries,
+        allocation: Vec<OperatingPoint>,
+    ) -> Self {
+        Self {
+            platform,
+            charging,
+            event_rates,
+            allocation,
+            periods: 2,
+            slots_per_period: 12,
+            substeps: 8,
+            guard: None,
+            trace: false,
+        }
+    }
+}
+
+/// Per-board per-slot trajectories, slot-major: entry `slot * boards +
+/// board`. Only recorded when [`FleetConfig::trace`] is set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTrace {
+    /// Boards per slot row.
+    pub boards: usize,
+    /// Battery level at each slot end (J).
+    pub battery: Vec<f64>,
+    /// Cumulative undersupplied energy at each slot end (J).
+    pub undersupplied: Vec<f64>,
+    /// Jobs completed in each slot.
+    pub jobs: Vec<u64>,
+}
+
+impl FleetTrace {
+    /// Flat index of `(slot, board)`.
+    #[inline]
+    pub fn index(&self, slot: usize, board: usize) -> usize {
+        slot * self.boards + board
+    }
+}
+
+/// Outcome of a fleet run: per-board totals as parallel vectors (index =
+/// board), plus the optional trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Boards simulated.
+    pub boards: usize,
+    /// Slots simulated per board.
+    pub slots: usize,
+    /// `boards × slots` — the campaign's throughput denominator.
+    pub board_slots: u64,
+    /// The platform's reserve floor the survival verdicts are against (J).
+    pub c_min: f64,
+    /// Deepest charge observed per board: the initial level and every
+    /// slot-end level (J).
+    pub min_battery: Vec<f64>,
+    /// Final charge per board (J).
+    pub final_battery: Vec<f64>,
+    /// Cumulative undersupplied energy per board (J).
+    pub undersupplied: Vec<f64>,
+    /// Cumulative wasted (overflow + fade spill) energy per board (J).
+    pub wasted: Vec<f64>,
+    /// Total energy offered per board (J).
+    pub offered: Vec<f64>,
+    /// Total energy delivered per board (J).
+    pub delivered: Vec<f64>,
+    /// Jobs completed per board.
+    pub jobs_done: Vec<u64>,
+    /// Events dropped at the backlog cap per board.
+    pub dropped: Vec<u64>,
+    /// Shed events (guard degradations) per board.
+    pub sheds: Vec<u32>,
+    /// Survival verdict per board (the [`crate::stats::SurvivalReport`]
+    /// criterion: no undersupply, floor strictly above `C_min`).
+    pub survived: Vec<bool>,
+    /// Per-slot trajectories when tracing was requested.
+    pub trace: Option<FleetTrace>,
+}
+
+impl FleetReport {
+    /// Boards that survived.
+    pub fn survived_count(&self) -> usize {
+        self.survived.iter().filter(|&&s| s).count()
+    }
+
+    /// Population survival fraction (1.0 for an empty fleet).
+    pub fn survival_fraction(&self) -> f64 {
+        if self.boards == 0 {
+            1.0
+        } else {
+            self.survived_count() as f64 / self.boards as f64
+        }
+    }
+
+    /// Total shed events across the fleet.
+    pub fn total_sheds(&self) -> u64 {
+        self.sheds.iter().map(|&s| u64::from(s)).sum()
+    }
+}
+
+/// The struct-of-arrays fleet stepper. Build with [`FleetState::new`],
+/// advance with [`FleetState::step_slot`] (or drain with
+/// [`FleetState::run`]), harvest with [`FleetState::into_report`].
+pub struct FleetState {
+    // ---- shared, immutable over the run --------------------------------
+    platform: Platform,
+    allocation: Vec<OperatingPoint>,
+    guard: Option<ShedGuard>,
+    latency: TransitionLatency,
+    modes: ModePower,
+    chips: usize,
+    total_slots: usize,
+    substeps: usize,
+    tau: f64,
+    dt: f64,
+    c_min: f64,
+    p_idle: f64,
+    max_backlog: u32,
+    trace_enabled: bool,
+    /// Offered energy per global sub-step (`mean_power · dt`, J), shared
+    /// by every board: the charging schedule is unphased.
+    supply_j: Vec<f64>,
+    /// Expected arrivals per global sub-step, one table per distinct
+    /// phase offset in use.
+    expected: Vec<Vec<f64>>,
+    /// Flattened per-board fault schedules (`offsets[b]..offsets[b+1]`).
+    fault_at: Vec<f64>,
+    fault_what: Vec<Disturbance>,
+    offsets: Vec<usize>,
+
+    // ---- struct-of-arrays per-board state ------------------------------
+    table_of: Vec<u32>,
+    charge: Vec<f64>,
+    c_max: Vec<f64>,
+    min_battery: Vec<f64>,
+    undersupplied: Vec<f64>,
+    wasted: Vec<f64>,
+    offered: Vec<f64>,
+    delivered: Vec<f64>,
+    carry: Vec<f64>,
+    progress: Vec<f64>,
+    backlog: Vec<u32>,
+    supply_scale: Vec<f64>,
+    scale_until: Vec<f64>,
+    dropout_until: Vec<f64>,
+    alloc_index: Vec<u32>,
+    degradation: Vec<u32>,
+    sheds: Vec<u32>,
+    jobs_done: Vec<u64>,
+    dropped: Vec<u64>,
+    cursor: Vec<usize>,
+    /// Active-mode bits, one per chip (bit `c` of board `b`'s word).
+    chip_active: Vec<u32>,
+    /// Fail-stop fault bits, same layout.
+    chip_faulted: Vec<u32>,
+    /// Per-chip clock setting, `boards × chips`, Hz.
+    chip_freq: Vec<f64>,
+    /// Operating point applied at the last slot boundary.
+    current: Vec<OperatingPoint>,
+    /// Cached board power with the active set running (W).
+    p_on: Vec<f64>,
+    /// Cached service rate of the applied point (jobs/s).
+    rate: Vec<f64>,
+    /// Chip or fault state changed since the last full apply: the next
+    /// slot boundary must re-run the activation sweep even if the
+    /// commanded point is unchanged (a recovery can reshuffle which
+    /// chips run, with wake latency — exactly as the scalar board does).
+    apply_dirty: Vec<bool>,
+
+    // ---- run position ---------------------------------------------------
+    slot: usize,
+    trace_battery: Vec<f64>,
+    trace_undersupplied: Vec<f64>,
+    trace_jobs: Vec<u64>,
+}
+
+impl FleetState {
+    /// Assemble a fleet of `specs.len()` boards.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidConfig`] on a degenerate run configuration, an
+    /// empty allocation table, or a platform with more than 32 chips
+    /// (the fault/active words are `u32`); [`SimError::Core`] on an
+    /// invalid platform or rate schedule.
+    pub fn new(config: FleetConfig, specs: &[BoardSpec]) -> Result<Self, SimError> {
+        if config.periods < 1 || config.slots_per_period < 1 || config.substeps < 1 {
+            return Err(SimError::InvalidConfig(format!(
+                "periods, slots_per_period and substeps must all be >= 1, \
+                 got {} / {} / {}",
+                config.periods, config.slots_per_period, config.substeps
+            )));
+        }
+        if config.allocation.is_empty() {
+            return Err(SimError::InvalidConfig(
+                "fleet allocation table must have at least one operating point".into(),
+            ));
+        }
+        config.platform.validate()?;
+        let chips = config.platform.processors;
+        if chips > 32 {
+            return Err(SimError::InvalidConfig(format!(
+                "fleet supports at most 32 chips per board, platform has {chips}"
+            )));
+        }
+
+        let platform = config.platform;
+        let tau = platform.tau.value();
+        let total_slots = config.periods * config.slots_per_period;
+        let substeps = config.substeps;
+        // Same expression as the scalar run loop: τ / substeps.
+        let dt = tau / substeps as f64;
+        let boards = specs.len();
+
+        // Shared supply table: `mean_power(t, dt) · dt` at the exact `t`
+        // values the scalar sub-step loop visits.
+        let source = TraceSource::new(config.charging);
+        let mut supply_j = Vec::with_capacity(total_slots * substeps);
+        for slot in 0..total_slots {
+            let t_slot = slot as f64 * tau;
+            for sub in 0..substeps {
+                let t = seconds(t_slot + sub as f64 * dt);
+                supply_j.push((source.mean_power(t, seconds(dt)) * seconds(dt)).value());
+            }
+        }
+
+        // Expected-arrival tables, one per distinct phase offset.
+        let rates_len = config.event_rates.len();
+        let mut phase_table: Vec<Option<u32>> = vec![None; rates_len];
+        let mut expected: Vec<Vec<f64>> = Vec::new();
+        let mut table_of = Vec::with_capacity(boards);
+        for spec in specs {
+            let phase = if rates_len == 0 {
+                0
+            } else {
+                spec.phase_slots % rates_len
+            };
+            let ti = if let Some(ti) = phase_table.get(phase).copied().flatten() {
+                ti
+            } else {
+                let series = rotate_series(&config.event_rates, phase)?;
+                expected.push(expected_arrivals(&series, total_slots, substeps, tau, dt));
+                let ti = (expected.len() - 1) as u32;
+                if let Some(slot) = phase_table.get_mut(phase) {
+                    *slot = Some(ti);
+                }
+                ti
+            };
+            table_of.push(ti);
+        }
+
+        // Flatten the fault schedules; a stable time sort reproduces the
+        // scalar disturbance queue's order (time, then insertion).
+        let mut fault_at = Vec::new();
+        let mut fault_what = Vec::new();
+        let mut offsets = Vec::with_capacity(boards + 1);
+        offsets.push(0);
+        for spec in specs {
+            let mut events: Vec<(Seconds, Disturbance)> = spec.faults.clone();
+            events.sort_by(|a, b| a.0.value().total_cmp(&b.0.value()));
+            for (at, d) in events {
+                fault_at.push(at.value());
+                fault_what.push(d);
+            }
+            offsets.push(fault_at.len());
+        }
+
+        let limits = platform.battery;
+        let c_min = limits.c_min.value();
+        let charge: Vec<f64> = specs
+            .iter()
+            .map(|s| limits.clamp(s.initial_charge).value())
+            .collect();
+        let f_min = platform.f_min().value();
+
+        Ok(Self {
+            allocation: config.allocation,
+            guard: config.guard,
+            latency: TransitionLatency::pama(),
+            modes: platform.power.modes,
+            chips,
+            total_slots,
+            substeps,
+            tau,
+            dt,
+            c_min,
+            p_idle: platform.power.all_standby().value(),
+            max_backlog: 256,
+            trace_enabled: config.trace,
+            supply_j,
+            expected,
+            fault_at,
+            fault_what,
+            offsets,
+            table_of,
+            min_battery: charge.clone(),
+            c_max: vec![limits.c_max.value(); boards],
+            undersupplied: vec![0.0; boards],
+            wasted: vec![0.0; boards],
+            offered: vec![0.0; boards],
+            delivered: vec![0.0; boards],
+            carry: vec![0.0; boards],
+            progress: vec![0.0; boards],
+            backlog: vec![0; boards],
+            supply_scale: vec![1.0; boards],
+            scale_until: vec![0.0; boards],
+            dropout_until: vec![0.0; boards],
+            alloc_index: vec![0; boards],
+            degradation: vec![0; boards],
+            sheds: vec![0; boards],
+            jobs_done: vec![0; boards],
+            dropped: vec![0; boards],
+            cursor: offsets_cursor(boards),
+            chip_active: vec![0; boards],
+            chip_faulted: vec![0; boards],
+            chip_freq: vec![f_min; boards * chips],
+            current: vec![OperatingPoint::OFF; boards],
+            p_on: vec![0.0; boards],
+            rate: vec![0.0; boards],
+            apply_dirty: vec![true; boards],
+            slot: 0,
+            trace_battery: Vec::new(),
+            trace_undersupplied: Vec::new(),
+            trace_jobs: Vec::new(),
+            charge,
+            platform,
+        })
+    }
+
+    /// Boards in the fleet.
+    #[inline]
+    pub fn boards(&self) -> usize {
+        self.charge.len()
+    }
+
+    /// Slots each board runs for.
+    #[inline]
+    pub fn total_slots(&self) -> usize {
+        self.total_slots
+    }
+
+    /// Slots stepped so far.
+    #[inline]
+    pub fn slots_done(&self) -> usize {
+        self.slot
+    }
+
+    /// Advance every board by one τ slot. A no-op once the configured
+    /// horizon has been reached.
+    pub fn step_slot(&mut self) {
+        if self.slot >= self.total_slots {
+            return;
+        }
+        let slot = self.slot;
+        let t_slot = slot as f64 * self.tau;
+        let dt = self.dt;
+        let substeps = self.substeps;
+        let boards = self.boards();
+
+        for b in 0..boards {
+            // Slot-boundary decision: guard, then the allocation table.
+            if let Some(g) = self.guard {
+                if self.charge[b] < g.shed_below.value() && self.degradation[b] < g.max_degradation
+                {
+                    self.degradation[b] += 1;
+                    self.sheds[b] += 1;
+                } else if self.charge[b] > g.recover_above.value() && self.degradation[b] > 0 {
+                    self.degradation[b] -= 1;
+                }
+            }
+            let base = self.allocation[self.alloc_index[b] as usize % self.allocation.len()];
+            let point = if self.degradation[b] == 0 {
+                base
+            } else {
+                OperatingPoint::new(
+                    base.workers.saturating_sub(self.degradation[b] as usize),
+                    base.frequency,
+                    base.voltage,
+                )
+            };
+            let transition = self.apply_board(b, point);
+
+            let mut slot_jobs = 0u64;
+            for sub in 0..substeps {
+                let g = slot * substeps + sub;
+                let t = t_slot + sub as f64 * dt;
+
+                // --- disturbances (strictly before t + dt, as the scalar
+                //     queue pops them) --------------------------------------
+                let bound = t + dt;
+                while self.cursor[b] < self.offsets[b + 1] {
+                    let at = self.fault_at[self.cursor[b]];
+                    if !(at < bound) {
+                        break;
+                    }
+                    let d = self.fault_what[self.cursor[b]];
+                    self.cursor[b] += 1;
+                    self.apply_fault(b, at, d);
+                }
+
+                // --- supply ------------------------------------------------
+                let scale = if t < self.dropout_until[b] {
+                    0.0
+                } else if t < self.scale_until[b] {
+                    self.supply_scale[b]
+                } else {
+                    1.0
+                };
+                let offered = (self.supply_j[g] * scale).max(0.0);
+                battery_kernel::charge(
+                    &mut self.charge[b],
+                    &mut self.offered[b],
+                    &mut self.wasted[b],
+                    self.c_max[b],
+                    1.0,
+                    offered,
+                );
+
+                // --- arrivals ----------------------------------------------
+                let expected = self.expected[self.table_of[b] as usize][g];
+                let arrivals = accumulate_arrivals(expected, &mut self.carry[b]);
+                self.enqueue(b, arrivals);
+
+                // --- demand & brown-out ------------------------------------
+                let compute_fraction = if sub == 0 {
+                    (1.0 - transition / dt).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                let pending =
+                    board_kernel::pending_work(self.backlog[b] as usize, self.progress[b]);
+                let busy_target = board_kernel::work_fraction(self.rate[b], dt, pending, false)
+                    * compute_fraction;
+                let demand = (self.p_on[b] * busy_target + self.p_idle * (1.0 - busy_target)) * dt;
+                let delivered = battery_kernel::draw(
+                    &mut self.charge[b],
+                    &mut self.undersupplied[b],
+                    &mut self.delivered[b],
+                    self.c_min,
+                    demand,
+                );
+                let availability = if demand > 1e-15 {
+                    (delivered / demand).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+
+                // --- computation -------------------------------------------
+                let idle = self.backlog[b] == 0 && self.progress[b] == 0.0;
+                if !(self.current[b].is_off() || idle || self.rate[b] <= 0.0) {
+                    let capacity = self.rate[b] * dt * (availability * compute_fraction);
+                    let (completed, _remaining) = board_kernel::drain_queue(
+                        capacity,
+                        &mut self.progress[b],
+                        self.backlog[b] as usize,
+                        |_| {},
+                    );
+                    self.backlog[b] -= completed as u32;
+                    self.jobs_done[b] += completed;
+                    slot_jobs += completed;
+                }
+                // The ideal battery has no self-discharge: the scalar
+                // `battery.tick(dt)` is a no-op and is elided here.
+            }
+
+            self.min_battery[b] = self.min_battery[b].min(self.charge[b]);
+            self.alloc_index[b] = self.alloc_index[b].wrapping_add(1);
+            if self.trace_enabled {
+                self.trace_battery.push(self.charge[b]);
+                self.trace_undersupplied.push(self.undersupplied[b]);
+                self.trace_jobs.push(slot_jobs);
+            }
+        }
+        self.slot += 1;
+    }
+
+    /// Run the remaining slots and produce the report.
+    pub fn run(mut self) -> FleetReport {
+        while self.slot < self.total_slots {
+            self.step_slot();
+        }
+        self.into_report()
+    }
+
+    /// Harvest the report for the slots stepped so far.
+    pub fn into_report(self) -> FleetReport {
+        let boards = self.boards();
+        let survived = (0..boards)
+            .map(|b| {
+                self.undersupplied[b] <= UNDERSUPPLY_TOL
+                    && self.min_battery[b] > self.c_min + FLOOR_TOL
+            })
+            .collect();
+        let trace = if self.trace_enabled {
+            Some(FleetTrace {
+                boards,
+                battery: self.trace_battery,
+                undersupplied: self.trace_undersupplied,
+                jobs: self.trace_jobs,
+            })
+        } else {
+            None
+        };
+        FleetReport {
+            boards,
+            slots: self.slot,
+            board_slots: boards as u64 * self.slot as u64,
+            c_min: self.c_min,
+            min_battery: self.min_battery,
+            final_battery: self.charge,
+            undersupplied: self.undersupplied,
+            wasted: self.wasted,
+            offered: self.offered,
+            delivered: self.delivered,
+            jobs_done: self.jobs_done,
+            dropped: self.dropped,
+            sheds: self.sheds,
+            survived,
+            trace,
+        }
+    }
+
+    /// The scalar [`crate::board::PamaBoard::apply`] activation sweep on
+    /// the packed chip state. Returns the worst-case transition latency
+    /// in seconds. Skipped entirely (latency 0) when the point is
+    /// unchanged and no fault event has touched the board since the last
+    /// sweep — in that case every per-chip command would be a no-op.
+    fn apply_board(&mut self, b: usize, point: OperatingPoint) -> f64 {
+        if point == self.current[b] && !self.apply_dirty[b] {
+            return 0.0;
+        }
+        let workers = point.workers.min(self.platform.workers());
+        let mut activated = 0usize;
+        let mut worst = 0.0f64;
+        for c in 0..self.chips {
+            let is_controller = c < self.platform.reserved;
+            let faulted = self.chip_faulted[b] >> c & 1 == 1;
+            let should_run =
+                board_kernel::chip_should_run(&point, faulted, is_controller, activated, workers);
+            let idx = b * self.chips + c;
+            if should_run {
+                if !is_controller {
+                    activated += 1;
+                }
+                // `Processor::set_frequency` then `set_mode(Active)`,
+                // with the same no-op guards.
+                if point.frequency.value() > 0.0
+                    && (point.frequency.value() - self.chip_freq[idx]).abs() >= 1e-6
+                {
+                    worst = worst.max(self.latency.frequency_change(point.frequency).value());
+                    self.chip_freq[idx] = point.frequency.value();
+                }
+                if self.chip_active[b] >> c & 1 == 0 {
+                    worst = worst.max(self.latency.wake.value());
+                    self.chip_active[b] |= 1 << c;
+                }
+            } else if !faulted {
+                // `set_mode(Standby)`: free, and a no-op on faulted chips
+                // (they are already pinned at standby).
+                self.chip_active[b] &= !(1 << c);
+            }
+        }
+        self.current[b] = point;
+        self.apply_dirty[b] = false;
+        self.refresh_caches(b);
+        worst
+    }
+
+    /// Recompute the cached board power and service rate. The scalar
+    /// simulator recomputes both every sub-step; they only actually
+    /// change at an apply or a processor fault/recovery, which is when
+    /// this is called.
+    fn refresh_caches(&mut self, b: usize) {
+        let cal = self.platform.f_max();
+        let mut p = 0.0;
+        for c in 0..self.chips {
+            let mode = if self.chip_active[b] >> c & 1 == 1 {
+                Mode::Active
+            } else {
+                Mode::Standby
+            };
+            p += chip_power(
+                mode,
+                Hertz(self.chip_freq[b * self.chips + c]),
+                &self.modes,
+                cal,
+            )
+            .value();
+        }
+        self.p_on[b] = p;
+        let healthy = self.healthy_workers(b);
+        self.rate[b] = board_kernel::service_rate(&self.platform, &self.current[b], healthy);
+    }
+
+    /// Worker chips (controller excluded) currently healthy.
+    fn healthy_workers(&self, b: usize) -> usize {
+        let reserved = self.platform.reserved.min(self.chips);
+        let worker_bits = (self.chip_faulted[b] >> reserved) & mask(self.chips - reserved);
+        (self.chips - reserved) - worker_bits.count_ones() as usize
+    }
+
+    /// `PamaBoard::enqueue` on the counting backlog.
+    fn enqueue(&mut self, b: usize, n: usize) {
+        for _ in 0..n {
+            if self.backlog[b] >= self.max_backlog {
+                self.dropped[b] += 1;
+            } else {
+                self.backlog[b] += 1;
+            }
+        }
+    }
+
+    /// `Simulation::apply_disturbances`'s match arm on the packed state.
+    fn apply_fault(&mut self, b: usize, at: f64, d: Disturbance) {
+        match d {
+            Disturbance::SupplyScale { factor, duration } => {
+                self.supply_scale[b] = factor.max(0.0);
+                self.scale_until[b] = at + duration.value();
+            }
+            Disturbance::EventBurst { count } => self.enqueue(b, count),
+            Disturbance::ChargingDropout { duration } => {
+                self.dropout_until[b] = self.dropout_until[b].max(at + duration.value());
+            }
+            Disturbance::ProcessorFault { index } => {
+                if index < self.chips && self.chip_faulted[b] >> index & 1 == 0 {
+                    self.chip_faulted[b] |= 1 << index;
+                    // The watchdog clock-gates the chip to standby.
+                    self.chip_active[b] &= !(1 << index);
+                    self.apply_dirty[b] = true;
+                    self.refresh_caches(b);
+                }
+            }
+            Disturbance::ProcessorRecover { index } => {
+                if index < self.chips && self.chip_faulted[b] >> index & 1 == 1 {
+                    self.chip_faulted[b] &= !(1 << index);
+                    // The chip rejoins in standby but already counts as
+                    // healthy for the service rate, as in the scalar model.
+                    self.apply_dirty[b] = true;
+                    self.refresh_caches(b);
+                }
+            }
+            Disturbance::BatteryFade { factor } => {
+                battery_kernel::fade(
+                    &mut self.charge[b],
+                    &mut self.wasted[b],
+                    &mut self.c_max[b],
+                    self.c_min,
+                    factor,
+                );
+            }
+            // Sensor faults corrupt only governor observations; a fleet
+            // board is open-loop, so they change nothing — the same
+            // physics-untouched outcome a pinned scalar run has.
+            Disturbance::SensorNoise { .. } | Disturbance::SensorStuck { .. } => {}
+        }
+    }
+}
+
+/// `n` low bits set (`n ≤ 32`).
+#[inline]
+fn mask(n: usize) -> u32 {
+    if n >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+fn offsets_cursor(boards: usize) -> Vec<usize> {
+    vec![0; boards]
+}
+
+/// The rate schedule as seen by a board with a `phase` slot offset: slot
+/// `i` of the result carries slot `i + phase` of the base schedule.
+fn rotate_series(series: &PowerSeries, phase: usize) -> Result<PowerSeries, SimError> {
+    if phase == 0 {
+        return Ok(series.clone());
+    }
+    let vals = series.values();
+    let n = vals.len();
+    let rotated = (0..n).map(|i| vals[(i + phase) % n]).collect();
+    Ok(PowerSeries::new(series.slot_width(), rotated)?)
+}
+
+/// Expected arrivals per global sub-step — exactly the integral the
+/// scalar [`crate::events::ScheduleGenerator`] evaluates at the same `t`.
+fn expected_arrivals(
+    rates: &PowerSeries,
+    total_slots: usize,
+    substeps: usize,
+    tau: f64,
+    dt: f64,
+) -> Vec<f64> {
+    let period = rates.period().value();
+    let mut out = Vec::with_capacity(total_slots * substeps);
+    for slot in 0..total_slots {
+        let t_slot = slot as f64 * tau;
+        for sub in 0..substeps {
+            let t = t_slot + sub as f64 * dt;
+            let a = t.rem_euclid(period);
+            out.push(rates.integral_wrapping(seconds(a), seconds(a + dt)).value());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EventGenerator, ScheduleGenerator};
+    use dpm_core::units::{joules, volts};
+
+    fn charging() -> PowerSeries {
+        PowerSeries::new(
+            seconds(4.8),
+            vec![
+                2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+            ],
+        )
+        .unwrap()
+    }
+
+    fn rates() -> PowerSeries {
+        PowerSeries::new(
+            seconds(4.8),
+            vec![0.5, 0.1, 0.0, 0.3, 0.5, 0.2, 0.5, 0.1, 0.0, 0.3, 0.5, 0.2],
+        )
+        .unwrap()
+    }
+
+    fn point(workers: usize, mhz: f64) -> OperatingPoint {
+        OperatingPoint::new(workers, Hertz::from_mhz(mhz), volts(3.3))
+    }
+
+    fn config(allocation: Vec<OperatingPoint>) -> FleetConfig {
+        FleetConfig::new(Platform::pama(), charging(), rates(), allocation)
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let mut cfg = config(vec![point(3, 40.0)]);
+        cfg.periods = 0;
+        assert!(matches!(
+            FleetState::new(cfg, &[BoardSpec::quiescent(joules(8.0))]),
+            Err(SimError::InvalidConfig(_))
+        ));
+        let empty_alloc = config(Vec::new());
+        assert!(matches!(
+            FleetState::new(empty_alloc, &[BoardSpec::quiescent(joules(8.0))]),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn empty_fleet_runs_and_reports() {
+        let report = FleetState::new(config(vec![point(3, 40.0)]), &[])
+            .unwrap()
+            .run();
+        assert_eq!(report.boards, 0);
+        assert_eq!(report.board_slots, 0);
+        assert_eq!(report.survival_fraction(), 1.0);
+    }
+
+    #[test]
+    fn off_fleet_charges_and_survives() {
+        let mut cfg = config(vec![OperatingPoint::OFF]);
+        cfg.trace = true;
+        let specs = vec![BoardSpec::quiescent(joules(8.0)); 3];
+        let report = FleetState::new(cfg, &specs).unwrap().run();
+        assert_eq!(report.boards, 3);
+        assert_eq!(report.slots, 24);
+        assert_eq!(report.board_slots, 72);
+        assert_eq!(report.survived_count(), 3);
+        for b in 0..3 {
+            assert_eq!(report.jobs_done[b], 0);
+            assert!(report.final_battery[b] > 8.0, "off boards only charge");
+            assert_eq!(report.undersupplied[b], 0.0);
+        }
+        let trace = report.trace.as_ref().unwrap();
+        assert_eq!(trace.battery.len(), 72);
+        // Identical boards trace identically.
+        for slot in 0..24 {
+            let a = trace.battery[trace.index(slot, 0)];
+            let b = trace.battery[trace.index(slot, 1)];
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn phase_offset_shifts_arrivals_but_preserves_totals() {
+        let mut cfg = config(vec![point(7, 80.0)]);
+        cfg.periods = 4;
+        let specs = vec![
+            BoardSpec {
+                phase_slots: 0,
+                ..BoardSpec::quiescent(joules(8.0))
+            },
+            BoardSpec {
+                phase_slots: 3,
+                ..BoardSpec::quiescent(joules(8.0))
+            },
+        ];
+        let report = FleetState::new(cfg, &specs).unwrap().run();
+        // Whole periods of the same schedule: same long-run event count.
+        let a = report.jobs_done[0] + report.dropped[0];
+        let b = report.jobs_done[1] + report.dropped[1];
+        assert!(
+            (a as i64 - b as i64).abs() <= 1,
+            "phase must not change the long-run event count: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn rotated_rates_match_the_scalar_generator_on_the_rotated_series() {
+        // The phase table must agree with a ScheduleGenerator driven by
+        // the rotated series — the proptest then pins phase 0 to the
+        // scalar simulation as a whole.
+        let rotated = rotate_series(&rates(), 5).unwrap();
+        let mut gen = ScheduleGenerator::new(rotated.clone());
+        let table = expected_arrivals(&rotated, 4, 8, 4.8, 0.6);
+        let mut carry = 0.0;
+        for slot in 0..4usize {
+            for sub in 0..8usize {
+                let t = slot as f64 * 4.8 + sub as f64 * 0.6;
+                let direct = gen.arrivals(seconds(t), seconds(0.6));
+                let ours = accumulate_arrivals(table[slot * 8 + sub], &mut carry);
+                assert_eq!(direct, ours, "slot {slot} sub {sub}");
+            }
+        }
+    }
+
+    #[test]
+    fn shed_guard_degrades_and_counts() {
+        // Drain-heavy fleet with a guard: sheds fire and are counted.
+        let mut cfg = config(vec![point(7, 80.0)]);
+        cfg.periods = 4;
+        cfg.guard = Some(ShedGuard {
+            shed_below: joules(10.0),
+            recover_above: joules(15.0),
+            max_degradation: 7,
+        });
+        let specs = vec![BoardSpec::quiescent(joules(6.5))];
+        let report = FleetState::new(cfg.clone(), &specs).unwrap().run();
+        assert!(report.total_sheds() > 0, "guard never fired");
+        // Without the guard the same board draws more energy.
+        cfg.guard = None;
+        let unguarded = FleetState::new(cfg, &specs).unwrap().run();
+        assert!(unguarded.delivered[0] >= report.delivered[0]);
+        assert_eq!(unguarded.sheds[0], 0);
+    }
+
+    #[test]
+    fn processor_fault_mid_run_cuts_throughput_and_power() {
+        let mut cfg = config(vec![point(7, 80.0)]);
+        cfg.periods = 2;
+        let mut stormy = BoardSpec::quiescent(joules(16.0));
+        stormy
+            .faults
+            .push((seconds(0.0), Disturbance::EventBurst { count: 200 }));
+        let healthy = FleetState::new(cfg.clone(), &[stormy.clone()])
+            .unwrap()
+            .run();
+        for index in 1..8 {
+            stormy
+                .faults
+                .push((seconds(0.1), Disturbance::ProcessorFault { index }));
+        }
+        let faulted = FleetState::new(cfg, &[stormy]).unwrap().run();
+        assert!(healthy.jobs_done[0] > 0);
+        assert!(
+            faulted.jobs_done[0] < healthy.jobs_done[0],
+            "{} vs {}",
+            faulted.jobs_done[0],
+            healthy.jobs_done[0]
+        );
+        assert!(faulted.delivered[0] < healthy.delivered[0]);
+    }
+
+    #[test]
+    fn dropout_fade_and_sensor_faults_apply() {
+        let mut cfg = config(vec![OperatingPoint::OFF]);
+        cfg.periods = 2;
+        let mut spec = BoardSpec::quiescent(joules(8.0));
+        spec.faults = vec![
+            (
+                seconds(0.0),
+                Disturbance::ChargingDropout {
+                    duration: seconds(28.8),
+                },
+            ),
+            (seconds(1.0), Disturbance::BatteryFade { factor: 0.25 }),
+            (
+                seconds(2.0),
+                Disturbance::SensorStuck {
+                    duration: seconds(1e9),
+                },
+            ),
+        ];
+        let report = FleetState::new(cfg.clone(), &[spec]).unwrap().run();
+        let clean = FleetState::new(cfg, &[BoardSpec::quiescent(joules(8.0))])
+            .unwrap()
+            .run();
+        assert!(report.offered[0] < clean.offered[0], "dropout cut supply");
+        let limits = Platform::pama().battery;
+        let faded_cmax = limits.c_min.value() + 0.25 * limits.window().value();
+        assert!(report.final_battery[0] <= faded_cmax + 1e-9);
+        assert!(report.wasted[0] > 0.0, "fade spilled charge");
+    }
+
+    #[test]
+    fn step_slot_is_incremental_and_idempotent_at_the_end() {
+        let mut fleet = FleetState::new(
+            config(vec![point(3, 40.0)]),
+            &[BoardSpec::quiescent(joules(8.0))],
+        )
+        .unwrap();
+        assert_eq!(fleet.total_slots(), 24);
+        for expect in 1..=24 {
+            fleet.step_slot();
+            assert_eq!(fleet.slots_done(), expect);
+        }
+        fleet.step_slot(); // past the horizon: no-op
+        assert_eq!(fleet.slots_done(), 24);
+        let report = fleet.into_report();
+        assert_eq!(report.slots, 24);
+    }
+}

@@ -50,6 +50,7 @@ pub mod commands;
 pub mod engine;
 pub mod error;
 pub mod events;
+pub mod fleet;
 pub mod meter;
 pub mod network;
 pub mod processor;
@@ -65,6 +66,9 @@ pub mod prelude {
     pub use crate::engine::{Clock, EventQueue};
     pub use crate::error::SimError;
     pub use crate::events::{BurstGenerator, EventGenerator, PoissonGenerator, ScheduleGenerator};
+    pub use crate::fleet::{
+        BoardSpec, FleetConfig, FleetReport, FleetState, FleetTrace, ShedGuard,
+    };
     pub use crate::meter::{ChargeSensor, PowerMeter};
     pub use crate::network::{RingConfig, RingNetwork};
     pub use crate::processor::{Mode, Processor, TransitionLatency};

@@ -17,6 +17,28 @@ use dpm_core::model::ModePower;
 use dpm_core::units::{seconds, Hertz, Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
+/// Pure chip-power kernel shared by [`Processor::power`] and the fleet
+/// stepper ([`crate::fleet`]): instantaneous draw of one chip in `mode`
+/// at `frequency`, with active power scaled linearly against the
+/// calibration frequency. Keeping the arithmetic here is what makes the
+/// scalar board and the struct-of-arrays power sum bit-identical.
+#[inline]
+pub fn chip_power(
+    mode: Mode,
+    frequency: Hertz,
+    mode_power: &ModePower,
+    calibration_f: Hertz,
+) -> Watts {
+    match mode {
+        Mode::Active => {
+            // Linear-in-frequency share of the calibrated active power.
+            mode_power.active * (frequency.value() / calibration_f.value())
+        }
+        Mode::Sleep => mode_power.sleep,
+        Mode::Standby => mode_power.standby,
+    }
+}
+
 /// Processor power mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Mode {
@@ -159,14 +181,7 @@ impl Processor {
     /// closure when querying the board; here the chip reports its
     /// datasheet mode power scaled linearly with frequency for Active).
     pub fn power(&self, calibration_f: Hertz) -> Watts {
-        match self.mode {
-            Mode::Active => {
-                // Linear-in-frequency share of the calibrated active power.
-                self.mode_power.active * (self.frequency.value() / calibration_f.value())
-            }
-            Mode::Sleep => self.mode_power.sleep,
-            Mode::Standby => self.mode_power.standby,
-        }
+        chip_power(self.mode, self.frequency, &self.mode_power, calibration_f)
     }
 
     /// Command: change mode at time `t`. Returns the latency incurred.

@@ -154,7 +154,8 @@ impl Simulation {
     ) -> Result<Self, SimError> {
         if config.periods < 1 || config.slots_per_period < 1 || config.substeps < 1 {
             return Err(SimError::InvalidConfig(format!(
-                "periods, slots_per_period and substeps must all be >= 1,                  got {} / {} / {}",
+                "periods, slots_per_period and substeps must all be >= 1, \
+                 got {} / {} / {}",
                 config.periods, config.slots_per_period, config.substeps
             )));
         }
@@ -552,6 +553,30 @@ mod tests {
             ),
             Err(SimError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn degenerate_config_message_renders_cleanly() {
+        let cfg = SimConfig {
+            periods: 0,
+            ..SimConfig::default()
+        };
+        let err = Simulation::new(
+            Platform::pama(),
+            Box::new(TraceSource::new(charging())),
+            Box::new(ScheduleGenerator::new(rates(0.2))),
+            joules(8.0),
+            cfg,
+        )
+        .err()
+        .unwrap();
+        // The wrapped literal must not leak its source indentation into
+        // the rendered message (a previous version embedded ~17 spaces).
+        assert_eq!(
+            err.to_string(),
+            "invalid simulation config: periods, slots_per_period and substeps \
+             must all be >= 1, got 0 / 12 / 8"
+        );
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Fleet-campaign analytics: aggregate the per-shard `fleet.*` metrics a
+//! `campaign --fleet` trace carries into one population report.
+//!
+//! The fleet campaign records each shard into its own `fleet/{i}` scope
+//! (see `dpm-bench`'s fleet module): counters for board/survival/shed/job
+//! totals, equal-bounds battery-floor and final-battery histograms, and
+//! an undersupply gauge. Because every shard shares the same bucket
+//! bounds (derived from the platform's battery window alone), the shard
+//! histograms merge **bucket-exact** — the population percentiles below
+//! are computed on the merged histogram, not approximated from per-shard
+//! summaries.
+//!
+//! [`summarize`] returns `None` for traces with no fleet metrics, so the
+//! `dpm-analyze fleet` command can reject non-fleet traces cleanly.
+
+use crate::model::{split_scoped, Trace};
+use crate::summary::quantile;
+use dpm_telemetry::HistogramLine;
+use std::fmt::Write as _;
+
+/// The aggregated population report for one fleet-campaign trace.
+#[derive(Debug, Clone, Default)]
+pub struct FleetSummary {
+    /// Boards simulated, summed across shards.
+    pub boards: u64,
+    /// Board-slots stepped (boards × slots), summed across shards.
+    pub board_slots: u64,
+    /// Boards that survived (no undersupply, floor above `c_min`).
+    pub survived: u64,
+    /// Shed-guard degradation transitions, summed across shards.
+    pub sheds: u64,
+    /// Jobs completed across the population.
+    pub jobs_done: u64,
+    /// Jobs dropped at full backlogs across the population.
+    pub jobs_dropped: u64,
+    /// Undersupplied energy summed across shards, in joules.
+    pub undersupplied_j: f64,
+    /// Merged per-board battery-floor histogram (`fleet.min_battery_j`).
+    pub min_battery: Option<HistogramLine>,
+    /// Merged per-board final-battery histogram (`fleet.final_battery_j`).
+    pub final_battery: Option<HistogramLine>,
+    /// Per-scope shed counts (`(scope, sheds)`), in scope order — the
+    /// shed-event census across shards.
+    pub shed_census: Vec<(String, u64)>,
+    /// Shard histograms skipped because their bucket bounds disagreed
+    /// with the first shard's (0 for any single-campaign trace).
+    pub mismatched_histograms: usize,
+}
+
+impl FleetSummary {
+    /// Fraction of boards that survived; `1.0` for an empty fleet.
+    #[must_use]
+    pub fn survival_fraction(&self) -> f64 {
+        if self.boards == 0 {
+            1.0
+        } else {
+            self.survived as f64 / self.boards as f64
+        }
+    }
+
+    /// Population battery-floor quantile in joules, from the merged
+    /// histogram (`0.0` when the trace carried no floor observations).
+    #[must_use]
+    pub fn floor_quantile(&self, q: f64) -> f64 {
+        self.min_battery.as_ref().map_or(0.0, |h| quantile(h, q))
+    }
+}
+
+/// Merge `line` into `into`, summing counts bucket-by-bucket. Returns
+/// `false` (and leaves `into` untouched) when the bucket bounds or
+/// bucket counts disagree — merged quantiles would be meaningless.
+fn merge_histogram(into: &mut HistogramLine, line: &HistogramLine) -> bool {
+    let same_bounds = into.bounds.len() == line.bounds.len()
+        && into
+            .bounds
+            .iter()
+            .zip(&line.bounds)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    if !same_bounds || into.counts.len() != line.counts.len() {
+        return false;
+    }
+    for (a, b) in into.counts.iter_mut().zip(&line.counts) {
+        *a += b;
+    }
+    if line.count > 0 {
+        if into.count == 0 {
+            into.min = line.min;
+            into.max = line.max;
+        } else {
+            into.min = into.min.min(line.min);
+            into.max = into.max.max(line.max);
+        }
+    }
+    into.count += line.count;
+    into.sum += line.sum;
+    true
+}
+
+/// Aggregate a trace's `fleet.*` metrics across shard scopes, or `None`
+/// when the trace carries none (it is not a fleet-campaign trace).
+#[must_use]
+pub fn summarize(trace: &Trace) -> Option<FleetSummary> {
+    let mut out = FleetSummary::default();
+    let mut saw_fleet = false;
+
+    for (name, value) in &trace.counters {
+        let (scope, metric) = split_scoped(name);
+        match metric {
+            "fleet.boards" => out.boards += value,
+            "fleet.board_slots" => out.board_slots += value,
+            "fleet.survived" => out.survived += value,
+            "fleet.sheds" => {
+                out.sheds += value;
+                out.shed_census.push((scope.to_string(), *value));
+            }
+            "fleet.jobs_done" => out.jobs_done += value,
+            "fleet.jobs_dropped" => out.jobs_dropped += value,
+            _ => continue,
+        }
+        saw_fleet = true;
+    }
+
+    for (name, value) in &trace.gauges {
+        if split_scoped(name).1 == "fleet.undersupplied_j" {
+            out.undersupplied_j += value;
+            saw_fleet = true;
+        }
+    }
+
+    for (name, line) in &trace.histograms {
+        let slot = match split_scoped(name).1 {
+            "fleet.min_battery_j" => &mut out.min_battery,
+            "fleet.final_battery_j" => &mut out.final_battery,
+            _ => continue,
+        };
+        saw_fleet = true;
+        match slot {
+            None => *slot = Some(line.clone()),
+            Some(merged) => {
+                if !merge_histogram(merged, line) {
+                    out.mismatched_histograms += 1;
+                }
+            }
+        }
+    }
+
+    saw_fleet.then_some(out)
+}
+
+/// Render the population report as plain text (ends with a newline).
+#[must_use]
+pub fn render(summary: &FleetSummary) -> String {
+    let mut out = String::new();
+    let shards = summary.shed_census.len();
+    let _ = writeln!(
+        out,
+        "fleet: {} board(s), {} board-slot(s), {} shard(s)",
+        summary.boards, summary.board_slots, shards
+    );
+    let _ = writeln!(
+        out,
+        "survival: {}/{} ({:.1}%)",
+        summary.survived,
+        summary.boards,
+        100.0 * summary.survival_fraction()
+    );
+    let _ = writeln!(
+        out,
+        "jobs: {} done, {} dropped",
+        summary.jobs_done, summary.jobs_dropped
+    );
+    let _ = writeln!(out, "undersupplied: {:.4} J", summary.undersupplied_j);
+    if let Some(h) = &summary.min_battery {
+        let _ = writeln!(
+            out,
+            "battery floor (J): p1 {:.4}  p10 {:.4}  p50 {:.4}  \
+             min {:.4}  max {:.4}",
+            quantile(h, 0.01),
+            quantile(h, 0.10),
+            quantile(h, 0.50),
+            h.min,
+            h.max
+        );
+    }
+    if let Some(h) = &summary.final_battery {
+        let _ = writeln!(
+            out,
+            "final battery (J): p10 {:.4}  p50 {:.4}  p90 {:.4}",
+            quantile(h, 0.10),
+            quantile(h, 0.50),
+            quantile(h, 0.90)
+        );
+    }
+    let _ = writeln!(out, "shed census: {} event(s)", summary.sheds);
+    // Large fleets have hundreds of shards; show the heaviest few.
+    const CENSUS_ROWS: usize = 12;
+    let mut census: Vec<&(String, u64)> = summary.shed_census.iter().collect();
+    census.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    for (scope, sheds) in census.iter().take(CENSUS_ROWS) {
+        let label = if scope.is_empty() { "(root)" } else { scope };
+        let _ = writeln!(out, "  {label}: {sheds}");
+    }
+    if census.len() > CENSUS_ROWS {
+        let _ = writeln!(out, "  … and {} more shard(s)", census.len() - CENSUS_ROWS);
+    }
+    if summary.mismatched_histograms > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {} histogram(s) skipped (bucket bounds disagree \
+             across scopes — mixed traces?)",
+            summary.mismatched_histograms
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_telemetry::Recorder;
+
+    fn shard(sheds: u64, survived: u64, floors: &[f64]) -> Recorder {
+        let r = Recorder::enabled("shard");
+        r.incr("fleet.boards", floors.len() as u64);
+        r.incr("fleet.board_slots", 24 * floors.len() as u64);
+        r.incr("fleet.survived", survived);
+        r.incr("fleet.sheds", sheds);
+        r.incr("fleet.jobs_done", 100);
+        r.incr("fleet.jobs_dropped", 3);
+        let bounds: Vec<f64> = (1..=4).map(|i| i as f64 * 4.0).collect();
+        for &f in floors {
+            r.observe_with("fleet.min_battery_j", &bounds, f);
+            r.observe_with("fleet.final_battery_j", &bounds, f + 1.0);
+        }
+        r.gauge("fleet.undersupplied_j", 0.5);
+        r
+    }
+
+    fn fleet_trace() -> Trace {
+        let root = Recorder::enabled("fleet");
+        root.absorb("fleet/0", &shard(2, 3, &[1.0, 5.0, 9.0]));
+        root.absorb("fleet/1", &shard(1, 2, &[13.0, 17.0]));
+        Trace::parse(&root.to_jsonl()).unwrap()
+    }
+
+    #[test]
+    fn counters_sum_across_shards() {
+        let s = summarize(&fleet_trace()).unwrap();
+        assert_eq!(s.boards, 5);
+        assert_eq!(s.board_slots, 120);
+        assert_eq!(s.survived, 5);
+        assert_eq!(s.sheds, 3);
+        assert_eq!(s.jobs_done, 200);
+        assert_eq!(s.jobs_dropped, 6);
+        assert!((s.undersupplied_j - 1.0).abs() < 1e-12);
+        assert!((s.survival_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(s.mismatched_histograms, 0);
+    }
+
+    #[test]
+    fn histograms_merge_bucket_exact() {
+        let s = summarize(&fleet_trace()).unwrap();
+        let h = s.min_battery.as_ref().unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 17.0);
+        // Bucket census: 1.0→≤4, 5.0→≤8, 9.0→≤12, 13.0→≤16, 17.0→overflow.
+        assert_eq!(h.counts, vec![1, 1, 1, 1, 1]);
+        // Median is the third of five observations: the ≤12 bucket.
+        assert!((s.floor_quantile(0.5) - 12.0).abs() < 1e-12);
+        // p1 resolves to the lowest occupied bucket, clamped to the min.
+        assert!((s.floor_quantile(0.01) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shed_census_lists_scopes_in_order() {
+        let s = summarize(&fleet_trace()).unwrap();
+        assert_eq!(
+            s.shed_census,
+            vec![("fleet/0".to_string(), 2), ("fleet/1".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn mismatched_bounds_are_counted_not_merged() {
+        let root = Recorder::enabled("fleet");
+        let a = Recorder::enabled("shard");
+        a.observe_with("fleet.min_battery_j", &[1.0, 2.0], 0.5);
+        let b = Recorder::enabled("shard");
+        b.observe_with("fleet.min_battery_j", &[1.0, 3.0], 0.5);
+        root.absorb("fleet/0", &a);
+        root.absorb("fleet/1", &b);
+        let trace = Trace::parse(&root.to_jsonl()).unwrap();
+        let s = summarize(&trace).unwrap();
+        assert_eq!(s.mismatched_histograms, 1);
+        assert_eq!(s.min_battery.as_ref().unwrap().count, 1);
+    }
+
+    #[test]
+    fn non_fleet_traces_summarize_to_none() {
+        let r = Recorder::enabled("sweep");
+        r.incr("sim.slots", 7);
+        let trace = Trace::parse(&r.to_jsonl()).unwrap();
+        assert!(summarize(&trace).is_none());
+    }
+
+    #[test]
+    fn render_covers_every_section() {
+        let s = summarize(&fleet_trace()).unwrap();
+        let text = render(&s);
+        assert!(text.contains("fleet: 5 board(s)"));
+        assert!(text.contains("survival: 5/5 (100.0%)"));
+        assert!(text.contains("battery floor (J): p1"));
+        assert!(text.contains("final battery (J): p10"));
+        assert!(text.contains("shed census: 3 event(s)"));
+        assert!(text.contains("  fleet/0: 2"));
+        assert!(!text.contains("warning:"));
+    }
+
+    #[test]
+    fn every_counter_the_campaign_emits_is_read() {
+        // The base names dpm-bench's fleet module records, one each.
+        let r = Recorder::enabled("shard");
+        for c in [
+            "fleet.boards",
+            "fleet.board_slots",
+            "fleet.survived",
+            "fleet.sheds",
+            "fleet.jobs_done",
+            "fleet.jobs_dropped",
+        ] {
+            r.incr(c, 1);
+        }
+        let trace = Trace::parse(&r.to_jsonl()).unwrap();
+        let s = summarize(&trace).unwrap();
+        assert_eq!(s.boards, 1);
+        assert_eq!(s.board_slots, 1);
+        assert_eq!(s.survived, 1);
+        assert_eq!(s.sheds, 1);
+        assert_eq!(s.jobs_done, 1);
+        assert_eq!(s.jobs_dropped, 1);
+    }
+}

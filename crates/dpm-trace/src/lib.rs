@@ -13,9 +13,12 @@
 //! - [`summary`] — per-run report: activity counters, safety transition
 //!   census, histogram quantiles, ASCII battery trajectories;
 //! - [`bench`] — condense wall-clock `.profile` documents into committed
-//!   `BENCH_<name>.json` baselines and check fresh profiles against them.
+//!   `BENCH_<name>.json` baselines and check fresh profiles against them;
+//! - [`fleet`] — aggregate the per-shard `fleet.*` metrics of a
+//!   `campaign --fleet` trace into one population report: survival
+//!   fraction, bucket-exact battery-floor percentiles, shed census.
 //!
-//! The `dpm-analyze` binary in `dpm-bench` fronts all four as commands.
+//! The `dpm-analyze` binary in `dpm-bench` fronts all five as commands.
 //!
 //! Like the telemetry layer it reads, this crate must never take down a
 //! caller on hostile input: non-test code is panic-free (enforced by
@@ -27,6 +30,7 @@ pub mod audit;
 pub mod bench;
 pub mod diff;
 mod error;
+pub mod fleet;
 pub mod model;
 pub mod summary;
 
@@ -34,6 +38,7 @@ pub use audit::{audit, AuditConfig, AuditReport, Violation};
 pub use bench::{check as bench_check, BenchBaseline, BenchSpan, Regression, BENCH_SCHEMA};
 pub use diff::{first_divergence, Divergence};
 pub use error::TraceError;
+pub use fleet::{render as render_fleet, summarize as summarize_fleet, FleetSummary};
 pub use model::{split_scoped, Trace};
 pub use summary::{quantile, render as render_summary};
 

@@ -18,10 +18,12 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod faults;
+pub mod fleet;
 pub mod generator;
 pub mod scenarios;
 
 pub use faults::{generate as generate_faults, FaultEvent, FaultPlan, FaultPlanConfig};
+pub use fleet::{board_seed, board_spec, fleet_specs, FleetScenarioConfig};
 pub use generator::{random_scenario, OrbitScenarioBuilder};
 pub use scenarios::{scenario_one, scenario_two};
 

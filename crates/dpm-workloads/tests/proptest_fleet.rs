@@ -1,0 +1,142 @@
+//! The fleet core's load-bearing property: a 1-board fleet is
+//! **bit-identical** to the scalar [`Simulation`] under a pinned
+//! governor on the same platform, schedules, and fault plan.
+//!
+//! The struct-of-arrays stepper shares the scalar models' arithmetic
+//! through the extracted pure kernels (`battery::kernel`,
+//! `board::kernel`, `processor::chip_power`,
+//! `events::accumulate_arrivals`), so the comparison below is exact
+//! (`f64::to_bits`), not approximate: any drift — a reordered multiply,
+//! a dropped clamp — fails the property instead of hiding inside an
+//! epsilon.
+
+use dpm_core::error::DpmError;
+use dpm_core::governor::{Governor, SlotObservation};
+use dpm_core::params::OperatingPoint;
+use dpm_core::platform::Platform;
+use dpm_core::series::PowerSeries;
+use dpm_core::units::{joules, seconds, volts, Hertz};
+use dpm_sim::fleet::{BoardSpec, FleetConfig, FleetState};
+use dpm_sim::prelude::*;
+use dpm_workloads::{generate_faults, FaultPlanConfig};
+use proptest::prelude::*;
+
+/// The open-loop governor the fleet's single-entry allocation table
+/// mirrors: every slot, the same point.
+struct Pinned(OperatingPoint);
+
+impl Governor for Pinned {
+    fn name(&self) -> &str {
+        "pinned"
+    }
+
+    fn decide(&mut self, _obs: &SlotObservation) -> Result<OperatingPoint, DpmError> {
+        Ok(self.0)
+    }
+}
+
+const TAU: f64 = 4.8;
+const SLOTS: usize = 12;
+const PERIODS: usize = 2;
+const SUBSTEPS: usize = 8;
+
+fn series(values: Vec<f64>) -> PowerSeries {
+    PowerSeries::new(seconds(TAU), values).unwrap()
+}
+
+proptest! {
+    /// One board through the SoA stepper ≡ the scalar simulation, for
+    /// any operating point, charging/rate schedules, initial charge, and
+    /// standard fault plan: per-slot battery trajectory and cumulative
+    /// undersupply to the bit, jobs and drops to the count.
+    #[test]
+    fn one_board_fleet_is_bit_identical_to_the_scalar_simulation(
+        workers in 1usize..=7,
+        freq_idx in 0usize..3,
+        initial in 0.6f64..16.0,
+        charging_vals in prop::collection::vec(0.0f64..3.0, SLOTS..=SLOTS),
+        rate_vals in prop::collection::vec(0.0f64..0.5, SLOTS..=SLOTS),
+        fault_seed in any::<u64>(),
+        with_faults in any::<bool>(),
+    ) {
+        let platform = Platform::pama();
+        let freq = [20.0, 40.0, 80.0][freq_idx];
+        let point = OperatingPoint::new(workers, Hertz::from_mhz(freq), volts(3.3));
+        let charging = series(charging_vals);
+        let rates = series(rate_vals);
+        let horizon = seconds((PERIODS * SLOTS) as f64 * TAU);
+        let plan = if with_faults {
+            generate_faults(fault_seed, &FaultPlanConfig::standard(horizon))
+        } else {
+            dpm_workloads::FaultPlan::quiescent()
+        };
+
+        // Scalar reference run.
+        let mut sim = Simulation::new(
+            platform.clone(),
+            Box::new(TraceSource::new(charging.clone())),
+            Box::new(ScheduleGenerator::new(rates.clone())),
+            joules(initial),
+            SimConfig {
+                periods: PERIODS,
+                slots_per_period: SLOTS,
+                substeps: SUBSTEPS,
+                trace: true,
+            },
+        )
+        .unwrap();
+        plan.schedule(&mut sim);
+        let scalar = sim.run(&mut Pinned(point)).unwrap();
+
+        // The same board as a fleet of one.
+        let mut cfg = FleetConfig::new(platform, charging, rates, vec![point]);
+        cfg.periods = PERIODS;
+        cfg.slots_per_period = SLOTS;
+        cfg.substeps = SUBSTEPS;
+        cfg.trace = true;
+        let spec = BoardSpec {
+            initial_charge: joules(initial),
+            phase_slots: 0,
+            faults: plan.events.iter().map(|e| (e.at, e.disturbance)).collect(),
+        };
+        let fleet = FleetState::new(cfg, &[spec]).unwrap().run();
+
+        prop_assert_eq!(fleet.boards, 1);
+        prop_assert_eq!(fleet.slots, PERIODS * SLOTS);
+
+        // Per-slot trajectories, to the bit.
+        let trace = fleet.trace.as_ref().unwrap();
+        prop_assert_eq!(scalar.slots.len(), PERIODS * SLOTS);
+        for (s, rec) in scalar.slots.iter().enumerate() {
+            let i = trace.index(s, 0);
+            prop_assert_eq!(
+                trace.battery[i].to_bits(),
+                rec.battery.to_bits(),
+                "battery diverged at slot {} ({} vs {})",
+                s, trace.battery[i], rec.battery
+            );
+            prop_assert_eq!(
+                trace.undersupplied[i].to_bits(),
+                rec.undersupplied.to_bits(),
+                "undersupply diverged at slot {}", s
+            );
+            prop_assert_eq!(trace.jobs[i], rec.jobs, "jobs diverged at slot {}", s);
+        }
+
+        // Whole-run totals, to the bit where they are energies.
+        prop_assert_eq!(fleet.final_battery[0].to_bits(), scalar.final_battery.to_bits());
+        prop_assert_eq!(fleet.undersupplied[0].to_bits(), scalar.undersupplied.to_bits());
+        prop_assert_eq!(fleet.offered[0].to_bits(), scalar.offered.to_bits());
+        prop_assert_eq!(fleet.wasted[0].to_bits(), scalar.wasted.to_bits());
+        prop_assert_eq!(fleet.delivered[0].to_bits(), scalar.delivered.to_bits());
+        prop_assert_eq!(fleet.jobs_done[0], scalar.jobs_done);
+        prop_assert_eq!(fleet.dropped[0], scalar.dropped);
+
+        // No guard configured: the fleet must report zero shed events,
+        // and its survival verdict must match the scalar criterion.
+        prop_assert_eq!(fleet.sheds[0], 0);
+        let survival = SurvivalReport::from_report(&scalar, fleet.c_min, 0.0, 0);
+        prop_assert_eq!(fleet.survived[0], survival.survived);
+        prop_assert_eq!(fleet.min_battery[0].to_bits(), survival.deepest_charge.to_bits());
+    }
+}
