@@ -189,7 +189,7 @@ fn run_point_with(
     let plan = faults::generate(point.seed, &FaultPlanConfig::standard(horizon));
 
     let mut sim = Simulation::new(
-        platform.clone(),
+        Arc::clone(&point.platform),
         Box::new(TraceSource::new(scenario.charging.clone())),
         Box::new(ScheduleGenerator::new(scenario.event_rates(platform))),
         scenario.initial_charge,
@@ -210,16 +210,26 @@ fn run_point_with(
     let (report, degradations) = match point.governor {
         "proposed" => {
             let alloc = cache.allocation(platform, scenario)?;
-            let mut g = DpmController::new(platform.clone(), &alloc, scenario.charging.clone())?
-                .with_telemetry(telemetry.clone());
+            let (shared, pareto) = cache.pareto(platform)?;
+            let mut g =
+                DpmController::with_table(shared, &alloc, scenario.charging.clone(), pareto)?
+                    .without_trace()
+                    .with_telemetry(telemetry.clone());
             (sim.run(&mut g)?, 0)
         }
         "proposed+safe" => {
             let alloc = cache.allocation(platform, scenario)?;
-            let inner = DpmController::new(platform.clone(), &alloc, scenario.charging.clone())?
+            let (shared, pareto) = cache.pareto(platform)?;
+            let inner = DpmController::with_table(
+                shared,
+                &alloc,
+                scenario.charging.clone(),
+                Arc::clone(&pareto),
+            )?
+            .without_trace()
+            .with_telemetry(telemetry.clone());
+            let mut g = SafetyGovernor::with_table(inner, platform, safety, pareto)?
                 .with_telemetry(telemetry.clone());
-            let mut g =
-                SafetyGovernor::new(inner, platform, safety)?.with_telemetry(telemetry.clone());
             let r = sim.run(&mut g)?;
             let d = g.degradation_count();
             (r, d)
@@ -230,8 +240,9 @@ fn run_point_with(
         }
         _ => {
             let inner = StaticGovernor::full_power(platform)?;
-            let mut g =
-                SafetyGovernor::new(inner, platform, safety)?.with_telemetry(telemetry.clone());
+            let (_, pareto) = cache.pareto(platform)?;
+            let mut g = SafetyGovernor::with_table(inner, platform, safety, pareto)?
+                .with_telemetry(telemetry.clone());
             let r = sim.run(&mut g)?;
             let d = g.degradation_count();
             (r, d)

@@ -11,7 +11,7 @@ use dpm_baselines::{
 use dpm_core::alloc::{AllocationIteration, InitialAllocation, InitialAllocator};
 use dpm_core::error::DpmError;
 use dpm_core::governor::Governor;
-use dpm_core::params::ParameterScheduler;
+use dpm_core::params::{ParameterScheduler, ParetoTable};
 use dpm_core::platform::Platform;
 use dpm_core::runtime::{ControllerRecord, DpmController};
 use dpm_core::units::Joules;
@@ -103,18 +103,26 @@ pub fn run_governor_with(
         .run(governor)
 }
 
-/// Memoized §4.1 initial allocations.
+/// One cached platform entry: the shared platform handle and its rated
+/// frontier.
+type PlatformEntry = (Arc<Platform>, Arc<ParetoTable>);
+
+/// Memoized §4.1 initial allocations and rated Pareto frontiers.
 ///
 /// Every governor that needs `P_init` (proposed, analytic, oracle) used to
 /// recompute the full iterative allocation per run; a sweep revisiting the
 /// same `(platform, scenario)` pair with different seeds recomputed it per
 /// point. This cache computes each distinct pair once and shares the
-/// result via [`Arc`]. Keys are the exact serialized inputs, so two
+/// result via [`Arc`]. The same pattern covers the [`ParetoTable`]: rating
+/// and pruning the operating-point frontier is pure in the platform, so a
+/// matrix of N proposed-controller cells shares one table instead of
+/// rebuilding it N times. Keys are the exact serialized inputs, so two
 /// scenarios that differ in any slot value never collide; lookups from
-/// concurrent worker threads are safe (the map sits behind a [`Mutex`]).
+/// concurrent worker threads are safe (the maps sit behind [`Mutex`]es).
 #[derive(Debug, Default)]
 pub struct AllocCache {
     inner: Mutex<HashMap<String, Arc<InitialAllocation>>>,
+    pareto: Mutex<HashMap<String, PlatformEntry>>,
 }
 
 impl AllocCache {
@@ -152,6 +160,40 @@ impl AllocCache {
         let computed = Arc::new(initial_allocation(platform, scenario)?);
         let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         Ok(map.entry(key).or_insert(computed).clone())
+    }
+
+    /// The shared platform handle and rated Pareto frontier for
+    /// `platform`, built at most once per distinct platform.
+    ///
+    /// Returning the [`Arc<Platform>`] alongside the table lets callers
+    /// hand every controller the *same* platform allocation instead of
+    /// deep-cloning the frequency ladder and power model per cell.
+    ///
+    /// # Errors
+    /// Propagates [`DpmError`] when the platform is invalid or rates a
+    /// non-finite operating point. Errors are not cached.
+    pub fn pareto(&self, platform: &Platform) -> Result<PlatformEntry, DpmError> {
+        let key = match serde_json::to_string(platform) {
+            Ok(k) => k,
+            // Unserializable platforms cannot happen for this plain-data
+            // type; degrade to uncached computation rather than failing.
+            Err(_) => {
+                let shared = Arc::new(platform.clone());
+                let table = Arc::new(ParetoTable::build(&shared)?);
+                return Ok((shared, table));
+            }
+        };
+        let hit = {
+            let map = self.pareto.lock().unwrap_or_else(|e| e.into_inner());
+            map.get(&key).cloned()
+        };
+        if let Some(found) = hit {
+            return Ok(found);
+        }
+        let shared = Arc::new(platform.clone());
+        let table = Arc::new(ParetoTable::build(&shared)?);
+        let mut map = self.pareto.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(map.entry(key).or_insert((shared, table)).clone())
     }
 
     /// Number of distinct allocations currently cached.
@@ -237,8 +279,13 @@ impl GovernorSpec {
         Ok(match self {
             Self::Proposed => {
                 let alloc = cache.allocation(platform, scenario)?;
+                let (shared, pareto) = cache.pareto(platform)?;
+                // Matrix paths never read the controller trace (only
+                // `table3_5_with` does, and it builds its own controller),
+                // so skip the per-decide record accumulation.
                 Box::new(
-                    DpmController::new(platform.clone(), &alloc, scenario.charging.clone())?
+                    DpmController::with_table(shared, &alloc, scenario.charging.clone(), pareto)?
+                        .without_trace()
                         .with_telemetry(telemetry.clone()),
                 )
             }

@@ -296,7 +296,7 @@ fn run_shard(shard: &FleetShard, telemetry: &Recorder) -> Result<ShardSummary, S
     );
 
     let mut config = FleetConfig::new(
-        platform.clone(),
+        Arc::clone(&shard.platform),
         scenario.charging.clone(),
         scenario.event_rates(platform),
         shard.allocation.as_ref().clone(),

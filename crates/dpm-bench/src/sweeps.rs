@@ -217,7 +217,7 @@ fn run_pair_with(point: &SweepPoint, cache: &AllocCache, telemetry: &Recorder) -
             None => Box::new(TraceSource::new(point.scenario.charging.clone())),
         };
         Simulation::new(
-            point.platform.as_ref().clone(),
+            Arc::clone(&point.platform),
             source,
             Box::new(ScheduleGenerator::new(
                 point.scenario.event_rates(&point.platform),
@@ -234,12 +234,15 @@ fn run_pair_with(point: &SweepPoint, cache: &AllocCache, telemetry: &Recorder) -
         .run(gov)
     };
     let alloc = cache.allocation(&point.platform, &point.scenario)?;
+    let (_, pareto) = cache.pareto(&point.platform)?;
     let proposed_rec = telemetry.sibling();
-    let mut proposed = DpmController::new(
-        point.platform.as_ref().clone(),
+    let mut proposed = DpmController::with_table(
+        Arc::clone(&point.platform),
         &alloc,
         point.scenario.charging.clone(),
+        pareto,
     )?
+    .without_trace()
     .with_telemetry(proposed_rec.clone());
     let rp = run(&mut proposed, &proposed_rec)?;
     telemetry.absorb("proposed", &proposed_rec);

@@ -158,46 +158,91 @@ impl InitialAllocator {
     /// * [`DpmError::ConvergenceFailure`] when the iteration budget runs out
     ///   before either feasibility or a fixed point.
     pub fn compute(&self) -> Result<InitialAllocation, DpmError> {
+        self.compute_impl(true).map(|(alloc, _)| alloc)
+    }
+
+    /// [`Self::compute`] without recording the per-round history:
+    /// `iterations` comes back empty and the convergence loop runs
+    /// allocation-free (scratch buffers are recycled between rounds, and no
+    /// per-round clones of the allocation/trajectory are made). The final
+    /// allocation and trajectory are bit-identical to [`Self::compute`]'s.
+    ///
+    /// Use this on hot paths (campaign/sweep/fleet setup) where only the
+    /// accepted result matters; the Tables 2/4 reproduction needs
+    /// [`Self::compute`].
+    ///
+    /// # Errors
+    /// Same conditions as [`Self::compute`].
+    pub fn compute_lean(&self) -> Result<InitialAllocation, DpmError> {
+        self.compute_impl(false).map(|(alloc, _)| alloc)
+    }
+
+    /// Shared convergence loop. Per round the Eq. 10 trajectory is built by
+    /// the fused [`PowerSeries::net_cumulative_into`] kernel into a scratch
+    /// buffer that round-trips through `EnergyTrajectory` (so Algorithm 1
+    /// can borrow it) and back; the next allocation is written in place via
+    /// [`EnergyTrajectory::residual_allocation_into`]. With
+    /// `keep_history` the pre-optimization behaviour (one owned
+    /// [`AllocationIteration`] per round) is preserved on top of the same
+    /// arithmetic, so both modes produce identical bits.
+    ///
+    /// Returns the result plus the number of rounds run (needed by
+    /// [`Self::compute_with`]'s telemetry when history is off).
+    fn compute_impl(&self, keep_history: bool) -> Result<(InitialAllocation, usize), DpmError> {
         let p = &self.problem;
+        let (floor, ceil) = (p.p_floor.value(), p.p_ceiling.value());
         // Eq. 8: scale the demand shape so dissipation balances supply over
         // the period; then the raw trajectory is periodic and reshaping is
         // well-defined cyclically.
-        let mut allocation = normalize_to_supply(&p.demand, &p.charging)
-            .map(|v| v.clamp(p.p_floor.value(), p.p_ceiling.value()));
+        let mut allocation =
+            normalize_to_supply(&p.demand, &p.charging).map(|v| v.clamp(floor, ceil));
 
+        let slot = p.charging.slot_width();
+        let (c_min, c_max) = (p.limits.c_min.value(), p.limits.c_max.value());
         let mut iterations = Vec::new();
+        let mut rounds = 0usize;
+        let mut points_scratch: Vec<f64> = Vec::new();
+        let mut next_values: Vec<f64> = Vec::new();
         for _ in 0..self.max_iterations.max(1) {
-            let surplus = p.charging.pointwise_sub(&allocation);
-            let trajectory = surplus.cumulative(p.initial_charge);
-            let ok = trajectory.within(p.limits.c_min, p.limits.c_max, self.tolerance);
-            iterations.push(AllocationIteration {
-                allocation: allocation.clone(),
-                trajectory: trajectory.clone(),
-                feasible: ok,
-            });
-            if ok {
-                return Ok(InitialAllocation {
-                    allocation,
-                    trajectory,
-                    feasible: true,
-                    iterations,
+            p.charging
+                .net_cumulative_into(&allocation, p.initial_charge, &mut points_scratch);
+            rounds += 1;
+            let ok = points_scratch
+                .iter()
+                .all(|&pt| pt >= c_min - self.tolerance && pt <= c_max + self.tolerance);
+            let trajectory = EnergyTrajectory::assemble(slot, std::mem::take(&mut points_scratch));
+            if keep_history {
+                iterations.push(AllocationIteration {
+                    allocation: allocation.clone(),
+                    trajectory: trajectory.clone(),
+                    feasible: ok,
                 });
+            }
+            if ok {
+                return Ok((
+                    InitialAllocation {
+                        allocation,
+                        trajectory,
+                        feasible: true,
+                        iterations,
+                    },
+                    rounds,
+                ));
             }
             let reshaped = reshape_trajectory_with(&trajectory, p.limits, self.strategy);
-            let next = p
-                .charging
-                .pointwise_sub(&reshaped.trajectory.derivative())
-                .map(|v| v.clamp(p.p_floor.value(), p.p_ceiling.value()));
-            if next == allocation {
-                return Err(DpmError::InfeasibleAllocation {
-                    iterations: iterations.len(),
-                });
+            reshaped.trajectory.residual_allocation_into(
+                &p.charging,
+                floor,
+                ceil,
+                &mut next_values,
+            );
+            if next_values.as_slice() == allocation.values() {
+                return Err(DpmError::InfeasibleAllocation { iterations: rounds });
             }
-            allocation = next;
+            allocation.values_mut().copy_from_slice(&next_values);
+            points_scratch = trajectory.into_points();
         }
-        Err(DpmError::ConvergenceFailure {
-            iterations: iterations.len(),
-        })
+        Err(DpmError::ConvergenceFailure { iterations: rounds })
     }
 
     /// [`Self::compute`], with the outcome recorded into `telemetry`:
@@ -206,12 +251,31 @@ impl InitialAllocator {
     /// events carry slot `None` and time `0.0` — the allocation runs before
     /// simulated time starts.
     pub fn compute_with(&self, telemetry: &Recorder) -> Result<InitialAllocation, DpmError> {
+        self.compute_with_impl(telemetry, true)
+    }
+
+    /// [`Self::compute_lean`] with the same telemetry as
+    /// [`Self::compute_with`]. Convergence-round counters and events are
+    /// still exact — the loop reports them directly rather than reading the
+    /// (empty) history.
+    ///
+    /// # Errors
+    /// Same conditions as [`Self::compute`].
+    pub fn compute_lean_with(&self, telemetry: &Recorder) -> Result<InitialAllocation, DpmError> {
+        self.compute_with_impl(telemetry, false)
+    }
+
+    fn compute_with_impl(
+        &self,
+        telemetry: &Recorder,
+        keep_history: bool,
+    ) -> Result<InitialAllocation, DpmError> {
         let _span = telemetry.span("alloc.compute");
-        let result = self.compute();
+        let result = self.compute_impl(keep_history);
         telemetry.incr("alloc.compute.calls", 1);
         match &result {
-            Ok(allocation) => {
-                let rounds = allocation.iterations.len();
+            Ok((_, rounds)) => {
+                let rounds = *rounds;
                 telemetry.incr("alloc.reshape.iterations", rounds as u64);
                 telemetry.observe("alloc.iterations", rounds as f64);
                 telemetry.event(
@@ -235,7 +299,7 @@ impl InitialAllocator {
             ),
             Err(_) => {}
         }
-        result
+        result.map(|(alloc, _)| alloc)
     }
 }
 
@@ -418,6 +482,40 @@ mod tests {
                 variance(&even.allocation),
                 variance(&shaped.allocation)
             );
+        }
+    }
+
+    #[test]
+    fn compute_lean_is_bit_identical_to_compute() {
+        for strategy in [ReshapeStrategy::ShapePreserving, ReshapeStrategy::EvenSlope] {
+            let full = InitialAllocator::new(scenario_like())
+                .unwrap()
+                .with_strategy(strategy)
+                .compute()
+                .unwrap();
+            let lean = InitialAllocator::new(scenario_like())
+                .unwrap()
+                .with_strategy(strategy)
+                .compute_lean()
+                .unwrap();
+            assert!(lean.iterations.is_empty());
+            assert_eq!(lean.feasible, full.feasible);
+            for (a, b) in lean
+                .allocation
+                .values()
+                .iter()
+                .zip(full.allocation.values())
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in lean
+                .trajectory
+                .points()
+                .iter()
+                .zip(full.trajectory.points())
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

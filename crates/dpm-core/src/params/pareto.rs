@@ -41,10 +41,14 @@ impl ParetoTable {
     ///
     /// # Errors
     /// Propagates [`Platform::validate`]: a malformed platform cannot be
-    /// rated.
+    /// rated. Returns [`DpmError::NonFinite`] when a power/performance
+    /// model rates any pair NaN or infinite (e.g. a NaN `c2` capacitance
+    /// slips through the structural validation) — a non-finite rating
+    /// would otherwise scramble the sorted frontier silently.
     pub fn build(platform: &Platform) -> Result<Self, DpmError> {
         platform.validate()?;
         let rated = Self::rate_all(platform);
+        Self::reject_non_finite(&rated)?;
         let raw_count = rated.len();
         let frontier = Self::prune(rated);
         Ok(Self {
@@ -61,6 +65,7 @@ impl ParetoTable {
     pub fn build_unpruned(platform: &Platform) -> Result<Self, DpmError> {
         platform.validate()?;
         let mut rated = Self::rate_all(platform);
+        Self::reject_non_finite(&rated)?;
         let raw_count = rated.len();
         rated.sort_by(|a, b| {
             a.power
@@ -96,6 +101,25 @@ impl ParetoTable {
             }
         }
         rated
+    }
+
+    /// Every rating must be finite before any `total_cmp` sort sees it: a
+    /// NaN power or throughput (degenerate model coefficients) would sort
+    /// deterministically but *meaninglessly*, corrupting every downstream
+    /// budget lookup.
+    fn reject_non_finite(rated: &[RatedPoint]) -> Result<(), DpmError> {
+        for r in rated {
+            if !r.power.value().is_finite() || !r.perf.value().is_finite() {
+                return Err(DpmError::NonFinite(format!(
+                    "rated operating point (workers {}, f {}): power {}, perf {} jobs/s",
+                    r.point.workers,
+                    r.point.frequency,
+                    r.power,
+                    r.perf.value()
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Algorithm 2 lines 3–5: remove every pair dominated by another
@@ -147,7 +171,18 @@ impl ParetoTable {
     /// exceeds the budget — the board cannot draw less than its standby
     /// floor, so the caller sees the floor power regardless.
     pub fn best_within(&self, budget: Watts) -> RatedPoint {
-        // Binary search the last frontier entry with power ≤ budget.
+        let idx = self.partition_index(budget).saturating_sub(1);
+        self.frontier
+            .get(idx)
+            .copied()
+            .unwrap_or_else(Self::off_fallback)
+    }
+
+    /// Binary search for the first frontier index whose power strictly
+    /// exceeds `budget` (the predicate is monotone because the frontier is
+    /// sorted by ascending power). `best_within` answers with the entry
+    /// just before it; `nearest` also reads the entry at it.
+    fn partition_index(&self, budget: Watts) -> usize {
         let mut lo = 0usize;
         let mut hi = self.frontier.len();
         while lo < hi {
@@ -158,25 +193,25 @@ impl ParetoTable {
                 hi = mid;
             }
         }
-        let idx = lo.saturating_sub(1);
-        self.frontier
-            .get(idx)
-            .copied()
-            .unwrap_or_else(Self::off_fallback)
+        lo
     }
 
     /// The frontier point whose power is *nearest* to `budget` (Algorithm
     /// 2's "power usage closely follows the allocated power schedule" —
     /// the paper's Tables 3/5 show the selected power rounding to either
     /// side of `P_init`, with Algorithm 3 absorbing the signed error).
+    ///
+    /// One binary search serves both neighbours: the partition index is
+    /// the first entry strictly above the budget (what the old linear
+    /// `find` walked the frontier for), its predecessor the best within.
     pub fn nearest(&self, budget: Watts) -> RatedPoint {
-        let below = self.best_within(budget);
-        // The first frontier entry strictly above the budget, if any.
-        let above = self
+        let cut = self.partition_index(budget);
+        let below = self
             .frontier
-            .iter()
-            .find(|r| r.power.value() > budget.value() + 1e-12);
-        match above {
+            .get(cut.saturating_sub(1))
+            .copied()
+            .unwrap_or_else(Self::off_fallback);
+        match self.frontier.get(cut) {
             Some(up) => {
                 let d_below = (budget.value() - below.power.value()).abs();
                 let d_above = (up.power.value() - budget.value()).abs();
@@ -328,6 +363,65 @@ mod tests {
             ParetoTable::build(&p),
             Err(DpmError::InvalidPlatform(_))
         ));
+    }
+
+    #[test]
+    fn non_finite_ratings_rejected() {
+        // A NaN switching capacitance passes the structural validation but
+        // rates every active pair NaN; it must surface as a typed error,
+        // not a silently scrambled frontier.
+        let mut p = Platform::pama();
+        p.power.c2 = f64::NAN;
+        assert!(p.validate().is_ok(), "structural validation must not trip");
+        assert!(matches!(
+            ParetoTable::build(&p),
+            Err(DpmError::NonFinite(_))
+        ));
+        assert!(matches!(
+            ParetoTable::build_unpruned(&p),
+            Err(DpmError::NonFinite(_))
+        ));
+        let mut q = Platform::pama();
+        q.power.c2 = f64::INFINITY;
+        assert!(matches!(
+            ParetoTable::build(&q),
+            Err(DpmError::NonFinite(_))
+        ));
+    }
+
+    #[test]
+    fn nearest_matches_linear_neighbour_scan() {
+        // The shared-partition `nearest` must agree with the definitional
+        // linear scan on both pruned and unpruned tables.
+        let platform = Platform::pama();
+        for t in [
+            ParetoTable::build(&platform).unwrap(),
+            ParetoTable::build_unpruned(&platform).unwrap(),
+        ] {
+            for i in 0..200 {
+                let budget = watts(0.025 * i as f64);
+                let below = t.best_within(budget);
+                let above = t
+                    .frontier()
+                    .iter()
+                    .find(|r| r.power.value() > budget.value() + 1e-12);
+                let expected = match above {
+                    Some(up)
+                        if (up.power.value() - budget.value()).abs()
+                            < (budget.value() - below.power.value()).abs() =>
+                    {
+                        *up
+                    }
+                    _ => below,
+                };
+                let got = t.nearest(budget);
+                assert_eq!(got.point, expected.point, "budget {budget}");
+                assert_eq!(
+                    got.power.value().to_bits(),
+                    expected.power.value().to_bits()
+                );
+            }
+        }
     }
 
     #[test]

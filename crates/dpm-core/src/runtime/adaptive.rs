@@ -14,15 +14,20 @@ use crate::alloc::{AllocationProblem, InitialAllocator};
 use crate::error::DpmError;
 use crate::forecast::{ForecastMethod, ScheduleEstimator};
 use crate::governor::{Governor, SlotObservation};
-use crate::params::OperatingPoint;
+use crate::params::{OperatingPoint, ParetoTable};
 use crate::platform::Platform;
 use crate::series::PowerSeries;
 use crate::units::watts;
+use std::sync::Arc;
 
 /// Self-calibrating wrapper around the proposed controller.
 #[derive(Debug, Clone)]
 pub struct AdaptiveDpmController {
-    platform: Platform,
+    platform: Arc<Platform>,
+    /// Frontier shared with every rebuilt inner controller — the platform
+    /// does not change across period-boundary replans, so the table is
+    /// rated exactly once.
+    pareto: Arc<ParetoTable>,
     /// Desired (weighted) demand shape; fixed — only the supply is learned.
     demand: PowerSeries,
     estimator: ScheduleEstimator,
@@ -39,18 +44,21 @@ impl AdaptiveDpmController {
     /// any failure of the initial §4.1 allocation (infeasible or
     /// non-convergent problems surface here, before the first slot runs).
     pub fn new(
-        platform: Platform,
+        platform: impl Into<Arc<Platform>>,
         prior_charging: PowerSeries,
         demand: PowerSeries,
         method: ForecastMethod,
         initial_charge: crate::units::Joules,
     ) -> Result<Self, DpmError> {
-        platform.validate()?;
+        let platform = platform.into();
+        let pareto = Arc::new(ParetoTable::build(&platform)?);
         prior_charging.check_aligned(&demand)?;
         let estimator = ScheduleEstimator::new(prior_charging.clone(), method)?;
-        let inner = Self::build_inner(&platform, &prior_charging, &demand, initial_charge)?;
+        let inner =
+            Self::build_inner(&platform, &pareto, &prior_charging, &demand, initial_charge)?;
         Ok(Self {
             platform,
+            pareto,
             demand,
             estimator,
             inner,
@@ -60,7 +68,8 @@ impl AdaptiveDpmController {
     }
 
     fn build_inner(
-        platform: &Platform,
+        platform: &Arc<Platform>,
+        pareto: &Arc<ParetoTable>,
         charging: &PowerSeries,
         demand: &PowerSeries,
         battery: crate::units::Joules,
@@ -73,8 +82,15 @@ impl AdaptiveDpmController {
             p_floor: platform.power.all_standby(),
             p_ceiling: platform.board_power(platform.workers(), platform.f_max()),
         };
-        let allocation = InitialAllocator::new(problem)?.compute()?;
-        DpmController::new(platform.clone(), &allocation, charging.clone())
+        // The replan only flies on the accepted allocation — skip the
+        // per-round history (`compute_lean` is bit-identical).
+        let allocation = InitialAllocator::new(problem)?.compute_lean()?;
+        DpmController::with_table(
+            Arc::clone(platform),
+            &allocation,
+            charging.clone(),
+            Arc::clone(pareto),
+        )
     }
 
     /// The current schedule estimate.
@@ -119,6 +135,7 @@ impl Governor for AdaptiveDpmController {
             // rather than failing the slot — Algorithm 3 still adapts it.
             if let Ok(inner) = Self::build_inner(
                 &self.platform,
+                &self.pareto,
                 &self.estimator.estimate().clone(),
                 &self.demand,
                 obs.battery,

@@ -26,6 +26,7 @@ use crate::units::{watts, Joules, Watts};
 use dpm_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One row of the controller's trace — the reproduction source for the
 /// paper's Tables 3 and 5.
@@ -57,8 +58,10 @@ pub struct ControllerRecord {
 /// The proposed dynamic power-management governor.
 #[derive(Debug, Clone)]
 pub struct DpmController {
-    platform: Platform,
-    pareto: ParetoTable,
+    platform: Arc<Platform>,
+    /// Shared Pareto frontier — built once per platform and shared across
+    /// replans, governors, and fleet boards ([`Self::with_table`]).
+    pareto: Arc<ParetoTable>,
     /// Periodic base allocation from §4.1, used to extend the rolling plan.
     base: PowerSeries,
     /// Periodic charging forecast.
@@ -74,15 +77,24 @@ pub struct DpmController {
     last_forecast_supply: Joules,
     /// Observed/forecast supply ratio from the latest informative slot.
     supply_ratio: f64,
+    /// Derated-forecast scratch for the Algorithm 3 replan; reused across
+    /// decides so a replan allocates nothing.
+    charging_scratch: Vec<f64>,
+    /// Whether decides append [`ControllerRecord`]s ([`Self::without_trace`]
+    /// turns this off on hot paths that never read the trace).
+    record_trace: bool,
     trace: Vec<ControllerRecord>,
     /// Telemetry sink (disabled by default; clones share the sink).
     telemetry: Recorder,
 }
 
 impl DpmController {
-    /// Build from a §4.1 allocation and the forecast it was computed from.
+    /// Build from a §4.1 allocation and the forecast it was computed from,
+    /// rating the platform's Pareto frontier on the spot.
     ///
     /// The rolling plan is primed with one full period of the allocation.
+    /// Accepts the platform by value or pre-shared (`Platform` and
+    /// `Arc<Platform>` both satisfy `Into<Arc<Platform>>`).
     ///
     /// # Errors
     /// Propagates [`Platform::validate`]; returns
@@ -90,17 +102,36 @@ impl DpmController {
     /// allocation and forecast disagree on slotting, and
     /// [`DpmError::EmptyScheduleWindow`] when they contain no slots.
     pub fn new(
-        platform: Platform,
+        platform: impl Into<Arc<Platform>>,
         allocation: &InitialAllocation,
         forecast: PowerSeries,
     ) -> Result<Self, DpmError> {
-        let pareto = ParetoTable::build(&platform)?;
+        let platform = platform.into();
+        let pareto = Arc::new(ParetoTable::build(&platform)?);
+        Self::with_table(platform, allocation, forecast, pareto)
+    }
+
+    /// [`Self::new`] with a pre-built frontier, so one [`ParetoTable`] per
+    /// platform serves every controller instead of being re-rated per
+    /// construction. The table must have been built for `platform`.
+    ///
+    /// # Errors
+    /// Same conditions as [`Self::new`].
+    pub fn with_table(
+        platform: impl Into<Arc<Platform>>,
+        allocation: &InitialAllocation,
+        forecast: PowerSeries,
+        pareto: Arc<ParetoTable>,
+    ) -> Result<Self, DpmError> {
+        let platform = platform.into();
+        platform.validate()?;
         allocation.allocation.check_aligned(&forecast)?;
         if forecast.is_empty() {
             return Err(DpmError::EmptyScheduleWindow);
         }
         let base = allocation.allocation.clone();
         let plan: VecDeque<f64> = base.values().iter().copied().collect();
+        let slots = plan.len();
         Ok(Self {
             platform,
             pareto,
@@ -112,6 +143,8 @@ impl DpmController {
             last_planned: Joules::ZERO,
             last_forecast_supply: Joules::ZERO,
             supply_ratio: 1.0,
+            charging_scratch: Vec::with_capacity(slots),
+            record_trace: true,
             trace: Vec::new(),
             telemetry: Recorder::disabled(),
         })
@@ -123,6 +156,15 @@ impl DpmController {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Stop accumulating [`ControllerRecord`]s. The Tables 3/5
+    /// reproduction reads the trace; the campaign/sweep/fleet hot paths
+    /// never do, and with recording off a decide allocates nothing.
+    #[must_use]
+    pub fn without_trace(mut self) -> Self {
+        self.record_trace = false;
         self
     }
 
@@ -230,20 +272,29 @@ impl Governor for DpmController {
             self.supply_ratio = (obs.supplied_last / self.last_forecast_supply).clamp(0.0, 2.0);
         }
         if e_diff.value().abs() > 1e-12 {
-            let charging: Vec<f64> = (0..self.plan.len())
-                .map(|i| self.forecast_at(obs.slot, i) * self.supply_ratio)
-                .collect();
-            let mut plan: Vec<f64> = self.plan.iter().copied().collect();
+            // Fill the derated-forecast scratch inline (forecast_at borrows
+            // all of `self`, which would conflict with the scratch borrow)
+            // and update the plan in place: `make_contiguous` preserves the
+            // deque's logical order without allocating, so the whole replan
+            // is allocation-free after the first decide.
+            let n = self.plan.len();
+            let f_len = self.forecast.len();
+            self.charging_scratch.clear();
+            for i in 0..n {
+                let idx = (obs.slot as usize + i) % f_len;
+                self.charging_scratch
+                    .push(self.forecast.get(idx) * self.supply_ratio);
+            }
+            let battery_limits = self.platform.battery;
             let outcome = redistribute(
-                &mut plan,
-                &charging,
+                self.plan.make_contiguous(),
+                &self.charging_scratch,
                 tau,
                 obs.battery,
-                self.platform.battery,
+                battery_limits,
                 e_diff,
                 bounds,
             )?;
-            self.plan = plan.into();
             self.telemetry.incr("core.replan.count", 1);
             self.telemetry
                 .observe("core.replan.horizon_slots", outcome.horizon_slots as f64);
@@ -289,21 +340,23 @@ impl Governor for DpmController {
         let overhead = self.platform.overheads.cost(n_chg, f_chg);
 
         let expected_supply = watts(self.forecast_at(obs.slot, 0));
-        self.trace.push(ControllerRecord {
-            slot: obs.slot,
-            time: obs.time.value(),
-            allocated,
-            selected_power,
-            expected_supply,
-            actual_supply_last: if obs.slot == 0 {
-                Watts::ZERO
-            } else {
-                obs.supplied_last / tau
-            },
-            point,
-            plan: self.plan.iter().copied().collect(),
-            e_diff,
-        });
+        if self.record_trace {
+            self.trace.push(ControllerRecord {
+                slot: obs.slot,
+                time: obs.time.value(),
+                allocated,
+                selected_power,
+                expected_supply,
+                actual_supply_last: if obs.slot == 0 {
+                    Watts::ZERO
+                } else {
+                    obs.supplied_last / tau
+                },
+                point,
+                plan: self.plan.iter().copied().collect(),
+                e_diff,
+            });
+        }
 
         self.last_planned = selected_power * tau + overhead;
         self.last_forecast_supply = expected_supply * tau;

@@ -10,3 +10,6 @@ pub use adaptive::AdaptiveDpmController;
 pub use controller::{ControllerRecord, DpmController};
 pub use safety::{DegradationRecord, SafetyConfig, SafetyGovernor, SafetyTransition};
 pub use update::{redistribute, RedistributeOutcome};
+
+#[doc(hidden)]
+pub use update::reference as update_reference;

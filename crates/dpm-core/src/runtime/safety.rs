@@ -37,6 +37,7 @@ use crate::platform::Platform;
 use crate::units::Joules;
 use dpm_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Tunables for the safety wrapper.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -166,7 +167,7 @@ pub struct SafetyGovernor<G> {
     name: String,
     config: SafetyConfig,
     c_min: Joules,
-    pareto: ParetoTable,
+    pareto: Arc<ParetoTable>,
     fallback: OperatingPoint,
     shed_level: usize,
     consecutive_failures: u32,
@@ -186,8 +187,24 @@ impl<G: Governor> SafetyGovernor<G> {
     /// [`DpmError::InvalidParameter`] on a malformed [`SafetyConfig`] and
     /// anything [`ParetoTable::build`] reports for the platform.
     pub fn new(inner: G, platform: &Platform, config: SafetyConfig) -> Result<Self, DpmError> {
+        let pareto = Arc::new(ParetoTable::build(platform)?);
+        Self::with_table(inner, platform, config, pareto)
+    }
+
+    /// [`Self::new`] with a pre-built frontier shared across governors
+    /// (the campaign harness wraps four arms per seed on one platform —
+    /// one table serves them all). The table must have been built for
+    /// `platform`.
+    ///
+    /// # Errors
+    /// [`DpmError::InvalidParameter`] on a malformed [`SafetyConfig`].
+    pub fn with_table(
+        inner: G,
+        platform: &Platform,
+        config: SafetyConfig,
+        pareto: Arc<ParetoTable>,
+    ) -> Result<Self, DpmError> {
         config.validate()?;
-        let pareto = ParetoTable::build(platform)?;
         // The static fallback: the cheapest point that still runs — one
         // rank above the all-off floor, so a fallback mission keeps
         // (minimal) service instead of going dark.

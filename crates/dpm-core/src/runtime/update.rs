@@ -117,6 +117,17 @@ fn pin_horizon(
 
 /// Scale `window` so its integral changes by `e_diff`, respecting bounds.
 /// Returns the energy actually applied.
+///
+/// Allocation-free two-pass form of the proportional re-spread. Per outer
+/// pass, pass A walks the still-open bracket in ascending index order to
+/// count the open slots and sum their values (the same additions, in the
+/// same order, the old `open: Vec<usize>` gather produced), and pass B
+/// applies the shares in that same order. Pass B may re-evaluate the
+/// openness predicate at visit time because only already-visited indices
+/// have been mutated within a pass — slot `i` still holds its pre-pass
+/// value when tested — so the visited set matches pass A exactly and the
+/// results are bit-identical to [`reference::redistribute`] (pinned by
+/// proptest).
 fn scale_window(
     window: &mut [f64],
     slot: Seconds,
@@ -125,43 +136,64 @@ fn scale_window(
 ) -> Joules {
     let (floor, ceiling) = (bounds.0.value(), bounds.1.value());
     let raising = e_diff.value() > 0.0;
+    let is_open = |v: f64| {
+        if raising {
+            v < ceiling - 1e-12
+        } else {
+            v > floor + 1e-12
+        }
+    };
     let mut remaining = e_diff.value();
-    // Iterate: proportional scale over the slots that still have headroom,
-    // clamp, re-spread the clipped remainder over the rest. Each pass
-    // either applies everything or saturates at least one more slot, so at
-    // most `len` passes run.
+    // A slot closed in the required direction can never reopen within one
+    // call (raising only moves values toward the ceiling, shaving toward
+    // the floor, and closed slots are never mutated), so the open region
+    // only shrinks: [lo, hi) brackets it across passes. Each pass either
+    // applies everything or saturates at least one more slot, so at most
+    // `len` passes run.
+    let mut lo = 0usize;
+    let mut hi = window.len();
     for _ in 0..window.len() {
         if remaining.abs() < 1e-12 {
             break;
         }
-        // Slots that can still move in the required direction.
-        let open: Vec<usize> = (0..window.len())
-            .filter(|&i| {
-                if raising {
-                    window[i] < ceiling - 1e-12
-                } else {
-                    window[i] > floor + 1e-12
+        let mut open_count = 0usize;
+        let mut value_sum = 0.0;
+        let mut first_open = usize::MAX;
+        let mut last_open = lo;
+        for (off, &v) in window[lo..hi].iter().enumerate() {
+            if is_open(v) {
+                open_count += 1;
+                value_sum += v;
+                if first_open == usize::MAX {
+                    first_open = lo + off;
                 }
-            })
-            .collect();
-        if open.is_empty() {
+                last_open = lo + off + 1;
+            }
+        }
+        if open_count == 0 {
             break;
         }
+        lo = first_open;
+        hi = last_open;
         // The paper's proportional-to-value rule over the open slots; fall
         // back to uniform when those slots are all-zero.
-        let total: f64 = open.iter().map(|&i| window[i]).sum::<f64>() * slot.value();
-        let per_slot_energy = remaining / open.len() as f64;
+        let total = value_sum * slot.value();
+        let per_slot_energy = remaining / open_count as f64;
         let mut applied_this_pass = 0.0;
-        for &i in &open {
+        for v in window[lo..hi].iter_mut() {
+            let cur = *v;
+            if !is_open(cur) {
+                continue;
+            }
             let share = if total.abs() > 1e-12 {
-                remaining * (window[i] * slot.value()) / total
+                remaining * (cur * slot.value()) / total
             } else {
                 per_slot_energy
             };
-            let desired = window[i] + share / slot.value();
+            let desired = cur + share / slot.value();
             let clamped = desired.clamp(floor, ceiling);
-            applied_this_pass += (clamped - window[i]) * slot.value();
-            window[i] = clamped;
+            applied_this_pass += (clamped - cur) * slot.value();
+            *v = clamped;
         }
         remaining -= applied_this_pass;
         if applied_this_pass.abs() < 1e-12 {
@@ -169,6 +201,101 @@ fn scale_window(
         }
     }
     e_diff - Joules(remaining)
+}
+
+/// The pre-optimization Algorithm 3, kept verbatim as the oracle for the
+/// bit-identity proptests (`tests/proptest_hotpath.rs`). Not part of the
+/// public API surface.
+#[doc(hidden)]
+pub mod reference {
+    use super::RedistributeOutcome;
+    use crate::error::DpmError;
+    use crate::platform::BatteryLimits;
+    use crate::units::{Joules, Seconds, Watts};
+
+    /// Original per-pass-allocating [`super::redistribute`].
+    ///
+    /// # Errors
+    /// Same conditions as [`super::redistribute`].
+    pub fn redistribute(
+        plan: &mut [f64],
+        charging: &[f64],
+        slot: Seconds,
+        battery_now: Joules,
+        limits: BatteryLimits,
+        e_diff: Joules,
+        bounds: (Watts, Watts),
+    ) -> Result<RedistributeOutcome, DpmError> {
+        if plan.len() != charging.len() {
+            return Err(DpmError::SeriesMismatch {
+                expected: plan.len(),
+                got: charging.len(),
+            });
+        }
+        if plan.is_empty() {
+            return Err(DpmError::EmptyScheduleWindow);
+        }
+        if e_diff.value().abs() < 1e-12 {
+            return Ok(RedistributeOutcome {
+                horizon_slots: 0,
+                applied: Joules::ZERO,
+            });
+        }
+
+        let horizon = super::pin_horizon(plan, charging, slot, battery_now, limits, e_diff);
+        let applied = scale_window(&mut plan[..horizon], slot, e_diff, bounds);
+        Ok(RedistributeOutcome {
+            horizon_slots: horizon,
+            applied,
+        })
+    }
+
+    fn scale_window(
+        window: &mut [f64],
+        slot: Seconds,
+        e_diff: Joules,
+        bounds: (Watts, Watts),
+    ) -> Joules {
+        let (floor, ceiling) = (bounds.0.value(), bounds.1.value());
+        let raising = e_diff.value() > 0.0;
+        let mut remaining = e_diff.value();
+        for _ in 0..window.len() {
+            if remaining.abs() < 1e-12 {
+                break;
+            }
+            let open: Vec<usize> = (0..window.len())
+                .filter(|&i| {
+                    if raising {
+                        window[i] < ceiling - 1e-12
+                    } else {
+                        window[i] > floor + 1e-12
+                    }
+                })
+                .collect();
+            if open.is_empty() {
+                break;
+            }
+            let total: f64 = open.iter().map(|&i| window[i]).sum::<f64>() * slot.value();
+            let per_slot_energy = remaining / open.len() as f64;
+            let mut applied_this_pass = 0.0;
+            for &i in &open {
+                let share = if total.abs() > 1e-12 {
+                    remaining * (window[i] * slot.value()) / total
+                } else {
+                    per_slot_energy
+                };
+                let desired = window[i] + share / slot.value();
+                let clamped = desired.clamp(floor, ceiling);
+                applied_this_pass += (clamped - window[i]) * slot.value();
+                window[i] = clamped;
+            }
+            remaining -= applied_this_pass;
+            if applied_this_pass.abs() < 1e-12 {
+                break;
+            }
+        }
+        e_diff - Joules(remaining)
+    }
 }
 
 #[cfg(test)]

@@ -333,6 +333,42 @@ impl PowerSeries {
         EnergyTrajectory::assemble(self.slot, points)
     }
 
+    /// Fused Eq. 10 kernel: the running integral of `self − other` written
+    /// into a caller-owned breakpoint buffer, i.e.
+    /// `self.pointwise_sub(other).cumulative(initial)` without the
+    /// intermediate series allocation.
+    ///
+    /// Bit-identity contract: each breakpoint is produced by exactly the
+    /// same two floating-point operations in the same order as the unfused
+    /// pipeline (`acc += (c − a) × τ`), so the results agree to the last
+    /// ULP. The single pass over the two contiguous value slices is also
+    /// what lets the optimizer keep everything in registers — true SIMD
+    /// reassociation of the prefix sum would change rounding and is
+    /// deliberately *not* done.
+    ///
+    /// `out` is cleared and refilled with `len + 1` breakpoints; callers
+    /// reuse the buffer across convergence iterations and replans.
+    pub fn net_cumulative_into(&self, other: &Self, initial: Joules, out: &mut Vec<f64>) {
+        debug_assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "series length mismatch"
+        );
+        debug_assert!(
+            self.slot.approx_eq(other.slot, 1e-12),
+            "series slot width mismatch"
+        );
+        out.clear();
+        out.reserve(self.values.len() + 1);
+        let slot = self.slot.value();
+        let mut acc = initial.value();
+        out.push(acc);
+        for (&c, &a) in self.values.iter().zip(&other.values) {
+            acc += (c - a) * slot;
+            out.push(acc);
+        }
+    }
+
     /// Concatenate `k` copies of the series (multi-period simulations).
     /// `k = 0` is treated as `k = 1`.
     pub fn repeat(&self, k: usize) -> Self {
@@ -461,6 +497,14 @@ impl EnergyTrajectory {
         debug_assert!(slot.value() > 0.0);
         debug_assert!(points.len() >= 2, "a trajectory needs at least one segment");
         Self { slot, points }
+    }
+
+    /// Take the breakpoint buffer back out of a trajectory so callers can
+    /// recycle it as scratch (the allocator's convergence loop round-trips
+    /// one buffer through `assemble`/`into_points` instead of reallocating
+    /// per iteration).
+    pub(crate) fn into_points(self) -> Vec<f64> {
+        self.points
     }
 
     /// Slot width.
@@ -617,6 +661,36 @@ impl EnergyTrajectory {
         }
         let frac = ((lv - p0) / denom).clamp(0.0, 1.0);
         Some(seconds((i as f64 - 1.0 + frac) * self.slot.value()))
+    }
+
+    /// Fused Algorithm 1 back-substitution kernel: the clamped allocation
+    /// implied by this (reshaped) trajectory under charging schedule `c`,
+    /// written into a caller-owned buffer. Equivalent to
+    /// `c.pointwise_sub(&self.derivative()).map(|v| v.clamp(floor, ceil))`
+    /// without the two intermediate series.
+    ///
+    /// Bit-identity contract: per slot the operations are exactly
+    /// `(c − (p₁ − p₀) / τ).clamp(floor, ceil)` — the same ops in the same
+    /// order as the unfused pipeline, so results agree to the last ULP.
+    pub fn residual_allocation_into(
+        &self,
+        charging: &PowerSeries,
+        floor: f64,
+        ceil: f64,
+        out: &mut Vec<f64>,
+    ) {
+        debug_assert_eq!(self.segments(), charging.len(), "series length mismatch");
+        debug_assert!(
+            self.slot.approx_eq(charging.slot_width(), 1e-12),
+            "series slot width mismatch"
+        );
+        out.clear();
+        out.reserve(self.segments());
+        let slot = self.slot.value();
+        for (i, &c) in charging.values().iter().enumerate() {
+            let d = (self.points[i + 1] - self.points[i]) / slot;
+            out.push((c - d).clamp(floor, ceil));
+        }
     }
 
     /// True when every breakpoint lies inside `[lo, hi]` (with tolerance).
@@ -911,6 +985,36 @@ mod tests {
     fn from_fn_samples_midpoints() {
         let s = PowerSeries::from_fn(seconds(2.0), 3, |t| t.value()).unwrap();
         assert_eq!(s.values(), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn net_cumulative_into_is_bit_identical_to_unfused_pipeline() {
+        let c = series(&[2.36, 0.7, 0.0, 1.9, 0.33]);
+        let a = series(&[1.1, 0.9, 0.4, 2.0, 0.0]);
+        let reference = c.pointwise_sub(&a).cumulative(joules(14.849));
+        let mut out = vec![999.0; 2]; // stale scratch must be cleared
+        c.net_cumulative_into(&a, joules(14.849), &mut out);
+        assert_eq!(out.len(), reference.points().len());
+        for (f, r) in out.iter().zip(reference.points()) {
+            assert_eq!(f.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn residual_allocation_into_is_bit_identical_to_unfused_pipeline() {
+        let c = series(&[2.36, 0.7, 0.0, 1.9]);
+        let t =
+            EnergyTrajectory::from_points(seconds(1.0), vec![10.0, 11.3, 9.05, 9.5, 12.0]).unwrap();
+        let (floor, ceil) = (0.2, 1.5);
+        let reference = c
+            .pointwise_sub(&t.derivative())
+            .map(|v| v.clamp(floor, ceil));
+        let mut out = vec![999.0; 9];
+        t.residual_allocation_into(&c, floor, ceil, &mut out);
+        assert_eq!(out.len(), reference.len());
+        for (f, r) in out.iter().zip(reference.values()) {
+            assert_eq!(f.to_bits(), r.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Bit-identity properties pinning the hot-path optimizations.
+//!
+//! Every speed-path rewrite in this repo (allocation-free Algorithm 3,
+//! fused Eq. 10 kernels, shared Pareto tables, trace-free controllers)
+//! ships with a proof obligation: the optimized code must produce the
+//! *same bits* as the straightforward formulation, not merely close
+//! floats. These properties encode that obligation against randomized
+//! inputs; the reference implementations live in
+//! `dpm_core::runtime::update_reference` and the unfused series pipeline.
+
+use dpm_core::alloc::{AllocationProblem, InitialAllocator};
+use dpm_core::governor::{Governor, SlotObservation};
+use dpm_core::params::ParetoTable;
+use dpm_core::platform::{BatteryLimits, Platform};
+use dpm_core::runtime::{redistribute, update_reference, DpmController};
+use dpm_core::series::PowerSeries;
+use dpm_core::units::{joules, seconds, watts, Joules, Seconds};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a power series of `n` slots with values in `[0, hi]`,
+/// slot width 4.8 s (the paper's τ).
+fn power_series(n: usize, hi: f64) -> impl Strategy<Value = PowerSeries> {
+    prop::collection::vec(0.0..hi, n..=n).prop_map(|v| PowerSeries::new(seconds(4.8), v).unwrap())
+}
+
+/// Strategy: a signed net-power series on the same 4.8 s grid.
+fn net_series(n: usize, amp: f64) -> impl Strategy<Value = PowerSeries> {
+    prop::collection::vec(-amp..amp, n..=n).prop_map(|v| PowerSeries::new(seconds(4.8), v).unwrap())
+}
+
+/// The scenario-I-shaped problem used to seed controllers.
+fn pama_problem(platform: &Platform) -> AllocationProblem {
+    let charging = PowerSeries::new(
+        seconds(4.8),
+        vec![
+            2.36, 2.36, 2.36, 2.36, 2.36, 2.36, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+        ],
+    )
+    .unwrap();
+    let demand = PowerSeries::new(
+        seconds(4.8),
+        vec![1.6, 1.0, 0.3, 0.3, 1.0, 1.7, 1.6, 1.0, 0.3, 0.3, 1.0, 1.7],
+    )
+    .unwrap();
+    AllocationProblem {
+        charging,
+        demand,
+        initial_charge: joules(8.0),
+        limits: platform.battery,
+        p_floor: platform.power.all_standby(),
+        p_ceiling: platform.board_power(platform.workers(), platform.f_max()),
+    }
+}
+
+proptest! {
+    /// The allocation-free Algorithm 3 (in-place shrinking-bracket
+    /// `scale_window`) produces the exact bits of the original
+    /// gather-based implementation: same plan, same horizon, same
+    /// applied energy.
+    #[test]
+    fn redistribute_matches_reference_bitwise(
+        slots in prop::collection::vec((0.1f64..4.0, 0.0f64..3.0), 6..24),
+        e_diff in -10.0f64..10.0,
+        battery in 1.0f64..15.0,
+    ) {
+        let (plan0, charging): (Vec<f64>, Vec<f64>) = slots.into_iter().unzip();
+        let limits = BatteryLimits::new(joules(0.5), joules(16.0)).unwrap();
+        let bounds = (watts(0.05), watts(4.4));
+
+        let mut plan_opt = plan0.clone();
+        let out_opt = redistribute(
+            &mut plan_opt,
+            &charging,
+            seconds(4.8),
+            joules(battery),
+            limits,
+            joules(e_diff),
+            bounds,
+        )
+        .unwrap();
+
+        let mut plan_ref = plan0;
+        let out_ref = update_reference::redistribute(
+            &mut plan_ref,
+            &charging,
+            seconds(4.8),
+            joules(battery),
+            limits,
+            joules(e_diff),
+            bounds,
+        )
+        .unwrap();
+
+        prop_assert_eq!(out_opt.horizon_slots, out_ref.horizon_slots);
+        prop_assert_eq!(
+            out_opt.applied.value().to_bits(),
+            out_ref.applied.value().to_bits(),
+            "applied {} vs {}", out_opt.applied.value(), out_ref.applied.value()
+        );
+        for (i, (a, b)) in plan_opt.iter().zip(&plan_ref).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "slot {}: {} vs {}", i, a, b);
+        }
+    }
+
+    /// The fused Eq. 10 kernel (`net_cumulative_into`) writes the exact
+    /// bits of the unfused `pointwise_sub` → `cumulative` pipeline.
+    #[test]
+    fn fused_net_cumulative_matches_unfused_bitwise(
+        charging in power_series(16, 5.0),
+        alloc in power_series(16, 5.0),
+        start in -4.0f64..12.0,
+    ) {
+        let mut out = vec![42.0; 3]; // stale garbage the kernel must clear
+        charging.net_cumulative_into(&alloc, joules(start), &mut out);
+        let reference = charging.pointwise_sub(&alloc).cumulative(joules(start));
+        prop_assert_eq!(out.len(), reference.points().len());
+        for (i, (a, b)) in out.iter().zip(reference.points()).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "breakpoint {}: {} vs {}", i, a, b);
+        }
+    }
+
+    /// The fused Algorithm 1 back-substitution (`residual_allocation_into`)
+    /// writes the exact bits of the unfused derivative/subtract/clamp
+    /// pipeline.
+    #[test]
+    fn fused_residual_allocation_matches_unfused_bitwise(
+        net in net_series(16, 4.0),
+        charging in power_series(16, 5.0),
+        start in -4.0f64..12.0,
+    ) {
+        let traj = net.cumulative(joules(start));
+        let (floor, ceil) = (0.05, 4.4);
+        let mut out = vec![7.0; 5];
+        traj.residual_allocation_into(&charging, floor, ceil, &mut out);
+        let reference = charging
+            .pointwise_sub(&traj.derivative())
+            .map(|v| v.clamp(floor, ceil));
+        prop_assert_eq!(out.len(), reference.len());
+        for (i, (a, b)) in out.iter().zip(reference.values()).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "slot {}: {} vs {}", i, a, b);
+        }
+    }
+
+    /// A controller sharing a prebuilt [`ParetoTable`] (and skipping trace
+    /// accumulation) decides bit-identically to one that builds its own
+    /// table — across arbitrary observation streams, including the
+    /// scratch-buffer replan path on every slot after the first.
+    #[test]
+    fn shared_table_controller_decides_bitwise_like_fresh_build(
+        stream in prop::collection::vec(
+            (0.6f64..15.4, 0.0f64..2.0, 0.0f64..12.0, 0usize..5),
+            1..40,
+        ),
+    ) {
+        let platform = Platform::pama();
+        let problem = pama_problem(&platform);
+        let charging = problem.charging.clone();
+        let alloc = InitialAllocator::new(problem).unwrap().compute().unwrap();
+
+        let mut fresh =
+            DpmController::new(platform.clone(), &alloc, charging.clone()).unwrap();
+        let shared_platform = Arc::new(platform.clone());
+        let table = Arc::new(ParetoTable::build(&platform).unwrap());
+        let mut shared = DpmController::with_table(
+            Arc::clone(&shared_platform),
+            &alloc,
+            charging.clone(),
+            Arc::clone(&table),
+        )
+        .unwrap();
+        let mut traceless =
+            DpmController::with_table(shared_platform, &alloc, charging, table)
+                .unwrap()
+                .without_trace();
+
+        for (i, &(battery, used, supplied, backlog)) in stream.iter().enumerate() {
+            let obs = SlotObservation {
+                slot: i as u64,
+                time: Seconds(i as f64 * 4.8),
+                battery: joules(battery),
+                used_last: if i == 0 { Joules::ZERO } else { joules(used) },
+                supplied_last: if i == 0 { Joules::ZERO } else { joules(supplied) },
+                backlog,
+            };
+            let a = fresh.decide(&obs);
+            let b = shared.decide(&obs);
+            let c = traceless.decide(&obs);
+            match (a, b, c) {
+                (Ok(pa), Ok(pb), Ok(pc)) => {
+                    for p in [&pb, &pc] {
+                        prop_assert_eq!(pa.workers, p.workers, "slot {}", i);
+                        prop_assert_eq!(
+                            pa.frequency.value().to_bits(),
+                            p.frequency.value().to_bits(),
+                            "slot {}", i
+                        );
+                        prop_assert_eq!(
+                            pa.voltage.value().to_bits(),
+                            p.voltage.value().to_bits(),
+                            "slot {}", i
+                        );
+                    }
+                }
+                (Err(_), Err(_), Err(_)) => {}
+                (a, b, c) => {
+                    prop_assert!(false, "slot {}: divergent outcomes {:?} / {:?} / {:?}", i, a, b, c);
+                }
+            }
+        }
+        prop_assert_eq!(fresh.trace().len(), shared.trace().len());
+        prop_assert!(traceless.trace().is_empty());
+    }
+}

@@ -14,6 +14,7 @@ use dpm_core::params::OperatingPoint;
 use dpm_core::platform::Platform;
 use dpm_core::units::{Seconds, Watts};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Pure per-board kernels shared by [`PamaBoard`] and the
 /// struct-of-arrays fleet stepper ([`crate::fleet`]).
@@ -148,7 +149,7 @@ impl LatencyStats {
 
 /// The simulated board.
 pub struct PamaBoard {
-    platform: Platform,
+    platform: Arc<Platform>,
     processors: Vec<Processor>,
     ring: RingNetwork,
     /// Arrival times of queued jobs (head = oldest).
@@ -167,8 +168,11 @@ pub struct PamaBoard {
 impl PamaBoard {
     /// Build from a platform description (chip count, mode powers, τ, …).
     /// Callers validate the platform first ([`crate::sim::Simulation::new`]
-    /// does); a malformed one is a caller bug.
-    pub fn new(platform: Platform) -> Self {
+    /// does); a malformed one is a caller bug. Accepts the platform by
+    /// value or pre-shared — fleet setup passes one `Arc<Platform>` to
+    /// every board instead of deep-cloning the menus per board.
+    pub fn new(platform: impl Into<Arc<Platform>>) -> Self {
+        let platform = platform.into();
         debug_assert!(platform.validate().is_ok(), "invalid platform");
         let latency = TransitionLatency::pama();
         let processors = (0..platform.processors)

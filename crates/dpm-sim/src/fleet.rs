@@ -44,6 +44,7 @@ use dpm_core::params::OperatingPoint;
 use dpm_core::platform::Platform;
 use dpm_core::series::PowerSeries;
 use dpm_core::units::{seconds, Hertz, Joules, Seconds};
+use std::sync::Arc;
 
 /// Survival tolerances shared with
 /// [`crate::stats::SurvivalReport::from_report`]: a board survived when
@@ -100,8 +101,9 @@ pub struct ShedGuard {
 /// Configuration shared by every board of a fleet.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
-    /// Platform description (validated in [`FleetState::new`]).
-    pub platform: Platform,
+    /// Platform description (validated in [`FleetState::new`]), shared
+    /// across every board and shard of the fleet.
+    pub platform: Arc<Platform>,
     /// Charging schedule, shared (and unphased) across the fleet: a
     /// satellite constellation sees one sun.
     pub charging: PowerSeries,
@@ -127,13 +129,13 @@ impl FleetConfig {
     /// Fleet equivalent of [`crate::sim::SimConfig::default`]: 2 periods
     /// of 12 slots at 8 sub-steps, no guard, no trace.
     pub fn new(
-        platform: Platform,
+        platform: impl Into<Arc<Platform>>,
         charging: PowerSeries,
         event_rates: PowerSeries,
         allocation: Vec<OperatingPoint>,
     ) -> Self {
         Self {
-            platform,
+            platform: platform.into(),
             charging,
             event_rates,
             allocation,
@@ -232,7 +234,7 @@ impl FleetReport {
 /// [`FleetState::run`]), harvest with [`FleetState::into_report`].
 pub struct FleetState {
     // ---- shared, immutable over the run --------------------------------
-    platform: Platform,
+    platform: Arc<Platform>,
     allocation: Vec<OperatingPoint>,
     guard: Option<ShedGuard>,
     latency: TransitionLatency,

@@ -33,6 +33,7 @@ use dpm_core::platform::Platform;
 use dpm_core::units::{seconds, Joules, Seconds};
 use dpm_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Punctual mid-run disturbances (failure injection).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -121,7 +122,7 @@ impl Default for SimConfig {
 
 /// The assembled simulation.
 pub struct Simulation {
-    platform: Platform,
+    platform: Arc<Platform>,
     source: Box<dyn ChargingSource>,
     events: Box<dyn EventGenerator>,
     battery: Battery,
@@ -146,12 +147,13 @@ impl Simulation {
     /// [`SimError::Core`] on an invalid platform, and any battery error
     /// from [`Battery::new`].
     pub fn new(
-        platform: Platform,
+        platform: impl Into<Arc<Platform>>,
         source: Box<dyn ChargingSource>,
         events: Box<dyn EventGenerator>,
         initial_charge: Joules,
         config: SimConfig,
     ) -> Result<Self, SimError> {
+        let platform = platform.into();
         if config.periods < 1 || config.slots_per_period < 1 || config.substeps < 1 {
             return Err(SimError::InvalidConfig(format!(
                 "periods, slots_per_period and substeps must all be >= 1, \
@@ -161,7 +163,9 @@ impl Simulation {
         }
         platform.validate()?;
         let battery = Battery::new(BatteryConfig::ideal(platform.battery), initial_charge)?;
-        let board = PamaBoard::new(platform.clone());
+        // One shared platform serves both the simulation and its board —
+        // no per-board deep clone of the frequency/power menus.
+        let board = PamaBoard::new(Arc::clone(&platform));
         Ok(Self {
             platform,
             source,
