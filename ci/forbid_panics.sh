@@ -5,11 +5,14 @@
 #
 # Scans every file under crates/dpm-core/src, crates/dpm-telemetry/src
 # (the observability layer must never take down the system it observes —
-# a poisoned lock degrades to recovering the data, not panicking), and
+# a poisoned lock degrades to recovering the data, not panicking),
 # crates/dpm-trace/src (trace analysis runs over possibly hostile input
-# and must degrade through typed errors), plus
-# the dpm-bench runner, campaign, and fleet modules, the simulation
-# engine and its struct-of-arrays fleet core, and the dpm-workloads
+# and must degrade through typed errors), and crates/dpm-broker/src
+# (the power-topology robustness kernel: a panic mid-cascade would strand
+# the tree in an illegal configuration), plus
+# the dpm-bench runner, campaign, fleet, and topology modules, the
+# simulation engine, its struct-of-arrays fleet core and its topology
+# runtime, and the dpm-workloads
 # fault-plan and fleet-population generators (the fault-injection path
 # must degrade through typed errors, never abort a campaign), strips
 # everything from the `#[cfg(test)]` marker onward
@@ -24,12 +27,15 @@ status=0
 for f in $(find crates/dpm-core/src -name '*.rs' | sort) \
     $(find crates/dpm-telemetry/src -name '*.rs' | sort) \
     $(find crates/dpm-trace/src -name '*.rs' | sort) \
+    $(find crates/dpm-broker/src -name '*.rs' | sort) \
     crates/dpm-bench/src/runner.rs \
     crates/dpm-bench/src/campaign.rs \
     crates/dpm-bench/src/fleet.rs \
+    crates/dpm-bench/src/topology.rs \
     crates/dpm-bench/src/telemetry_out.rs \
     crates/dpm-sim/src/sim.rs \
     crates/dpm-sim/src/fleet.rs \
+    crates/dpm-sim/src/topo.rs \
     crates/dpm-workloads/src/faults.rs \
     crates/dpm-workloads/src/fleet.rs; do
     hits=$(awk '/^#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" |

@@ -13,6 +13,10 @@
 //! campaign --fleet 125000     # 125k-board fleet campaign (10^6
 //!                             # board-periods at the default 8 periods)
 //! campaign --fleet 512 --master-seed 7  # different board population
+//! campaign --topology         # flat vs broker power-tree arms under
+//!                             # provider-targeting fault plans
+//! campaign --topology --arm broker  # one arm only (CI audits this:
+//!                             # the flat arm's trace is illegal by design)
 //! ```
 //!
 //! Output is CSV on stdout (one row per point — or per shard in fleet
@@ -34,7 +38,7 @@
 
 use dpm_bench::runner;
 use dpm_bench::telemetry_out;
-use dpm_bench::{campaign, fleet};
+use dpm_bench::{campaign, fleet, topology};
 use dpm_telemetry::Recorder;
 
 fn usage() -> String {
@@ -42,6 +46,8 @@ fn usage() -> String {
         "usage: campaign [--jobs N] [--seeds N] [--periods N] [--telemetry PATH]\n\
          \x20      campaign --fleet N [--master-seed S] [--jobs N] [--periods N] \
          [--telemetry PATH]\n\
+         \x20      campaign --topology [--arm flat|broker] [--seeds N] [--jobs N] \
+         [--periods N] [--telemetry PATH]\n\
          worker count: --jobs N, else ${}, else available parallelism",
         runner::JOBS_ENV,
     )
@@ -54,6 +60,8 @@ fn main() {
     let mut telemetry_path: Option<String> = None;
     let mut fleet_boards: Option<usize> = None;
     let mut master_seed: u64 = fleet::DEFAULT_MASTER_SEED;
+    let mut topology_mode = false;
+    let mut topology_arm: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -104,6 +112,16 @@ fn main() {
                     }
                 }
             }
+            "--topology" => topology_mode = true,
+            "--arm" => match args.next() {
+                Some(arm) if topology::ARM_NAMES.contains(&arm.as_str()) => {
+                    topology_arm = Some(arm);
+                }
+                _ => {
+                    eprintln!("--arm needs one of: flat, broker\n{}", usage());
+                    std::process::exit(2);
+                }
+            },
             "--master-seed" => {
                 let value = args.next().and_then(|v| v.parse::<u64>().ok());
                 match value {
@@ -126,6 +144,45 @@ fn main() {
     }
 
     let jobs = runner::resolve_jobs(jobs_cli);
+
+    if topology_arm.is_some() && !topology_mode {
+        eprintln!("--arm only applies with --topology\n{}", usage());
+        std::process::exit(2);
+    }
+    if topology_mode {
+        if fleet_boards.is_some() {
+            eprintln!("--topology and --fleet are mutually exclusive\n{}", usage());
+            std::process::exit(2);
+        }
+        let telemetry = match telemetry_path {
+            Some(_) => Recorder::enabled("topology"),
+            None => Recorder::disabled(),
+        };
+        match topology::run_filtered(seeds, jobs, periods, topology_arm.as_deref(), &telemetry) {
+            Ok(outcome) => {
+                print!("{}", outcome.csv);
+                eprintln!("topology: {}", outcome.stats.summary());
+                if let Some(path) = telemetry_path {
+                    if let Err(e) = telemetry_out::write_outputs(&telemetry, &path) {
+                        eprintln!("campaign: cannot write telemetry to {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                if outcome.failures > 0 {
+                    eprintln!(
+                        "topology: {} point(s) failed (see error rows)",
+                        outcome.failures
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("campaign: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     if let Some(boards) = fleet_boards {
         let telemetry = match telemetry_path {

@@ -21,3 +21,4 @@ pub mod format;
 pub mod runner;
 pub mod sweeps;
 pub mod telemetry_out;
+pub mod topology;

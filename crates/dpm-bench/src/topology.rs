@@ -1,0 +1,278 @@
+//! Topology-governance campaigns: flat vs broker power trees under
+//! provider faults.
+//!
+//! The `campaign --topology` mode is a thin shell over this module.
+//! Every point runs the *same* safety-wrapped proposed governor through
+//! scenario I with a seeded provider-targeting fault plan
+//! ([`FaultPlanConfig::topology`]); the only difference between the two
+//! arms is how the power tree is managed:
+//!
+//! - **flat** — the strawman: topology-blind positional activation. A
+//!   provider fault takes only the provider dark; its dependents stay
+//!   powered, draw active energy, and deliver nothing. The emitted
+//!   `broker.level` stream is deliberately illegal, so
+//!   `dpm-analyze audit` flags the arm's trace.
+//! - **broker** — the dependency-aware broker of `dpm-broker`: ordered
+//!   revocations (leaves first), provider-fault cascades to a legal
+//!   degraded configuration, bounded restore retries, and an orderly
+//!   terminal shutdown if the governor's fallback budget ever exhausts.
+//!
+//! The CSV carries the survival metrics plus the broker action census
+//! (revocations, restores, cascades, terminal shutdowns, retries,
+//! abandoned restores) so one matrix answers "what does topology
+//! awareness buy under provider faults?". Same determinism contract as
+//! [`crate::campaign`]: byte-identical CSV and telemetry for any worker
+//! count.
+
+use crate::campaign::sanitize;
+use crate::experiments::AllocCache;
+use crate::runner::{self, RunStats};
+use dpm_core::platform::Platform;
+use dpm_core::runtime::{DpmController, SafetyConfig, SafetyGovernor};
+use dpm_core::units::seconds;
+use dpm_sim::prelude::*;
+use dpm_telemetry::Recorder;
+use dpm_workloads::{faults, scenarios, FaultPlanConfig, Scenario};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// The topology arms of the matrix, in output order.
+pub const ARM_NAMES: [&str; 2] = ["flat", "broker"];
+
+/// One prepared topology point: everything a worker needs, read-only.
+struct TopologyPoint {
+    arm: &'static str,
+    mode: TopologyMode,
+    seed: u64,
+    platform: Arc<Platform>,
+    scenario: Arc<Scenario>,
+    periods: usize,
+}
+
+/// The assembled result of a topology campaign run.
+#[derive(Debug, Clone)]
+pub struct TopologyOutcome {
+    /// The CSV matrix, identical for every worker count.
+    pub csv: String,
+    /// Runner statistics (wall clock, per-job timings).
+    pub stats: RunStats,
+    /// Number of points that reported an error row.
+    pub failures: usize,
+}
+
+/// Run a `seeds × arms` topology campaign on up to `jobs` worker
+/// threads, simulating `periods` charging periods per point.
+///
+/// # Errors
+/// Returns [`SimError`] only for *setup* failures; per-point failures
+/// become error rows counted in [`TopologyOutcome::failures`].
+pub fn run(seeds: u64, jobs: usize, periods: usize) -> Result<TopologyOutcome, SimError> {
+    run_with(seeds, jobs, periods, &Recorder::disabled())
+}
+
+/// [`run`] with telemetry: each point records into its own sibling
+/// recorder — `broker.*` element/edge declarations, level transitions,
+/// cascades, and shutdown events alongside the usual `sim.*` and
+/// `safety.*` streams — absorbed into `telemetry` in point order as
+/// `topology/{arm}/{seed}`, byte-identical for any worker count.
+///
+/// # Errors
+/// Same contract as [`run`].
+pub fn run_with(
+    seeds: u64,
+    jobs: usize,
+    periods: usize,
+    telemetry: &Recorder,
+) -> Result<TopologyOutcome, SimError> {
+    run_filtered(seeds, jobs, periods, None, telemetry)
+}
+
+/// [`run_with`] restricted to one arm when `arm` is `Some` — CI audits a
+/// broker-only trace this way (the flat arm's trace is *meant* to fail
+/// the topology-legality audit, so it only appears in matrices the
+/// acceptance test checks, never in a must-be-green audit).
+///
+/// # Errors
+/// Same contract as [`run`]; an unknown `arm` name yields an empty
+/// matrix rather than an error (the CSV still carries its header).
+pub fn run_filtered(
+    seeds: u64,
+    jobs: usize,
+    periods: usize,
+    arm: Option<&str>,
+    telemetry: &Recorder,
+) -> Result<TopologyOutcome, SimError> {
+    let platform = Arc::new(Platform::pama());
+    let scenario = Arc::new(scenarios::scenario_one());
+    let mut points = Vec::with_capacity(seeds as usize * ARM_NAMES.len());
+    for seed in 1..=seeds {
+        for (name, mode) in ARM_NAMES
+            .iter()
+            .zip([TopologyMode::Flat, TopologyMode::Broker])
+        {
+            if arm.is_some_and(|a| a != *name) {
+                continue;
+            }
+            points.push(TopologyPoint {
+                arm: name,
+                mode,
+                seed,
+                platform: Arc::clone(&platform),
+                scenario: Arc::clone(&scenario),
+                periods,
+            });
+        }
+    }
+
+    let cache = AllocCache::new();
+    let siblings: Vec<Recorder> = points.iter().map(|_| telemetry.sibling()).collect();
+    let (results, stats) = runner::run_indexed(&points, jobs, |i, p| {
+        run_point_with(p, &cache, &siblings[i])
+    });
+    for (point, sibling) in points.iter().zip(&siblings) {
+        telemetry.absorb(&format!("topology/{}/{}", point.arm, point.seed), sibling);
+    }
+    stats.record_into(telemetry, "topology");
+
+    let mut csv = String::from(
+        "scenario,seed,arm,survived,deepest_j,below_guard_s,missed,jobs_done,\
+         revocations,restores,cascades,terminal_shutdowns,retries,abandoned\n",
+    );
+    let mut failures = 0usize;
+    for (point, slot) in points.iter().zip(results) {
+        let outcome = match slot {
+            Ok(r) => r,
+            Err(panic) => Err(SimError::WorkerPanic(panic.to_string())),
+        };
+        match outcome {
+            Ok((s, b)) => {
+                let _ = writeln!(
+                    csv,
+                    "{},{},{},{},{:.4},{:.1},{},{},{},{},{},{},{},{}",
+                    point.scenario.name,
+                    point.seed,
+                    point.arm,
+                    u8::from(s.survived),
+                    s.deepest_charge,
+                    s.time_below_guard,
+                    s.missed_events,
+                    s.jobs_done,
+                    b.revocations,
+                    b.restores,
+                    b.cascades,
+                    b.terminal_shutdowns,
+                    b.retries,
+                    b.abandoned,
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                let _ = writeln!(
+                    csv,
+                    "{},{},{},error,{},,,,,,,,,",
+                    point.scenario.name,
+                    point.seed,
+                    point.arm,
+                    sanitize(&e.to_string()),
+                );
+            }
+        }
+    }
+
+    Ok(TopologyOutcome {
+        csv,
+        stats,
+        failures,
+    })
+}
+
+/// Run one arm against one seeded provider-fault plan. Both arms use the
+/// identical safety-wrapped proposed governor so the matrix isolates the
+/// topology policy.
+fn run_point_with(
+    point: &TopologyPoint,
+    cache: &AllocCache,
+    telemetry: &Recorder,
+) -> Result<(SurvivalReport, BrokerStats), SimError> {
+    let platform = point.platform.as_ref();
+    let scenario = point.scenario.as_ref();
+    let slots = scenario.charging.len();
+    let horizon = seconds(point.periods as f64 * slots as f64 * platform.tau.value());
+    let plan = faults::generate(point.seed, &FaultPlanConfig::topology(horizon));
+
+    let mut sim = Simulation::new(
+        Arc::clone(&point.platform),
+        Box::new(TraceSource::new(scenario.charging.clone())),
+        Box::new(ScheduleGenerator::new(scenario.event_rates(platform))),
+        scenario.initial_charge,
+        SimConfig {
+            periods: point.periods,
+            slots_per_period: slots,
+            substeps: 8,
+            trace: true,
+        },
+    )?;
+    plan.schedule(&mut sim);
+    let sim = sim
+        .with_telemetry(telemetry.clone())
+        .with_topology(point.mode)?;
+
+    let safety = SafetyConfig::default_for(platform);
+    let c_min = platform.battery.c_min.value();
+    let guard = safety.guard_band.value();
+
+    let alloc = cache.allocation(platform, scenario)?;
+    let (shared, pareto) = cache.pareto(platform)?;
+    let inner = DpmController::with_table(
+        shared,
+        &alloc,
+        scenario.charging.clone(),
+        Arc::clone(&pareto),
+    )?
+    .without_trace()
+    .with_telemetry(telemetry.clone());
+    let mut governor = SafetyGovernor::with_table(inner, platform, safety, pareto)?
+        .with_telemetry(telemetry.clone());
+    let report = sim.run(&mut governor)?;
+    let degradations = governor.degradation_count();
+    let broker = report.broker.clone().unwrap_or_else(|| BrokerStats {
+        mode: point.mode.as_str().to_string(),
+        ..BrokerStats::default()
+    });
+    Ok((
+        SurvivalReport::from_report(&report, c_min, guard, degradations),
+        broker,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_matrix_is_byte_identical_across_worker_counts() {
+        let serial = run(2, 1, 1).unwrap();
+        let parallel = run(2, 4, 1).unwrap();
+        assert_eq!(serial.csv, parallel.csv);
+        assert_eq!(serial.failures, parallel.failures);
+    }
+
+    #[test]
+    fn matrix_covers_both_arms_and_counts_broker_actions() {
+        let out = run(2, 2, 2).unwrap();
+        let lines: Vec<&str> = out.csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 2 * ARM_NAMES.len(), "{}", out.csv);
+        assert!(lines[0].starts_with("scenario,seed,arm,survived"));
+        assert_eq!(out.failures, 0, "{}", out.csv);
+        // The topology plan targets providers, so the broker arm must
+        // record at least one cascade across the seeds.
+        let cascades: u64 = out
+            .csv
+            .lines()
+            .filter(|l| l.contains(",broker,"))
+            .filter_map(|l| l.split(',').nth(10))
+            .filter_map(|v| v.parse::<u64>().ok())
+            .sum();
+        assert!(cascades > 0, "{}", out.csv);
+    }
+}

@@ -1,0 +1,851 @@
+//! The lease broker: dependency-ordered power-level governance.
+//!
+//! Consumers express demand as *leases* on elements; the broker reconciles
+//! demand against faults and dependency structure once per slot
+//! ([`Broker::sync`]). Every reconciliation applies drops leaves-first and
+//! raises providers-first, so the topology is dependency-legal after
+//! *every individual level change*, not just at sync boundaries — the
+//! property `dpm-trace`'s `broker.legality` audit replays. Provider
+//! faults cascade immediately ([`Broker::fault`]); restores wait out a
+//! per-element dwell (hysteresis) and demand that a fault keeps
+//! unservable burns a bounded retry budget before the element is
+//! abandoned until the fault clears. [`Broker::shutdown`] walks the
+//! topology to its minimum legal state, monotonically and finally.
+
+use crate::error::BrokerError;
+use crate::topology::Topology;
+use dpm_telemetry::Recorder;
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for broker hysteresis and retry bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrokerConfig {
+    /// Slots an element must stay down after a drop before a restore is
+    /// allowed (per-element hysteresis against flapping providers).
+    pub dwell_slots: u64,
+    /// Consecutive syncs demand may go unserved (element or provider
+    /// faulted) before the element is abandoned until a recovery resets
+    /// its budget. Bounds `broker.retry` traffic per fault episode.
+    pub max_restore_retries: u32,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        Self {
+            dwell_slots: 1,
+            max_restore_retries: 8,
+        }
+    }
+}
+
+/// Why a level changed — the `broker.level` event detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cause {
+    /// First grant of demanded power (element was never dropped).
+    Grant,
+    /// Demand went away (lease deactivated or clamped).
+    Revoke,
+    /// A provider fault forced the element down.
+    Cascade,
+    /// Power restored after a drop.
+    Restore,
+    /// Terminal-shutdown walk.
+    Shutdown,
+}
+
+impl Cause {
+    /// Stable string for telemetry details.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Grant => "grant",
+            Self::Revoke => "revoke",
+            Self::Cascade => "cascade",
+            Self::Restore => "restore",
+            Self::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One applied level change, in application order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Action {
+    /// The element whose level changed.
+    pub element: usize,
+    /// Level before the change.
+    pub from: u8,
+    /// Level after the change.
+    pub to: u8,
+    /// Why it changed.
+    pub cause: Cause,
+}
+
+/// Census of broker activity, mirrored into `broker.*` counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BrokerCounts {
+    /// Level decreases applied (any cause).
+    pub revocations: u64,
+    /// Level increases applied.
+    pub restores: u64,
+    /// Provider faults processed (each may drop several dependents).
+    pub cascades: u64,
+    /// Terminal shutdowns executed (0 or 1; the walk is final).
+    pub terminal_shutdowns: u64,
+    /// Syncs in which demanded power could not be served.
+    pub retries: u64,
+    /// Elements that exhausted their retry budget.
+    pub abandoned: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Lease {
+    element: usize,
+    level: u8,
+    active: bool,
+    dropped: bool,
+}
+
+/// Dependency-ordered power broker over a validated [`Topology`].
+#[derive(Debug, Clone)]
+pub struct Broker {
+    topo: Topology,
+    config: BrokerConfig,
+    level: Vec<u8>,
+    faulted: Vec<bool>,
+    leases: Vec<Lease>,
+    /// Slot of the most recent drop, the dwell anchor.
+    last_drop: Vec<Option<u64>>,
+    retries: Vec<u32>,
+    abandoned: Vec<bool>,
+    terminal: bool,
+    slot: u64,
+    time: f64,
+    counts: BrokerCounts,
+    log: Vec<Action>,
+    telemetry: Recorder,
+}
+
+impl Broker {
+    /// Create a broker with every element at level 0 and no demand.
+    #[must_use]
+    pub fn new(topo: Topology, config: BrokerConfig) -> Self {
+        let n = topo.len();
+        Self {
+            topo,
+            config,
+            level: vec![0; n],
+            faulted: vec![false; n],
+            leases: Vec::new(),
+            last_drop: vec![None; n],
+            retries: vec![0; n],
+            abandoned: vec![false; n],
+            terminal: false,
+            slot: 0,
+            time: 0.0,
+            counts: BrokerCounts::default(),
+            log: Vec::new(),
+            telemetry: Recorder::disabled(),
+        }
+    }
+
+    /// Attach a telemetry recorder and declare the topology into it:
+    /// one `broker.element` event per element (detail = name) and one
+    /// `broker.edge` per dependency, so a trace is self-describing and
+    /// the audit can replay legality without out-of-band configuration.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        if telemetry.is_enabled() {
+            for i in 0..self.topo.len() {
+                if let Some(spec) = self.topo.spec(i) {
+                    telemetry.event_with_detail(
+                        "broker.element",
+                        None,
+                        0.0,
+                        &[
+                            ("element", i as f64),
+                            ("max_level", f64::from(spec.max_level)),
+                            ("floor", f64::from(spec.floor)),
+                        ],
+                        &spec.name,
+                    );
+                }
+            }
+            for e in self.topo.edges() {
+                telemetry.event(
+                    "broker.edge",
+                    None,
+                    0.0,
+                    &[
+                        ("child", e.child as f64),
+                        ("provider", e.provider as f64),
+                        ("min_provider_level", f64::from(e.min_provider_level)),
+                    ],
+                );
+            }
+            telemetry.gauge("broker.elements", self.topo.len() as f64);
+            telemetry.gauge("broker.dwell_slots", self.config.dwell_slots as f64);
+            telemetry.gauge(
+                "broker.max_restore_retries",
+                f64::from(self.config.max_restore_retries),
+            );
+        }
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The topology this broker governs.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Advance the broker clock; call once at the top of each slot before
+    /// lease updates and [`sync`](Self::sync).
+    pub fn begin_slot(&mut self, slot: u64, time: f64) {
+        self.slot = slot;
+        self.time = time;
+    }
+
+    /// Grant a lease for `level` on `element`. Leases start inactive;
+    /// activate with [`set_active`](Self::set_active). Returns the lease
+    /// id.
+    ///
+    /// # Errors
+    /// [`BrokerError::Terminal`] after shutdown,
+    /// [`BrokerError::UnknownElement`] / [`BrokerError::LevelOutOfRange`]
+    /// for bad arguments.
+    pub fn lease(&mut self, element: usize, level: u8) -> Result<usize, BrokerError> {
+        if self.terminal {
+            return Err(BrokerError::Terminal);
+        }
+        let spec = self
+            .topo
+            .spec(element)
+            .ok_or(BrokerError::UnknownElement { element })?;
+        if level == 0 || level > spec.max_level {
+            return Err(BrokerError::LevelOutOfRange {
+                element,
+                level,
+                max: spec.max_level,
+            });
+        }
+        self.leases.push(Lease {
+            element,
+            level,
+            active: false,
+            dropped: false,
+        });
+        Ok(self.leases.len() - 1)
+    }
+
+    /// Activate or deactivate a lease's demand. Takes effect at the next
+    /// [`sync`](Self::sync).
+    ///
+    /// # Errors
+    /// [`BrokerError::Terminal`] after shutdown,
+    /// [`BrokerError::UnknownLease`] for a bad or dropped id.
+    pub fn set_active(&mut self, lease: usize, active: bool) -> Result<(), BrokerError> {
+        if self.terminal {
+            return Err(BrokerError::Terminal);
+        }
+        match self.leases.get_mut(lease) {
+            Some(l) if !l.dropped => {
+                l.active = active;
+                Ok(())
+            }
+            _ => Err(BrokerError::UnknownLease { lease }),
+        }
+    }
+
+    /// Permanently drop a lease; its demand disappears at the next sync.
+    ///
+    /// # Errors
+    /// [`BrokerError::UnknownLease`] for a bad or already-dropped id.
+    pub fn drop_lease(&mut self, lease: usize) -> Result<(), BrokerError> {
+        match self.leases.get_mut(lease) {
+            Some(l) if !l.dropped => {
+                l.dropped = true;
+                l.active = false;
+                Ok(())
+            }
+            _ => Err(BrokerError::UnknownLease { lease }),
+        }
+    }
+
+    /// Demanded level per element: floors, plus active leases, plus the
+    /// derived demand children impose on providers (computed leaves-first
+    /// so the closure is transitive).
+    fn wants(&self) -> Vec<u8> {
+        let mut want: Vec<u8> = (0..self.topo.len())
+            .map(|e| self.topo.spec(e).map_or(0, |s| s.floor))
+            .collect();
+        for l in &self.leases {
+            if l.active && !l.dropped {
+                if let Some(w) = want.get_mut(l.element) {
+                    *w = (*w).max(l.level);
+                }
+            }
+        }
+        for &e in self.topo.order().iter().rev() {
+            if want[e] > 0 {
+                for &(p, req) in self.topo.providers_of(e) {
+                    want[p] = want[p].max(req);
+                }
+            }
+        }
+        want
+    }
+
+    /// Clamp demand to what faults allow, providers-first. `blocked[e]`
+    /// marks demanded elements that cannot be served (own fault or a
+    /// provider chain that cannot reach the required level).
+    fn feasible(&self, want: &[u8]) -> (Vec<u8>, Vec<bool>) {
+        let n = self.topo.len();
+        let mut target = vec![0u8; n];
+        let mut blocked = vec![false; n];
+        for &e in self.topo.order() {
+            let w = want.get(e).copied().unwrap_or(0);
+            if w == 0 {
+                continue;
+            }
+            let supported = self
+                .topo
+                .providers_of(e)
+                .iter()
+                .all(|&(p, req)| target[p] >= req);
+            if self.faulted[e] || !supported {
+                blocked[e] = true;
+            } else {
+                target[e] = w;
+            }
+        }
+        (target, blocked)
+    }
+
+    /// Apply one level change: update counters, the action log, and emit
+    /// the `broker.level` event. No-op when `to == from`.
+    fn apply(&mut self, element: usize, to: u8, cause: Cause) {
+        let from = self.level[element];
+        if from == to {
+            return;
+        }
+        self.level[element] = to;
+        if to < from {
+            self.counts.revocations += 1;
+            self.last_drop[element] = Some(self.slot);
+            self.telemetry.incr("broker.revocations", 1);
+        } else {
+            self.counts.restores += 1;
+            self.retries[element] = 0;
+            self.telemetry.incr("broker.restores", 1);
+        }
+        self.log.push(Action {
+            element,
+            from,
+            to,
+            cause,
+        });
+        if self.telemetry.is_enabled() {
+            self.telemetry.event_with_detail(
+                "broker.level",
+                Some(self.slot),
+                self.time,
+                &[
+                    ("element", element as f64),
+                    ("from", f64::from(from)),
+                    ("to", f64::from(to)),
+                ],
+                cause.as_str(),
+            );
+        }
+    }
+
+    /// Reconcile levels with demand once: bookkeep retries/abandonment,
+    /// apply drops leaves-first, then raises providers-first (skipping
+    /// elements still in dwell or whose providers are not yet up — those
+    /// complete on later syncs, preserving dependency order across
+    /// slots). Returns the number of level changes applied.
+    pub fn sync(&mut self) -> usize {
+        if self.terminal {
+            return 0;
+        }
+        let want = self.wants();
+        let (target, blocked) = self.feasible(&want);
+
+        for e in 0..self.topo.len() {
+            if blocked[e] {
+                if !self.abandoned[e] {
+                    self.retries[e] += 1;
+                    self.counts.retries += 1;
+                    self.telemetry.incr("broker.retries", 1);
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.event(
+                            "broker.retry",
+                            Some(self.slot),
+                            self.time,
+                            &[
+                                ("element", e as f64),
+                                ("attempt", f64::from(self.retries[e])),
+                            ],
+                        );
+                    }
+                    if self.retries[e] > self.config.max_restore_retries {
+                        self.abandoned[e] = true;
+                        self.counts.abandoned += 1;
+                        self.telemetry.incr("broker.abandoned", 1);
+                        if self.telemetry.is_enabled() {
+                            self.telemetry.event(
+                                "broker.abandon",
+                                Some(self.slot),
+                                self.time,
+                                &[
+                                    ("element", e as f64),
+                                    ("attempts", f64::from(self.retries[e])),
+                                ],
+                            );
+                        }
+                    }
+                }
+            } else if want[e] <= self.level[e] {
+                // Demand satisfied or gone: the episode is over.
+                self.retries[e] = 0;
+            }
+        }
+
+        let order: Vec<usize> = self.topo.order().to_vec();
+        let mut changes = 0usize;
+        for &e in order.iter().rev() {
+            if target[e] < self.level[e] {
+                self.apply(e, target[e], Cause::Revoke);
+                changes += 1;
+            }
+        }
+        for &e in &order {
+            let t = target[e];
+            if t <= self.level[e] || self.abandoned[e] {
+                continue;
+            }
+            if let Some(d) = self.last_drop[e] {
+                if self.slot < d.saturating_add(self.config.dwell_slots) {
+                    continue; // dwell hysteresis: hold the restore
+                }
+            }
+            let providers_up = self
+                .topo
+                .providers_of(e)
+                .iter()
+                .all(|&(p, req)| self.level[p] >= req);
+            if providers_up {
+                let cause = if self.last_drop[e].is_some() {
+                    Cause::Restore
+                } else {
+                    Cause::Grant
+                };
+                self.apply(e, t, cause);
+                changes += 1;
+            }
+        }
+        changes
+    }
+
+    /// Record a fault on `element` and cascade immediately: the element
+    /// and every dependent whose requirement chain breaks are dropped,
+    /// leaves-first, so the configuration is legal after each step.
+    /// Returns the number of elements dropped. Post-terminal faults are
+    /// accepted but change nothing (everything is already at the floor
+    /// and shutdown is final).
+    ///
+    /// # Errors
+    /// [`BrokerError::UnknownElement`] for a bad index.
+    pub fn fault(&mut self, element: usize, time: f64) -> Result<usize, BrokerError> {
+        if element >= self.topo.len() {
+            return Err(BrokerError::UnknownElement { element });
+        }
+        self.time = time;
+        self.faulted[element] = true;
+        if self.terminal {
+            return Ok(0);
+        }
+        let want = self.wants();
+        let (target, _) = self.feasible(&want);
+        let order: Vec<usize> = self.topo.order().to_vec();
+        let mut dropped = 0usize;
+        for &e in order.iter().rev() {
+            if target[e] < self.level[e] {
+                self.apply(e, target[e], Cause::Cascade);
+                dropped += 1;
+            }
+        }
+        self.counts.cascades += 1;
+        self.telemetry.incr("broker.cascades", 1);
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                "broker.cascade",
+                Some(self.slot),
+                time,
+                &[("element", element as f64), ("dropped", dropped as f64)],
+            );
+        }
+        Ok(dropped)
+    }
+
+    /// Clear a fault. The element and its transitive dependents get a
+    /// fresh retry budget; restores happen on later syncs, providers
+    /// first, after each element's dwell expires.
+    ///
+    /// # Errors
+    /// [`BrokerError::UnknownElement`] for a bad index.
+    pub fn recover(&mut self, element: usize, time: f64) -> Result<(), BrokerError> {
+        if element >= self.topo.len() {
+            return Err(BrokerError::UnknownElement { element });
+        }
+        self.time = time;
+        self.faulted[element] = false;
+        self.retries[element] = 0;
+        self.abandoned[element] = false;
+        for d in self.topo.dependents_of(element) {
+            self.retries[d] = 0;
+            self.abandoned[d] = false;
+        }
+        Ok(())
+    }
+
+    /// Orderly terminal shutdown: deactivate all demand and walk the
+    /// topology to its minimum legal state (floors where supportable,
+    /// 0 where a faulted provider leaves the floor unsupportable),
+    /// leaves-first and strictly monotone — no element's level ever
+    /// rises. The broker is terminal afterwards: syncs are no-ops and new
+    /// demand is rejected. Returns the number of level changes. Calling
+    /// it again is a no-op returning 0.
+    pub fn shutdown(&mut self) -> usize {
+        if self.terminal {
+            return 0;
+        }
+        self.terminal = true;
+        self.counts.terminal_shutdowns += 1;
+        self.telemetry.incr("broker.terminal_shutdowns", 1);
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                "broker.shutdown_start",
+                Some(self.slot),
+                self.time,
+                &[("elements", self.topo.len() as f64)],
+            );
+        }
+        for l in &mut self.leases {
+            l.active = false;
+        }
+        let want: Vec<u8> = (0..self.topo.len())
+            .map(|e| self.topo.spec(e).map_or(0, |s| s.floor))
+            .collect();
+        let (target, _) = self.feasible(&want);
+        let order: Vec<usize> = self.topo.order().to_vec();
+        let mut changes = 0usize;
+        for &e in order.iter().rev() {
+            let t = target[e].min(self.level[e]); // monotone: never raise
+            if t < self.level[e] {
+                self.apply(e, t, Cause::Shutdown);
+                changes += 1;
+            }
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                "broker.shutdown_complete",
+                Some(self.slot),
+                self.time,
+                &[("changes", changes as f64)],
+            );
+        }
+        changes
+    }
+
+    /// Whether terminal shutdown has executed.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        self.terminal
+    }
+
+    /// Current level of `element`, if it exists.
+    #[must_use]
+    pub fn level(&self, element: usize) -> Option<u8> {
+        self.level.get(element).copied()
+    }
+
+    /// All current levels, indexed by element.
+    #[must_use]
+    pub fn levels(&self) -> &[u8] {
+        &self.level
+    }
+
+    /// Whether `element` is currently faulted (out-of-range reads false).
+    #[must_use]
+    pub fn is_faulted(&self, element: usize) -> bool {
+        self.faulted.get(element).copied().unwrap_or(false)
+    }
+
+    /// Whether demand on `element` could currently be served: not
+    /// faulted, not abandoned, and no provider chain broken by a fault.
+    /// Out-of-range reads false.
+    #[must_use]
+    pub fn is_available(&self, element: usize) -> bool {
+        if element >= self.topo.len() || self.faulted[element] || self.abandoned[element] {
+            return false;
+        }
+        self.topo
+            .providers_of(element)
+            .iter()
+            .all(|&(p, _)| self.is_available(p))
+    }
+
+    /// Activity census so far.
+    #[must_use]
+    pub fn counts(&self) -> BrokerCounts {
+        self.counts
+    }
+
+    /// The applied level changes, in order.
+    #[must_use]
+    pub fn actions(&self) -> &[Action] {
+        &self.log
+    }
+
+    /// Drain the action log (keeps counters and levels).
+    pub fn take_actions(&mut self) -> Vec<Action> {
+        std::mem::take(&mut self.log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    /// bus -> ring -> {chip0, chip1}; sensor hangs off bus.
+    fn board() -> (Topology, [usize; 5]) {
+        let mut b = TopologyBuilder::new();
+        let bus = b.element("bus", 1, 0);
+        let ring = b.element("ring", 1, 0);
+        let chip0 = b.element("chip0", 1, 0);
+        let chip1 = b.element("chip1", 1, 0);
+        let sensor = b.element("sensor", 1, 0);
+        b.edge(ring, bus, 1);
+        b.edge(chip0, ring, 1);
+        b.edge(chip1, ring, 1);
+        b.edge(sensor, bus, 1);
+        (
+            b.build().expect("board builds"),
+            [bus, ring, chip0, chip1, sensor],
+        )
+    }
+
+    fn no_dwell() -> BrokerConfig {
+        BrokerConfig {
+            dwell_slots: 0,
+            max_restore_retries: 3,
+        }
+    }
+
+    #[test]
+    fn grant_raises_providers_first() {
+        let (t, [bus, ring, chip0, ..]) = board();
+        let mut br = Broker::new(t, no_dwell());
+        let lease = br.lease(chip0, 1).unwrap();
+        br.set_active(lease, true).unwrap();
+        br.begin_slot(0, 0.0);
+        assert_eq!(br.sync(), 3);
+        let raised: Vec<usize> = br.actions().iter().map(|a| a.element).collect();
+        assert_eq!(raised, vec![bus, ring, chip0]);
+        assert!(br.actions().iter().all(|a| a.cause == Cause::Grant));
+    }
+
+    #[test]
+    fn revoke_drops_leaves_first_and_restore_reverses() {
+        let (t, [bus, ring, chip0, ..]) = board();
+        let mut br = Broker::new(t, no_dwell());
+        let lease = br.lease(chip0, 1).unwrap();
+        br.set_active(lease, true).unwrap();
+        br.begin_slot(0, 0.0);
+        br.sync();
+        br.take_actions();
+
+        br.set_active(lease, false).unwrap();
+        br.begin_slot(1, 1.0);
+        br.sync();
+        let revoked: Vec<usize> = br.actions().iter().map(|a| a.element).collect();
+        assert_eq!(revoked, vec![chip0, ring, bus]);
+        br.take_actions();
+
+        br.set_active(lease, true).unwrap();
+        br.begin_slot(2, 2.0);
+        br.sync();
+        let restored: Vec<usize> = br.actions().iter().map(|a| a.element).collect();
+        let mut expected = revoked.clone();
+        expected.reverse();
+        assert_eq!(restored, expected);
+        assert!(br.actions().iter().all(|a| a.cause == Cause::Restore));
+    }
+
+    #[test]
+    fn provider_fault_cascades_to_legal_configuration() {
+        let (t, [bus, ring, chip0, chip1, sensor]) = board();
+        let mut br = Broker::new(t, no_dwell());
+        for e in [chip0, chip1, sensor] {
+            let l = br.lease(e, 1).unwrap();
+            br.set_active(l, true).unwrap();
+        }
+        br.begin_slot(0, 0.0);
+        br.sync();
+        br.take_actions();
+
+        let dropped = br.fault(ring, 0.5).unwrap();
+        assert_eq!(dropped, 3); // chip0, chip1, ring — sensor survives on bus
+        assert_eq!(br.level(sensor), Some(1));
+        assert_eq!(br.level(bus), Some(1));
+        assert_eq!(br.level(ring), Some(0));
+        assert_eq!(br.level(chip0), Some(0));
+        assert!(br.topology().violation(br.levels()).is_none());
+        let order: Vec<usize> = br.actions().iter().map(|a| a.element).collect();
+        // Leaves first: both chips drop before the ring.
+        assert_eq!(order.last(), Some(&ring));
+        assert!(br.actions().iter().all(|a| a.cause == Cause::Cascade));
+        assert_eq!(br.counts().cascades, 1);
+    }
+
+    #[test]
+    fn dwell_holds_restores_then_releases() {
+        let (t, [_, ring, chip0, ..]) = board();
+        let cfg = BrokerConfig {
+            dwell_slots: 2,
+            max_restore_retries: 3,
+        };
+        let mut br = Broker::new(t, cfg);
+        let l = br.lease(chip0, 1).unwrap();
+        br.set_active(l, true).unwrap();
+        br.begin_slot(0, 0.0);
+        br.sync();
+        br.fault(ring, 0.1).unwrap();
+        br.recover(ring, 0.2).unwrap();
+
+        // Slot 1: inside dwell (drop at slot 0, dwell 2) — nothing rises.
+        br.begin_slot(1, 1.0);
+        br.take_actions();
+        br.sync();
+        assert!(br.actions().is_empty());
+        // Slot 2: both dwells expire; the providers-first raise pass lets
+        // the whole chain climb in one sync (ring rises before the chip's
+        // provider check runs).
+        br.begin_slot(2, 2.0);
+        br.sync();
+        let actions = br.take_actions();
+        assert_eq!(actions.len(), 2); // ring then chip0, providers first
+        assert_eq!(actions[0].element, ring);
+        assert_eq!(actions[1].element, chip0);
+        assert_eq!(br.level(chip0), Some(1));
+    }
+
+    #[test]
+    fn unserved_demand_is_abandoned_after_bounded_retries() {
+        let (t, [_, ring, chip0, ..]) = board();
+        let mut br = Broker::new(t, no_dwell());
+        let l = br.lease(chip0, 1).unwrap();
+        br.set_active(l, true).unwrap();
+        br.begin_slot(0, 0.0);
+        br.sync();
+        br.fault(ring, 0.1).unwrap();
+
+        // Budget 3: ring and the blocked chip each retry 4 times
+        // (abandoned on the 4th), then the retry traffic stops.
+        for slot in 1..=10 {
+            br.begin_slot(slot, slot as f64);
+            br.sync();
+        }
+        assert_eq!(br.counts().retries, 8);
+        assert_eq!(br.counts().abandoned, 2); // ring and the blocked chip
+        assert!(!br.is_available(chip0));
+
+        // Recovery resets the budget and the chain restores.
+        br.recover(ring, 11.0).unwrap();
+        br.begin_slot(11, 11.0);
+        br.sync();
+        assert_eq!(br.level(chip0), Some(1));
+        assert!(br.is_available(chip0));
+    }
+
+    #[test]
+    fn shutdown_is_monotone_final_and_lands_on_floors() {
+        let mut b = TopologyBuilder::new();
+        let bus = b.element("bus", 2, 1);
+        let keeper = b.element("keeper", 1, 1);
+        let chip = b.element("chip", 1, 0);
+        b.edge(keeper, bus, 1);
+        b.edge(chip, bus, 2);
+        let t = b.build().unwrap();
+        let mut br = Broker::new(t, no_dwell());
+        for (e, lvl) in [(bus, 2), (keeper, 1), (chip, 1)] {
+            let l = br.lease(e, lvl).unwrap();
+            br.set_active(l, true).unwrap();
+        }
+        br.begin_slot(0, 0.0);
+        br.sync();
+        br.take_actions();
+
+        let changes = br.shutdown();
+        assert!(br.is_terminal());
+        assert_eq!(changes, 2); // chip -> 0, bus -> 1; keeper already at floor
+        assert_eq!(br.levels(), &[1, 1, 0]);
+        assert!(br
+            .actions()
+            .iter()
+            .all(|a| a.cause == Cause::Shutdown && a.to < a.from));
+        assert!(br.topology().violation(br.levels()).is_none());
+
+        // Final: no further syncs, shutdowns, or demand.
+        assert_eq!(br.shutdown(), 0);
+        assert_eq!(br.sync(), 0);
+        assert_eq!(br.counts().terminal_shutdowns, 1);
+        assert!(matches!(br.lease(chip, 1), Err(BrokerError::Terminal)));
+        assert_eq!(br.levels(), &[1, 1, 0]);
+    }
+
+    #[test]
+    fn telemetry_counters_and_declarations_are_emitted() {
+        let (t, [_, ring, chip0, ..]) = board();
+        let rec = Recorder::enabled("test");
+        let mut br = Broker::new(t, no_dwell()).with_telemetry(rec.clone());
+        let l = br.lease(chip0, 1).unwrap();
+        br.set_active(l, true).unwrap();
+        br.begin_slot(0, 0.0);
+        br.sync();
+        br.fault(ring, 0.5).unwrap();
+        assert_eq!(rec.counter("broker.restores"), 3);
+        assert_eq!(rec.counter("broker.revocations"), 2);
+        assert_eq!(rec.counter("broker.cascades"), 1);
+        // 5 broker.element + 4 broker.edge declarations, 3 grants,
+        // 2 cascade drops, 1 broker.cascade.
+        assert_eq!(rec.event_count(), 15);
+    }
+
+    #[test]
+    fn lease_validation_rejects_bad_arguments() {
+        let (t, [_, _, chip0, ..]) = board();
+        let mut br = Broker::new(t, BrokerConfig::default());
+        assert!(matches!(
+            br.lease(99, 1),
+            Err(BrokerError::UnknownElement { element: 99 })
+        ));
+        assert!(matches!(
+            br.lease(chip0, 2),
+            Err(BrokerError::LevelOutOfRange { .. })
+        ));
+        assert!(matches!(
+            br.set_active(7, true),
+            Err(BrokerError::UnknownLease { lease: 7 })
+        ));
+        let l = br.lease(chip0, 1).unwrap();
+        br.drop_lease(l).unwrap();
+        assert!(matches!(
+            br.set_active(l, true),
+            Err(BrokerError::UnknownLease { .. })
+        ));
+    }
+}

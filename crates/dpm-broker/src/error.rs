@@ -1,0 +1,90 @@
+//! Typed errors for topology construction and broker operations.
+//!
+//! The crate is gated by `ci/forbid_panics.sh`: every misuse surfaces as a
+//! [`BrokerError`] instead of a panic, so a malformed topology config or a
+//! stale lease id degrades a run into an error row, never an abort.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong building a topology or driving a broker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// An element index does not exist in the topology.
+    UnknownElement {
+        /// The out-of-range element index.
+        element: usize,
+    },
+    /// A requested level is zero or above the element's `max_level`.
+    LevelOutOfRange {
+        /// The element the level was requested for.
+        element: usize,
+        /// The rejected level.
+        level: u8,
+        /// The element's maximum level.
+        max: u8,
+    },
+    /// An element spec is internally inconsistent (e.g. `floor > max_level`).
+    InvalidElement {
+        /// The offending element index.
+        element: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A dependency edge is malformed (self-edge, bad requirement, or a
+    /// floor the provider's floor cannot support).
+    InvalidEdge {
+        /// The dependent element.
+        child: usize,
+        /// The provider element.
+        provider: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The dependency graph contains a cycle through this element.
+    DependencyCycle {
+        /// An element on the cycle (lowest index of the unplaceable set).
+        element: usize,
+    },
+    /// A lease id was never granted or has already been dropped.
+    UnknownLease {
+        /// The stale lease id.
+        lease: usize,
+    },
+    /// The broker has executed its terminal shutdown; no new demand is
+    /// accepted (terminal shutdown is final).
+    Terminal,
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownElement { element } => {
+                write!(f, "unknown power element {element}")
+            }
+            Self::LevelOutOfRange {
+                element,
+                level,
+                max,
+            } => write!(
+                f,
+                "level {level} out of range for element {element} (valid: 1..={max})"
+            ),
+            Self::InvalidElement { element, reason } => {
+                write!(f, "invalid element {element}: {reason}")
+            }
+            Self::InvalidEdge {
+                child,
+                provider,
+                reason,
+            } => write!(f, "invalid edge {child} -> {provider}: {reason}"),
+            Self::DependencyCycle { element } => {
+                write!(f, "dependency cycle through element {element}")
+            }
+            Self::UnknownLease { lease } => write!(f, "unknown or dropped lease {lease}"),
+            Self::Terminal => write!(f, "broker is terminally shut down"),
+        }
+    }
+}
+
+impl Error for BrokerError {}

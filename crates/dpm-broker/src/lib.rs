@@ -1,0 +1,40 @@
+//! Dependency-aware power-element topology with lease-based demand.
+//!
+//! Real multiprocessor boards are not a flat pool of (n, f, v) choices:
+//! worker chips hang off ring interconnects, sensors hang off bus power.
+//! This crate models that structure as a validated DAG of power
+//! *elements* ([`Topology`]) and governs it with a lease [`Broker`]:
+//!
+//! - **Leases** express demand; the broker reconciles demand against
+//!   faults once per slot ([`Broker::sync`]).
+//! - **Dependency order** is honored for every transition: drops apply
+//!   leaves-first, raises providers-first, so no element is ever powered
+//!   above what its providers support — after *every* level change, not
+//!   just at sync boundaries.
+//! - **Faults cascade** to a legal degraded configuration immediately
+//!   ([`Broker::fault`]); restores wait out per-element dwell hysteresis
+//!   and a bounded retry budget ([`BrokerConfig`]).
+//! - **Terminal shutdown** ([`Broker::shutdown`]) walks the topology to
+//!   its minimum legal state, monotonically and finally.
+//!
+//! Every transition is emitted as `broker.*` telemetry (see
+//! `docs/TRACE_SCHEMA.md`), which `dpm-trace` replays to machine-check
+//! the legality, ordering, and shutdown invariants.
+
+#![warn(missing_docs)]
+
+mod broker;
+mod error;
+mod topology;
+
+pub use broker::{Action, Broker, BrokerConfig, BrokerCounts, Cause};
+pub use error::BrokerError;
+pub use topology::{Edge, ElementSpec, Topology, TopologyBuilder};
+
+/// Everything most users need.
+pub mod prelude {
+    pub use crate::{
+        Action, Broker, BrokerConfig, BrokerCounts, BrokerError, Cause, Edge, ElementSpec,
+        Topology, TopologyBuilder,
+    };
+}

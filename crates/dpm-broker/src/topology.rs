@@ -1,0 +1,341 @@
+//! Power-element topology: elements with discrete levels plus validated
+//! dependency edges, and the deterministic dependency order every broker
+//! transition follows.
+//!
+//! The model follows the power-broker idiom: an *element* is anything with
+//! its own power state (a bus, a ring interconnect, a sensor rail, a
+//! worker chip); a *dependency edge* says the child may only be powered
+//! while its provider sits at or above a required level. [`Topology`]
+//! validates the graph once at construction (no cycles, no self-edges,
+//! requirements within provider range, floors mutually supportable) so
+//! the broker's per-slot work never has to re-check structure.
+
+use crate::error::BrokerError;
+use serde::{Deserialize, Serialize};
+
+/// One power element: a rail, bus, interconnect, sensor, or chip.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElementSpec {
+    /// Human-readable name (lands in the `broker.element` event detail).
+    pub name: String,
+    /// Highest power level; levels are `0..=max_level` with 0 = unpowered.
+    pub max_level: u8,
+    /// Minimum legal level — the terminal-shutdown target. An element with
+    /// a nonzero floor stays at the floor through shutdown unless a
+    /// faulted provider makes the floor unsupportable.
+    pub floor: u8,
+}
+
+/// A dependency: `child` may only be powered (level ≥ 1) while `provider`
+/// sits at `min_provider_level` or above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// The dependent element.
+    pub child: usize,
+    /// The element it draws from.
+    pub provider: usize,
+    /// Provider level required for the child to be powered at all.
+    pub min_provider_level: u8,
+}
+
+/// A validated dependency graph of power elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    elements: Vec<ElementSpec>,
+    edges: Vec<Edge>,
+    /// Providers-first order: every provider precedes all its dependents.
+    order: Vec<usize>,
+    /// Per-element provider list as `(provider, min_provider_level)`.
+    providers: Vec<Vec<(usize, u8)>>,
+}
+
+impl Topology {
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the topology has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The spec of element `element`, if it exists.
+    #[must_use]
+    pub fn spec(&self, element: usize) -> Option<&ElementSpec> {
+        self.elements.get(element)
+    }
+
+    /// All dependency edges, in declaration order.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Providers-first order: every provider precedes all its dependents.
+    /// Iterating this order raises safely; iterating it reversed drops
+    /// safely (leaves first).
+    #[must_use]
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The `(provider, min_provider_level)` requirements of `element`
+    /// (empty for out-of-range indices).
+    #[must_use]
+    pub fn providers_of(&self, element: usize) -> &[(usize, u8)] {
+        self.providers.get(element).map_or(&[], Vec::as_slice)
+    }
+
+    /// First dependency-legality violation in a level assignment: a
+    /// powered child whose provider sits below the required level.
+    /// Returns `(child, provider)` or `None` when `levels` is legal.
+    /// Indices past `levels.len()` read as level 0.
+    #[must_use]
+    pub fn violation(&self, levels: &[u8]) -> Option<(usize, usize)> {
+        let at = |e: usize| levels.get(e).copied().unwrap_or(0);
+        self.edges
+            .iter()
+            .find(|e| at(e.child) >= 1 && at(e.provider) < e.min_provider_level)
+            .map(|e| (e.child, e.provider))
+    }
+
+    /// Elements that transitively depend on `element` (excluding itself),
+    /// in ascending index order.
+    #[must_use]
+    pub fn dependents_of(&self, element: usize) -> Vec<usize> {
+        let n = self.elements.len();
+        let mut reached = vec![false; n];
+        if element < n {
+            reached[element] = true;
+        }
+        // Children appear after providers in `order`, so one forward pass
+        // over the dependency order reaches the full transitive closure.
+        for &e in &self.order {
+            if reached[e] {
+                continue;
+            }
+            if self
+                .providers_of(e)
+                .iter()
+                .any(|&(p, _)| reached.get(p).copied().unwrap_or(false))
+            {
+                reached[e] = true;
+            }
+        }
+        (0..n).filter(|&e| e != element && reached[e]).collect()
+    }
+}
+
+/// Incremental [`Topology`] constructor. Elements are numbered in the
+/// order they are declared; [`build`](Self::build) validates the graph.
+#[derive(Debug, Clone, Default)]
+pub struct TopologyBuilder {
+    elements: Vec<ElementSpec>,
+    edges: Vec<Edge>,
+}
+
+impl TopologyBuilder {
+    /// Start an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare an element and return its index.
+    pub fn element(&mut self, name: &str, max_level: u8, floor: u8) -> usize {
+        self.elements.push(ElementSpec {
+            name: name.to_string(),
+            max_level,
+            floor,
+        });
+        self.elements.len() - 1
+    }
+
+    /// Declare a dependency: `child` requires `provider` at
+    /// `min_provider_level` or above whenever the child is powered.
+    pub fn edge(&mut self, child: usize, provider: usize, min_provider_level: u8) -> &mut Self {
+        self.edges.push(Edge {
+            child,
+            provider,
+            min_provider_level,
+        });
+        self
+    }
+
+    /// Validate and freeze the topology.
+    ///
+    /// # Errors
+    /// [`BrokerError::InvalidElement`] for a zero `max_level` or a floor
+    /// above it; [`BrokerError::InvalidEdge`] for out-of-range endpoints,
+    /// self-edges, requirements outside the provider's range, or a child
+    /// floor the provider's floor cannot support (terminal shutdown must
+    /// land on a legal state); [`BrokerError::DependencyCycle`] when the
+    /// graph is not a DAG.
+    pub fn build(self) -> Result<Topology, BrokerError> {
+        let n = self.elements.len();
+        for (i, spec) in self.elements.iter().enumerate() {
+            if spec.max_level == 0 {
+                return Err(BrokerError::InvalidElement {
+                    element: i,
+                    reason: "max_level must be at least 1".to_string(),
+                });
+            }
+            if spec.floor > spec.max_level {
+                return Err(BrokerError::InvalidElement {
+                    element: i,
+                    reason: format!("floor {} above max_level {}", spec.floor, spec.max_level),
+                });
+            }
+        }
+        for e in &self.edges {
+            if e.child >= n || e.provider >= n {
+                return Err(BrokerError::InvalidEdge {
+                    child: e.child,
+                    provider: e.provider,
+                    reason: format!("element index out of range (topology has {n})"),
+                });
+            }
+            if e.child == e.provider {
+                return Err(BrokerError::InvalidEdge {
+                    child: e.child,
+                    provider: e.provider,
+                    reason: "self-dependency".to_string(),
+                });
+            }
+            let provider = &self.elements[e.provider];
+            if e.min_provider_level == 0 || e.min_provider_level > provider.max_level {
+                return Err(BrokerError::InvalidEdge {
+                    child: e.child,
+                    provider: e.provider,
+                    reason: format!(
+                        "required level {} outside provider range 1..={}",
+                        e.min_provider_level, provider.max_level
+                    ),
+                });
+            }
+            let child = &self.elements[e.child];
+            if child.floor >= 1 && provider.floor < e.min_provider_level {
+                return Err(BrokerError::InvalidEdge {
+                    child: e.child,
+                    provider: e.provider,
+                    reason: format!(
+                        "child floor {} needs provider at {} but provider floor is {}",
+                        child.floor, e.min_provider_level, provider.floor
+                    ),
+                });
+            }
+        }
+
+        let mut providers: Vec<Vec<(usize, u8)>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            providers[e.child].push((e.provider, e.min_provider_level));
+        }
+
+        // Deterministic Kahn order: each round admits every element whose
+        // providers are all placed, in ascending index order. O(n·rounds)
+        // is fine at topology scale (tens of elements).
+        let mut order = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        while order.len() < n {
+            let mut progressed = false;
+            for (i, done) in placed.iter_mut().enumerate() {
+                if *done {
+                    continue;
+                }
+                if providers[i].iter().all(|&(p, _)| order.contains(&p)) {
+                    *done = true;
+                    order.push(i);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                let stuck = placed.iter().position(|&p| !p).unwrap_or(0);
+                return Err(BrokerError::DependencyCycle { element: stuck });
+            }
+        }
+
+        Ok(Topology {
+            elements: self.elements,
+            edges: self.edges,
+            order,
+            providers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let bus = b.element("bus", 1, 0);
+        let ring = b.element("ring", 2, 0);
+        let chip = b.element("chip", 1, 0);
+        b.edge(ring, bus, 1);
+        b.edge(chip, ring, 2);
+        b.build().expect("chain builds")
+    }
+
+    #[test]
+    fn order_puts_providers_first() {
+        let t = chain();
+        assert_eq!(t.order(), &[0, 1, 2]);
+        assert_eq!(t.providers_of(2), &[(1, 2)]);
+    }
+
+    #[test]
+    fn violation_detects_overpowered_child() {
+        let t = chain();
+        assert_eq!(t.violation(&[1, 2, 1]), None);
+        assert_eq!(t.violation(&[1, 1, 1]), Some((2, 1)));
+        assert_eq!(t.violation(&[0, 0, 0]), None);
+    }
+
+    #[test]
+    fn dependents_are_transitive() {
+        let t = chain();
+        assert_eq!(t.dependents_of(0), vec![1, 2]);
+        assert_eq!(t.dependents_of(1), vec![2]);
+        assert!(t.dependents_of(2).is_empty());
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.element("a", 1, 0);
+        let c = b.element("b", 1, 0);
+        b.edge(a, c, 1);
+        b.edge(c, a, 1);
+        assert!(matches!(
+            b.build(),
+            Err(BrokerError::DependencyCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn unsupportable_floor_is_rejected() {
+        let mut b = TopologyBuilder::new();
+        let bus = b.element("bus", 1, 0);
+        let keeper = b.element("keeper", 1, 1);
+        b.edge(keeper, bus, 1);
+        assert!(matches!(b.build(), Err(BrokerError::InvalidEdge { .. })));
+    }
+
+    #[test]
+    fn bad_requirement_and_self_edge_are_rejected() {
+        let mut b = TopologyBuilder::new();
+        let bus = b.element("bus", 1, 0);
+        let chip = b.element("chip", 1, 0);
+        b.edge(chip, bus, 2);
+        assert!(matches!(b.build(), Err(BrokerError::InvalidEdge { .. })));
+
+        let mut b = TopologyBuilder::new();
+        let solo = b.element("solo", 1, 0);
+        b.edge(solo, solo, 1);
+        assert!(matches!(b.build(), Err(BrokerError::InvalidEdge { .. })));
+    }
+}

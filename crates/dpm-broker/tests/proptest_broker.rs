@@ -1,0 +1,157 @@
+//! Property-based tests for the lease broker: dependency legality must
+//! survive arbitrary grant/revoke/fault/recover interleavings over
+//! arbitrary DAGs, and restores must replay revocations in reverse.
+
+use dpm_broker::{Broker, BrokerConfig, Topology, TopologyBuilder};
+use proptest::prelude::*;
+
+/// Elements in every generated topology (providers get lower indices,
+/// so edges child > provider keep the builder acyclic by construction).
+const N: usize = 8;
+/// Candidate child→provider pairs: every (child, provider < child).
+const PAIRS: usize = N * (N - 1) / 2;
+
+/// Build a random DAG over `N` elements from per-element max levels and
+/// a bitmask over every forward pair, with per-edge requirements clamped
+/// to the provider's range.
+fn build_dag(max_levels: &[u8], edge_bits: &[bool], reqs: &[u8]) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let ids: Vec<usize> = (0..N)
+        .map(|i| b.element(&format!("el{i}"), max_levels[i].max(1), 0))
+        .collect();
+    let mut pair = 0usize;
+    for child in 1..N {
+        for provider in 0..child {
+            if edge_bits[pair] {
+                let req = reqs[pair].clamp(1, max_levels[provider].max(1));
+                b.edge(ids[child], ids[provider], req);
+            }
+            pair += 1;
+        }
+    }
+    b.build().expect("forward-edge DAG always builds")
+}
+
+fn no_dwell() -> BrokerConfig {
+    BrokerConfig {
+        dwell_slots: 0,
+        max_restore_retries: 4,
+    }
+}
+
+/// One scripted interaction with the broker.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Grant { element: usize, level: u8 },
+    Revoke { lease: usize },
+    Fault { element: usize },
+    Recover { element: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weighted choice by kind bucket: 0-2 grant, 3-4 revoke, 5 fault,
+    // 6 recover (the stub proptest has no `prop_oneof`).
+    (0u8..7, 0..N, 1u8..=3, 0usize..64).prop_map(|(kind, element, level, lease)| match kind {
+        0..=2 => Op::Grant { element, level },
+        3 | 4 => Op::Revoke { lease },
+        5 => Op::Fault { element },
+        _ => Op::Recover { element },
+    })
+}
+
+proptest! {
+    /// Legality is a *step* invariant: after every sync/fault in any
+    /// op sequence over any DAG, no element sits above a provider that
+    /// cannot support it, and no element exceeds its declared range.
+    #[test]
+    fn random_ops_never_power_an_element_above_its_provider(
+        max_levels in prop::collection::vec(1u8..=3, N..=N),
+        edge_bits in prop::collection::vec(any::<bool>(), PAIRS..=PAIRS),
+        reqs in prop::collection::vec(1u8..=3, PAIRS..=PAIRS),
+        ops in prop::collection::vec(op_strategy(), 1..48),
+    ) {
+        let topo = build_dag(&max_levels, &edge_bits, &reqs);
+        let mut broker = Broker::new(topo.clone(), no_dwell());
+        let mut leases: Vec<usize> = Vec::new();
+        for (slot, op) in ops.iter().enumerate() {
+            broker.begin_slot(slot as u64, slot as f64);
+            match *op {
+                Op::Grant { element, level } => {
+                    let level = level.clamp(1, max_levels[element].max(1));
+                    let id = broker.lease(element, level).expect("lease in range");
+                    broker.set_active(id, true).expect("fresh lease");
+                    leases.push(id);
+                }
+                Op::Revoke { lease } => {
+                    if !leases.is_empty() {
+                        let id = leases[lease % leases.len()];
+                        broker.set_active(id, false).expect("known lease");
+                    }
+                }
+                Op::Fault { element } => {
+                    broker.fault(element, slot as f64).expect("known element");
+                    // The cascade itself must land on a legal config.
+                    prop_assert!(topo.violation(broker.levels()).is_none());
+                }
+                Op::Recover { element } => {
+                    broker.recover(element, slot as f64).expect("known element");
+                }
+            }
+            broker.sync();
+            prop_assert!(
+                topo.violation(broker.levels()).is_none(),
+                "illegal after {op:?}: {:?}",
+                broker.levels()
+            );
+            for (e, &lvl) in broker.levels().iter().enumerate() {
+                prop_assert!(lvl <= max_levels[e].max(1), "element {e} above max");
+            }
+        }
+    }
+
+    /// With no faults and no dwell, deactivating every lease revokes a
+    /// set of elements leaves-first, and reactivating restores exactly
+    /// that set in the reverse (providers-first) order.
+    #[test]
+    fn restore_order_reverses_revoke_order(
+        max_levels in prop::collection::vec(1u8..=3, N..=N),
+        edge_bits in prop::collection::vec(any::<bool>(), PAIRS..=PAIRS),
+        reqs in prop::collection::vec(1u8..=3, PAIRS..=PAIRS),
+        demand in prop::collection::vec(any::<bool>(), N..=N),
+    ) {
+        let topo = build_dag(&max_levels, &edge_bits, &reqs);
+        let mut broker = Broker::new(topo.clone(), no_dwell());
+        let mut leases = Vec::new();
+        for (e, &wanted) in demand.iter().enumerate() {
+            if wanted {
+                let id = broker.lease(e, max_levels[e].max(1)).expect("in range");
+                broker.set_active(id, true).expect("fresh lease");
+                leases.push(id);
+            }
+        }
+        broker.begin_slot(0, 0.0);
+        broker.sync();
+        let powered = broker.levels().to_vec();
+        broker.take_actions();
+
+        for &id in &leases {
+            broker.set_active(id, false).expect("known lease");
+        }
+        broker.begin_slot(1, 1.0);
+        broker.sync();
+        let revoked: Vec<usize> = broker.take_actions().iter().map(|a| a.element).collect();
+
+        for &id in &leases {
+            broker.set_active(id, true).expect("known lease");
+        }
+        broker.begin_slot(2, 2.0);
+        broker.sync();
+        let restored: Vec<usize> = broker.take_actions().iter().map(|a| a.element).collect();
+
+        let mut expected = revoked.clone();
+        expected.reverse();
+        prop_assert_eq!(restored, expected);
+        // And the restore lands back on the originally granted levels.
+        prop_assert_eq!(broker.levels(), &powered[..]);
+    }
+}

@@ -69,6 +69,17 @@ pub trait Governor {
     fn uses_surplus_energy(&self) -> bool {
         false
     }
+
+    /// Whether the governor has permanently exhausted its recovery budget
+    /// and is limping on a last-resort policy. The simulator treats this
+    /// as the trigger for an orderly terminal shutdown when a power
+    /// topology is attached: once the fallback budget is spent there is
+    /// no path back to planned operation, so the board walks down to its
+    /// minimum legal state instead of burning the battery on a frozen
+    /// fallback point. Pure policies never exhaust (the default).
+    fn exhausted(&self) -> bool {
+        false
+    }
 }
 
 /// Blanket impl so `Box<dyn Governor>` is itself a governor.
@@ -83,6 +94,10 @@ impl<G: Governor + ?Sized> Governor for Box<G> {
 
     fn uses_surplus_energy(&self) -> bool {
         (**self).uses_surplus_energy()
+    }
+
+    fn exhausted(&self) -> bool {
+        (**self).exhausted()
     }
 }
 

@@ -379,9 +379,15 @@ impl<G: Governor> SafetyGovernor<G> {
         }
         match self.inner.decide(obs) {
             Ok(point) => {
-                if self.consecutive_failures > 0 {
-                    let after = self.consecutive_failures;
-                    self.consecutive_failures = 0;
+                // Any successful decide clears the failure streak —
+                // including a post-retry success while the guard band
+                // holds the output at a shed level. Without the
+                // unconditional reset, separate transient bursts would
+                // accumulate across the run and eventually walk the
+                // governor into permanent fallback.
+                let after = self.consecutive_failures;
+                self.consecutive_failures = 0;
+                if after > 0 {
                     self.record(obs, SafetyTransition::ReplanRecovered { after });
                 }
                 self.last_good = point;
@@ -474,6 +480,12 @@ impl<G: Governor> Governor for SafetyGovernor<G> {
 
     fn uses_surplus_energy(&self) -> bool {
         self.inner.uses_surplus_energy()
+    }
+
+    /// Exhausted once the static fallback is engaged: the replan budget
+    /// is spent and there is no path back to planned operation.
+    fn exhausted(&self) -> bool {
+        self.fallback_engaged
     }
 }
 
@@ -603,6 +615,7 @@ mod tests {
         assert_eq!(g.decide(&obs(4, 8.0)).unwrap(), peak);
         let p = g.decide(&obs(7, 8.0)).unwrap();
         assert!(g.fallback_engaged());
+        assert!(g.exhausted());
         assert!(!p.is_off());
         assert_ne!(p, peak);
         // From now on: the same fallback point, no more inner calls.
@@ -651,6 +664,66 @@ mod tests {
             Some(SafetyTransition::ReplanRecovered { after: 1 })
         ));
         assert_eq!(g.degradation_count(), 0, "take_trace drained it");
+    }
+
+    #[test]
+    fn failure_streak_resets_on_any_ok_even_at_a_shed_level() {
+        let platform = Platform::pama();
+        let peak = peak_point(&platform);
+        /// Fails in bursts of two consults, then succeeds once — each
+        /// burst is shorter than the default budget of 3.
+        struct Bursty {
+            consults: u64,
+            point: OperatingPoint,
+        }
+        impl Governor for Bursty {
+            fn name(&self) -> &str {
+                "bursty"
+            }
+            fn decide(&mut self, _o: &SlotObservation) -> Result<OperatingPoint, DpmError> {
+                let n = self.consults;
+                self.consults += 1;
+                if n % 3 < 2 {
+                    Err(DpmError::EmptyScheduleWindow)
+                } else {
+                    Ok(self.point)
+                }
+            }
+        }
+        let mut g = SafetyGovernor::with_defaults(
+            Bursty {
+                consults: 0,
+                point: peak,
+            },
+            &platform,
+        )
+        .unwrap();
+        // Battery pinned inside the guard band: every post-retry success
+        // happens while the output is held at a nonzero shed level, the
+        // exact path where the streak used to survive a recovery.
+        for slot in 0..40 {
+            let _ = g.decide(&obs(slot, 1.0)).unwrap();
+        }
+        assert!(g.shed_level() > 0);
+        assert!(
+            !g.fallback_engaged() && !g.exhausted(),
+            "transient bursts shorter than the budget must never \
+             accumulate into permanent fallback"
+        );
+        let recoveries: Vec<u32> = g
+            .trace()
+            .iter()
+            .filter_map(|r| match r.transition {
+                SafetyTransition::ReplanRecovered { after } => Some(after),
+                _ => None,
+            })
+            .collect();
+        assert!(recoveries.len() >= 2, "{recoveries:?}");
+        assert!(
+            recoveries.iter().all(|&after| after == 2),
+            "each burst ends with the streak at its own length, \
+             not an accumulated one: {recoveries:?}"
+        );
     }
 
     #[test]

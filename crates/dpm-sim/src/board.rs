@@ -163,6 +163,14 @@ pub struct PamaBoard {
     dropped: u64,
     background_work: f64,
     latency: LatencyStats,
+    /// Per-chip rail state from the power topology (`false` = the broker
+    /// cut the chip's supply). A railless board is all-`true`, which makes
+    /// every path below bit-identical to the pre-topology behavior.
+    powered: Vec<bool>,
+    /// Per-chip impairment: the chip draws its commanded power but
+    /// contributes no throughput (flat, topology-blind governance keeps
+    /// activating chips whose provider element is dead).
+    impaired: Vec<bool>,
 }
 
 impl PamaBoard {
@@ -175,7 +183,8 @@ impl PamaBoard {
         let platform = platform.into();
         debug_assert!(platform.validate().is_ok(), "invalid platform");
         let latency = TransitionLatency::pama();
-        let processors = (0..platform.processors)
+        let count = platform.processors;
+        let processors = (0..count)
             .map(|id| Processor::new(id, platform.f_min(), platform.power.modes, latency))
             .collect();
         Self {
@@ -190,6 +199,8 @@ impl PamaBoard {
             dropped: 0,
             background_work: 0.0,
             latency: LatencyStats::default(),
+            powered: vec![true; count],
+            impaired: vec![false; count],
         }
     }
 
@@ -244,6 +255,41 @@ impl PamaBoard {
         }
     }
 
+    /// Cut (`powered = false`) or restore a chip's supply rail, as decided
+    /// by the power-topology broker. An unpowered chip drops to standby
+    /// immediately (the standby floor stands in for rail leakage) and is
+    /// skipped by [`apply`](Self::apply) until the rail returns.
+    /// Out-of-range indices are ignored.
+    pub fn set_powered(&mut self, index: usize, powered: bool, t: Seconds) {
+        if let Some(slot) = self.powered.get_mut(index) {
+            *slot = powered;
+            if !powered {
+                if let Some(chip) = self.processors.get_mut(index) {
+                    chip.set_mode(Mode::Standby, t);
+                }
+            }
+        }
+    }
+
+    /// Mark a chip impaired (flat, topology-blind governance: the chip is
+    /// commanded and draws active power but its provider element is dead,
+    /// so it contributes no throughput). Out-of-range indices are ignored.
+    pub fn set_impaired(&mut self, index: usize, impaired: bool) {
+        if let Some(slot) = self.impaired.get_mut(index) {
+            *slot = impaired;
+        }
+    }
+
+    /// Whether chip `index` has rail power (out-of-range reads false).
+    pub fn is_powered(&self, index: usize) -> bool {
+        self.powered.get(index).copied().unwrap_or(false)
+    }
+
+    /// Whether chip `index` is impaired (out-of-range reads false).
+    pub fn is_impaired(&self, index: usize) -> bool {
+        self.impaired.get(index).copied().unwrap_or(false)
+    }
+
     /// Worker chips (controller excluded) currently healthy.
     pub fn healthy_workers(&self) -> usize {
         self.processors
@@ -270,15 +316,12 @@ impl PamaBoard {
         let mut worst = Seconds::ZERO;
         let workers = point.workers.min(self.platform.workers());
         let mut activated = 0usize;
+        let powered = &self.powered;
         for (idx, chip) in self.processors.iter_mut().enumerate() {
             let is_controller = idx < self.platform.reserved;
-            let should_run = kernel::chip_should_run(
-                &point,
-                chip.is_faulted(),
-                is_controller,
-                activated,
-                workers,
-            );
+            let blocked = chip.is_faulted() || !powered.get(idx).copied().unwrap_or(true);
+            let should_run =
+                kernel::chip_should_run(&point, blocked, is_controller, activated, workers);
             if should_run {
                 if !is_controller {
                     activated += 1;
@@ -311,13 +354,10 @@ impl PamaBoard {
         let mut activated = 0usize;
         for idx in 0..self.processors.len() {
             let is_controller = idx < self.platform.reserved;
-            let should_run = kernel::chip_should_run(
-                &point,
-                self.processors[idx].is_faulted(),
-                is_controller,
-                activated,
-                workers,
-            );
+            let blocked = self.processors[idx].is_faulted()
+                || !self.powered.get(idx).copied().unwrap_or(true);
+            let should_run =
+                kernel::chip_should_run(&point, blocked, is_controller, activated, workers);
             if should_run && !is_controller {
                 activated += 1;
             }
@@ -380,10 +420,43 @@ impl PamaBoard {
         kernel::pending_work(self.queue.len(), self.progress)
     }
 
+    /// Worker chips that would serve jobs at the applied point *right
+    /// now*: the first `workers` unblocked (healthy and powered) worker
+    /// chips, minus any that are impaired. Computed live so a mid-slot
+    /// fault or rail cut takes effect immediately — with no topology
+    /// attached this reduces exactly to `min(commanded, healthy)`.
+    pub fn service_workers(&self) -> usize {
+        if self.current.is_off() {
+            return 0;
+        }
+        let workers = self.current.workers.min(self.platform.workers());
+        let mut activated = 0usize;
+        let mut effective = 0usize;
+        for (idx, chip) in self
+            .processors
+            .iter()
+            .enumerate()
+            .skip(self.platform.reserved)
+        {
+            if activated >= workers {
+                break;
+            }
+            if chip.is_faulted() || !self.powered.get(idx).copied().unwrap_or(true) {
+                continue;
+            }
+            activated += 1;
+            if !self.impaired.get(idx).copied().unwrap_or(false) {
+                effective += 1;
+            }
+        }
+        effective
+    }
+
     /// Throughput of the applied point, jobs/s (0 when off). Capped by the
-    /// healthy worker count: faulted chips contribute nothing.
+    /// serviceable worker count: faulted, unpowered, and impaired chips
+    /// contribute nothing.
     pub fn service_rate(&self) -> f64 {
-        kernel::service_rate(&self.platform, &self.current, self.healthy_workers())
+        kernel::service_rate(&self.platform, &self.current, self.service_workers())
     }
 
     /// Fraction of an interval `dt` the workers would spend computing.
@@ -659,6 +732,56 @@ mod tests {
         let mut b = board();
         b.set_fault(99, true, Seconds::ZERO);
         assert_eq!(b.faulted_count(), 0);
+    }
+
+    #[test]
+    fn rail_cut_behaves_like_a_fault_for_routing_and_power() {
+        let mut cut = board();
+        cut.set_powered(3, false, Seconds::ZERO);
+        cut.set_powered(5, false, Seconds::ZERO);
+        cut.apply(point(7, 80.0), Seconds::ZERO);
+
+        let mut faulted = board();
+        faulted.set_fault(3, true, Seconds::ZERO);
+        faulted.set_fault(5, true, Seconds::ZERO);
+        faulted.apply(point(7, 80.0), Seconds::ZERO);
+
+        assert_eq!(cut.service_workers(), 5);
+        assert!((cut.service_rate() - faulted.service_rate()).abs() < 1e-12);
+        assert!(cut.power().approx_eq(faulted.power(), 1e-9));
+        assert!(!cut.is_powered(3) && cut.is_powered(4));
+
+        // Restoring the rail is live (mirrors mid-slot fault recovery):
+        // the serviceable count rises before the next command re-applies.
+        cut.set_powered(3, true, seconds(4.8));
+        cut.set_powered(5, true, seconds(4.8));
+        assert_eq!(cut.service_workers(), 7);
+        cut.apply(point(7, 80.0), seconds(9.6));
+        assert_eq!(cut.service_workers(), 7);
+    }
+
+    #[test]
+    fn impaired_chip_draws_power_but_serves_nothing() {
+        let mut b = board();
+        b.set_impaired(1, true);
+        b.set_impaired(2, true);
+        b.apply(point(3, 80.0), Seconds::ZERO);
+
+        let mut clean = board();
+        clean.apply(point(3, 80.0), Seconds::ZERO);
+
+        // Same activation and draw — chips 1 and 2 burn active power —
+        // but only chip 3 actually computes.
+        assert!(b.power().approx_eq(clean.power(), 1e-9));
+        assert_eq!(b.service_workers(), 1);
+        assert_eq!(clean.service_workers(), 3);
+        assert!(b.is_impaired(1) && !b.is_impaired(3));
+        let one = {
+            let mut w = board();
+            w.apply(point(1, 80.0), Seconds::ZERO);
+            w.service_rate()
+        };
+        assert!((b.service_rate() - one).abs() < 1e-12);
     }
 
     #[test]

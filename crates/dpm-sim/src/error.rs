@@ -7,6 +7,7 @@
 //! [`SimError`] values. Invariants that validated constructors already
 //! guarantee stay as `debug_assert!`.
 
+use dpm_broker::BrokerError;
 use dpm_core::error::DpmError;
 use std::fmt;
 
@@ -33,6 +34,9 @@ pub enum SimError {
     /// panicked. The panic is caught at the job boundary so sibling jobs
     /// keep their results; the payload message is preserved here.
     WorkerPanic(String),
+    /// A power-topology governance error propagated from `dpm-broker`
+    /// (a malformed topology, a bad lease — see `crate::topo`).
+    Broker(BrokerError),
 }
 
 impl fmt::Display for SimError {
@@ -45,6 +49,7 @@ impl fmt::Display for SimError {
             Self::BatteryMisconfigured(msg) => write!(f, "battery misconfigured: {msg}"),
             Self::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
             Self::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+            Self::Broker(e) => write!(f, "power topology: {e}"),
         }
     }
 }
@@ -53,6 +58,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Core(e) => Some(e),
+            Self::Broker(e) => Some(e),
             _ => None,
         }
     }
@@ -61,6 +67,12 @@ impl std::error::Error for SimError {
 impl From<DpmError> for SimError {
     fn from(e: DpmError) -> Self {
         Self::Core(e)
+    }
+}
+
+impl From<BrokerError> for SimError {
+    fn from(e: BrokerError) -> Self {
+        Self::Broker(e)
     }
 }
 

@@ -782,6 +782,9 @@ impl FleetState {
             // board is open-loop, so they change nothing — the same
             // physics-untouched outcome a pinned scalar run has.
             Disturbance::SensorNoise { .. } | Disturbance::SensorStuck { .. } => {}
+            // Fleet boards carry no power-element topology (the same
+            // no-op a scalar run without `with_topology` performs).
+            Disturbance::ElementFault { .. } | Disturbance::ElementRecover { .. } => {}
         }
     }
 }

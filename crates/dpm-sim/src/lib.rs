@@ -57,6 +57,7 @@ pub mod processor;
 pub mod sim;
 pub mod source;
 pub mod stats;
+pub mod topo;
 
 /// One-stop imports.
 pub mod prelude {
@@ -74,6 +75,7 @@ pub mod prelude {
     pub use crate::processor::{Mode, Processor, TransitionLatency};
     pub use crate::sim::{Disturbance, SimConfig, Simulation};
     pub use crate::source::{ChargingSource, NoisySource, SolarOrbitSource, TraceSource};
-    pub use crate::stats::{SimReport, SlotRecord, SurvivalReport};
+    pub use crate::stats::{BrokerStats, SimReport, SlotRecord, SurvivalReport};
+    pub use crate::topo::{pama_topology, TopologyMode, TopologyRuntime};
     pub use dpm_telemetry::Recorder;
 }

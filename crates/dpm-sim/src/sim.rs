@@ -28,7 +28,9 @@ use crate::events::EventGenerator;
 use crate::meter::{ChargeSensor, PowerMeter};
 use crate::source::ChargingSource;
 use crate::stats::{SimReport, SlotRecord};
+use crate::topo::{TopologyMode, TopologyRuntime};
 use dpm_core::governor::{Governor, SlotObservation};
+use dpm_core::params::OperatingPoint;
 use dpm_core::platform::Platform;
 use dpm_core::units::{seconds, Joules, Seconds};
 use dpm_telemetry::Recorder;
@@ -94,6 +96,21 @@ pub enum Disturbance {
         /// How long the gauge stays frozen.
         duration: Seconds,
     },
+    /// Fail-stop fault on power element `element` of the attached
+    /// topology (see [`crate::topo`]); a no-op when the run has none.
+    /// Broker governance cascades dependents to a legal degraded
+    /// configuration; flat governance keeps dependents powered (and
+    /// impaired) above the dead provider.
+    ElementFault {
+        /// Element index in [`crate::topo::pama_topology`] order.
+        element: usize,
+    },
+    /// Clear an element fault; the broker restores in dependency order
+    /// after dwell hysteresis, flat governance repowers at the next slot.
+    ElementRecover {
+        /// Element index in [`crate::topo::pama_topology`] order.
+        element: usize,
+    },
 }
 
 /// Run configuration.
@@ -134,6 +151,12 @@ pub struct Simulation {
     supply_scale: f64,
     supply_scale_until: Seconds,
     dropout_until: Seconds,
+    /// Power-topology governance (none by default — the classic flat
+    /// board with no element structure at all).
+    topology: Option<TopologyRuntime>,
+    /// Last battery reading the governor saw; re-served while the gauge's
+    /// power-element chain is dark (stale-gauge semantics).
+    last_gauge: Joules,
     /// Telemetry sink (disabled by default): per-slot battery/energy
     /// events, disturbance events, end-of-run gauges.
     telemetry: Recorder,
@@ -179,6 +202,8 @@ impl Simulation {
             supply_scale: 1.0,
             supply_scale_until: Seconds::ZERO,
             dropout_until: Seconds::ZERO,
+            topology: None,
+            last_gauge: initial_charge,
             telemetry: Recorder::disabled(),
         })
     }
@@ -192,6 +217,21 @@ impl Simulation {
     pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
         self.telemetry = telemetry;
         self
+    }
+
+    /// Attach a power-element topology (see [`crate::topo`]). Worker
+    /// commands are reconciled against element faults every slot; in
+    /// [`TopologyMode::Broker`] a governor whose fallback budget is
+    /// exhausted triggers an orderly terminal shutdown. Call *after*
+    /// [`with_telemetry`](Self::with_telemetry) so the `broker.*` stream
+    /// lands in the same trace.
+    ///
+    /// # Errors
+    /// Propagates topology construction errors as [`SimError::Broker`].
+    #[must_use = "builders return a new simulation rather than mutating in place"]
+    pub fn with_topology(mut self, mode: TopologyMode) -> Result<Self, SimError> {
+        self.topology = Some(TopologyRuntime::new(mode, self.telemetry.clone())?);
+        Ok(self)
     }
 
     /// Use a non-ideal battery.
@@ -255,16 +295,46 @@ impl Simulation {
             let t_slot = seconds(slot as f64 * tau.value());
             // The governor sees the *gauge* reading, not ground truth —
             // sensor faults corrupt the observation while the battery's
-            // physical level (and the report metrics) stay honest.
+            // physical level (and the report metrics) stay honest. A dark
+            // gauge power-element chain is worse still: the reading
+            // freezes at the last value that got through.
+            let gauge_live = match &self.topology {
+                Some(tp) => tp.gauge_powered(),
+                None => true,
+            };
+            let reading = if gauge_live {
+                self.sensor.read(t_slot, self.battery.level())
+            } else {
+                self.last_gauge
+            };
+            self.last_gauge = reading;
             let obs = SlotObservation {
                 slot,
                 time: t_slot,
-                battery: self.sensor.read(t_slot, self.battery.level()),
+                battery: reading,
                 used_last,
                 supplied_last,
                 backlog: self.board.backlog(),
             };
-            let point = governor.decide(&obs)?;
+            let mut point = governor.decide(&obs)?;
+            if let Some(topo) = self.topology.as_mut() {
+                let granted = topo.begin_slot(
+                    slot,
+                    t_slot,
+                    point.workers,
+                    governor.exhausted(),
+                    &mut self.board,
+                )?;
+                if granted < point.workers {
+                    // The topology could not power the full command: run
+                    // what was granted (OFF when nothing was).
+                    point = if granted == 0 {
+                        OperatingPoint::OFF
+                    } else {
+                        OperatingPoint::new(granted, point.frequency, point.voltage)
+                    };
+                }
+            }
             let transition = self.board.apply(point, t_slot);
 
             let mut slot_used = Joules::ZERO;
@@ -404,6 +474,7 @@ impl Simulation {
             initial_battery,
             final_battery: self.battery.level().value(),
             slots,
+            broker: self.topology.as_ref().map(TopologyRuntime::stats),
         })
     }
 
@@ -439,6 +510,12 @@ impl Simulation {
             ),
             Disturbance::SensorStuck { duration } => {
                 ("SensorStuck", vec![("duration_s", duration.value())])
+            }
+            Disturbance::ElementFault { element } => {
+                ("ElementFault", vec![("element", *element as f64)])
+            }
+            Disturbance::ElementRecover { element } => {
+                ("ElementRecover", vec![("element", *element as f64)])
             }
         };
         self.telemetry
@@ -487,6 +564,16 @@ impl Simulation {
                 Disturbance::SensorStuck { duration } => {
                     self.sensor
                         .inject_stuck(seconds(at.value() + duration.value()));
+                }
+                Disturbance::ElementFault { element } => {
+                    if let Some(tp) = self.topology.as_mut() {
+                        tp.fault(element, at, &mut self.board);
+                    }
+                }
+                Disturbance::ElementRecover { element } => {
+                    if let Some(tp) = self.topology.as_mut() {
+                        tp.recover(element, at);
+                    }
                 }
             }
         }
@@ -581,6 +668,60 @@ mod tests {
             "invalid simulation config: periods, slots_per_period and substeps \
              must all be >= 1, got 0 / 12 / 8"
         );
+    }
+
+    #[test]
+    fn broker_topology_sheds_legally_while_flat_burns_power_for_nothing() {
+        use crate::topo::EL_RING_A;
+        let point = OperatingPoint::new(7, Hertz::from_mhz(80.0), volts(3.3));
+        let run = |mode: TopologyMode| {
+            let mut s = sim(2.0).with_topology(mode).unwrap();
+            s.schedule(
+                seconds(10.0),
+                Disturbance::ElementFault { element: EL_RING_A },
+            );
+            s.run(&mut Pinned(point)).unwrap()
+        };
+        let broker = run(TopologyMode::Broker);
+        let flat = run(TopologyMode::Flat);
+
+        let bs = broker.broker.as_ref().unwrap();
+        assert_eq!(bs.mode, "broker");
+        assert!(bs.cascades >= 1 && bs.revocations >= 4);
+        assert_eq!(flat.broker.as_ref().unwrap().mode, "flat");
+
+        // Both arms lose ring-A throughput and drain the same supply, but
+        // the flat arm splits its energy across four orphaned chips that
+        // draw active power for zero work — far fewer jobs per joule.
+        assert!(broker.jobs_done > 0 && flat.jobs_done > 0);
+        assert!(
+            flat.jobs_done < broker.jobs_done,
+            "flat {} jobs vs broker {}",
+            flat.jobs_done,
+            broker.jobs_done
+        );
+        assert!(flat.jobs_per_joule() < 0.8 * broker.jobs_per_joule());
+    }
+
+    #[test]
+    fn element_recovery_restores_the_granted_workers() {
+        use crate::topo::EL_RING_A;
+        let point = OperatingPoint::new(7, Hertz::from_mhz(80.0), volts(3.3));
+        let mut s = sim(2.0).with_topology(TopologyMode::Broker).unwrap();
+        s.schedule(
+            seconds(10.0),
+            Disturbance::ElementFault { element: EL_RING_A },
+        );
+        s.schedule(
+            seconds(40.0),
+            Disturbance::ElementRecover { element: EL_RING_A },
+        );
+        let report = s.run(&mut Pinned(point)).unwrap();
+        let bs = report.broker.as_ref().unwrap();
+        assert!(bs.restores >= bs.revocations, "{bs:?}");
+        assert_eq!(bs.terminal_shutdowns, 0);
+        // Late slots run the full 7-worker command again.
+        assert_eq!(report.slots.last().unwrap().workers, 7);
     }
 
     #[test]

@@ -30,6 +30,29 @@ pub struct SlotRecord {
     pub backlog: usize,
 }
 
+/// Census of power-topology governance activity during a run, present
+/// when the simulation had a topology attached
+/// ([`crate::sim::Simulation::with_topology`]). Counter semantics follow
+/// `dpm_broker::BrokerCounts`; flat-mode runs fill the same fields from
+/// the strawman's bookkeeping so the campaign arms stay comparable.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrokerStats {
+    /// Governance mode: `"broker"` or `"flat"`.
+    pub mode: String,
+    /// Element level decreases applied.
+    pub revocations: u64,
+    /// Element level increases applied.
+    pub restores: u64,
+    /// Provider faults processed.
+    pub cascades: u64,
+    /// Terminal shutdowns executed (0 or 1).
+    pub terminal_shutdowns: u64,
+    /// Syncs in which demanded power could not be served.
+    pub retries: u64,
+    /// Elements that exhausted their retry budget.
+    pub abandoned: u64,
+}
+
 /// Aggregate outcome of a run — Table 1's rows come from here.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -61,6 +84,10 @@ pub struct SimReport {
     pub final_battery: f64,
     /// Per-slot trace.
     pub slots: Vec<SlotRecord>,
+    /// Power-topology governance census; `None` when no topology was
+    /// attached (absent in older serialized reports too).
+    #[serde(default)]
+    pub broker: Option<BrokerStats>,
 }
 
 impl SimReport {
@@ -234,6 +261,7 @@ mod tests {
             initial_battery: 8.0,
             final_battery: 8.0,
             slots: Vec::new(),
+            broker: None,
         }
     }
 

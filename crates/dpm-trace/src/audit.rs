@@ -21,6 +21,17 @@
 //!    respect the configured backoff dwell, the failure counter must count
 //!    consecutively, and an engaged static fallback is terminal.
 //!    Cumulative undersupply may never decrease.
+//! 5. **Topology legality** — traces that declare a power-element
+//!    topology (`broker.element` / `broker.edge`) are replayed level
+//!    change by level change: after *every* `broker.level` event no
+//!    element may sit powered above what its providers support (which is
+//!    also the ordering invariant — a revocation applied provider-first
+//!    or a restore applied child-first leaves an illegal intermediate
+//!    state and is flagged at that exact event), each change must chain
+//!    from the previous level, terminal shutdown must be monotone
+//!    (levels only fall) and final (no level events after
+//!    `broker.shutdown_complete`), and the `broker.revocations` /
+//!    `broker.restores` counters must agree with the event stream.
 //!
 //! Slot-sum checks are skipped (with a note) when the trace reports
 //! dropped events: a saturated ring truncates the per-slot streams, and a
@@ -157,6 +168,7 @@ pub fn audit(trace: &Trace, cfg: &AuditConfig) -> AuditReport {
             &mut min_slack,
         );
         audit_safety(trace, scope, events, dropped, &mut report);
+        audit_broker(trace, scope, events, dropped, &mut report);
     }
 
     // Gauge-only closing balance, independent of the event ring.
@@ -559,6 +571,206 @@ fn audit_safety(
     }
 }
 
+/// Power-topology legality for one scope: replay `broker.level` events
+/// against the declared `broker.element`/`broker.edge` structure.
+fn audit_broker(
+    trace: &Trace,
+    scope: &str,
+    events: &[&Event],
+    dropped: u64,
+    report: &mut AuditReport,
+) {
+    let broker_events: Vec<&&Event> = events
+        .iter()
+        .filter(|e| e.name.starts_with("broker."))
+        .collect();
+    if broker_events.is_empty() {
+        return;
+    }
+
+    // Declarations make the trace self-describing: element index →
+    // (max_level, floor, name) and the dependency edges.
+    let mut elements: BTreeMap<u64, (f64, String)> = BTreeMap::new();
+    let mut edges: Vec<(u64, u64, f64)> = Vec::new();
+    for e in &broker_events {
+        match e.name.as_str() {
+            "broker.element" => {
+                if let Some(idx) = Trace::field(e, "element") {
+                    let max = Trace::field(e, "max_level").unwrap_or(1.0);
+                    let name = e.detail.clone().unwrap_or_default();
+                    elements.insert(idx as u64, (max, name));
+                }
+            }
+            "broker.edge" => {
+                if let (Some(c), Some(p)) = (Trace::field(e, "child"), Trace::field(e, "provider"))
+                {
+                    let req = Trace::field(e, "min_provider_level").unwrap_or(1.0);
+                    edges.push((c as u64, p as u64, req));
+                }
+            }
+            _ => {}
+        }
+    }
+    let has_levels = broker_events.iter().any(|e| e.name == "broker.level");
+    if elements.is_empty() {
+        if has_levels {
+            report.notes.push(format!(
+                "scope \"{scope}\": broker.level events without broker.element declarations — legality replay skipped"
+            ));
+        }
+        return;
+    }
+
+    let fail = |invariant: &'static str, e: &Event, message: String, report: &mut AuditReport| {
+        report.violations.push(Violation {
+            invariant,
+            scope: scope.to_string(),
+            seq: Some(e.seq),
+            slot: e.slot,
+            message,
+        });
+    };
+
+    let mut level: BTreeMap<u64, f64> = elements.keys().map(|&i| (i, 0.0)).collect();
+    let mut shutdown_started = false;
+    let mut shutdown_complete = false;
+    let mut shutdowns = 0u64;
+    let mut downs = 0u64;
+    let mut ups = 0u64;
+
+    for e in &broker_events {
+        match e.name.as_str() {
+            "broker.shutdown_start" => {
+                shutdowns += 1;
+                report.checks += 1;
+                if shutdowns > 1 {
+                    fail(
+                        "broker.shutdown_once",
+                        e,
+                        "a second terminal shutdown started; the walk is final".into(),
+                        report,
+                    );
+                }
+                shutdown_started = true;
+            }
+            "broker.shutdown_complete" => shutdown_complete = true,
+            "broker.level" => {
+                report.checks += 1;
+                let (Some(el), Some(from), Some(to)) = (
+                    Trace::field(e, "element"),
+                    Trace::field(e, "from"),
+                    Trace::field(e, "to"),
+                ) else {
+                    fail(
+                        "broker.fields",
+                        e,
+                        "broker.level event lacks element/from/to".into(),
+                        report,
+                    );
+                    continue;
+                };
+                let el = el as u64;
+                if shutdown_complete {
+                    fail(
+                        "broker.shutdown_final",
+                        e,
+                        "level change after broker.shutdown_complete".into(),
+                        report,
+                    );
+                }
+                if shutdown_started && to > from {
+                    fail(
+                        "broker.shutdown_monotone",
+                        e,
+                        format!("element {el} rose {from} → {to} during terminal shutdown"),
+                        report,
+                    );
+                }
+                match elements.get(&el) {
+                    None => fail(
+                        "broker.unknown_element",
+                        e,
+                        format!("level change on undeclared element {el}"),
+                        report,
+                    ),
+                    Some((max, name)) => {
+                        if to > *max {
+                            fail(
+                                "broker.level_range",
+                                e,
+                                format!("element {el} ({name}) raised to {to}, above max {max}"),
+                                report,
+                            );
+                        }
+                    }
+                }
+                if let Some(cur) = level.get(&el) {
+                    if from != *cur {
+                        fail(
+                            "broker.level_chain",
+                            e,
+                            format!(
+                                "element {el} change starts at {from} but the replayed level is {cur}"
+                            ),
+                            report,
+                        );
+                    }
+                }
+                if to < from {
+                    downs += 1;
+                } else if to > from {
+                    ups += 1;
+                }
+                level.insert(el, to);
+                // The core invariant, holding after *every* change: no
+                // powered element above an under-level provider. This
+                // doubles as the ordering check — any provider-first
+                // drop or child-first raise trips it mid-reconciliation.
+                report.checks += 1;
+                for &(child, provider, req) in &edges {
+                    let cl = level.get(&child).copied().unwrap_or(0.0);
+                    let pl = level.get(&provider).copied().unwrap_or(0.0);
+                    if cl >= 1.0 && pl < req {
+                        fail(
+                            "broker.legality",
+                            e,
+                            format!(
+                                "element {child} powered at {cl} while provider {provider} sits at {pl} (needs {req})"
+                            ),
+                            report,
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Census: the counters must agree with the replayed stream (only
+    // provable when the ring dropped nothing).
+    if dropped == 0 {
+        let mut check = |counter: &str, seen: u64| {
+            if let Some(counted) = trace.scoped_counter(scope, counter) {
+                report.checks += 1;
+                if counted != seen {
+                    report.violations.push(Violation {
+                        invariant: "broker.census",
+                        scope: scope.to_string(),
+                        seq: None,
+                        slot: None,
+                        message: format!(
+                            "{counter} counter reads {counted} but the stream replays {seen}"
+                        ),
+                    });
+                }
+            }
+        };
+        check("broker.revocations", downs);
+        check("broker.restores", ups);
+        check("broker.terminal_shutdowns", shutdowns);
+    }
+}
+
 /// Closing energy balance from gauges alone (Eq. 8 over the whole run):
 /// `offered − wasted − rate_loss − delivered − (final − initial) ≈ 0`,
 /// for every scope that advertises exact accounting.
@@ -911,6 +1123,177 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.invariant == "safety.event_count"));
+    }
+
+    /// Declare a bus → ring → chip chain and optionally some activity.
+    fn broker_recorder() -> Recorder {
+        let rec = Recorder::enabled("unit");
+        for (i, name) in ["bus", "ring", "chip"].iter().enumerate() {
+            rec.event_with_detail(
+                "broker.element",
+                None,
+                0.0,
+                &[("element", i as f64), ("max_level", 1.0), ("floor", 0.0)],
+                name,
+            );
+        }
+        for (child, provider) in [(1.0, 0.0), (2.0, 1.0)] {
+            rec.event(
+                "broker.edge",
+                None,
+                0.0,
+                &[
+                    ("child", child),
+                    ("provider", provider),
+                    ("min_provider_level", 1.0),
+                ],
+            );
+        }
+        rec
+    }
+
+    fn level(rec: &Recorder, slot: u64, element: f64, from: f64, to: f64, cause: &str) {
+        rec.event_with_detail(
+            "broker.level",
+            Some(slot),
+            slot as f64 * 4.8,
+            &[("element", element), ("from", from), ("to", to)],
+            cause,
+        );
+        if to < from {
+            rec.incr("broker.revocations", 1);
+        } else {
+            rec.incr("broker.restores", 1);
+        }
+    }
+
+    #[test]
+    fn legal_broker_stream_passes() {
+        let rec = broker_recorder();
+        // Providers-first raise, leaves-first revoke: legal throughout.
+        level(&rec, 0, 0.0, 0.0, 1.0, "grant");
+        level(&rec, 0, 1.0, 0.0, 1.0, "grant");
+        level(&rec, 0, 2.0, 0.0, 1.0, "grant");
+        level(&rec, 3, 2.0, 1.0, 0.0, "revoke");
+        level(&rec, 3, 1.0, 1.0, 0.0, "revoke");
+        level(&rec, 3, 0.0, 1.0, 0.0, "revoke");
+        let report = audit_str(&rec.to_jsonl());
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn child_powered_above_a_dead_provider_is_flagged() {
+        let rec = broker_recorder();
+        level(&rec, 0, 0.0, 0.0, 1.0, "grant");
+        level(&rec, 0, 1.0, 0.0, 1.0, "grant");
+        level(&rec, 0, 2.0, 0.0, 1.0, "grant");
+        // Flat-style fault: the ring dies, the chip stays at level 1.
+        level(&rec, 2, 1.0, 1.0, 0.0, "cascade");
+        let report = audit_str(&rec.to_jsonl());
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.invariant == "broker.legality")
+            .expect("legality violation");
+        assert_eq!(v.slot, Some(2));
+        assert!(v.message.contains("element 2"), "{}", v.message);
+    }
+
+    #[test]
+    fn provider_first_drop_order_is_flagged_mid_reconciliation() {
+        let rec = broker_recorder();
+        level(&rec, 0, 0.0, 0.0, 1.0, "grant");
+        level(&rec, 0, 1.0, 0.0, 1.0, "grant");
+        level(&rec, 0, 2.0, 0.0, 1.0, "grant");
+        // Wrong order: the ring drops before its dependent chip.
+        level(&rec, 1, 1.0, 1.0, 0.0, "revoke");
+        level(&rec, 1, 2.0, 1.0, 0.0, "revoke");
+        let report = audit_str(&rec.to_jsonl());
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.invariant == "broker.legality")
+            .expect("ordering flagged via legality");
+        // Anchored to the provider's drop, the first illegal state.
+        assert_eq!(v.slot, Some(1));
+    }
+
+    #[test]
+    fn level_chain_breaks_and_range_overruns_are_flagged() {
+        let rec = broker_recorder();
+        level(&rec, 0, 0.0, 0.0, 1.0, "grant");
+        // Chain break: bus is at 1 but this change claims from = 0.
+        level(&rec, 1, 0.0, 0.0, 2.0, "grant");
+        let report = audit_str(&rec.to_jsonl());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "broker.level_chain"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "broker.level_range"));
+    }
+
+    #[test]
+    fn terminal_shutdown_must_be_monotone_and_final() {
+        let rec = broker_recorder();
+        level(&rec, 0, 0.0, 0.0, 1.0, "grant");
+        level(&rec, 0, 1.0, 0.0, 1.0, "grant");
+        rec.event("broker.shutdown_start", Some(2), 9.6, &[("elements", 3.0)]);
+        rec.incr("broker.terminal_shutdowns", 1);
+        level(&rec, 2, 1.0, 1.0, 0.0, "shutdown");
+        // Illegal: a rise mid-shutdown.
+        level(&rec, 2, 2.0, 0.0, 1.0, "shutdown");
+        rec.event(
+            "broker.shutdown_complete",
+            Some(2),
+            9.6,
+            &[("changes", 2.0)],
+        );
+        // Illegal: any level change after the walk completes.
+        level(&rec, 3, 0.0, 1.0, 0.0, "revoke");
+        let report = audit_str(&rec.to_jsonl());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "broker.shutdown_monotone"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "broker.shutdown_final"));
+    }
+
+    #[test]
+    fn broker_census_must_match_the_stream() {
+        let rec = broker_recorder();
+        level(&rec, 0, 0.0, 0.0, 1.0, "grant");
+        rec.incr("broker.restores", 5); // stream shows 1, counter 6
+        let report = audit_str(&rec.to_jsonl());
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.invariant == "broker.census")
+            .expect("census violation");
+        assert!(v.message.contains("broker.restores"), "{}", v.message);
+    }
+
+    #[test]
+    fn undeclared_topology_skips_replay_with_a_note() {
+        let rec = Recorder::enabled("unit");
+        rec.event_with_detail(
+            "broker.level",
+            Some(0),
+            0.0,
+            &[("element", 0.0), ("from", 0.0), ("to", 1.0)],
+            "grant",
+        );
+        let report = audit_str(&rec.to_jsonl());
+        assert!(report.ok(), "{:?}", report.violations);
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("legality replay skipped")));
     }
 
     #[test]

@@ -82,6 +82,12 @@ const ACTIVITY_COUNTERS: &[&str] = &[
     "sim.jobs_done",
     "sim.jobs_dropped",
     "sim.disturbances",
+    "broker.revocations",
+    "broker.restores",
+    "broker.cascades",
+    "broker.terminal_shutdowns",
+    "broker.retries",
+    "broker.abandoned",
 ];
 
 /// Render the full report for a parsed trace.
@@ -136,6 +142,38 @@ pub fn render(trace: &Trace) -> String {
         let _ = writeln!(
             out,
             "\nsafety transitions: {shed} shed, {recover} recover, {replan_failed} replan-failed, {replan_recovered} replan-recovered, {fallback} fallback"
+        );
+    }
+
+    // Power-topology governance census from the broker.* event stream.
+    let mut revocations = 0u64;
+    let mut restores = 0u64;
+    let mut cascades = 0u64;
+    let mut shutdowns = 0u64;
+    let mut retries = 0u64;
+    let mut abandoned = 0u64;
+    for e in &trace.events {
+        match e.name.as_str() {
+            "broker.level" => {
+                let from = Trace::field(e, "from").unwrap_or(0.0);
+                let to = Trace::field(e, "to").unwrap_or(0.0);
+                if to < from {
+                    revocations += 1;
+                } else if to > from {
+                    restores += 1;
+                }
+            }
+            "broker.cascade" => cascades += 1,
+            "broker.shutdown_start" => shutdowns += 1,
+            "broker.retry" => retries += 1,
+            "broker.abandon" => abandoned += 1,
+            _ => {}
+        }
+    }
+    if revocations + restores + cascades + shutdowns + retries + abandoned > 0 {
+        let _ = writeln!(
+            out,
+            "\nbroker activity: {revocations} revocations, {restores} restores, {cascades} cascades, {shutdowns} terminal-shutdowns, {retries} retries, {abandoned} abandoned"
         );
     }
 
@@ -259,6 +297,45 @@ mod tests {
             .expect("ramp between pipes")
             .to_string();
         assert_eq!(bars.len(), TIMELINE_COLS);
+    }
+
+    #[test]
+    fn broker_census_counts_levels_by_direction() {
+        let rec = Recorder::enabled("broker-summary");
+        rec.incr("broker.revocations", 2);
+        rec.incr("broker.restores", 1);
+        rec.event(
+            "broker.level",
+            Some(1),
+            1.0,
+            &[("element", 2.0), ("from", 1.0), ("to", 0.0)],
+        );
+        rec.event(
+            "broker.level",
+            Some(1),
+            1.0,
+            &[("element", 1.0), ("from", 1.0), ("to", 0.0)],
+        );
+        rec.event(
+            "broker.level",
+            Some(4),
+            4.0,
+            &[("element", 1.0), ("from", 0.0), ("to", 1.0)],
+        );
+        rec.event("broker.cascade", Some(1), 1.0, &[("element", 1.0)]);
+        rec.event("broker.retry", Some(2), 2.0, &[("element", 2.0)]);
+        let trace = Trace::parse(&rec.to_jsonl()).expect("parses");
+        let report = render(&trace);
+        assert!(report.contains("broker.revocations"), "{report}");
+        assert!(
+            report.contains(
+                "broker activity: 2 revocations, 1 restores, 1 cascades, 0 terminal-shutdowns, 1 retries, 0 abandoned"
+            ),
+            "{report}"
+        );
+        // A trace with no broker events omits the census line entirely.
+        let quiet = render(&sample_trace());
+        assert!(!quiet.contains("broker activity"), "{quiet}");
     }
 
     #[test]

@@ -84,6 +84,13 @@ pub struct FaultPlanConfig {
     pub battery_fades: usize,
     /// Battery-gauge glitches to draw (noise or stuck, evens/odds).
     pub sensor_glitches: usize,
+    /// Power-element faults to draw, targeted at *provider* elements
+    /// (rings, sensor bus — [`dpm_sim::topo::PROVIDER_ELEMENTS`]), the
+    /// fault class that separates dependency-aware governance from flat
+    /// shedding. No-ops for runs without an attached topology.
+    /// Even-indexed draws are paired with a later recovery; odd-indexed
+    /// faults are permanent for the rest of the run.
+    pub element_faults: usize,
 }
 
 impl FaultPlanConfig {
@@ -102,6 +109,18 @@ impl FaultPlanConfig {
             processor_faults: 1,
             battery_fades: 1,
             sensor_glitches: 1,
+            element_faults: 0,
+        }
+    }
+
+    /// The topology campaign mix over `horizon`: the standard classes
+    /// plus two provider-element faults (one transient, one permanent),
+    /// for runs with a power topology attached
+    /// (`dpm_sim::sim::Simulation::with_topology`).
+    pub fn topology(horizon: Seconds) -> Self {
+        Self {
+            element_faults: 2,
+            ..Self::standard(horizon)
         }
     }
 }
@@ -180,6 +199,24 @@ pub fn generate(seed: u64, config: &FaultPlanConfig) -> FaultPlan {
             disturbance,
         });
     }
+    // Drawn last so switching the class on never perturbs the draws of
+    // the classes above — `standard` plans stay byte-identical.
+    for i in 0..config.element_faults {
+        let targets = dpm_sim::topo::PROVIDER_ELEMENTS;
+        let element = targets[rng.gen_range(0..targets.len())];
+        let at = rng.gen_range(0.0..0.8 * h);
+        events.push(FaultEvent {
+            at: seconds(at),
+            disturbance: Disturbance::ElementFault { element },
+        });
+        if i % 2 == 0 {
+            let back = rng.gen_range(at + 0.05 * h..h);
+            events.push(FaultEvent {
+                at: seconds(back),
+                disturbance: Disturbance::ElementRecover { element },
+            });
+        }
+    }
 
     events.sort_by(|a, b| a.at.value().total_cmp(&b.at.value()));
     FaultPlan { name, events }
@@ -239,6 +276,55 @@ mod tests {
             });
             assert!(recovered, "fault on {index} at {at} never recovers");
         }
+    }
+
+    #[test]
+    fn topology_preset_targets_providers_and_extends_standard_plans() {
+        use dpm_sim::topo::PROVIDER_ELEMENTS;
+        let horizon = seconds(115.2);
+        let standard = generate(42, &FaultPlanConfig::standard(horizon));
+        let topo = generate(42, &FaultPlanConfig::topology(horizon));
+        // The element class is drawn last: the standard prefix of the
+        // plan is byte-identical, so existing campaigns are unperturbed.
+        let mut non_element: Vec<_> = topo
+            .events
+            .iter()
+            .filter(|e| {
+                !matches!(
+                    e.disturbance,
+                    Disturbance::ElementFault { .. } | Disturbance::ElementRecover { .. }
+                )
+            })
+            .copied()
+            .collect();
+        non_element.sort_by(|a, b| a.at.value().total_cmp(&b.at.value()));
+        assert_eq!(non_element, standard.events);
+
+        let faults: Vec<_> = topo
+            .events
+            .iter()
+            .filter_map(|e| match e.disturbance {
+                Disturbance::ElementFault { element } => Some((e.at.value(), element)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(faults.len(), 2);
+        for (_, element) in &faults {
+            assert!(PROVIDER_ELEMENTS.contains(element), "{element}");
+        }
+        // Exactly one of the two faults (the even-indexed draw) pairs
+        // with a recovery, and that recovery follows a matching fault.
+        let recoveries: Vec<_> = topo
+            .events
+            .iter()
+            .filter_map(|e| match e.disturbance {
+                Disturbance::ElementRecover { element } => Some((e.at.value(), element)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recoveries.len(), 1);
+        let (back, el) = recoveries[0];
+        assert!(faults.iter().any(|&(at, e)| e == el && at < back));
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Acceptance contract for the topology campaign: under provider-fault
+//! plans the flat (topology-blind) arm must emit a trace the audit's
+//! topology-legality family rejects, while the broker arm — same
+//! governor, same faults — must come out green; and the whole campaign
+//! (CSV and telemetry) must be byte-identical for any worker count.
+
+use dpm_bench::topology;
+use dpm_telemetry::Recorder;
+use dpm_trace::{audit, AuditConfig, Trace};
+
+const SEEDS: u64 = 3;
+const PERIODS: usize = 4;
+
+fn campaign_trace(jobs: usize) -> (String, String) {
+    let telemetry = Recorder::enabled("topology");
+    let outcome = topology::run_with(SEEDS, jobs, PERIODS, &telemetry).unwrap();
+    assert_eq!(outcome.failures, 0, "{}", outcome.csv);
+    (outcome.csv, telemetry.to_jsonl())
+}
+
+#[test]
+fn flat_arm_fails_the_topology_audit_while_broker_stays_green() {
+    let (csv, jsonl) = campaign_trace(2);
+    let trace = Trace::parse(&jsonl).expect("trace parses");
+    let report = audit(&trace, &AuditConfig::default());
+
+    // Every violation must name a flat scope; the broker arms replay the
+    // same provider faults through ordered revocations and stay legal.
+    let flat: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.scope.starts_with("topology/flat/"))
+        .collect();
+    let broker: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.scope.starts_with("topology/broker/"))
+        .collect();
+    assert!(
+        !flat.is_empty(),
+        "flat arm produced no topology violations:\n{csv}"
+    );
+    assert!(
+        flat.iter().any(|v| v.invariant == "broker.legality"),
+        "expected broker.legality among {flat:?}"
+    );
+    assert!(broker.is_empty(), "broker arm not green: {broker:?}");
+    assert_eq!(
+        report.violations.len(),
+        flat.len(),
+        "violations outside the flat arms: {:?}",
+        report.violations
+    );
+
+    // The fault plans actually exercised the topology: each broker row
+    // records at least one cascade, and the flat rows record none of the
+    // broker's retry bookkeeping.
+    for line in csv.lines().skip(1) {
+        let cols: Vec<&str> = line.split(',').collect();
+        let cascades: u64 = cols[10].parse().unwrap();
+        assert!(cascades >= 1, "no cascade in row: {line}");
+    }
+}
+
+#[test]
+fn topology_campaign_is_byte_identical_across_worker_counts() {
+    let (csv_serial, trace_serial) = campaign_trace(1);
+    let (csv_parallel, trace_parallel) = campaign_trace(4);
+    assert_eq!(csv_serial, csv_parallel);
+    assert_eq!(trace_serial, trace_parallel);
+}
