@@ -14,7 +14,9 @@
 # simulation engine, its struct-of-arrays fleet core and its topology
 # runtime, and the dpm-workloads
 # fault-plan and fleet-population generators (the fault-injection path
-# must degrade through typed errors, never abort a campaign), strips
+# must degrade through typed errors, never abort a campaign), and all of
+# crates/dpm-serve/src (a long-running service digesting hostile NDJSON
+# must answer with structured errors, never die mid-session), strips
 # everything from the `#[cfg(test)]` marker onward
 # (test modules sit at the end of each file),
 # and fails if the remainder contains `.unwrap()`, `.expect(`, `panic!`,
@@ -28,6 +30,7 @@ for f in $(find crates/dpm-core/src -name '*.rs' | sort) \
     $(find crates/dpm-telemetry/src -name '*.rs' | sort) \
     $(find crates/dpm-trace/src -name '*.rs' | sort) \
     $(find crates/dpm-broker/src -name '*.rs' | sort) \
+    $(find crates/dpm-serve/src -name '*.rs' | sort) \
     crates/dpm-bench/src/runner.rs \
     crates/dpm-bench/src/campaign.rs \
     crates/dpm-bench/src/fleet.rs \

@@ -26,6 +26,9 @@
 //!   `BENCH_<name>.json` baseline, or checks a fresh profile against a
 //!   committed baseline and exits 1 on regression.
 //!
+//! A `<trace>` argument of `-` reads the document from stdin, so a live
+//! `dpm-serve` session trace pipes straight into `audit -`/`summary -`.
+//!
 //! Exit codes: 0 success, 1 violation/divergence/regression or
 //! unreadable input, 2 usage error.
 
@@ -39,7 +42,10 @@ const USAGE: &str = "usage:
   dpm-analyze summary <trace>
   dpm-analyze fleet <trace>
   dpm-analyze bench <profile> --name <name> [--out <path>]
-  dpm-analyze bench <profile> --check <baseline> [--tolerance <pct>]";
+  dpm-analyze bench <profile> --check <baseline> [--tolerance <pct>]
+
+<trace> may be `-` to read the document from stdin (e.g. piping a
+dpm-serve session trace into `audit -` or `summary -`).";
 
 fn usage_exit(message: &str) -> ! {
     eprintln!("dpm-analyze: {message}");
@@ -47,7 +53,20 @@ fn usage_exit(message: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Read a document from a path, or from stdin when the path is `-` —
+/// so live streams pipe straight in (`dpm-serve ... | dpm-analyze
+/// audit -`).
 fn read_file(path: &str) -> String {
+    if path == "-" {
+        let mut body = String::new();
+        match std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut body) {
+            Ok(_) => return body,
+            Err(e) => {
+                eprintln!("dpm-analyze: cannot read stdin: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     match std::fs::read_to_string(path) {
         Ok(body) => body,
         Err(e) => {

@@ -1,0 +1,81 @@
+//! Typed failures for the session service.
+
+use dpm_core::error::DpmError;
+use dpm_sim::prelude::SimError;
+use std::fmt;
+
+/// Everything that can go wrong serving a session, as data. Protocol
+/// errors become structured `error` responses on the wire; transport
+/// errors end the connection.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A request line was not valid NDJSON for the [`crate::Request`]
+    /// schema.
+    BadRequest(String),
+    /// The request named a scenario the workload library does not ship.
+    UnknownScenario(String),
+    /// The request named a governor outside the four campaign arms.
+    UnknownGovernor(String),
+    /// The request addressed a session that is not open.
+    UnknownSession(String),
+    /// An `open` reused a name that is still open.
+    DuplicateSession(String),
+    /// The session was killed by the online auditor; the payload is the
+    /// first violation.
+    SessionKilled {
+        /// Session name.
+        session: String,
+        /// Rendered first violation.
+        first: String,
+    },
+    /// The server is shutting down and accepts no further work.
+    ShuttingDown,
+    /// Governor or allocator construction failed.
+    Core(DpmError),
+    /// The simulator rejected a configuration or step.
+    Sim(SimError),
+    /// Transport-level I/O failure (rendered, to stay `Send + Sync`).
+    Io(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            Self::UnknownScenario(name) => write!(f, "unknown scenario `{name}`"),
+            Self::UnknownGovernor(name) => write!(
+                f,
+                "unknown governor `{name}` (expected proposed, proposed+safe, static, static+safe)"
+            ),
+            Self::UnknownSession(name) => write!(f, "no open session named `{name}`"),
+            Self::DuplicateSession(name) => write!(f, "session `{name}` is already open"),
+            Self::SessionKilled { session, first } => {
+                write!(f, "session `{session}` killed by the auditor: {first}")
+            }
+            Self::ShuttingDown => write!(f, "server is shutting down"),
+            Self::Core(e) => write!(f, "governor construction failed: {e}"),
+            Self::Sim(e) => write!(f, "simulation failed: {e}"),
+            Self::Io(msg) => write!(f, "transport failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<DpmError> for ServeError {
+    fn from(e: DpmError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}

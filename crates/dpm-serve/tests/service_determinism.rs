@@ -1,0 +1,273 @@
+//! End-to-end determinism gates for the `dpm-serve` binary:
+//!
+//! - a fixed `--stdio` request script produces **byte-identical** output
+//!   (and thus a byte-identical telemetry stream) across runs;
+//! - a session driven over TCP returns the **same batch trace** as the
+//!   identical script over stdio, even while other concurrent sessions
+//!   hammer the same server — per-session traces are independent of
+//!   transport and of neighbour load;
+//! - the loadgen client round-trips a small fleet population cleanly
+//!   (exit 0) and gets a corrupted session killed (exit 1).
+
+use dpm_serve::protocol::{QueryKind, Request, Response, SessionSpec};
+use dpm_sim::prelude::Disturbance;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_dpm-serve");
+
+fn spec_with_faults() -> SessionSpec {
+    let mut spec = SessionSpec::plain("scenario-1", "proposed+safe", 1);
+    spec.initial_charge_j = Some(7.0);
+    spec.phase_slots = 2;
+    spec.faults = vec![
+        (
+            300.0,
+            Disturbance::SupplyScale {
+                factor: 0.4,
+                duration: dpm_core::units::seconds(600.0),
+            },
+        ),
+        (1200.0, Disturbance::EventBurst { count: 4 }),
+    ];
+    spec
+}
+
+/// The canonical request script driving one session named `name`.
+fn session_script(name: &str) -> Vec<Request> {
+    vec![
+        Request::Open {
+            session: name.to_string(),
+            spec: spec_with_faults(),
+        },
+        Request::Advance {
+            session: name.to_string(),
+            slots: 3,
+        },
+        Request::SetRates {
+            session: name.to_string(),
+            rates: vec![0.25, 0.1, 0.4],
+        },
+        Request::Disturb {
+            session: name.to_string(),
+            at_s: 2000.0,
+            disturbance: Disturbance::ChargingDropout {
+                duration: dpm_core::units::seconds(400.0),
+            },
+        },
+        Request::Query {
+            session: name.to_string(),
+            what: QueryKind::Battery,
+        },
+        Request::Advance {
+            session: name.to_string(),
+            slots: 64,
+        },
+        Request::Query {
+            session: name.to_string(),
+            what: QueryKind::Degradation,
+        },
+        Request::Close {
+            session: name.to_string(),
+        },
+    ]
+}
+
+fn encode_script(reqs: &[Request], shutdown: bool) -> String {
+    let mut lines: Vec<String> = reqs
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("encode request"))
+        .collect();
+    if shutdown {
+        lines.push("\"Shutdown\"".to_string());
+    }
+    lines.join("\n")
+}
+
+fn run_stdio(script: &str) -> (i32, String) {
+    let mut child = Command::new(BIN)
+        .args(["stdio", "--audit"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn dpm-serve stdio");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let output = child.wait_with_output().expect("wait");
+    (
+        output.status.code().unwrap_or(-1),
+        String::from_utf8(output.stdout).expect("utf8"),
+    )
+}
+
+/// Extract the `trace` document from the one `Closed` response in a
+/// transcript.
+fn closed_trace(transcript: &str) -> Vec<String> {
+    for line in transcript.lines() {
+        if let Ok(Response::Closed {
+            trace, audit_ok, ..
+        }) = serde_json::from_str(line)
+        {
+            assert!(audit_ok, "session must audit green");
+            return trace;
+        }
+    }
+    panic!("no Closed response in transcript");
+}
+
+#[test]
+fn stdio_transcripts_are_byte_identical_across_runs() {
+    let script = encode_script(&session_script("det"), true);
+    let (code_a, out_a) = run_stdio(&script);
+    let (code_b, out_b) = run_stdio(&script);
+    assert_eq!(code_a, 0);
+    assert_eq!(code_b, 0);
+    assert!(!out_a.is_empty());
+    assert_eq!(out_a, out_b, "stdio transcripts must be byte-identical");
+}
+
+struct ServerHandle {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_server() -> ServerHandle {
+    let mut child = Command::new(BIN)
+        .args(["serve", "--addr", "127.0.0.1:0", "--audit"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn dpm-serve serve");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read listen line");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("addr in listen line")
+        .to_string();
+    ServerHandle { child, addr }
+}
+
+fn shutdown_server(mut handle: ServerHandle) {
+    if let Ok(stream) = TcpStream::connect(&handle.addr) {
+        let mut writer = stream;
+        let _ = writeln!(writer, "\"Shutdown\"");
+        let _ = writer.flush();
+        let mut buf = String::new();
+        let _ = writer.read_to_string(&mut buf);
+    }
+    let status = handle.child.wait().expect("server exit");
+    assert_eq!(status.code(), Some(0), "server must shut down cleanly");
+}
+
+/// Drive `reqs` over one TCP connection, returning the raw response
+/// lines.
+fn drive_tcp(addr: &str, reqs: &[Request]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut responses = Vec::with_capacity(reqs.len());
+    for req in reqs {
+        let line = serde_json::to_string(req).expect("encode");
+        writeln!(writer, "{line}").expect("send");
+        writer.flush().expect("flush");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("recv");
+        assert!(!resp.is_empty(), "server closed early");
+        responses.push(resp.trim().to_string());
+    }
+    responses
+}
+
+#[test]
+fn tcp_sessions_match_stdio_traces_under_concurrent_load() {
+    // Reference: the same script through the deterministic stdio mode.
+    let script = encode_script(&session_script("ref"), true);
+    let (code, transcript) = run_stdio(&script);
+    assert_eq!(code, 0);
+    let reference = closed_trace(&transcript);
+
+    let server = spawn_server();
+    let addr = server.addr.clone();
+    let traces = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let addr = addr.clone();
+                s.spawn(move |_| {
+                    let name = format!("tcp-{i}");
+                    let responses = drive_tcp(&addr, &session_script(&name));
+                    let joined = responses.join("\n");
+                    closed_trace(&joined)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect::<Vec<_>>()
+    })
+    .expect("scope");
+    shutdown_server(server);
+
+    for (i, trace) in traces.iter().enumerate() {
+        assert_eq!(
+            trace, &reference,
+            "session tcp-{i}: TCP trace must equal the stdio trace"
+        );
+    }
+}
+
+#[test]
+fn loadgen_round_trips_a_clean_fleet_and_kills_a_corrupt_one() {
+    // Clean population: exit 0.
+    let server = spawn_server();
+    let status = Command::new(BIN)
+        .args([
+            "loadgen",
+            "--addr",
+            &server.addr,
+            "--sessions",
+            "3",
+            "--periods",
+            "1",
+            "--seed",
+            "7",
+        ])
+        .status()
+        .expect("loadgen clean");
+    assert_eq!(status.code(), Some(0), "clean fleet must exit 0");
+
+    // Corrupted session: the auditor must kill it, exit 1.
+    let status = Command::new(BIN)
+        .args([
+            "loadgen",
+            "--addr",
+            &server.addr,
+            "--sessions",
+            "3",
+            "--periods",
+            "1",
+            "--seed",
+            "7",
+            "--corrupt-session",
+            "1",
+        ])
+        .status()
+        .expect("loadgen corrupt");
+    assert_eq!(
+        status.code(),
+        Some(1),
+        "a detected corruption must exit 1 (2 means undetected)"
+    );
+    shutdown_server(server);
+}

@@ -73,7 +73,7 @@ pub mod prelude {
     pub use crate::meter::{ChargeSensor, PowerMeter};
     pub use crate::network::{RingConfig, RingNetwork};
     pub use crate::processor::{Mode, Processor, TransitionLatency};
-    pub use crate::sim::{Disturbance, SimConfig, Simulation};
+    pub use crate::sim::{ActiveRun, Disturbance, SimConfig, Simulation};
     pub use crate::source::{ChargingSource, NoisySource, SolarOrbitSource, TraceSource};
     pub use crate::stats::{BrokerStats, SimReport, SlotRecord, SurvivalReport};
     pub use crate::topo::{pama_topology, TopologyMode, TopologyRuntime};

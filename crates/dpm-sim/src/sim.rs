@@ -253,18 +253,14 @@ impl Simulation {
         self.disturbances.schedule(t, d);
     }
 
-    /// Run to completion under `governor`.
-    ///
-    /// # Errors
-    /// Propagates the governor's [`dpm_core::error::DpmError`] as
-    /// [`SimError::Core`]; the report of the slots already simulated is
-    /// lost (a failed run has no meaningful metrics).
-    pub fn run(mut self, governor: &mut dyn Governor) -> Result<SimReport, SimError> {
+    /// Start the run: emit the run-config gauges (the audit anchors) and
+    /// hand back an [`ActiveRun`] that steps one τ slot at a time. The
+    /// batch [`Simulation::run`] is a thin loop over this, so a stepped
+    /// run produces a byte-identical trace and the same report.
+    pub fn begin(self) -> ActiveRun {
         let tau = self.platform.tau;
         let total_slots = (self.config.periods * self.config.slots_per_period) as u64;
         let dt = seconds(tau.value() / self.config.substeps as f64);
-
-        let elastic = governor.uses_surplus_energy();
         let initial_battery = self.battery.level().value();
         if self.telemetry.is_enabled() {
             // The audit anchors: the capacity window the trajectory must
@@ -286,196 +282,29 @@ impl Simulation {
                 },
             );
         }
-        let mut used_last = Joules::ZERO;
-        let mut supplied_last = Joules::ZERO;
-        let mut compute_energy = 0.0;
-        let mut slots = Vec::new();
-
-        for slot in 0..total_slots {
-            let t_slot = seconds(slot as f64 * tau.value());
-            // The governor sees the *gauge* reading, not ground truth —
-            // sensor faults corrupt the observation while the battery's
-            // physical level (and the report metrics) stay honest. A dark
-            // gauge power-element chain is worse still: the reading
-            // freezes at the last value that got through.
-            let gauge_live = match &self.topology {
-                Some(tp) => tp.gauge_powered(),
-                None => true,
-            };
-            let reading = if gauge_live {
-                self.sensor.read(t_slot, self.battery.level())
-            } else {
-                self.last_gauge
-            };
-            self.last_gauge = reading;
-            let obs = SlotObservation {
-                slot,
-                time: t_slot,
-                battery: reading,
-                used_last,
-                supplied_last,
-                backlog: self.board.backlog(),
-            };
-            let mut point = governor.decide(&obs)?;
-            if let Some(topo) = self.topology.as_mut() {
-                let granted = topo.begin_slot(
-                    slot,
-                    t_slot,
-                    point.workers,
-                    governor.exhausted(),
-                    &mut self.board,
-                )?;
-                if granted < point.workers {
-                    // The topology could not power the full command: run
-                    // what was granted (OFF when nothing was).
-                    point = if granted == 0 {
-                        OperatingPoint::OFF
-                    } else {
-                        OperatingPoint::new(granted, point.frequency, point.voltage)
-                    };
-                }
-            }
-            let transition = self.board.apply(point, t_slot);
-
-            let mut slot_used = Joules::ZERO;
-            let mut slot_supplied = Joules::ZERO;
-            let mut slot_jobs = 0u64;
-
-            for sub in 0..self.config.substeps {
-                let t = seconds(t_slot.value() + sub as f64 * dt.value());
-                self.apply_disturbances(t, dt);
-
-                // --- supply ------------------------------------------------
-                let scale = if t.value() < self.dropout_until.value() {
-                    // A charging dropout overrides any concurrent scaling.
-                    0.0
-                } else if t.value() < self.supply_scale_until.value() {
-                    self.supply_scale
-                } else {
-                    1.0
-                };
-                // A glitched source model (negative/NaN power) must not
-                // corrupt the accounting: offer nothing instead.
-                let offered = (self.source.mean_power(t, dt) * dt * scale).max(Joules::ZERO);
-                self.battery.charge(offered);
-                slot_supplied += offered;
-
-                // --- arrivals ----------------------------------------------
-                let arrivals = self.events.arrivals(t, dt);
-                self.board.enqueue(arrivals, t);
-
-                // --- demand & brown-out ------------------------------------
-                // Race-to-idle: chips drop to standby the moment the queue
-                // empties (the paper's static baseline is "turned off while
-                // there is no input data"; the proposed controller's PIMs
-                // likewise check for work after each computation). Demand
-                // is therefore active power for the busy share of the
-                // sub-step and the standby floor for the rest. The first
-                // sub-step additionally loses the transition latency.
-                let compute_fraction = if sub == 0 {
-                    (1.0 - transition.value() / dt.value()).clamp(0.0, 1.0)
-                } else {
-                    1.0
-                };
-                let busy_target = self.board.work_fraction(dt, elastic) * compute_fraction;
-                let p_on = self.board.power();
-                let p_idle = self.board.idle_power();
-                let demand = (p_on * busy_target + p_idle * (1.0 - busy_target)) * dt;
-                let delivered = self.battery.draw_over(demand, dt.value());
-                let availability = if demand.value() > 1e-15 {
-                    (delivered / demand).clamp(0.0, 1.0)
-                } else {
-                    1.0
-                };
-                slot_used += delivered;
-                self.meter.record(t, dt, delivered / dt);
-
-                // --- computation -------------------------------------------
-                // `busy` is the share of the sub-step actually spent
-                // computing (work-, transition- and energy-limited), so the
-                // energy that served computation is p_on·busy·dt.
-                let (done, busy) =
-                    self.board
-                        .advance(t, dt, availability * compute_fraction, elastic);
-                slot_jobs += done;
-                compute_energy += (p_on * busy * dt).value().min(delivered.value());
-
-                self.battery.tick(dt.value());
-            }
-
-            used_last = slot_used;
-            supplied_last = slot_supplied;
-            if self.telemetry.is_enabled() {
-                self.telemetry.event(
-                    "sim.slot",
-                    Some(slot),
-                    t_slot.value(),
-                    &[
-                        ("battery_j", self.battery.level().value()),
-                        ("used_j", slot_used.value()),
-                        ("supplied_j", slot_supplied.value()),
-                        ("undersupplied_j", self.battery.undersupplied().value()),
-                        ("jobs", slot_jobs as f64),
-                        ("backlog", self.board.backlog() as f64),
-                    ],
-                );
-                self.telemetry
-                    .observe("sim.battery_j", self.battery.level().value());
-                self.telemetry.observe("sim.slot.used_j", slot_used.value());
-            }
-            if self.config.trace {
-                slots.push(SlotRecord {
-                    slot,
-                    time: t_slot.value(),
-                    workers: point.workers,
-                    freq_mhz: point.frequency.mhz(),
-                    used: slot_used.value(),
-                    supplied: slot_supplied.value(),
-                    battery: self.battery.level().value(),
-                    undersupplied: self.battery.undersupplied().value(),
-                    jobs: slot_jobs,
-                    backlog: self.board.backlog(),
-                });
-            }
-        }
-
-        let duration = total_slots as f64 * tau.value();
-        if self.telemetry.is_enabled() {
-            self.telemetry.incr("sim.slots", total_slots);
-            self.telemetry.incr("sim.jobs_done", self.board.jobs_done());
-            self.telemetry
-                .incr("sim.jobs_dropped", self.board.dropped());
-            self.telemetry
-                .gauge("sim.final_battery_j", self.battery.level().value());
-            self.telemetry
-                .gauge("sim.wasted_j", self.battery.wasted().value());
-            self.telemetry
-                .gauge("sim.undersupplied_j", self.battery.undersupplied().value());
-            self.telemetry
-                .gauge("sim.delivered_j", self.battery.delivered().value());
-            self.telemetry
-                .gauge("sim.offered_j", self.battery.offered().value());
-            self.telemetry
-                .gauge("sim.rate_loss_j", self.battery.rate_loss().value());
-        }
-        let latency = self.board.latency();
-        Ok(SimReport {
-            governor: governor.name().to_string(),
-            duration,
-            offered: self.battery.offered().value(),
-            wasted: self.battery.wasted().value(),
-            undersupplied: self.battery.undersupplied().value(),
-            delivered: self.battery.delivered().value(),
-            compute_energy,
-            jobs_done: self.board.jobs_done(),
-            dropped: self.board.dropped(),
-            mean_latency: latency.mean(),
-            max_latency: latency.max,
+        ActiveRun {
+            sim: self,
+            total_slots,
+            dt,
             initial_battery,
-            final_battery: self.battery.level().value(),
-            slots,
-            broker: self.topology.as_ref().map(TopologyRuntime::stats),
-        })
+            used_last: Joules::ZERO,
+            supplied_last: Joules::ZERO,
+            compute_energy: 0.0,
+            slots: Vec::new(),
+            next_slot: 0,
+        }
+    }
+
+    /// Run to completion under `governor`.
+    ///
+    /// # Errors
+    /// Propagates the governor's [`dpm_core::error::DpmError`] as
+    /// [`SimError::Core`]; the report of the slots already simulated is
+    /// lost (a failed run has no meaningful metrics).
+    pub fn run(self, governor: &mut dyn Governor) -> Result<SimReport, SimError> {
+        let mut run = self.begin();
+        while run.step(governor)? {}
+        Ok(run.finish(governor.name()))
     }
 
     /// Trace a disturbance as it fires, stamped with its scheduled time
@@ -577,6 +406,339 @@ impl Simulation {
                 }
             }
         }
+    }
+}
+
+/// A simulation in flight: [`Simulation::begin`] emits the run-config
+/// gauges and returns this handle, [`ActiveRun::step`] advances exactly
+/// one τ slot under a governor, and [`ActiveRun::finish`] closes the
+/// books (end-of-run counters, gauges, [`SimReport`]).
+///
+/// This is the session-service face of the simulator (`dpm-serve`): a
+/// long-running session holds an `ActiveRun`, advances it as requests
+/// arrive, injects disturbances and event-rate changes mid-flight, and
+/// answers queries from the accessors. Driving `step` to completion and
+/// then `finish` is byte-identical — same trace, same report — to the
+/// batch [`Simulation::run`], which is itself just this loop.
+pub struct ActiveRun {
+    sim: Simulation,
+    total_slots: u64,
+    dt: Seconds,
+    initial_battery: f64,
+    used_last: Joules,
+    supplied_last: Joules,
+    compute_energy: f64,
+    slots: Vec<SlotRecord>,
+    next_slot: u64,
+}
+
+impl ActiveRun {
+    /// Advance one τ slot under `governor`. Returns `Ok(false)` once the
+    /// configured horizon is exhausted (the call is then a no-op).
+    ///
+    /// # Errors
+    /// Propagates the governor's [`dpm_core::error::DpmError`] as
+    /// [`SimError::Core`] and topology errors as [`SimError::Broker`].
+    pub fn step(&mut self, governor: &mut dyn Governor) -> Result<bool, SimError> {
+        if self.next_slot >= self.total_slots {
+            return Ok(false);
+        }
+        let slot = self.next_slot;
+        let tau = self.sim.platform.tau;
+        let dt = self.dt;
+        let elastic = governor.uses_surplus_energy();
+        let t_slot = seconds(slot as f64 * tau.value());
+        // The governor sees the *gauge* reading, not ground truth —
+        // sensor faults corrupt the observation while the battery's
+        // physical level (and the report metrics) stay honest. A dark
+        // gauge power-element chain is worse still: the reading
+        // freezes at the last value that got through.
+        let gauge_live = match &self.sim.topology {
+            Some(tp) => tp.gauge_powered(),
+            None => true,
+        };
+        let reading = if gauge_live {
+            self.sim.sensor.read(t_slot, self.sim.battery.level())
+        } else {
+            self.sim.last_gauge
+        };
+        self.sim.last_gauge = reading;
+        let obs = SlotObservation {
+            slot,
+            time: t_slot,
+            battery: reading,
+            used_last: self.used_last,
+            supplied_last: self.supplied_last,
+            backlog: self.sim.board.backlog(),
+        };
+        let mut point = governor.decide(&obs)?;
+        if let Some(topo) = self.sim.topology.as_mut() {
+            let granted = topo.begin_slot(
+                slot,
+                t_slot,
+                point.workers,
+                governor.exhausted(),
+                &mut self.sim.board,
+            )?;
+            if granted < point.workers {
+                // The topology could not power the full command: run
+                // what was granted (OFF when nothing was).
+                point = if granted == 0 {
+                    OperatingPoint::OFF
+                } else {
+                    OperatingPoint::new(granted, point.frequency, point.voltage)
+                };
+            }
+        }
+        let transition = self.sim.board.apply(point, t_slot);
+
+        let mut slot_used = Joules::ZERO;
+        let mut slot_supplied = Joules::ZERO;
+        let mut slot_jobs = 0u64;
+
+        for sub in 0..self.sim.config.substeps {
+            let t = seconds(t_slot.value() + sub as f64 * dt.value());
+            self.sim.apply_disturbances(t, dt);
+
+            // --- supply ------------------------------------------------
+            let scale = if t.value() < self.sim.dropout_until.value() {
+                // A charging dropout overrides any concurrent scaling.
+                0.0
+            } else if t.value() < self.sim.supply_scale_until.value() {
+                self.sim.supply_scale
+            } else {
+                1.0
+            };
+            // A glitched source model (negative/NaN power) must not
+            // corrupt the accounting: offer nothing instead.
+            let offered = (self.sim.source.mean_power(t, dt) * dt * scale).max(Joules::ZERO);
+            self.sim.battery.charge(offered);
+            slot_supplied += offered;
+
+            // --- arrivals ----------------------------------------------
+            let arrivals = self.sim.events.arrivals(t, dt);
+            self.sim.board.enqueue(arrivals, t);
+
+            // --- demand & brown-out ------------------------------------
+            // Race-to-idle: chips drop to standby the moment the queue
+            // empties (the paper's static baseline is "turned off while
+            // there is no input data"; the proposed controller's PIMs
+            // likewise check for work after each computation). Demand
+            // is therefore active power for the busy share of the
+            // sub-step and the standby floor for the rest. The first
+            // sub-step additionally loses the transition latency.
+            let compute_fraction = if sub == 0 {
+                (1.0 - transition.value() / dt.value()).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            let busy_target = self.sim.board.work_fraction(dt, elastic) * compute_fraction;
+            let p_on = self.sim.board.power();
+            let p_idle = self.sim.board.idle_power();
+            let demand = (p_on * busy_target + p_idle * (1.0 - busy_target)) * dt;
+            let delivered = self.sim.battery.draw_over(demand, dt.value());
+            let availability = if demand.value() > 1e-15 {
+                (delivered / demand).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            slot_used += delivered;
+            self.sim.meter.record(t, dt, delivered / dt);
+
+            // --- computation -------------------------------------------
+            // `busy` is the share of the sub-step actually spent
+            // computing (work-, transition- and energy-limited), so the
+            // energy that served computation is p_on·busy·dt.
+            let (done, busy) =
+                self.sim
+                    .board
+                    .advance(t, dt, availability * compute_fraction, elastic);
+            slot_jobs += done;
+            self.compute_energy += (p_on * busy * dt).value().min(delivered.value());
+
+            self.sim.battery.tick(dt.value());
+        }
+
+        self.used_last = slot_used;
+        self.supplied_last = slot_supplied;
+        if self.sim.telemetry.is_enabled() {
+            self.sim.telemetry.event(
+                "sim.slot",
+                Some(slot),
+                t_slot.value(),
+                &[
+                    ("battery_j", self.sim.battery.level().value()),
+                    ("used_j", slot_used.value()),
+                    ("supplied_j", slot_supplied.value()),
+                    ("undersupplied_j", self.sim.battery.undersupplied().value()),
+                    ("jobs", slot_jobs as f64),
+                    ("backlog", self.sim.board.backlog() as f64),
+                ],
+            );
+            self.sim
+                .telemetry
+                .observe("sim.battery_j", self.sim.battery.level().value());
+            self.sim
+                .telemetry
+                .observe("sim.slot.used_j", slot_used.value());
+        }
+        if self.sim.config.trace {
+            self.slots.push(SlotRecord {
+                slot,
+                time: t_slot.value(),
+                workers: point.workers,
+                freq_mhz: point.frequency.mhz(),
+                used: slot_used.value(),
+                supplied: slot_supplied.value(),
+                battery: self.sim.battery.level().value(),
+                undersupplied: self.sim.battery.undersupplied().value(),
+                jobs: slot_jobs,
+                backlog: self.sim.board.backlog(),
+            });
+        }
+        self.next_slot += 1;
+        Ok(self.next_slot < self.total_slots)
+    }
+
+    /// Close the books: end-of-run counters and gauges into the trace,
+    /// and the [`SimReport`] over however many slots actually ran (a
+    /// session may close early; the accounting covers what happened).
+    pub fn finish(self, governor_name: &str) -> SimReport {
+        let tau = self.sim.platform.tau;
+        let duration = self.next_slot as f64 * tau.value();
+        if self.sim.telemetry.is_enabled() {
+            self.sim.telemetry.incr("sim.slots", self.next_slot);
+            self.sim
+                .telemetry
+                .incr("sim.jobs_done", self.sim.board.jobs_done());
+            self.sim
+                .telemetry
+                .incr("sim.jobs_dropped", self.sim.board.dropped());
+            self.sim
+                .telemetry
+                .gauge("sim.final_battery_j", self.sim.battery.level().value());
+            self.sim
+                .telemetry
+                .gauge("sim.wasted_j", self.sim.battery.wasted().value());
+            self.sim.telemetry.gauge(
+                "sim.undersupplied_j",
+                self.sim.battery.undersupplied().value(),
+            );
+            self.sim
+                .telemetry
+                .gauge("sim.delivered_j", self.sim.battery.delivered().value());
+            self.sim
+                .telemetry
+                .gauge("sim.offered_j", self.sim.battery.offered().value());
+            self.sim
+                .telemetry
+                .gauge("sim.rate_loss_j", self.sim.battery.rate_loss().value());
+        }
+        let latency = self.sim.board.latency();
+        SimReport {
+            governor: governor_name.to_string(),
+            duration,
+            offered: self.sim.battery.offered().value(),
+            wasted: self.sim.battery.wasted().value(),
+            undersupplied: self.sim.battery.undersupplied().value(),
+            delivered: self.sim.battery.delivered().value(),
+            compute_energy: self.compute_energy,
+            jobs_done: self.sim.board.jobs_done(),
+            dropped: self.sim.board.dropped(),
+            mean_latency: latency.mean(),
+            max_latency: latency.max,
+            initial_battery: self.initial_battery,
+            final_battery: self.sim.battery.level().value(),
+            slots: self.slots,
+            broker: self.sim.topology.as_ref().map(TopologyRuntime::stats),
+        }
+    }
+
+    /// The next slot to simulate (equals slots completed so far).
+    pub fn slot(&self) -> u64 {
+        self.next_slot
+    }
+
+    /// The configured horizon in slots.
+    pub fn total_slots(&self) -> u64 {
+        self.total_slots
+    }
+
+    /// Whether the configured horizon is exhausted.
+    pub fn is_done(&self) -> bool {
+        self.next_slot >= self.total_slots
+    }
+
+    /// The slot length τ (s).
+    pub fn tau_s(&self) -> f64 {
+        self.sim.platform.tau.value()
+    }
+
+    /// The battery's true level (J) — ground truth, not the gauge.
+    pub fn battery_level_j(&self) -> f64 {
+        self.sim.battery.level().value()
+    }
+
+    /// The battery's current usable window `(C_min, C_max)` in J
+    /// (fades shrink `C_max` mid-run).
+    pub fn battery_limits_j(&self) -> (f64, f64) {
+        let limits = self.sim.battery.limits();
+        (limits.c_min.value(), limits.c_max.value())
+    }
+
+    /// Jobs currently queued on the board.
+    pub fn backlog(&self) -> usize {
+        self.sim.board.backlog()
+    }
+
+    /// Energy delivered to the board in the last completed slot (J).
+    pub fn last_used_j(&self) -> f64 {
+        self.used_last.value()
+    }
+
+    /// Energy offered by the source in the last completed slot (J).
+    pub fn last_supplied_j(&self) -> f64 {
+        self.supplied_last.value()
+    }
+
+    /// Per-slot records so far (empty when `SimConfig::trace` is off).
+    pub fn slot_records(&self) -> &[SlotRecord] {
+        &self.slots
+    }
+
+    /// Schedule a disturbance mid-run at absolute time `t` — the live
+    /// face of [`Simulation::schedule`]. Times already in the past fire
+    /// on the next sub-step.
+    pub fn schedule(&mut self, t: Seconds, d: Disturbance) {
+        self.sim.disturbances.schedule(t, d);
+    }
+
+    /// Replace the event generator mid-run (a pushed event-rate update);
+    /// takes effect from the next sub-step.
+    pub fn set_events(&mut self, events: Box<dyn EventGenerator>) {
+        self.sim.events = events;
+    }
+
+    /// Deterministic battery forecast: project the level forward
+    /// `horizon` slots assuming the source keeps its nominal output (no
+    /// future disturbances) and the board keeps drawing what it drew in
+    /// the last completed slot, clamped to the usable window. Returns one
+    /// projected level per future slot.
+    pub fn forecast_battery_j(&self, horizon: u64) -> Vec<f64> {
+        let tau = self.sim.platform.tau;
+        let (c_min, c_max) = self.battery_limits_j();
+        let draw = self.used_last.value();
+        let mut level = self.sim.battery.level().value();
+        let mut out = Vec::with_capacity(horizon as usize);
+        for ahead in 0..horizon {
+            let t = seconds((self.next_slot + ahead) as f64 * tau.value());
+            let offered = (self.sim.source.mean_power(t, tau) * tau)
+                .max(Joules::ZERO)
+                .value();
+            level = (level + offered - draw).clamp(c_min, c_max);
+            out.push(level);
+        }
+        out
     }
 }
 
@@ -981,6 +1143,80 @@ mod tests {
             prev = s.undersupplied;
         }
         assert!((prev - report.undersupplied).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stepped_run_is_byte_identical_to_batch_run() {
+        let point = OperatingPoint::new(3, Hertz::from_mhz(40.0), volts(3.3));
+        let assemble = || {
+            let rec = dpm_telemetry::Recorder::enabled("step-eq");
+            let mut s = sim(0.5).with_telemetry(rec.clone());
+            s.schedule(
+                seconds(10.0),
+                Disturbance::SupplyScale {
+                    factor: 0.5,
+                    duration: seconds(20.0),
+                },
+            );
+            (s, rec)
+        };
+        let (batch_sim, batch_rec) = assemble();
+        let batch_report = batch_sim.run(&mut Pinned(point)).unwrap();
+
+        let (step_sim, step_rec) = assemble();
+        let mut g = Pinned(point);
+        let mut run = step_sim.begin();
+        let mut steps = 0u64;
+        while run.step(&mut g).unwrap() {
+            steps += 1;
+        }
+        assert_eq!(steps + 1, run.total_slots());
+        assert!(run.is_done());
+        // A step past the horizon is a no-op.
+        assert!(!run.step(&mut g).unwrap());
+        let step_report = run.finish(g.name());
+
+        assert_eq!(batch_rec.to_jsonl(), step_rec.to_jsonl());
+        assert_eq!(batch_report.final_battery, step_report.final_battery);
+        assert_eq!(batch_report.jobs_done, step_report.jobs_done);
+        assert_eq!(batch_report.duration, step_report.duration);
+        assert_eq!(batch_report.slots.len(), step_report.slots.len());
+    }
+
+    #[test]
+    fn active_run_accepts_mid_flight_disturbances_and_rate_changes() {
+        let point = OperatingPoint::new(3, Hertz::from_mhz(40.0), volts(3.3));
+        let mut g = Pinned(point);
+        let mut run = sim(0.0).begin();
+        assert_eq!(run.slot(), 0);
+        assert!((run.tau_s() - 4.8).abs() < 1e-12);
+        for _ in 0..6 {
+            run.step(&mut g).unwrap();
+        }
+        assert_eq!(run.slot(), 6);
+        assert_eq!(run.backlog(), 0, "zero-rate generator queued nothing");
+        // Live updates: a burst now and a faster arrival schedule.
+        run.schedule(
+            seconds(run.slot() as f64 * 4.8),
+            Disturbance::EventBurst { count: 10 },
+        );
+        run.set_events(Box::new(ScheduleGenerator::new(rates(2.0))));
+        run.step(&mut g).unwrap();
+        assert!(run.backlog() > 0, "burst + new rate left a queue");
+        assert!(run.last_used_j() > 0.0);
+        let (c_min, c_max) = run.battery_limits_j();
+        assert!(c_min < c_max);
+        let forecast = run.forecast_battery_j(12);
+        assert_eq!(forecast.len(), 12);
+        assert!(
+            forecast.iter().all(|b| (c_min..=c_max).contains(b)),
+            "{forecast:?}"
+        );
+        // Early finish: the books cover the slots that actually ran.
+        let completed = run.slot();
+        let report = run.finish("pinned");
+        assert_eq!(report.slots.len(), completed as usize);
+        assert!((report.duration - completed as f64 * 4.8).abs() < 1e-9);
     }
 
     #[test]

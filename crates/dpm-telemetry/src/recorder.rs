@@ -405,6 +405,41 @@ impl Recorder {
         lines_to_jsonl(self.profile_lines().iter())
     }
 
+    /// Drain-free tail cursor over the event ring for live streaming:
+    /// returns every event whose **absolute** index (counting evicted
+    /// events) is `>= cursor`, plus the cursor to pass next time. The
+    /// ring is untouched, so `snapshot()` at close still serializes the
+    /// complete document. When the ring overran the cursor (events were
+    /// evicted before being streamed), the skipped ones are simply gone —
+    /// exactly the batch `dropped` semantics. Disabled recorders return
+    /// `(cursor, [])`.
+    pub fn events_from(&self, cursor: u64) -> (u64, Vec<Event>) {
+        let Some(inner) = self.lock() else {
+            return (cursor, Vec::new());
+        };
+        // The event at ring position i has absolute index dropped + i.
+        let start = cursor.saturating_sub(inner.dropped) as usize;
+        let events: Vec<Event> = inner.events.iter().skip(start).cloned().collect();
+        (inner.dropped + inner.events.len() as u64, events)
+    }
+
+    /// The current gauge map as serialized lines, in sorted name order —
+    /// how a live session streams its config gauges ahead of the first
+    /// event so an online auditor can check windows as slots arrive.
+    pub fn gauge_lines(&self) -> Vec<GaugeLine> {
+        let Some(inner) = self.lock() else {
+            return Vec::new();
+        };
+        inner
+            .gauges
+            .iter()
+            .map(|(name, &value)| GaugeLine {
+                name: name.clone(),
+                value,
+            })
+            .collect()
+    }
+
     /// Current value of counter `name` (0 when absent or disabled).
     pub fn counter(&self, name: &str) -> u64 {
         self.lock()
@@ -704,6 +739,54 @@ mod tests {
         rec.absorb("loop", &alias);
         assert_eq!(rec.counter("n"), 1);
         assert_eq!(rec.counter("loop/n"), 0);
+    }
+
+    #[test]
+    fn events_from_streams_the_tail_without_draining() {
+        let rec = Recorder::enabled("t");
+        rec.event("a", Some(0), 0.0, &[]);
+        rec.event("b", Some(1), 1.0, &[]);
+        let (cursor, tail) = rec.events_from(0);
+        assert_eq!(cursor, 2);
+        assert_eq!(
+            tail.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        // Nothing new: same cursor, empty tail.
+        let (cursor, tail) = rec.events_from(cursor);
+        assert_eq!((cursor, tail.len()), (2, 0));
+        rec.event("c", Some(2), 2.0, &[]);
+        let (cursor, tail) = rec.events_from(cursor);
+        assert_eq!((cursor, tail.len()), (3, 1));
+        assert_eq!(tail[0].name, "c");
+        // The ring still serializes in full.
+        assert_eq!(rec.event_count(), 3);
+    }
+
+    #[test]
+    fn events_from_skips_evicted_events_like_dropped() {
+        let rec = Recorder::with_capacity("t", 2);
+        for i in 0..5u64 {
+            rec.event("e", Some(i), i as f64, &[]);
+        }
+        // Cursor 0 but three events were evicted: only the retained tail
+        // comes back, and the cursor lands past the whole stream.
+        let (cursor, tail) = rec.events_from(0);
+        assert_eq!(cursor, 5);
+        let slots: Vec<Option<u64>> = tail.iter().map(|e| e.slot).collect();
+        assert_eq!(slots, vec![Some(3), Some(4)]);
+        let disabled = Recorder::disabled();
+        assert_eq!(disabled.events_from(7), (7, Vec::new()));
+    }
+
+    #[test]
+    fn gauge_lines_snapshot_the_current_map_in_sorted_order() {
+        let rec = Recorder::enabled("t");
+        rec.gauge("z", 1.0);
+        rec.gauge("a", 2.0);
+        let names: Vec<String> = rec.gauge_lines().into_iter().map(|g| g.name).collect();
+        assert_eq!(names, vec!["a", "z"]);
+        assert!(Recorder::disabled().gauge_lines().is_empty());
     }
 
     #[test]

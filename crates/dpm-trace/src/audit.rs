@@ -1,8 +1,15 @@
-//! The invariant engine: replay a parsed [`Trace`] against everything the
-//! paper (and DESIGN.md §9–10) guarantees about a run, and pinpoint the
-//! first line that breaks a guarantee as a `(scope, seq, slot)` triple.
+//! The invariant engine: replay a trace against everything the paper
+//! (and DESIGN.md §9–10) guarantees about a run, and pinpoint the first
+//! line that breaks a guarantee as a `(scope, seq, slot)` triple.
 //!
-//! Four invariant families:
+//! Since PR 9 the engine is **incremental**: [`AuditState`] consumes
+//! [`TraceLine`]s one at a time (the live `dpm-serve` path), flagging
+//! event-anchored violations on the very push that carries them, and
+//! [`audit`] is a thin loop that feeds a parsed [`Trace`] through the
+//! same state — batch and live verdicts share one code path and can
+//! never diverge.
+//!
+//! Five invariant families:
 //!
 //! 1. **Well-formedness** — the meta header's event count matches the
 //!    body, and sequence numbers are strictly monotonic within each scope
@@ -33,12 +40,27 @@
 //!    `broker.shutdown_complete`), and the `broker.revocations` /
 //!    `broker.restores` counters must agree with the event stream.
 //!
+//! ## Online vs canonical verdicts
+//!
+//! [`AuditState::push`] returns the violations *newly observable* at that
+//! line using everything seen so far; [`AuditState::finish`] re-walks the
+//! retained per-scope buffers against the **final** gauge/counter maps and
+//! assembles the canonical [`AuditReport`] — byte-identical to what the
+//! whole-file [`audit`] always produced. The split exists because a batch
+//! document serializes gauges *after* events: the online pass can only use
+//! config gauges that have already streamed (the live emitter sends them
+//! before the first slot), while the canonical pass always sees the final
+//! maps. Gauge-anchored checks (stream sums, Eq. 8 closing balance, event
+//! censuses) need the end-of-run gauges by construction, so they land in
+//! `finish()` — which a live server calls immediately after the closing
+//! gauges arrive, still within one slot of their emission.
+//!
 //! Slot-sum checks are skipped (with a note) when the trace reports
 //! dropped events: a saturated ring truncates the per-slot streams, and a
 //! sum over a truncated stream would report phantom violations.
 
 use crate::model::{split_scoped, Trace};
-use dpm_telemetry::Event;
+use dpm_telemetry::{Event, TraceLine, TraceMeta};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -113,81 +135,37 @@ impl AuditReport {
     }
 }
 
-/// Safety-machine state while walking one scope's `safety.*` events.
-#[derive(Default)]
-struct SafetyState {
-    last_level: Option<f64>,
-    consecutive_failures: f64,
-    /// `(slot, failures)` of the most recent failure, for the dwell check.
-    last_failure: Option<(u64, f64)>,
-    fallback_engaged: bool,
-    last_slot: Option<u64>,
-    events_seen: u64,
+/// Running minimum battery slack: `(slack, scope, slot)`.
+type MinSlack = Option<(f64, String, u64)>;
+
+/// Look up a scope-qualified gauge in a final-value map.
+fn gauge_of(gauges: &BTreeMap<String, f64>, scope: &str, metric: &str) -> Option<f64> {
+    if scope.is_empty() {
+        gauges.get(metric).copied()
+    } else {
+        gauges.get(&format!("{scope}/{metric}")).copied()
+    }
 }
 
-/// Audit `trace` against every invariant family; see the module docs.
-pub fn audit(trace: &Trace, cfg: &AuditConfig) -> AuditReport {
-    let mut report = AuditReport::default();
-    let tol = cfg.tolerance_j;
-
-    // 1. Meta consistency.
-    report.checks += 1;
-    if trace.meta.events != trace.events.len() as u64 {
-        report.violations.push(Violation {
-            invariant: "meta.events",
-            scope: String::new(),
-            seq: None,
-            slot: None,
-            message: format!(
-                "meta advertises {} events but the body holds {}",
-                trace.meta.events,
-                trace.events.len()
-            ),
-        });
+/// Look up a scope-qualified counter in a final-value map.
+fn counter_of(counters: &BTreeMap<String, u64>, scope: &str, metric: &str) -> Option<u64> {
+    if scope.is_empty() {
+        counters.get(metric).copied()
+    } else {
+        counters.get(&format!("{scope}/{metric}")).copied()
     }
-    let dropped = trace.meta.dropped;
-    if dropped > 0 {
-        report.notes.push(format!(
-            "{dropped} events were dropped at the ring capacity: slot-sum and event-count checks skipped"
-        ));
-    }
-
-    let by_scope = trace.events_by_scope();
-    report.scopes = by_scope.len();
-    let mut min_slack: Option<(f64, String, u64)> = None;
-
-    for (scope, events) in &by_scope {
-        audit_seq_monotonic(scope, events, &mut report);
-        audit_slots(
-            trace,
-            scope,
-            events,
-            tol,
-            dropped,
-            &mut report,
-            &mut min_slack,
-        );
-        audit_safety(trace, scope, events, dropped, &mut report);
-        audit_broker(trace, scope, events, dropped, &mut report);
-    }
-
-    // Gauge-only closing balance, independent of the event ring.
-    audit_energy_balance(trace, tol, &mut report);
-
-    if let Some((slack, scope, slot)) = min_slack {
-        report.notes.push(format!(
-            "minimum battery slack to the window edge: {slack:.6} J (scope \"{scope}\", slot {slot})"
-        ));
-    }
-    report
 }
 
 /// Sequence numbers must be strictly increasing within a scope.
-fn audit_seq_monotonic(scope: &str, events: &[&Event], report: &mut AuditReport) {
-    let mut prev: Option<u64> = None;
-    for e in events {
+#[derive(Default)]
+struct SeqPass {
+    prev: Option<u64>,
+}
+
+impl SeqPass {
+    fn step(&mut self, scope: &str, e: &Event, report: &mut AuditReport) {
         report.checks += 1;
-        if let Some(p) = prev {
+        if let Some(p) = self.prev {
             if e.seq <= p {
                 report.violations.push(Violation {
                     invariant: "seq.monotonic",
@@ -198,46 +176,40 @@ fn audit_seq_monotonic(scope: &str, events: &[&Event], report: &mut AuditReport)
                 });
             }
         }
-        prev = Some(e.seq);
+        self.prev = Some(e.seq);
     }
 }
 
-/// Battery-envelope, slot-order, and undersupply checks over `sim.slot`.
-#[allow(clippy::too_many_arguments)]
-fn audit_slots(
-    trace: &Trace,
-    scope: &str,
-    events: &[&Event],
-    tol: f64,
-    dropped: u64,
-    report: &mut AuditReport,
-    min_slack: &mut Option<(f64, String, u64)>,
-) {
-    let slots: Vec<&&Event> = events.iter().filter(|e| e.name == "sim.slot").collect();
-    if slots.is_empty() {
-        return;
-    }
-    let window = (
-        trace.scoped_gauge(scope, "sim.c_min_j"),
-        trace.scoped_gauge(scope, "sim.c_max_j"),
-    );
-    if window.0.is_none() || window.1.is_none() {
-        report.notes.push(format!(
-            "scope \"{scope}\": no sim.c_min_j/sim.c_max_j gauges — battery-window check skipped"
-        ));
-    }
+/// Battery-envelope, slot-order, and undersupply machine over `sim.slot`
+/// events of one scope.
+#[derive(Default)]
+struct SlotPass {
+    last_slot: Option<u64>,
+    last_under: Option<f64>,
+    sum_used: f64,
+    sum_supplied: f64,
+    last_battery: Option<f64>,
+    anchor_seq: Option<u64>,
+    anchor_slot: Option<u64>,
+}
 
-    let mut last_slot: Option<u64> = None;
-    let mut last_under: Option<f64> = None;
-    let mut sum_used = 0.0;
-    let mut sum_supplied = 0.0;
-    let mut last_battery: Option<f64> = None;
-
-    for e in &slots {
+impl SlotPass {
+    /// One `sim.slot` event against the capacity `window` known so far.
+    fn step(
+        &mut self,
+        scope: &str,
+        e: &Event,
+        window: (Option<f64>, Option<f64>),
+        tol: f64,
+        report: &mut AuditReport,
+        min_slack: &mut MinSlack,
+    ) {
         let slot = e.slot;
+        self.anchor_seq = Some(e.seq);
+        self.anchor_slot = slot;
         // Slot numbers must advance.
         report.checks += 1;
-        if let (Some(prev), Some(cur)) = (last_slot, slot) {
+        if let (Some(prev), Some(cur)) = (self.last_slot, slot) {
             if cur <= prev {
                 report.violations.push(Violation {
                     invariant: "slot.order",
@@ -248,7 +220,7 @@ fn audit_slots(
                 });
             }
         }
-        last_slot = slot.or(last_slot);
+        self.last_slot = slot.or(self.last_slot);
 
         let battery = Trace::field(e, "battery_j");
         match battery {
@@ -260,7 +232,7 @@ fn audit_slots(
                 message: "sim.slot event carries no battery_j field".into(),
             }),
             Some(b) => {
-                last_battery = Some(b);
+                self.last_battery = Some(b);
                 if let (Some(c_min), Some(c_max)) = window {
                     report.checks += 1;
                     let slack = (b - c_min).min(c_max - b);
@@ -286,12 +258,12 @@ fn audit_slots(
             }
         }
 
-        sum_used += Trace::field(e, "used_j").unwrap_or(0.0);
-        sum_supplied += Trace::field(e, "supplied_j").unwrap_or(0.0);
+        self.sum_used += Trace::field(e, "used_j").unwrap_or(0.0);
+        self.sum_supplied += Trace::field(e, "supplied_j").unwrap_or(0.0);
 
         if let Some(u) = Trace::field(e, "undersupplied_j") {
             report.checks += 1;
-            if let Some(prev) = last_under {
+            if let Some(prev) = self.last_under {
                 if u + tol < prev {
                     report.violations.push(Violation {
                         invariant: "undersupply.monotonic",
@@ -302,120 +274,137 @@ fn audit_slots(
                     });
                 }
             }
-            last_under = Some(u);
+            self.last_under = Some(u);
         }
     }
 
-    // Slot-stream sums against the end-of-run gauges — only meaningful
-    // when no event was dropped from the ring.
-    if dropped > 0 {
-        return;
-    }
-    let anchor_seq = slots.last().map(|e| e.seq);
-    let anchor_slot = slots.last().and_then(|e| e.slot);
-    let mut check_sum = |metric: &str, sum: f64, invariant: &'static str| {
-        if let Some(gauge) = trace.scoped_gauge(scope, metric) {
+    /// Slot-stream sums against the end-of-run gauges — only meaningful
+    /// when no event was dropped from the ring.
+    fn finish(
+        &self,
+        scope: &str,
+        gauges: &BTreeMap<String, f64>,
+        tol: f64,
+        dropped: u64,
+        report: &mut AuditReport,
+    ) {
+        if dropped > 0 {
+            return;
+        }
+        let anchor_seq = self.anchor_seq;
+        let anchor_slot = self.anchor_slot;
+        let mut check_sum = |metric: &str, sum: f64, invariant: &'static str| {
+            if let Some(gauge) = gauge_of(gauges, scope, metric) {
+                report.checks += 1;
+                if (sum - gauge).abs() > tol {
+                    report.violations.push(Violation {
+                        invariant,
+                        scope: scope.to_string(),
+                        seq: anchor_seq,
+                        slot: anchor_slot,
+                        message: format!(
+                            "slot stream sums to {sum} J but the {metric} gauge reads {gauge} J"
+                        ),
+                    });
+                }
+            }
+        };
+        check_sum("sim.delivered_j", self.sum_used, "energy.delivered");
+        check_sum("sim.offered_j", self.sum_supplied, "energy.offered");
+        if let (Some(last), Some(gauge)) = (
+            self.last_battery,
+            gauge_of(gauges, scope, "sim.final_battery_j"),
+        ) {
             report.checks += 1;
-            if (sum - gauge).abs() > tol {
+            if (last - gauge).abs() > tol {
                 report.violations.push(Violation {
-                    invariant,
+                    invariant: "battery.final",
                     scope: scope.to_string(),
                     seq: anchor_seq,
                     slot: anchor_slot,
                     message: format!(
-                        "slot stream sums to {sum} J but the {metric} gauge reads {gauge} J"
+                        "last slot battery {last} J disagrees with sim.final_battery_j {gauge} J"
                     ),
                 });
             }
         }
-    };
-    check_sum("sim.delivered_j", sum_used, "energy.delivered");
-    check_sum("sim.offered_j", sum_supplied, "energy.offered");
-    if let (Some(last), Some(gauge)) = (
-        last_battery,
-        trace.scoped_gauge(scope, "sim.final_battery_j"),
-    ) {
-        report.checks += 1;
-        if (last - gauge).abs() > tol {
-            report.violations.push(Violation {
-                invariant: "battery.final",
-                scope: scope.to_string(),
-                seq: anchor_seq,
-                slot: anchor_slot,
-                message: format!(
-                    "last slot battery {last} J disagrees with sim.final_battery_j {gauge} J"
-                ),
-            });
-        }
-    }
-    if let (Some(last), Some(gauge)) =
-        (last_under, trace.scoped_gauge(scope, "sim.undersupplied_j"))
-    {
-        report.checks += 1;
-        if (last - gauge).abs() > tol {
-            report.violations.push(Violation {
-                invariant: "undersupply.final",
-                scope: scope.to_string(),
-                seq: anchor_seq,
-                slot: anchor_slot,
-                message: format!(
-                    "last slot undersupply {last} J disagrees with sim.undersupplied_j {gauge} J"
-                ),
-            });
+        if let (Some(last), Some(gauge)) = (
+            self.last_under,
+            gauge_of(gauges, scope, "sim.undersupplied_j"),
+        ) {
+            report.checks += 1;
+            if (last - gauge).abs() > tol {
+                report.violations.push(Violation {
+                    invariant: "undersupply.final",
+                    scope: scope.to_string(),
+                    seq: anchor_seq,
+                    slot: anchor_slot,
+                    message: format!(
+                        "last slot undersupply {last} J disagrees with sim.undersupplied_j {gauge} J"
+                    ),
+                });
+            }
         }
     }
 }
 
-/// `safety.*` transition legality for one scope.
-fn audit_safety(
-    trace: &Trace,
-    scope: &str,
-    events: &[&Event],
-    dropped: u64,
-    report: &mut AuditReport,
-) {
-    let shed_step = trace.scoped_gauge(scope, "safety.shed_step");
-    let backoff = trace.scoped_gauge(scope, "safety.backoff_slots");
-    let max_failures = trace.scoped_gauge(scope, "safety.max_replan_failures");
-    let mut state = SafetyState::default();
+/// Safety-machine state while walking one scope's `safety.*` events.
+#[derive(Default)]
+struct SafetyPass {
+    last_level: Option<f64>,
+    consecutive_failures: f64,
+    /// `(slot, failures)` of the most recent failure, for the dwell check.
+    last_failure: Option<(u64, f64)>,
+    fallback_engaged: bool,
+    last_slot: Option<u64>,
+    events_seen: u64,
+}
 
-    let fail = |invariant: &'static str, e: &Event, message: String, report: &mut AuditReport| {
-        report.violations.push(Violation {
-            invariant,
-            scope: scope.to_string(),
-            seq: Some(e.seq),
-            slot: e.slot,
-            message,
-        });
-    };
-
-    for e in events.iter().filter(|e| e.name.starts_with("safety.")) {
-        state.events_seen += 1;
+impl SafetyPass {
+    /// One `safety.*` event against the config gauges known so far:
+    /// `(shed_step, backoff_slots, max_replan_failures)`.
+    fn step(
+        &mut self,
+        scope: &str,
+        e: &Event,
+        config: (Option<f64>, Option<f64>, Option<f64>),
+        report: &mut AuditReport,
+    ) {
+        let (shed_step, backoff, max_failures) = config;
+        self.events_seen += 1;
         report.checks += 1;
+
+        let fail = |invariant: &'static str, message: String, report: &mut AuditReport| {
+            report.violations.push(Violation {
+                invariant,
+                scope: scope.to_string(),
+                seq: Some(e.seq),
+                slot: e.slot,
+                message,
+            });
+        };
 
         // Safety transitions happen at governor decision points; their
         // slots may repeat (several transitions in one slot) but never
         // run backwards.
-        if let (Some(prev), Some(cur)) = (state.last_slot, e.slot) {
+        if let (Some(prev), Some(cur)) = (self.last_slot, e.slot) {
             if cur < prev {
                 fail(
                     "safety.slot_order",
-                    e,
                     format!("transition at slot {cur} follows one at slot {prev}"),
                     report,
                 );
             }
         }
-        state.last_slot = e.slot.or(state.last_slot);
+        self.last_slot = e.slot.or(self.last_slot);
 
         let replan_kind = matches!(
             e.name.as_str(),
             "safety.replan_failed" | "safety.replan_recovered" | "safety.fallback_engaged"
         );
-        if state.fallback_engaged && replan_kind {
+        if self.fallback_engaged && replan_kind {
             fail(
                 "safety.fallback_terminal",
-                e,
                 format!("{} after the static fallback engaged", e.name),
                 report,
             );
@@ -428,17 +417,15 @@ fn audit_safety(
                 else {
                     fail(
                         "safety.fields",
-                        e,
                         format!("{} event lacks from_level/to_level", e.name),
                         report,
                     );
-                    continue;
+                    return;
                 };
-                if let Some(last) = state.last_level {
+                if let Some(last) = self.last_level {
                     if from != last {
                         fail(
                             "safety.level_chain",
-                            e,
                             format!("transition starts at level {from} but the previous one ended at {last}"),
                             report,
                         );
@@ -449,7 +436,6 @@ fn audit_safety(
                     if to <= from || to - from > step_cap {
                         fail(
                             "safety.shed_step",
-                            e,
                             format!(
                                 "shed moved {from} → {to}; must rise by 1..={step_cap} ranks per slot"
                             ),
@@ -459,28 +445,25 @@ fn audit_safety(
                 } else if to != from - 1.0 {
                     fail(
                         "safety.recover_step",
-                        e,
                         format!("recovery moved {from} → {to}; hysteresis relaxes exactly one rank per slot"),
                         report,
                     );
                 }
-                state.last_level = Some(to);
+                self.last_level = Some(to);
             }
             "safety.replan_failed" => {
                 let Some(failures) = Trace::field(e, "failures") else {
                     fail(
                         "safety.fields",
-                        e,
                         "replan_failed event lacks a failures field".into(),
                         report,
                     );
-                    continue;
+                    return;
                 };
-                let expected = state.consecutive_failures + 1.0;
+                let expected = self.consecutive_failures + 1.0;
                 if failures != expected {
                     fail(
                         "safety.failure_count",
-                        e,
                         format!(
                             "failure counter reads {failures}, expected {expected} (consecutive)"
                         ),
@@ -488,13 +471,12 @@ fn audit_safety(
                     );
                 }
                 if let (Some((prev_slot, prev_failures)), Some(b), Some(cur)) =
-                    (state.last_failure, backoff, e.slot)
+                    (self.last_failure, backoff, e.slot)
                 {
                     let earliest = prev_slot as f64 + 1.0 + b * prev_failures;
                     if (cur as f64) < earliest {
                         fail(
                             "safety.retry_dwell",
-                            e,
                             format!(
                                 "inner governor consulted at slot {cur}, before the backoff dwell ends at slot {earliest}"
                             ),
@@ -502,33 +484,31 @@ fn audit_safety(
                         );
                     }
                 }
-                state.consecutive_failures = failures;
+                self.consecutive_failures = failures;
                 if let Some(cur) = e.slot {
-                    state.last_failure = Some((cur, failures));
+                    self.last_failure = Some((cur, failures));
                 }
             }
             "safety.replan_recovered" => {
                 let after = Trace::field(e, "after").unwrap_or(-1.0);
-                if state.consecutive_failures < 1.0 {
+                if self.consecutive_failures < 1.0 {
                     fail(
                         "safety.recovered_without_failure",
-                        e,
                         "replan recovery with no preceding failure".into(),
                         report,
                     );
-                } else if after != state.consecutive_failures {
+                } else if after != self.consecutive_failures {
                     fail(
                         "safety.failure_count",
-                        e,
                         format!(
                             "recovery reports {after} preceding failures, the stream shows {}",
-                            state.consecutive_failures
+                            self.consecutive_failures
                         ),
                         report,
                     );
                 }
-                state.consecutive_failures = 0.0;
-                state.last_failure = None;
+                self.consecutive_failures = 0.0;
+                self.last_failure = None;
             }
             "safety.fallback_engaged" => {
                 let failures = Trace::field(e, "failures").unwrap_or(-1.0);
@@ -536,7 +516,6 @@ fn audit_safety(
                     if failures != budget {
                         fail(
                             "safety.fallback_budget",
-                            e,
                             format!(
                                 "fallback engaged after {failures} failures; the configured budget is {budget}"
                             ),
@@ -544,18 +523,27 @@ fn audit_safety(
                         );
                     }
                 }
-                state.fallback_engaged = true;
+                self.fallback_engaged = true;
             }
             _ => {}
         }
     }
 
-    // The degradation counter must agree with the event stream (only
-    // provable when the ring dropped nothing).
-    if dropped == 0 {
-        if let Some(counted) = trace.scoped_counter(scope, "safety.degradations") {
+    /// The degradation counter must agree with the event stream (only
+    /// provable when the ring dropped nothing).
+    fn finish(
+        &self,
+        scope: &str,
+        counters: &BTreeMap<String, u64>,
+        dropped: u64,
+        report: &mut AuditReport,
+    ) {
+        if dropped != 0 {
+            return;
+        }
+        if let Some(counted) = counter_of(counters, scope, "safety.degradations") {
             report.checks += 1;
-            if counted != state.events_seen {
+            if counted != self.events_seen {
                 report.violations.push(Violation {
                     invariant: "safety.event_count",
                     scope: scope.to_string(),
@@ -563,7 +551,7 @@ fn audit_safety(
                     slot: None,
                     message: format!(
                         "safety.degradations counter reads {counted} but {} safety.* events are in the trace",
-                        state.events_seen
+                        self.events_seen
                     ),
                 });
             }
@@ -571,89 +559,71 @@ fn audit_safety(
     }
 }
 
-/// Power-topology legality for one scope: replay `broker.level` events
+/// Power-topology machine for one scope: replay `broker.level` events
 /// against the declared `broker.element`/`broker.edge` structure.
-fn audit_broker(
-    trace: &Trace,
-    scope: &str,
-    events: &[&Event],
-    dropped: u64,
-    report: &mut AuditReport,
-) {
-    let broker_events: Vec<&&Event> = events
-        .iter()
-        .filter(|e| e.name.starts_with("broker."))
-        .collect();
-    if broker_events.is_empty() {
-        return;
-    }
+#[derive(Default)]
+struct BrokerPass {
+    /// element index → (max_level, name).
+    elements: BTreeMap<u64, (f64, String)>,
+    edges: Vec<(u64, u64, f64)>,
+    level: BTreeMap<u64, f64>,
+    shutdown_started: bool,
+    shutdown_complete: bool,
+    shutdowns: u64,
+    downs: u64,
+    ups: u64,
+}
 
-    // Declarations make the trace self-describing: element index →
-    // (max_level, floor, name) and the dependency edges.
-    let mut elements: BTreeMap<u64, (f64, String)> = BTreeMap::new();
-    let mut edges: Vec<(u64, u64, f64)> = Vec::new();
-    for e in &broker_events {
+impl BrokerPass {
+    /// Absorb a `broker.element` / `broker.edge` declaration; other
+    /// events are ignored. Declarations make the trace self-describing.
+    fn declare(&mut self, e: &Event) {
         match e.name.as_str() {
             "broker.element" => {
                 if let Some(idx) = Trace::field(e, "element") {
                     let max = Trace::field(e, "max_level").unwrap_or(1.0);
                     let name = e.detail.clone().unwrap_or_default();
-                    elements.insert(idx as u64, (max, name));
+                    self.elements.insert(idx as u64, (max, name));
+                    self.level.entry(idx as u64).or_insert(0.0);
                 }
             }
             "broker.edge" => {
                 if let (Some(c), Some(p)) = (Trace::field(e, "child"), Trace::field(e, "provider"))
                 {
                     let req = Trace::field(e, "min_provider_level").unwrap_or(1.0);
-                    edges.push((c as u64, p as u64, req));
+                    self.edges.push((c as u64, p as u64, req));
                 }
             }
             _ => {}
         }
     }
-    let has_levels = broker_events.iter().any(|e| e.name == "broker.level");
-    if elements.is_empty() {
-        if has_levels {
-            report.notes.push(format!(
-                "scope \"{scope}\": broker.level events without broker.element declarations — legality replay skipped"
-            ));
-        }
-        return;
-    }
 
-    let fail = |invariant: &'static str, e: &Event, message: String, report: &mut AuditReport| {
-        report.violations.push(Violation {
-            invariant,
-            scope: scope.to_string(),
-            seq: Some(e.seq),
-            slot: e.slot,
-            message,
-        });
-    };
-
-    let mut level: BTreeMap<u64, f64> = elements.keys().map(|&i| (i, 0.0)).collect();
-    let mut shutdown_started = false;
-    let mut shutdown_complete = false;
-    let mut shutdowns = 0u64;
-    let mut downs = 0u64;
-    let mut ups = 0u64;
-
-    for e in &broker_events {
+    /// Replay one `broker.shutdown_*` / `broker.level` event; declaration
+    /// events are no-ops here.
+    fn replay(&mut self, scope: &str, e: &Event, report: &mut AuditReport) {
+        let fail = |invariant: &'static str, message: String, report: &mut AuditReport| {
+            report.violations.push(Violation {
+                invariant,
+                scope: scope.to_string(),
+                seq: Some(e.seq),
+                slot: e.slot,
+                message,
+            });
+        };
         match e.name.as_str() {
             "broker.shutdown_start" => {
-                shutdowns += 1;
+                self.shutdowns += 1;
                 report.checks += 1;
-                if shutdowns > 1 {
+                if self.shutdowns > 1 {
                     fail(
                         "broker.shutdown_once",
-                        e,
                         "a second terminal shutdown started; the walk is final".into(),
                         report,
                     );
                 }
-                shutdown_started = true;
+                self.shutdown_started = true;
             }
-            "broker.shutdown_complete" => shutdown_complete = true,
+            "broker.shutdown_complete" => self.shutdown_complete = true,
             "broker.level" => {
                 report.checks += 1;
                 let (Some(el), Some(from), Some(to)) = (
@@ -663,33 +633,29 @@ fn audit_broker(
                 ) else {
                     fail(
                         "broker.fields",
-                        e,
                         "broker.level event lacks element/from/to".into(),
                         report,
                     );
-                    continue;
+                    return;
                 };
                 let el = el as u64;
-                if shutdown_complete {
+                if self.shutdown_complete {
                     fail(
                         "broker.shutdown_final",
-                        e,
                         "level change after broker.shutdown_complete".into(),
                         report,
                     );
                 }
-                if shutdown_started && to > from {
+                if self.shutdown_started && to > from {
                     fail(
                         "broker.shutdown_monotone",
-                        e,
                         format!("element {el} rose {from} → {to} during terminal shutdown"),
                         report,
                     );
                 }
-                match elements.get(&el) {
+                match self.elements.get(&el) {
                     None => fail(
                         "broker.unknown_element",
-                        e,
                         format!("level change on undeclared element {el}"),
                         report,
                     ),
@@ -697,18 +663,16 @@ fn audit_broker(
                         if to > *max {
                             fail(
                                 "broker.level_range",
-                                e,
                                 format!("element {el} ({name}) raised to {to}, above max {max}"),
                                 report,
                             );
                         }
                     }
                 }
-                if let Some(cur) = level.get(&el) {
+                if let Some(cur) = self.level.get(&el) {
                     if from != *cur {
                         fail(
                             "broker.level_chain",
-                            e,
                             format!(
                                 "element {el} change starts at {from} but the replayed level is {cur}"
                             ),
@@ -717,23 +681,22 @@ fn audit_broker(
                     }
                 }
                 if to < from {
-                    downs += 1;
+                    self.downs += 1;
                 } else if to > from {
-                    ups += 1;
+                    self.ups += 1;
                 }
-                level.insert(el, to);
+                self.level.insert(el, to);
                 // The core invariant, holding after *every* change: no
                 // powered element above an under-level provider. This
                 // doubles as the ordering check — any provider-first
                 // drop or child-first raise trips it mid-reconciliation.
                 report.checks += 1;
-                for &(child, provider, req) in &edges {
-                    let cl = level.get(&child).copied().unwrap_or(0.0);
-                    let pl = level.get(&provider).copied().unwrap_or(0.0);
+                for &(child, provider, req) in &self.edges {
+                    let cl = self.level.get(&child).copied().unwrap_or(0.0);
+                    let pl = self.level.get(&provider).copied().unwrap_or(0.0);
                     if cl >= 1.0 && pl < req {
                         fail(
                             "broker.legality",
-                            e,
                             format!(
                                 "element {child} powered at {cl} while provider {provider} sits at {pl} (needs {req})"
                             ),
@@ -746,11 +709,20 @@ fn audit_broker(
         }
     }
 
-    // Census: the counters must agree with the replayed stream (only
-    // provable when the ring dropped nothing).
-    if dropped == 0 {
+    /// Census: the counters must agree with the replayed stream (only
+    /// provable when the ring dropped nothing).
+    fn finish(
+        &self,
+        scope: &str,
+        counters: &BTreeMap<String, u64>,
+        dropped: u64,
+        report: &mut AuditReport,
+    ) {
+        if dropped != 0 {
+            return;
+        }
         let mut check = |counter: &str, seen: u64| {
-            if let Some(counted) = trace.scoped_counter(scope, counter) {
+            if let Some(counted) = counter_of(counters, scope, counter) {
                 report.checks += 1;
                 if counted != seen {
                     report.violations.push(Violation {
@@ -765,27 +737,321 @@ fn audit_broker(
                 }
             }
         };
-        check("broker.revocations", downs);
-        check("broker.restores", ups);
-        check("broker.terminal_shutdowns", shutdowns);
+        check("broker.revocations", self.downs);
+        check("broker.restores", self.ups);
+        check("broker.terminal_shutdowns", self.shutdowns);
     }
+}
+
+/// Online invariant machines for one scope, fed as lines arrive.
+#[derive(Default)]
+struct OnlineScope {
+    seq: SeqPass,
+    slots: SlotPass,
+    safety: SafetyPass,
+    broker: BrokerPass,
+}
+
+/// Everything retained about one scope: the event buffer for the
+/// canonical finish pass, plus the live machines.
+#[derive(Default)]
+struct ScopeState {
+    events: Vec<Event>,
+    online: OnlineScope,
+}
+
+/// Incremental audit engine: push [`TraceLine`]s as they arrive, collect
+/// immediate (event-anchored) violations from each push, and call
+/// [`AuditState::finish`] for the canonical whole-stream report.
+///
+/// See the module docs for the online-vs-canonical contract. The online
+/// pass uses only the gauges already streamed, so emitters that want live
+/// battery-window and safety-config checks must send their config gauges
+/// before the first event — which the simulator and `dpm-serve` both do.
+pub struct AuditState {
+    cfg: AuditConfig,
+    /// The advertised header, when one was pushed (batch documents always
+    /// carry one first; live streams may append it at close).
+    meta: Option<TraceMeta>,
+    /// Number of meta lines pushed — a second one is itself a violation.
+    meta_lines: u64,
+    /// Events pushed so far (the body count the meta must match).
+    body_events: u64,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    scopes: BTreeMap<String, ScopeState>,
+    /// Every violation the online pass has flagged, in push order.
+    online: Vec<Violation>,
+    /// Scratch min-slack for the online slot machines (the canonical one
+    /// is recomputed in `finish` over sorted scopes).
+    online_min_slack: MinSlack,
+}
+
+impl AuditState {
+    /// A fresh auditor.
+    pub fn new(cfg: AuditConfig) -> Self {
+        Self {
+            cfg,
+            meta: None,
+            meta_lines: 0,
+            body_events: 0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            scopes: BTreeMap::new(),
+            online: Vec::new(),
+            online_min_slack: None,
+        }
+    }
+
+    /// Consume one line; returns the violations that became observable at
+    /// exactly this line (empty for a healthy stream). Gauge-anchored
+    /// end-of-run checks are deferred to [`AuditState::finish`].
+    pub fn push(&mut self, line: &TraceLine) -> Vec<Violation> {
+        let mut fresh = AuditReport::default();
+        match line {
+            TraceLine::Meta(m) => {
+                self.meta_lines += 1;
+                if self.meta.is_some() {
+                    fresh.violations.push(Violation {
+                        invariant: "meta.duplicate",
+                        scope: String::new(),
+                        seq: None,
+                        slot: None,
+                        message: "a second meta header arrived mid-stream".into(),
+                    });
+                } else {
+                    self.meta = Some(m.clone());
+                }
+            }
+            TraceLine::Event(e) => {
+                self.body_events += 1;
+                let tol = self.cfg.tolerance_j;
+                let window = (
+                    gauge_of(&self.gauges, &e.scope, "sim.c_min_j"),
+                    gauge_of(&self.gauges, &e.scope, "sim.c_max_j"),
+                );
+                let safety_cfg = (
+                    gauge_of(&self.gauges, &e.scope, "safety.shed_step"),
+                    gauge_of(&self.gauges, &e.scope, "safety.backoff_slots"),
+                    gauge_of(&self.gauges, &e.scope, "safety.max_replan_failures"),
+                );
+                let state = self.scopes.entry(e.scope.clone()).or_default();
+                state.online.seq.step(&e.scope, e, &mut fresh);
+                if e.name == "sim.slot" {
+                    state.online.slots.step(
+                        &e.scope,
+                        e,
+                        window,
+                        tol,
+                        &mut fresh,
+                        &mut self.online_min_slack,
+                    );
+                } else if e.name.starts_with("safety.") {
+                    state
+                        .online
+                        .safety
+                        .step(&e.scope, e, safety_cfg, &mut fresh);
+                } else if e.name.starts_with("broker.") {
+                    state.online.broker.declare(e);
+                    // The replay needs the declared structure; until the
+                    // first declaration arrives level events are held for
+                    // the canonical pass (which sees the whole buffer).
+                    if !state.online.broker.elements.is_empty() {
+                        state.online.broker.replay(&e.scope, e, &mut fresh);
+                    }
+                }
+                state.events.push(e.clone());
+            }
+            TraceLine::Counter(c) => {
+                self.counters.insert(c.name.clone(), c.value);
+            }
+            TraceLine::Gauge(g) => {
+                self.gauges.insert(g.name.clone(), g.value);
+            }
+            TraceLine::Histogram(_) | TraceLine::Span(_) => {}
+        }
+        self.online.extend(fresh.violations.iter().cloned());
+        fresh.violations
+    }
+
+    /// Whether the online pass has flagged anything so far.
+    pub fn ok_so_far(&self) -> bool {
+        self.online.is_empty()
+    }
+
+    /// Every violation the online pass has flagged, in push order.
+    pub fn online_violations(&self) -> &[Violation] {
+        &self.online
+    }
+
+    /// Assemble the canonical report: re-walk the retained buffers against
+    /// the final gauge/counter maps, exactly as the whole-file audit
+    /// always has. Identical to `audit(&trace, &cfg)` when the pushed
+    /// lines came from a parsed trace, in any chunking.
+    pub fn finish(&self) -> AuditReport {
+        let mut report = AuditReport::default();
+        let tol = self.cfg.tolerance_j;
+
+        // 1. Meta consistency.
+        match &self.meta {
+            Some(meta) => {
+                report.checks += 1;
+                if meta.events != self.body_events {
+                    report.violations.push(Violation {
+                        invariant: "meta.events",
+                        scope: String::new(),
+                        seq: None,
+                        slot: None,
+                        message: format!(
+                            "meta advertises {} events but the body holds {}",
+                            meta.events, self.body_events
+                        ),
+                    });
+                }
+            }
+            None => report
+                .notes
+                .push("no meta header seen — event-count check skipped".to_string()),
+        }
+        if self.meta_lines > 1 {
+            report.violations.push(Violation {
+                invariant: "meta.duplicate",
+                scope: String::new(),
+                seq: None,
+                slot: None,
+                message: format!("{} meta headers in one stream", self.meta_lines),
+            });
+        }
+        let dropped = self.meta.as_ref().map_or(0, |m| m.dropped);
+        if dropped > 0 {
+            report.notes.push(format!(
+                "{dropped} events were dropped at the ring capacity: slot-sum and event-count checks skipped"
+            ));
+        }
+
+        report.scopes = self.scopes.len();
+        let mut min_slack: MinSlack = None;
+
+        for (scope, state) in &self.scopes {
+            let events = &state.events;
+
+            // Sequence monotonicity over every event.
+            let mut seq = SeqPass::default();
+            for e in events {
+                seq.step(scope, e, &mut report);
+            }
+
+            // Battery envelope / slot order / undersupply.
+            let has_slots = events.iter().any(|e| e.name == "sim.slot");
+            if has_slots {
+                let window = (
+                    gauge_of(&self.gauges, scope, "sim.c_min_j"),
+                    gauge_of(&self.gauges, scope, "sim.c_max_j"),
+                );
+                if window.0.is_none() || window.1.is_none() {
+                    report.notes.push(format!(
+                        "scope \"{scope}\": no sim.c_min_j/sim.c_max_j gauges — battery-window check skipped"
+                    ));
+                }
+                let mut slots = SlotPass::default();
+                for e in events.iter().filter(|e| e.name == "sim.slot") {
+                    slots.step(scope, e, window, tol, &mut report, &mut min_slack);
+                }
+                slots.finish(scope, &self.gauges, tol, dropped, &mut report);
+            }
+
+            // Safety-machine legality.
+            let safety_cfg = (
+                gauge_of(&self.gauges, scope, "safety.shed_step"),
+                gauge_of(&self.gauges, scope, "safety.backoff_slots"),
+                gauge_of(&self.gauges, scope, "safety.max_replan_failures"),
+            );
+            let mut safety = SafetyPass::default();
+            for e in events.iter().filter(|e| e.name.starts_with("safety.")) {
+                safety.step(scope, e, safety_cfg, &mut report);
+            }
+            safety.finish(scope, &self.counters, dropped, &mut report);
+
+            // Topology legality: collect every declaration first (the
+            // batch contract — declarations anywhere in the stream apply
+            // to the whole replay), then walk the level changes.
+            let broker_events: Vec<&Event> = events
+                .iter()
+                .filter(|e| e.name.starts_with("broker."))
+                .collect();
+            if !broker_events.is_empty() {
+                let mut broker = BrokerPass::default();
+                for e in &broker_events {
+                    broker.declare(e);
+                }
+                let has_levels = broker_events.iter().any(|e| e.name == "broker.level");
+                if broker.elements.is_empty() {
+                    if has_levels {
+                        report.notes.push(format!(
+                            "scope \"{scope}\": broker.level events without broker.element declarations — legality replay skipped"
+                        ));
+                    }
+                } else {
+                    for e in &broker_events {
+                        broker.replay(scope, e, &mut report);
+                    }
+                    broker.finish(scope, &self.counters, dropped, &mut report);
+                }
+            }
+        }
+
+        // Gauge-only closing balance, independent of the event ring.
+        audit_energy_balance(&self.gauges, tol, &mut report);
+
+        if let Some((slack, scope, slot)) = min_slack {
+            report.notes.push(format!(
+                "minimum battery slack to the window edge: {slack:.6} J (scope \"{scope}\", slot {slot})"
+            ));
+        }
+        report
+    }
+}
+
+/// Audit `trace` against every invariant family; a thin loop over
+/// [`AuditState`] — see the module docs.
+pub fn audit(trace: &Trace, cfg: &AuditConfig) -> AuditReport {
+    let mut state = AuditState::new(*cfg);
+    state.push(&TraceLine::Meta(trace.meta.clone()));
+    for e in &trace.events {
+        state.push(&TraceLine::Event(e.clone()));
+    }
+    // Counters and gauges are last-write-wins maps: replaying only the
+    // final values is exactly what the serialized document does.
+    for (name, &value) in &trace.counters {
+        state.push(&TraceLine::Counter(dpm_telemetry::CounterLine {
+            name: name.clone(),
+            value,
+        }));
+    }
+    for (name, &value) in &trace.gauges {
+        state.push(&TraceLine::Gauge(dpm_telemetry::GaugeLine {
+            name: name.clone(),
+            value,
+        }));
+    }
+    state.finish()
 }
 
 /// Closing energy balance from gauges alone (Eq. 8 over the whole run):
 /// `offered − wasted − rate_loss − delivered − (final − initial) ≈ 0`,
 /// for every scope that advertises exact accounting.
-fn audit_energy_balance(trace: &Trace, tol: f64, report: &mut AuditReport) {
+fn audit_energy_balance(gauges: &BTreeMap<String, f64>, tol: f64, report: &mut AuditReport) {
     // Enumerate scopes from the gauge map so the check also covers scopes
     // whose events were dropped from the ring.
     let mut scopes: BTreeMap<&str, ()> = BTreeMap::new();
-    for name in trace.gauges.keys() {
+    for name in gauges.keys() {
         let (scope, metric) = split_scoped(name);
         if metric == "sim.final_battery_j" {
             scopes.insert(scope, ());
         }
     }
     for (scope, ()) in scopes {
-        let conserving = trace.scoped_gauge(scope, "sim.energy_conserving");
+        let conserving = gauge_of(gauges, scope, "sim.energy_conserving");
         if conserving != Some(1.0) {
             if conserving == Some(0.0) {
                 report.notes.push(format!(
@@ -795,12 +1061,12 @@ fn audit_energy_balance(trace: &Trace, tol: f64, report: &mut AuditReport) {
             continue;
         }
         let needed = [
-            trace.scoped_gauge(scope, "sim.offered_j"),
-            trace.scoped_gauge(scope, "sim.wasted_j"),
-            trace.scoped_gauge(scope, "sim.rate_loss_j"),
-            trace.scoped_gauge(scope, "sim.delivered_j"),
-            trace.scoped_gauge(scope, "sim.initial_battery_j"),
-            trace.scoped_gauge(scope, "sim.final_battery_j"),
+            gauge_of(gauges, scope, "sim.offered_j"),
+            gauge_of(gauges, scope, "sim.wasted_j"),
+            gauge_of(gauges, scope, "sim.rate_loss_j"),
+            gauge_of(gauges, scope, "sim.delivered_j"),
+            gauge_of(gauges, scope, "sim.initial_battery_j"),
+            gauge_of(gauges, scope, "sim.final_battery_j"),
         ];
         let [Some(offered), Some(wasted), Some(rate_loss), Some(delivered), Some(initial), Some(fin)] =
             needed
@@ -830,7 +1096,7 @@ fn audit_energy_balance(trace: &Trace, tol: f64, report: &mut AuditReport) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpm_telemetry::Recorder;
+    use dpm_telemetry::{parse_trace_jsonl, Recorder};
 
     /// A minimal healthy single-scope run: 3 slots, window [0.5, 16].
     fn healthy_recorder() -> Recorder {
@@ -1355,5 +1621,193 @@ mod tests {
             "{s}"
         );
         assert!(s.contains("seq=12") && s.contains("slot=4"), "{s}");
+    }
+
+    // ---- incremental engine -------------------------------------------
+
+    /// Feed a JSONL document line-by-line through an [`AuditState`].
+    fn replay_lines(jsonl: &str) -> AuditState {
+        let mut state = AuditState::new(AuditConfig::default());
+        for line in parse_trace_jsonl(jsonl).unwrap() {
+            state.push(&line);
+        }
+        state
+    }
+
+    #[test]
+    fn incremental_replay_equals_batch_audit() {
+        // A trace exercising every family at once: slots + safety +
+        // broker + a deliberate window violation and census mismatch.
+        let rec = healthy_recorder();
+        safety_config(&rec);
+        rec.event(
+            "safety.shed",
+            Some(0),
+            0.0,
+            &[("from_level", 0.0), ("to_level", 1.0)],
+        );
+        rec.incr("safety.degradations", 3); // census mismatch
+        rec.event(
+            "sim.slot",
+            Some(9),
+            43.2,
+            &[("battery_j", 99.0), ("used_j", 0.0), ("supplied_j", 0.0)],
+        );
+        let jsonl = rec.to_jsonl();
+        let batch = audit_str(&jsonl);
+        let incremental = replay_lines(&jsonl).finish();
+        assert_eq!(batch, incremental);
+        assert!(!batch.ok());
+    }
+
+    #[test]
+    fn incremental_replay_is_chunking_invariant() {
+        let jsonl = healthy_recorder().to_jsonl();
+        let lines = parse_trace_jsonl(&jsonl).unwrap();
+        let whole = audit_str(&jsonl);
+        // Any split point yields the same canonical report.
+        for split in 0..=lines.len() {
+            let mut state = AuditState::new(AuditConfig::default());
+            for line in &lines[..split] {
+                state.push(line);
+            }
+            for line in &lines[split..] {
+                state.push(line);
+            }
+            assert_eq!(state.finish(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn online_window_violation_is_flagged_on_the_offending_push() {
+        // Live order: config gauges first, then events — the emitter
+        // contract that makes the online window check possible.
+        let mut state = AuditState::new(AuditConfig::default());
+        state.push(&TraceLine::Gauge(dpm_telemetry::GaugeLine {
+            name: "sim.c_min_j".into(),
+            value: 0.5,
+        }));
+        state.push(&TraceLine::Gauge(dpm_telemetry::GaugeLine {
+            name: "sim.c_max_j".into(),
+            value: 16.0,
+        }));
+        let healthy = Event {
+            seq: 0,
+            scope: String::new(),
+            name: "sim.slot".into(),
+            slot: Some(0),
+            time: 0.0,
+            fields: vec![("battery_j".into(), 8.0)],
+            detail: None,
+        };
+        assert!(state.push(&TraceLine::Event(healthy.clone())).is_empty());
+        assert!(state.ok_so_far());
+        let mut bad = healthy;
+        bad.seq = 1;
+        bad.slot = Some(1);
+        bad.fields = vec![("battery_j".into(), 21.0)];
+        let fresh = state.push(&TraceLine::Event(bad));
+        assert_eq!(fresh.len(), 1, "{fresh:?}");
+        assert_eq!(fresh[0].invariant, "battery.window");
+        assert_eq!(fresh[0].slot, Some(1));
+        assert!(!state.ok_so_far());
+        assert_eq!(state.online_violations().len(), 1);
+    }
+
+    #[test]
+    fn online_safety_and_seq_violations_fire_immediately() {
+        let mut state = AuditState::new(AuditConfig::default());
+        let shed = |seq: u64, slot: u64, from: f64, to: f64| {
+            TraceLine::Event(Event {
+                seq,
+                scope: String::new(),
+                name: "safety.shed".into(),
+                slot: Some(slot),
+                time: slot as f64 * 4.8,
+                fields: vec![("from_level".into(), from), ("to_level".into(), to)],
+                detail: None,
+            })
+        };
+        assert!(state.push(&shed(0, 0, 0.0, 1.0)).is_empty());
+        // Chain break flagged on this very push.
+        let fresh = state.push(&shed(1, 1, 3.0, 4.0));
+        assert!(
+            fresh.iter().any(|v| v.invariant == "safety.level_chain"),
+            "{fresh:?}"
+        );
+        // A rewound seq too.
+        let fresh = state.push(&shed(0, 2, 4.0, 5.0));
+        assert!(
+            fresh.iter().any(|v| v.invariant == "seq.monotonic"),
+            "{fresh:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_meta_is_flagged_online_and_in_the_report() {
+        let meta = TraceLine::Meta(TraceMeta {
+            schema: dpm_telemetry::SCHEMA_VERSION,
+            source: "unit".into(),
+            events: 0,
+            dropped: 0,
+        });
+        let mut state = AuditState::new(AuditConfig::default());
+        assert!(state.push(&meta).is_empty());
+        let fresh = state.push(&meta);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].invariant, "meta.duplicate");
+        let report = state.finish();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "meta.duplicate"));
+    }
+
+    #[test]
+    fn metaless_stream_skips_the_count_check_with_a_note() {
+        let mut state = AuditState::new(AuditConfig::default());
+        state.push(&TraceLine::Event(Event {
+            seq: 0,
+            scope: String::new(),
+            name: "a".into(),
+            slot: None,
+            time: 0.0,
+            fields: Vec::new(),
+            detail: None,
+        }));
+        let report = state.finish();
+        assert!(report.ok(), "{:?}", report.violations);
+        assert!(
+            report.notes.iter().any(|n| n.contains("no meta header")),
+            "{:?}",
+            report.notes
+        );
+    }
+
+    #[test]
+    fn trailing_meta_still_anchors_the_count_check() {
+        // Live sessions append the header at close; the count check must
+        // work no matter where the meta line sat in the stream.
+        let rec = Recorder::enabled("unit");
+        rec.event("a", Some(0), 0.0, &[]);
+        let lines = parse_trace_jsonl(&rec.to_jsonl()).unwrap();
+        let mut state = AuditState::new(AuditConfig::default());
+        for line in lines.iter().skip(1) {
+            state.push(line);
+        }
+        state.push(&lines[0]);
+        let report = state.finish();
+        assert!(report.ok(), "{:?}", report.violations);
+
+        // And a lying trailing header is still caught.
+        let mut state = AuditState::new(AuditConfig::default());
+        state.push(&TraceLine::Meta(TraceMeta {
+            schema: dpm_telemetry::SCHEMA_VERSION,
+            source: "unit".into(),
+            events: 5,
+            dropped: 0,
+        }));
+        let report = state.finish();
+        assert_eq!(report.first().map(|v| v.invariant), Some("meta.events"));
     }
 }

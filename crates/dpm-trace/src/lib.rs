@@ -8,6 +8,8 @@
 //! - [`audit`] — replay a trace against the battery-window, energy-
 //!   conservation, safety-legality, and undersupply-monotonicity
 //!   invariants, pinpointing the first violation as `(scope, seq, slot)`;
+//!   since PR 9 the engine is incremental ([`AuditState`]) so the same
+//!   invariants gate live `dpm-serve` sessions line-by-line;
 //! - [`diff`] — first-divergence comparison between two traces with
 //!   decoded context (the determinism gate);
 //! - [`summary`] — per-run report: activity counters, safety transition
@@ -34,7 +36,7 @@ pub mod fleet;
 pub mod model;
 pub mod summary;
 
-pub use audit::{audit, AuditConfig, AuditReport, Violation};
+pub use audit::{audit, AuditConfig, AuditReport, AuditState, Violation};
 pub use bench::{check as bench_check, BenchBaseline, BenchSpan, Regression, BENCH_SCHEMA};
 pub use diff::{first_divergence, Divergence};
 pub use error::TraceError;

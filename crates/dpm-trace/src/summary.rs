@@ -177,6 +177,59 @@ pub fn render(trace: &Trace) -> String {
         );
     }
 
+    // Live-service census: a `dpm-serve` trace carries root-level
+    // session accounting plus per-session `serve.*` counters under the
+    // absorbed `serve/<name>` scopes.
+    let mut opened = 0u64;
+    let mut closed = 0u64;
+    let mut killed = 0u64;
+    let mut requests = 0u64;
+    let mut per_session: Vec<(&str, [u64; 4])> = Vec::new();
+    for (name, value) in &trace.counters {
+        let (scope, metric) = split_scoped(name);
+        match metric {
+            "serve.sessions_opened" => opened += value,
+            "serve.sessions_closed" => closed += value,
+            "serve.sessions_killed" => killed += value,
+            "serve.requests" => requests += value,
+            "serve.advances"
+            | "serve.slots_stepped"
+            | "serve.violations"
+            | "serve.rate_updates"
+            | "serve.disturbances" => {
+                let idx = match metric {
+                    "serve.advances" => 0,
+                    "serve.slots_stepped" => 1,
+                    "serve.violations" => 2,
+                    _ => 3, // rate updates and disturbances fold together
+                };
+                match per_session.iter_mut().find(|(s, _)| *s == scope) {
+                    Some((_, counts)) => counts[idx] += value,
+                    None => {
+                        let mut counts = [0u64; 4];
+                        counts[idx] = *value;
+                        per_session.push((scope, counts));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if opened + closed + killed + requests > 0 || !per_session.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nserve census: {opened} opened, {closed} closed, {killed} killed, {requests} requests"
+        );
+        per_session.sort_by_key(|(scope, _)| *scope);
+        for (scope, [advances, slots, violations, updates]) in &per_session {
+            let shown = if scope.is_empty() { "<root>" } else { scope };
+            let _ = writeln!(
+                out,
+                "  {shown:<40} {advances} advances, {slots} slots, {violations} violations, {updates} updates"
+            );
+        }
+    }
+
     // Histogram quantiles.
     if !trace.histograms.is_empty() {
         let _ = writeln!(
@@ -336,6 +389,41 @@ mod tests {
         // A trace with no broker events omits the census line entirely.
         let quiet = render(&sample_trace());
         assert!(!quiet.contains("broker activity"), "{quiet}");
+    }
+
+    #[test]
+    fn serve_census_aggregates_session_scopes() {
+        let rec = Recorder::enabled("serve");
+        rec.incr("serve.requests", 12);
+        rec.incr("serve.sessions_opened", 2);
+        rec.incr("serve.sessions_closed", 1);
+        rec.incr("serve.sessions_killed", 1);
+        let a = rec.sibling();
+        a.incr("serve.advances", 3);
+        a.incr("serve.slots_stepped", 24);
+        let b = rec.sibling();
+        b.incr("serve.advances", 2);
+        b.incr("serve.violations", 1);
+        b.incr("serve.rate_updates", 1);
+        rec.absorb("serve/a", &a);
+        rec.absorb("serve/b", &b);
+        let trace = Trace::parse(&rec.to_jsonl()).expect("parses");
+        let report = render(&trace);
+        assert!(
+            report.contains("serve census: 2 opened, 1 closed, 1 killed, 12 requests"),
+            "{report}"
+        );
+        assert!(
+            report.contains("serve/a") && report.contains("3 advances, 24 slots, 0 violations"),
+            "{report}"
+        );
+        assert!(
+            report.contains("serve/b") && report.contains("1 violations, 1 updates"),
+            "{report}"
+        );
+        // Traces without serve.* counters omit the census entirely.
+        let quiet = render(&sample_trace());
+        assert!(!quiet.contains("serve census"), "{quiet}");
     }
 
     #[test]
