@@ -7,7 +7,8 @@
 # (the observability layer must never take down the system it observes —
 # a poisoned lock degrades to recovering the data, not panicking),
 # crates/dpm-trace/src (trace analysis runs over possibly hostile input
-# and must degrade through typed errors), and crates/dpm-broker/src
+# and must degrade through typed errors — including the streaming
+# rollup and the span-tree profile analysis), and crates/dpm-broker/src
 # (the power-topology robustness kernel: a panic mid-cascade would strand
 # the tree in an illegal configuration), plus
 # the dpm-bench runner, campaign, fleet, and topology modules, the
@@ -16,7 +17,8 @@
 # fault-plan and fleet-population generators (the fault-injection path
 # must degrade through typed errors, never abort a campaign), and all of
 # crates/dpm-serve/src (a long-running service digesting hostile NDJSON
-# must answer with structured errors, never die mid-session), strips
+# must answer with structured errors, never die mid-session — the
+# metrics exposition renderer/validator included), strips
 # everything from the `#[cfg(test)]` marker onward
 # (test modules sit at the end of each file),
 # and fails if the remainder contains `.unwrap()`, `.expect(`, `panic!`,

@@ -25,7 +25,9 @@
 //! machine's available parallelism. `--telemetry PATH` writes the
 //! deterministic JSONL trace to `PATH` and the wall-clock span profile to
 //! `PATH.profile`; the trace is byte-identical across repeated runs and
-//! worker counts.
+//! worker counts. `--telemetry -` streams the trace to stdout instead
+//! (profile suppressed, CSV moves to stderr), for piping into
+//! `dpm-analyze audit -`.
 //! Exit codes: 0 on success — including points where a safety-wrapped
 //! governor degraded to its fallback (that is a *result*, recorded in the
 //! `degradations` column, not an error) — 1 when a point fails outright
@@ -144,6 +146,11 @@ fn main() {
     }
 
     let jobs = runner::resolve_jobs(jobs_cli);
+    // With `--telemetry -` the trace owns stdout; the CSV moves to stderr
+    // so the stream stays a clean JSONL document for piping.
+    let trace_on_stdout = telemetry_path
+        .as_deref()
+        .is_some_and(telemetry_out::to_stdout);
 
     if topology_arm.is_some() && !topology_mode {
         eprintln!("--arm only applies with --topology\n{}", usage());
@@ -160,7 +167,11 @@ fn main() {
         };
         match topology::run_filtered(seeds, jobs, periods, topology_arm.as_deref(), &telemetry) {
             Ok(outcome) => {
-                print!("{}", outcome.csv);
+                if trace_on_stdout {
+                    eprint!("{}", outcome.csv);
+                } else {
+                    print!("{}", outcome.csv);
+                }
                 eprintln!("topology: {}", outcome.stats.summary());
                 if let Some(path) = telemetry_path {
                     if let Err(e) = telemetry_out::write_outputs(&telemetry, &path) {
@@ -191,7 +202,11 @@ fn main() {
         };
         match fleet::run_with(boards, jobs, periods, master_seed, &telemetry) {
             Ok(outcome) => {
-                print!("{}", outcome.csv);
+                if trace_on_stdout {
+                    eprint!("{}", outcome.csv);
+                } else {
+                    print!("{}", outcome.csv);
+                }
                 eprintln!(
                     "fleet: {} boards x {} periods = {} board-slots, \
                      {} survived ({:.1}%), {}",
@@ -230,7 +245,11 @@ fn main() {
     };
     match campaign::run_with(seeds, jobs, periods, &telemetry) {
         Ok(outcome) => {
-            print!("{}", outcome.csv);
+            if trace_on_stdout {
+                eprint!("{}", outcome.csv);
+            } else {
+                print!("{}", outcome.csv);
+            }
             eprintln!("campaign: {}", outcome.stats.summary());
             if let Some(path) = telemetry_path {
                 if let Err(e) = telemetry_out::write_outputs(&telemetry, &path) {

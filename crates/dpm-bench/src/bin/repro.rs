@@ -18,7 +18,9 @@
 //! `--telemetry PATH` writes the deterministic JSONL trace to `PATH`, the
 //! wall-clock span profile to `PATH.profile`, and a summary to stderr —
 //! the trace is byte-identical across repeated runs and `--jobs`
-//! settings; stdout is untouched.
+//! settings; stdout is untouched. `--telemetry -` streams the trace to
+//! stdout instead (profile suppressed, tables move to stderr), for
+//! piping into `dpm-analyze audit -`.
 //!
 //! Exit codes: 0 on success, 1 when an experiment fails (infeasible
 //! scenario, simulation error, unwritable output), 2 on a usage error
@@ -30,6 +32,7 @@ use dpm_telemetry::Recorder;
 use dpm_workloads::scenarios;
 use serde::Serialize;
 use std::collections::BTreeSet;
+use std::io::Write;
 
 /// The artifacts `repro` knows how to regenerate.
 const SELECTORS: [&str; 7] = [
@@ -91,7 +94,17 @@ fn main() {
         Some(_) => Recorder::enabled("repro"),
         None => Recorder::disabled(),
     };
-    if let Err(e) = run(&wanted, json_path, jobs, &telemetry) {
+    // With `--telemetry -` the trace owns stdout; the tables move to
+    // stderr so the stream stays a clean JSONL document for piping.
+    let trace_on_stdout = telemetry_path
+        .as_deref()
+        .is_some_and(telemetry_out::to_stdout);
+    let mut out: Box<dyn Write> = if trace_on_stdout {
+        Box::new(std::io::stderr())
+    } else {
+        Box::new(std::io::stdout())
+    };
+    if let Err(e) = run(&wanted, json_path, jobs, &telemetry, &mut out) {
         eprintln!("repro: {e}");
         std::process::exit(1);
     }
@@ -108,6 +121,7 @@ fn run(
     json_path: Option<String>,
     jobs: usize,
     telemetry: &Recorder,
+    out: &mut dyn Write,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let all = wanted.is_empty();
     let want = |k: &str| all || wanted.contains(k);
@@ -118,71 +132,77 @@ fn run(
 
     if want("fig3") {
         let f = experiments::figure(&s1);
-        println!(
+        writeln!(
+            out,
             "{}",
             format::figure(&f, "Figure 3  Charging and use schedule for scenario I")
-        );
+        )?;
     }
     if want("fig4") {
         let f = experiments::figure(&s2);
-        println!(
+        writeln!(
+            out,
             "{}",
             format::figure(&f, "Figure 4  Charging and use schedule for scenario II")
-        );
+        )?;
     }
     if want("table2") {
         let rec = telemetry.sibling();
         let iters = experiments::table2_4_with(&platform, &s1, &rec)?;
         telemetry.absorb("table2", &rec);
-        println!(
+        writeln!(
+            out,
             "{}",
             format::table2_4(
                 &iters,
                 "Table 2  Initial power allocation computation (scenario I)"
             )
-        );
+        )?;
     }
     if want("table4") {
         let rec = telemetry.sibling();
         let iters = experiments::table2_4_with(&platform, &s2, &rec)?;
         telemetry.absorb("table4", &rec);
-        println!(
+        writeln!(
+            out,
             "{}",
             format::table2_4(
                 &iters,
                 "Table 4  Initial power allocation computation (scenario II)"
             )
-        );
+        )?;
     }
     if want("table3") {
         let rec = telemetry.sibling();
         let (trace, report) =
             experiments::table3_5_with(&platform, &s1, experiments::DEFAULT_PERIODS, &rec)?;
         telemetry.absorb("table3", &rec);
-        println!(
+        writeln!(
+            out,
             "{}",
             format::table3_5(
                 &trace,
                 "Table 3  Dynamic update of the power allocation (scenario I)"
             )
-        );
-        println!("  {}", report.summary());
-        println!();
+        )?;
+        writeln!(out, "  {}", report.summary())?;
+        writeln!(out)?;
     }
     if want("table5") {
         let rec = telemetry.sibling();
         let (trace, report) =
             experiments::table3_5_with(&platform, &s2, experiments::DEFAULT_PERIODS, &rec)?;
         telemetry.absorb("table5", &rec);
-        println!(
+        writeln!(
+            out,
             "{}",
             format::table3_5(
                 &trace,
                 "Table 5  Dynamic update of the power allocation (scenario II)"
             )
-        );
-        println!("  {}", report.summary());
-        println!();
+        )?;
+        writeln!(out, "  {}", report.summary())?;
+        writeln!(out)?;
     }
     if want("table1") {
         let rows = experiments::table1_jobs_with(
@@ -192,20 +212,25 @@ fn run(
             jobs,
             telemetry,
         )?;
-        println!("{}", format::table1(&rows, &["Scenario 1", "Scenario 2"]));
+        writeln!(
+            out,
+            "{}",
+            format::table1(&rows, &["Scenario 1", "Scenario 2"])
+        )?;
         if let (Some(proposed), Some(statik)) = (
             rows.iter().find(|r| r.governor == "proposed"),
             rows.iter().find(|r| r.governor == "static"),
         ) {
             for i in 0..2 {
                 let ratio = statik.wasted[i] / proposed.wasted[i].max(1e-9);
-                println!(
+                writeln!(
+                    out,
                     "  scenario {}: static wastes {ratio:.1}x the energy of proposed",
                     i + 1
-                );
+                )?;
             }
         }
-        println!();
+        writeln!(out)?;
     }
 
     if let Some(path) = json_path {
@@ -224,7 +249,7 @@ fn run(
         };
         let body = serde_json::to_string_pretty(&dump)?;
         std::fs::write(&path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
-        println!("wrote {path}");
+        writeln!(out, "wrote {path}")?;
     }
     Ok(())
 }

@@ -18,7 +18,9 @@
 //! `--jobs N`, then `DPM_JOBS`, then the machine's available parallelism.
 //! `--telemetry PATH` writes the deterministic JSONL trace to `PATH` and
 //! the wall-clock span profile to `PATH.profile`; the trace is
-//! byte-identical across repeated runs and worker counts.
+//! byte-identical across repeated runs and worker counts. `--telemetry -`
+//! streams the trace to stdout instead (profile suppressed, CSV moves to
+//! stderr), for piping into `dpm-analyze audit -`.
 //! Exit codes: 0 on success, 1 when a sweep point fails (infeasible
 //! scenario, simulation error — the failing point emits an `error` CSV row
 //! and the remaining points still run), 2 on a usage error.
@@ -81,9 +83,18 @@ fn main() {
         Some(_) => Recorder::enabled("sweep"),
         None => Recorder::disabled(),
     };
+    // With `--telemetry -` the trace owns stdout; the CSV moves to stderr
+    // so the stream stays a clean JSONL document for piping.
+    let trace_on_stdout = telemetry_path
+        .as_deref()
+        .is_some_and(telemetry_out::to_stdout);
     match sweeps::run_with(&selected, jobs, sweeps::DEFAULT_PERIODS, &telemetry) {
         Ok(outcome) => {
-            print!("{}", outcome.csv);
+            if trace_on_stdout {
+                eprint!("{}", outcome.csv);
+            } else {
+                print!("{}", outcome.csv);
+            }
             eprintln!("sweep: {}", outcome.stats.summary());
             if let Some(path) = telemetry_path {
                 if let Err(e) = telemetry_out::write_outputs(&telemetry, &path) {

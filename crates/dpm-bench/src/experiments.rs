@@ -308,11 +308,13 @@ impl GovernorSpec {
             }
             Self::Oracle => {
                 let alloc = cache.allocation(platform, scenario)?;
-                let plan = ParameterScheduler::new(platform.clone())?.plan(
-                    &alloc.allocation,
-                    &scenario.charging,
-                    scenario.initial_charge,
-                )?;
+                let plan = ParameterScheduler::new(platform.clone())?
+                    .with_telemetry(telemetry.clone())
+                    .plan(
+                        &alloc.allocation,
+                        &scenario.charging,
+                        scenario.initial_charge,
+                    )?;
                 Box::new(OracleGovernor::from_schedule(&plan)?)
             }
         })

@@ -159,11 +159,13 @@ pub fn run_with(
     // The paper's open-loop plan, computed once for the whole fleet: §4.1
     // initial allocation → §4.2 discrete operating points, one per slot.
     let alloc = initial_allocation(&platform, &scenario)?;
-    let schedule = ParameterScheduler::new(platform.as_ref().clone())?.plan(
-        &alloc.allocation,
-        &scenario.charging,
-        scenario.initial_charge,
-    )?;
+    let schedule = ParameterScheduler::new(platform.as_ref().clone())?
+        .with_telemetry(telemetry.clone())
+        .plan(
+            &alloc.allocation,
+            &scenario.charging,
+            scenario.initial_charge,
+        )?;
     let allocation: Arc<Vec<OperatingPoint>> =
         Arc::new(schedule.slots.iter().map(|s| s.point).collect());
     if allocation.is_empty() {

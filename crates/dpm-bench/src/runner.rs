@@ -91,16 +91,24 @@ impl RunStats {
     /// profile, so traces remain byte-identical across `--jobs` settings.
     /// (Thread count is deliberately not recorded: it varies with
     /// `--jobs`.)
+    ///
+    /// The same timings also land in the span *tree* as
+    /// `{label}.run` → `{label}.run;{label}.job`, so `dpm-analyze profile`
+    /// can attribute fan-out overhead (run self-time) separately from the
+    /// jobs themselves.
     pub fn record_into(&self, telemetry: &dpm_telemetry::Recorder, label: &str) {
         if !telemetry.is_enabled() {
             return;
         }
         telemetry.incr(&format!("{label}.jobs"), self.jobs as u64);
         let span = format!("{label}.job");
+        let job_path = format!("{label}.run;{label}.job");
         for timing in &self.timings {
             telemetry.record_span(&span, timing.wall);
+            telemetry.record_span_path(&job_path, timing.wall);
         }
         telemetry.record_span(&format!("{label}.run"), self.wall);
+        telemetry.record_span_path(&format!("{label}.run"), self.wall);
     }
 
     /// One-line human summary for a harness's stderr diagnostics.

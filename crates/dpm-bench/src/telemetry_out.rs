@@ -6,8 +6,22 @@
 //! (`<path>.profile`, JSONL of [`dpm_telemetry::ProfileLine`]) carries the
 //! wall-clock span timings and is explicitly non-reproducible. The stderr
 //! summary renders both, with the wall-clock section clearly labeled.
+//!
+//! A path of `-` streams the trace to **stdout** instead (the profile is
+//! suppressed — there is no `-.profile` to write), so a harness pipes
+//! straight into the analyzer: `repro --telemetry - | dpm-analyze audit -`.
+//! Binaries that normally print results on stdout must route them to
+//! stderr in this mode (see [`to_stdout`]) to keep the stream a clean
+//! JSONL document.
 
 use dpm_telemetry::Recorder;
+
+/// True when `path` is the `-` sentinel: the deterministic trace goes to
+/// stdout and the wall-clock profile is suppressed. Harness binaries use
+/// this to divert their human-readable output to stderr.
+pub fn to_stdout(path: &str) -> bool {
+    path == "-"
+}
 
 /// The loud warning printed when the event ring dropped anything: a
 /// truncated trace silently weakens every downstream analysis
@@ -30,10 +44,26 @@ pub fn ring_warning(recorder: &Recorder) -> Option<String> {
 /// `<path>.profile`, then print the human summary to stderr. Warns loudly
 /// when the event ring overflowed. Does nothing for a disabled recorder.
 ///
+/// When `path` is `-` the trace streams to stdout and the profile is
+/// suppressed.
+///
 /// # Errors
-/// Propagates [`std::io::Error`] when either file cannot be written.
+/// Propagates [`std::io::Error`] when either file (or stdout) cannot be
+/// written.
 pub fn write_outputs(recorder: &Recorder, path: &str) -> Result<(), std::io::Error> {
     if !recorder.is_enabled() {
+        return Ok(());
+    }
+    if to_stdout(path) {
+        use std::io::Write;
+        let mut out = std::io::stdout().lock();
+        out.write_all(recorder.to_jsonl().as_bytes())?;
+        out.flush()?;
+        eprint!("{}", recorder.summary());
+        if let Some(warning) = ring_warning(recorder) {
+            eprintln!("{warning}");
+        }
+        eprintln!("telemetry: trace -> stdout (wall-clock profile suppressed)");
         return Ok(());
     }
     std::fs::write(path, recorder.to_jsonl())?;

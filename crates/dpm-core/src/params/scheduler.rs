@@ -19,6 +19,7 @@ use crate::platform::Platform;
 use crate::runtime::redistribute;
 use crate::series::PowerSeries;
 use crate::units::{watts, Joules, Watts};
+use dpm_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 
 /// One planned slot.
@@ -72,6 +73,7 @@ impl ParameterSchedule {
 pub struct ParameterScheduler {
     platform: Platform,
     pareto: ParetoTable,
+    telemetry: Recorder,
 }
 
 impl ParameterScheduler {
@@ -82,13 +84,30 @@ impl ParameterScheduler {
     /// an inverted battery window.
     pub fn new(platform: Platform) -> Result<Self, DpmError> {
         let pareto = ParetoTable::build(&platform)?;
-        Ok(Self { platform, pareto })
+        Ok(Self {
+            platform,
+            pareto,
+            telemetry: Recorder::disabled(),
+        })
     }
 
     /// Build with an explicitly-provided table (e.g. the unpruned ablation
     /// table).
     pub fn with_table(platform: Platform, pareto: ParetoTable) -> Self {
-        Self { platform, pareto }
+        Self {
+            platform,
+            pareto,
+            telemetry: Recorder::disabled(),
+        }
+    }
+
+    /// Attach a telemetry recorder: every [`Self::plan`] call is then
+    /// wrapped in a `params.plan` profiler span (wall clock only — the
+    /// deterministic trace is untouched).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The frontier in use.
@@ -109,6 +128,7 @@ impl ParameterScheduler {
         charging: &PowerSeries,
         battery0: Joules,
     ) -> Result<ParameterSchedule, DpmError> {
+        let _plan_span = self.telemetry.span("params.plan");
         allocation.check_aligned(charging)?;
         let tau = self.platform.tau;
         let floor = self.platform.power.all_standby();

@@ -272,6 +272,7 @@ impl Governor for DpmController {
             self.supply_ratio = (obs.supplied_last / self.last_forecast_supply).clamp(0.0, 2.0);
         }
         if e_diff.value().abs() > 1e-12 {
+            let _replan_span = self.telemetry.span("core.replan");
             // Fill the derated-forecast scratch inline (forecast_at borrows
             // all of `self`, which would conflict with the scratch borrow)
             // and update the plan in place: `make_contiguous` preserves the

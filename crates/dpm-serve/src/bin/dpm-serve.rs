@@ -5,7 +5,8 @@
 //! dpm-serve stdio   [--audit] [--trace PATH]
 //! dpm-serve loadgen --addr HOST:PORT [--sessions N] [--scenario NAME]
 //!                   [--governor ARM] [--periods N] [--seed N]
-//!                   [--chunk N] [--corrupt-session I] [--shutdown]
+//!                   [--chunk N] [--corrupt-session I] [--metrics PATH]
+//!                   [--shutdown]
 //! ```
 //!
 //! Exit codes: 0 success, 1 failure (a session killed by the auditor in
@@ -24,12 +25,16 @@ const USAGE: &str = "usage:
   dpm-serve stdio   [--audit] [--trace PATH]
   dpm-serve loadgen --addr HOST:PORT [--sessions N] [--scenario NAME]
                     [--governor ARM] [--periods N] [--seed N]
-                    [--chunk N] [--corrupt-session I] [--shutdown]
+                    [--chunk N] [--corrupt-session I] [--metrics PATH]
+                    [--shutdown]
 
 Sessions host one governed simulation each, driven by NDJSON requests
 (one JSON document per line); `--audit` streams every session through
 an incremental auditor that kills sessions on illegal telemetry.
-`--addr 127.0.0.1:0` picks an ephemeral port and prints it.";
+`--addr 127.0.0.1:0` picks an ephemeral port and prints it.
+loadgen's `--metrics PATH` scrapes the server's Prometheus-style
+metrics snapshot after the run, validates the exposition grammar and
+counters, and writes the text to PATH (`-` for stdout).";
 
 fn usage_exit(msg: &str) -> ExitCode {
     eprintln!("dpm-serve: {msg}");
@@ -134,7 +139,7 @@ fn run_loadgen(args: Vec<String>) -> ExitCode {
                 continue;
             }
             "--addr" | "--sessions" | "--scenario" | "--governor" | "--periods" | "--seed"
-            | "--chunk" | "--corrupt-session" => {}
+            | "--chunk" | "--corrupt-session" | "--metrics" => {}
             other => return usage_exit(&format!("unknown loadgen flag {other}")),
         }
         let value = match take_value(&mut it, flag) {
@@ -166,6 +171,7 @@ fn run_loadgen(args: Vec<String>) -> ExitCode {
                 Ok(v) => cfg.corrupt_session = Some(v),
                 Err(e) => return usage_exit(&bad(&e)),
             },
+            "--metrics" => cfg.metrics = Some(value),
             _ => {}
         }
     }

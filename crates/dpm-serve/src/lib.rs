@@ -18,6 +18,13 @@
 //! [`dpm_trace::AuditState`] and **kills** any session whose stream
 //! breaks an invariant, within one slot of the offending line.
 //!
+//! The same stream also feeds a per-session [`dpm_trace::Rollup`], and
+//! the `Metrics` verb snapshots the whole server as Prometheus-style
+//! text exposition (see [`metrics`]): server-wide open/close/kill
+//! counters plus per-session step counts, audit violations, replan
+//! latency, and battery-slack quantiles — all deterministic in
+//! sim-time.
+//!
 //! ## Determinism
 //!
 //! Traces carry simulated time only (wall clock never enters a trace),
@@ -41,11 +48,13 @@
 
 pub mod error;
 pub mod loadgen;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
 pub use error::ServeError;
+pub use metrics::{ServerMetrics, SessionMetrics};
 pub use protocol::{QueryKind, Request, Response, SessionSpec};
 pub use server::{Server, ServerConfig};
 pub use session::Session;

@@ -42,6 +42,11 @@ pub struct LoadgenConfig {
     pub chunk: u64,
     /// Inject a corrupt trace line into this session index mid-run.
     pub corrupt_session: Option<usize>,
+    /// After the sessions finish (and before any shutdown), scrape the
+    /// metrics plane, validate the exposition grammar and the session
+    /// counters against this run's outcomes, and write the text here
+    /// (`-` for stdout).
+    pub metrics: Option<String>,
     /// Send `Shutdown` once every session completed.
     pub shutdown: bool,
 }
@@ -57,6 +62,7 @@ impl Default for LoadgenConfig {
             seed: 42,
             chunk: 4,
             corrupt_session: None,
+            metrics: None,
             shutdown: false,
         }
     }
@@ -218,6 +224,52 @@ fn population(cfg: &LoadgenConfig) -> Result<Vec<SessionSpec>, ServeError> {
         .collect())
 }
 
+/// Scrape the metrics plane and cross-check the server's session
+/// counters against this run's outcomes. The checks are lower bounds —
+/// the counters are cumulative over the server's lifetime, and other
+/// clients may have contributed — so a clean run against a fresh server
+/// matches exactly while a shared server still validates.
+fn scrape_metrics(
+    cfg: &LoadgenConfig,
+    results: &[Result<Outcome, ServeError>],
+) -> Result<String, ServeError> {
+    let stream = TcpStream::connect(&cfg.addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let text = match exchange(&mut writer, &mut reader, &Request::Metrics)? {
+        Response::Metrics { text } => text,
+        other => {
+            return Err(ServeError::Io(format!(
+                "unexpected metrics reply: {other:?}"
+            )))
+        }
+    };
+    crate::metrics::validate(&text).map_err(|e| ServeError::Io(format!("bad exposition: {e}")))?;
+    let closed = results
+        .iter()
+        .filter(|r| matches!(r, Ok(Outcome::Clean { .. })))
+        .count() as f64;
+    let killed = results
+        .iter()
+        .filter(|r| matches!(r, Ok(Outcome::Killed)))
+        .count() as f64;
+    let floors = [
+        ("dpm_serve_sessions_opened_total", closed + killed),
+        ("dpm_serve_sessions_closed_total", closed),
+        ("dpm_serve_sessions_killed_total", killed),
+    ];
+    for (metric, floor) in floors {
+        let value = crate::metrics::sample(&text, metric, &[])
+            .ok_or_else(|| ServeError::Io(format!("scrape is missing {metric}")))?;
+        if value < floor {
+            return Err(ServeError::Io(format!(
+                "{metric} is {value} but this run alone contributed {floor}"
+            )));
+        }
+    }
+    Ok(text)
+}
+
 /// Run the whole population concurrently and fold the outcomes into
 /// the exit-code contract described in the module docs.
 ///
@@ -246,6 +298,20 @@ pub fn run(cfg: &LoadgenConfig) -> Result<i32, ServeError> {
     })
     .map_err(|_| ServeError::Io("loadgen scope panicked".to_string()))?;
 
+    // Scrape before any shutdown so the server is still answering.
+    let mut metrics_failure: Option<String> = None;
+    if let Some(path) = &cfg.metrics {
+        match scrape_metrics(cfg, &results) {
+            Ok(text) if path == "-" => print!("{text}"),
+            Ok(text) => {
+                if let Err(e) = std::fs::write(path, &text) {
+                    metrics_failure = Some(format!("cannot write {path}: {e}"));
+                }
+            }
+            Err(e) => metrics_failure = Some(e.to_string()),
+        }
+    }
+
     if cfg.shutdown {
         match TcpStream::connect(&cfg.addr) {
             Ok(stream) => match stream.try_clone() {
@@ -261,6 +327,10 @@ pub fn run(cfg: &LoadgenConfig) -> Result<i32, ServeError> {
     }
 
     let mut code = 0;
+    if let Some(msg) = metrics_failure {
+        eprintln!("loadgen: metrics scrape failed: {msg}");
+        code = 1;
+    }
     let corrupt_detected = cfg
         .corrupt_session
         .and_then(|i| results.get(i))

@@ -1,0 +1,510 @@
+//! The metrics plane: Prometheus-style text exposition over the
+//! server's counters and every live session's [`dpm_trace::Rollup`].
+//!
+//! Everything here is deterministic in sim-time: counter values come
+//! from the deterministic recorders and quantiles from the rollup's
+//! sim-time histograms, so a `--stdio` run scraping after the same
+//! request sequence produces a byte-identical snapshot. Sessions are
+//! rendered in name order for the same reason.
+//!
+//! The grammar [`validate`]d here is the subset of the Prometheus text
+//! format this server emits: `# TYPE name kind` declarations followed
+//! by `name{label="value",...} value` samples, newline-terminated, with
+//! every sample's metric declared before first use.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Quantiles the per-session distribution metrics expose.
+pub const QUANTILES: [(&str, f64); 3] = [("0.1", 0.1), ("0.5", 0.5), ("0.9", 0.9)];
+
+/// One session's contribution to the snapshot (built by
+/// `Session::metrics`, rendered here).
+#[derive(Debug, Clone, Default)]
+pub struct SessionMetrics {
+    /// Session name (becomes the `session` label, escaped).
+    pub name: String,
+    /// Next slot to run.
+    pub slot: u64,
+    /// Horizon in slots.
+    pub total_slots: u64,
+    /// `Advance` requests served.
+    pub advances: u64,
+    /// Slots actually stepped.
+    pub slots_stepped: u64,
+    /// Violations the online auditor flagged.
+    pub violations: u64,
+    /// `SetRates` updates applied.
+    pub rate_updates: u64,
+    /// Disturbances queued.
+    pub disturbances: u64,
+    /// Controller replans (`core.replan` events) so far.
+    pub replans: u64,
+    /// Populated rollup windows.
+    pub windows: u64,
+    /// Battery level at the most recent slot (absent before slot 1).
+    pub battery_j: Option<f64>,
+    /// Battery slack (level − C_min) quantiles over the latest window,
+    /// as `(quantile label, joules)`.
+    pub battery_slack_j: Vec<(&'static str, f64)>,
+    /// Replan latency quantiles — slots a correction needs to be
+    /// absorbed (`core.replan.horizon_slots`) — over the whole run.
+    pub replan_horizon_slots: Vec<(&'static str, f64)>,
+}
+
+/// The whole snapshot: server-wide counters plus per-session rows.
+#[derive(Debug, Clone, Default)]
+pub struct ServerMetrics {
+    /// Requests handled (all verbs).
+    pub requests: u64,
+    /// Sessions ever opened.
+    pub sessions_opened: u64,
+    /// Sessions closed cleanly.
+    pub sessions_closed: u64,
+    /// Sessions killed by the online auditor.
+    pub sessions_killed: u64,
+    /// Sessions open right now.
+    pub sessions_open: u64,
+    /// Per-session rows, **sorted by name** (render preserves order).
+    pub sessions: Vec<SessionMetrics>,
+}
+
+/// Getter for a per-session integer sample (counter or gauge).
+type SessionField = fn(&SessionMetrics) -> u64;
+/// Getter for a per-session quantile series.
+type SessionQuantiles = fn(&SessionMetrics) -> &[(&'static str, f64)];
+
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the snapshot as text exposition. Output always passes
+/// [`validate`].
+pub fn render(m: &ServerMetrics) -> String {
+    let mut out = String::new();
+    let server_counters = [
+        ("dpm_serve_requests_total", m.requests),
+        ("dpm_serve_sessions_opened_total", m.sessions_opened),
+        ("dpm_serve_sessions_closed_total", m.sessions_closed),
+        ("dpm_serve_sessions_killed_total", m.sessions_killed),
+    ];
+    for (name, value) in server_counters {
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+    }
+    let _ = writeln!(
+        out,
+        "# TYPE dpm_serve_sessions_open gauge\ndpm_serve_sessions_open {}",
+        m.sessions_open
+    );
+    if m.sessions.is_empty() {
+        return out;
+    }
+
+    let session_counters: [(&str, SessionField); 6] = [
+        ("dpm_session_advances_total", |s| s.advances),
+        ("dpm_session_slots_stepped_total", |s| s.slots_stepped),
+        ("dpm_session_audit_violations_total", |s| s.violations),
+        ("dpm_session_rate_updates_total", |s| s.rate_updates),
+        ("dpm_session_disturbances_total", |s| s.disturbances),
+        ("dpm_session_replans_total", |s| s.replans),
+    ];
+    for (name, get) in session_counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for s in &m.sessions {
+            let _ = writeln!(
+                out,
+                "{name}{{session=\"{}\"}} {}",
+                escape_label(&s.name),
+                get(s)
+            );
+        }
+    }
+    let session_gauges: [(&str, SessionField); 3] = [
+        ("dpm_session_slot", |s| s.slot),
+        ("dpm_session_total_slots", |s| s.total_slots),
+        ("dpm_session_rollup_windows", |s| s.windows),
+    ];
+    for (name, get) in session_gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for s in &m.sessions {
+            let _ = writeln!(
+                out,
+                "{name}{{session=\"{}\"}} {}",
+                escape_label(&s.name),
+                get(s)
+            );
+        }
+    }
+    if m.sessions.iter().any(|s| s.battery_j.is_some()) {
+        let _ = writeln!(out, "# TYPE dpm_session_battery_joules gauge");
+        for s in &m.sessions {
+            if let Some(battery) = s.battery_j {
+                let _ = writeln!(
+                    out,
+                    "dpm_session_battery_joules{{session=\"{}\"}} {battery}",
+                    escape_label(&s.name)
+                );
+            }
+        }
+    }
+    let quantile_metrics: [(&str, SessionQuantiles); 2] = [
+        ("dpm_session_battery_slack_joules", |s| &s.battery_slack_j),
+        ("dpm_session_replan_horizon_slots", |s| {
+            &s.replan_horizon_slots
+        }),
+    ];
+    for (name, get) in quantile_metrics {
+        if m.sessions.iter().all(|s| get(s).is_empty()) {
+            continue;
+        }
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for s in &m.sessions {
+            for (q, value) in get(s) {
+                let _ = writeln!(
+                    out,
+                    "{name}{{session=\"{}\",quantile=\"{q}\"}} {value}",
+                    escape_label(&s.name)
+                );
+            }
+        }
+    }
+    out
+}
+
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Split `rest` (after the opening `{`) into the label body and the
+/// remainder after the matching `}`, honoring quoted values and
+/// backslash escapes.
+fn split_label_set(rest: &str) -> Result<(&str, &str), String> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Ok((&rest[..i], &rest[i + 1..])),
+            _ => {}
+        }
+    }
+    Err("unterminated label set".to_string())
+}
+
+/// Split a label body on the commas between `name="value"` pairs.
+fn split_label_pairs(body: &str) -> Result<Vec<&str>, String> {
+    let mut pairs = Vec::new();
+    let mut start = 0usize;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                pairs.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted label value".to_string());
+    }
+    if start < body.len() {
+        pairs.push(&body[start..]);
+    }
+    Ok(pairs)
+}
+
+fn unescape_label(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs in order of appearance (values unescaped).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line
+        .find(['{', ' '])
+        .ok_or_else(|| format!("no value separator in {line:?}"))?;
+    let name = &line[..name_end];
+    if !is_metric_name(name) {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let rest = &line[name_end..];
+    let (labels, value_part) = match rest.strip_prefix('{') {
+        Some(after_brace) => {
+            let (body, after) = split_label_set(after_brace)?;
+            let mut labels = Vec::new();
+            for pair in split_label_pairs(body)? {
+                let (label, quoted) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("label pair without '=': {pair:?}"))?;
+                if !is_label_name(label) {
+                    return Err(format!("bad label name {label:?}"));
+                }
+                let value = quoted
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("unquoted label value in {pair:?}"))?;
+                labels.push((label.to_string(), unescape_label(value)));
+            }
+            (labels, after)
+        }
+        None => (Vec::new(), rest),
+    };
+    let value_str = value_part
+        .strip_prefix(' ')
+        .ok_or_else(|| format!("missing space before value in {line:?}"))?;
+    let value: f64 = value_str
+        .parse()
+        .map_err(|_| format!("unparseable sample value {value_str:?}"))?;
+    if !value.is_finite() {
+        return Err(format!("non-finite sample value {value_str:?}"));
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Validate a text exposition against the grammar this server emits.
+///
+/// # Errors
+/// A rendered `line N: ...` message naming the first offense: blank
+/// lines, malformed `# TYPE` declarations, unparseable samples,
+/// non-finite values, or a sample whose metric was never declared.
+pub fn validate(text: &str) -> Result<(), String> {
+    if text.is_empty() {
+        return Err("empty exposition".to_string());
+    }
+    if !text.ends_with('\n') {
+        return Err("exposition must end with a newline".to_string());
+    }
+    let mut declared: BTreeSet<&str> = BTreeSet::new();
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        if line.is_empty() {
+            return Err(format!("line {n}: blank line"));
+        }
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let mut parts = decl.split(' ');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(name), Some(kind), None)
+                    if is_metric_name(name)
+                        && matches!(kind, "counter" | "gauge" | "histogram" | "summary") =>
+                {
+                    declared.insert(name);
+                }
+                _ => return Err(format!("line {n}: malformed TYPE declaration: {line:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP lines and comments are free-form.
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {n}: {e}"))?;
+        if !declared.contains(sample.name.as_str()) {
+            return Err(format!(
+                "line {n}: sample for undeclared metric {:?}",
+                sample.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Look up the value of `metric` whose labels include every pair in
+/// `labels` (subset match). `None` when no sample matches.
+pub fn sample(text: &str, metric: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| parse_sample(l).ok())
+        .find(|s| {
+            s.name == metric
+                && labels
+                    .iter()
+                    .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+        })
+        .map(|s| s.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> ServerMetrics {
+        ServerMetrics {
+            requests: 9,
+            sessions_opened: 2,
+            sessions_closed: 1,
+            sessions_killed: 0,
+            sessions_open: 1,
+            sessions: vec![SessionMetrics {
+                name: "s0".into(),
+                slot: 12,
+                total_slots: 24,
+                advances: 3,
+                slots_stepped: 12,
+                violations: 0,
+                rate_updates: 1,
+                disturbances: 0,
+                replans: 7,
+                windows: 1,
+                battery_j: Some(6.5),
+                battery_slack_j: vec![("0.1", 1.5), ("0.5", 3.0), ("0.9", 4.25)],
+                replan_horizon_slots: vec![("0.1", 2.0), ("0.5", 4.0), ("0.9", 9.0)],
+            }],
+        }
+    }
+
+    #[test]
+    fn rendered_snapshots_pass_their_own_validator() {
+        let text = render(&snapshot());
+        validate(&text).expect("self-validates");
+        assert_eq!(sample(&text, "dpm_serve_requests_total", &[]), Some(9.0));
+        assert_eq!(
+            sample(
+                &text,
+                "dpm_session_slots_stepped_total",
+                &[("session", "s0")]
+            ),
+            Some(12.0)
+        );
+        assert_eq!(
+            sample(
+                &text,
+                "dpm_session_battery_slack_joules",
+                &[("session", "s0"), ("quantile", "0.5")]
+            ),
+            Some(3.0)
+        );
+        assert_eq!(
+            sample(
+                &text,
+                "dpm_session_replan_horizon_slots",
+                &[("quantile", "0.9")]
+            ),
+            Some(9.0)
+        );
+        assert_eq!(sample(&text, "no_such_metric", &[]), None);
+    }
+
+    #[test]
+    fn an_empty_server_renders_only_server_rows() {
+        let text = render(&ServerMetrics::default());
+        validate(&text).expect("self-validates");
+        assert_eq!(sample(&text, "dpm_serve_sessions_open", &[]), Some(0.0));
+        assert!(!text.contains("dpm_session_"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(render(&snapshot()), render(&snapshot()));
+    }
+
+    #[test]
+    fn hostile_session_names_are_escaped_and_round_trip() {
+        let mut m = snapshot();
+        m.sessions[0].name = "s\"0\\\nx".into();
+        let text = render(&m);
+        validate(&text).expect("escaped names still validate");
+        assert_eq!(
+            sample(&text, "dpm_session_slot", &[("session", "s\"0\\\nx")]),
+            Some(12.0)
+        );
+    }
+
+    #[test]
+    fn the_validator_rejects_bad_grammar() {
+        for (text, why) in [
+            ("", "empty"),
+            ("dpm_x 1\n", "undeclared metric"),
+            ("# TYPE dpm_x counter\ndpm_x 1", "missing trailing newline"),
+            ("# TYPE dpm_x counter\n\ndpm_x 1\n", "blank line"),
+            ("# TYPE dpm_x widget\ndpm_x 1\n", "bad kind"),
+            ("# TYPE dpm_x counter\ndpm_x one\n", "bad value"),
+            ("# TYPE dpm_x counter\ndpm_x NaN\n", "non-finite"),
+            (
+                "# TYPE dpm_x counter\ndpm_x{a=\"b} 1\n",
+                "unterminated label",
+            ),
+            (
+                "# TYPE dpm_x counter\ndpm_x{1a=\"b\"} 1\n",
+                "bad label name",
+            ),
+            ("# TYPE dpm_x counter\ndpm_x{a=b} 1\n", "unquoted value"),
+            ("# TYPE 9x counter\n9x 1\n", "bad metric name"),
+        ] {
+            assert!(validate(text).is_err(), "accepted {why}: {text:?}");
+        }
+        validate("# TYPE dpm_x counter\n# HELP dpm_x free text\ndpm_x 1\n")
+            .expect("HELP lines are comments");
+    }
+
+    #[test]
+    fn samples_parse_labels_in_order() {
+        let s = parse_sample("m{a=\"1\",b=\"two, three\"} 4.5").expect("parses");
+        assert_eq!(s.name, "m");
+        assert_eq!(
+            s.labels,
+            vec![("a".into(), "1".into()), ("b".into(), "two, three".into())]
+        );
+        assert!((s.value - 4.5).abs() < 1e-12);
+    }
+}

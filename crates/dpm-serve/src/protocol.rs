@@ -125,6 +125,10 @@ pub enum Request {
         /// Session name.
         session: String,
     },
+    /// Snapshot the server-wide metrics plane as Prometheus-style text
+    /// exposition (a scrape). Not tied to any session; sessions keep
+    /// running. Encodes as the bare string `"Metrics"`.
+    Metrics,
     /// Stop accepting connections and exit once in-flight requests
     /// drain.
     Shutdown,
@@ -239,6 +243,12 @@ pub enum Response {
         /// Rendered violations, first offender first.
         violations: Vec<String>,
     },
+    /// Answer to [`Request::Metrics`]: the metrics snapshot.
+    Metrics {
+        /// Prometheus-style text exposition (`# TYPE` lines plus
+        /// `name{labels} value` samples, newline-terminated).
+        text: String,
+    },
     /// The request failed; the session (if any) is unchanged.
     Error {
         /// Rendered [`ServeError`].
@@ -314,6 +324,7 @@ mod tests {
             Request::Close {
                 session: "s0".into(),
             },
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -322,6 +333,21 @@ mod tests {
             let again = serde_json::to_string(&back).expect("re-encode");
             assert_eq!(line, again, "round trip changed {line}");
         }
+    }
+
+    #[test]
+    fn metrics_is_a_bare_string_on_the_wire() {
+        let line = serde_json::to_string(&Request::Metrics).expect("encode");
+        assert_eq!(line, "\"Metrics\"");
+        assert!(matches!(
+            decode_request("\"Metrics\"").expect("decode"),
+            Request::Metrics
+        ));
+        let resp = encode_response(&Response::Metrics {
+            text: "# TYPE dpm_serve_requests_total counter\n".into(),
+        });
+        assert!(resp.contains("Metrics"));
+        assert!(!resp.contains('\n'), "exposition newlines must be escaped");
     }
 
     #[test]

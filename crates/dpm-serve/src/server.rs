@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::error::ServeError;
+use crate::metrics::{self, ServerMetrics};
 use crate::protocol::{decode_request, encode_response, QueryKind, Request, Response};
 use crate::session::Session;
 
@@ -79,6 +80,34 @@ impl Server {
     /// The root trace (absorbed sessions + census counters) as JSONL.
     pub fn trace_jsonl(&self) -> String {
         self.root.to_jsonl()
+    }
+
+    /// Snapshot the metrics plane as Prometheus-style text exposition.
+    ///
+    /// Lock discipline: the registry lock is held only long enough to
+    /// clone the session handles; sessions are then locked **one at a
+    /// time, in name order**, never while holding the registry — the
+    /// same registry-then-single-session order every request path uses,
+    /// so a scrape can never deadlock against concurrent session
+    /// traffic.
+    pub fn metrics_text(&self) -> String {
+        let mut handles: Vec<(String, Arc<Mutex<Session>>)> = relock(&self.sessions)
+            .iter()
+            .map(|(name, cell)| (name.clone(), Arc::clone(cell)))
+            .collect();
+        handles.sort_by(|a, b| a.0.cmp(&b.0));
+        let sessions = handles
+            .iter()
+            .map(|(_, cell)| relock(cell).metrics())
+            .collect();
+        metrics::render(&ServerMetrics {
+            requests: self.root.counter("serve.requests"),
+            sessions_opened: self.root.counter("serve.sessions_opened"),
+            sessions_closed: self.root.counter("serve.sessions_closed"),
+            sessions_killed: self.root.counter("serve.sessions_killed"),
+            sessions_open: handles.len() as u64,
+            sessions,
+        })
     }
 
     fn session(&self, name: &str) -> Result<Arc<Mutex<Session>>, ServeError> {
@@ -264,6 +293,9 @@ impl Server {
                     }
                 }
                 Err(e) => Response::error(&e),
+            },
+            Request::Metrics => Response::Metrics {
+                text: self.metrics_text(),
             },
             Request::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
@@ -493,6 +525,87 @@ mod tests {
             slots: 1,
         });
         assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
+    fn metrics_snapshots_validate_and_track_the_registry() {
+        let server = Server::new(ServerConfig { audit: true });
+        // An empty server scrapes clean.
+        let text = server.metrics_text();
+        crate::metrics::validate(&text).expect("empty snapshot validates");
+        assert_eq!(
+            crate::metrics::sample(&text, "dpm_serve_sessions_open", &[]),
+            Some(0.0)
+        );
+
+        for name in ["b", "a"] {
+            assert!(matches!(
+                server.handle(&open_req(name)),
+                Response::Opened { .. }
+            ));
+            assert!(matches!(
+                server.handle(&Request::Advance {
+                    session: name.into(),
+                    slots: 6,
+                }),
+                Response::Advanced { .. }
+            ));
+        }
+        let Response::Metrics { text } = server.handle(&Request::Metrics) else {
+            panic!("metrics failed");
+        };
+        crate::metrics::validate(&text).expect("snapshot validates");
+        assert_eq!(
+            crate::metrics::sample(&text, "dpm_serve_sessions_open", &[]),
+            Some(2.0)
+        );
+        for name in ["a", "b"] {
+            assert_eq!(
+                crate::metrics::sample(
+                    &text,
+                    "dpm_session_slots_stepped_total",
+                    &[("session", name)]
+                ),
+                Some(6.0),
+                "{name}"
+            );
+        }
+        // Sessions render in name order regardless of registry order.
+        let a_pos = text.find("session=\"a\"").expect("a row");
+        let b_pos = text.find("session=\"b\"").expect("b row");
+        assert!(a_pos < b_pos);
+        // Battery slack quantiles exist and are ordered.
+        let slack = |q: &str| {
+            crate::metrics::sample(
+                &text,
+                "dpm_session_battery_slack_joules",
+                &[("session", "a"), ("quantile", q)],
+            )
+            .expect("slack quantile")
+        };
+        assert!(slack("0.1") <= slack("0.5") && slack("0.5") <= slack("0.9"));
+
+        // A scrape mutates nothing: back-to-back snapshots are
+        // byte-identical (modulo the request counter the first scrape
+        // itself bumped — compare via metrics_text, which doesn't count).
+        assert_eq!(server.metrics_text(), server.metrics_text());
+
+        assert!(matches!(
+            server.handle(&Request::Close {
+                session: "a".into()
+            }),
+            Response::Closed { .. }
+        ));
+        let text = server.metrics_text();
+        assert_eq!(
+            crate::metrics::sample(&text, "dpm_serve_sessions_open", &[]),
+            Some(1.0)
+        );
+        assert_eq!(
+            crate::metrics::sample(&text, "dpm_serve_sessions_closed_total", &[]),
+            Some(1.0)
+        );
+        assert!(!text.contains("session=\"a\""), "closed sessions drop out");
     }
 
     #[test]

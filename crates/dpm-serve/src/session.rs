@@ -20,11 +20,12 @@ use dpm_sim::prelude::{
     ActiveRun, Disturbance, Recorder, ScheduleGenerator, SimConfig, Simulation, TraceSource,
 };
 use dpm_telemetry::TraceLine;
-use dpm_trace::{AuditConfig, AuditState};
+use dpm_trace::{quantile, AuditConfig, AuditState, Rollup};
 use dpm_workloads::{scenarios, Scenario};
 use std::sync::Arc;
 
 use crate::error::ServeError;
+use crate::metrics::{SessionMetrics, QUANTILES};
 use crate::protocol::SessionSpec;
 
 /// Events a single slot can plausibly emit (sim + controller + safety +
@@ -121,6 +122,9 @@ pub struct Session {
     /// Absolute event cursor into the session recorder's ring.
     cursor: u64,
     period_slots: usize,
+    /// Streaming rollup over the session's own line stream (window =
+    /// one charging period), the source of the metrics-plane quantiles.
+    rollup: Rollup,
 }
 
 impl std::fmt::Debug for Session {
@@ -291,6 +295,13 @@ impl Session {
             None
         };
 
+        // The rollup windows by charging period and starts from the same
+        // config gauges the auditor saw (C_min anchors battery slack).
+        let mut rollup = Rollup::new(period_slots as u64);
+        for gauge in telemetry.gauge_lines() {
+            rollup.push(&TraceLine::Gauge(gauge));
+        }
+
         Ok(Self {
             name: name.to_string(),
             run: Some(run),
@@ -299,6 +310,7 @@ impl Session {
             auditor,
             cursor: 0,
             period_slots,
+            rollup,
         })
     }
 
@@ -340,6 +352,7 @@ impl Session {
         let mut lines = Vec::with_capacity(events.len());
         let mut fresh = Vec::new();
         for event in events {
+            self.rollup.push_event(&event);
             let line = TraceLine::Event(event);
             if let Some(auditor) = self.auditor.as_mut() {
                 for v in auditor.push(&line) {
@@ -447,6 +460,50 @@ impl Session {
         self.arm.degradation()
     }
 
+    /// Snapshot this session's metrics-plane row. All values derive
+    /// from the deterministic recorder and the sim-time rollup, so the
+    /// same request sequence yields a byte-identical row.
+    pub fn metrics(&self) -> SessionMetrics {
+        let c_min = self.rollup.gauge("sim.c_min_j").unwrap_or(0.0);
+        let battery_slack_j = self
+            .rollup
+            .latest()
+            .and_then(|(_, w)| w.histogram("sim.slot.battery_j"))
+            .map(|h| {
+                QUANTILES
+                    .iter()
+                    .map(|&(label, q)| (label, quantile(&h, q) - c_min))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let replan_horizon_slots = self
+            .rollup
+            .totals()
+            .histogram("core.replan.horizon_slots")
+            .map(|h| {
+                QUANTILES
+                    .iter()
+                    .map(|&(label, q)| (label, quantile(&h, q)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        SessionMetrics {
+            name: self.name.clone(),
+            slot: self.run.as_ref().map_or(0, ActiveRun::slot),
+            total_slots: self.total_slots(),
+            advances: self.telemetry.counter("serve.advances"),
+            slots_stepped: self.telemetry.counter("serve.slots_stepped"),
+            violations: self.telemetry.counter("serve.violations"),
+            rate_updates: self.telemetry.counter("serve.rate_updates"),
+            disturbances: self.telemetry.counter("serve.disturbances"),
+            replans: self.rollup.totals().count("core.replan"),
+            windows: self.rollup.windows().count() as u64,
+            battery_j: self.rollup.totals().last("sim.slot.battery_j"),
+            battery_slack_j,
+            replan_horizon_slots,
+        }
+    }
+
     /// Feed one raw trace line to the **auditor only**; the recorder is
     /// untouched, so the session's own trace stays exactly what the run
     /// emitted. Returns fresh violations the line triggered.
@@ -494,13 +551,15 @@ impl Session {
         let mut trace = Vec::with_capacity(snapshot.len());
         for line in &snapshot {
             // Events were already pushed incrementally; pushing them
-            // again would double the auditor's body count.
+            // again would double the auditor's body count (and the
+            // rollup's).
             if !matches!(line, TraceLine::Event(_)) {
                 if let Some(auditor) = self.auditor.as_mut() {
                     for v in auditor.push(line) {
                         violations.push(v.to_string());
                     }
                 }
+                self.rollup.push(line);
             }
             trace.push(encode_line(line));
         }

@@ -228,9 +228,148 @@ fn tcp_sessions_match_stdio_traces_under_concurrent_load() {
 }
 
 #[test]
-fn loadgen_round_trips_a_clean_fleet_and_kills_a_corrupt_one() {
-    // Clean population: exit 0.
+fn stdio_metrics_snapshots_are_byte_identical_across_runs() {
+    // A script that scrapes mid-run and again after more progress.
+    let mut reqs = vec![
+        Request::Open {
+            session: "m0".to_string(),
+            spec: spec_with_faults(),
+        },
+        Request::Advance {
+            session: "m0".to_string(),
+            slots: 5,
+        },
+        Request::Metrics,
+        Request::Advance {
+            session: "m0".to_string(),
+            slots: 7,
+        },
+    ];
+    reqs.push(Request::Metrics);
+    let script = encode_script(&reqs, true);
+
+    let extract = |transcript: &str| -> Vec<String> {
+        transcript
+            .lines()
+            .filter_map(|l| match serde_json::from_str(l) {
+                Ok(Response::Metrics { text }) => Some(text),
+                _ => None,
+            })
+            .collect()
+    };
+
+    let (code_a, out_a) = run_stdio(&script);
+    let (code_b, out_b) = run_stdio(&script);
+    assert_eq!(code_a, 0);
+    assert_eq!(code_b, 0);
+    let snaps_a = extract(&out_a);
+    let snaps_b = extract(&out_b);
+    assert_eq!(snaps_a.len(), 2, "two scrapes in the script");
+    assert_eq!(snaps_a, snaps_b, "metrics snapshots must be byte-identical");
+    for snap in &snaps_a {
+        dpm_serve::metrics::validate(snap).expect("snapshot validates");
+    }
+    // The scrapes see the session's live progress.
+    assert_eq!(
+        dpm_serve::metrics::sample(
+            &snaps_a[0],
+            "dpm_session_slots_stepped_total",
+            &[("session", "m0")]
+        ),
+        Some(5.0)
+    );
+    assert_eq!(
+        dpm_serve::metrics::sample(
+            &snaps_a[1],
+            "dpm_session_slots_stepped_total",
+            &[("session", "m0")]
+        ),
+        Some(12.0)
+    );
+}
+
+#[test]
+fn tcp_scrapes_validate_under_concurrent_sessions() {
     let server = spawn_server();
+    let addr = server.addr.clone();
+
+    // Three sessions, opened and advanced partway — all still live.
+    let mut conns = Vec::new();
+    for i in 0..3 {
+        let name = format!("live-{i}");
+        let stream = TcpStream::connect(&addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        for req in [
+            Request::Open {
+                session: name.clone(),
+                spec: spec_with_faults(),
+            },
+            Request::Advance {
+                session: name.clone(),
+                slots: 4,
+            },
+        ] {
+            let line = serde_json::to_string(&req).expect("encode");
+            writeln!(writer, "{line}").expect("send");
+            writer.flush().expect("flush");
+            let mut resp = String::new();
+            reader.read_line(&mut resp).expect("recv");
+            assert!(
+                !resp.contains("Error"),
+                "setup request failed for {name}: {resp}"
+            );
+        }
+        conns.push((name, reader, writer));
+    }
+
+    // Scrape from a fresh connection while all three stay open.
+    let text = {
+        let responses = drive_tcp(&addr, &[Request::Metrics]);
+        match serde_json::from_str(&responses[0]) {
+            Ok(Response::Metrics { text }) => text,
+            other => panic!("unexpected metrics reply: {other:?}"),
+        }
+    };
+    dpm_serve::metrics::validate(&text).expect("scrape validates");
+    assert_eq!(
+        dpm_serve::metrics::sample(&text, "dpm_serve_sessions_open", &[]),
+        Some(3.0)
+    );
+    for i in 0..3 {
+        let name = format!("live-{i}");
+        assert_eq!(
+            dpm_serve::metrics::sample(
+                &text,
+                "dpm_session_slots_stepped_total",
+                &[("session", &name)]
+            ),
+            Some(4.0),
+            "{name}"
+        );
+    }
+
+    // Drain the sessions cleanly, then stop the server.
+    for (name, mut reader, mut writer) in conns {
+        let line = serde_json::to_string(&Request::Close {
+            session: name.clone(),
+        })
+        .expect("encode");
+        writeln!(writer, "{line}").expect("send close");
+        writer.flush().expect("flush");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("recv close");
+        assert!(resp.contains("Closed"), "{name}: {resp}");
+    }
+    shutdown_server(server);
+}
+
+#[test]
+fn loadgen_round_trips_a_clean_fleet_and_kills_a_corrupt_one() {
+    // Clean population: exit 0, with a validated post-run scrape.
+    let server = spawn_server();
+    let metrics_path =
+        std::env::temp_dir().join(format!("dpm_loadgen_metrics_{}.prom", std::process::id()));
     let status = Command::new(BIN)
         .args([
             "loadgen",
@@ -242,10 +381,19 @@ fn loadgen_round_trips_a_clean_fleet_and_kills_a_corrupt_one() {
             "1",
             "--seed",
             "7",
+            "--metrics",
+            &metrics_path.display().to_string(),
         ])
         .status()
         .expect("loadgen clean");
     assert_eq!(status.code(), Some(0), "clean fleet must exit 0");
+    let text = std::fs::read_to_string(&metrics_path).expect("metrics file");
+    let _ = std::fs::remove_file(&metrics_path);
+    dpm_serve::metrics::validate(&text).expect("loadgen scrape validates");
+    assert_eq!(
+        dpm_serve::metrics::sample(&text, "dpm_serve_sessions_closed_total", &[]),
+        Some(3.0)
+    );
 
     // Corrupted session: the auditor must kill it, exit 1.
     let status = Command::new(BIN)

@@ -292,6 +292,7 @@ impl Simulation {
             compute_energy: 0.0,
             slots: Vec::new(),
             next_slot: 0,
+            started: std::time::Instant::now(),
         }
     }
 
@@ -430,6 +431,10 @@ pub struct ActiveRun {
     compute_energy: f64,
     slots: Vec<SlotRecord>,
     next_slot: u64,
+    /// Wall clock at `begin`, closing the `sim.run` profiler span in
+    /// `finish`. Never reaches the trace — only the span *count* does,
+    /// which is identical however the run is driven.
+    started: std::time::Instant,
 }
 
 impl ActiveRun {
@@ -607,6 +612,13 @@ impl ActiveRun {
         let tau = self.sim.platform.tau;
         let duration = self.next_slot as f64 * tau.value();
         if self.sim.telemetry.is_enabled() {
+            // Whole-run profiler span, recorded here rather than as an
+            // RAII guard in `Simulation::run` so a stepped session run
+            // (`begin`/`step`/`finish`) emits the byte-identical trace
+            // line. The wall-clock side lands in the `.profile` only.
+            let run_wall = self.started.elapsed().as_secs_f64();
+            self.sim.telemetry.record_span("sim.run", run_wall);
+            self.sim.telemetry.record_span_path("sim.run", run_wall);
             self.sim.telemetry.incr("sim.slots", self.next_slot);
             self.sim
                 .telemetry

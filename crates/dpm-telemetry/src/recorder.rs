@@ -15,14 +15,26 @@
 
 use crate::histogram::Histogram;
 use crate::trace::{
-    CounterLine, Event, GaugeLine, HistogramLine, ProfileLine, SpanLine, TraceLine, TraceMeta,
-    SCHEMA_VERSION,
+    CounterLine, Event, GaugeLine, HistogramLine, ProfileLine, SpanLine, SpanNodeLine, TraceLine,
+    TraceMeta, SCHEMA_VERSION,
 };
+use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+
+thread_local! {
+    /// Active span frames on this thread: `(recorder identity, collapsed
+    /// path)`. A new span's parent is the innermost frame opened by the
+    /// *same* recorder on the *same* thread, so hierarchy follows the
+    /// code path (deterministic across `--jobs` — each job's sibling
+    /// recorder has its own identity and worker threads their own
+    /// stacks) and two recorders interleaved on one thread never adopt
+    /// each other's frames.
+    static SPAN_FRAMES: RefCell<Vec<(usize, String)>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Default event-ring capacity per recorder. Long harness runs overflow
 /// it by design — the ring keeps the newest events and counts the drops
@@ -46,6 +58,10 @@ struct Inner {
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
     spans: BTreeMap<String, SpanStats>,
+    /// Hierarchical span aggregates keyed by collapsed-stack path
+    /// (`"sim.run;core.decide"`). Wall-clock only — surfaces in the
+    /// `.profile` document as [`SpanNodeLine`]s, never in the trace.
+    tree: BTreeMap<String, SpanStats>,
     events: VecDeque<Event>,
     dropped: u64,
     next_seq: u64,
@@ -106,6 +122,7 @@ impl Recorder {
                     gauges: BTreeMap::new(),
                     histograms: BTreeMap::new(),
                     spans: BTreeMap::new(),
+                    tree: BTreeMap::new(),
                     events: VecDeque::new(),
                     dropped: 0,
                     next_seq: 0,
@@ -231,17 +248,61 @@ impl Recorder {
         }
     }
 
+    /// Fold an externally measured wall-clock duration (s) into the
+    /// span **tree** at collapsed-stack `path` — for harness layers that
+    /// time work themselves (the runner's per-job timings) but still
+    /// want hierarchical attribution in the `.profile` document. The
+    /// flat per-name profile is untouched; pair with
+    /// [`Recorder::record_span`] when both views should see the timing.
+    pub fn record_span_path(&self, path: &str, wall_s: f64) {
+        if let Some(mut inner) = self.lock() {
+            let stats = inner.tree.entry(path.to_string()).or_default();
+            stats.count += 1;
+            stats.total += wall_s;
+            stats.max = stats.max.max(wall_s);
+        }
+    }
+
     /// Start timing span `name`; the elapsed wall clock is recorded when
-    /// the guard drops. On a disabled recorder the guard is inert and the
-    /// clock is never read.
+    /// the guard drops — into the flat per-name profile *and* the span
+    /// tree, where the node's path nests under the innermost span this
+    /// recorder currently has open on this thread. On a disabled
+    /// recorder the guard is inert and the clock is never read.
     #[must_use = "the span is timed until the guard drops"]
     pub fn span(&self, name: &str) -> SpanGuard {
+        let Some(shared) = self.shared.as_ref() else {
+            return SpanGuard {
+                target: None,
+                path: String::new(),
+                framed: false,
+                start: None,
+            };
+        };
+        let id = Arc::as_ptr(shared) as usize;
+        let mut framed = false;
+        let path = SPAN_FRAMES.with(|frames| {
+            // A failed borrow means a `Drop` re-entered `span()` on this
+            // thread — degrade to an unparented frame instead of
+            // panicking (the observability layer must never abort the
+            // system it observes).
+            match frames.try_borrow_mut() {
+                Ok(mut frames) => {
+                    let path = match frames.iter().rev().find(|(fid, _)| *fid == id) {
+                        Some((_, parent)) => format!("{parent};{name}"),
+                        None => name.to_string(),
+                    };
+                    frames.push((id, path.clone()));
+                    framed = true;
+                    path
+                }
+                Err(_) => name.to_string(),
+            }
+        });
         SpanGuard {
-            target: self
-                .shared
-                .as_ref()
-                .map(|s| (Arc::clone(s), name.to_string())),
-            start: self.shared.as_ref().map(|_| Instant::now()),
+            target: Some((Arc::clone(shared), name.to_string())),
+            path,
+            framed,
+            start: Some(Instant::now()),
         }
     }
 
@@ -261,13 +322,14 @@ impl Recorder {
         }
         // Drain the child first (child lock, then parent lock — never
         // both ways round, so no deadlock ordering exists).
-        let (counters, gauges, histograms, spans, events, dropped) = {
+        let (counters, gauges, histograms, spans, tree, events, dropped) = {
             let mut c = child_shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             let drained = (
                 std::mem::take(&mut c.counters),
                 std::mem::take(&mut c.gauges),
                 std::mem::take(&mut c.histograms),
                 std::mem::take(&mut c.spans),
+                std::mem::take(&mut c.tree),
                 std::mem::take(&mut c.events),
                 c.dropped,
             );
@@ -296,6 +358,15 @@ impl Recorder {
         }
         for (name, s) in spans {
             let stats = inner.spans.entry(join(scope, &name)).or_default();
+            stats.count += s.count;
+            stats.total += s.total;
+            stats.max = stats.max.max(s.max);
+        }
+        for (path, s) in tree {
+            // The scope prefixes the path's *root* frame — `join` only
+            // touches the head of the string, so `"a;b"` under scope
+            // `"s"` becomes `"s/a;b"`, mirroring the flat span names.
+            let stats = inner.tree.entry(join(scope, &path)).or_default();
             stats.count += s.count;
             stats.total += s.total;
             stats.max = stats.max.max(s.max);
@@ -400,9 +471,32 @@ impl Recorder {
             .collect()
     }
 
-    /// The wall-clock profile as JSONL (one [`ProfileLine`] per line).
+    /// The hierarchical span tree, sorted by collapsed-stack path — the
+    /// second line kind of the profile document. Empty when no
+    /// [`SpanGuard`] or [`Recorder::record_span_path`] timing landed.
+    pub fn span_node_lines(&self) -> Vec<SpanNodeLine> {
+        let Some(inner) = self.lock() else {
+            return Vec::new();
+        };
+        inner
+            .tree
+            .iter()
+            .map(|(path, s)| SpanNodeLine {
+                path: path.clone(),
+                count: s.count,
+                total_s: s.total,
+                max_s: s.max,
+            })
+            .collect()
+    }
+
+    /// The wall-clock profile as JSONL: flat [`ProfileLine`]s first,
+    /// then the span-tree [`SpanNodeLine`]s (parse both back with
+    /// [`crate::trace::parse_profile_doc`]).
     pub fn profile_jsonl(&self) -> String {
-        lines_to_jsonl(self.profile_lines().iter())
+        let mut out = lines_to_jsonl(self.profile_lines().iter());
+        out.push_str(&lines_to_jsonl(self.span_node_lines().iter()));
+        out
     }
 
     /// Drain-free tail cursor over the event ring for live streaming:
@@ -553,11 +647,17 @@ fn lines_to_jsonl<'a, L: serde::Serialize + 'a>(lines: impl Iterator<Item = &'a 
     out
 }
 
-/// RAII wall-clock timer returned by [`Recorder::span`]; records on drop.
+/// RAII wall-clock timer returned by [`Recorder::span`]; records on drop
+/// into both the flat per-name profile and the hierarchical span tree.
 #[must_use = "the span is timed until the guard drops"]
 #[derive(Debug)]
 pub struct SpanGuard {
     target: Option<(Arc<Shared>, String)>,
+    /// Collapsed-stack path computed at open time.
+    path: String,
+    /// Whether a frame was pushed onto this thread's stack (and must be
+    /// popped on drop).
+    framed: bool,
     start: Option<Instant>,
 }
 
@@ -565,11 +665,34 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let (Some((shared, name)), Some(start)) = (self.target.take(), self.start.take()) {
             let wall = start.elapsed().as_secs_f64();
+            if self.framed {
+                let id = Arc::as_ptr(&shared) as usize;
+                SPAN_FRAMES.with(|frames| {
+                    if let Ok(mut frames) = frames.try_borrow_mut() {
+                        // Usually the top frame; a guard dropped out of
+                        // order still removes *its own* frame, not a
+                        // sibling's.
+                        if let Some(pos) = frames
+                            .iter()
+                            .rposition(|(fid, p)| *fid == id && *p == self.path)
+                        {
+                            frames.remove(pos);
+                        }
+                    }
+                });
+            }
             let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             let stats = inner.spans.entry(name).or_default();
             stats.count += 1;
             stats.total += wall;
             stats.max = stats.max.max(wall);
+            let node = inner
+                .tree
+                .entry(std::mem::take(&mut self.path))
+                .or_default();
+            node.count += 1;
+            node.total += wall;
+            node.max = node.max.max(wall);
         }
     }
 }
@@ -843,6 +966,97 @@ mod tests {
         assert_eq!(profile[0].name, "work");
         assert_eq!(profile[0].count, 1);
         assert!(profile[0].total_s >= 0.0);
+    }
+
+    #[test]
+    fn nested_spans_build_collapsed_stack_paths() {
+        let rec = Recorder::enabled("t");
+        {
+            let _outer = rec.span("sim.run");
+            {
+                let _mid = rec.span("core.decide");
+                let _inner = rec.span("core.replan");
+            }
+            let _mid2 = rec.span("core.decide");
+        }
+        {
+            let _solo = rec.span("core.decide");
+        }
+        let nodes = rec.span_node_lines();
+        let paths: Vec<(&str, u64)> = nodes.iter().map(|n| (n.path.as_str(), n.count)).collect();
+        assert_eq!(
+            paths,
+            vec![
+                ("core.decide", 1),
+                ("sim.run", 1),
+                ("sim.run;core.decide", 2),
+                ("sim.run;core.decide;core.replan", 1),
+            ]
+        );
+        // The flat profile is untouched by the hierarchy: leaf names only.
+        let flat: Vec<String> = rec.profile_lines().into_iter().map(|p| p.name).collect();
+        assert_eq!(flat, vec!["core.decide", "core.replan", "sim.run"]);
+    }
+
+    #[test]
+    fn interleaved_recorders_do_not_adopt_each_others_frames() {
+        let a = Recorder::enabled("a");
+        let b = Recorder::enabled("b");
+        let _outer_a = a.span("outer");
+        {
+            let _inner_b = b.span("inner");
+        }
+        drop(_outer_a);
+        assert_eq!(b.span_node_lines()[0].path, "inner");
+        assert_eq!(a.span_node_lines()[0].path, "outer");
+    }
+
+    #[test]
+    fn absorb_prefixes_tree_paths_at_the_root_frame() {
+        let root = Recorder::enabled("root");
+        let child = root.sibling();
+        {
+            let _outer = child.span("job");
+            let _inner = child.span("step");
+        }
+        child.record_span_path("job;ext", 0.125);
+        root.absorb("table1/0", &child);
+        let paths: Vec<String> = root.span_node_lines().into_iter().map(|n| n.path).collect();
+        assert_eq!(
+            paths,
+            vec!["table1/0/job", "table1/0/job;ext", "table1/0/job;step"]
+        );
+        assert!(child.span_node_lines().is_empty(), "child was drained");
+    }
+
+    #[test]
+    fn record_span_path_feeds_the_tree_only() {
+        let rec = Recorder::enabled("t");
+        rec.record_span_path("run;job", 0.5);
+        rec.record_span_path("run;job", 0.25);
+        assert!(rec.profile_lines().is_empty());
+        let nodes = rec.span_node_lines();
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].path, "run;job");
+        assert_eq!(nodes[0].count, 2);
+        assert!((nodes[0].total_s - 0.75).abs() < 1e-12);
+        assert!((nodes[0].max_s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_document_round_trips_both_line_kinds() {
+        let rec = Recorder::enabled("t");
+        {
+            let _outer = rec.span("run");
+            let _inner = rec.span("step");
+        }
+        let doc = rec.profile_jsonl();
+        let (flat, tree) = crate::trace::parse_profile_doc(&doc).expect("parses");
+        assert_eq!(flat.len(), 2);
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree[1].path, "run;step");
+        // The trace still carries only the deterministic span counts.
+        assert!(!rec.to_jsonl().contains("total_s"));
     }
 
     #[test]

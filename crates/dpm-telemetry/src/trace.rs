@@ -129,6 +129,24 @@ pub struct ProfileLine {
     pub max_s: f64,
 }
 
+/// One node of the **hierarchical wall-clock span tree** — the second
+/// line kind of the profile document. `path` is a collapsed-stack path
+/// (`;`-separated frames, root first), so the document doubles as
+/// flamegraph input. Like [`ProfileLine`], never part of the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanNodeLine {
+    /// Collapsed-stack path: `;`-joined span names from the root frame
+    /// down (`"sim.run;core.decide;core.replan"`). Absorption prefixes
+    /// the root frame with its scope (`"table1/proposed/0/sim.run;…"`).
+    pub path: String,
+    /// Completed executions of exactly this path.
+    pub count: u64,
+    /// Total wall-clock seconds across executions (children included).
+    pub total_s: f64,
+    /// Longest single execution (s).
+    pub max_s: f64,
+}
+
 /// Failure to parse one line of a JSONL trace or profile document.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -183,6 +201,40 @@ pub fn parse_trace_jsonl(input: &str) -> Result<Vec<TraceLine>, ParseError> {
 /// [`ParseError`] naming the first line that does not deserialize.
 pub fn parse_profile_jsonl(input: &str) -> Result<Vec<ProfileLine>, ParseError> {
     parse_jsonl(input)
+}
+
+/// Parse a complete profile document, which since the hierarchical
+/// profiler holds **two** line kinds: flat per-name aggregates
+/// ([`ProfileLine`], requires `name`) and span-tree nodes
+/// ([`SpanNodeLine`], requires `path`). Each line is tried as a flat
+/// line first; the required fields are disjoint, so the fallback is
+/// unambiguous. Blank lines are skipped.
+///
+/// # Errors
+/// [`ParseError`] naming the first line that parses as neither kind.
+pub fn parse_profile_doc(input: &str) -> Result<(Vec<ProfileLine>, Vec<SpanNodeLine>), ParseError> {
+    let mut flat = Vec::new();
+    let mut tree = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<ProfileLine>(line) {
+            Ok(parsed) => flat.push(parsed),
+            Err(flat_err) => match serde_json::from_str::<SpanNodeLine>(line) {
+                Ok(parsed) => tree.push(parsed),
+                Err(tree_err) => {
+                    return Err(ParseError {
+                        line: i + 1,
+                        message: format!(
+                            "neither a flat profile line ({flat_err}) nor a span-tree line ({tree_err})"
+                        ),
+                    })
+                }
+            },
+        }
+    }
+    Ok((flat, tree))
 }
 
 #[cfg(test)]
@@ -295,6 +347,54 @@ mod tests {
         let parsed = parse_profile_jsonl(&profile).unwrap();
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].name, "job");
+    }
+
+    #[test]
+    fn span_node_lines_round_trip_and_stay_out_of_the_trace() {
+        let node = SpanNodeLine {
+            path: "table1/proposed/0/sim.run;core.decide;core.replan".into(),
+            count: 7,
+            total_s: 0.25,
+            max_s: 0.1,
+        };
+        let json = serde_json::to_string(&node).unwrap();
+        let back: SpanNodeLine = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, node);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        // A span-tree line is neither a trace line nor a flat profile
+        // line — the three documents stay mutually unambiguous.
+        assert!(serde_json::from_str::<TraceLine>(&json).is_err());
+        assert!(serde_json::from_str::<ProfileLine>(&json).is_err());
+    }
+
+    #[test]
+    fn parse_profile_doc_splits_flat_and_tree_lines() {
+        let flat = ProfileLine {
+            name: "core.decide".into(),
+            count: 24,
+            total_s: 1.0,
+            mean_s: 1.0 / 24.0,
+            max_s: 0.25,
+        };
+        let node = SpanNodeLine {
+            path: "sim.run;core.decide".into(),
+            count: 24,
+            total_s: 1.0,
+            max_s: 0.25,
+        };
+        let doc = format!(
+            "{}\n\n{}\n",
+            serde_json::to_string(&flat).unwrap(),
+            serde_json::to_string(&node).unwrap(),
+        );
+        let (flats, nodes) = parse_profile_doc(&doc).unwrap();
+        assert_eq!(flats, vec![flat]);
+        assert_eq!(nodes, vec![node]);
+        let (flats, nodes) = parse_profile_doc("").unwrap();
+        assert!(flats.is_empty() && nodes.is_empty());
+        let err = parse_profile_doc("{\"count\":1}\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("span-tree"), "{err}");
     }
 
     #[test]

@@ -134,11 +134,15 @@ pub fn check(
                 ),
             });
         }
-        // Allow a small absolute floor so sub-microsecond spans do not
-        // flap on scheduler noise: at a tight relative tolerance, 50% of
-        // a 1 µs mean is inside timer jitter, so grant every span one
-        // microsecond of slack on top of the relative band.
-        let limit = base.mean_s * factor + 1e-6;
+        // Allow an absolute noise floor so short spans do not flap on
+        // scheduler noise. Two components: 1 µs of timer jitter per
+        // measurement, plus a 100 µs preemption budget amortized over
+        // the call count — a one-shot 50 µs span doubles when the
+        // scheduler steals its core once, but the same spike divided
+        // across thousands of calls is invisible in the mean, so the
+        // slack shrinks as 1/count and stays negligible on hot paths.
+        let noise_floor = 1e-6 + 1e-4 / base.count.max(1) as f64;
+        let limit = base.mean_s * factor + noise_floor;
         if cur.mean_s > limit {
             regressions.push(Regression {
                 span: base.name.clone(),

@@ -266,10 +266,12 @@ mod tests {
         assert_eq!(h.max, 17.0);
         // Bucket census: 1.0→≤4, 5.0→≤8, 9.0→≤12, 13.0→≤16, 17.0→overflow.
         assert_eq!(h.counts, vec![1, 1, 1, 1, 1]);
-        // Median is the third of five observations: the ≤12 bucket.
-        assert!((s.floor_quantile(0.5) - 12.0).abs() < 1e-12);
-        // p1 resolves to the lowest occupied bucket, clamped to the min.
-        assert!((s.floor_quantile(0.01) - 4.0).abs() < 1e-12);
+        // The median rank (2.5 of 5) lands halfway into the ≤12 bucket:
+        // interpolating between its edges (8, 12) gives exactly 10.
+        assert!((s.floor_quantile(0.5) - 10.0).abs() < 1e-12);
+        // p1 (rank 0.05) sits 5% into the first bucket, whose lower edge
+        // is tightened to the observed min: 1 + 0.05·(4−1) = 1.15.
+        assert!((s.floor_quantile(0.01) - 1.15).abs() < 1e-12);
     }
 
     #[test]

@@ -18,9 +18,16 @@
 //!   `BENCH_<name>.json` baselines and check fresh profiles against them;
 //! - [`fleet`] — aggregate the per-shard `fleet.*` metrics of a
 //!   `campaign --fleet` trace into one population report: survival
-//!   fraction, bucket-exact battery-floor percentiles, shed census.
+//!   fraction, interpolated battery-floor percentiles, shed census;
+//! - [`rollup`] — streaming fold of a line stream into windowed
+//!   time-series (counter rates, gauge last-values, histogram
+//!   quantiles per N-slot window), deterministic in sim-time — the
+//!   engine behind the `dpm-serve` metrics snapshot;
+//! - [`profile`] — hierarchical span-tree analysis of `.profile`
+//!   documents: self-time vs total-time attribution, flamegraph
+//!   collapse, and a committed-baseline check.
 //!
-//! The `dpm-analyze` binary in `dpm-bench` fronts all five as commands.
+//! The `dpm-analyze` binary in `dpm-bench` fronts these as commands.
 //!
 //! Like the telemetry layer it reads, this crate must never take down a
 //! caller on hostile input: non-test code is panic-free (enforced by
@@ -34,6 +41,8 @@ pub mod diff;
 mod error;
 pub mod fleet;
 pub mod model;
+pub mod profile;
+pub mod rollup;
 pub mod summary;
 
 pub use audit::{audit, AuditConfig, AuditReport, AuditState, Violation};
@@ -42,6 +51,8 @@ pub use diff::{first_divergence, Divergence};
 pub use error::TraceError;
 pub use fleet::{render as render_fleet, summarize as summarize_fleet, FleetSummary};
 pub use model::{split_scoped, Trace};
+pub use profile::{render as render_profile, SpanNode};
+pub use rollup::{Rollup, RollupWindow};
 pub use summary::{quantile, render as render_summary};
 
 #[cfg(test)]

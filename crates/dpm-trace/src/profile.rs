@@ -1,0 +1,322 @@
+//! Hierarchical span-tree analysis over `.profile` documents.
+//!
+//! The profiler ([`dpm_telemetry::Recorder::span`]) emits collapsed-stack
+//! [`SpanNodeLine`]s next to the flat per-name aggregates. This module
+//! derives parent/child attribution from those paths: **self time**
+//! (a node's total minus its direct children's totals) versus **total
+//! time**, a DFS tree rendering, a collapsed-stack flamegraph export,
+//! and a committed-baseline check reusing the [`crate::bench`] gate so
+//! the hottest span (ROADMAP item 3 names the §4.2 parameter scheduler)
+//! is a CI-tracked number rather than a guess.
+
+use crate::bench::{self, BenchBaseline, Regression};
+use dpm_telemetry::{ProfileLine, SpanNodeLine};
+use std::fmt::Write as _;
+
+/// One analyzed span-tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Collapsed-stack path (`;`-separated frames, root first).
+    pub path: String,
+    /// The leaf frame (last path segment).
+    pub name: String,
+    /// Nesting depth (0 for a root frame).
+    pub depth: usize,
+    /// Completed executions of exactly this path.
+    pub count: u64,
+    /// Total wall-clock seconds, children included.
+    pub total_s: f64,
+    /// Longest single execution (s).
+    pub max_s: f64,
+    /// Wall-clock seconds spent in this frame itself: total minus the
+    /// direct children's totals, floored at zero (timer noise can make
+    /// children sum marginally past their parent).
+    pub self_s: f64,
+}
+
+/// The parent path of a collapsed-stack path (`"a;b;c"` → `"a;b"`).
+fn parent_of(path: &str) -> Option<&str> {
+    path.rfind(';').map(|i| &path[..i])
+}
+
+/// Whether `child` is a *direct* child path of `parent`.
+fn is_direct_child(parent: &str, child: &str) -> bool {
+    child.len() > parent.len()
+        && child.starts_with(parent)
+        && child.as_bytes().get(parent.len()) == Some(&b';')
+        && !child[parent.len() + 1..].contains(';')
+}
+
+/// Derive self-time attribution from raw span-tree lines; the result is
+/// sorted by path. Duplicate paths (possible after concatenating
+/// documents) are merged.
+pub fn analyze(lines: &[SpanNodeLine]) -> Vec<SpanNode> {
+    let mut nodes: Vec<SpanNode> = Vec::with_capacity(lines.len());
+    for line in lines {
+        match nodes.iter_mut().find(|n| n.path == line.path) {
+            Some(n) => {
+                n.count += line.count;
+                n.total_s += line.total_s;
+                n.max_s = n.max_s.max(line.max_s);
+            }
+            None => {
+                let name = line
+                    .path
+                    .rsplit(';')
+                    .next()
+                    .unwrap_or(line.path.as_str())
+                    .to_string();
+                nodes.push(SpanNode {
+                    path: line.path.clone(),
+                    name,
+                    depth: line.path.matches(';').count(),
+                    count: line.count,
+                    total_s: line.total_s,
+                    max_s: line.max_s,
+                    self_s: 0.0,
+                });
+            }
+        }
+    }
+    nodes.sort_by(|a, b| a.path.cmp(&b.path));
+    for i in 0..nodes.len() {
+        let children_total: f64 = nodes
+            .iter()
+            .filter(|c| is_direct_child(&nodes[i].path, &c.path))
+            .map(|c| c.total_s)
+            .sum();
+        nodes[i].self_s = (nodes[i].total_s - children_total).max(0.0);
+    }
+    nodes
+}
+
+fn render_subtree(out: &mut String, nodes: &[SpanNode], path: &str, indent: usize) {
+    for node in nodes.iter().filter(|n| n.path == path) {
+        let _ = writeln!(
+            out,
+            "  {:>8}x  total {:>10.6}s  self {:>10.6}s  max {:>10.6}s  {:indent$}{}",
+            node.count,
+            node.total_s,
+            node.self_s,
+            node.max_s,
+            "",
+            node.name,
+            indent = indent * 2,
+        );
+    }
+    let children: Vec<&SpanNode> = nodes
+        .iter()
+        .filter(|c| is_direct_child(path, &c.path))
+        .collect();
+    for child in children {
+        render_subtree(out, nodes, &child.path, indent + 1);
+    }
+}
+
+/// Render the span tree (DFS, indented by depth) followed by a
+/// self-time ranking, hottest first. The header carries the same
+/// wall-clock disclaimer as the stderr summary: none of this is a
+/// determinism surface.
+pub fn render(lines: &[SpanNodeLine]) -> String {
+    let nodes = analyze(lines);
+    let mut out = String::new();
+    if nodes.is_empty() {
+        let _ = writeln!(out, "profile: no span-tree lines (profiler not wired?)");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "span tree ({} nodes, WALL CLOCK — non-deterministic, excluded from the trace):",
+        nodes.len()
+    );
+    let roots: Vec<String> = nodes
+        .iter()
+        .filter(|n| parent_of(&n.path).is_none_or(|p| !nodes.iter().any(|other| other.path == p)))
+        .map(|n| n.path.clone())
+        .collect();
+    for root in roots {
+        render_subtree(&mut out, &nodes, &root, 0);
+    }
+
+    let mut ranked: Vec<&SpanNode> = nodes.iter().collect();
+    ranked.sort_by(|a, b| b.self_s.total_cmp(&a.self_s).then(a.path.cmp(&b.path)));
+    let _ = writeln!(out, "\nself-time ranking:");
+    for node in &ranked {
+        let _ = writeln!(
+            out,
+            "  self {:>10.6}s  total {:>10.6}s  {:>8}x  {}",
+            node.self_s, node.total_s, node.count, node.path,
+        );
+    }
+    if let Some(hottest) = ranked.first() {
+        let _ = writeln!(
+            out,
+            "\nhottest self-time: {} ({:.6}s across {} calls)",
+            hottest.path, hottest.self_s, hottest.count,
+        );
+    }
+    out
+}
+
+/// Collapsed-stack flamegraph export: one `path value` line per node,
+/// where the value is the node's **self** time in whole microseconds
+/// (flamegraph tooling sums children itself). Pipe into any
+/// `flamegraph.pl`-compatible renderer.
+pub fn collapse(lines: &[SpanNodeLine]) -> String {
+    let mut out = String::new();
+    for node in analyze(lines) {
+        let _ = writeln!(out, "{} {}", node.path, (node.self_s * 1e6).round() as u64);
+    }
+    out
+}
+
+/// Map span-tree lines onto flat profile lines (name = path) so the
+/// [`crate::bench`] machinery can condense and gate them unchanged.
+pub fn to_profile_lines(lines: &[SpanNodeLine]) -> Vec<ProfileLine> {
+    lines
+        .iter()
+        .map(|n| ProfileLine {
+            name: n.path.clone(),
+            count: n.count,
+            total_s: n.total_s,
+            mean_s: if n.count == 0 {
+                0.0
+            } else {
+                n.total_s / n.count as f64
+            },
+            max_s: n.max_s,
+        })
+        .collect()
+}
+
+/// Condense span-tree lines into a committed baseline (paths as names).
+pub fn baseline(name: &str, lines: &[SpanNodeLine]) -> BenchBaseline {
+    BenchBaseline::from_profile(name, &to_profile_lines(lines))
+}
+
+/// Check span-tree lines against a committed baseline: path set and
+/// deterministic call counts must match exactly, mean durations within
+/// `tolerance_pct` — the same contract as [`crate::bench::check`].
+pub fn check(base: &BenchBaseline, lines: &[SpanNodeLine], tolerance_pct: f64) -> Vec<Regression> {
+    bench::check(base, &to_profile_lines(lines), tolerance_pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(path: &str, count: u64, total_s: f64) -> SpanNodeLine {
+        SpanNodeLine {
+            path: path.into(),
+            count,
+            total_s,
+            max_s: total_s,
+        }
+    }
+
+    fn sample() -> Vec<SpanNodeLine> {
+        vec![
+            node("sim.run", 1, 1.0),
+            node("sim.run;core.decide", 24, 0.6),
+            node("sim.run;core.decide;core.replan", 7, 0.2),
+            node("params.plan", 2, 0.5),
+        ]
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let nodes = analyze(&sample());
+        let by_path = |p: &str| nodes.iter().find(|n| n.path == p).expect(p);
+        assert!((by_path("sim.run").self_s - 0.4).abs() < 1e-12);
+        assert!((by_path("sim.run;core.decide").self_s - 0.4).abs() < 1e-12);
+        assert!((by_path("sim.run;core.decide;core.replan").self_s - 0.2).abs() < 1e-12);
+        assert!((by_path("params.plan").self_s - 0.5).abs() < 1e-12);
+        assert_eq!(by_path("sim.run;core.decide").depth, 1);
+        assert_eq!(by_path("sim.run;core.decide").name, "core.decide");
+    }
+
+    #[test]
+    fn children_summing_past_their_parent_floor_at_zero() {
+        let nodes = analyze(&[node("a", 1, 0.1), node("a;b", 1, 0.11)]);
+        let a = nodes.iter().find(|n| n.path == "a").expect("a");
+        assert_eq!(a.self_s, 0.0);
+    }
+
+    #[test]
+    fn sibling_prefixes_are_not_children() {
+        // "a;bc" must not be mistaken for a child of "a;b".
+        let nodes = analyze(&[node("a;b", 1, 0.5), node("a;bc", 1, 0.2)]);
+        let b = nodes.iter().find(|n| n.path == "a;b").expect("a;b");
+        assert!((b.self_s - 0.5).abs() < 1e-12);
+        assert!(!is_direct_child("a;b", "a;bc"));
+        assert!(!is_direct_child("a", "a;b;c"), "grandchild is not direct");
+        assert!(is_direct_child("a;b", "a;b;c"));
+    }
+
+    #[test]
+    fn duplicate_paths_merge() {
+        let nodes = analyze(&[node("a", 1, 0.1), node("a", 2, 0.3)]);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].count, 3);
+        assert!((nodes[0].total_s - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_ranks_by_self_time_and_names_the_hottest() {
+        let report = render(&sample());
+        assert!(report.contains("span tree"), "{report}");
+        assert!(report.contains("WALL CLOCK"), "{report}");
+        assert!(report.contains("self-time ranking"), "{report}");
+        // params.plan (0.5 self) outranks everything else.
+        assert!(
+            report.contains("hottest self-time: params.plan"),
+            "{report}"
+        );
+        // The tree view indents children under their parents.
+        let decide_row = report
+            .lines()
+            .find(|l| l.ends_with("  core.decide"))
+            .expect("indented child row");
+        assert!(decide_row.contains("    core.decide"), "{decide_row}");
+        assert!(render(&[]).contains("no span-tree lines"));
+    }
+
+    #[test]
+    fn collapse_emits_flamegraph_lines_with_self_time_values() {
+        let collapsed = collapse(&sample());
+        let lines: Vec<&str> = collapsed.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.contains(&"params.plan 500000"), "{collapsed}");
+        assert!(
+            lines.contains(&"sim.run;core.decide;core.replan 200000"),
+            "{collapsed}"
+        );
+        // Every line is `path value` with an integer value.
+        for line in lines {
+            let value = line.rsplit(' ').next().unwrap_or("");
+            assert!(value.parse::<u64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn baseline_check_round_trips_and_flags_count_changes() {
+        let base = baseline("profile", &sample());
+        assert!(check(&base, &sample(), 50.0).is_empty());
+        let mut changed = sample();
+        changed[1].count = 25;
+        let regs = check(&base, &changed, 50.0);
+        assert!(regs.iter().any(|r| r.message.contains("call count")));
+        let fewer: Vec<SpanNodeLine> = sample().into_iter().skip(1).collect();
+        let regs = check(&base, &fewer, 50.0);
+        assert!(regs.iter().any(|r| r.message.contains("missing")));
+    }
+
+    #[test]
+    fn orphaned_subtrees_still_render_as_roots() {
+        // A document trimmed to a subtree (no "a" line) must not lose
+        // the "a;b" node from the tree view.
+        let report = render(&[node("a;b", 1, 0.1)]);
+        assert!(report.contains("b"), "{report}");
+        assert!(report.contains("1x"), "{report}");
+    }
+}

@@ -1,0 +1,323 @@
+//! Streaming rollup engine: fold a schema-v1 line stream into windowed
+//! time-series, **deterministic in sim-time**.
+//!
+//! A [`Rollup`] consumes [`TraceLine`]s one at a time (the same shape a
+//! live `dpm-serve` session streams) and maintains, per N-slot window:
+//!
+//! - **counter rates** — how often each event name fired in the window
+//!   ([`RollupWindow::count`] / [`Rollup::rate`]);
+//! - **gauge last-values** — the most recent value of every numeric
+//!   event field, keyed `"<event>.<field>"` ([`RollupWindow::last`]);
+//! - **histogram quantiles** — a fixed-bucket [`Histogram`] per field
+//!   key, queryable through [`crate::summary::quantile`] via
+//!   [`RollupWindow::histogram`].
+//!
+//! Events without a slot stamp, and the whole-stream aggregate, land in
+//! [`Rollup::totals`]. Gauge and counter lines (the deterministic tail
+//! of a batch document) are kept as plain last-value maps. Everything is
+//! `BTreeMap`-backed and driven only by sim-time fields, so two
+//! identical streams produce byte-identical rollup state — the property
+//! the `dpm-serve` metrics snapshot's determinism rests on.
+
+use dpm_telemetry::{Event, Histogram, HistogramLine, TraceLine};
+use std::collections::BTreeMap;
+
+/// Accumulated state for one window (or the whole stream).
+#[derive(Debug, Clone, Default)]
+pub struct RollupWindow {
+    events: u64,
+    counts: BTreeMap<String, u64>,
+    last: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl RollupWindow {
+    /// Events folded into this window.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// How often event `name` fired in this window.
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Event names seen in this window, with their counts, sorted.
+    pub fn counts(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Last value of field key `"<event>.<field>"` in this window.
+    pub fn last(&self, key: &str) -> Option<f64> {
+        self.last.get(key).copied()
+    }
+
+    /// Snapshot the distribution of field key `"<event>.<field>"` as a
+    /// [`HistogramLine`] — feed it to [`crate::summary::quantile`].
+    pub fn histogram(&self, key: &str) -> Option<HistogramLine> {
+        self.hists.get(key).map(|h| HistogramLine {
+            name: key.to_string(),
+            bounds: h.bounds().to_vec(),
+            counts: h.counts().to_vec(),
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+        })
+    }
+
+    fn fold(&mut self, event: &Event) {
+        self.events += 1;
+        *self.counts.entry(event.name.clone()).or_insert(0) += 1;
+        for (field, value) in &event.fields {
+            let key = format!("{}.{}", event.name, field);
+            self.last.insert(key.clone(), *value);
+            self.hists
+                .entry(key)
+                .or_insert_with(Histogram::with_default_bounds)
+                .record(*value);
+        }
+    }
+}
+
+/// The streaming rollup state; see the module docs.
+#[derive(Debug, Clone)]
+pub struct Rollup {
+    window_slots: u64,
+    gauges: BTreeMap<String, f64>,
+    counters: BTreeMap<String, u64>,
+    totals: RollupWindow,
+    windows: BTreeMap<u64, RollupWindow>,
+}
+
+impl Rollup {
+    /// A rollup that groups slots into windows of `window_slots`
+    /// (clamped to at least 1 — a zero width would fold everything into
+    /// window 0 anyway, just with a division hazard).
+    pub fn new(window_slots: u64) -> Self {
+        Self {
+            window_slots: window_slots.max(1),
+            gauges: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            totals: RollupWindow::default(),
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// The configured window width in slots.
+    pub fn window_slots(&self) -> u64 {
+        self.window_slots
+    }
+
+    /// Fold one trace line. Events land in their slot's window (and the
+    /// totals); gauge and counter lines update the last-value maps; meta,
+    /// histogram, and span lines are end-of-run artifacts with no
+    /// time-series content and are ignored.
+    pub fn push(&mut self, line: &TraceLine) {
+        match line {
+            TraceLine::Event(e) => self.push_event(e),
+            TraceLine::Gauge(g) => {
+                self.gauges.insert(g.name.clone(), g.value);
+            }
+            TraceLine::Counter(c) => {
+                self.counters.insert(c.name.clone(), c.value);
+            }
+            TraceLine::Meta(_) | TraceLine::Histogram(_) | TraceLine::Span(_) => {}
+        }
+    }
+
+    /// Fold one event (the live-stream fast path).
+    pub fn push_event(&mut self, event: &Event) {
+        self.totals.fold(event);
+        if let Some(slot) = event.slot {
+            self.windows
+                .entry(slot / self.window_slots)
+                .or_default()
+                .fold(event);
+        }
+    }
+
+    /// The whole-stream aggregate (slotless events included).
+    pub fn totals(&self) -> &RollupWindow {
+        &self.totals
+    }
+
+    /// Windows in index order (`window i` covers slots
+    /// `[i·window_slots, (i+1)·window_slots)`).
+    pub fn windows(&self) -> impl Iterator<Item = (u64, &RollupWindow)> {
+        self.windows.iter().map(|(&i, w)| (i, w))
+    }
+
+    /// The window at `index`, when any of its slots emitted events.
+    pub fn window(&self, index: u64) -> Option<&RollupWindow> {
+        self.windows.get(&index)
+    }
+
+    /// The most recent populated window.
+    pub fn latest(&self) -> Option<(u64, &RollupWindow)> {
+        self.windows.iter().next_back().map(|(&i, w)| (i, w))
+    }
+
+    /// Event rate (events/s) of `name` in window `index`, given the slot
+    /// width `tau_s`. Zero for an absent window or a non-positive tau.
+    pub fn rate(&self, index: u64, name: &str, tau_s: f64) -> f64 {
+        let span = self.window_slots as f64 * tau_s;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.window(index).map_or(0.0, |w| w.count(name) as f64) / span
+    }
+
+    /// Last value of gauge `name` (from `Gauge` lines, not events).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Final value of counter `name` (from `Counter` lines).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Per-window counts of event `name`, in window order — the
+    /// windowed time-series a dashboard plots.
+    pub fn series(&self, name: &str) -> Vec<(u64, u64)> {
+        self.windows
+            .iter()
+            .map(|(&i, w)| (i, w.count(name)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::quantile;
+    use dpm_telemetry::{CounterLine, GaugeLine, Recorder};
+
+    fn slot_event(slot: u64, battery: f64) -> Event {
+        Event {
+            seq: slot,
+            scope: String::new(),
+            name: "sim.slot".into(),
+            slot: Some(slot),
+            time: slot as f64 * 4.8,
+            fields: vec![("battery_j".into(), battery)],
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn events_fold_into_slot_windows() {
+        let mut r = Rollup::new(4);
+        for slot in 0..10 {
+            r.push_event(&slot_event(slot, slot as f64));
+        }
+        let indices: Vec<u64> = r.windows().map(|(i, _)| i).collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+        assert_eq!(r.window(0).map(|w| w.count("sim.slot")), Some(4));
+        assert_eq!(r.window(2).map(|w| w.count("sim.slot")), Some(2));
+        assert_eq!(r.series("sim.slot"), vec![(0, 4), (1, 4), (2, 2)]);
+        assert_eq!(r.totals().count("sim.slot"), 10);
+        // Last-value per window tracks the newest field value.
+        assert_eq!(
+            r.window(1).and_then(|w| w.last("sim.slot.battery_j")),
+            Some(7.0)
+        );
+        assert_eq!(r.latest().map(|(i, _)| i), Some(2));
+        // Rate: 4 events over a 4-slot window of 4.8 s slots.
+        let rate = r.rate(0, "sim.slot", 4.8);
+        assert!((rate - 4.0 / (4.0 * 4.8)).abs() < 1e-12, "{rate}");
+        assert_eq!(r.rate(9, "sim.slot", 4.8), 0.0);
+    }
+
+    #[test]
+    fn slotless_events_land_in_totals_only() {
+        let mut r = Rollup::new(4);
+        r.push_event(&Event {
+            slot: None,
+            ..slot_event(0, 1.0)
+        });
+        assert_eq!(r.windows().count(), 0);
+        assert_eq!(r.totals().events(), 1);
+        assert_eq!(r.totals().last("sim.slot.battery_j"), Some(1.0));
+    }
+
+    #[test]
+    fn window_histograms_answer_quantiles() {
+        let mut r = Rollup::new(8);
+        for slot in 0..8 {
+            r.push_event(&slot_event(slot, (slot % 4) as f64));
+        }
+        let h = r
+            .window(0)
+            .and_then(|w| w.histogram("sim.slot.battery_j"))
+            .expect("histogram");
+        assert_eq!(h.count, 8);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 3.0);
+        let p50 = quantile(&h, 0.5);
+        assert!((0.0..=2.0).contains(&p50), "{p50}");
+        assert!(r
+            .window(0)
+            .is_some_and(|w| w.histogram("no.such").is_none()));
+    }
+
+    #[test]
+    fn gauge_and_counter_lines_keep_last_values() {
+        let mut r = Rollup::new(4);
+        r.push(&TraceLine::Gauge(GaugeLine {
+            name: "sim.c_min_j".into(),
+            value: 1.25,
+        }));
+        r.push(&TraceLine::Gauge(GaugeLine {
+            name: "sim.c_min_j".into(),
+            value: 2.5,
+        }));
+        r.push(&TraceLine::Counter(CounterLine {
+            name: "serve.slots_stepped".into(),
+            value: 24,
+        }));
+        assert_eq!(r.gauge("sim.c_min_j"), Some(2.5));
+        assert_eq!(r.counter("serve.slots_stepped"), Some(24));
+        assert_eq!(r.gauge("absent"), None);
+        assert_eq!(r.counter("absent"), None);
+    }
+
+    #[test]
+    fn identical_streams_produce_identical_rollups() {
+        let build = || {
+            let rec = Recorder::enabled("t");
+            rec.gauge("sim.c_min_j", 0.5);
+            for slot in 0..12 {
+                rec.event(
+                    "sim.slot",
+                    Some(slot),
+                    slot as f64,
+                    &[("battery_j", (slot % 5) as f64)],
+                );
+            }
+            let mut r = Rollup::new(6);
+            for line in rec.snapshot() {
+                r.push(&line);
+            }
+            r
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.series("sim.slot"), b.series("sim.slot"));
+        let qa = a
+            .window(0)
+            .and_then(|w| w.histogram("sim.slot.battery_j"))
+            .map(|h| quantile(&h, 0.9));
+        let qb = b
+            .window(0)
+            .and_then(|w| w.histogram("sim.slot.battery_j"))
+            .map(|h| quantile(&h, 0.9));
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn zero_window_width_is_clamped() {
+        let r = Rollup::new(0);
+        assert_eq!(r.window_slots(), 1);
+    }
+}

@@ -11,27 +11,50 @@ const RAMP: &[u8] = b" .:-=+*#%@";
 /// Maximum timeline width in columns.
 const TIMELINE_COLS: usize = 64;
 
-/// Approximate quantile from a histogram snapshot's bucket counts.
+/// Linearly-interpolated quantile from a histogram snapshot's bucket
+/// counts.
 ///
-/// Returns the upper bound of the bucket where the cumulative count
-/// crosses `q * count`, clamped to the recorded `[min, max]`; the
-/// overflow bucket reports `max`. An empty histogram reports 0. `q` is
-/// clamped into `[0, 1]`; a NaN `q` behaves as 0.
+/// Finds the bucket where the cumulative count crosses the continuous
+/// rank `q * count` and interpolates linearly between the bucket's
+/// edges, positioned by how far into the bucket's own count the rank
+/// falls — the standard Prometheus `histogram_quantile` estimate, made
+/// exact at the edges by tightening each bucket to the recorded
+/// `[min, max]`: the first bucket's lower edge is `min`, the overflow
+/// bucket's upper edge is `max`, and the result is clamped to
+/// `[min, max]`. An empty histogram reports 0. `q` is clamped into
+/// `[0, 1]`; a NaN `q` behaves as 0 (reporting `min`).
 pub fn quantile(h: &HistogramLine, q: f64) -> f64 {
     if h.count == 0 {
         return 0.0;
     }
     let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
-    let rank = (q * h.count as f64).ceil().max(1.0) as u64;
-    let mut seen = 0u64;
-    for (i, c) in h.counts.iter().enumerate() {
-        seen += c;
-        if seen >= rank {
-            return match h.bounds.get(i) {
-                Some(bound) => bound.clamp(h.min, h.max),
+    let rank = q * h.count as f64;
+    if rank <= 0.0 {
+        return h.min;
+    }
+    let mut seen = 0.0f64;
+    for (i, &c) in h.counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let in_bucket = c as f64;
+        if seen + in_bucket >= rank {
+            // Tighten the bucket edges to the observed range: no
+            // observation sits below `min` or above `max`, so the
+            // nominal bounds overstate the spread at the extremes.
+            let lower = match i.checked_sub(1).and_then(|p| h.bounds.get(p)) {
+                Some(&b) => b.max(h.min),
+                None => h.min,
+            };
+            let upper = match h.bounds.get(i) {
+                Some(&b) => b.min(h.max),
                 None => h.max, // overflow bucket
             };
+            let frac = ((rank - seen) / in_bucket).clamp(0.0, 1.0);
+            let value = lower + frac * (upper - lower);
+            return value.clamp(h.min, h.max);
         }
+        seen += in_bucket;
     }
     h.max
 }
@@ -427,7 +450,7 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_come_from_bucket_bounds() {
+    fn quantiles_interpolate_within_the_crossing_bucket() {
         let rec = Recorder::enabled("q");
         for v in [1.0, 1.0, 2.0, 4.0] {
             rec.observe("h", v);
@@ -437,6 +460,7 @@ mod tests {
         let p50 = quantile(h, 0.5);
         assert!((1.0..=2.0).contains(&p50), "{p50}");
         assert_eq!(quantile(h, 1.0), h.max);
+        assert_eq!(quantile(h, 0.0), h.min);
         assert_eq!(quantile(h, 0.0), quantile(h, f64::NAN));
         let empty = HistogramLine {
             name: "e".into(),
@@ -448,6 +472,74 @@ mod tests {
             max: 0.0,
         };
         assert_eq!(quantile(&empty, 0.9), 0.0);
+    }
+
+    #[test]
+    fn interpolated_quantiles_match_exact_values_at_the_boundaries() {
+        // All four observations in one bucket [min=1, bound=4]: the
+        // interpolation is linear over the tightened edges, so the
+        // rank-r quantile is min + (r/4)·(4−1) exactly.
+        let one_bucket = HistogramLine {
+            name: "b".into(),
+            bounds: vec![4.0, 8.0],
+            counts: vec![4, 0, 0],
+            count: 4,
+            sum: 10.0,
+            min: 1.0,
+            max: 4.0,
+        };
+        assert!((quantile(&one_bucket, 0.25) - 1.75).abs() < 1e-12);
+        assert!((quantile(&one_bucket, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&one_bucket, 0.75) - 3.25).abs() < 1e-12);
+        assert_eq!(quantile(&one_bucket, 0.0), 1.0);
+        assert_eq!(quantile(&one_bucket, 1.0), 4.0);
+
+        // A constant sample collapses every quantile to that value — the
+        // tightened edges (lower = min, upper = max) make it exact where
+        // a bucket upper bound would have reported 100.
+        let constant = HistogramLine {
+            name: "c".into(),
+            bounds: vec![100.0],
+            counts: vec![3, 0],
+            count: 3,
+            sum: 9.0,
+            min: 3.0,
+            max: 3.0,
+        };
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(quantile(&constant, q), 3.0, "q = {q}");
+        }
+
+        // Two buckets of 5 each over [0,1] and (1,2]: the p50 rank (5)
+        // lands exactly on the first bucket's upper edge, and p75 sits
+        // halfway into the second bucket.
+        let two_buckets = HistogramLine {
+            name: "t".into(),
+            bounds: vec![1.0, 2.0],
+            counts: vec![5, 5, 0],
+            count: 10,
+            sum: 15.0,
+            min: 0.0,
+            max: 2.0,
+        };
+        assert!((quantile(&two_buckets, 0.5) - 1.0).abs() < 1e-12);
+        assert!((quantile(&two_buckets, 0.75) - 1.5).abs() < 1e-12);
+
+        // The overflow bucket interpolates toward the observed max, not
+        // toward infinity.
+        let overflow = HistogramLine {
+            name: "o".into(),
+            bounds: vec![1.0],
+            counts: vec![0, 4],
+            count: 4,
+            sum: 24.0,
+            min: 2.0,
+            max: 10.0,
+        };
+        let p50 = quantile(&overflow, 0.5);
+        assert!((2.0..=10.0).contains(&p50), "{p50}");
+        assert!((p50 - 6.0).abs() < 1e-12, "{p50}");
+        assert_eq!(quantile(&overflow, 1.0), 10.0);
     }
 
     #[test]

@@ -307,8 +307,9 @@ fn bench_baseline_round_trips_and_gates_regressions() {
     assert!(stdout.contains("bench OK"), "{stdout}");
 
     // Inject a 10x mean regression into every span and watch the gate trip.
-    let slow: String = dpm_telemetry::parse_profile_jsonl(&profile_jsonl)
+    let slow: String = dpm_telemetry::parse_profile_doc(&profile_jsonl)
         .unwrap()
+        .0
         .into_iter()
         .map(|mut p| {
             p.mean_s *= 10.0;
@@ -329,6 +330,96 @@ fn bench_baseline_round_trips_and_gates_regressions() {
     assert_eq!(code, 1);
     assert!(stderr.contains("regression"), "{stderr}");
     assert!(stderr.contains("exceeds baseline"), "{stderr}");
+
+    let _ = std::fs::remove_file(profile_path);
+    let _ = std::fs::remove_file(baseline_path);
+    let _ = std::fs::remove_file(slow_path);
+}
+
+#[test]
+fn profile_subcommand_renders_the_span_tree_and_gates_regressions() {
+    // A real Table 1 run: the Oracle baseline exercises the §4.2
+    // parameter scheduler (`params.plan`), the proposed controller the
+    // replan path (`sim.run` → `core.decide` → `core.replan`).
+    let telemetry = Recorder::enabled("repro");
+    let platform = Platform::pama();
+    let scenarios = [scenarios::scenario_one(), scenarios::scenario_two()];
+    experiments::table1_jobs_with(
+        &platform,
+        &scenarios,
+        experiments::DEFAULT_PERIODS,
+        2,
+        &telemetry,
+    )
+    .unwrap();
+    let profile_jsonl = telemetry.profile_jsonl();
+    let profile_path = temp_path("tree.profile");
+    std::fs::write(&profile_path, &profile_jsonl).unwrap();
+
+    // Tree rendering: header, the scheduler span, and a self-time ranking
+    // that the acceptance criteria key on.
+    let (code, stdout, _) = analyze(&["profile", profile_path.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("span tree"), "{stdout}");
+    assert!(stdout.contains("self-time ranking:"), "{stdout}");
+    assert!(stdout.contains("params.plan"), "{stdout}");
+    assert!(stdout.contains("core.decide"), "{stdout}");
+    assert!(stdout.contains("hottest self-time:"), "{stdout}");
+
+    // Collapsed stacks: every line is `path self_µs`.
+    let (code, stdout, _) = analyze(&["profile", profile_path.to_str().unwrap(), "--collapse"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(!stdout.is_empty());
+    for line in stdout.lines() {
+        let (path, micros) = line.rsplit_once(' ').expect("collapsed line has two parts");
+        assert!(!path.is_empty(), "{line}");
+        micros.parse::<u64>().expect("self-time in whole µs");
+    }
+
+    // Baseline round-trip and regression gate over the span tree.
+    let baseline_path = temp_path("BENCH_tree.json");
+    let (code, stdout, _) = analyze(&[
+        "profile",
+        profile_path.to_str().unwrap(),
+        "--name",
+        "tree",
+        "--out",
+        baseline_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    let (code, stdout, _) = analyze(&[
+        "profile",
+        profile_path.to_str().unwrap(),
+        "--check",
+        baseline_path.to_str().unwrap(),
+        "--tolerance",
+        "5",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("profile OK"), "{stdout}");
+
+    // Slow every tree node 10x; the gate must trip.
+    let slow: String = dpm_telemetry::parse_profile_doc(&profile_jsonl)
+        .unwrap()
+        .1
+        .into_iter()
+        .map(|mut n| {
+            n.total_s *= 10.0;
+            serde_json::to_string(&n).unwrap() + "\n"
+        })
+        .collect();
+    let slow_path = temp_path("slow_tree.profile");
+    std::fs::write(&slow_path, &slow).unwrap();
+    let (code, _, stderr) = analyze(&[
+        "profile",
+        slow_path.to_str().unwrap(),
+        "--check",
+        baseline_path.to_str().unwrap(),
+        "--tolerance",
+        "25",
+    ]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("regression"), "{stderr}");
 
     let _ = std::fs::remove_file(profile_path);
     let _ = std::fs::remove_file(baseline_path);

@@ -44,6 +44,57 @@ fn sweep_trace_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn profiler_activity_never_leaks_into_the_trace() {
+    // The hierarchical profiler is live during these runs — the span-tree
+    // lines below prove it — yet the deterministic trace must stay
+    // byte-identical across worker counts: wall clock is confined to the
+    // `.profile` document.
+    let run = |jobs: usize| {
+        let telemetry = Recorder::enabled("repro");
+        let platform = Platform::pama();
+        let scenarios = [scenarios::scenario_one(), scenarios::scenario_two()];
+        experiments::table1_jobs_with(&platform, &scenarios, 2, jobs, &telemetry).unwrap();
+        (telemetry.to_jsonl(), telemetry.profile_jsonl())
+    };
+    let (trace_1, profile_1) = run(1);
+    let (trace_4, profile_4) = run(4);
+    assert_eq!(trace_1, trace_4);
+
+    let (_, tree_1) = dpm_telemetry::parse_profile_doc(&profile_1).unwrap();
+    let (_, tree_4) = dpm_telemetry::parse_profile_doc(&profile_4).unwrap();
+    assert!(!tree_1.is_empty(), "profiler recorded no span-tree nodes");
+    assert!(
+        tree_1.iter().any(|n| n.path.contains("params.plan")),
+        "§4.2 parameter scheduler span missing from the tree"
+    );
+    assert!(
+        tree_1.iter().any(|n| n.path.contains("sim.run")),
+        "whole-run span missing from the tree"
+    );
+    // The tree's *structure* (paths and counts) is deterministic even
+    // though its wall-clock payload is not.
+    let shape = |tree: &[dpm_telemetry::SpanNodeLine]| {
+        tree.iter()
+            .map(|n| (n.path.clone(), n.count))
+            .collect::<std::collections::BTreeSet<_>>()
+    };
+    assert_eq!(shape(&tree_1), shape(&tree_4));
+
+    // Every profile line — flat or tree — round-trips through serde
+    // untouched.
+    for (i, line) in profile_1.lines().enumerate() {
+        let again = match serde_json::from_str::<dpm_telemetry::ProfileLine>(line) {
+            Ok(flat) => serde_json::to_string(&flat).unwrap(),
+            Err(_) => {
+                let node: dpm_telemetry::SpanNodeLine = serde_json::from_str(line).unwrap();
+                serde_json::to_string(&node).unwrap()
+            }
+        };
+        assert_eq!(line, again, "profile line {i} did not round-trip");
+    }
+}
+
+#[test]
 fn trace_round_trips_through_serde_line_by_line() {
     let jsonl = table1_trace(2);
     let mut lines = 0usize;
